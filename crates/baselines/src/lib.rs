@@ -1,0 +1,50 @@
+//! # baselines — the estimators the paper compares against
+//!
+//! Four selectivity-estimation baselines from §5 of *Selectivity Estimation
+//! using Probabilistic Models* (SIGMOD 2001), implemented from scratch:
+//!
+//! * [`avi::AviEstimator`] — **AVI**: one exact one-dimensional histogram
+//!   per attribute, combined under the attribute-value-independence
+//!   assumption (what System-R-style optimizers do).
+//! * [`onedim`] — one-dimensional equi-width / equi-depth histograms,
+//!   the building blocks for AVI over large domains.
+//! * [`mhist::MhistEstimator`] — **MHIST**: multidimensional histograms
+//!   built by MHIST-2-style recursive partitioning with a
+//!   V-Optimal(V,A)-inspired split criterion (Poosala & Ioannidis).
+//! * [`sample::SampleEstimator`] / [`sample::JoinSampleEstimator`] —
+//!   **SAMPLE**: a uniform row sample of a table, or of the full
+//!   foreign-key join of a table chain, scaled to the population.
+//! * [`wavelet::WaveletEstimator`] — thresholded Haar-wavelet
+//!   approximation of the joint frequency array (the third data-reduction
+//!   family in the paper's related work).
+//!
+//! All estimators report their storage footprint via `size_bytes()` using
+//! the accounting in `DESIGN.md` §5, so the paper's error-versus-storage
+//! sweeps compare like for like.
+//!
+//! Baselines answer *code-level* queries: a conjunction of
+//! (column, allowed-code-set) pairs. The `prmsel` crate adapts relational
+//! [`reldb::Query`] values onto this interface.
+//!
+//! ```
+//! use baselines::MhistEstimator;
+//!
+//! // Perfectly correlated columns defeat independence assumptions; a
+//! // 2-D histogram with enough budget recovers the joint exactly.
+//! let x: Vec<u32> = (0..100).map(|i| i % 4).collect();
+//! let m = MhistEstimator::build(&[&x, &x], &[4, 4], 4_096);
+//! assert!((m.estimate(&[vec![2], vec![2]]) - 25.0).abs() < 1e-9);
+//! assert!(m.estimate(&[vec![1], vec![3]]).abs() < 1e-9);
+//! ```
+
+pub mod avi;
+pub mod mhist;
+pub mod onedim;
+pub mod sample;
+pub mod wavelet;
+
+pub use avi::AviEstimator;
+pub use mhist::MhistEstimator;
+pub use onedim::{Histogram1D, HistogramKind};
+pub use sample::{JoinSampleEstimator, SampleEstimator};
+pub use wavelet::WaveletEstimator;

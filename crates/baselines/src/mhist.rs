@@ -1,0 +1,430 @@
+//! MHIST: multidimensional histograms by recursive partitioning.
+//!
+//! Reimplementation of the MHIST-2 construction of Poosala & Ioannidis
+//! with the V-Optimal(V,A) flavour the paper benchmarks against: at every
+//! step, find the partition (bucket) and dimension whose marginal
+//! frequency vector is most in need of partitioning (largest variance),
+//! and split it at the binary cut that minimizes the resulting variance.
+//! Buckets are hyperrectangles over the code space storing a single
+//! average frequency; estimation assumes uniformity inside each bucket.
+
+/// One hyperrectangular bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Bucket {
+    /// Inclusive lower code per dimension.
+    lo: Vec<u32>,
+    /// Inclusive upper code per dimension.
+    hi: Vec<u32>,
+    /// Total row count inside the rectangle.
+    total: u64,
+}
+
+impl Bucket {
+    fn extent(&self, d: usize) -> usize {
+        (self.hi[d] - self.lo[d] + 1) as usize
+    }
+
+    fn cell_count(&self) -> f64 {
+        (0..self.lo.len()).map(|d| self.extent(d) as f64).product()
+    }
+}
+
+/// Best split candidate cached per bucket.
+#[derive(Debug, Clone, Copy)]
+struct SplitChoice {
+    dim: usize,
+    /// Split after this offset within the bucket's extent (0-based).
+    cut: usize,
+    /// Variance of the marginal along `dim` (the V-Optimal "need").
+    variance: f64,
+}
+
+/// Split-selection criterion for the recursive partitioning (two entries
+/// of Poosala & Ioannidis's taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MhistSplit {
+    /// V-Optimal flavour: split the (bucket, dimension) with the largest
+    /// marginal variance at the variance-minimizing cut (the paper's
+    /// V-Optimal(V,A) comparison point).
+    #[default]
+    VOptimal,
+    /// MaxDiff flavour: split at the largest adjacent difference of the
+    /// marginal frequency vector.
+    MaxDiff,
+}
+
+/// A multidimensional histogram over a fixed set of attributes.
+#[derive(Debug, Clone)]
+pub struct MhistEstimator {
+    cards: Vec<usize>,
+    buckets: Vec<Bucket>,
+    n_rows: u64,
+}
+
+impl MhistEstimator {
+    /// Builds an MHIST over the given code columns (all of equal length)
+    /// within `budget_bytes` of storage, using the V-Optimal criterion.
+    ///
+    /// Panics if the dense joint space exceeds ~16M cells (the paper only
+    /// builds MHISTs over 2–4 small attributes).
+    pub fn build(columns: &[&[u32]], cards: &[usize], budget_bytes: usize) -> Self {
+        Self::build_with_split(columns, cards, budget_bytes, MhistSplit::VOptimal)
+    }
+
+    /// Like [`MhistEstimator::build`] with an explicit split criterion.
+    pub fn build_with_split(
+        columns: &[&[u32]],
+        cards: &[usize],
+        budget_bytes: usize,
+        split: MhistSplit,
+    ) -> Self {
+        assert_eq!(columns.len(), cards.len());
+        assert!(!cards.is_empty(), "need at least one dimension");
+        let cells: usize = cards.iter().product();
+        assert!(cells <= 16_000_000, "joint space too large for MHIST");
+        let n_rows = columns[0].len();
+        // Dense joint frequency table (row-major).
+        let mut joint = vec![0u64; cells];
+        for row in 0..n_rows {
+            let mut idx = 0usize;
+            for (col, &card) in columns.iter().zip(cards) {
+                idx = idx * card + col[row] as usize;
+            }
+            joint[idx] += 1;
+        }
+
+        let root = Bucket {
+            lo: vec![0; cards.len()],
+            hi: cards.iter().map(|&c| (c - 1) as u32).collect(),
+            total: n_rows as u64,
+        };
+        let bucket_bytes = Self::bytes_per_bucket(cards.len());
+        let mut buckets = vec![root];
+        let mut choices: Vec<Option<SplitChoice>> =
+            vec![best_split(&joint, cards, &buckets[0], split)];
+        while (buckets.len() + 1) * bucket_bytes <= budget_bytes {
+            // Most-in-need bucket.
+            let Some((idx, choice)) = choices
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| c.map(|c| (i, c)))
+                .max_by(|a, b| a.1.variance.partial_cmp(&b.1.variance).expect("finite"))
+            else {
+                break;
+            };
+            if choice.variance <= 0.0 {
+                break;
+            }
+            let parent = buckets[idx].clone();
+            let cut_code = parent.lo[choice.dim] + choice.cut as u32;
+            let mut left = parent.clone();
+            left.hi[choice.dim] = cut_code;
+            let mut right = parent.clone();
+            right.lo[choice.dim] = cut_code + 1;
+            left.total = rect_total(&joint, cards, &left);
+            right.total = parent.total - left.total;
+            buckets[idx] = left;
+            choices[idx] = best_split(&joint, cards, &buckets[idx], split);
+            buckets.push(right);
+            choices.push(best_split(
+                &joint,
+                cards,
+                buckets.last().expect("just pushed"),
+                split,
+            ));
+        }
+        MhistEstimator { cards: cards.to_vec(), buckets, n_rows: n_rows as u64 }
+    }
+
+    /// Storage per bucket: two 2-byte code bounds per dimension plus a
+    /// 4-byte average frequency.
+    pub fn bytes_per_bucket(dims: usize) -> usize {
+        4 * dims + 4
+    }
+
+    /// Number of buckets.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total storage.
+    pub fn size_bytes(&self) -> usize {
+        self.buckets.len() * Self::bytes_per_bucket(self.cards.len())
+    }
+
+    /// Estimated result size of a conjunction: `allowed[d]` lists the
+    /// permitted codes of dimension `d` (empty set ⇒ zero rows; to leave a
+    /// dimension unconstrained pass all its codes).
+    pub fn estimate(&self, allowed: &[Vec<u32>]) -> f64 {
+        assert_eq!(allowed.len(), self.cards.len());
+        let mut est = 0.0;
+        for b in &self.buckets {
+            let mut frac = b.total as f64 / b.cell_count();
+            let mut matched_cells = 1.0;
+            for (d, set) in allowed.iter().enumerate() {
+                let inside =
+                    set.iter().filter(|&&c| c >= b.lo[d] && c <= b.hi[d]).count();
+                matched_cells *= inside as f64;
+            }
+            frac *= matched_cells;
+            est += frac;
+        }
+        est
+    }
+
+    /// Total rows seen at build time.
+    pub fn total_rows(&self) -> u64 {
+        self.n_rows
+    }
+}
+
+/// Total count inside a rectangle of the dense joint table.
+fn rect_total(joint: &[u64], cards: &[usize], b: &Bucket) -> u64 {
+    let mut total = 0u64;
+    walk_rect(joint, cards, b, &mut |_, v| total += v);
+    total
+}
+
+/// Invokes `f(coords, value)` for every cell in the rectangle.
+fn walk_rect(joint: &[u64], cards: &[usize], b: &Bucket, f: &mut impl FnMut(&[u32], u64)) {
+    let d = cards.len();
+    let mut coords: Vec<u32> = b.lo.clone();
+    loop {
+        let mut idx = 0usize;
+        for (c, &card) in coords.iter().zip(cards) {
+            idx = idx * card + *c as usize;
+        }
+        f(&coords, joint[idx]);
+        // Odometer over the rectangle.
+        let mut k = d;
+        loop {
+            if k == 0 {
+                return;
+            }
+            k -= 1;
+            coords[k] += 1;
+            if coords[k] <= b.hi[k] {
+                break;
+            }
+            coords[k] = b.lo[k];
+            if k == 0 {
+                return;
+            }
+        }
+    }
+}
+
+/// Split choice for one bucket under the selected criterion: pick the
+/// dimension with the largest marginal variance, then cut either at the
+/// variance-minimizing position (V-Optimal) or at the largest adjacent
+/// marginal difference (MaxDiff).
+fn best_split(
+    joint: &[u64],
+    cards: &[usize],
+    b: &Bucket,
+    split: MhistSplit,
+) -> Option<SplitChoice> {
+    let d = cards.len();
+    let mut best: Option<SplitChoice> = None;
+    for dim in 0..d {
+        let extent = b.extent(dim);
+        if extent < 2 {
+            continue;
+        }
+        // Marginal frequency along `dim` inside the rectangle.
+        let mut marginal = vec![0u64; extent];
+        walk_rect(joint, cards, b, &mut |coords, v| {
+            marginal[(coords[dim] - b.lo[dim]) as usize] += v;
+        });
+        let var = variance(&marginal);
+        if var <= 0.0 {
+            continue;
+        }
+        if best.map(|c| var > c.variance).unwrap_or(true) {
+            let best_cut = match split {
+                MhistSplit::VOptimal => {
+                    // Cut minimizing the two-sided residual variance.
+                    let mut cut_at = 0usize;
+                    let mut best_resid = f64::INFINITY;
+                    for cut in 0..extent - 1 {
+                        let resid = variance(&marginal[..=cut])
+                            + variance(&marginal[cut + 1..]);
+                        if resid < best_resid {
+                            best_resid = resid;
+                            cut_at = cut;
+                        }
+                    }
+                    cut_at
+                }
+                MhistSplit::MaxDiff => {
+                    // Cut at the largest adjacent frequency difference.
+                    (0..extent - 1)
+                        .max_by_key(|&cut| {
+                            marginal[cut].abs_diff(marginal[cut + 1])
+                        })
+                        .expect("extent >= 2")
+                }
+            };
+            best = Some(SplitChoice { dim, cut: best_cut, variance: var });
+        }
+    }
+    if best.is_some() {
+        return best;
+    }
+    // All marginals are flat, but the bucket may still be internally
+    // non-uniform (e.g. a diagonal). Fall back to the within-bucket cell
+    // variance and split the widest dimension at its midpoint, so
+    // refinement can continue until the skew becomes visible.
+    let mut sum = 0f64;
+    let mut sum_sq = 0f64;
+    let mut cells = 0f64;
+    walk_rect(joint, cards, b, &mut |_, v| {
+        sum += v as f64;
+        sum_sq += (v as f64) * (v as f64);
+        cells += 1.0;
+    });
+    let mean = sum / cells;
+    let cell_var = sum_sq / cells - mean * mean;
+    if cell_var <= 1e-9 {
+        return None;
+    }
+    let widest = (0..d).max_by_key(|&dim| b.extent(dim)).expect("d >= 1");
+    if b.extent(widest) < 2 {
+        return None;
+    }
+    Some(SplitChoice { dim: widest, cut: b.extent(widest) / 2 - 1, variance: cell_var })
+}
+
+fn variance(v: &[u64]) -> f64 {
+    if v.len() <= 1 {
+        return 0.0;
+    }
+    let n = v.len() as f64;
+    let mean = v.iter().sum::<u64>() as f64 / n;
+    v.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Correlated 2-D data: y == x over a 4×4 domain.
+    fn diag_columns(n: usize) -> (Vec<u32>, Vec<u32>) {
+        let x: Vec<u32> = (0..n as u32).map(|i| i % 4).collect();
+        (x.clone(), x)
+    }
+
+    #[test]
+    fn enough_budget_recovers_exact_joint() {
+        let (x, y) = diag_columns(400);
+        let m = MhistEstimator::build(&[&x, &y], &[4, 4], 10_000);
+        // Diagonal cells hold 100 rows, off-diagonal 0.
+        let est = m.estimate(&[vec![2], vec![2]]);
+        assert!((est - 100.0).abs() < 1e-6, "est={est}");
+        let est = m.estimate(&[vec![1], vec![3]]);
+        assert!(est.abs() < 1e-6, "est={est}");
+    }
+
+    #[test]
+    fn unconstrained_query_returns_total() {
+        let (x, y) = diag_columns(400);
+        let m = MhistEstimator::build(&[&x, &y], &[4, 4], 2000);
+        let all: Vec<u32> = (0..4).collect();
+        let est = m.estimate(&[all.clone(), all]);
+        assert!((est - 400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tiny_budget_gives_one_bucket_uniform() {
+        let (x, y) = diag_columns(400);
+        let bytes = MhistEstimator::bytes_per_bucket(2);
+        let m = MhistEstimator::build(&[&x, &y], &[4, 4], bytes);
+        assert_eq!(m.n_buckets(), 1);
+        // Uniform over 16 cells → 25 per cell.
+        let est = m.estimate(&[vec![0], vec![0]]);
+        assert!((est - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn budget_bound_is_respected() {
+        let (x, y) = diag_columns(400);
+        for budget in [12, 24, 60, 120, 600] {
+            let m = MhistEstimator::build(&[&x, &y], &[4, 4], budget);
+            assert!(m.size_bytes() <= budget.max(MhistEstimator::bytes_per_bucket(2)));
+        }
+    }
+
+    #[test]
+    fn accuracy_improves_with_budget() {
+        // Skewed 2-D data.
+        let n = 2000;
+        let x: Vec<u32> = (0..n as u32).map(|i| (i * i) % 8).collect();
+        let y: Vec<u32> = x.iter().map(|&v| (v * 3 + 1) % 8).collect();
+        let exact = |qx: u32, qy: u32| {
+            x.iter().zip(&y).filter(|&(&a, &b)| a == qx && b == qy).count() as f64
+        };
+        let err_at = |budget: usize| {
+            let m = MhistEstimator::build(&[&x, &y], &[8, 8], budget);
+            let mut err = 0.0;
+            for qx in 0..8 {
+                for qy in 0..8 {
+                    let t = exact(qx, qy);
+                    let e = m.estimate(&[vec![qx], vec![qy]]);
+                    err += (t - e).abs() / t.max(1.0);
+                }
+            }
+            err
+        };
+        let coarse = err_at(40);
+        let fine = err_at(4000);
+        assert!(fine <= coarse, "fine={fine} coarse={coarse}");
+    }
+
+    #[test]
+    fn maxdiff_split_also_recovers_structure() {
+        let (x, y) = diag_columns(400);
+        let m = MhistEstimator::build_with_split(
+            &[&x, &y],
+            &[4, 4],
+            10_000,
+            MhistSplit::MaxDiff,
+        );
+        let est = m.estimate(&[vec![2], vec![2]]);
+        assert!((est - 100.0).abs() < 1e-6, "est={est}");
+        let all: Vec<u32> = (0..4).collect();
+        assert!((m.estimate(&[all.clone(), all]) - 400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn maxdiff_cuts_at_the_step() {
+        // A step function: MaxDiff must cut exactly at the discontinuity,
+        // giving an exact 2-bucket model along the stepped dimension.
+        let stepped: Vec<u32> = (0..800u32)
+            .map(|i| if (i % 8) < 5 { 0 } else { 1 })
+            .collect();
+        let dim2: Vec<u32> = (0..800u32).map(|i| i % 8).collect();
+        let m = MhistEstimator::build_with_split(
+            &[&stepped, &dim2],
+            &[2, 8],
+            MhistEstimator::bytes_per_bucket(2) * 2,
+            MhistSplit::MaxDiff,
+        );
+        assert_eq!(m.n_buckets(), 2);
+        // The two buckets separate stepped=0 from stepped=1 exactly.
+        let all: Vec<u32> = (0..8).collect();
+        let zero = m.estimate(&[vec![0], all.clone()]);
+        assert!((zero - 500.0).abs() < 1e-6, "zero={zero}");
+    }
+
+    #[test]
+    fn three_dimensional_build() {
+        let n = 500;
+        let a: Vec<u32> = (0..n as u32).map(|i| i % 3).collect();
+        let b: Vec<u32> = (0..n as u32).map(|i| (i / 3) % 3).collect();
+        let c: Vec<u32> = a.iter().zip(&b).map(|(&x, &y)| (x + y) % 3).collect();
+        let m = MhistEstimator::build(&[&a, &b, &c], &[3, 3, 3], 5000);
+        let all: Vec<u32> = (0..3).collect();
+        let est = m.estimate(&[all.clone(), all.clone(), all]);
+        assert!((est - n as f64).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,347 @@
+//! SAMPLE: estimation from a uniform row sample.
+//!
+//! For a single table the sample is a uniform reservoir over rows. For
+//! select-join workloads the paper's SAMPLE baseline "constructs a random
+//! sample of the join of all three tables along the foreign keys" — under
+//! referential integrity that join has one row per base-table tuple, so we
+//! sample base rows and chase the foreign keys to materialize the joined
+//! attributes.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reldb::{Database, Result, Table};
+
+/// Uniform row sample over one table's value attributes.
+#[derive(Debug, Clone)]
+pub struct SampleEstimator {
+    attr_index: HashMap<String, usize>,
+    /// Column-major sampled codes.
+    cols: Vec<Vec<u32>>,
+    sample_size: usize,
+    population: u64,
+}
+
+/// Bytes used to store one sampled attribute value.
+pub const BYTES_PER_VALUE: usize = 2;
+
+impl SampleEstimator {
+    /// Reservoir-samples as many rows as fit in `budget_bytes`.
+    pub fn build(table: &Table, budget_bytes: usize, seed: u64) -> Self {
+        let attrs: Vec<String> =
+            table.schema().value_attrs().iter().map(|s| s.to_string()).collect();
+        let row_bytes = (attrs.len() * BYTES_PER_VALUE).max(1);
+        let capacity = (budget_bytes / row_bytes).max(1);
+        let n = table.n_rows();
+        let rows = reservoir_indices(n, capacity, seed);
+        let mut cols = Vec::with_capacity(attrs.len());
+        for attr in &attrs {
+            let codes = table.codes(attr).expect("value attr");
+            cols.push(rows.iter().map(|&r| codes[r]).collect());
+        }
+        let attr_index =
+            attrs.into_iter().enumerate().map(|(i, a)| (a, i)).collect();
+        SampleEstimator { attr_index, cols, sample_size: rows.len(), population: n as u64 }
+    }
+
+    /// Estimated result size of a conjunction of (attribute, allowed code
+    /// set) predicates: population × matching fraction in the sample.
+    pub fn estimate(&self, preds: &[(String, Vec<u32>)]) -> f64 {
+        if self.sample_size == 0 {
+            return 0.0;
+        }
+        let compiled: Vec<(usize, &Vec<u32>)> = preds
+            .iter()
+            .map(|(attr, allowed)| {
+                let idx = *self
+                    .attr_index
+                    .get(attr)
+                    .unwrap_or_else(|| panic!("unknown attribute `{attr}`"));
+                (idx, allowed)
+            })
+            .collect();
+        let mut hits = 0usize;
+        for row in 0..self.sample_size {
+            if compiled
+                .iter()
+                .all(|(col, allowed)| allowed.contains(&self.cols[*col][row]))
+            {
+                hits += 1;
+            }
+        }
+        self.population as f64 * hits as f64 / self.sample_size as f64
+    }
+
+    /// Number of sampled rows.
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+
+    /// Storage: sampled values at [`BYTES_PER_VALUE`] each.
+    pub fn size_bytes(&self) -> usize {
+        self.sample_size * self.cols.len() * BYTES_PER_VALUE
+    }
+}
+
+/// A chain of foreign-key hops starting at a base table: the sample rows
+/// are drawn from the base table and every hop contributes the target
+/// table's value attributes.
+#[derive(Debug, Clone)]
+pub struct JoinPath {
+    /// Table whose rows are sampled (the FK side of the first hop).
+    pub base: String,
+    /// Foreign-key attribute names to follow, each applied to the table
+    /// reached so far.
+    pub hops: Vec<String>,
+}
+
+/// Uniform sample of the full foreign-key join along a chain of tables.
+#[derive(Debug, Clone)]
+pub struct JoinSampleEstimator {
+    /// `(table, attr)` → column index.
+    col_index: HashMap<(String, String), usize>,
+    cols: Vec<Vec<u32>>,
+    sample_size: usize,
+    population: u64,
+}
+
+impl JoinSampleEstimator {
+    /// Builds the join sample within `budget_bytes`.
+    pub fn build(db: &Database, path: &JoinPath, budget_bytes: usize, seed: u64) -> Result<Self> {
+        // Resolve the chain: table names and row mappings from base rows.
+        let mut tables = vec![path.base.clone()];
+        let mut mappings: Vec<Option<Vec<u32>>> = vec![None];
+        {
+            let mut current = path.base.clone();
+            let mut mapping: Option<Vec<u32>> = None;
+            for fk in &path.hops {
+                let hop = db.fk_target_rows(&current, fk)?;
+                mapping = Some(match mapping {
+                    None => hop.to_vec(),
+                    Some(m) => m.iter().map(|&r| hop[r as usize]).collect(),
+                });
+                let target = db
+                    .foreign_keys_of(&current)?
+                    .into_iter()
+                    .find(|f| &f.attr == fk)
+                    .expect("fk exists after fk_target_rows succeeded")
+                    .target;
+                tables.push(target.clone());
+                mappings.push(mapping.clone());
+                current = target;
+            }
+        }
+        // Count total attributes to size the reservoir.
+        let mut total_attrs = 0usize;
+        for t in &tables {
+            total_attrs += db.table(t)?.schema().value_attrs().len();
+        }
+        let row_bytes = (total_attrs * BYTES_PER_VALUE).max(1);
+        let capacity = (budget_bytes / row_bytes).max(1);
+        let base_rows = db.table(&path.base)?.n_rows();
+        let sampled = reservoir_indices(base_rows, capacity, seed);
+
+        let mut col_index = HashMap::new();
+        let mut cols = Vec::new();
+        for (t, mapping) in tables.iter().zip(&mappings) {
+            let table = db.table(t)?;
+            for attr in table.schema().value_attrs() {
+                let codes = table.codes(attr)?;
+                let col: Vec<u32> = sampled
+                    .iter()
+                    .map(|&base_row| match mapping {
+                        None => codes[base_row],
+                        Some(m) => codes[m[base_row] as usize],
+                    })
+                    .collect();
+                col_index.insert((t.clone(), attr.to_owned()), cols.len());
+                cols.push(col);
+            }
+        }
+        Ok(JoinSampleEstimator {
+            col_index,
+            cols,
+            sample_size: sampled.len(),
+            population: base_rows as u64,
+        })
+    }
+
+    /// Estimated result size of a select-join query over the full path:
+    /// `|base| × matching fraction`.
+    pub fn estimate(&self, preds: &[((String, String), Vec<u32>)]) -> f64 {
+        if self.sample_size == 0 {
+            return 0.0;
+        }
+        let compiled: Vec<(usize, &Vec<u32>)> = preds
+            .iter()
+            .map(|(key, allowed)| {
+                let idx = *self
+                    .col_index
+                    .get(key)
+                    .unwrap_or_else(|| panic!("unknown column `{}.{}`", key.0, key.1));
+                (idx, allowed)
+            })
+            .collect();
+        let mut hits = 0usize;
+        for row in 0..self.sample_size {
+            if compiled
+                .iter()
+                .all(|(col, allowed)| allowed.contains(&self.cols[*col][row]))
+            {
+                hits += 1;
+            }
+        }
+        self.population as f64 * hits as f64 / self.sample_size as f64
+    }
+
+    /// Number of sampled (joined) rows.
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+
+    /// Storage of the joined sample.
+    pub fn size_bytes(&self) -> usize {
+        self.sample_size * self.cols.len() * BYTES_PER_VALUE
+    }
+}
+
+/// Classic reservoir sampling of `k` indices out of `0..n`.
+fn reservoir_indices(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = k.min(n);
+    let mut reservoir: Vec<usize> = (0..k).collect();
+    for i in k..n {
+        let j = rng.gen_range(0..=i);
+        if j < k {
+            reservoir[j] = i;
+        }
+    }
+    reservoir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reldb::{DatabaseBuilder, TableBuilder, Value};
+
+    fn table() -> Table {
+        let mut b = TableBuilder::new("t").col("x").col("y");
+        for i in 0..1000i64 {
+            b.push_row(vec![Value::Int(i % 4), Value::Int(i % 4)]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn full_sample_is_exact() {
+        let t = table();
+        let s = SampleEstimator::build(&t, 1_000_000, 1);
+        assert_eq!(s.sample_size(), 1000);
+        let est = s.estimate(&[("x".into(), vec![0]), ("y".into(), vec![0])]);
+        assert!((est - 250.0).abs() < 1e-9);
+        let est = s.estimate(&[("x".into(), vec![0]), ("y".into(), vec![1])]);
+        assert!(est.abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_sample_is_approximately_right() {
+        let t = table();
+        let s = SampleEstimator::build(&t, 800, 42); // 200 rows
+        assert_eq!(s.sample_size(), 200);
+        let est = s.estimate(&[("x".into(), vec![0])]);
+        assert!((est - 250.0).abs() < 60.0, "est={est}");
+    }
+
+    #[test]
+    fn size_accounting() {
+        let t = table();
+        let s = SampleEstimator::build(&t, 800, 42);
+        assert_eq!(s.size_bytes(), 200 * 2 * 2);
+        assert!(s.size_bytes() <= 800);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = table();
+        let a = SampleEstimator::build(&t, 400, 7).estimate(&[("x".into(), vec![1])]);
+        let b = SampleEstimator::build(&t, 400, 7).estimate(&[("x".into(), vec![1])]);
+        assert_eq!(a, b);
+    }
+
+    fn chain_db() -> Database {
+        let mut s = TableBuilder::new("strain").key("id").col("unique");
+        for i in 0..10i64 {
+            s.push_row(vec![reldb::Cell::Key(i), if i < 5 { "yes" } else { "no" }.into()])
+                .unwrap();
+        }
+        let mut p = TableBuilder::new("patient").key("id").fk("strain", "strain").col("age");
+        for i in 0..100i64 {
+            p.push_row(vec![
+                reldb::Cell::Key(i),
+                reldb::Cell::Key(i % 10),
+                reldb::Cell::Val(Value::Int(if i % 3 == 0 { 60 } else { 30 })),
+            ])
+            .unwrap();
+        }
+        let mut c = TableBuilder::new("contact").key("id").fk("patient", "patient").col("type");
+        for i in 0..500i64 {
+            c.push_row(vec![
+                reldb::Cell::Key(i),
+                reldb::Cell::Key(i % 100),
+                if i % 2 == 0 { "home" } else { "work" }.into(),
+            ])
+            .unwrap();
+        }
+        DatabaseBuilder::new()
+            .add_table(s.finish().unwrap())
+            .add_table(p.finish().unwrap())
+            .add_table(c.finish().unwrap())
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn join_sample_with_full_budget_matches_exact_join_counts() {
+        let db = chain_db();
+        let path = JoinPath { base: "contact".into(), hops: vec!["patient".into(), "strain".into()] };
+        let js = JoinSampleEstimator::build(&db, &path, 1_000_000, 3).unwrap();
+        assert_eq!(js.sample_size(), 500);
+        // Exact: contacts with type=home (code 0) whose patient age=60.
+        let type_dom = db.table("contact").unwrap().domain("type").unwrap();
+        let age_dom = db.table("patient").unwrap().domain("age").unwrap();
+        let home = type_dom.code(&"home".into()).unwrap();
+        let age60 = age_dom.code(&Value::Int(60)).unwrap();
+        let est = js.estimate(&[
+            (("contact".into(), "type".into()), vec![home]),
+            (("patient".into(), "age".into()), vec![age60]),
+        ]);
+        // Ground truth: even contact ids whose patient id (i%100) ≡ 0 mod 3.
+        let truth = (0..500)
+            .filter(|i| i % 2 == 0 && (i % 100) % 3 == 0)
+            .count() as f64;
+        assert!((est - truth).abs() < 1e-9, "est={est} truth={truth}");
+    }
+
+    #[test]
+    fn join_sample_size_accounting() {
+        let db = chain_db();
+        let path = JoinPath { base: "contact".into(), hops: vec!["patient".into(), "strain".into()] };
+        let js = JoinSampleEstimator::build(&db, &path, 600, 3).unwrap();
+        // 3 attributes across the chain → 6 bytes per joined row → 100 rows.
+        assert_eq!(js.sample_size(), 100);
+        assert_eq!(js.size_bytes(), 600);
+    }
+
+    #[test]
+    fn reservoir_is_uniformish() {
+        // Sample 100 of 10_000 many times; mean index should be ~5000.
+        let mut acc = 0f64;
+        for seed in 0..20 {
+            let idx = reservoir_indices(10_000, 100, seed);
+            acc += idx.iter().sum::<usize>() as f64 / idx.len() as f64;
+        }
+        let mean = acc / 20.0;
+        assert!((mean - 5000.0).abs() < 500.0, "mean={mean}");
+    }
+}

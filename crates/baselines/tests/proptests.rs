@@ -1,0 +1,115 @@
+//! Property-based tests for the baseline estimators: mass conservation,
+//! budget compliance, and exactness at full budget.
+
+use baselines::{Histogram1D, HistogramKind, MhistEstimator, SampleEstimator};
+use proptest::prelude::*;
+use reldb::{Cell, Table, TableBuilder, Value};
+
+fn table_from_codes(xs: &[u32], ys: &[u32]) -> Table {
+    let n = xs.len().min(ys.len());
+    let mut b = TableBuilder::new("t").col("x").col("y");
+    for i in 0..n {
+        b.push_row(vec![
+            Cell::Val(Value::Int(xs[i] as i64)),
+            Cell::Val(Value::Int(ys[i] as i64)),
+        ])
+        .unwrap();
+    }
+    // Guarantee full domains so codes == values.
+    for v in 0..4i64 {
+        b.push_row(vec![Cell::Val(Value::Int(v)), Cell::Val(Value::Int(v))]).unwrap();
+    }
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_mass_is_conserved(
+        codes in proptest::collection::vec(0u32..12, 1..200),
+        buckets in 1usize..14,
+    ) {
+        let all: Vec<u32> = (0..12).collect();
+        for kind in [HistogramKind::Exact, HistogramKind::EquiWidth, HistogramKind::EquiDepth] {
+            let h = Histogram1D::build(&codes, 12, kind, buckets);
+            let est = h.estimate_rows(&all);
+            prop_assert!(
+                (est - codes.len() as f64).abs() < 1e-6,
+                "{kind:?}: {est} vs {}",
+                codes.len()
+            );
+            prop_assert!(h.size_bytes() <= 12 * 6);
+        }
+    }
+
+    #[test]
+    fn histogram_estimates_are_nonnegative_and_bounded(
+        codes in proptest::collection::vec(0u32..12, 1..200),
+        query in proptest::collection::vec(0u32..12, 0..6),
+    ) {
+        let h = Histogram1D::build(&codes, 12, HistogramKind::EquiDepth, 4);
+        let est = h.estimate_rows(&query);
+        prop_assert!(est >= 0.0);
+        prop_assert!(est <= codes.len() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn mhist_mass_is_conserved(
+        xs in proptest::collection::vec(0u32..4, 20..150),
+        ys in proptest::collection::vec(0u32..4, 20..150),
+        budget in 12usize..2000,
+    ) {
+        let n = xs.len().min(ys.len());
+        let m = MhistEstimator::build(&[&xs[..n], &ys[..n]], &[4, 4], budget);
+        let all: Vec<u32> = (0..4).collect();
+        let est = m.estimate(&[all.clone(), all]);
+        prop_assert!((est - n as f64).abs() < 1e-6, "est={est} n={n}");
+        prop_assert!(m.size_bytes() <= budget.max(MhistEstimator::bytes_per_bucket(2)));
+    }
+
+    #[test]
+    fn mhist_point_estimates_are_nonnegative(
+        xs in proptest::collection::vec(0u32..4, 20..100),
+        ys in proptest::collection::vec(0u32..4, 20..100),
+        qx in 0u32..4,
+        qy in 0u32..4,
+    ) {
+        let n = xs.len().min(ys.len());
+        let m = MhistEstimator::build(&[&xs[..n], &ys[..n]], &[4, 4], 400);
+        prop_assert!(m.estimate(&[vec![qx], vec![qy]]) >= 0.0);
+    }
+
+    #[test]
+    fn full_budget_sample_is_exact(
+        xs in proptest::collection::vec(0u32..4, 5..80),
+        ys in proptest::collection::vec(0u32..4, 5..80),
+        qx in 0i64..4,
+        qy in 0i64..4,
+    ) {
+        let t = table_from_codes(&xs, &ys);
+        let s = SampleEstimator::build(&t, 1 << 20, 7);
+        let est = s.estimate(&[
+            ("x".into(), vec![qx as u32]),
+            ("y".into(), vec![qy as u32]),
+        ]);
+        let x_codes = t.codes("x").unwrap();
+        let y_codes = t.codes("y").unwrap();
+        let truth = x_codes
+            .iter()
+            .zip(y_codes)
+            .filter(|&(&a, &b)| a == qx as u32 && b == qy as u32)
+            .count() as f64;
+        prop_assert!((est - truth).abs() < 1e-9, "est={est} truth={truth}");
+    }
+
+    #[test]
+    fn sample_respects_budget(
+        xs in proptest::collection::vec(0u32..4, 5..80),
+        budget in 4usize..400,
+    ) {
+        let t = table_from_codes(&xs, &xs);
+        let s = SampleEstimator::build(&t, budget, 3);
+        prop_assert!(s.size_bytes() <= budget.max(2 * 2));
+    }
+}

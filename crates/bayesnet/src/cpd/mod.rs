@@ -1,0 +1,166 @@
+//! Conditional probability distributions (CPDs).
+//!
+//! The paper evaluates two CPD representations (§2.2, Fig. 2): full
+//! **tables** and **trees** whose interior vertices split on parent values
+//! and whose leaves hold distributions over the child. Trees share
+//! parameters across parent contexts that induce the same path, which is
+//! why they dominate tables at equal storage in Fig. 5.
+
+pub mod table;
+pub mod tree;
+
+pub use table::TableCpd;
+pub use tree::{TreeCpd, TreeNode};
+
+use crate::factor::Factor;
+
+/// Which CPD representation the learner should produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpdKind {
+    /// Full conditional probability tables.
+    Table,
+    /// Decision-tree CPDs (paper Fig. 2(b)).
+    Tree,
+}
+
+/// A learned CPD for one variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cpd {
+    /// Table representation.
+    Table(TableCpd),
+    /// Tree representation.
+    Tree(TreeCpd),
+}
+
+impl Cpd {
+    /// Cardinality of the child variable.
+    pub fn child_card(&self) -> usize {
+        match self {
+            Cpd::Table(t) => t.child_card(),
+            Cpd::Tree(t) => t.child_card(),
+        }
+    }
+
+    /// Cardinalities of the parents, in slot order.
+    pub fn parent_cards(&self) -> &[usize] {
+        match self {
+            Cpd::Table(t) => t.parent_cards(),
+            Cpd::Tree(t) => t.parent_cards(),
+        }
+    }
+
+    /// The child distribution for one parent configuration (codes in slot
+    /// order).
+    pub fn dist(&self, parent_config: &[u32]) -> &[f64] {
+        match self {
+            Cpd::Table(t) => t.dist(parent_config),
+            Cpd::Tree(t) => t.dist(parent_config),
+        }
+    }
+
+    /// Number of free parameters.
+    pub fn param_count(&self) -> usize {
+        match self {
+            Cpd::Table(t) => t.param_count(),
+            Cpd::Tree(t) => t.param_count(),
+        }
+    }
+
+    /// Storage cost in bytes (see DESIGN.md §5 for the accounting).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Cpd::Table(t) => t.size_bytes(),
+            Cpd::Tree(t) => t.size_bytes(),
+        }
+    }
+
+    /// Expands the CPD into a factor `P(child | parents)` over the given
+    /// variable ids (`parent_vars` aligned with the CPD's parent slots).
+    pub fn to_factor(&self, child_var: usize, parent_vars: &[usize]) -> Factor {
+        assert_eq!(parent_vars.len(), self.parent_cards().len());
+        let mut scope: Vec<(usize, usize)> = parent_vars
+            .iter()
+            .copied()
+            .zip(self.parent_cards().iter().copied())
+            .collect();
+        scope.push((child_var, self.child_card()));
+        let mut sorted = scope.clone();
+        sorted.sort_by_key(|&(v, _)| v);
+        let vars: Vec<usize> = sorted.iter().map(|&(v, _)| v).collect();
+        assert!(
+            vars.windows(2).all(|w| w[0] < w[1]),
+            "child and parent variable ids must be distinct"
+        );
+        let cards: Vec<usize> = sorted.iter().map(|&(_, c)| c).collect();
+        let len: usize = cards.iter().product::<usize>().max(1);
+        // Position of each sorted-scope variable within (parents..., child).
+        let slot_of: Vec<usize> = sorted
+            .iter()
+            .map(|&(v, _)| scope.iter().position(|&(sv, _)| sv == v).expect("var in scope"))
+            .collect();
+        let mut data = vec![0.0; len];
+        let mut assign = vec![0u32; vars.len()];
+        let mut local = vec![0u32; scope.len()]; // (parents..., child)
+        for (idx, slot) in data.iter_mut().enumerate() {
+            // Decode idx (row-major over sorted scope).
+            let mut rem = idx;
+            for k in (0..vars.len()).rev() {
+                assign[k] = (rem % cards[k]) as u32;
+                rem /= cards[k];
+            }
+            for (k, &a) in assign.iter().enumerate() {
+                local[slot_of[k]] = a;
+            }
+            let (child_code, parent_config) =
+                (local[scope.len() - 1], &local[..scope.len() - 1]);
+            *slot = self.dist(parent_config)[child_code as usize];
+        }
+        Factor::new(vars, cards, data)
+    }
+}
+
+impl From<TableCpd> for Cpd {
+    fn from(t: TableCpd) -> Self {
+        Cpd::Table(t)
+    }
+}
+
+impl From<TreeCpd> for Cpd {
+    fn from(t: TreeCpd) -> Self {
+        Cpd::Tree(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_factor_orders_scope_canonically() {
+        // P(X2 | X5, X0): parents slots [X5, X0].
+        let cpd: Cpd = TableCpd::new(
+            2,
+            vec![2, 2],
+            // Parent configs row-major over (X5, X0): (0,0),(0,1),(1,0),(1,1)
+            vec![0.1, 0.9, 0.2, 0.8, 0.3, 0.7, 0.4, 0.6],
+        )
+        .into();
+        let f = cpd.to_factor(2, &[5, 0]);
+        assert_eq!(f.vars(), &[0, 2, 5]);
+        // (x0=1, x2=0, x5=0) → parent config (x5=0, x0=1) → 0.2.
+        assert!((f.value_at(&[1, 0, 0]) - 0.2).abs() < 1e-12);
+        // (x0=0, x2=1, x5=1) → parent config (1,0) → 0.7.
+        assert!((f.value_at(&[0, 1, 1]) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_rows_sum_to_one_per_parent_config() {
+        let cpd: Cpd =
+            TableCpd::new(3, vec![2], vec![0.2, 0.3, 0.5, 0.6, 0.3, 0.1]).into();
+        let f = cpd.to_factor(1, &[0]);
+        // Summing out the child leaves all-ones over the parent.
+        let m = f.sum_out(1);
+        assert!((m.value_at(&[0]) - 1.0).abs() < 1e-12);
+        assert!((m.value_at(&[1]) - 1.0).abs() < 1e-12);
+    }
+}

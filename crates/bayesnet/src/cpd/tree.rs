@@ -1,0 +1,269 @@
+//! Tree-structured CPDs (paper Fig. 2(b)).
+//!
+//! Interior vertices split on the value of some parent; leaves hold a
+//! distribution over the child. Contexts that share a path share
+//! parameters, so a tree can represent a CPD with far fewer parameters
+//! than the full table when many parent configurations are equivalent.
+
+/// One vertex of a CPD tree; vertices live in the tree's arena and are
+/// referenced by index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeNode {
+    /// A leaf distribution over the child's values.
+    Leaf(Vec<f64>),
+    /// Multiway split: one branch per value of the parent in `slot`.
+    SplitPerValue {
+        /// Index into the CPD's parent slots.
+        slot: usize,
+        /// Child node per parent value (length = parent cardinality).
+        branches: Vec<usize>,
+    },
+    /// Ordinal binary split: codes `≤ cut` go to `lo`, the rest to `hi`.
+    SplitThreshold {
+        /// Index into the CPD's parent slots.
+        slot: usize,
+        /// Inclusive upper code of the low branch.
+        cut: u32,
+        /// Node for codes `≤ cut`.
+        lo: usize,
+        /// Node for codes `> cut`.
+        hi: usize,
+    },
+}
+
+/// A tree CPD `P(child | parents)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeCpd {
+    child_card: usize,
+    parent_cards: Vec<usize>,
+    /// Arena of nodes; index 0 is the root.
+    nodes: Vec<TreeNode>,
+}
+
+impl TreeCpd {
+    /// Creates a tree CPD from an explicit arena (root at index 0).
+    /// Panics on malformed trees (bad branch counts, out-of-range indexes,
+    /// wrong leaf arity).
+    pub fn new(child_card: usize, parent_cards: Vec<usize>, nodes: Vec<TreeNode>) -> Self {
+        assert!(!nodes.is_empty(), "tree needs at least a root leaf");
+        for node in &nodes {
+            match node {
+                TreeNode::Leaf(d) => assert_eq!(d.len(), child_card, "bad leaf arity"),
+                TreeNode::SplitPerValue { slot, branches } => {
+                    assert_eq!(branches.len(), parent_cards[*slot], "bad branch count");
+                    assert!(branches.iter().all(|&b| b < nodes.len()), "branch out of range");
+                }
+                TreeNode::SplitThreshold { slot, cut, lo, hi } => {
+                    assert!((*cut as usize) + 1 < parent_cards[*slot], "degenerate threshold");
+                    assert!(*lo < nodes.len() && *hi < nodes.len(), "branch out of range");
+                }
+            }
+        }
+        TreeCpd { child_card, parent_cards, nodes }
+    }
+
+    /// A single-leaf tree (no splits).
+    pub fn leaf(child_card: usize, parent_cards: Vec<usize>, dist: Vec<f64>) -> Self {
+        TreeCpd::new(child_card, parent_cards, vec![TreeNode::Leaf(dist)])
+    }
+
+    /// Cardinality of the child.
+    pub fn child_card(&self) -> usize {
+        self.child_card
+    }
+
+    /// Parent cardinalities in slot order.
+    pub fn parent_cards(&self) -> &[usize] {
+        &self.parent_cards
+    }
+
+    /// The node arena (root at index 0).
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// The child distribution for a parent configuration: walk the tree.
+    pub fn dist(&self, parent_config: &[u32]) -> &[f64] {
+        debug_assert_eq!(parent_config.len(), self.parent_cards.len());
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                TreeNode::Leaf(d) => return d,
+                TreeNode::SplitPerValue { slot, branches } => {
+                    at = branches[parent_config[*slot] as usize];
+                }
+                TreeNode::SplitThreshold { slot, cut, lo, hi } => {
+                    at = if parent_config[*slot] <= *cut { *lo } else { *hi };
+                }
+            }
+        }
+    }
+
+    /// Free parameters: `(child_card − 1)` per leaf.
+    pub fn param_count(&self) -> usize {
+        self.leaf_count() * (self.child_card - 1)
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, TreeNode::Leaf(_))).count()
+    }
+
+    /// Bytes: 4 per free parameter, 4 per interior vertex (split variable +
+    /// cut/branch table reference), 2 per scope variable.
+    pub fn size_bytes(&self) -> usize {
+        let interior = self.nodes.len() - self.leaf_count();
+        4 * self.param_count() + 4 * interior + 2 * (1 + self.parent_cards.len())
+    }
+
+    /// Re-estimates the leaf distributions from fresh data, keeping the
+    /// split structure fixed — the cheap incremental-maintenance path of
+    /// the paper's §6 ("adapt the parameters of the PRM over time, keeping
+    /// the structure fixed").
+    ///
+    /// `child_col` and each of `parent_cols` (aligned with the parent
+    /// slots) must have equal length. Leaves that receive no rows fall
+    /// back to uniform.
+    pub fn refit(&self, child_col: &[u32], parent_cols: &[&[u32]]) -> TreeCpd {
+        assert_eq!(parent_cols.len(), self.parent_cards.len());
+        let mut counts: Vec<Vec<u64>> =
+            vec![vec![0u64; self.child_card]; self.nodes.len()];
+        let mut config = vec![0u32; self.parent_cards.len()];
+        for (row, &child) in child_col.iter().enumerate() {
+            for (slot, col) in config.iter_mut().zip(parent_cols) {
+                *slot = col[row];
+            }
+            // Walk to the leaf for this row's parent configuration.
+            let mut at = 0usize;
+            loop {
+                match &self.nodes[at] {
+                    TreeNode::Leaf(_) => break,
+                    TreeNode::SplitPerValue { slot, branches } => {
+                        at = branches[config[*slot] as usize];
+                    }
+                    TreeNode::SplitThreshold { slot, cut, lo, hi } => {
+                        at = if config[*slot] <= *cut { *lo } else { *hi };
+                    }
+                }
+            }
+            counts[at][child as usize] += 1;
+        }
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| match n {
+                TreeNode::Leaf(_) => {
+                    let total: u64 = counts[i].iter().sum();
+                    let dist = if total == 0 {
+                        vec![1.0 / self.child_card as f64; self.child_card]
+                    } else {
+                        counts[i].iter().map(|&c| c as f64 / total as f64).collect()
+                    };
+                    TreeNode::Leaf(dist)
+                }
+                other => other.clone(),
+            })
+            .collect();
+        TreeCpd::new(self.child_card, self.parent_cards.clone(), nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// P(child | P0, P1) where P0 is a 3-valued ordinal split at ≤1 and the
+    /// low branch further splits per value of the binary P1.
+    fn sample_tree() -> TreeCpd {
+        TreeCpd::new(
+            2,
+            vec![3, 2],
+            vec![
+                TreeNode::SplitThreshold { slot: 0, cut: 1, lo: 1, hi: 2 },
+                TreeNode::SplitPerValue { slot: 1, branches: vec![3, 4] },
+                TreeNode::Leaf(vec![0.9, 0.1]),
+                TreeNode::Leaf(vec![0.5, 0.5]),
+                TreeNode::Leaf(vec![0.2, 0.8]),
+            ],
+        )
+    }
+
+    #[test]
+    fn walks_to_the_right_leaf() {
+        let t = sample_tree();
+        assert_eq!(t.dist(&[2, 0]), &[0.9, 0.1]); // high branch, P1 ignored
+        assert_eq!(t.dist(&[2, 1]), &[0.9, 0.1]);
+        assert_eq!(t.dist(&[0, 0]), &[0.5, 0.5]);
+        assert_eq!(t.dist(&[1, 1]), &[0.2, 0.8]);
+    }
+
+    #[test]
+    fn parameter_and_byte_accounting() {
+        let t = sample_tree();
+        assert_eq!(t.leaf_count(), 3);
+        assert_eq!(t.param_count(), 3); // (2−1) per leaf
+        assert_eq!(t.size_bytes(), 4 * 3 + 4 * 2 + 2 * 3);
+    }
+
+    #[test]
+    fn leaf_tree_ignores_parents() {
+        let t = TreeCpd::leaf(3, vec![5, 5], vec![0.2, 0.3, 0.5]);
+        assert_eq!(t.dist(&[4, 0]), &[0.2, 0.3, 0.5]);
+        assert_eq!(t.param_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad branch count")]
+    fn malformed_split_rejected() {
+        TreeCpd::new(
+            2,
+            vec![3],
+            vec![
+                TreeNode::SplitPerValue { slot: 0, branches: vec![1, 2] },
+                TreeNode::Leaf(vec![0.5, 0.5]),
+                TreeNode::Leaf(vec![0.5, 0.5]),
+            ],
+        );
+    }
+
+    #[test]
+    fn refit_reestimates_leaves_with_fixed_structure() {
+        let t = sample_tree();
+        // Data where high-branch rows (P0 = 2) are all child = 1.
+        let p0: Vec<u32> = vec![2, 2, 2, 2, 0, 0, 1, 1];
+        let p1: Vec<u32> = vec![0, 1, 0, 1, 0, 0, 1, 1];
+        let child: Vec<u32> = vec![1, 1, 1, 1, 0, 1, 0, 0];
+        let refit = t.refit(&child, &[&p0, &p1]);
+        // Structure unchanged.
+        assert_eq!(refit.leaf_count(), t.leaf_count());
+        assert_eq!(refit.parent_cards(), t.parent_cards());
+        // High branch is now deterministic child=1.
+        assert_eq!(refit.dist(&[2, 0]), &[0.0, 1.0]);
+        // Low branch, P1=0 saw children {0,1} equally.
+        assert_eq!(refit.dist(&[0, 0]), &[0.5, 0.5]);
+        // Low branch, P1=1 saw only child 0.
+        assert_eq!(refit.dist(&[1, 1]), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn refit_with_no_rows_is_uniform() {
+        let t = sample_tree();
+        let refit = t.refit(&[], &[&[], &[]]);
+        assert_eq!(refit.dist(&[2, 0]), &[0.5, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate threshold")]
+    fn degenerate_threshold_rejected() {
+        TreeCpd::new(
+            2,
+            vec![2],
+            vec![
+                TreeNode::SplitThreshold { slot: 0, cut: 1, lo: 1, hi: 2 },
+                TreeNode::Leaf(vec![0.5, 0.5]),
+                TreeNode::Leaf(vec![0.5, 0.5]),
+            ],
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Discretization of large ordinal domains (paper §2.3).
+//!
+//! Attributes with many distinct values are bucketed into a small number of
+//! bins before a BN/PRM is built over them. We implement equi-depth
+//! binning (each bin holds roughly the same number of rows), which is what
+//! selectivity-estimation systems typically use. Estimates for base-level
+//! queries assume uniformity within a bin, exactly as the paper describes.
+
+/// A learned equi-depth binning of an ordinal (code-ordered) domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Discretizer {
+    /// Inclusive upper code of each bin, strictly increasing; the last
+    /// entry is `domain_card − 1`.
+    upper: Vec<u32>,
+    /// Number of source rows that fell in each bin (for the within-bin
+    /// uniformity correction).
+    bin_rows: Vec<u64>,
+    /// Number of distinct source codes in each bin.
+    bin_widths: Vec<u32>,
+}
+
+impl Discretizer {
+    /// Builds an equi-depth binning of `codes` (values drawn from a domain
+    /// of `card` codes, where code order = value order) into at most
+    /// `max_bins` bins.
+    pub fn equi_depth(codes: &[u32], card: usize, max_bins: usize) -> Self {
+        assert!(max_bins >= 1);
+        let mut hist = vec![0u64; card];
+        for &c in codes {
+            hist[c as usize] += 1;
+        }
+        let total: u64 = hist.iter().sum();
+        let bins = max_bins.min(card.max(1));
+        let target = (total as f64 / bins as f64).max(1.0);
+        let mut upper = Vec::with_capacity(bins);
+        let mut bin_rows = Vec::with_capacity(bins);
+        let mut acc = 0u64;
+        let mut filled = 0u64;
+        for (code, &n) in hist.iter().enumerate() {
+            acc += n;
+            let bins_left = bins - upper.len();
+            let codes_left = card - code - 1;
+            // Close the bin when it reaches the target, but never leave
+            // more bins than codes remaining.
+            let must_close = codes_left < bins_left;
+            if (acc as f64 >= target && upper.len() + 1 < bins) || must_close {
+                upper.push(code as u32);
+                bin_rows.push(acc);
+                filled += acc;
+                acc = 0;
+            }
+        }
+        if upper.last().map(|&u| (u as usize) < card - 1).unwrap_or(true) {
+            upper.push(card.saturating_sub(1) as u32);
+            bin_rows.push(total - filled);
+        }
+        let mut widths = Vec::with_capacity(upper.len());
+        let mut prev: i64 = -1;
+        for &u in &upper {
+            widths.push((u as i64 - prev) as u32);
+            prev = u as i64;
+        }
+        Discretizer { upper, bin_rows, bin_widths: widths }
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.upper.len()
+    }
+
+    /// Maps a source code to its bin.
+    pub fn bin_of(&self, code: u32) -> u32 {
+        self.upper.partition_point(|&u| u < code) as u32
+    }
+
+    /// Maps a whole column of codes to bin codes.
+    pub fn transform(&self, codes: &[u32]) -> Vec<u32> {
+        codes.iter().map(|&c| self.bin_of(c)).collect()
+    }
+
+    /// Fraction of bin `bin`'s probability mass attributable to a single
+    /// source code under the within-bin uniformity assumption
+    /// (`1 / width(bin)`).
+    pub fn within_bin_fraction(&self, bin: u32) -> f64 {
+        1.0 / self.bin_widths[bin as usize].max(1) as f64
+    }
+
+    /// Inclusive code range `[lo, hi]` covered by bin `bin`.
+    pub fn bin_range(&self, bin: u32) -> (u32, u32) {
+        let hi = self.upper[bin as usize];
+        let lo = if bin == 0 { 0 } else { self.upper[bin as usize - 1] + 1 };
+        (lo, hi)
+    }
+}
+
+/// Grouping of a large **nominal** domain: the most frequent values keep
+/// their own group; everything else collapses into one OTHER group.
+///
+/// The paper's §2.3 prescribes feature hierarchies or clustering for
+/// non-ordinal domains; frequency grouping is the hierarchy-free fallback
+/// every practical system ships (rare values carry little estimation mass
+/// individually, and the within-group uniformity correction handles the
+/// residual).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NominalGrouper {
+    /// Source code → group.
+    group_of: Vec<u32>,
+    /// Number of source codes per group.
+    group_widths: Vec<u32>,
+    n_groups: usize,
+}
+
+impl NominalGrouper {
+    /// Groups a nominal domain of `card` codes into at most `max_groups`
+    /// groups by frequency: the `max_groups − 1` most frequent codes stay
+    /// singleton; the rest share the OTHER group (the last group id).
+    pub fn by_frequency(codes: &[u32], card: usize, max_groups: usize) -> Self {
+        assert!(max_groups >= 2, "need at least one singleton and OTHER");
+        if card <= max_groups {
+            // Nothing to collapse.
+            return NominalGrouper {
+                group_of: (0..card as u32).collect(),
+                group_widths: vec![1; card],
+                n_groups: card,
+            };
+        }
+        let mut freq = vec![0u64; card];
+        for &c in codes {
+            freq[c as usize] += 1;
+        }
+        let mut order: Vec<usize> = (0..card).collect();
+        order.sort_unstable_by_key(|&c| std::cmp::Reverse(freq[c]));
+        let singletons = max_groups - 1;
+        let mut group_of = vec![singletons as u32; card]; // default: OTHER
+        for (g, &c) in order[..singletons].iter().enumerate() {
+            group_of[c] = g as u32;
+        }
+        let mut group_widths = vec![1u32; max_groups];
+        group_widths[singletons] = (card - singletons) as u32;
+        NominalGrouper { group_of, group_widths, n_groups: max_groups }
+    }
+
+    /// Number of groups.
+    pub fn n_groups(&self) -> usize {
+        self.n_groups
+    }
+
+    /// The group of a source code.
+    pub fn group_of(&self, code: u32) -> u32 {
+        self.group_of[code as usize]
+    }
+
+    /// Transforms a column of source codes to group codes.
+    pub fn transform(&self, codes: &[u32]) -> Vec<u32> {
+        codes.iter().map(|&c| self.group_of(c)).collect()
+    }
+
+    /// Fraction of a group's mass attributable to one source code under
+    /// within-group uniformity.
+    pub fn within_group_fraction(&self, group: u32) -> f64 {
+        1.0 / self.group_widths[group as usize].max(1) as f64
+    }
+
+    /// Number of source codes in `group`.
+    pub fn group_width(&self, group: u32) -> u32 {
+        self.group_widths[group as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_mass_split() {
+        // 100 rows uniform over 10 codes, 5 bins → 2 codes per bin.
+        let codes: Vec<u32> = (0..100).map(|i| i % 10).collect();
+        let d = Discretizer::equi_depth(&codes, 10, 5);
+        assert_eq!(d.n_bins(), 5);
+        assert_eq!(d.bin_of(0), 0);
+        assert_eq!(d.bin_of(1), 0);
+        assert_eq!(d.bin_of(2), 1);
+        assert_eq!(d.bin_of(9), 4);
+        assert_eq!(d.bin_range(0), (0, 1));
+        assert_eq!(d.bin_range(4), (8, 9));
+        assert!((d.within_bin_fraction(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_mass_gets_narrow_bins() {
+        // 90% of mass on code 0.
+        let mut codes = vec![0u32; 90];
+        codes.extend((1..11).map(|i| i as u32 % 10));
+        let d = Discretizer::equi_depth(&codes, 10, 4);
+        // Code 0 must close its own bin immediately.
+        assert_eq!(d.bin_of(0), 0);
+        assert!(d.bin_of(1) > 0);
+        assert_eq!(d.n_bins(), 4);
+    }
+
+    #[test]
+    fn more_bins_than_codes_collapses() {
+        let codes = vec![0u32, 1, 2];
+        let d = Discretizer::equi_depth(&codes, 3, 10);
+        assert_eq!(d.n_bins(), 3);
+        assert_eq!(d.transform(&codes), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_bin_covers_everything() {
+        let codes: Vec<u32> = (0..50).map(|i| i % 7).collect();
+        let d = Discretizer::equi_depth(&codes, 7, 1);
+        assert_eq!(d.n_bins(), 1);
+        assert!(d.transform(&codes).iter().all(|&b| b == 0));
+        assert_eq!(d.bin_range(0), (0, 6));
+    }
+
+    #[test]
+    fn frequency_grouping_keeps_heavy_hitters() {
+        // Codes 3 and 7 dominate; with 3 groups they stay singleton.
+        let mut codes = vec![3u32; 50];
+        codes.extend(std::iter::repeat_n(7u32, 30));
+        codes.extend(0..10u32);
+        let g = NominalGrouper::by_frequency(&codes, 10, 3);
+        assert_eq!(g.n_groups(), 3);
+        assert_ne!(g.group_of(3), g.group_of(7));
+        assert_eq!(g.group_of(0), 2); // OTHER
+        assert_eq!(g.group_of(9), 2);
+        assert_eq!(g.group_width(g.group_of(3)), 1);
+        assert_eq!(g.group_width(2), 8);
+        assert!((g.within_group_fraction(2) - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_nominal_domains_pass_through() {
+        let codes = vec![0u32, 1, 2, 1];
+        let g = NominalGrouper::by_frequency(&codes, 3, 8);
+        assert_eq!(g.n_groups(), 3);
+        assert_eq!(g.transform(&codes), codes);
+    }
+
+    #[test]
+    fn grouping_covers_every_code() {
+        let codes: Vec<u32> = (0..500).map(|i| (i * i) % 40).collect();
+        let g = NominalGrouper::by_frequency(&codes, 40, 6);
+        for c in 0..40u32 {
+            assert!((g.group_of(c) as usize) < g.n_groups());
+        }
+        // Widths sum to the domain size.
+        let total: u32 = (0..g.n_groups() as u32).map(|x| g.group_width(x)).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn transform_round_trips_ranges() {
+        let codes: Vec<u32> = (0..1000).map(|i| i % 42).collect();
+        let d = Discretizer::equi_depth(&codes, 42, 8);
+        for bin in 0..d.n_bins() as u32 {
+            let (lo, hi) = d.bin_range(bin);
+            for c in lo..=hi {
+                assert_eq!(d.bin_of(c), bin, "code {c}");
+            }
+        }
+    }
+}

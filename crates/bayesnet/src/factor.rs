@@ -1,0 +1,365 @@
+//! Dense factors over discrete variables.
+//!
+//! A factor is a non-negative function over the joint assignments of a set
+//! of variables, stored densely in row-major order with variables kept in
+//! strictly increasing id order (canonical form, which makes products and
+//! marginalizations simple stride walks).
+
+/// A dense factor φ(vars).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Factor {
+    vars: Vec<usize>,
+    cards: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Factor {
+    /// Creates a factor; `vars` must be strictly increasing and `data` must
+    /// have length `Π cards`.
+    pub fn new(vars: Vec<usize>, cards: Vec<usize>, data: Vec<f64>) -> Self {
+        assert_eq!(vars.len(), cards.len(), "vars/cards length mismatch");
+        assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be strictly increasing");
+        let expect: usize = cards.iter().product::<usize>().max(1);
+        assert_eq!(data.len(), expect, "data length must be the product of cards");
+        Factor { vars, cards, data }
+    }
+
+    /// The constant factor with value `v` (empty scope).
+    pub fn scalar(v: f64) -> Self {
+        Factor { vars: vec![], cards: vec![], data: vec![v] }
+    }
+
+    /// Uniform factor of 1s over the given scope.
+    pub fn ones(vars: Vec<usize>, cards: Vec<usize>) -> Self {
+        let len = cards.iter().product::<usize>().max(1);
+        Factor::new(vars, cards, vec![1.0; len])
+    }
+
+    /// Scope of the factor (variable ids, strictly increasing).
+    pub fn vars(&self) -> &[usize] {
+        &self.vars
+    }
+
+    /// Cardinalities aligned with [`Factor::vars`].
+    pub fn cards(&self) -> &[usize] {
+        &self.cards
+    }
+
+    /// Raw table, row-major over `vars`.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the scope is empty (a scalar).
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// The scalar value; panics if the scope is non-empty.
+    pub fn scalar_value(&self) -> f64 {
+        assert!(self.vars.is_empty(), "factor has non-empty scope");
+        self.data[0]
+    }
+
+    /// Sum of all entries.
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Value at a full assignment (one code per scope variable, in scope
+    /// order).
+    pub fn value_at(&self, assignment: &[u32]) -> f64 {
+        debug_assert_eq!(assignment.len(), self.vars.len());
+        let mut idx = 0usize;
+        for (&a, &card) in assignment.iter().zip(&self.cards) {
+            debug_assert!((a as usize) < card);
+            idx = idx * card + a as usize;
+        }
+        self.data[idx]
+    }
+
+    /// Pointwise product ψ = φ₁ · φ₂ over the union of scopes.
+    pub fn product(&self, other: &Factor) -> Factor {
+        // Union of scopes.
+        let mut vars = Vec::with_capacity(self.vars.len() + other.vars.len());
+        let mut cards = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.vars.len() || j < other.vars.len() {
+            let take_self = j >= other.vars.len()
+                || (i < self.vars.len() && self.vars[i] <= other.vars[j]);
+            if take_self {
+                if j < other.vars.len() && self.vars[i] == other.vars[j] {
+                    debug_assert_eq!(self.cards[i], other.cards[j], "cardinality mismatch");
+                    j += 1;
+                }
+                vars.push(self.vars[i]);
+                cards.push(self.cards[i]);
+                i += 1;
+            } else {
+                vars.push(other.vars[j]);
+                cards.push(other.cards[j]);
+                j += 1;
+            }
+        }
+        // Strides of each result variable within each operand (0 if absent).
+        let stride_a = strides_in(&self.vars, &self.cards, &vars);
+        let stride_b = strides_in(&other.vars, &other.cards, &vars);
+        let len: usize = cards.iter().product::<usize>().max(1);
+        let mut data = vec![0.0; len];
+        let mut assign = vec![0usize; vars.len()];
+        let (mut ia, mut ib) = (0usize, 0usize);
+        for slot in data.iter_mut() {
+            *slot = self.data[ia] * other.data[ib];
+            // Odometer increment from the least-significant (last) variable.
+            for k in (0..vars.len()).rev() {
+                assign[k] += 1;
+                ia += stride_a[k];
+                ib += stride_b[k];
+                if assign[k] < cards[k] {
+                    break;
+                }
+                assign[k] = 0;
+                ia -= stride_a[k] * cards[k];
+                ib -= stride_b[k] * cards[k];
+            }
+        }
+        Factor { vars, cards, data }
+    }
+
+    /// Marginalizes (sums) out one variable.
+    pub fn sum_out(&self, var: usize) -> Factor {
+        let Some(pos) = self.vars.iter().position(|&v| v == var) else {
+            return self.clone();
+        };
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(pos);
+        let card = cards.remove(pos);
+        let inner: usize = self.cards[pos + 1..].iter().product::<usize>().max(1);
+        let outer: usize = self.cards[..pos].iter().product::<usize>().max(1);
+        let len = inner * outer;
+        let mut data = vec![0.0; len];
+        for o in 0..outer {
+            let src_base = o * card * inner;
+            let dst_base = o * inner;
+            for c in 0..card {
+                let src = src_base + c * inner;
+                for k in 0..inner {
+                    data[dst_base + k] += self.data[src + k];
+                }
+            }
+        }
+        Factor { vars, cards, data }
+    }
+
+    /// Zeroes out all entries whose value for `var` is not allowed.
+    /// `allowed` is indexed by the variable's codes.
+    pub fn reduce(&self, var: usize, allowed: &[bool]) -> Factor {
+        let Some(pos) = self.vars.iter().position(|&v| v == var) else {
+            return self.clone();
+        };
+        assert_eq!(allowed.len(), self.cards[pos], "allowed mask has wrong length");
+        let inner: usize = self.cards[pos + 1..].iter().product::<usize>().max(1);
+        let card = self.cards[pos];
+        let mut data = self.data.clone();
+        let mut base = 0usize;
+        while base < data.len() {
+            for (c, &ok) in allowed.iter().enumerate().take(card) {
+                if !ok {
+                    let start = base + c * inner;
+                    data[start..start + inner].fill(0.0);
+                }
+            }
+            base += card * inner;
+        }
+        Factor { vars: self.vars.clone(), cards: self.cards.clone(), data }
+    }
+
+    /// Pointwise division `φ / ψ` where ψ's scope must be a subset of φ's.
+    /// Division by zero yields zero (the standard convention in clique-tree
+    /// calibration, where a zero divisor always divides a zero dividend).
+    pub fn divide(&self, other: &Factor) -> Factor {
+        assert!(
+            other.vars.iter().all(|v| self.vars.contains(v)),
+            "divisor scope must be contained in dividend scope"
+        );
+        let stride_b = strides_in(&other.vars, &other.cards, &self.vars);
+        let mut data = vec![0.0; self.data.len()];
+        let mut assign = vec![0usize; self.vars.len()];
+        let mut ib = 0usize;
+        for (i, slot) in data.iter_mut().enumerate() {
+            let d = other.data[ib];
+            *slot = if d == 0.0 { 0.0 } else { self.data[i] / d };
+            for k in (0..self.vars.len()).rev() {
+                assign[k] += 1;
+                ib += stride_b[k];
+                if assign[k] < self.cards[k] {
+                    break;
+                }
+                assign[k] = 0;
+                ib -= stride_b[k] * self.cards[k];
+            }
+        }
+        Factor { vars: self.vars.clone(), cards: self.cards.clone(), data }
+    }
+
+    /// Scales all entries so they sum to one. No-op for an all-zero factor.
+    pub fn normalize(&mut self) {
+        let t = self.total();
+        if t > 0.0 {
+            for v in &mut self.data {
+                *v /= t;
+            }
+        }
+    }
+}
+
+/// For each variable in `result_vars`, its row-major stride within a factor
+/// whose scope is `vars`/`cards` (0 if the variable is absent).
+fn strides_in(vars: &[usize], cards: &[usize], result_vars: &[usize]) -> Vec<usize> {
+    // Row-major: last variable has stride 1.
+    let mut stride = vec![0usize; vars.len()];
+    let mut s = 1usize;
+    for i in (0..vars.len()).rev() {
+        stride[i] = s;
+        s *= cards[i];
+    }
+    result_vars
+        .iter()
+        .map(|rv| vars.iter().position(|v| v == rv).map_or(0, |p| stride[p]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn scalar_product() {
+        let f = Factor::scalar(0.5).product(&Factor::scalar(4.0));
+        assert!(close(f.scalar_value(), 2.0));
+    }
+
+    #[test]
+    fn product_of_disjoint_scopes_is_outer_product() {
+        let a = Factor::new(vec![0], vec![2], vec![0.3, 0.7]);
+        let b = Factor::new(vec![1], vec![3], vec![0.2, 0.3, 0.5]);
+        let p = a.product(&b);
+        assert_eq!(p.vars(), &[0, 1]);
+        assert!(close(p.value_at(&[0, 0]), 0.06));
+        assert!(close(p.value_at(&[1, 2]), 0.35));
+        assert!(close(p.total(), 1.0));
+    }
+
+    #[test]
+    fn product_aligns_shared_variables() {
+        // φ1(A,B), φ2(B,C): result over (A,B,C).
+        let f1 = Factor::new(vec![0, 1], vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let f2 = Factor::new(vec![1, 2], vec![2, 2], vec![10.0, 20.0, 30.0, 40.0]);
+        let p = f1.product(&f2);
+        assert_eq!(p.vars(), &[0, 1, 2]);
+        // (a=0,b=1,c=0): f1[0,1]=2, f2[1,0]=30 → 60.
+        assert!(close(p.value_at(&[0, 1, 0]), 60.0));
+        // (a=1,b=0,c=1): f1[1,0]=3, f2[0,1]=20 → 60.
+        assert!(close(p.value_at(&[1, 0, 1]), 60.0));
+    }
+
+    #[test]
+    fn product_is_commutative() {
+        let f1 = Factor::new(vec![0, 2], vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let f2 = Factor::new(vec![1, 2], vec![2, 3], vec![6., 5., 4., 3., 2., 1.]);
+        let p1 = f1.product(&f2);
+        let p2 = f2.product(&f1);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn sum_out_middle_variable() {
+        let f = Factor::new(
+            vec![0, 1, 2],
+            vec![2, 2, 2],
+            vec![1., 2., 3., 4., 5., 6., 7., 8.],
+        );
+        let m = f.sum_out(1);
+        assert_eq!(m.vars(), &[0, 2]);
+        assert!(close(m.value_at(&[0, 0]), 1. + 3.));
+        assert!(close(m.value_at(&[0, 1]), 2. + 4.));
+        assert!(close(m.value_at(&[1, 0]), 5. + 7.));
+        assert!(close(m.value_at(&[1, 1]), 6. + 8.));
+    }
+
+    #[test]
+    fn sum_out_absent_variable_is_identity() {
+        let f = Factor::new(vec![0], vec![2], vec![0.4, 0.6]);
+        assert_eq!(f.sum_out(5), f);
+    }
+
+    #[test]
+    fn sum_out_all_leaves_total_as_scalar() {
+        let f = Factor::new(vec![0, 1], vec![2, 2], vec![1., 2., 3., 4.]);
+        let s = f.sum_out(0).sum_out(1);
+        assert!(close(s.scalar_value(), 10.0));
+    }
+
+    #[test]
+    fn reduce_zeroes_disallowed_values() {
+        let f = Factor::new(vec![0, 1], vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let r = f.reduce(1, &[false, true, true]);
+        assert!(close(r.value_at(&[0, 0]), 0.0));
+        assert!(close(r.value_at(&[0, 1]), 2.0));
+        assert!(close(r.value_at(&[1, 0]), 0.0));
+        assert!(close(r.value_at(&[1, 2]), 6.0));
+    }
+
+    #[test]
+    fn divide_inverts_product() {
+        let a = Factor::new(vec![0, 1], vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Factor::new(vec![1], vec![3], vec![2.0, 4.0, 8.0]);
+        let q = a.product(&b).divide(&b);
+        for (x, y) in q.data().iter().zip(a.data()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn divide_by_zero_yields_zero() {
+        let a = Factor::new(vec![0], vec![2], vec![0.0, 3.0]);
+        let b = Factor::new(vec![0], vec![2], vec![0.0, 3.0]);
+        let q = a.divide(&b);
+        assert_eq!(q.data(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisor scope")]
+    fn divide_requires_scope_containment() {
+        let a = Factor::new(vec![0], vec![2], vec![1.0, 1.0]);
+        let b = Factor::new(vec![1], vec![2], vec![1.0, 1.0]);
+        a.divide(&b);
+    }
+
+    #[test]
+    fn normalize_scales_to_one() {
+        let mut f = Factor::new(vec![0], vec![2], vec![2.0, 6.0]);
+        f.normalize();
+        assert!(close(f.value_at(&[0]), 0.25));
+        assert!(close(f.total(), 1.0));
+    }
+
+    #[test]
+    fn value_at_uses_row_major_order() {
+        let f = Factor::new(vec![3, 7], vec![2, 3], (0..6).map(|i| i as f64).collect());
+        assert!(close(f.value_at(&[0, 0]), 0.0));
+        assert!(close(f.value_at(&[0, 2]), 2.0));
+        assert!(close(f.value_at(&[1, 0]), 3.0));
+        assert!(close(f.value_at(&[1, 2]), 5.0));
+    }
+}

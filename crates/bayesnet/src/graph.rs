@@ -1,0 +1,158 @@
+//! Directed-acyclic-graph bookkeeping for dependency structures.
+
+/// A directed graph over `n` nodes with parent lists, maintained acyclic by
+/// the structure-search code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dag {
+    parents: Vec<Vec<usize>>,
+}
+
+impl Dag {
+    /// An edgeless DAG over `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Dag { parents: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// The parents of `node`, in insertion order.
+    pub fn parents(&self, node: usize) -> &[usize] {
+        &self.parents[node]
+    }
+
+    /// True if the edge `from → to` exists.
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.parents[to].contains(&from)
+    }
+
+    /// Adds the edge `from → to` without checking acyclicity (callers use
+    /// [`Dag::creates_cycle`] first).
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        debug_assert!(!self.has_edge(from, to));
+        self.parents[to].push(from);
+    }
+
+    /// Removes the edge `from → to` if present.
+    pub fn remove_edge(&mut self, from: usize, to: usize) {
+        self.parents[to].retain(|&p| p != from);
+    }
+
+    /// Would adding `from → to` create a directed cycle? (True also for
+    /// self-loops.)
+    pub fn creates_cycle(&self, from: usize, to: usize) -> bool {
+        if from == to {
+            return true;
+        }
+        // A cycle appears iff `from` is reachable from `to` along edges
+        // (to → ... → from), i.e. `from` is an ancestor-of... walk child →
+        // parent direction: search upward from `from` to see if we reach
+        // `to`? Edges point parent → child conceptually; parents[x] are
+        // direct parents of x. Adding from→to creates a cycle iff there is
+        // already a directed path to → … → from, i.e. `to` is an ancestor
+        // of `from`.
+        let mut stack = vec![from];
+        let mut seen = vec![false; self.parents.len()];
+        while let Some(x) = stack.pop() {
+            if x == to {
+                return true;
+            }
+            for &p in &self.parents[x] {
+                if !seen[p] {
+                    seen[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        false
+    }
+
+    /// Topological order (parents before children). Panics if the graph is
+    /// cyclic (cannot happen when edges are guarded by
+    /// [`Dag::creates_cycle`]).
+    pub fn topological_order(&self) -> Vec<usize> {
+        let n = self.parents.len();
+        let mut indeg = vec![0usize; n];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (child, ps) in self.parents.iter().enumerate() {
+            indeg[child] = ps.len();
+            for &p in ps {
+                children[p].push(child);
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(x) = queue.pop() {
+            order.push(x);
+            for &c in &children[x] {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "graph is cyclic");
+        order
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.parents.iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_remove_edges() {
+        let mut g = Dag::empty(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(g.has_edge(0, 1));
+        assert_eq!(g.parents(2), &[1]);
+        assert_eq!(g.edge_count(), 2);
+        g.remove_edge(0, 1);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut g = Dag::empty(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(g.creates_cycle(2, 0));
+        assert!(g.creates_cycle(1, 1));
+        assert!(!g.creates_cycle(0, 2));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let mut g = Dag::empty(4);
+        g.add_edge(2, 0);
+        g.add_edge(0, 1);
+        g.add_edge(3, 1);
+        let order = g.topological_order();
+        let pos = |x: usize| order.iter().position(|&o| o == x).unwrap();
+        assert!(pos(2) < pos(0));
+        assert!(pos(0) < pos(1));
+        assert!(pos(3) < pos(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "cyclic")]
+    fn topological_order_panics_on_cycle() {
+        let mut g = Dag::empty(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0); // bypasses the guard deliberately
+        g.topological_order();
+    }
+}

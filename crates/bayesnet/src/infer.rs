@@ -1,0 +1,332 @@
+//! Exact inference by variable elimination.
+//!
+//! The online phase of selectivity estimation computes `P(E)` where the
+//! evidence `E` restricts some variables to *sets* of allowed values: an
+//! equality predicate allows one value, an `IN` or range predicate several
+//! (paper §2.3 — range queries cost nothing extra because the reduction
+//! masks the factor instead of enumerating assignments).
+//!
+//! Irrelevant variables are pruned first (only the evidence variables and
+//! their ancestors matter; every other CPD sums to one), then variables
+//! are eliminated greedily by the min-weight heuristic.
+
+use std::collections::BTreeMap;
+
+use crate::factor::Factor;
+use crate::network::BayesNet;
+
+/// Evidence: per-variable masks of allowed values.
+#[derive(Debug, Clone, Default)]
+pub struct Evidence {
+    masks: BTreeMap<usize, Vec<bool>>,
+}
+
+impl Evidence {
+    /// Empty evidence (probability 1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restricts `var` to exactly `code`.
+    pub fn eq(&mut self, var: usize, code: u32, card: usize) -> &mut Self {
+        let mut mask = vec![false; card];
+        mask[code as usize] = true;
+        self.intersect(var, mask);
+        self
+    }
+
+    /// Restricts `var` to a set of codes.
+    pub fn isin(&mut self, var: usize, codes: &[u32], card: usize) -> &mut Self {
+        let mut mask = vec![false; card];
+        for &c in codes {
+            mask[c as usize] = true;
+        }
+        self.intersect(var, mask);
+        self
+    }
+
+    /// Restricts `var` by an explicit mask.
+    pub fn mask(&mut self, var: usize, mask: Vec<bool>) -> &mut Self {
+        self.intersect(var, mask);
+        self
+    }
+
+    fn intersect(&mut self, var: usize, mask: Vec<bool>) {
+        match self.masks.get_mut(&var) {
+            Some(existing) => {
+                assert_eq!(existing.len(), mask.len(), "mask length mismatch");
+                for (e, m) in existing.iter_mut().zip(mask) {
+                    *e = *e && m;
+                }
+            }
+            None => {
+                self.masks.insert(var, mask);
+            }
+        }
+    }
+
+    /// The constrained variables.
+    pub fn vars(&self) -> impl Iterator<Item = usize> + '_ {
+        self.masks.keys().copied()
+    }
+
+    /// The mask for `var`, if constrained.
+    pub fn mask_of(&self, var: usize) -> Option<&[bool]> {
+        self.masks.get(&var).map(|m| m.as_slice())
+    }
+
+    /// True if no variable is constrained.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+}
+
+/// Computes `P(E)` under the network's joint distribution.
+///
+/// Panics if the network is incomplete or an evidence mask has the wrong
+/// length for its variable.
+pub fn probability_of_evidence(bn: &BayesNet, evidence: &Evidence) -> f64 {
+    if evidence.is_empty() {
+        return 1.0;
+    }
+    // Relevant set: evidence variables and all their ancestors. CPDs of
+    // barren variables integrate to 1 and can be dropped.
+    let mut relevant = vec![false; bn.len()];
+    let mut stack: Vec<usize> = evidence.vars().collect();
+    for &v in &stack {
+        assert!(v < bn.len(), "evidence variable out of range");
+        relevant[v] = true;
+    }
+    while let Some(v) = stack.pop() {
+        for &p in bn.parents(v) {
+            if !relevant[p] {
+                relevant[p] = true;
+                stack.push(p);
+            }
+        }
+    }
+    let mut factors: Vec<Factor> = Vec::new();
+    for (v, _) in relevant.iter().enumerate().filter(|(_, &r)| r) {
+        let cpd = bn.cpd(v).expect("network is incomplete");
+        let mut f = cpd.to_factor(v, bn.parents(v));
+        for sv in f.vars().to_vec() {
+            if let Some(mask) = evidence.mask_of(sv) {
+                f = f.reduce(sv, mask);
+            }
+        }
+        factors.push(f);
+    }
+    let elim: Vec<usize> = (0..bn.len()).filter(|&v| relevant[v]).collect();
+    eliminate_all(factors, &elim, |v| bn.card(v))
+}
+
+/// Posterior `P(var | evidence)` by two evidence queries per value —
+/// convenient for spot checks; use [`crate::jointree`] when many
+/// posteriors are needed under the same evidence.
+pub fn posterior(bn: &BayesNet, evidence: &Evidence, var: usize) -> Factor {
+    let card = bn.card(var);
+    let p_e = probability_of_evidence(bn, evidence);
+    let mut data = Vec::with_capacity(card);
+    for code in 0..card as u32 {
+        let mut ev = evidence.clone();
+        ev.eq(var, code, card);
+        let joint = probability_of_evidence(bn, &ev);
+        data.push(if p_e > 0.0 { joint / p_e } else { 0.0 });
+    }
+    Factor::new(vec![var], vec![card], data)
+}
+
+/// Runs variable elimination over arbitrary factors, summing out every
+/// variable in `elim`, and returns the resulting scalar.
+///
+/// Factors whose scope mentions variables outside `elim` are not supported
+/// here — the selectivity workload always eliminates everything.
+pub fn eliminate_all(
+    mut factors: Vec<Factor>,
+    elim: &[usize],
+    card_of: impl Fn(usize) -> usize,
+) -> f64 {
+    let mut remaining: Vec<usize> = elim.to_vec();
+    while !remaining.is_empty() {
+        // Min-weight heuristic: eliminate the variable whose combined
+        // factor is smallest.
+        let (best_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let mut scope: Vec<usize> = Vec::new();
+                for f in factors.iter().filter(|f| f.vars().contains(&v)) {
+                    for &sv in f.vars() {
+                        if !scope.contains(&sv) {
+                            scope.push(sv);
+                        }
+                    }
+                }
+                let weight: f64 = scope.iter().map(|&sv| card_of(sv) as f64).product();
+                (i, weight)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("weights are finite"))
+            .expect("remaining is non-empty");
+        let var = remaining.swap_remove(best_idx);
+
+        let (touching, rest): (Vec<Factor>, Vec<Factor>) =
+            factors.into_iter().partition(|f| f.vars().contains(&var));
+        factors = rest;
+        if touching.is_empty() {
+            continue;
+        }
+        let combined = touching
+            .into_iter()
+            .reduce(|a, b| a.product(&b))
+            .expect("at least one factor");
+        factors.push(combined.sum_out(var));
+    }
+    factors
+        .into_iter()
+        .map(|f| {
+            debug_assert!(f.is_empty(), "variable left uneliminated");
+            f.scalar_value()
+        })
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpd::TableCpd;
+
+    /// The Education → Income → Home-owner chain from §2.1 of the paper,
+    /// with the exact numbers of Fig. 1(b).
+    fn paper_chain() -> BayesNet {
+        let mut bn = BayesNet::new(
+            vec!["education".into(), "income".into(), "homeowner".into()],
+            vec![3, 3, 2],
+        );
+        // E: h=0, c=1, a=2 (order chosen to match the paper's table).
+        bn.set_family(0, &[], TableCpd::new(3, vec![], vec![0.5, 0.3, 0.2]).into());
+        // I | E: values l=0, m=1, h=2.
+        bn.set_family(
+            1,
+            &[0],
+            TableCpd::new(
+                3,
+                vec![3],
+                vec![0.6, 0.3, 0.1, 0.5, 0.3, 0.2, 0.1, 0.3, 0.6],
+            )
+            .into(),
+        );
+        // H | I: f=0, t=1.
+        bn.set_family(
+            2,
+            &[1],
+            TableCpd::new(2, vec![3], vec![0.9, 0.1, 0.7, 0.3, 0.1, 0.9]).into(),
+        );
+        bn
+    }
+
+    #[test]
+    fn reproduces_paper_joint_entries() {
+        let bn = paper_chain();
+        // P(E=h, I=l, H=f) = 0.5·0.6·0.9 = 0.27 (first row of Fig. 1(a)).
+        let mut ev = Evidence::new();
+        ev.eq(0, 0, 3).eq(1, 0, 3).eq(2, 0, 2);
+        assert!((probability_of_evidence(&bn, &ev) - 0.27).abs() < 1e-12);
+        // P(E=a, I=h, H=t) = 0.2·0.6·0.9 = 0.108 (last row).
+        let mut ev = Evidence::new();
+        ev.eq(0, 2, 3).eq(1, 2, 3).eq(2, 1, 2);
+        assert!((probability_of_evidence(&bn, &ev) - 0.108).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginals_match_paper_histograms() {
+        let bn = paper_chain();
+        // P(I=l) = 0.47, P(H=t) = 0.344 (Fig. 1(c)).
+        let mut ev = Evidence::new();
+        ev.eq(1, 0, 3);
+        assert!((probability_of_evidence(&bn, &ev) - 0.47).abs() < 1e-12);
+        let mut ev = Evidence::new();
+        ev.eq(2, 1, 2);
+        assert!((probability_of_evidence(&bn, &ev) - 0.344).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_evidence_answers_range_style_queries() {
+        let bn = paper_chain();
+        // P(I ∈ {m, h}) = 1 − 0.47 = 0.53.
+        let mut ev = Evidence::new();
+        ev.isin(1, &[1, 2], 3);
+        assert!((probability_of_evidence(&bn, &ev) - 0.53).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_evidence_is_one() {
+        let bn = paper_chain();
+        assert_eq!(probability_of_evidence(&bn, &Evidence::new()), 1.0);
+    }
+
+    #[test]
+    fn contradictory_evidence_is_zero() {
+        let bn = paper_chain();
+        let mut ev = Evidence::new();
+        ev.eq(1, 0, 3).eq(1, 1, 3); // I = l AND I = m
+        assert_eq!(probability_of_evidence(&bn, &ev), 0.0);
+    }
+
+    #[test]
+    fn ve_matches_full_joint_enumeration() {
+        let bn = paper_chain();
+        let joint = bn
+            .factors()
+            .into_iter()
+            .reduce(|a, b| a.product(&b))
+            .unwrap();
+        // Check every single-var and pairwise evidence combination.
+        for e in 0..3u32 {
+            for h in 0..2u32 {
+                let mut ev = Evidence::new();
+                ev.eq(0, e, 3).eq(2, h, 2);
+                let brute = joint
+                    .reduce(0, &mask(3, e))
+                    .reduce(2, &mask(2, h))
+                    .total();
+                let ve = probability_of_evidence(&bn, &ev);
+                assert!((ve - brute).abs() < 1e-12, "mismatch at ({e},{h})");
+            }
+        }
+    }
+
+    fn mask(card: usize, allow: u32) -> Vec<bool> {
+        (0..card).map(|i| i == allow as usize).collect()
+    }
+
+    #[test]
+    fn posterior_matches_bayes_rule() {
+        let bn = paper_chain();
+        // P(E | H = t) by hand: P(E=e)·P(H=t|E=e)/P(H=t).
+        let mut ev = Evidence::new();
+        ev.eq(2, 1, 2);
+        let post = posterior(&bn, &ev, 0);
+        assert!((post.total() - 1.0).abs() < 1e-12);
+        // P(E=a | H=t): P(a)·P(t|a) / 0.344 where
+        // P(t|a) = 0.1·0.1 + 0.3·0.3 + 0.6·0.9 = 0.64.
+        let expect = 0.2 * 0.64 / 0.344;
+        assert!((post.value_at(&[2]) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn posterior_with_no_evidence_is_prior() {
+        let bn = paper_chain();
+        let post = posterior(&bn, &Evidence::new(), 1);
+        assert!((post.value_at(&[0]) - 0.47).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barren_nodes_are_pruned() {
+        // Evidence only on the root: the two descendants are barren; the
+        // answer must equal the root marginal regardless.
+        let bn = paper_chain();
+        let mut ev = Evidence::new();
+        ev.eq(0, 1, 3);
+        assert!((probability_of_evidence(&bn, &ev) - 0.3).abs() < 1e-12);
+    }
+}

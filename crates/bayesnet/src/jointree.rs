@@ -1,0 +1,543 @@
+//! Clique-tree (junction-tree) inference — Lauritzen & Spiegelhalter.
+//!
+//! The paper's §2.3 points at "special-purpose graph-based algorithms that
+//! exploit the graphical structure of the network" for the online phase;
+//! the classic such algorithm is the junction tree. Compared to plain
+//! variable elimination it pays one calibration pass and then answers
+//! *every* single-variable posterior from the calibrated beliefs — the
+//! right trade when a query profiler asks for the distribution of many
+//! attributes under the same predicate set.
+//!
+//! Construction: moralize the DAG, triangulate by min-fill elimination,
+//! collect the maximal elimination cliques, and join them by a maximum
+//! spanning tree on separator size (which satisfies the running
+//! intersection property). Disconnected components are linked by
+//! empty separators, whose messages are scalars — multiplying component
+//! probabilities exactly as independence demands.
+
+use crate::factor::Factor;
+use crate::infer::Evidence;
+use crate::network::BayesNet;
+
+/// A compiled junction tree for one Bayesian network.
+#[derive(Debug, Clone)]
+pub struct JoinTree {
+    /// Variable scope of each clique (sorted).
+    cliques: Vec<Vec<usize>>,
+    /// Tree edges `(child, parent, separator)`; clique 0 is the root.
+    edges: Vec<(usize, usize, Vec<usize>)>,
+    /// For each clique: indexes of the CPD factors assigned to it.
+    assigned: Vec<Vec<usize>>,
+    /// Variable cardinalities.
+    cards: Vec<usize>,
+    /// The network's CPD factors (unreduced).
+    factors: Vec<Factor>,
+    /// Cliques in a post-order (children before parents).
+    post_order: Vec<usize>,
+}
+
+/// Calibrated clique beliefs, produced by [`JoinTree::calibrate`].
+#[derive(Debug, Clone)]
+pub struct Calibrated<'t> {
+    tree: &'t JoinTree,
+    beliefs: Vec<Factor>,
+    /// `P(evidence)` under the network.
+    p_evidence: f64,
+}
+
+impl JoinTree {
+    /// Compiles a junction tree from a complete network.
+    pub fn build(bn: &BayesNet) -> JoinTree {
+        let n = bn.len();
+        // Moral graph.
+        let mut adj = vec![vec![false; n]; n];
+        for v in 0..n {
+            let parents = bn.parents(v);
+            for &p in parents {
+                adj[v][p] = true;
+                adj[p][v] = true;
+            }
+            for (i, &p) in parents.iter().enumerate() {
+                for &q in &parents[i + 1..] {
+                    adj[p][q] = true;
+                    adj[q][p] = true;
+                }
+            }
+        }
+        // Min-fill triangulation, collecting elimination cliques.
+        let mut alive: Vec<bool> = vec![true; n];
+        let mut work = adj.clone();
+        let mut elim_cliques: Vec<Vec<usize>> = Vec::new();
+        for _ in 0..n {
+            // Pick the alive node whose elimination adds fewest fill edges.
+            let (node, _) = (0..n)
+                .filter(|&v| alive[v])
+                .map(|v| {
+                    let nbrs: Vec<usize> =
+                        (0..n).filter(|&u| alive[u] && work[v][u]).collect();
+                    let mut fill = 0usize;
+                    for (i, &a) in nbrs.iter().enumerate() {
+                        for &b in &nbrs[i + 1..] {
+                            if !work[a][b] {
+                                fill += 1;
+                            }
+                        }
+                    }
+                    (v, fill)
+                })
+                .min_by_key(|&(_, f)| f)
+                .expect("some node is alive");
+            let mut clique: Vec<usize> =
+                (0..n).filter(|&u| alive[u] && work[node][u]).collect();
+            // Connect the neighbourhood.
+            for (i, &a) in clique.clone().iter().enumerate() {
+                for &b in &clique[i + 1..] {
+                    work[a][b] = true;
+                    work[b][a] = true;
+                }
+            }
+            clique.push(node);
+            clique.sort_unstable();
+            alive[node] = false;
+            elim_cliques.push(clique);
+        }
+        // Keep maximal cliques only.
+        let mut cliques: Vec<Vec<usize>> = Vec::new();
+        for c in elim_cliques {
+            if !cliques.iter().any(|big| c.iter().all(|v| big.contains(v))) {
+                cliques.retain(|old| !old.iter().all(|v| c.contains(v)));
+                cliques.push(c);
+            }
+        }
+        // Maximum spanning tree on separator size (Prim from clique 0).
+        let m = cliques.len();
+        let mut in_tree = vec![false; m];
+        in_tree[0] = true;
+        let mut edges: Vec<(usize, usize, Vec<usize>)> = Vec::new();
+        for _ in 1..m {
+            let mut best: Option<(usize, usize, usize)> = None; // (child, parent, |sep|)
+            for c in 0..m {
+                if in_tree[c] {
+                    continue;
+                }
+                for p in 0..m {
+                    if !in_tree[p] {
+                        continue;
+                    }
+                    let sep = intersect(&cliques[c], &cliques[p]);
+                    if best.map(|(_, _, s)| sep.len() > s).unwrap_or(true) {
+                        best = Some((c, p, sep.len()));
+                    }
+                }
+            }
+            let (c, p, _) = best.expect("graph has unconnected clique");
+            in_tree[c] = true;
+            edges.push((c, p, intersect(&cliques[c], &cliques[p])));
+        }
+        // CPD factor assignment: each family goes to a clique covering it.
+        let factors = bn.factors();
+        let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for (fi, f) in factors.iter().enumerate() {
+            let home = cliques
+                .iter()
+                .position(|c| f.vars().iter().all(|v| c.contains(v)))
+                .expect("family covered by construction");
+            assigned[home].push(fi);
+        }
+        // Post-order: repeatedly peel leaves (children before parents).
+        let mut order = Vec::with_capacity(m);
+        let mut remaining_children: Vec<usize> = vec![0; m];
+        for &(_, p, _) in &edges {
+            remaining_children[p] += 1;
+        }
+        let mut queue: Vec<usize> =
+            (0..m).filter(|&c| remaining_children[c] == 0).collect();
+        let parent_of: Vec<Option<usize>> = {
+            let mut v = vec![None; m];
+            for &(c, p, _) in &edges {
+                v[c] = Some(p);
+            }
+            v
+        };
+        while let Some(c) = queue.pop() {
+            order.push(c);
+            if let Some(p) = parent_of[c] {
+                remaining_children[p] -= 1;
+                if remaining_children[p] == 0 {
+                    queue.push(p);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), m);
+        JoinTree {
+            cliques,
+            edges,
+            assigned,
+            cards: bn.cards().to_vec(),
+            factors,
+            post_order: order,
+        }
+    }
+
+    /// Number of cliques.
+    pub fn n_cliques(&self) -> usize {
+        self.cliques.len()
+    }
+
+    /// The largest clique's state-space size (tree width indicator).
+    pub fn max_clique_weight(&self) -> usize {
+        self.cliques
+            .iter()
+            .map(|c| c.iter().map(|&v| self.cards[v]).product::<usize>())
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// `P(E)` via one upward (collect) pass.
+    pub fn probability_of_evidence(&self, evidence: &Evidence) -> f64 {
+        let (messages, potentials) = self.collect(evidence);
+        // The root(s): cliques with no parent. Multiply their totals with
+        // incoming messages applied.
+        let m = self.cliques.len();
+        let mut has_parent = vec![false; m];
+        for &(c, _, _) in &self.edges {
+            has_parent[c] = true;
+        }
+        let mut p = 1.0;
+        for root in (0..m).filter(|&c| !has_parent[c]) {
+            let mut belief = potentials[root].clone();
+            for (ei, &(c, parent, _)) in self.edges.iter().enumerate() {
+                let _ = c;
+                if parent == root {
+                    belief = belief.product(&messages[ei].clone().expect("collected"));
+                }
+            }
+            p *= belief.total();
+        }
+        p
+    }
+
+    /// Full two-pass calibration; returns per-clique beliefs proportional
+    /// to `P(clique vars, E)`.
+    pub fn calibrate(&self, evidence: &Evidence) -> Calibrated<'_> {
+        let (up_messages, potentials) = self.collect(evidence);
+        let m = self.cliques.len();
+        // Downward pass in reverse post-order.
+        let mut down_messages: Vec<Option<Factor>> = vec![None; m]; // keyed by child clique
+        let mut beliefs: Vec<Option<Factor>> = vec![None; m];
+        for &cl in self.post_order.iter().rev() {
+            let mut belief = potentials[cl].clone();
+            // Incoming from children.
+            for (ei, &(child, parent, _)) in self.edges.iter().enumerate() {
+                let _ = child;
+                if parent == cl {
+                    belief = belief.product(up_messages[ei].as_ref().expect("collected"));
+                }
+            }
+            // Incoming from the parent (down message).
+            if let Some(dm) = &down_messages[cl] {
+                belief = belief.product(dm);
+            }
+            // Emit down messages to children: belief ÷ child's up message,
+            // marginalized to the separator (the standard division form of
+            // Lauritzen–Spiegelhalter calibration).
+            for (ei, &(child, parent, _)) in self.edges.iter().enumerate() {
+                if parent != cl {
+                    continue;
+                }
+                let up = up_messages[ei].as_ref().expect("collected");
+                let mut msg = belief.divide(up);
+                let sep = &self.edges[ei].2;
+                for &v in self.cliques[cl].clone().iter() {
+                    if !sep.contains(&v) {
+                        msg = msg.sum_out(v);
+                    }
+                }
+                down_messages[child] = Some(msg);
+            }
+            beliefs[cl] = Some(belief);
+        }
+        // Re-run belief computation now that down messages exist for all.
+        for cl in 0..m {
+            let mut belief = potentials[cl].clone();
+            for (ei, &(_, parent, _)) in self.edges.iter().enumerate() {
+                if parent == cl {
+                    belief = belief.product(up_messages[ei].as_ref().expect("collected"));
+                }
+            }
+            if let Some(dm) = &down_messages[cl] {
+                belief = belief.product(dm);
+            }
+            beliefs[cl] = Some(belief);
+        }
+        // P(E): product of totals over root cliques... but calibrated
+        // beliefs of every clique in one component share the same total.
+        let mut has_parent = vec![false; m];
+        for &(c, _, _) in &self.edges {
+            has_parent[c] = true;
+        }
+        let p_evidence = (0..m)
+            .filter(|&c| !has_parent[c])
+            .map(|c| beliefs[c].as_ref().expect("computed").total())
+            .product();
+        Calibrated {
+            tree: self,
+            beliefs: beliefs.into_iter().map(|b| b.expect("computed")).collect(),
+            p_evidence,
+        }
+    }
+
+    /// Upward pass: returns per-edge messages and per-clique initial
+    /// (evidence-reduced) potentials.
+    fn collect(&self, evidence: &Evidence) -> (Vec<Option<Factor>>, Vec<Factor>) {
+        let m = self.cliques.len();
+        let potentials: Vec<Factor> = (0..m)
+            .map(|cl| {
+                let mut pot = Factor::scalar(1.0);
+                for &fi in &self.assigned[cl] {
+                    let mut f = self.factors[fi].clone();
+                    for sv in f.vars().to_vec() {
+                        if let Some(mask) = evidence.mask_of(sv) {
+                            f = f.reduce(sv, mask);
+                        }
+                    }
+                    pot = pot.product(&f);
+                }
+                pot
+            })
+            .collect();
+        let mut messages: Vec<Option<Factor>> = vec![None; self.edges.len()];
+        let edge_of_child: Vec<Option<usize>> = {
+            let mut v = vec![None; m];
+            for (ei, &(c, _, _)) in self.edges.iter().enumerate() {
+                v[c] = Some(ei);
+            }
+            v
+        };
+        for &cl in &self.post_order {
+            let Some(ei) = edge_of_child[cl] else { continue };
+            let mut msg = potentials[cl].clone();
+            for (ej, &(_, parent, _)) in self.edges.iter().enumerate() {
+                if parent == cl {
+                    msg = msg.product(messages[ej].as_ref().expect("post-order"));
+                }
+            }
+            let sep = &self.edges[ei].2;
+            for &v in &self.cliques[cl] {
+                if !sep.contains(&v) {
+                    msg = msg.sum_out(v);
+                }
+            }
+            messages[ei] = Some(msg);
+        }
+        (messages, potentials)
+    }
+}
+
+impl Calibrated<'_> {
+    /// `P(evidence)`.
+    pub fn p_evidence(&self) -> f64 {
+        self.p_evidence
+    }
+
+    /// Posterior `P(var | evidence)` (normalized). Panics if the variable
+    /// is out of range.
+    pub fn marginal(&self, var: usize) -> Factor {
+        let cl = self
+            .tree
+            .cliques
+            .iter()
+            .position(|c| c.contains(&var))
+            .expect("variable appears in some clique");
+        let mut f = self.beliefs[cl].clone();
+        for &v in self.tree.cliques[cl].clone().iter() {
+            if v != var {
+                f = f.sum_out(v);
+            }
+        }
+        f.normalize();
+        f
+    }
+}
+
+impl crate::network::BayesNet {
+    /// All single-variable posteriors under one evidence set, via a
+    /// calibrated junction tree — the batch counterpart of
+    /// [`crate::infer::posterior`] (one calibration instead of
+    /// `Σ cards` evidence queries).
+    pub fn posteriors(&self, evidence: &Evidence) -> Vec<Factor> {
+        let jt = JoinTree::build(self);
+        let cal = jt.calibrate(evidence);
+        (0..self.len()).map(|v| cal.marginal(v)).collect()
+    }
+}
+
+fn intersect(a: &[usize], b: &[usize]) -> Vec<usize> {
+    a.iter().copied().filter(|v| b.contains(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpd::TableCpd;
+    use crate::infer::probability_of_evidence;
+
+    /// A small diamond network: A → B, A → C, (B, C) → D.
+    fn diamond() -> BayesNet {
+        let mut bn = BayesNet::new(
+            vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            vec![2, 2, 3, 2],
+        );
+        bn.set_family(0, &[], TableCpd::new(2, vec![], vec![0.3, 0.7]).into());
+        bn.set_family(
+            1,
+            &[0],
+            TableCpd::new(2, vec![2], vec![0.9, 0.1, 0.4, 0.6]).into(),
+        );
+        bn.set_family(
+            2,
+            &[0],
+            TableCpd::new(3, vec![2], vec![0.5, 0.3, 0.2, 0.1, 0.2, 0.7]).into(),
+        );
+        bn.set_family(
+            3,
+            &[1, 2],
+            TableCpd::new(
+                2,
+                vec![2, 3],
+                vec![0.9, 0.1, 0.8, 0.2, 0.7, 0.3, 0.4, 0.6, 0.3, 0.7, 0.2, 0.8],
+            )
+            .into(),
+        );
+        bn
+    }
+
+    #[test]
+    fn evidence_probability_matches_variable_elimination() {
+        let bn = diamond();
+        let jt = JoinTree::build(&bn);
+        for a in 0..2u32 {
+            for d in 0..2u32 {
+                let mut ev = Evidence::new();
+                ev.eq(0, a, 2).eq(3, d, 2);
+                let ve = probability_of_evidence(&bn, &ev);
+                let jt_p = jt.probability_of_evidence(&ev);
+                assert!((ve - jt_p).abs() < 1e-12, "a={a} d={d}: {ve} vs {jt_p}");
+            }
+        }
+    }
+
+    #[test]
+    fn calibrated_marginals_match_direct_queries() {
+        let bn = diamond();
+        let jt = JoinTree::build(&bn);
+        let mut ev = Evidence::new();
+        ev.eq(3, 1, 2);
+        let cal = jt.calibrate(&ev);
+        // P(C = c | D = 1) from the calibrated tree vs direct VE ratio.
+        let p_d = probability_of_evidence(&bn, &ev);
+        let marg = cal.marginal(2);
+        for c in 0..3u32 {
+            let mut both = Evidence::new();
+            both.eq(3, 1, 2).eq(2, c, 3);
+            let direct = probability_of_evidence(&bn, &both) / p_d;
+            assert!(
+                (marg.value_at(&[c]) - direct).abs() < 1e-12,
+                "c={c}: {} vs {direct}",
+                marg.value_at(&[c])
+            );
+        }
+        assert!((cal.p_evidence() - p_d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_evidence_marginals_are_priors() {
+        let bn = diamond();
+        let jt = JoinTree::build(&bn);
+        let cal = jt.calibrate(&Evidence::new());
+        let marg = cal.marginal(0);
+        assert!((marg.value_at(&[0]) - 0.3).abs() < 1e-12);
+        assert!((cal.p_evidence() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_networks_multiply_components() {
+        // Two independent binary variables.
+        let mut bn = BayesNet::new(vec!["x".into(), "y".into()], vec![2, 2]);
+        bn.set_family(0, &[], TableCpd::new(2, vec![], vec![0.25, 0.75]).into());
+        bn.set_family(1, &[], TableCpd::new(2, vec![], vec![0.4, 0.6]).into());
+        let jt = JoinTree::build(&bn);
+        let mut ev = Evidence::new();
+        ev.eq(0, 1, 2).eq(1, 0, 2);
+        assert!((jt.probability_of_evidence(&ev) - 0.75 * 0.4).abs() < 1e-12);
+        let cal = jt.calibrate(&ev);
+        assert!((cal.p_evidence() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clique_structure_is_sensible() {
+        let bn = diamond();
+        let jt = JoinTree::build(&bn);
+        // The diamond triangulates into 2 cliques of size 3.
+        assert!(jt.n_cliques() <= 3);
+        assert!(jt.max_clique_weight() <= 2 * 2 * 3);
+    }
+
+    #[test]
+    fn posteriors_batch_matches_single_queries() {
+        use crate::infer::posterior;
+        let bn = diamond();
+        let mut ev = Evidence::new();
+        ev.eq(3, 0, 2);
+        let batch = bn.posteriors(&ev);
+        for (v, batched) in batch.iter().enumerate() {
+            let single = posterior(&bn, &ev, v);
+            for code in 0..bn.card(v) as u32 {
+                assert!(
+                    (batched.value_at(&[code]) - single.value_at(&[code])).abs() < 1e-12,
+                    "var {v} code {code}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_network() {
+        let mut bn = BayesNet::new(vec!["x".into()], vec![3]);
+        bn.set_family(0, &[], TableCpd::new(3, vec![], vec![0.2, 0.3, 0.5]).into());
+        let jt = JoinTree::build(&bn);
+        let mut ev = Evidence::new();
+        ev.eq(0, 2, 3);
+        assert!((jt.probability_of_evidence(&ev) - 0.5).abs() < 1e-12);
+        let post = bn.posteriors(&Evidence::new());
+        assert!((post[0].value_at(&[1]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_network_calibration() {
+        // X0 → X1 → X2 → X3 chain; check a mid-chain posterior.
+        let mut bn = BayesNet::new(
+            (0..4).map(|i| format!("x{i}")).collect(),
+            vec![2; 4],
+        );
+        bn.set_family(0, &[], TableCpd::new(2, vec![], vec![0.6, 0.4]).into());
+        for v in 1..4 {
+            bn.set_family(
+                v,
+                &[v - 1],
+                TableCpd::new(2, vec![2], vec![0.8, 0.2, 0.3, 0.7]).into(),
+            );
+        }
+        let jt = JoinTree::build(&bn);
+        let mut ev = Evidence::new();
+        ev.eq(0, 0, 2).eq(3, 1, 2);
+        let cal = jt.calibrate(&ev);
+        let p_e = probability_of_evidence(&bn, &ev);
+        assert!((cal.p_evidence() - p_e).abs() < 1e-12);
+        let marg = cal.marginal(2);
+        let mut both = Evidence::new();
+        both.eq(0, 0, 2).eq(3, 1, 2).eq(2, 1, 2);
+        let direct = probability_of_evidence(&bn, &both) / p_e;
+        assert!((marg.value_at(&[1]) - direct).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! The code matrix the structure learner scans.
+
+use reldb::{CountTable, Table};
+
+/// A fully-materialized, dictionary-coded dataset: one `u32` code column
+/// per variable, all of equal length.
+///
+/// For single-table learning this is just the table's value columns. For
+/// PRM learning the caller materializes foreign-key-joined columns (one
+/// row per base-table tuple) before constructing the dataset — under
+/// referential integrity that join is a pointer chase, so the dataset
+/// remains row-aligned with the base table.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    names: Vec<String>,
+    cards: Vec<usize>,
+    cols: Vec<Vec<u32>>,
+    n: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset; all columns must have equal length and codes must
+    /// be below the declared cardinalities.
+    pub fn new(names: Vec<String>, cards: Vec<usize>, cols: Vec<Vec<u32>>) -> Self {
+        assert_eq!(names.len(), cards.len());
+        assert_eq!(names.len(), cols.len());
+        let n = cols.first().map_or(0, |c| c.len());
+        for (col, &card) in cols.iter().zip(&cards) {
+            assert_eq!(col.len(), n, "ragged dataset");
+            debug_assert!(col.iter().all(|&c| (c as usize) < card), "code out of range");
+        }
+        Dataset { names, cards, cols, n }
+    }
+
+    /// All value attributes of a relational table, in declaration order.
+    pub fn from_table(table: &Table) -> Self {
+        let attrs = table.schema().value_attrs();
+        let mut names = Vec::with_capacity(attrs.len());
+        let mut cards = Vec::with_capacity(attrs.len());
+        let mut cols = Vec::with_capacity(attrs.len());
+        for a in attrs {
+            names.push(a.to_owned());
+            cards.push(table.domain(a).expect("value attr").card());
+            cols.push(table.codes(a).expect("value attr").to_vec());
+        }
+        Dataset::new(names, cards, cols)
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// Variable names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Cardinality of variable `v`.
+    pub fn card(&self, v: usize) -> usize {
+        self.cards[v]
+    }
+
+    /// All cardinalities.
+    pub fn cards(&self) -> &[usize] {
+        &self.cards
+    }
+
+    /// The code column of variable `v`.
+    pub fn col(&self, v: usize) -> &[u32] {
+        &self.cols[v]
+    }
+
+    /// Dense counts over `(parents…, child)` — the child is the **last**
+    /// (fastest-varying) column, matching [`crate::cpd::TableCpd::from_counts`].
+    pub fn family_counts(&self, child: usize, parents: &[usize]) -> CountTable {
+        let mut cards: Vec<usize> = parents.iter().map(|&p| self.cards[p]).collect();
+        cards.push(self.cards[child]);
+        let size: usize = cards.iter().product::<usize>().max(1);
+        let mut counts = vec![0u64; size];
+        let child_col = &self.cols[child];
+        let parent_cols: Vec<&[u32]> = parents.iter().map(|&p| self.cols[p].as_slice()).collect();
+        for row in 0..self.n {
+            let mut idx = 0usize;
+            for (col, &card) in parent_cols.iter().zip(&cards) {
+                idx = idx * card + col[row] as usize;
+            }
+            idx = idx * self.cards[child] + child_col[row] as usize;
+            counts[idx] += 1;
+        }
+        CountTable { cards, counts }
+    }
+
+    /// Size in dense cells of a family's count table, for blow-up guards.
+    pub fn family_table_cells(&self, child: usize, parents: &[usize]) -> usize {
+        parents
+            .iter()
+            .map(|&p| self.cards[p])
+            .product::<usize>()
+            .saturating_mul(self.cards[child])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::new(
+            vec!["a".into(), "b".into()],
+            vec![2, 3],
+            vec![vec![0, 0, 1, 1, 1], vec![0, 1, 2, 2, 0]],
+        )
+    }
+
+    #[test]
+    fn family_counts_child_last() {
+        let d = ds();
+        let t = d.family_counts(0, &[1]);
+        assert_eq!(t.cards, vec![3, 2]);
+        // b=0: rows {0 (a=0), 4 (a=1)}.
+        assert_eq!(t.count(&[0, 0]), 1);
+        assert_eq!(t.count(&[0, 1]), 1);
+        // b=2: rows {2, 3}, both a=1.
+        assert_eq!(t.count(&[2, 0]), 0);
+        assert_eq!(t.count(&[2, 1]), 2);
+        assert_eq!(t.total(), 5);
+    }
+
+    #[test]
+    fn no_parents_gives_marginal_counts() {
+        let d = ds();
+        let t = d.family_counts(1, &[]);
+        assert_eq!(t.counts, vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn table_cells_guard() {
+        let d = ds();
+        assert_eq!(d.family_table_cells(0, &[1]), 6);
+        assert_eq!(d.family_table_cells(1, &[0]), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_input_rejected() {
+        Dataset::new(
+            vec!["a".into(), "b".into()],
+            vec![2, 2],
+            vec![vec![0], vec![0, 1]],
+        );
+    }
+}

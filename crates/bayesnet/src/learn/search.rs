@@ -1,0 +1,658 @@
+//! Greedy hill-climbing structure search (paper §4.3.3).
+//!
+//! The search starts from the empty (all-independent) structure and
+//! repeatedly applies the best local transformation — add / delete /
+//! reverse an edge, with tree-CPD splits re-induced per family — until no
+//! transformation is acceptable, optionally escaping local maxima with
+//! random perturbation restarts. Three step-selection rules are provided:
+//!
+//! * [`StepRule::Naive`] — largest raw ΔLL that fits the byte budget;
+//! * [`StepRule::Ssn`] — *storage-size-normalized*: largest ΔLL/Δbytes
+//!   (the knapsack heuristic of the paper);
+//! * [`StepRule::Mdl`] — largest Δ(LL − description length).
+//!
+//! Because the log-likelihood decomposes per family (paper Eq. 5), a move
+//! only requires re-scoring the families it touches; evaluations are
+//! memoized across the whole search.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cpd::{Cpd, CpdKind, TableCpd};
+use crate::graph::Dag;
+use crate::learn::dataset::Dataset;
+use crate::learn::score::{family_loglik, mdl_penalty_per_param};
+use crate::learn::treecpd::{grow_tree, TreeGrowOptions};
+use crate::network::BayesNet;
+
+/// Step-selection rule for hill climbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepRule {
+    /// Largest ΔLL (ignores cost except for the hard budget).
+    Naive,
+    /// Storage-size-normalized: largest ΔLL / Δbytes.
+    Ssn,
+    /// Minimum description length: largest Δ(LL − DL).
+    Mdl,
+}
+
+/// Configuration of the learner.
+#[derive(Debug, Clone)]
+pub struct LearnConfig {
+    /// CPD representation to learn.
+    pub cpd_kind: CpdKind,
+    /// Hard cap on total model size in bytes.
+    pub budget_bytes: usize,
+    /// Maximum number of parents per variable (bounds the intermediate
+    /// group-by tables, paper §4.3.2).
+    pub max_parents: usize,
+    /// Step-selection rule.
+    pub rule: StepRule,
+    /// Number of random-perturbation restarts after convergence.
+    pub restarts: usize,
+    /// RNG seed for the restarts.
+    pub seed: u64,
+    /// Tree-growth knobs (ignored for table CPDs).
+    pub tree: TreeGrowOptions,
+    /// Reject table-CPD families whose dense count table would exceed this
+    /// many cells.
+    pub max_family_cells: usize,
+    /// Optional candidate mask: `allowed[child][parent]`. `None` allows
+    /// every parent.
+    pub allowed_parents: Option<Vec<Vec<bool>>>,
+}
+
+impl Default for LearnConfig {
+    fn default() -> Self {
+        LearnConfig {
+            cpd_kind: CpdKind::Tree,
+            budget_bytes: 4096,
+            max_parents: 4,
+            rule: StepRule::Ssn,
+            restarts: 2,
+            seed: 0x5EED,
+            tree: TreeGrowOptions::default(),
+            max_family_cells: 4_000_000,
+            allowed_parents: None,
+        }
+    }
+}
+
+/// Result of a structure search.
+#[derive(Debug, Clone)]
+pub struct LearnOutcome {
+    /// The learned network.
+    pub network: BayesNet,
+    /// Total data log-likelihood under the network.
+    pub loglik: f64,
+    /// Total model size in bytes.
+    pub bytes: usize,
+}
+
+#[derive(Debug, Clone)]
+struct FamilyEval {
+    ll: f64,
+    bytes: usize,
+    cpd: Cpd,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Move {
+    Add(usize, usize),
+    Delete(usize, usize),
+    Reverse(usize, usize),
+}
+
+/// Family-evaluation memo. Tree families are re-grown under the byte
+/// allowance available at evaluation time, so the parameter cap is part
+/// of the key (mirroring the PRM learner in the `prmsel` crate).
+type Cache = HashMap<(usize, Vec<usize>, usize), Option<FamilyEval>>;
+
+/// Greedy hill-climbing learner.
+pub struct GreedyLearner {
+    config: LearnConfig,
+}
+
+impl GreedyLearner {
+    /// Creates a learner with the given configuration.
+    pub fn new(config: LearnConfig) -> Self {
+        GreedyLearner { config }
+    }
+
+    /// Learns a Bayesian network for the dataset.
+    pub fn learn(&self, data: &Dataset) -> LearnOutcome {
+        let mut cache: Cache = HashMap::new();
+        let n = data.n_vars();
+        let mut dag = Dag::empty(n);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        let mut best = self.climb(data, &mut dag, &mut cache);
+        let mut best_dag = dag.clone();
+        for _ in 0..self.config.restarts {
+            self.perturb(data, &mut dag, &mut cache, &mut rng);
+            let outcome = self.climb(data, &mut dag, &mut cache);
+            if self.objective(&outcome, data) > self.objective(&best, data) {
+                best = outcome;
+                best_dag = dag.clone();
+            }
+        }
+        let _ = best_dag;
+        best
+    }
+
+    fn objective(&self, outcome: &LearnOutcome, data: &Dataset) -> f64 {
+        match self.config.rule {
+            StepRule::Mdl => {
+                outcome.loglik
+                    - mdl_penalty_per_param(data.n_rows()) * outcome.bytes as f64 / 4.0
+            }
+            _ => outcome.loglik,
+        }
+    }
+
+    /// Hill-climbs to a local optimum from the current DAG.
+    fn climb(
+        &self,
+        data: &Dataset,
+        dag: &mut Dag,
+        cache: &mut Cache,
+    ) -> LearnOutcome {
+        let n = data.n_vars();
+        const TOL: f64 = 1e-9;
+        // Current family evaluations (what the model would ship today).
+        // Initialized uncapped; every applied move replaces the touched
+        // entries with the (possibly budget-capped) evaluation the move
+        // was scored with, keeping totals consistent with capped trees.
+        let mut cur: Vec<FamilyEval> = (0..n)
+            .map(|v| {
+                self.eval_family(data, v, &sorted(dag.parents(v)), cache, usize::MAX)
+                    .expect("current structure is always legal")
+                    .clone()
+            })
+            .collect();
+        loop {
+            let cur_ll: f64 = cur.iter().map(|f| f.ll).sum();
+            let cur_bytes: usize =
+                cur.iter().map(|f| f.bytes).sum::<usize>() + 2 * dag.edge_count();
+            let mut best: Option<(Move, f64, f64, usize)> = None; // move, rule score, dll, new bytes
+            for p in 0..n {
+                for c in 0..n {
+                    if p == c {
+                        continue;
+                    }
+                    let exists = dag.has_edge(p, c);
+                    let mut candidates: Vec<Move> = Vec::new();
+                    if exists {
+                        candidates.push(Move::Delete(p, c));
+                        // Reverse = delete p→c, add c→p; legal only if no
+                        // *other* directed path p ⇝ c exists.
+                        if self.parent_allowed(c, p)
+                            && dag.parents(p).len() < self.config.max_parents
+                        {
+                            let mut tmp = dag.clone();
+                            tmp.remove_edge(p, c);
+                            if !tmp.creates_cycle(c, p) {
+                                candidates.push(Move::Reverse(p, c));
+                            }
+                        }
+                    } else if self.parent_allowed(p, c)
+                        && dag.parents(c).len() < self.config.max_parents
+                        && !dag.creates_cycle(p, c)
+                    {
+                        candidates.push(Move::Add(p, c));
+                    }
+                    for mv in candidates {
+                        let Some((dll, dbytes)) =
+                            self.move_delta(data, dag, cache, mv, cur_bytes, &cur)
+                        else {
+                            continue;
+                        };
+                        let new_bytes = (cur_bytes as i64 + dbytes) as usize;
+                        if new_bytes > self.config.budget_bytes {
+                            continue;
+                        }
+                        let score = match self.config.rule {
+                            StepRule::Naive => {
+                                if dll <= TOL {
+                                    continue;
+                                }
+                                dll
+                            }
+                            StepRule::Ssn => {
+                                if dll <= TOL {
+                                    continue;
+                                }
+                                if dbytes > 0 {
+                                    dll / dbytes as f64
+                                } else {
+                                    f64::INFINITY
+                                }
+                            }
+                            StepRule::Mdl => {
+                                let dmdl = dll
+                                    - mdl_penalty_per_param(data.n_rows())
+                                        * dbytes as f64
+                                        / 4.0;
+                                if dmdl <= TOL {
+                                    continue;
+                                }
+                                dmdl
+                            }
+                        };
+                        if best.as_ref().is_none_or(|b| score > b.1) {
+                            best = Some((mv, score, dll, new_bytes));
+                        }
+                    }
+                }
+            }
+            match best {
+                None => {
+                    return self.assemble(dag, &cur, data, cur_ll, cur_bytes);
+                }
+                Some((mv, _, _, _)) => {
+                    self.apply(data, dag, cache, mv, cur_bytes, &mut cur);
+                }
+            }
+        }
+    }
+
+    /// Applies `k` random structure perturbations (to escape local maxima).
+    fn perturb(
+        &self,
+        data: &Dataset,
+        dag: &mut Dag,
+        cache: &mut Cache,
+        rng: &mut StdRng,
+    ) {
+        let n = data.n_vars();
+        if n < 2 {
+            return;
+        }
+        for _ in 0..3 {
+            let p = rng.gen_range(0..n);
+            let c = rng.gen_range(0..n);
+            if p == c {
+                continue;
+            }
+            if dag.has_edge(p, c) {
+                dag.remove_edge(p, c);
+            } else if self.parent_allowed(p, c)
+                && dag.parents(c).len() < self.config.max_parents
+                && !dag.creates_cycle(p, c)
+                && self
+                    .eval_family(data, c, &with_parent(dag.parents(c), p), cache, usize::MAX)
+                    .is_some()
+            {
+                dag.add_edge(p, c);
+            }
+        }
+        // If the perturbed structure blew the budget, prune random edges.
+        loop {
+            let bytes: usize = (0..n)
+                .map(|v| {
+                    self.eval_family(data, v, &sorted(dag.parents(v)), cache, usize::MAX)
+                        .map(|f| f.bytes)
+                        .unwrap_or(usize::MAX / 4)
+                })
+                .sum::<usize>()
+                + 2 * dag.edge_count();
+            if bytes <= self.config.budget_bytes {
+                break;
+            }
+            let edges: Vec<(usize, usize)> = (0..n)
+                .flat_map(|c| dag.parents(c).iter().map(move |&p| (p, c)).collect::<Vec<_>>())
+                .collect();
+            if edges.is_empty() {
+                break;
+            }
+            let (p, c) = edges[rng.gen_range(0..edges.len())];
+            dag.remove_edge(p, c);
+        }
+    }
+
+    /// Applies a move and refreshes the touched entries of `cur` with the
+    /// same capped evaluations `move_delta` scored.
+    fn apply(
+        &self,
+        data: &Dataset,
+        dag: &mut Dag,
+        cache: &mut Cache,
+        mv: Move,
+        cur_bytes: usize,
+        cur: &mut [FamilyEval],
+    ) {
+        let touched: Vec<usize> = match mv {
+            Move::Add(p, c) => {
+                dag.add_edge(p, c);
+                vec![c]
+            }
+            Move::Delete(p, c) => {
+                dag.remove_edge(p, c);
+                vec![c]
+            }
+            Move::Reverse(p, c) => {
+                dag.remove_edge(p, c);
+                dag.add_edge(c, p);
+                vec![c, p]
+            }
+        };
+        for child in touched {
+            let cap = self.family_cap(cur_bytes, cur[child].bytes);
+            cur[child] = self
+                .eval_family(data, child, &sorted(dag.parents(child)), cache, cap)
+                .expect("move was scored as legal")
+                .clone();
+        }
+    }
+
+    /// The byte allowance a candidate family may grow to.
+    fn family_cap(&self, cur_bytes: usize, old_family_bytes: usize) -> usize {
+        self.config
+            .budget_bytes
+            .saturating_sub(cur_bytes.saturating_sub(old_family_bytes))
+            .max(1)
+    }
+
+    /// ΔLL and Δbytes of a move, or `None` if a touched family is illegal
+    /// (e.g. its table would blow the cell guard).
+    #[allow(clippy::too_many_arguments)]
+    fn move_delta(
+        &self,
+        data: &Dataset,
+        dag: &Dag,
+        cache: &mut Cache,
+        mv: Move,
+        cur_bytes: usize,
+        cur: &[FamilyEval],
+    ) -> Option<(f64, i64)> {
+        let mut dll = 0.0;
+        let mut dbytes: i64 = 0;
+        let mut edge_delta: i64 = 0;
+        let touched: Vec<(usize, Vec<usize>)> = match mv {
+            Move::Add(p, c) => {
+                edge_delta = 1;
+                vec![(c, with_parent(dag.parents(c), p))]
+            }
+            Move::Delete(p, c) => {
+                edge_delta = -1;
+                vec![(c, without_parent(dag.parents(c), p))]
+            }
+            Move::Reverse(p, c) => vec![
+                (c, without_parent(dag.parents(c), p)),
+                (p, with_parent(dag.parents(p), c)),
+            ],
+        };
+        for (child, new_parents) in touched {
+            let (old_ll, old_bytes) = (cur[child].ll, cur[child].bytes);
+            // Cap tree growth by the bytes the rest of the model leaves.
+            let cap = self.family_cap(cur_bytes, old_bytes);
+            let new = self.eval_family(data, child, &new_parents, cache, cap)?;
+            dll += new.ll - old_ll;
+            dbytes += new.bytes as i64 - old_bytes as i64;
+        }
+        Some((dll, dbytes + 2 * edge_delta))
+    }
+
+    fn assemble(
+        &self,
+        dag: &Dag,
+        cur: &[FamilyEval],
+        data: &Dataset,
+        ll: f64,
+        bytes: usize,
+    ) -> LearnOutcome {
+        let mut bn = BayesNet::new(data.names().to_vec(), data.cards().to_vec());
+        // Install families in topological order so the cycle guard in
+        // `set_family` never trips mid-build.
+        for v in dag.topological_order() {
+            bn.set_family(v, &sorted(dag.parents(v)), cur[v].cpd.clone());
+        }
+        LearnOutcome { network: bn, loglik: ll, bytes }
+    }
+
+    fn parent_allowed(&self, parent: usize, child: usize) -> bool {
+        match &self.config.allowed_parents {
+            None => true,
+            Some(mask) => mask[child][parent],
+        }
+    }
+
+    fn eval_family<'c>(
+        &self,
+        data: &Dataset,
+        child: usize,
+        parents_sorted: &[usize],
+        cache: &'c mut Cache,
+        param_cap: usize,
+    ) -> Option<&'c FamilyEval> {
+        // Table CPDs ignore the cap (all-or-nothing families), so collapse
+        // the key to keep the cache effective.
+        let keyed_cap = match self.config.cpd_kind {
+            CpdKind::Table => usize::MAX,
+            CpdKind::Tree => param_cap,
+        };
+        let key = (child, parents_sorted.to_vec(), keyed_cap);
+        let entry = cache.entry(key).or_insert_with(|| {
+            match self.config.cpd_kind {
+                CpdKind::Table => {
+                    if data.family_table_cells(child, parents_sorted)
+                        > self.config.max_family_cells
+                    {
+                        return None;
+                    }
+                    let counts = data.family_counts(child, parents_sorted);
+                    let ll = family_loglik(&counts);
+                    let cpd: Cpd = TableCpd::from_counts(&counts).into();
+                    let bytes = cpd.size_bytes();
+                    Some(FamilyEval { ll, bytes, cpd })
+                }
+                CpdKind::Tree => {
+                    let parent_cols: Vec<&[u32]> =
+                        parents_sorted.iter().map(|&p| data.col(p)).collect();
+                    let parent_cards: Vec<usize> =
+                        parents_sorted.iter().map(|&p| data.card(p)).collect();
+                    let opts = TreeGrowOptions {
+                        byte_budget: self.config.tree.byte_budget.min(param_cap),
+                        ..self.config.tree.clone()
+                    };
+                    let grown = grow_tree(
+                        data.col(child),
+                        data.card(child),
+                        &parent_cols,
+                        &parent_cards,
+                        &opts,
+                    );
+                    let bytes = grown.cpd.size_bytes();
+                    Some(FamilyEval { ll: grown.loglik, bytes, cpd: grown.cpd.into() })
+                }
+            }
+        });
+        entry.as_ref()
+    }
+}
+
+fn sorted(parents: &[usize]) -> Vec<usize> {
+    let mut v = parents.to_vec();
+    v.sort_unstable();
+    v
+}
+
+fn with_parent(parents: &[usize], add: usize) -> Vec<usize> {
+    let mut v = parents.to_vec();
+    v.push(add);
+    v.sort_unstable();
+    v
+}
+
+fn without_parent(parents: &[usize], remove: usize) -> Vec<usize> {
+    let mut v: Vec<usize> = parents.iter().copied().filter(|&p| p != remove).collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::{probability_of_evidence, Evidence};
+
+    /// Data where B is a noisy copy of A and C is independent.
+    fn dataset() -> Dataset {
+        let n = 2000;
+        let a: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        let b: Vec<u32> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i % 10 == 0 { 1 - v } else { v })
+            .collect();
+        let c: Vec<u32> = (0..n).map(|i| ((i / 7) % 3) as u32).collect();
+        Dataset::new(
+            vec!["a".into(), "b".into(), "c".into()],
+            vec![2, 2, 3],
+            vec![a, b, c],
+        )
+    }
+
+    #[test]
+    fn learns_the_strong_dependence() {
+        for kind in [CpdKind::Table, CpdKind::Tree] {
+            let learner = GreedyLearner::new(LearnConfig {
+                cpd_kind: kind,
+                budget_bytes: 4096,
+                tree: TreeGrowOptions { min_gain_per_param: 0.01, ..Default::default() },
+                ..Default::default()
+            });
+            let outcome = learner.learn(&dataset());
+            let bn = &outcome.network;
+            // A and B must be connected (either direction).
+            let connected = bn.parents(0).contains(&1) || bn.parents(1).contains(&0);
+            assert!(connected, "{kind:?}: A–B edge missing");
+            assert!(outcome.bytes <= 4096);
+        }
+    }
+
+    #[test]
+    fn mdl_prunes_the_spurious_edges() {
+        // Pure-LL rules happily spend budget on finite-sample noise; the
+        // MDL rule must keep the near-independent C disconnected.
+        let learner = GreedyLearner::new(LearnConfig {
+            cpd_kind: CpdKind::Table,
+            rule: StepRule::Mdl,
+            restarts: 0,
+            ..Default::default()
+        });
+        let bn = learner.learn(&dataset()).network;
+        let connected = bn.parents(0).contains(&1) || bn.parents(1).contains(&0);
+        assert!(connected, "A–B edge missing under MDL");
+        assert!(bn.parents(2).is_empty(), "C should have no parents");
+        assert!(!bn.parents(0).contains(&2) && !bn.parents(1).contains(&2));
+    }
+
+    #[test]
+    fn learned_joint_matches_empirical_frequencies() {
+        let data = dataset();
+        let learner = GreedyLearner::new(LearnConfig {
+            cpd_kind: CpdKind::Table,
+            ..Default::default()
+        });
+        let bn = learner.learn(&data).network;
+        // P(A=0, B=0) empirically: rows with even i and not noise-flipped.
+        let n = data.n_rows() as f64;
+        let empirical = data
+            .col(0)
+            .iter()
+            .zip(data.col(1))
+            .filter(|&(&a, &b)| a == 0 && b == 0)
+            .count() as f64
+            / n;
+        let mut ev = Evidence::new();
+        ev.eq(0, 0, 2).eq(1, 0, 2);
+        let p = probability_of_evidence(&bn, &ev);
+        assert!((p - empirical).abs() < 1e-6, "p={p} empirical={empirical}");
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let learner = GreedyLearner::new(LearnConfig {
+            cpd_kind: CpdKind::Table,
+            budget_bytes: 64,
+            ..Default::default()
+        });
+        let outcome = learner.learn(&dataset());
+        assert!(outcome.bytes <= 64, "bytes={}", outcome.bytes);
+    }
+
+    #[test]
+    fn mdl_prunes_more_than_naive() {
+        let naive = GreedyLearner::new(LearnConfig {
+            cpd_kind: CpdKind::Table,
+            rule: StepRule::Naive,
+            restarts: 0,
+            ..Default::default()
+        })
+        .learn(&dataset());
+        let mdl = GreedyLearner::new(LearnConfig {
+            cpd_kind: CpdKind::Table,
+            rule: StepRule::Mdl,
+            restarts: 0,
+            ..Default::default()
+        })
+        .learn(&dataset());
+        assert!(mdl.bytes <= naive.bytes);
+    }
+
+    #[test]
+    fn allowed_parent_mask_is_enforced() {
+        // Forbid everything: the result must be fully disconnected.
+        let mask = vec![vec![false; 3]; 3];
+        let learner = GreedyLearner::new(LearnConfig {
+            cpd_kind: CpdKind::Table,
+            allowed_parents: Some(mask),
+            ..Default::default()
+        });
+        let bn = learner.learn(&dataset()).network;
+        for v in 0..3 {
+            assert!(bn.parents(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn small_budgets_get_partial_trees_not_nothing() {
+        // A strong dependence over a wide child: the full tree would not
+        // fit, but a truncated one must still be learned (budget-capped
+        // growth rather than all-or-nothing families).
+        let n = 4000;
+        let parent: Vec<u32> = (0..n).map(|i| (i % 16) as u32).collect();
+        let child: Vec<u32> = parent.iter().map(|&v| v % 8).collect();
+        let data = Dataset::new(
+            vec!["p".into(), "c".into()],
+            vec![16, 8],
+            vec![parent, child],
+        );
+        // Marginals alone: (16-1 + 8-1) * 4 + small = ~96 bytes. The full
+        // tree for c|p is 16 leaves * 7 params * 4 = 448 bytes.
+        let outcome = GreedyLearner::new(LearnConfig {
+            cpd_kind: CpdKind::Tree,
+            budget_bytes: 220,
+            restarts: 0,
+            tree: TreeGrowOptions { min_gain_per_param: 0.01, ..Default::default() },
+            ..Default::default()
+        })
+        .learn(&data);
+        assert!(outcome.bytes <= 220);
+        // The edge must exist despite the full tree not fitting.
+        assert!(
+            outcome.network.parents(1).contains(&0)
+                || outcome.network.parents(0).contains(&1),
+            "edge dropped instead of truncating the tree"
+        );
+    }
+
+    #[test]
+    fn outcome_totals_match_network_accounting() {
+        let learner = GreedyLearner::new(LearnConfig::default());
+        let outcome = learner.learn(&dataset());
+        assert_eq!(outcome.bytes, outcome.network.size_bytes());
+    }
+}

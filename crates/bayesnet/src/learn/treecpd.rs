@@ -1,0 +1,432 @@
+//! Greedy induction of tree CPDs.
+//!
+//! The search operator the paper calls "adding a split in a CPD tree" is
+//! realized here: starting from a single leaf, we repeatedly apply the
+//! split (leaf × parent slot × split shape) with the best log-likelihood
+//! gain per added parameter, until the gain threshold or the parameter
+//! budget stops us. Split shapes are the two in Fig. 2(b): multiway
+//! (one branch per parent value) and ordinal binary threshold.
+
+use crate::cpd::{TreeCpd, TreeNode};
+use crate::learn::score::marginal_loglik;
+
+/// Knobs for tree growth.
+#[derive(Debug, Clone)]
+pub struct TreeGrowOptions {
+    /// Hard cap on free parameters `(leaves · (child_card − 1))`.
+    pub param_budget: usize,
+    /// Hard cap on the tree's **byte** footprint (params + interior nodes
+    /// + scope overhead, the same accounting as `TreeCpd::size_bytes`).
+    pub byte_budget: usize,
+    /// Do not split leaves with fewer rows than this.
+    pub min_rows: usize,
+    /// Minimum log-likelihood gain per added parameter for a split to be
+    /// applied.
+    pub min_gain_per_param: f64,
+    /// Laplace (add-α) smoothing for the leaf distributions; 0 = pure MLE
+    /// (the paper's choice). Splits are still scored on unsmoothed counts.
+    pub laplace_alpha: f64,
+}
+
+impl Default for TreeGrowOptions {
+    fn default() -> Self {
+        TreeGrowOptions {
+            param_budget: usize::MAX,
+            byte_budget: usize::MAX,
+            min_rows: 8,
+            min_gain_per_param: 0.5,
+            laplace_alpha: 0.0,
+        }
+    }
+}
+
+/// A grown tree plus the log-likelihood of the data under it.
+#[derive(Debug, Clone)]
+pub struct GrownTree {
+    /// The learned CPD.
+    pub cpd: TreeCpd,
+    /// `Σ_rows ln P(child | parents)` under the leaf MLE distributions.
+    pub loglik: f64,
+}
+
+/// The shape of a chosen split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SplitShape {
+    PerValue,
+    Threshold(u32),
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    leaf: usize,
+    slot: usize,
+    shape: SplitShape,
+    gain: f64,
+    added_params: usize,
+}
+
+enum BuildNode {
+    Leaf { rows: Vec<u32>, counts: Vec<u64>, ll: f64 },
+    SplitPerValue { slot: usize, branches: Vec<usize> },
+    SplitThreshold { slot: usize, cut: u32, lo: usize, hi: usize },
+}
+
+/// Grows a tree CPD for `child` given the parent columns.
+///
+/// `child_col` and every parent column must have equal length; codes must
+/// be below the respective cardinalities.
+pub fn grow_tree(
+    child_col: &[u32],
+    child_card: usize,
+    parent_cols: &[&[u32]],
+    parent_cards: &[usize],
+    opts: &TreeGrowOptions,
+) -> GrownTree {
+    assert!(child_card >= 1);
+    let all_rows: Vec<u32> = (0..child_col.len() as u32).collect();
+    let (counts, ll) = leaf_stats(child_col, child_card, &all_rows);
+    let mut nodes = vec![BuildNode::Leaf { rows: all_rows, counts, ll }];
+    let leaf_params = child_card.saturating_sub(1);
+    let mut used_params = leaf_params;
+    // Byte accounting mirrors `TreeCpd::size_bytes`.
+    let mut used_bytes = 4 * leaf_params + 2 * (1 + parent_cards.len());
+
+    let mut pending: Vec<Candidate> = Vec::new();
+    if let Some(c) =
+        best_split(&nodes, 0, child_col, child_card, parent_cols, parent_cards, opts)
+    {
+        pending.push(c);
+    }
+    while !pending.is_empty() {
+        // Pick the best gain-per-parameter candidate.
+        let (best_idx, _) = pending
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.gain / c.added_params.max(1) as f64))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("gains are finite"))
+            .expect("pending non-empty");
+        let cand = pending.swap_remove(best_idx);
+        // One interior vertex (4 B) is added per split.
+        let added_bytes = 4 * cand.added_params + 4;
+        if used_params + cand.added_params > opts.param_budget
+            || used_bytes + added_bytes > opts.byte_budget
+        {
+            continue; // Too big; maybe a cheaper candidate still fits.
+        }
+        let BuildNode::Leaf { rows, .. } = &nodes[cand.leaf] else {
+            unreachable!("candidates always reference leaves")
+        };
+        let rows = rows.clone();
+        // Partition rows into branch leaves.
+        let new_ids: Vec<usize> = match cand.shape {
+            SplitShape::PerValue => {
+                let card = parent_cards[cand.slot];
+                let mut parts: Vec<Vec<u32>> = vec![Vec::new(); card];
+                for &r in &rows {
+                    parts[parent_cols[cand.slot][r as usize] as usize].push(r);
+                }
+                let ids: Vec<usize> = parts
+                    .into_iter()
+                    .map(|part| {
+                        let (counts, ll) = leaf_stats(child_col, child_card, &part);
+                        nodes.push(BuildNode::Leaf { rows: part, counts, ll });
+                        nodes.len() - 1
+                    })
+                    .collect();
+                nodes[cand.leaf] =
+                    BuildNode::SplitPerValue { slot: cand.slot, branches: ids.clone() };
+                ids
+            }
+            SplitShape::Threshold(cut) => {
+                let mut lo_rows = Vec::new();
+                let mut hi_rows = Vec::new();
+                for &r in &rows {
+                    if parent_cols[cand.slot][r as usize] <= cut {
+                        lo_rows.push(r);
+                    } else {
+                        hi_rows.push(r);
+                    }
+                }
+                let mut ids = Vec::with_capacity(2);
+                for part in [lo_rows, hi_rows] {
+                    let (counts, ll) = leaf_stats(child_col, child_card, &part);
+                    nodes.push(BuildNode::Leaf { rows: part, counts, ll });
+                    ids.push(nodes.len() - 1);
+                }
+                nodes[cand.leaf] = BuildNode::SplitThreshold {
+                    slot: cand.slot,
+                    cut,
+                    lo: ids[0],
+                    hi: ids[1],
+                };
+                ids
+            }
+        };
+        used_params += cand.added_params;
+        used_bytes += added_bytes;
+        // Stale candidates for the just-split leaf are impossible: each
+        // leaf contributes at most one pending candidate, consumed above.
+        for id in new_ids {
+            if let Some(c) = best_split(
+                &nodes, id, child_col, child_card, parent_cols, parent_cards, opts,
+            ) {
+                pending.push(c);
+            }
+        }
+    }
+
+    // Convert the build arena into the immutable CPD arena.
+    let total_ll: f64 = nodes
+        .iter()
+        .map(|n| match n {
+            BuildNode::Leaf { ll, .. } => *ll,
+            _ => 0.0,
+        })
+        .sum();
+    let arena: Vec<TreeNode> = nodes
+        .into_iter()
+        .map(|n| match n {
+            BuildNode::Leaf { counts, .. } => {
+                TreeNode::Leaf(dist_of(&counts, opts.laplace_alpha))
+            }
+            BuildNode::SplitPerValue { slot, branches } => {
+                TreeNode::SplitPerValue { slot, branches }
+            }
+            BuildNode::SplitThreshold { slot, cut, lo, hi } => {
+                TreeNode::SplitThreshold { slot, cut, lo, hi }
+            }
+        })
+        .collect();
+    GrownTree {
+        cpd: TreeCpd::new(child_card, parent_cards.to_vec(), arena),
+        loglik: total_ll,
+    }
+}
+
+/// (Optionally smoothed) MLE distribution of a leaf; empty unsmoothed
+/// leaves fall back to uniform.
+fn dist_of(counts: &[u64], alpha: f64) -> Vec<f64> {
+    let total: u64 = counts.iter().sum();
+    let denom = total as f64 + alpha * counts.len() as f64;
+    if denom == 0.0 {
+        vec![1.0 / counts.len() as f64; counts.len()]
+    } else {
+        counts.iter().map(|&n| (n as f64 + alpha) / denom).collect()
+    }
+}
+
+fn leaf_stats(child_col: &[u32], child_card: usize, rows: &[u32]) -> (Vec<u64>, f64) {
+    let mut counts = vec![0u64; child_card];
+    for &r in rows {
+        counts[child_col[r as usize] as usize] += 1;
+    }
+    let ll = marginal_loglik(&counts);
+    (counts, ll)
+}
+
+/// Finds the best split of leaf `leaf`, or `None` if no admissible split
+/// clears the gain threshold.
+#[allow(clippy::too_many_arguments)]
+fn best_split(
+    nodes: &[BuildNode],
+    leaf: usize,
+    child_col: &[u32],
+    child_card: usize,
+    parent_cols: &[&[u32]],
+    parent_cards: &[usize],
+    opts: &TreeGrowOptions,
+) -> Option<Candidate> {
+    let BuildNode::Leaf { rows, ll: leaf_ll, .. } = &nodes[leaf] else {
+        return None;
+    };
+    if rows.len() < opts.min_rows {
+        return None;
+    }
+    let leaf_params = child_card.saturating_sub(1);
+    let mut best: Option<Candidate> = None;
+    for (slot, (&col, &card)) in parent_cols.iter().zip(parent_cards).enumerate() {
+        if card < 2 {
+            continue;
+        }
+        // Per-(parent value, child value) counts within the leaf.
+        let mut matrix = vec![0u64; card * child_card];
+        for &r in rows.iter() {
+            let v = col[r as usize] as usize;
+            let c = child_col[r as usize] as usize;
+            matrix[v * child_card + c] += 1;
+        }
+        // Multiway split.
+        let multi_ll: f64 = matrix
+            .chunks(child_card)
+            .map(marginal_loglik)
+            .sum();
+        consider(
+            &mut best,
+            Candidate {
+                leaf,
+                slot,
+                shape: SplitShape::PerValue,
+                gain: multi_ll - leaf_ll,
+                added_params: (card - 1) * leaf_params,
+            },
+            opts,
+        );
+        // Ordinal threshold splits via prefix sums.
+        let mut lo = vec![0u64; child_card];
+        let total: Vec<u64> = (0..child_card)
+            .map(|c| (0..card).map(|v| matrix[v * child_card + c]).sum())
+            .collect();
+        for cut in 0..card - 1 {
+            for c in 0..child_card {
+                lo[c] += matrix[cut * child_card + c];
+            }
+            let hi: Vec<u64> =
+                total.iter().zip(&lo).map(|(&t, &l)| t - l).collect();
+            let gain = marginal_loglik(&lo) + marginal_loglik(&hi) - leaf_ll;
+            consider(
+                &mut best,
+                Candidate {
+                    leaf,
+                    slot,
+                    shape: SplitShape::Threshold(cut as u32),
+                    gain,
+                    added_params: leaf_params,
+                },
+                opts,
+            );
+        }
+    }
+    best
+}
+
+fn consider(best: &mut Option<Candidate>, cand: Candidate, opts: &TreeGrowOptions) {
+    if cand.added_params == 0 {
+        return;
+    }
+    let ratio = cand.gain / cand.added_params as f64;
+    if cand.gain <= 0.0 || ratio < opts.min_gain_per_param {
+        return;
+    }
+    let better = match best {
+        None => true,
+        Some(b) => ratio > b.gain / b.added_params as f64,
+    };
+    if better {
+        *best = Some(cand);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Child copies parent 0 and ignores parent 1.
+    fn copy_data(n: usize) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+        let p0: Vec<u32> = (0..n as u32).map(|i| i % 2).collect();
+        let p1: Vec<u32> = (0..n as u32).map(|i| (i / 2) % 3).collect();
+        let child = p0.clone();
+        (child, p0, p1)
+    }
+
+    #[test]
+    fn splits_on_the_informative_parent() {
+        let (child, p0, p1) = copy_data(120);
+        let grown = grow_tree(
+            &child,
+            2,
+            &[&p0, &p1],
+            &[2, 3],
+            &TreeGrowOptions { min_gain_per_param: 0.01, ..Default::default() },
+        );
+        // Deterministic copy: tree LL must be 0 (probability 1 per row).
+        assert!(grown.loglik.abs() < 1e-9);
+        // The split must be on slot 0, and the leaves deterministic.
+        assert_eq!(grown.cpd.dist(&[0, 0]), &[1.0, 0.0]);
+        assert_eq!(grown.cpd.dist(&[1, 2]), &[0.0, 1.0]);
+        // Only one split is needed — parameters stay small.
+        assert_eq!(grown.cpd.leaf_count(), 2);
+    }
+
+    #[test]
+    fn no_split_when_child_is_independent() {
+        // Child constant regardless of the parent.
+        let child = vec![0u32; 100];
+        let p0: Vec<u32> = (0..100u32).map(|i| i % 4).collect();
+        let grown = grow_tree(&child, 2, &[&p0], &[4], &TreeGrowOptions::default());
+        assert_eq!(grown.cpd.leaf_count(), 1);
+        assert_eq!(grown.cpd.dist(&[3]), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn budget_limits_growth() {
+        // Child = parity of a 4-valued parent: a per-value or two binary
+        // splits would fit it, but the budget allows a single leaf only.
+        let p0: Vec<u32> = (0..200u32).map(|i| i % 4).collect();
+        let child: Vec<u32> = p0.iter().map(|&v| v % 2).collect();
+        let grown = grow_tree(
+            &child,
+            2,
+            &[&p0],
+            &[4],
+            &TreeGrowOptions { param_budget: 1, min_gain_per_param: 0.0, ..Default::default() },
+        );
+        assert_eq!(grown.cpd.leaf_count(), 1);
+    }
+
+    #[test]
+    fn threshold_split_fits_monotone_dependence() {
+        // Child = 1 iff parent code ≥ 5 (ordinal step function).
+        let p0: Vec<u32> = (0..300u32).map(|i| i % 10).collect();
+        let child: Vec<u32> = p0.iter().map(|&v| u32::from(v >= 5)).collect();
+        let grown = grow_tree(
+            &child,
+            2,
+            &[&p0],
+            &[10],
+            &TreeGrowOptions { min_gain_per_param: 0.01, ..Default::default() },
+        );
+        assert!(grown.loglik.abs() < 1e-9);
+        // A single threshold split suffices: exactly 2 leaves.
+        assert_eq!(grown.cpd.leaf_count(), 2);
+        assert_eq!(grown.cpd.dist(&[4]), &[1.0, 0.0]);
+        assert_eq!(grown.cpd.dist(&[5]), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn min_rows_stops_splitting() {
+        let (child, p0, _) = copy_data(6);
+        let grown = grow_tree(
+            &child,
+            2,
+            &[&p0],
+            &[2],
+            &TreeGrowOptions { min_rows: 10, min_gain_per_param: 0.0, ..Default::default() },
+        );
+        assert_eq!(grown.cpd.leaf_count(), 1);
+    }
+
+    #[test]
+    fn loglik_matches_leaf_decomposition() {
+        // Noisy dependence: verify the returned LL equals a direct
+        // computation under the grown tree.
+        let p0: Vec<u32> = (0..400u32).map(|i| i % 2).collect();
+        let child: Vec<u32> = p0
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i % 5 == 0 { 1 - v } else { v })
+            .collect();
+        let grown = grow_tree(
+            &child,
+            2,
+            &[&p0],
+            &[2],
+            &TreeGrowOptions { min_gain_per_param: 0.01, ..Default::default() },
+        );
+        let direct: f64 = child
+            .iter()
+            .zip(&p0)
+            .map(|(&c, &v)| grown.cpd.dist(&[v])[c as usize].ln())
+            .sum();
+        assert!((grown.loglik - direct).abs() < 1e-9);
+    }
+}

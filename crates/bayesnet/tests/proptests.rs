@@ -1,0 +1,204 @@
+//! Property-based tests for the probabilistic core: factor algebra laws,
+//! exact-inference agreement between the three evaluation strategies
+//! (joint enumeration, variable elimination, junction tree), tree-CPD
+//! invariants, and discretizer invariants.
+
+use bayesnet::cpd::TableCpd;
+use bayesnet::discretize::Discretizer;
+use bayesnet::learn::treecpd::{grow_tree, TreeGrowOptions};
+use bayesnet::{probability_of_evidence, BayesNet, Evidence, Factor, JoinTree};
+use proptest::prelude::*;
+
+/// A random factor over a fixed scope.
+fn arb_factor(vars: Vec<usize>, cards: Vec<usize>) -> impl Strategy<Value = Factor> {
+    let len: usize = cards.iter().product::<usize>().max(1);
+    proptest::collection::vec(0.0f64..10.0, len)
+        .prop_map(move |data| Factor::new(vars.clone(), cards.clone(), data))
+}
+
+/// A random complete Bayesian network over `n ≤ 4` variables with a random
+/// DAG (edges only from lower to higher index) and random CPDs.
+fn arb_bn() -> impl Strategy<Value = BayesNet> {
+    (
+        2usize..5,
+        proptest::collection::vec(2usize..4, 4),
+        proptest::collection::vec(any::<bool>(), 6),
+        proptest::collection::vec(1u32..1000, 200),
+    )
+        .prop_map(|(n, cards, edge_bits, weights)| {
+            let cards: Vec<usize> = cards[..n].to_vec();
+            let names = (0..n).map(|i| format!("x{i}")).collect();
+            let mut bn = BayesNet::new(names, cards.clone());
+            let mut w = weights.into_iter().cycle();
+            let mut bit = edge_bits.into_iter().cycle();
+            for child in 0..n {
+                let parents: Vec<usize> =
+                    (0..child).filter(|_| bit.next().unwrap()).collect();
+                let parent_cards: Vec<usize> =
+                    parents.iter().map(|&p| cards[p]).collect();
+                let rows: usize = parent_cards.iter().product::<usize>().max(1);
+                let mut probs = Vec::with_capacity(rows * cards[child]);
+                for _ in 0..rows {
+                    let raw: Vec<f64> =
+                        (0..cards[child]).map(|_| w.next().unwrap() as f64).collect();
+                    let total: f64 = raw.iter().sum();
+                    probs.extend(raw.into_iter().map(|x| x / total));
+                }
+                bn.set_family(
+                    child,
+                    &parents,
+                    TableCpd::new(cards[child], parent_cards, probs).into(),
+                );
+            }
+            bn
+        })
+}
+
+/// Brute-force `P(E)`: build the full joint, reduce, total.
+fn brute_force(bn: &BayesNet, ev: &Evidence) -> f64 {
+    let mut joint = bn
+        .factors()
+        .into_iter()
+        .reduce(|a, b| a.product(&b))
+        .expect("non-empty network");
+    for v in ev.vars().collect::<Vec<_>>() {
+        joint = joint.reduce(v, ev.mask_of(v).expect("constrained"));
+    }
+    joint.total()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn factor_product_is_commutative(
+        a in arb_factor(vec![0, 2], vec![2, 3]),
+        b in arb_factor(vec![1, 2], vec![2, 3]),
+    ) {
+        let ab = a.product(&b);
+        let ba = b.product(&a);
+        prop_assert_eq!(ab.vars(), ba.vars());
+        for (x, y) in ab.data().iter().zip(ba.data()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn factor_product_is_associative(
+        a in arb_factor(vec![0], vec![2]),
+        b in arb_factor(vec![0, 1], vec![2, 2]),
+        c in arb_factor(vec![1, 2], vec![2, 3]),
+    ) {
+        let left = a.product(&b).product(&c);
+        let right = a.product(&b.product(&c));
+        prop_assert_eq!(left.vars(), right.vars());
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sum_out_commutes(f in arb_factor(vec![0, 1, 2], vec![2, 3, 2])) {
+        let a = f.sum_out(0).sum_out(2);
+        let b = f.sum_out(2).sum_out(0);
+        prop_assert_eq!(a.vars(), b.vars());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sum_out_preserves_total(f in arb_factor(vec![0, 1], vec![3, 4])) {
+        prop_assert!((f.sum_out(0).total() - f.total()).abs() < 1e-9);
+        prop_assert!((f.sum_out(1).total() - f.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ve_matches_joint_enumeration(bn in arb_bn(), seed in 0u64..1000) {
+        // Random evidence on up to two variables.
+        let n = bn.len();
+        let v1 = (seed as usize) % n;
+        let v2 = (seed as usize / n) % n;
+        let mut ev = Evidence::new();
+        ev.eq(v1, (seed % bn.card(v1) as u64) as u32, bn.card(v1));
+        ev.eq(v2, (seed / 7 % bn.card(v2) as u64) as u32, bn.card(v2));
+        let ve = probability_of_evidence(&bn, &ev);
+        let brute = brute_force(&bn, &ev);
+        prop_assert!((ve - brute).abs() < 1e-9, "ve={} brute={}", ve, brute);
+    }
+
+    #[test]
+    fn jointree_matches_ve(bn in arb_bn(), seed in 0u64..1000) {
+        let n = bn.len();
+        let v1 = (seed as usize) % n;
+        let mut ev = Evidence::new();
+        ev.eq(v1, (seed % bn.card(v1) as u64) as u32, bn.card(v1));
+        let jt = JoinTree::build(&bn);
+        let a = jt.probability_of_evidence(&ev);
+        let b = probability_of_evidence(&bn, &ev);
+        prop_assert!((a - b).abs() < 1e-9, "jt={} ve={}", a, b);
+        let cal = jt.calibrate(&ev);
+        prop_assert!((cal.p_evidence() - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_joint_is_normalized(bn in arb_bn()) {
+        let joint = bn
+            .factors()
+            .into_iter()
+            .reduce(|a, b| a.product(&b))
+            .expect("non-empty");
+        prop_assert!((joint.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grown_tree_rows_are_distributions(
+        child in proptest::collection::vec(0u32..3, 30..120),
+        parent in proptest::collection::vec(0u32..4, 30..120),
+    ) {
+        let n = child.len().min(parent.len());
+        let grown = grow_tree(
+            &child[..n],
+            3,
+            &[&parent[..n]],
+            &[4],
+            &TreeGrowOptions { min_gain_per_param: 0.01, ..Default::default() },
+        );
+        for pv in 0..4u32 {
+            let d = grown.cpd.dist(&[pv]);
+            let total: f64 = d.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!(d.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+        // The tree's log-likelihood matches a direct recomputation.
+        let direct: f64 = child[..n]
+            .iter()
+            .zip(&parent[..n])
+            .map(|(&c, &p)| grown.cpd.dist(&[p])[c as usize].ln())
+            .sum();
+        prop_assert!((grown.loglik - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn discretizer_partitions_domain(
+        codes in proptest::collection::vec(0u32..40, 10..200),
+        bins in 2usize..10,
+    ) {
+        let d = Discretizer::equi_depth(&codes, 40, bins);
+        prop_assert!(d.n_bins() <= bins);
+        // Every code maps to exactly the bin whose range contains it.
+        for c in 0..40u32 {
+            let b = d.bin_of(c);
+            let (lo, hi) = d.bin_range(b);
+            prop_assert!(lo <= c && c <= hi);
+        }
+        // Ranges tile the domain.
+        let mut expected_lo = 0u32;
+        for b in 0..d.n_bins() as u32 {
+            let (lo, hi) = d.bin_range(b);
+            prop_assert_eq!(lo, expected_lo);
+            expected_lo = hi + 1;
+        }
+        prop_assert_eq!(expected_lo, 40);
+    }
+}

@@ -1,0 +1,116 @@
+//! Criterion microbenches for the offline phase (Fig. 7(a)/(b) companions):
+//! PRM construction with tree vs table CPDs, at two budgets and two data
+//! sizes, plus the baselines' build times at a matched budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prmsel::{CpdKind, PrmEstimator, PrmLearnConfig};
+use workloads::census::census_database;
+use workloads::tb::tb_database_sized;
+
+fn bench_census_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct/census");
+    group.sample_size(10);
+    for &rows in &[5_000usize, 20_000] {
+        let db = census_database(rows, 1);
+        for kind in [CpdKind::Tree, CpdKind::Table] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), rows),
+                &db,
+                |b, db| {
+                    b.iter(|| {
+                        PrmEstimator::build(
+                            db,
+                            &PrmLearnConfig {
+                                budget_bytes: 3_500,
+                                cpd_kind: kind,
+                                ..Default::default()
+                            },
+                        )
+                        .expect("build")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_tb_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct/tb");
+    group.sample_size(10);
+    let db = tb_database_sized(400, 500, 4_000, 7);
+    group.bench_function("prm", |b| {
+        b.iter(|| {
+            PrmEstimator::build(
+                &db,
+                &PrmLearnConfig { budget_bytes: 3_000, ..Default::default() },
+            )
+            .expect("build")
+        })
+    });
+    group.bench_function("bn_uj", |b| {
+        b.iter(|| PrmEstimator::build(&db, &PrmLearnConfig::bn_uj(3_000)).expect("build"))
+    });
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct/baselines");
+    group.sample_size(10);
+    let db = census_database(20_000, 1);
+    let table = db.table("census").expect("census");
+    group.bench_function("avi", |b| {
+        b.iter(|| baselines::AviEstimator::build(table))
+    });
+    group.bench_function("sample", |b| {
+        b.iter(|| baselines::SampleEstimator::build(table, 3_500, 42))
+    });
+    let attrs = ["age", "income"];
+    let cols: Vec<&[u32]> = attrs.iter().map(|a| table.codes(a).expect("attr")).collect();
+    let cards: Vec<usize> =
+        attrs.iter().map(|a| table.domain(a).expect("attr").card()).collect();
+    group.bench_function("mhist", |b| {
+        b.iter(|| baselines::MhistEstimator::build(&cols, &cards, 3_500))
+    });
+    group.finish();
+}
+
+fn bench_candidate_prefilter(c: &mut Criterion) {
+    // The §6 single-pass shortlist: how much construction time it saves
+    // on the widest table (13 attributes).
+    let mut group = c.benchmark_group("construct/prefilter");
+    group.sample_size(10);
+    let db = census_database(20_000, 1);
+    group.bench_function("all_candidates", |b| {
+        b.iter(|| {
+            PrmEstimator::build(
+                &db,
+                &PrmLearnConfig { budget_bytes: 3_500, ..Default::default() },
+            )
+            .expect("build")
+        })
+    });
+    group.bench_function("top3_candidates", |b| {
+        b.iter(|| {
+            PrmEstimator::build(
+                &db,
+                &PrmLearnConfig {
+                    budget_bytes: 3_500,
+                    candidate_parents_per_attr: Some(3),
+                    ..Default::default()
+                },
+            )
+            .expect("build")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_census_construction,
+    bench_tb_construction,
+    bench_baselines,
+    bench_candidate_prefilter
+);
+criterion_main!(benches);

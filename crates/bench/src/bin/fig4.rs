@@ -1,0 +1,85 @@
+//! Figure 4 — relative error vs. storage size for equality-select suites
+//! over the Census table; AVI / MHIST / SAMPLE / PRM, each model built
+//! over exactly the queried attribute subset (the paper's setting).
+//!
+//!   (a) 2 attributes (age, income),          200–1200 bytes
+//!   (b) 3 attributes (age, hours_per_week, income),  500–3500 bytes
+//!   (c) 4 attributes (age, education, hours_per_week, income), 500–5500 bytes
+//!
+//! Run: `cargo run --release -p prmsel-bench --bin fig4 [-- --quick]`
+
+use prmsel::{
+    AviAdapter, MhistAdapter, PrmEstimator, PrmLearnConfig, SampleAdapter,
+    SelectivityEstimator, WaveletAdapter,
+};
+use prmsel_bench::{cap_suite, print_series, truths_by_groupby, FigRow, HarnessOpts};
+use reldb::{stats::ResolvedCol, Database, DatabaseBuilder};
+use workloads::census::census_database;
+use workloads::single_table_eq_suite;
+
+fn main() -> reldb::Result<()> {
+    let opts = HarnessOpts::from_args();
+    let rows = if opts.quick { 20_000 } else { 150_000 };
+    eprintln!("generating census data ({rows} rows)...");
+    let db = census_database(rows, 1);
+
+    let panels: [(&str, &[&str], &[usize]); 3] = [
+        ("Fig 4(a): 2-attr (age, income)", &["age", "income"], &[200, 400, 600, 800, 1000, 1200]),
+        (
+            "Fig 4(b): 3-attr (age, hours_per_week, income)",
+            &["age", "hours_per_week", "income"],
+            &[500, 1000, 1500, 2000, 2500, 3000, 3500],
+        ),
+        (
+            "Fig 4(c): 4-attr (age, education, hours_per_week, income)",
+            &["age", "education", "hours_per_week", "income"],
+            &[500, 1500, 2500, 3500, 4500, 5500],
+        ),
+    ];
+
+    for (title, attrs, budgets) in panels {
+        let suite = single_table_eq_suite(&db, "census", attrs)?;
+        let queries = cap_suite(suite.queries, 4_000, 99);
+        let cols: Vec<ResolvedCol> =
+            attrs.iter().map(|a| ResolvedCol::local(*a)).collect();
+        let truths = truths_by_groupby(&db, "census", &cols, &queries)?;
+        // Fig. 4 setting: every model sees only the queried attributes.
+        let proj: Database = DatabaseBuilder::new()
+            .add_table(db.table("census")?.project(attrs)?)
+            .finish()?;
+
+        let mut rows_out: Vec<FigRow> = Vec::new();
+        // AVI has a fixed (tiny) size; one point.
+        let avi = AviAdapter::build(&proj, "census")?;
+        let avi_eval = prmsel::metrics::evaluate_with_truth(&avi, &queries, &truths)?;
+        rows_out.push(FigRow {
+            method: "AVI".into(),
+            x: avi.size_bytes() as f64,
+            y: avi_eval.mean_error_pct(),
+        });
+        for &budget in budgets {
+            let mhist = MhistAdapter::build(&db, "census", attrs, budget)?;
+            let wavelet = WaveletAdapter::build(&db, "census", attrs, budget)?;
+            let sample = SampleAdapter::build(&proj, "census", budget, 42)?;
+            let prm = PrmEstimator::build(
+                &proj,
+                &PrmLearnConfig { budget_bytes: budget, ..Default::default() },
+            )?;
+            for est in [&mhist as &dyn SelectivityEstimator, &wavelet, &sample, &prm] {
+                let eval = prmsel::metrics::evaluate_with_truth(est, &queries, &truths)?;
+                rows_out.push(FigRow {
+                    method: est.name().to_owned(),
+                    x: budget as f64,
+                    y: eval.mean_error_pct(),
+                });
+            }
+        }
+        print_series(
+            &format!("{title} [{} queries, {rows} rows]", queries.len()),
+            "bytes",
+            "mean err %",
+            &rows_out,
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Figure 5 — whole-table models over all 13 Census attributes; a single
+//! model answers arbitrary query subsets. SAMPLE vs PRM with tree CPDs vs
+//! PRM with table CPDs, plus the Fig. 5(c) per-query scatter of SAMPLE
+//! error against PRM error at a fixed budget.
+//!
+//! Run: `cargo run --release -p prmsel-bench --bin fig5 [-- --quick]`
+
+use prmsel::{
+    CpdKind, PrmEstimator, PrmLearnConfig, SampleAdapter, SelectivityEstimator,
+};
+use prmsel_bench::{cap_suite, print_series, truths_by_groupby, FigRow, HarnessOpts};
+use reldb::stats::ResolvedCol;
+use workloads::census::census_database;
+use workloads::single_table_eq_suite;
+
+fn main() -> reldb::Result<()> {
+    let opts = HarnessOpts::from_args();
+    let rows = if opts.quick { 20_000 } else { 150_000 };
+    eprintln!("generating census data ({rows} rows)...");
+    let db = census_database(rows, 1);
+
+    let panels: [(&str, &[&str], &[usize]); 2] = [
+        (
+            "Fig 5(a): 3-attr suite (worker_class, education, marital_status)",
+            &["worker_class", "education", "marital_status"],
+            &[1500, 2500, 3500, 4500],
+        ),
+        (
+            "Fig 5(b): 4-attr suite (income, industry, age, employ_type)",
+            &["income", "industry", "age", "employ_type"],
+            &[1500, 3500, 5500, 7500, 9500],
+        ),
+    ];
+
+    for (title, attrs, budgets) in panels {
+        let suite = single_table_eq_suite(&db, "census", attrs)?;
+        let queries = cap_suite(suite.queries, 4_000, 99);
+        let cols: Vec<ResolvedCol> =
+            attrs.iter().map(|a| ResolvedCol::local(*a)).collect();
+        let truths = truths_by_groupby(&db, "census", &cols, &queries)?;
+
+        let mut rows_out = Vec::new();
+        for &budget in budgets {
+            let sample = SampleAdapter::build(&db, "census", budget, 42)?;
+            let tree = PrmEstimator::build(
+                &db,
+                &PrmLearnConfig { budget_bytes: budget, cpd_kind: CpdKind::Tree, ..Default::default() },
+            )?;
+            let table = PrmEstimator::build(
+                &db,
+                &PrmLearnConfig { budget_bytes: budget, cpd_kind: CpdKind::Table, ..Default::default() },
+            )?;
+            for (label, est) in [
+                ("SAMPLE", &sample as &dyn SelectivityEstimator),
+                ("PRM-tree", &tree),
+                ("PRM-table", &table),
+            ] {
+                let eval = prmsel::metrics::evaluate_with_truth(est, &queries, &truths)?;
+                rows_out.push(FigRow {
+                    method: label.into(),
+                    x: budget as f64,
+                    y: eval.mean_error_pct(),
+                });
+            }
+        }
+        print_series(
+            &format!("{title} [{} queries, whole-table models]", queries.len()),
+            "bytes",
+            "mean err %",
+            &rows_out,
+        );
+    }
+
+    // Fig 5(c): per-query scatter at ~9.3 KB on (income, industry, age).
+    let attrs = ["income", "industry", "age"];
+    let suite = single_table_eq_suite(&db, "census", &attrs)?;
+    let queries = cap_suite(suite.queries, 2_000, 7);
+    let cols: Vec<ResolvedCol> = attrs.iter().map(|a| ResolvedCol::local(*a)).collect();
+    let truths = truths_by_groupby(&db, "census", &cols, &queries)?;
+    let budget = 9_300;
+    let sample = SampleAdapter::build(&db, "census", budget, 42)?;
+    let prm = PrmEstimator::build(
+        &db,
+        &PrmLearnConfig { budget_bytes: budget, ..Default::default() },
+    )?;
+    let s_eval = prmsel::metrics::evaluate_with_truth(&sample, &queries, &truths)?;
+    let p_eval = prmsel::metrics::evaluate_with_truth(&prm, &queries, &truths)?;
+    let mut prm_better = 0usize;
+    for (s, p) in s_eval.per_query.iter().zip(&p_eval.per_query) {
+        if p.error <= s.error {
+            prm_better += 1;
+        }
+    }
+    println!("\n== Fig 5(c): scatter summary at {budget} bytes ==");
+    println!(
+        "PRM at-or-below SAMPLE on {prm_better}/{} queries ({:.1}%)",
+        queries.len(),
+        100.0 * prm_better as f64 / queries.len() as f64
+    );
+    println!("mean err: SAMPLE {:.1}%  PRM {:.1}%", s_eval.mean_error_pct(), p_eval.mean_error_pct());
+    println!(
+        "tail errors: SAMPLE p95 {:.1}% / PRM p95 {:.1}%",
+        s_eval.quantile_error_pct(0.95),
+        p_eval.quantile_error_pct(0.95)
+    );
+    // Full scatter for plotting.
+    let path = "results/fig5_scatter.tsv";
+    if let Ok(mut f) = std::fs::File::create(path) {
+        use std::io::Write;
+        let _ = writeln!(f, "sample_err_pct\tprm_err_pct\ttruth");
+        for (s, p) in s_eval.per_query.iter().zip(&p_eval.per_query) {
+            let _ = writeln!(f, "{:.2}\t{:.2}\t{}", 100.0 * s.error, 100.0 * p.error, s.truth);
+        }
+        eprintln!("wrote {path} ({} points)", s_eval.len());
+    }
+    println!("first 40 points (sample_err%\tprm_err%):");
+    for (s, p) in s_eval.per_query.iter().zip(&p_eval.per_query).take(40) {
+        println!("{:>10.1}\t{:>10.1}", 100.0 * s.error, 100.0 * p.error);
+    }
+    Ok(())
+}

@@ -1,0 +1,166 @@
+//! Figure 6 — select-join queries over three-table chains.
+//!
+//!   (a) TB: error vs. storage for the (contype, age, unique) suite;
+//!   (b) TB: three query sets at 4.4 KB;
+//!   (c) FIN: three query sets at 2 KB.
+//!
+//! Methods: SAMPLE (a uniform sample of the full foreign-key join),
+//! BN+UJ (per-table BNs + uniform join), PRM.
+//!
+//! Run: `cargo run --release -p prmsel-bench --bin fig6 [-- --quick]`
+
+use prmsel::{JoinSampleAdapter, PrmEstimator, PrmLearnConfig, SelectivityEstimator};
+use prmsel_bench::{print_series, truths_by_groupby, FigRow, HarnessOpts};
+use reldb::stats::ResolvedCol;
+use reldb::Database;
+use workloads::suites::{join_chain_suite, ChainStep};
+use workloads::{fin::fin_database, tb::tb_database, tb::tb_database_sized};
+
+/// A named query set over a 3-table chain: attribute selections per step.
+struct QuerySet<'a> {
+    name: &'a str,
+    base_attrs: &'a [&'a str],
+    mid_attrs: &'a [&'a str],
+    top_attrs: &'a [&'a str],
+}
+
+struct Chain<'a> {
+    base: &'a str,
+    fk1: &'a str,
+    mid: &'a str,
+    fk2: &'a str,
+    top: &'a str,
+}
+
+fn run_set(
+    db: &Database,
+    chain: &Chain<'_>,
+    set: &QuerySet<'_>,
+    budget: usize,
+) -> reldb::Result<Vec<(String, f64)>> {
+    let suite = join_chain_suite(
+        db,
+        &[
+            ChainStep { table: chain.base, fk_to_next: Some(chain.fk1), select_attrs: set.base_attrs },
+            ChainStep { table: chain.mid, fk_to_next: Some(chain.fk2), select_attrs: set.mid_attrs },
+            ChainStep { table: chain.top, fk_to_next: None, select_attrs: set.top_attrs },
+        ],
+    )?;
+    let mut cols: Vec<ResolvedCol> = Vec::new();
+    for a in set.base_attrs {
+        cols.push(ResolvedCol::local(*a));
+    }
+    for a in set.mid_attrs {
+        cols.push(ResolvedCol::via(chain.fk1, *a));
+    }
+    for a in set.top_attrs {
+        cols.push(ResolvedCol {
+            fk_path: vec![chain.fk1.to_owned(), chain.fk2.to_owned()],
+            attr: (*a).to_owned(),
+        });
+    }
+    let truths = truths_by_groupby(db, chain.base, &cols, &suite.queries)?;
+
+    let sample = JoinSampleAdapter::build(db, chain.base, &[chain.fk1, chain.fk2], budget, 13)?;
+    let bn_uj = PrmEstimator::build(db, &PrmLearnConfig::bn_uj(budget))?;
+    let prm = PrmEstimator::build(db, &PrmLearnConfig { budget_bytes: budget, ..Default::default() })?;
+    let mut out = Vec::new();
+    for est in [&sample as &dyn SelectivityEstimator, &bn_uj, &prm] {
+        let eval = prmsel::metrics::evaluate_with_truth(est, &suite.queries, &truths)?;
+        out.push((est.name().to_owned(), eval.mean_error_pct()));
+    }
+    Ok(out)
+}
+
+fn main() -> reldb::Result<()> {
+    let opts = HarnessOpts::from_args();
+    eprintln!("generating TB data...");
+    let tb = if opts.quick {
+        tb_database_sized(400, 500, 4_000, 7)
+    } else {
+        tb_database(7)
+    };
+    let tb_chain = Chain { base: "contact", fk1: "patient", mid: "patient", fk2: "strain", top: "strain" };
+    let set1 = QuerySet {
+        name: "set1 (contype, age, unique)",
+        base_attrs: &["contype"],
+        mid_attrs: &["age"],
+        top_attrs: &["unique"],
+    };
+
+    // (a) error vs storage on set1.
+    let mut rows = Vec::new();
+    for budget in [300usize, 800, 1300, 2300, 3300, 4300] {
+        for (m, e) in run_set(&tb, &tb_chain, &set1, budget)? {
+            rows.push(FigRow { method: m, x: budget as f64, y: e });
+        }
+    }
+    print_series("Fig 6(a): TB select-join, error vs storage", "bytes", "mean err %", &rows);
+
+    // (b) three query sets at 4.4 KB.
+    let sets = [
+        set1,
+        QuerySet {
+            name: "set2 (infected, hiv, lineage)",
+            base_attrs: &["infected"],
+            mid_attrs: &["hiv"],
+            top_attrs: &["lineage"],
+        },
+        QuerySet {
+            name: "set3 (contype+household, usborn, unique)",
+            base_attrs: &["contype", "household"],
+            mid_attrs: &["usborn"],
+            top_attrs: &["unique"],
+        },
+    ];
+    println!("\n== Fig 6(b): TB query sets @ 4.4 KB ==");
+    for set in &sets {
+        let results = run_set(&tb, &tb_chain, set, 4_400)?;
+        let line = results
+            .iter()
+            .map(|(m, e)| format!("{m}={e:.1}%"))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("{:<42} {line}", set.name);
+    }
+
+    // (c) FIN: three query sets at 2 KB.
+    eprintln!("generating FIN data...");
+    let fin = if opts.quick {
+        workloads::fin::fin_database_sized(77, 800, 10_000, 7)
+    } else {
+        fin_database(7)
+    };
+    let fin_chain = Chain { base: "transaction", fk1: "account", mid: "account", fk2: "district", top: "district" };
+    let fin_sets = [
+        QuerySet {
+            name: "set1 (ttype, frequency, avg_salary)",
+            base_attrs: &["ttype"],
+            mid_attrs: &["frequency"],
+            top_attrs: &["avg_salary"],
+        },
+        QuerySet {
+            name: "set2 (operation, opened, region)",
+            base_attrs: &["operation"],
+            mid_attrs: &["opened"],
+            top_attrs: &["region"],
+        },
+        QuerySet {
+            name: "set3 (amount+ttype, frequency, urban)",
+            base_attrs: &["amount", "ttype"],
+            mid_attrs: &["frequency"],
+            top_attrs: &["urban"],
+        },
+    ];
+    println!("\n== Fig 6(c): FIN query sets @ 2 KB ==");
+    for set in &fin_sets {
+        let results = run_set(&fin, &fin_chain, set, 2_000)?;
+        let line = results
+            .iter()
+            .map(|(m, e)| format!("{m}={e:.1}%"))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("{:<42} {line}", set.name);
+    }
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Figure 7 — construction and estimation running times.
+//!
+//!   (a) offline construction time vs. model storage (tree vs table CPDs);
+//!   (b) construction time vs. data size at a fixed 3.5 KB budget;
+//!   (c) online estimation time vs. model size.
+//!
+//! Absolute numbers are machine-specific (the paper used a Sparc60); the
+//! *shapes* are what this reproduces: tables construct much faster than
+//! trees, table-CPD construction grows with data size, and estimation
+//! time grows with model size.
+//!
+//! Run: `cargo run --release -p prmsel-bench --bin fig7 [-- --quick]`
+
+use prmsel::{CpdKind, PrmEstimator, PrmLearnConfig, SelectivityEstimator};
+use prmsel_bench::{cap_suite, print_series, time_it, FigRow, HarnessOpts};
+use workloads::census::census_database;
+use workloads::single_table_eq_suite;
+
+fn config(budget: usize, kind: CpdKind) -> PrmLearnConfig {
+    PrmLearnConfig { budget_bytes: budget, cpd_kind: kind, ..Default::default() }
+}
+
+fn main() -> reldb::Result<()> {
+    let opts = HarnessOpts::from_args();
+    let rows = if opts.quick { 10_000 } else { 150_000 };
+    eprintln!("generating census data ({rows} rows)...");
+    let db = census_database(rows, 1);
+
+    // (a) construction time vs model storage.
+    let mut rows_a = Vec::new();
+    for budget in [500usize, 1500, 3500, 5500, 8500] {
+        for kind in [CpdKind::Tree, CpdKind::Table] {
+            let (est, secs) =
+                time_it(|| PrmEstimator::build(&db, &config(budget, kind)).expect("build"));
+            rows_a.push(FigRow {
+                method: format!("{kind:?}"),
+                x: est.size_bytes() as f64,
+                y: secs,
+            });
+        }
+    }
+    print_series("Fig 7(a): construction time vs model storage", "model bytes", "seconds", &rows_a);
+
+    // (b) construction time vs data size at a fixed 3.5 KB budget.
+    let mut rows_b = Vec::new();
+    let sizes: &[usize] = if opts.quick {
+        &[4_000, 8_000, 16_000]
+    } else {
+        &[16_000, 32_000, 64_000, 96_000, 128_000]
+    };
+    for &n in sizes {
+        let dbn = census_database(n, 2);
+        for kind in [CpdKind::Tree, CpdKind::Table] {
+            let (_, secs) =
+                time_it(|| PrmEstimator::build(&dbn, &config(3_500, kind)).expect("build"));
+            rows_b.push(FigRow { method: format!("{kind:?}"), x: n as f64, y: secs });
+        }
+    }
+    print_series("Fig 7(b): construction time vs data size (3.5 KB budget)", "rows", "seconds", &rows_b);
+
+    // (c) estimation time vs model size.
+    let suite = single_table_eq_suite(&db, "census", &["income", "age", "children"])?;
+    let queries = cap_suite(suite.queries, 300, 5);
+    let mut rows_c = Vec::new();
+    for budget in [1000usize, 3000, 5000, 7000, 9000] {
+        for kind in [CpdKind::Tree, CpdKind::Table] {
+            let est = PrmEstimator::build(&db, &config(budget, kind))?;
+            let (_, secs) = time_it(|| {
+                let mut acc = 0.0;
+                for q in &queries {
+                    acc += est.estimate(q).expect("estimate");
+                }
+                acc
+            });
+            rows_c.push(FigRow {
+                method: format!("{kind:?}"),
+                x: est.size_bytes() as f64,
+                y: secs / queries.len() as f64 * 1e3, // ms per estimate
+            });
+        }
+    }
+    print_series("Fig 7(c): estimation time vs model size", "model bytes", "ms/query", &rows_c);
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Incremental-maintenance simulation (paper §6).
+//!
+//! A TB-shaped database drifts over several epochs (its join skew decays
+//! and its population re-samples). Three maintenance strategies compete:
+//!
+//! * **stale** — keep the epoch-0 model untouched;
+//! * **refresh** — re-estimate parameters each epoch, structure fixed
+//!   (the paper's cheap path);
+//! * **relearn** — full structure search each epoch.
+//!
+//! Per epoch we report each strategy's suite error and cumulative
+//! maintenance time — quantifying the paper's claim that parameter
+//! refresh is the right default and structural relearning is only needed
+//! when the score decays drastically.
+//!
+//! Run: `cargo run --release -p prmsel-bench --bin maintenance [-- --quick]`
+
+use prmsel::{
+    learn_prm, model_loglik, refresh_parameters, PrmEstimator, PrmLearnConfig,
+    SelectivityEstimator,
+};
+use prmsel_bench::{time_it, truths_by_groupby, HarnessOpts};
+use reldb::stats::ResolvedCol;
+use reldb::Database;
+use workloads::suites::{join_chain_suite, ChainStep};
+use workloads::tb::tb_database_with_skew;
+
+fn suite_error(db: &Database, est: &dyn SelectivityEstimator) -> f64 {
+    let suite = join_chain_suite(
+        db,
+        &[
+            ChainStep { table: "contact", fk_to_next: Some("patient"), select_attrs: &["contype"] },
+            ChainStep { table: "patient", fk_to_next: Some("strain"), select_attrs: &["age"] },
+            ChainStep { table: "strain", fk_to_next: None, select_attrs: &["unique"] },
+        ],
+    )
+    .expect("suite");
+    let cols = vec![
+        ResolvedCol::local("contype"),
+        ResolvedCol::via("patient", "age"),
+        ResolvedCol { fk_path: vec!["patient".into(), "strain".into()], attr: "unique".into() },
+    ];
+    let truths = truths_by_groupby(db, "contact", &cols, &suite.queries).expect("truth");
+    prmsel::metrics::evaluate_with_truth(est, &suite.queries, &truths)
+        .expect("eval")
+        .mean_error_pct()
+}
+
+fn main() -> reldb::Result<()> {
+    let opts = HarnessOpts::from_args();
+    let (strains, patients, contacts) =
+        if opts.quick { (300, 400, 3_000) } else { (2_000, 2_500, 19_000) };
+    let config = PrmLearnConfig { budget_bytes: 4_000, ..Default::default() };
+
+    // Epoch 0: learn everything once.
+    let db0 = tb_database_with_skew(strains, patients, contacts, 100, 3.0);
+    let (prm0, learn_secs) = time_it(|| learn_prm(&db0, &config).expect("learn"));
+    println!("epoch-0 structure search: {learn_secs:.2}s, {} bytes\n", prm0.size_bytes());
+    println!(
+        "{:<6} {:>7} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "epoch", "skew", "stale err%", "refresh err%", "relearn err%", "refresh s(cum)", "relearn s(cum)"
+    );
+
+    let mut refresh_model = prm0.clone();
+    let mut cum_refresh = 0.0;
+    let mut cum_relearn = 0.0;
+    for epoch in 0..6u64 {
+        // Drift: skew decays towards uniform; population resamples.
+        let skew = 3.0 - epoch as f64 * 0.5;
+        let db = tb_database_with_skew(strains, patients, contacts, 100 + epoch, skew.max(0.5));
+
+        let stale = PrmEstimator::from_prm(prm0.clone(), &db, "stale")?;
+        let (new_refresh, t_refresh) =
+            time_it(|| refresh_parameters(&refresh_model, &db).expect("refresh"));
+        refresh_model = new_refresh;
+        cum_refresh += t_refresh;
+        let refreshed = PrmEstimator::from_prm(refresh_model.clone(), &db, "refresh")?;
+        let (relearned_prm, t_relearn) = time_it(|| learn_prm(&db, &config).expect("learn"));
+        cum_relearn += t_relearn;
+        let relearned = PrmEstimator::from_prm(relearned_prm, &db, "relearn")?;
+
+        println!(
+            "{:<6} {:>7.1} {:>11.1}% {:>11.1}% {:>11.1}% {:>14.2} {:>14.2}",
+            epoch,
+            skew.max(0.5),
+            suite_error(&db, &stale),
+            suite_error(&db, &refreshed),
+            suite_error(&db, &relearned),
+            cum_refresh,
+            cum_relearn,
+        );
+    }
+
+    // The paper's relearning trigger: score decay of the stale model.
+    let drifted = tb_database_with_skew(strains, patients, contacts, 105, 0.5);
+    println!(
+        "\nstale-model score: epoch-0 data {:.0}, drifted data {:.0} (decayed → trigger relearn)",
+        model_loglik(&prm0, &db0)?,
+        model_loglik(&prm0, &drifted)?
+    );
+    Ok(())
+}

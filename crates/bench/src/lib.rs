@@ -1,0 +1,191 @@
+//! Shared harness utilities for the figure-reproduction binaries.
+//!
+//! Each `fig*` binary regenerates one figure of the paper's §5 and prints
+//! the same series the paper plots (method × storage-size × mean adjusted
+//! relative error). Ground truth for exhaustive equality suites is
+//! computed with a single group-by pass instead of one executor run per
+//! query, which keeps the 150K-row sweeps fast.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use reldb::{stats, Database, Pred, Query, Result};
+
+/// Parsed command-line options shared by the fig binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Scale the datasets down for a fast smoke run (`--quick`).
+    pub quick: bool,
+}
+
+impl HarnessOpts {
+    /// Parses `std::env::args`.
+    pub fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        HarnessOpts { quick }
+    }
+}
+
+/// Caps a query suite at `max` queries by uniform sampling (deterministic
+/// per seed). The paper averages over all instantiations; for the largest
+/// suites we average over a large uniform sample instead and say so.
+pub fn cap_suite(mut queries: Vec<Query>, max: usize, seed: u64) -> Vec<Query> {
+    if queries.len() <= max {
+        return queries;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    queries.shuffle(&mut rng);
+    queries.truncate(max);
+    queries
+}
+
+/// Exact result sizes for a suite of *equality* queries that all share the
+/// same shape (same tuple variables, same joins, equality predicates on
+/// the same columns in the same order) — one group-by pass for the whole
+/// suite.
+///
+/// The shape is taken from the first query: the count columns are its
+/// predicates' columns resolved against `base_table` (`fk_path` per
+/// column). For single-table suites pass the table itself and empty
+/// paths; for the paper's chain suites pass the chain base and FK paths.
+pub fn truths_by_groupby(
+    db: &Database,
+    base_table: &str,
+    cols: &[stats::ResolvedCol],
+    queries: &[Query],
+) -> Result<Vec<u64>> {
+    let spec = stats::GroupSpec { base_table: base_table.to_owned(), cols: cols.to_vec() };
+    let table = stats::counts(db, &spec)?;
+    // Resolve the domain of each counted column for value→code mapping.
+    let mut domains = Vec::with_capacity(cols.len());
+    for col in cols {
+        let mut t = base_table.to_owned();
+        for fk in &col.fk_path {
+            t = db
+                .foreign_keys_of(&t)?
+                .into_iter()
+                .find(|f| &f.attr == fk)
+                .expect("fk resolved by stats::counts")
+                .target;
+        }
+        domains.push(db.table(&t)?.domain(&col.attr)?.clone());
+    }
+    let mut truths = Vec::with_capacity(queries.len());
+    let mut config = vec![0u32; cols.len()];
+    'q: for q in queries {
+        assert_eq!(q.preds.len(), cols.len(), "query shape mismatch");
+        for (slot, pred) in q.preds.iter().enumerate() {
+            let Pred::Eq { value, .. } = pred else {
+                panic!("truths_by_groupby only handles equality suites")
+            };
+            match domains[slot].code(value) {
+                Some(c) => config[slot] = c,
+                None => {
+                    truths.push(0);
+                    continue 'q;
+                }
+            }
+        }
+        truths.push(table.count(&config));
+    }
+    Ok(truths)
+}
+
+/// One output row of a figure table.
+#[derive(Debug, Clone)]
+pub struct FigRow {
+    /// Series label (e.g. `"PRM"`).
+    pub method: String,
+    /// X value (storage bytes, data rows, …).
+    pub x: f64,
+    /// Y value (mean error %, seconds, …).
+    pub y: f64,
+}
+
+/// Prints rows as an aligned TSV block with a header, grouped by method.
+pub fn print_series(title: &str, x_label: &str, y_label: &str, rows: &[FigRow]) {
+    println!("\n== {title} ==");
+    println!("{:<12}\t{:>12}\t{:>12}", "method", x_label, y_label);
+    for r in rows {
+        println!("{:<12}\t{:>12.0}\t{:>12.2}", r.method, r.x, r.y);
+    }
+}
+
+/// Wall-clock helper.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reldb::{Cell, DatabaseBuilder, TableBuilder, Value};
+
+    fn db() -> Database {
+        let mut p = TableBuilder::new("p").key("id").col("x");
+        for i in 0..10i64 {
+            p.push_row(vec![Cell::Key(i), Cell::Val(Value::Int(i % 2))]).unwrap();
+        }
+        let mut c = TableBuilder::new("c").key("id").fk("p", "p").col("y");
+        for i in 0..40i64 {
+            c.push_row(vec![Cell::Key(i), Cell::Key(i % 10), Cell::Val(Value::Int(i % 3))])
+                .unwrap();
+        }
+        DatabaseBuilder::new()
+            .add_table(p.finish().unwrap())
+            .add_table(c.finish().unwrap())
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn groupby_truths_match_executor() {
+        let db = db();
+        // Chain suite: select on c.y and p.x, joined.
+        let mut queries = Vec::new();
+        for y in 0..3i64 {
+            for x in 0..2i64 {
+                let mut b = Query::builder();
+                let c = b.var("c");
+                let p = b.var("p");
+                b.join(c, "p", p).eq(c, "y", y).eq(p, "x", x);
+                queries.push(b.build());
+            }
+        }
+        let cols = vec![stats::ResolvedCol::local("y"), stats::ResolvedCol::via("p", "x")];
+        let fast = truths_by_groupby(&db, "c", &cols, &queries).unwrap();
+        for (q, &t) in queries.iter().zip(&fast) {
+            assert_eq!(t, reldb::result_size(&db, q).unwrap());
+        }
+    }
+
+    #[test]
+    fn unknown_values_count_zero() {
+        let db = db();
+        let mut b = Query::builder();
+        let p = b.var("p");
+        b.eq(p, "x", 99);
+        let cols = vec![stats::ResolvedCol::local("x")];
+        let t = truths_by_groupby(&db, "p", &cols, &[b.build()]).unwrap();
+        assert_eq!(t, vec![0]);
+    }
+
+    #[test]
+    fn cap_suite_is_deterministic_and_bounded() {
+        let _db = db();
+        let mut queries = Vec::new();
+        for x in 0..2i64 {
+            let mut b = Query::builder();
+            let p = b.var("p");
+            b.eq(p, "x", x);
+            queries.push(b.build());
+        }
+        let a = cap_suite(queries.clone(), 1, 7);
+        let b = cap_suite(queries.clone(), 1, 7);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a, b);
+        assert_eq!(cap_suite(queries.clone(), 10, 7).len(), 2);
+    }
+}

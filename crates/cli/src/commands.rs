@@ -1,0 +1,388 @@
+//! Command implementations and argument dispatch.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use prmsel::{
+    learn_prm, load_model, save_model, CpdKind, PrmEstimator, PrmLearnConfig,
+    SchemaInfo, SelectivityEstimator,
+};
+use reldb::{load_table, parse_query, Database, DatabaseBuilder};
+
+use crate::manifest::parse_manifest;
+
+/// A user-facing CLI error (message already formatted).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<reldb::Error> for CliError {
+    fn from(e: reldb::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+type CliResult<T> = std::result::Result<T, CliError>;
+
+/// Entry point: dispatches `args` (without the program name) and returns
+/// the text to print.
+pub fn run(args: &[String]) -> CliResult<String> {
+    match args.first().map(String::as_str) {
+        Some("build") => build(&args[1..]),
+        Some("estimate") => estimate(&args[1..]),
+        Some("plan") => plan(&args[1..]),
+        Some("explain") => explain(&args[1..]),
+        Some("inspect") => inspect(&args[1..]),
+        Some("evaluate") => evaluate(&args[1..]),
+        Some("describe") => describe(&args[1..]),
+        Some("--help") | Some("-h") | None => Ok(USAGE.to_owned()),
+        Some(other) => Err(CliError(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+const USAGE: &str = "\
+prmsel — selectivity estimation using probabilistic relational models
+
+USAGE:
+  prmsel build    --csv-dir DIR --out FILE [--budget BYTES] [--cpd tree|table]
+  prmsel estimate --model FILE 'SELECT COUNT(*) FROM ... WHERE ...'
+  prmsel plan     --model FILE 'SELECT COUNT(*) FROM ... WHERE ...'
+  prmsel explain  --model FILE 'SELECT COUNT(*) FROM ... WHERE ...'
+  prmsel inspect  --csv-dir DIR
+  prmsel evaluate --model FILE --csv-dir DIR 'SELECT COUNT(*) ...'
+  prmsel describe --model FILE
+
+DIR must contain <table>.csv files plus schema.txt (see the manifest docs).";
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn required<'a>(args: &'a [String], flag: &str) -> CliResult<&'a str> {
+    flag_value(args, flag).ok_or_else(|| CliError(format!("missing `{flag}`\n{USAGE}")))
+}
+
+/// Loads the CSV directory into a database.
+pub fn load_csv_dir(dir: &Path) -> CliResult<Database> {
+    let manifest_path = dir.join("schema.txt");
+    let text = std::fs::read_to_string(&manifest_path).map_err(|e| {
+        CliError(format!("cannot read {}: {e}", manifest_path.display()))
+    })?;
+    let decls = parse_manifest(&text)?;
+    let mut builder = DatabaseBuilder::new();
+    for decl in &decls {
+        let csv = dir.join(format!("{}.csv", decl.schema.table));
+        builder = builder.add_table(load_table(&csv, &decl.schema)?);
+    }
+    Ok(builder.finish()?)
+}
+
+fn build(args: &[String]) -> CliResult<String> {
+    let dir = PathBuf::from(required(args, "--csv-dir")?);
+    let out = PathBuf::from(required(args, "--out")?);
+    let budget: usize = flag_value(args, "--budget")
+        .map(|v| v.parse().map_err(|_| CliError(format!("bad --budget `{v}`"))))
+        .transpose()?
+        .unwrap_or(8192);
+    let cpd_kind = match flag_value(args, "--cpd") {
+        None | Some("tree") => CpdKind::Tree,
+        Some("table") => CpdKind::Table,
+        Some(other) => return Err(CliError(format!("bad --cpd `{other}` (tree|table)"))),
+    };
+    let db = load_csv_dir(&dir)?;
+    let config = PrmLearnConfig { budget_bytes: budget, cpd_kind, ..Default::default() };
+    let prm = learn_prm(&db, &config)?;
+    let schema = SchemaInfo::from_db(&db)?;
+    let file = std::fs::File::create(&out)
+        .map_err(|e| CliError(format!("cannot create {}: {e}", out.display())))?;
+    save_model(&prm, &schema, std::io::BufWriter::new(file))?;
+    Ok(format!(
+        "built {} ({} bytes model, {} tables, {} rows scanned)\n{}",
+        out.display(),
+        prm.size_bytes(),
+        db.tables().len(),
+        db.total_rows(),
+        prm.describe()
+    ))
+}
+
+fn open_estimator(args: &[String]) -> CliResult<PrmEstimator> {
+    let path = PathBuf::from(required(args, "--model")?);
+    let file = std::fs::File::open(&path)
+        .map_err(|e| CliError(format!("cannot open {}: {e}", path.display())))?;
+    let (prm, schema) = load_model(std::io::BufReader::new(file))?;
+    Ok(PrmEstimator::from_parts(prm, schema, "PRM"))
+}
+
+fn estimate(args: &[String]) -> CliResult<String> {
+    let est = open_estimator(args)?;
+    // The SQL is the first non-flag argument (flags consume their values).
+    let sql = sql_arg(args)?;
+    let query = parse_query(sql)?;
+    let size = est.estimate(&query)?;
+    Ok(format!("{size:.1}"))
+}
+
+fn sql_arg(args: &[String]) -> CliResult<&str> {
+    args.iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--") && (*i == 0 || !args[i - 1].starts_with("--"))
+        })
+        .map(|(_, a)| a.as_str())
+        .next()
+        .ok_or_else(|| CliError(format!("missing SQL query\n{USAGE}")))
+}
+
+fn plan(args: &[String]) -> CliResult<String> {
+    let est = open_estimator(args)?;
+    let sql = sql_arg(args)?;
+    let query = parse_query(sql)?;
+    let plans = prmsel::enumerate_plans(&est, &query)?;
+    let mut out = String::new();
+    out.push_str("join order                                estimated cost\n");
+    for p in &plans {
+        let label: Vec<&str> =
+            p.order.iter().map(|&v| query.vars[v].as_str()).collect();
+        out.push_str(&format!("{:<42} {:>14.1}\n", label.join(" JOIN "), p.cost));
+    }
+    Ok(out)
+}
+
+fn explain(args: &[String]) -> CliResult<String> {
+    let est = open_estimator(args)?;
+    let query = parse_query(sql_arg(args)?)?;
+    Ok(est.explain(&query)?)
+}
+
+fn inspect(args: &[String]) -> CliResult<String> {
+    let dir = PathBuf::from(required(args, "--csv-dir")?);
+    let db = load_csv_dir(&dir)?;
+    Ok(db.summary())
+}
+
+/// Estimate AND exact count side by side (needs both the model and the
+/// data) — the verification loop for a new deployment.
+fn evaluate(args: &[String]) -> CliResult<String> {
+    let est = open_estimator(args)?;
+    let dir = PathBuf::from(required(args, "--csv-dir")?);
+    let db = load_csv_dir(&dir)?;
+    let query = parse_query(sql_arg(args)?)?;
+    let estimate = est.estimate(&query)?;
+    let exact = reldb::result_size(&db, &query)?;
+    let err = 100.0 * prmsel::adjusted_relative_error(exact, estimate);
+    Ok(format!("estimate: {estimate:.1}\nexact:    {exact}\nadjusted relative error: {err:.1}%"))
+}
+
+fn describe(args: &[String]) -> CliResult<String> {
+    let est = open_estimator(args)?;
+    Ok(format!(
+        "model: {} bytes, {} foreign parents, {} join-indicator parents\n{}",
+        est.size_bytes(),
+        est.prm().foreign_parent_count(),
+        est.prm().ji_parent_count(),
+        est.prm().describe()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reldb::csv::{schema_of, write_table};
+    use workloads::tb::tb_database_sized;
+
+    /// Dumps a database + manifest into a temp dir and returns the dir.
+    fn dump_db(tag: &str) -> PathBuf {
+        let db = tb_database_sized(60, 80, 500, 9);
+        let dir = std::env::temp_dir().join(format!("prmsel_cli_test_{tag}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut manifest = String::new();
+        for table in db.tables() {
+            let path = dir.join(format!("{}.csv", table.name()));
+            let file = std::fs::File::create(&path).unwrap();
+            write_table(table, std::io::BufWriter::new(file), ',').unwrap();
+            manifest.push_str(&format!("table {}\n", table.name()));
+            for (name, col) in schema_of(table).columns {
+                match col {
+                    reldb::CsvColumn::Key => manifest.push_str(&format!("key {name}\n")),
+                    reldb::CsvColumn::ForeignKey(t) => {
+                        manifest.push_str(&format!("fk {name} {t}\n"))
+                    }
+                    reldb::CsvColumn::IntValue => {
+                        manifest.push_str(&format!("int {name}\n"))
+                    }
+                    reldb::CsvColumn::StrValue => {
+                        manifest.push_str(&format!("str {name}\n"))
+                    }
+                }
+            }
+            manifest.push('\n');
+        }
+        std::fs::write(dir.join("schema.txt"), manifest).unwrap();
+        dir
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn build_estimate_describe_pipeline() {
+        let dir = dump_db("pipeline");
+        let model = dir.join("model.prm");
+        let out = run(&s(&[
+            "build",
+            "--csv-dir",
+            dir.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--budget",
+            "4096",
+        ]))
+        .unwrap();
+        assert!(out.contains("built"), "{out}");
+
+        let est_out = run(&s(&[
+            "estimate",
+            "--model",
+            model.to_str().unwrap(),
+            "SELECT COUNT(*) FROM contact c, patient p WHERE c.patient = p AND p.age = 2",
+        ]))
+        .unwrap();
+        let size: f64 = est_out.trim().parse().unwrap();
+        assert!(size >= 0.0);
+
+        let desc = run(&s(&["describe", "--model", model.to_str().unwrap()])).unwrap();
+        assert!(desc.contains("table contact"), "{desc}");
+    }
+
+    #[test]
+    fn estimate_matches_in_process_model() {
+        let dir = dump_db("parity");
+        let db = load_csv_dir(&dir).unwrap();
+        let config = PrmLearnConfig { budget_bytes: 4096, ..Default::default() };
+        let direct = PrmEstimator::build(&db, &config).unwrap();
+        let model = dir.join("model2.prm");
+        run(&s(&[
+            "build",
+            "--csv-dir",
+            dir.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+            "--budget",
+            "4096",
+        ]))
+        .unwrap();
+        let sql = "SELECT COUNT(*) FROM patient p WHERE p.age IN (1, 2)";
+        let cli_est: f64 = run(&s(&["estimate", "--model", model.to_str().unwrap(), sql]))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        let q = parse_query(sql).unwrap();
+        let direct_est = direct.estimate(&q).unwrap();
+        assert!((cli_est - direct_est).abs() < 0.05 + 1e-3 * direct_est.abs());
+    }
+
+    #[test]
+    fn plan_command_orders_join_orders() {
+        let dir = dump_db("plan");
+        let model = dir.join("model3.prm");
+        run(&s(&[
+            "build",
+            "--csv-dir",
+            dir.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&s(&[
+            "plan",
+            "--model",
+            model.to_str().unwrap(),
+            "SELECT COUNT(*) FROM contact c, patient p, strain st \
+             WHERE c.patient = p AND p.strain = st AND st.unique = 'no'",
+        ]))
+        .unwrap();
+        assert!(out.contains("JOIN"), "{out}");
+        // 4 connected left-deep orders for a 3-chain.
+        assert_eq!(out.lines().filter(|l| l.contains("JOIN")).count(), 4);
+    }
+
+    #[test]
+    fn explain_command_shows_the_closure() {
+        let dir = dump_db("explain");
+        let model = dir.join("model4.prm");
+        run(&s(&[
+            "build",
+            "--csv-dir",
+            dir.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&s(&[
+            "explain",
+            "--model",
+            model.to_str().unwrap(),
+            "SELECT COUNT(*) FROM contact c WHERE c.contype = 2",
+        ]))
+        .unwrap();
+        assert!(out.contains("upward closure"), "{out}");
+        assert!(out.contains("estimate ="), "{out}");
+    }
+
+    #[test]
+    fn evaluate_command_reports_estimate_and_exact() {
+        let dir = dump_db("evaluate");
+        let model = dir.join("model5.prm");
+        run(&s(&[
+            "build",
+            "--csv-dir",
+            dir.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&s(&[
+            "evaluate",
+            "--model",
+            model.to_str().unwrap(),
+            "--csv-dir",
+            dir.to_str().unwrap(),
+            "SELECT COUNT(*) FROM patient p WHERE p.age = 2",
+        ]))
+        .unwrap();
+        assert!(out.contains("estimate:"), "{out}");
+        assert!(out.contains("exact:"), "{out}");
+        assert!(out.contains("error:"), "{out}");
+    }
+
+    #[test]
+    fn inspect_command_summarizes_the_csv_dir() {
+        let dir = dump_db("inspect");
+        let out = run(&s(&["inspect", "--csv-dir", dir.to_str().unwrap()])).unwrap();
+        assert!(out.contains("table contact"), "{out}");
+        assert!(out.contains("patient -> patient"), "{out}");
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&["build", "--out", "x"])).is_err());
+        assert!(run(&s(&["estimate", "--model", "/nonexistent/file"])).is_err());
+        let help = run(&s(&["--help"])).unwrap();
+        assert!(help.contains("USAGE"));
+        assert!(run(&[]).unwrap().contains("USAGE"));
+    }
+}

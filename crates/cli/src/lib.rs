@@ -1,0 +1,18 @@
+//! # prmsel-cli — the offline/online pipeline as a command-line tool
+//!
+//! ```text
+//! prmsel build    --csv-dir DIR --out model.prm [--budget BYTES] [--cpd tree|table]
+//! prmsel estimate --model model.prm 'SELECT COUNT(*) FROM …'
+//! prmsel describe --model model.prm
+//! ```
+//!
+//! `DIR` holds one `<table>.csv` per table plus a `schema.txt` manifest
+//! declaring column roles (see [`manifest`]). `build` runs the paper's
+//! offline phase and writes a versioned model file; `estimate` runs the
+//! online phase against the model alone — no data access — which is the
+//! deployment shape of a real optimizer integration.
+
+pub mod commands;
+pub mod manifest;
+
+pub use commands::{run, CliError};

@@ -1,0 +1,138 @@
+//! The `schema.txt` manifest format.
+//!
+//! One block per table, blank-line separated, order = database order
+//! (which also determines PRM stratification candidates):
+//!
+//! ```text
+//! table patient
+//! key id
+//! fk strain strain
+//! int age
+//! str usborn
+//!
+//! table strain
+//! key strain_id
+//! str unique
+//! ```
+//!
+//! Lines starting with `#` are comments. Each table block maps to the CSV
+//! file `<table>.csv` in the same directory.
+
+use reldb::{CsvColumn, CsvSchema, Error, Result};
+
+/// One parsed table declaration.
+#[derive(Debug, Clone)]
+pub struct TableDecl {
+    /// Table name (also the CSV file stem).
+    pub schema: CsvSchema,
+}
+
+/// Parses a manifest string into table declarations.
+pub fn parse_manifest(text: &str) -> Result<Vec<TableDecl>> {
+    let mut decls: Vec<TableDecl> = Vec::new();
+    let mut current: Option<CsvSchema> = None;
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kw = parts.next().expect("non-empty line");
+        let err = |msg: &str| {
+            Error::Parse(format!("schema.txt line {}: {msg}", line_no + 1))
+        };
+        match kw {
+            "table" => {
+                let name = parts.next().ok_or_else(|| err("missing table name"))?;
+                if let Some(done) = current.take() {
+                    decls.push(TableDecl { schema: done });
+                }
+                current = Some(CsvSchema::new(name, Vec::new()));
+            }
+            "key" | "int" | "str" => {
+                let name = parts.next().ok_or_else(|| err("missing column name"))?;
+                let schema =
+                    current.as_mut().ok_or_else(|| err("column before any `table`"))?;
+                let col = match kw {
+                    "key" => CsvColumn::Key,
+                    "int" => CsvColumn::IntValue,
+                    _ => CsvColumn::StrValue,
+                };
+                schema.columns.push((name.to_owned(), col));
+            }
+            "fk" => {
+                let name = parts.next().ok_or_else(|| err("missing fk column name"))?;
+                let target = parts.next().ok_or_else(|| err("missing fk target table"))?;
+                let schema =
+                    current.as_mut().ok_or_else(|| err("column before any `table`"))?;
+                schema
+                    .columns
+                    .push((name.to_owned(), CsvColumn::ForeignKey(target.to_owned())));
+            }
+            other => return Err(err(&format!("unknown keyword `{other}`"))),
+        }
+        if parts.next().is_some() && kw != "fk" {
+            return Err(err("trailing tokens"));
+        }
+    }
+    if let Some(done) = current.take() {
+        decls.push(TableDecl { schema: done });
+    }
+    if decls.is_empty() {
+        return Err(Error::Parse("schema.txt declares no tables".into()));
+    }
+    Ok(decls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# demo manifest
+table strain
+key strain_id
+str unique
+
+table patient
+key id
+fk strain strain
+int age
+";
+
+    #[test]
+    fn parses_blocks_in_order() {
+        let decls = parse_manifest(SAMPLE).unwrap();
+        assert_eq!(decls.len(), 2);
+        assert_eq!(decls[0].schema.table, "strain");
+        assert_eq!(decls[1].schema.table, "patient");
+        assert_eq!(decls[1].schema.columns.len(), 3);
+        assert_eq!(
+            decls[1].schema.columns[1],
+            ("strain".to_owned(), CsvColumn::ForeignKey("strain".to_owned()))
+        );
+    }
+
+    #[test]
+    fn rejects_columns_before_table() {
+        let err = parse_manifest("key id\n").unwrap_err();
+        assert!(err.to_string().contains("before any"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_keywords() {
+        let err = parse_manifest("table t\nblob x\n").unwrap_err();
+        assert!(err.to_string().contains("unknown keyword"), "{err}");
+    }
+
+    #[test]
+    fn rejects_empty_manifest() {
+        assert!(parse_manifest("# nothing\n").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let err = parse_manifest("table t extra\n").unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Crate-internal learning context: materialized code columns per table,
+//! including foreign-key-joined columns (one pointer chase per hop under
+//! referential integrity), shared by structure search (`learn`) and
+//! parameter maintenance (`maintain`).
+
+use bayesnet::graph::Dag;
+use reldb::{Database, Error, Result};
+
+use crate::learn::PrmLearnConfig;
+
+pub(crate) struct FkCtx {
+    pub(crate) attr: String,
+    pub(crate) target: usize,
+    /// Target-table value attribute columns, materialized per child row.
+    pub(crate) foreign_cols: Vec<Vec<u32>>,
+}
+
+pub(crate) struct TableCtx {
+    pub(crate) name: String,
+    pub(crate) n_rows: usize,
+    pub(crate) attr_names: Vec<String>,
+    pub(crate) cards: Vec<usize>,
+    pub(crate) cols: Vec<Vec<u32>>,
+    pub(crate) fks: Vec<FkCtx>,
+}
+
+pub(crate) struct Ctx {
+    pub(crate) tables: Vec<TableCtx>,
+}
+
+impl Ctx {
+    pub(crate) fn build(db: &Database, config: &PrmLearnConfig) -> Result<Ctx> {
+        // Stratification check: the FK graph must be acyclic for foreign
+        // parents to define a coherent (stratified) PRM.
+        if config.allow_foreign_parents {
+            check_fk_graph_acyclic(db)?;
+        }
+        let mut tables = Vec::new();
+        for t in db.tables() {
+            let attr_names: Vec<String> =
+                t.schema().value_attrs().iter().map(|s| s.to_string()).collect();
+            let cards: Vec<usize> = attr_names
+                .iter()
+                .map(|a| t.domain(a).map(|d| d.card()))
+                .collect::<Result<_>>()?;
+            let cols: Vec<Vec<u32>> = attr_names
+                .iter()
+                .map(|a| t.codes(a).map(|c| c.to_vec()))
+                .collect::<Result<_>>()?;
+            let mut fks = Vec::new();
+            for fk in t.schema().foreign_keys() {
+                let target_idx = db.table_index(&fk.target)?;
+                let target = db.table(&fk.target)?;
+                let rows = db.fk_target_rows(t.name(), &fk.attr)?;
+                let mut foreign_cols = Vec::new();
+                for attr in target.schema().value_attrs() {
+                    let codes = target.codes(attr)?;
+                    foreign_cols
+                        .push(rows.iter().map(|&r| codes[r as usize]).collect());
+                }
+                fks.push(FkCtx { attr: fk.attr, target: target_idx, foreign_cols });
+            }
+            tables.push(TableCtx {
+                name: t.name().to_owned(),
+                n_rows: t.n_rows(),
+                attr_names,
+                cards,
+                cols,
+                fks,
+            });
+        }
+        Ok(Ctx { tables })
+    }
+}
+
+pub(crate) fn check_fk_graph_acyclic(db: &Database) -> Result<()> {
+    let n = db.tables().len();
+    let mut dag = Dag::empty(n);
+    for (ti, t) in db.tables().iter().enumerate() {
+        for fk in t.schema().foreign_keys() {
+            let target = db.table_index(&fk.target)?;
+            if target != ti && !dag.has_edge(target, ti) {
+                if dag.creates_cycle(target, ti) {
+                    return Err(Error::BadJoin(
+                        "foreign-key graph is cyclic; PRM stratification (Def. 3.2) impossible"
+                            .into(),
+                    ));
+                }
+                dag.add_edge(target, ti);
+            } else if target == ti {
+                return Err(Error::BadJoin(
+                    "self-referencing foreign key breaks stratification".into(),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+

@@ -1,0 +1,545 @@
+//! The unified estimator interface and adapters for every method in §5.
+//!
+//! Everything the paper benchmarks — AVI, MHIST, SAMPLE (single-table and
+//! join), BN+UJ, and the PRM — answers relational [`Query`] values through
+//! one trait, so the evaluation harness treats them interchangeably and
+//! compares error at equal `size_bytes()`.
+
+use std::collections::HashMap;
+
+use baselines::sample::JoinPath;
+use baselines::{AviEstimator, JoinSampleEstimator, MhistEstimator, SampleEstimator, WaveletEstimator};
+use reldb::{Database, Domain, Error, Pred, Query, Result};
+
+use crate::learn::{learn_prm, PrmLearnConfig};
+use crate::prm::Prm;
+use crate::qebn::QueryEvalBn;
+use crate::schema::SchemaInfo;
+
+/// A selectivity estimator: maps a query to an estimated result size.
+pub trait SelectivityEstimator {
+    /// Short display name (e.g. `"PRM"`, `"SAMPLE"`).
+    fn name(&self) -> &str;
+    /// Storage footprint of the model, in bytes.
+    fn size_bytes(&self) -> usize;
+    /// Estimated result size (in tuples).
+    fn estimate(&self, query: &Query) -> Result<f64>;
+}
+
+impl<T: SelectivityEstimator + ?Sized> SelectivityEstimator for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn size_bytes(&self) -> usize {
+        (**self).size_bytes()
+    }
+    fn estimate(&self, query: &Query) -> Result<f64> {
+        (**self).estimate(query)
+    }
+}
+
+impl<T: SelectivityEstimator + ?Sized> SelectivityEstimator for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn size_bytes(&self) -> usize {
+        (**self).size_bytes()
+    }
+    fn estimate(&self, query: &Query) -> Result<f64> {
+        (**self).estimate(query)
+    }
+}
+
+/// Maps a predicate to matching dictionary codes using a captured domain.
+fn codes_for_pred(domain: &Domain, pred: &Pred) -> Vec<u32> {
+    match pred {
+        Pred::Eq { value, .. } => domain.code(value).into_iter().collect(),
+        Pred::In { values, .. } => {
+            let mut codes: Vec<u32> = values.iter().filter_map(|v| domain.code(v)).collect();
+            codes.sort_unstable();
+            codes.dedup();
+            codes
+        }
+        Pred::Range { lo, hi, .. } => domain.codes_in_range(*lo, *hi),
+    }
+}
+
+fn expect_single_table(query: &Query, table: &str) -> Result<()> {
+    if !query.is_single_table() || query.vars[0] != table {
+        return Err(Error::BadJoin(format!(
+            "estimator was built for single-table queries over `{table}`"
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// PRM (and BN / BN+UJ, which are PRMs with restricted structure).
+// ---------------------------------------------------------------------
+
+/// How `P(E)` is computed on the unrolled query-evaluation network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InferenceEngine {
+    /// Exact variable elimination (the default; unrolled networks are
+    /// small, so this is the right choice in practice).
+    Exact,
+    /// Likelihood-weighting Monte Carlo — the any-time fallback for
+    /// pathologically connected models.
+    LikelihoodWeighting {
+        /// Number of weighted samples per query.
+        samples: usize,
+        /// RNG seed (deterministic estimates per seed).
+        seed: u64,
+    },
+}
+
+/// The paper's estimator: a PRM queried through query-evaluation BNs.
+#[derive(Debug)]
+pub struct PrmEstimator {
+    name: String,
+    prm: Prm,
+    schema: SchemaInfo,
+    engine: InferenceEngine,
+}
+
+impl PrmEstimator {
+    /// Learns a PRM from the database and wraps it for estimation.
+    pub fn build(db: &Database, config: &PrmLearnConfig) -> Result<Self> {
+        let name = if config.allow_foreign_parents || config.max_ji_parents > 0 {
+            "PRM"
+        } else {
+            "BN+UJ"
+        };
+        Ok(PrmEstimator {
+            name: name.to_owned(),
+            prm: learn_prm(db, config)?,
+            schema: SchemaInfo::from_db(db)?,
+            engine: InferenceEngine::Exact,
+        })
+    }
+
+    /// Wraps an already-learned PRM.
+    pub fn from_prm(prm: Prm, db: &Database, name: impl Into<String>) -> Result<Self> {
+        Ok(PrmEstimator {
+            name: name.into(),
+            prm,
+            schema: SchemaInfo::from_db(db)?,
+            engine: InferenceEngine::Exact,
+        })
+    }
+
+    /// Assembles an estimator from persisted artifacts (see
+    /// [`crate::persist`]) — no database access needed at estimation time.
+    pub fn from_parts(prm: Prm, schema: SchemaInfo, name: impl Into<String>) -> Self {
+        PrmEstimator { name: name.into(), prm, schema, engine: InferenceEngine::Exact }
+    }
+
+    /// Selects the inference engine used for `P(E)`.
+    pub fn set_engine(&mut self, engine: InferenceEngine) {
+        self.engine = engine;
+    }
+
+    /// The underlying model.
+    pub fn prm(&self) -> &Prm {
+        &self.prm
+    }
+
+    /// The schema snapshot captured at build time.
+    pub fn schema_info(&self) -> &SchemaInfo {
+        &self.schema
+    }
+
+    /// Builds (without evaluating) the query-evaluation network — exposed
+    /// for inspection and tests.
+    pub fn unroll(&self, query: &Query) -> Result<QueryEvalBn> {
+        QueryEvalBn::build(&self.prm, &self.schema, query)
+    }
+
+    /// Explains an estimate: the upward closure, the unrolled network's
+    /// size, the query probability, and the final arithmetic — the trace
+    /// a DBA would want when an optimizer picks a surprising plan.
+    pub fn explain(&self, query: &Query) -> Result<String> {
+        use std::fmt::Write;
+        let qebn = self.unroll(query)?;
+        let p = bayesnet::probability_of_evidence(&qebn.bn, &qebn.evidence);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "upward closure Q+ ({} tuple variables):",
+            qebn.closure_tables.len()
+        );
+        for (v, &t) in qebn.closure_tables.iter().enumerate() {
+            let introduced =
+                if v < query.vars.len() { "" } else { "  [introduced by closure]" };
+            let _ = writeln!(
+                out,
+                "  v{v}: {} (|T| = {}){introduced}",
+                self.prm.tables[t].table, self.prm.tables[t].n_rows
+            );
+        }
+        let _ = writeln!(
+            out,
+            "query-evaluation network: {} nodes ({} bytes of relevant CPDs)",
+            qebn.bn.len(),
+            qebn.bn.size_bytes()
+        );
+        let _ = writeln!(out, "P(selects AND joins) = {p:.3e}");
+        let product: f64 = qebn
+            .closure_tables
+            .iter()
+            .map(|&t| self.prm.tables[t].n_rows as f64)
+            .product();
+        let _ = writeln!(out, "estimate = {product:.0} x {p:.3e} = {:.1}", product * p);
+        Ok(out)
+    }
+}
+
+impl SelectivityEstimator for PrmEstimator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.prm.size_bytes()
+    }
+
+    fn estimate(&self, query: &Query) -> Result<f64> {
+        let qebn = QueryEvalBn::build(&self.prm, &self.schema, query)?;
+        Ok(match self.engine {
+            InferenceEngine::Exact => qebn.estimated_size(&self.prm),
+            InferenceEngine::LikelihoodWeighting { samples, seed } => {
+                qebn.estimated_size_approx(&self.prm, samples, seed)
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// AVI.
+// ---------------------------------------------------------------------
+
+/// AVI over one table, answering relational queries.
+#[derive(Debug)]
+pub struct AviAdapter {
+    table: String,
+    domains: HashMap<String, Domain>,
+    inner: AviEstimator,
+}
+
+impl AviAdapter {
+    /// Builds exact per-attribute histograms for `table`.
+    pub fn build(db: &Database, table: &str) -> Result<Self> {
+        let t = db.table(table)?;
+        let mut domains = HashMap::new();
+        for attr in t.schema().value_attrs() {
+            domains.insert(attr.to_owned(), t.domain(attr)?.clone());
+        }
+        Ok(AviAdapter { table: table.to_owned(), domains, inner: AviEstimator::build(t) })
+    }
+}
+
+impl SelectivityEstimator for AviAdapter {
+    fn name(&self) -> &str {
+        "AVI"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.inner.size_bytes()
+    }
+
+    fn estimate(&self, query: &Query) -> Result<f64> {
+        expect_single_table(query, &self.table)?;
+        let preds: Vec<(String, Vec<u32>)> = query
+            .preds
+            .iter()
+            .map(|p| {
+                let domain = self.domains.get(p.attr()).ok_or_else(|| Error::UnknownAttr {
+                    table: self.table.clone(),
+                    attr: p.attr().to_owned(),
+                })?;
+                Ok((p.attr().to_owned(), codes_for_pred(domain, p)))
+            })
+            .collect::<Result<_>>()?;
+        Ok(self.inner.estimate(&preds))
+    }
+}
+
+// ---------------------------------------------------------------------
+// MHIST.
+// ---------------------------------------------------------------------
+
+/// MHIST over a fixed attribute subset of one table.
+#[derive(Debug)]
+pub struct MhistAdapter {
+    table: String,
+    attrs: Vec<String>,
+    domains: Vec<Domain>,
+    inner: MhistEstimator,
+}
+
+impl MhistAdapter {
+    /// Builds an MHIST over `attrs` of `table` within `budget_bytes`.
+    pub fn build(db: &Database, table: &str, attrs: &[&str], budget_bytes: usize) -> Result<Self> {
+        let t = db.table(table)?;
+        let mut columns = Vec::with_capacity(attrs.len());
+        let mut cards = Vec::with_capacity(attrs.len());
+        let mut domains = Vec::with_capacity(attrs.len());
+        for a in attrs {
+            columns.push(t.codes(a)?);
+            cards.push(t.domain(a)?.card());
+            domains.push(t.domain(a)?.clone());
+        }
+        Ok(MhistAdapter {
+            table: table.to_owned(),
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+            domains,
+            inner: MhistEstimator::build(&columns, &cards, budget_bytes),
+        })
+    }
+}
+
+impl SelectivityEstimator for MhistAdapter {
+    fn name(&self) -> &str {
+        "MHIST"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.inner.size_bytes()
+    }
+
+    fn estimate(&self, query: &Query) -> Result<f64> {
+        expect_single_table(query, &self.table)?;
+        // Start unconstrained, then intersect per-predicate.
+        let mut allowed: Vec<Vec<u32>> = self
+            .domains
+            .iter()
+            .map(|d| (0..d.card() as u32).collect())
+            .collect();
+        for p in &query.preds {
+            let dim = self.attrs.iter().position(|a| a == p.attr()).ok_or_else(|| {
+                Error::BadPredicate(format!(
+                    "attribute `{}` is not covered by this MHIST",
+                    p.attr()
+                ))
+            })?;
+            let codes = codes_for_pred(&self.domains[dim], p);
+            allowed[dim].retain(|c| codes.contains(c));
+        }
+        Ok(self.inner.estimate(&allowed))
+    }
+}
+
+// ---------------------------------------------------------------------
+// WAVELET.
+// ---------------------------------------------------------------------
+
+/// Thresholded Haar-wavelet approximation over a fixed attribute subset.
+#[derive(Debug)]
+pub struct WaveletAdapter {
+    table: String,
+    attrs: Vec<String>,
+    domains: Vec<Domain>,
+    inner: WaveletEstimator,
+}
+
+impl WaveletAdapter {
+    /// Builds the wavelet summary over `attrs` of `table` within
+    /// `budget_bytes`.
+    pub fn build(db: &Database, table: &str, attrs: &[&str], budget_bytes: usize) -> Result<Self> {
+        let t = db.table(table)?;
+        let mut columns = Vec::with_capacity(attrs.len());
+        let mut cards = Vec::with_capacity(attrs.len());
+        let mut domains = Vec::with_capacity(attrs.len());
+        for a in attrs {
+            columns.push(t.codes(a)?);
+            cards.push(t.domain(a)?.card());
+            domains.push(t.domain(a)?.clone());
+        }
+        Ok(WaveletAdapter {
+            table: table.to_owned(),
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+            domains,
+            inner: WaveletEstimator::build(&columns, &cards, budget_bytes),
+        })
+    }
+}
+
+impl SelectivityEstimator for WaveletAdapter {
+    fn name(&self) -> &str {
+        "WAVELET"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.inner.size_bytes()
+    }
+
+    fn estimate(&self, query: &Query) -> Result<f64> {
+        expect_single_table(query, &self.table)?;
+        let mut allowed: Vec<Vec<u32>> = self
+            .domains
+            .iter()
+            .map(|d| (0..d.card() as u32).collect())
+            .collect();
+        for p in &query.preds {
+            let dim = self.attrs.iter().position(|a| a == p.attr()).ok_or_else(|| {
+                Error::BadPredicate(format!(
+                    "attribute `{}` is not covered by this wavelet summary",
+                    p.attr()
+                ))
+            })?;
+            let codes = codes_for_pred(&self.domains[dim], p);
+            allowed[dim].retain(|c| codes.contains(c));
+        }
+        Ok(self.inner.estimate(&allowed))
+    }
+}
+
+// ---------------------------------------------------------------------
+// SAMPLE (single table).
+// ---------------------------------------------------------------------
+
+/// Row sampling over one table.
+#[derive(Debug)]
+pub struct SampleAdapter {
+    table: String,
+    domains: HashMap<String, Domain>,
+    inner: SampleEstimator,
+}
+
+impl SampleAdapter {
+    /// Reservoir-samples `table` within `budget_bytes`.
+    pub fn build(db: &Database, table: &str, budget_bytes: usize, seed: u64) -> Result<Self> {
+        let t = db.table(table)?;
+        let mut domains = HashMap::new();
+        for attr in t.schema().value_attrs() {
+            domains.insert(attr.to_owned(), t.domain(attr)?.clone());
+        }
+        Ok(SampleAdapter {
+            table: table.to_owned(),
+            domains,
+            inner: SampleEstimator::build(t, budget_bytes, seed),
+        })
+    }
+}
+
+impl SelectivityEstimator for SampleAdapter {
+    fn name(&self) -> &str {
+        "SAMPLE"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.inner.size_bytes()
+    }
+
+    fn estimate(&self, query: &Query) -> Result<f64> {
+        expect_single_table(query, &self.table)?;
+        let preds: Vec<(String, Vec<u32>)> = query
+            .preds
+            .iter()
+            .map(|p| {
+                let domain = self.domains.get(p.attr()).ok_or_else(|| Error::UnknownAttr {
+                    table: self.table.clone(),
+                    attr: p.attr().to_owned(),
+                })?;
+                Ok((p.attr().to_owned(), codes_for_pred(domain, p)))
+            })
+            .collect::<Result<_>>()?;
+        Ok(self.inner.estimate(&preds))
+    }
+}
+
+// ---------------------------------------------------------------------
+// SAMPLE (join chain).
+// ---------------------------------------------------------------------
+
+/// Sampling of the full foreign-key join along a chain of tables.
+#[derive(Debug)]
+pub struct JoinSampleAdapter {
+    /// Tables on the chain, base first.
+    chain: Vec<String>,
+    domains: HashMap<(String, String), Domain>,
+    inner: JoinSampleEstimator,
+}
+
+impl JoinSampleAdapter {
+    /// Builds the joined sample for the chain starting at `base` and
+    /// following `hops` (foreign-key attribute names).
+    pub fn build(
+        db: &Database,
+        base: &str,
+        hops: &[&str],
+        budget_bytes: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        let path = JoinPath {
+            base: base.to_owned(),
+            hops: hops.iter().map(|s| s.to_string()).collect(),
+        };
+        let mut chain = vec![base.to_owned()];
+        let mut current = base.to_owned();
+        for fk in hops {
+            let target = db
+                .foreign_keys_of(&current)?
+                .into_iter()
+                .find(|f| &f.attr == fk)
+                .ok_or_else(|| Error::BadJoin(format!("`{current}.{fk}` is not a foreign key")))?
+                .target;
+            chain.push(target.clone());
+            current = target;
+        }
+        let mut domains = HashMap::new();
+        for table in &chain {
+            let t = db.table(table)?;
+            for attr in t.schema().value_attrs() {
+                domains.insert((table.clone(), attr.to_owned()), t.domain(attr)?.clone());
+            }
+        }
+        Ok(JoinSampleAdapter {
+            chain,
+            domains,
+            inner: JoinSampleEstimator::build(db, &path, budget_bytes, seed)?,
+        })
+    }
+}
+
+impl SelectivityEstimator for JoinSampleAdapter {
+    fn name(&self) -> &str {
+        "SAMPLE"
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.inner.size_bytes()
+    }
+
+    fn estimate(&self, query: &Query) -> Result<f64> {
+        // The query must join the full chain: one var per chain table.
+        if query.vars.len() != self.chain.len()
+            || query.joins.len() + 1 != self.chain.len()
+        {
+            return Err(Error::BadJoin(
+                "join-sample estimator answers full-chain queries only".into(),
+            ));
+        }
+        for table in &self.chain {
+            if !query.vars.contains(table) {
+                return Err(Error::BadJoin(format!(
+                    "query does not cover chain table `{table}`"
+                )));
+            }
+        }
+        let preds: Vec<((String, String), Vec<u32>)> = query
+            .preds
+            .iter()
+            .map(|p| {
+                let table = query.vars[p.var()].clone();
+                let key = (table, p.attr().to_owned());
+                let domain = self.domains.get(&key).ok_or_else(|| Error::UnknownAttr {
+                    table: key.0.clone(),
+                    attr: key.1.clone(),
+                })?;
+                Ok((key, codes_for_pred(domain, p)))
+            })
+            .collect::<Result<_>>()?;
+        Ok(self.inner.estimate(&preds))
+    }
+}

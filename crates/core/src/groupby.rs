@@ -1,0 +1,112 @@
+//! Approximate grouped counting (paper §1 and §6: "there are obvious
+//! applications of our techniques to the task of approximate query
+//! answering … counting (aggregation) queries").
+//!
+//! `SELECT g, COUNT(*) … GROUP BY g` decomposes into one selectivity
+//! estimate per group value, all answered by the same model. The grouped
+//! estimates inherit the model's normalization: summed over groups they
+//! equal the estimate of the ungrouped query.
+
+use reldb::{Error, Pred, Query, Result, Value};
+
+use crate::estimator::{PrmEstimator, SelectivityEstimator};
+
+/// One estimated group of an approximate `GROUP BY` answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupEstimate {
+    /// The group's value.
+    pub value: Value,
+    /// Estimated number of result tuples in the group.
+    pub count: f64,
+}
+
+impl PrmEstimator {
+    /// Approximates `SELECT <var.attr>, COUNT(*) FROM <query> GROUP BY
+    /// <var.attr>`: one entry per domain value of the grouping attribute,
+    /// in domain (code) order.
+    pub fn estimate_group_counts(
+        &self,
+        query: &Query,
+        var: usize,
+        attr: &str,
+    ) -> Result<Vec<GroupEstimate>> {
+        let table_name = query.vars.get(var).ok_or(Error::UnknownVar(var))?;
+        let table = self
+            .schema_info()
+            .tables
+            .iter()
+            .find(|t| &t.name == table_name)
+            .ok_or_else(|| Error::UnknownTable(table_name.clone()))?;
+        let idx = table.attrs.iter().position(|a| a == attr).ok_or_else(|| {
+            Error::UnknownAttr { table: table_name.clone(), attr: attr.to_owned() }
+        })?;
+        let domain = &table.domains[idx];
+        let mut out = Vec::with_capacity(domain.card());
+        for value in domain.values() {
+            let mut q = query.clone();
+            q.preds.push(Pred::Eq { var, attr: attr.to_owned(), value: value.clone() });
+            out.push(GroupEstimate { value: value.clone(), count: self.estimate(&q)? });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learn::PrmLearnConfig;
+    use workloads::tb::tb_database_sized;
+
+    #[test]
+    fn groups_partition_the_ungrouped_estimate() {
+        let db = tb_database_sized(100, 150, 1_200, 3);
+        let est = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+        let mut b = Query::builder();
+        let c = b.var("contact");
+        let p = b.var("patient");
+        b.join(c, "patient", p).eq(p, "age", 2);
+        let q = b.build();
+        let groups = est.estimate_group_counts(&q, c, "contype").unwrap();
+        assert_eq!(groups.len(), 5);
+        let total: f64 = groups.iter().map(|g| g.count).sum();
+        let ungrouped = est.estimate(&q).unwrap();
+        assert!(
+            (total - ungrouped).abs() < 1e-6 * ungrouped.max(1.0),
+            "groups sum {total} vs {ungrouped}"
+        );
+    }
+
+    #[test]
+    fn group_counts_track_exact_counts() {
+        let db = tb_database_sized(100, 150, 4_000, 4);
+        let est = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+        let mut b = Query::builder();
+        let c = b.var("contact");
+        b.eq(c, "infected", 1);
+        let q = b.build();
+        let groups = est.estimate_group_counts(&q, c, "contype").unwrap();
+        for g in &groups {
+            let mut truth_b = Query::builder();
+            let v = truth_b.var("contact");
+            truth_b.eq(v, "infected", 1).eq(v, "contype", g.value.clone());
+            let truth = reldb::result_size(&db, &truth_b.build()).unwrap() as f64;
+            assert!(
+                (g.count - truth).abs() / truth.max(10.0) < 0.6,
+                "group {:?}: est {} truth {truth}",
+                g.value,
+                g.count
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_grouping_attr_is_rejected() {
+        let db = tb_database_sized(50, 60, 300, 5);
+        let est = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+        let mut b = Query::builder();
+        let c = b.var("contact");
+        let q = b.build();
+        assert!(est.estimate_group_counts(&q, c, "nope").is_err());
+        assert!(est.estimate_group_counts(&q, 9, "contype").is_err());
+    }
+}

@@ -1,0 +1,422 @@
+//! Large attribute domains via discretization (paper §2.3).
+//!
+//! The models in this workspace assume small discrete domains (up to ~50
+//! values). For ordinal attributes with many distinct values, the paper
+//! prescribes: discretize, build the model over the bins, answer an
+//! *abstract* query at bin granularity, then scale back to the base-level
+//! query "by assuming a uniform distribution within the result".
+//!
+//! [`discretize_database`] rewrites every over-wide integer column into
+//! equi-depth bins (keys and narrow columns pass through), remembering the
+//! binning. [`DiscretizingEstimator`] wraps any inner estimator built over
+//! the binned database: a base-level predicate is mapped to the bins it
+//! overlaps, and the bin-level estimate is scaled by the covered fraction
+//! of those bins under within-bin uniformity.
+
+use std::collections::HashMap;
+
+use bayesnet::discretize::{Discretizer, NominalGrouper};
+use reldb::{
+    Cell, Database, DatabaseBuilder, Domain, Error, Pred, Query, Result, TableBuilder,
+    Value,
+};
+
+use crate::estimator::SelectivityEstimator;
+
+/// Per-column binning metadata.
+#[derive(Debug, Clone)]
+enum Mapper {
+    /// Ordinal: contiguous equi-depth ranges.
+    Ordinal(Discretizer),
+    /// Nominal: frequency grouping with an OTHER bucket.
+    Nominal(NominalGrouper),
+}
+
+#[derive(Debug, Clone)]
+struct Binning {
+    mapper: Mapper,
+    /// The original (base-level) domain.
+    base_domain: Domain,
+}
+
+impl Binning {
+    fn bin_of(&self, code: u32) -> u32 {
+        match &self.mapper {
+            Mapper::Ordinal(d) => d.bin_of(code),
+            Mapper::Nominal(g) => g.group_of(code),
+        }
+    }
+
+    fn bin_width(&self, bin: u32) -> f64 {
+        match &self.mapper {
+            Mapper::Ordinal(d) => {
+                let (lo, hi) = d.bin_range(bin);
+                (hi - lo + 1) as f64
+            }
+            Mapper::Nominal(g) => g.group_width(bin) as f64,
+        }
+    }
+
+    fn n_bins(&self) -> usize {
+        match &self.mapper {
+            Mapper::Ordinal(d) => d.n_bins(),
+            Mapper::Nominal(g) => g.n_groups(),
+        }
+    }
+}
+
+/// A database whose wide ordinal columns have been replaced by bins.
+#[derive(Debug)]
+pub struct DiscretizedDatabase {
+    /// The binned database (bin codes stored as integer values).
+    pub db: Database,
+    binnings: HashMap<(String, String), Binning>,
+}
+
+impl DiscretizedDatabase {
+    /// True if `table.attr` was binned.
+    pub fn is_binned(&self, table: &str, attr: &str) -> bool {
+        self.binnings.contains_key(&(table.to_owned(), attr.to_owned()))
+    }
+
+    /// Number of binned columns.
+    pub fn n_binned(&self) -> usize {
+        self.binnings.len()
+    }
+}
+
+/// Rewrites every integer value column with more than `max_card` distinct
+/// values into at most `max_card` equi-depth bins.
+pub fn discretize_database(db: &Database, max_card: usize) -> Result<DiscretizedDatabase> {
+    assert!(max_card >= 2, "need at least two bins");
+    let mut out = DatabaseBuilder::new();
+    let mut binnings = HashMap::new();
+    for table in db.tables() {
+        let schema = table.schema();
+        let mut builder = TableBuilder::new(table.name());
+        for attr in &schema.attrs {
+            builder = match &attr.kind {
+                reldb::AttrKind::PrimaryKey => builder.key(&attr.name),
+                reldb::AttrKind::ForeignKey { target } => builder.fk(&attr.name, target),
+                reldb::AttrKind::Value => builder.col(&attr.name),
+            };
+        }
+        // Precompute per-column transforms.
+        enum Col<'a> {
+            Key(&'a [i64]),
+            Fk(&'a [i64]),
+            Plain(&'a [u32], &'a Domain),
+            Binned(Vec<u32>),
+        }
+        let mut cols: Vec<Col> = Vec::new();
+        for attr in &schema.attrs {
+            match &attr.kind {
+                reldb::AttrKind::PrimaryKey => {
+                    cols.push(Col::Key(table.key_values().expect("pk exists")));
+                }
+                reldb::AttrKind::ForeignKey { .. } => {
+                    cols.push(Col::Fk(table.fk_values(&attr.name)?));
+                }
+                reldb::AttrKind::Value => {
+                    let domain = table.domain(&attr.name)?;
+                    let codes = table.codes(&attr.name)?;
+                    if domain.card() > max_card {
+                        let is_ordinal =
+                            domain.values().iter().all(|v| v.as_int().is_some());
+                        let mapper = if is_ordinal {
+                            Mapper::Ordinal(Discretizer::equi_depth(
+                                codes,
+                                domain.card(),
+                                max_card,
+                            ))
+                        } else {
+                            Mapper::Nominal(NominalGrouper::by_frequency(
+                                codes,
+                                domain.card(),
+                                max_card,
+                            ))
+                        };
+                        let binning =
+                            Binning { mapper, base_domain: domain.clone() };
+                        let binned: Vec<u32> =
+                            codes.iter().map(|&c| binning.bin_of(c)).collect();
+                        binnings.insert(
+                            (table.name().to_owned(), attr.name.clone()),
+                            binning,
+                        );
+                        cols.push(Col::Binned(binned));
+                    } else {
+                        cols.push(Col::Plain(codes, domain));
+                    }
+                }
+            }
+        }
+        for row in 0..table.n_rows() {
+            let cells: Vec<Cell> = cols
+                .iter()
+                .map(|c| match c {
+                    Col::Key(k) => Cell::Key(k[row]),
+                    Col::Fk(k) => Cell::Key(k[row]),
+                    Col::Plain(codes, domain) => {
+                        Cell::Val(domain.value(codes[row]).clone())
+                    }
+                    Col::Binned(bins) => Cell::Val(Value::Int(bins[row] as i64)),
+                })
+                .collect();
+            builder.push_row(cells)?;
+        }
+        out = out.add_table(builder.finish()?);
+    }
+    Ok(DiscretizedDatabase { db: out.finish()?, binnings })
+}
+
+/// Wraps an estimator built over the *binned* database and answers
+/// base-level queries.
+pub struct DiscretizingEstimator<E> {
+    inner: E,
+    binnings: HashMap<(String, String), Binning>,
+}
+
+impl<E: SelectivityEstimator> DiscretizingEstimator<E> {
+    /// Pairs a binned-database estimator with the binning metadata.
+    pub fn new(inner: E, dd: &DiscretizedDatabase) -> Self {
+        DiscretizingEstimator { inner, binnings: dd.binnings.clone() }
+    }
+
+    /// Translates a base-level query into (abstract bin-level query,
+    /// uniformity scale factor).
+    fn translate(&self, query: &Query) -> Result<(Query, f64)> {
+        let mut out = query.clone();
+        let mut scale = 1.0;
+        for pred in &mut out.preds {
+            let table = query
+                .vars
+                .get(pred.var())
+                .ok_or(Error::UnknownVar(pred.var()))?;
+            let Some(binning) =
+                self.binnings.get(&(table.clone(), pred.attr().to_owned()))
+            else {
+                continue;
+            };
+            // Base-level codes the predicate selects.
+            let codes: Vec<u32> = match &*pred {
+                Pred::Eq { value, .. } => {
+                    binning.base_domain.code(value).into_iter().collect()
+                }
+                Pred::In { values, .. } => {
+                    let mut cs: Vec<u32> = values
+                        .iter()
+                        .filter_map(|v| binning.base_domain.code(v))
+                        .collect();
+                    cs.sort_unstable();
+                    cs.dedup();
+                    cs
+                }
+                Pred::Range { lo, hi, .. } => binning.base_domain.codes_in_range(*lo, *hi),
+            };
+            // Overlapping bins and their covered width.
+            let mut bins: Vec<u32> = codes.iter().map(|&c| binning.bin_of(c)).collect();
+            bins.sort_unstable();
+            bins.dedup();
+            let covered = codes.len() as f64;
+            let total_width: f64 = bins.iter().map(|&b| binning.bin_width(b)).sum();
+            if total_width > 0.0 {
+                scale *= covered / total_width;
+            } else {
+                scale = 0.0;
+            }
+            // The abstract predicate selects the overlapping bins.
+            *pred = Pred::In {
+                var: pred.var(),
+                attr: pred.attr().to_owned(),
+                values: bins.iter().map(|&b| Value::Int(b as i64)).collect(),
+            };
+        }
+        Ok((out, scale))
+    }
+}
+
+impl<E: SelectivityEstimator> SelectivityEstimator for DiscretizingEstimator<E> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn size_bytes(&self) -> usize {
+        // Bin boundaries must be stored alongside the model: 2 bytes per
+        // bin upper bound.
+        let bin_bytes: usize =
+            self.binnings.values().map(|b| 2 * b.n_bins()).sum();
+        self.inner.size_bytes() + bin_bytes
+    }
+
+    fn estimate(&self, query: &Query) -> Result<f64> {
+        let (abstract_query, scale) = self.translate(query)?;
+        Ok(self.inner.estimate(&abstract_query)? * scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::PrmEstimator;
+    use crate::learn::PrmLearnConfig;
+    use reldb::result_size;
+
+    /// A table with one wide ordinal column (200 values) correlated with a
+    /// narrow one.
+    fn wide_db() -> Database {
+        let mut t = TableBuilder::new("t").key("id").col("wide").col("narrow");
+        for i in 0..4_000i64 {
+            let wide = (i * 37 + (i * i) % 11) % 200;
+            let narrow = if wide < 100 { 0 } else { 1 };
+            t.push_row(vec![
+                Cell::Key(i),
+                Cell::Val(Value::Int(wide)),
+                Cell::Val(Value::Int(narrow)),
+            ])
+            .unwrap();
+        }
+        DatabaseBuilder::new().add_table(t.finish().unwrap()).finish().unwrap()
+    }
+
+    #[test]
+    fn binning_reduces_cardinality() {
+        let db = wide_db();
+        let dd = discretize_database(&db, 16).unwrap();
+        assert_eq!(dd.n_binned(), 1);
+        assert!(dd.is_binned("t", "wide"));
+        assert!(!dd.is_binned("t", "narrow"));
+        assert!(dd.db.table("t").unwrap().domain("wide").unwrap().card() <= 16);
+        assert_eq!(dd.db.table("t").unwrap().n_rows(), 4_000);
+    }
+
+    #[test]
+    fn range_queries_scale_back_accurately() {
+        let db = wide_db();
+        let dd = discretize_database(&db, 16).unwrap();
+        let inner = PrmEstimator::build(
+            &dd.db,
+            &PrmLearnConfig { budget_bytes: 2048, ..Default::default() },
+        )
+        .unwrap();
+        let est = DiscretizingEstimator::new(inner, &dd);
+        // A wide range predicate at base level.
+        let mut b = Query::builder();
+        let v = b.var("t");
+        b.range(v, "wide", Some(25), Some(150));
+        let q = b.build();
+        let truth = result_size(&db, &q).unwrap() as f64;
+        let got = est.estimate(&q).unwrap();
+        assert!(
+            (got - truth).abs() / truth < 0.15,
+            "got={got} truth={truth}"
+        );
+    }
+
+    #[test]
+    fn equality_queries_use_within_bin_uniformity() {
+        let db = wide_db();
+        let dd = discretize_database(&db, 16).unwrap();
+        let inner = PrmEstimator::build(
+            &dd.db,
+            &PrmLearnConfig { budget_bytes: 2048, ..Default::default() },
+        )
+        .unwrap();
+        let est = DiscretizingEstimator::new(inner, &dd);
+        let mut b = Query::builder();
+        let v = b.var("t");
+        b.eq(v, "wide", 42);
+        let q = b.build();
+        let truth = result_size(&db, &q).unwrap() as f64;
+        let got = est.estimate(&q).unwrap();
+        // Equality on a near-uniform wide attribute: within a factor ~2.
+        assert!(
+            (got - truth).abs() / truth.max(1.0) < 1.0,
+            "got={got} truth={truth}"
+        );
+    }
+
+    #[test]
+    fn mixed_queries_combine_binned_and_plain_predicates() {
+        let db = wide_db();
+        let dd = discretize_database(&db, 16).unwrap();
+        let inner = PrmEstimator::build(
+            &dd.db,
+            &PrmLearnConfig { budget_bytes: 4096, ..Default::default() },
+        )
+        .unwrap();
+        let est = DiscretizingEstimator::new(inner, &dd);
+        let mut b = Query::builder();
+        let v = b.var("t");
+        b.range(v, "wide", Some(120), None).eq(v, "narrow", 1);
+        let q = b.build();
+        let truth = result_size(&db, &q).unwrap() as f64;
+        let got = est.estimate(&q).unwrap();
+        assert!(
+            (got - truth).abs() / truth < 0.25,
+            "got={got} truth={truth}"
+        );
+    }
+
+    #[test]
+    fn size_accounts_for_bin_boundaries() {
+        let db = wide_db();
+        let dd = discretize_database(&db, 16).unwrap();
+        let inner = PrmEstimator::build(&dd.db, &PrmLearnConfig::default()).unwrap();
+        let inner_bytes = inner.size_bytes();
+        let est = DiscretizingEstimator::new(inner, &dd);
+        assert!(est.size_bytes() > inner_bytes);
+    }
+
+    #[test]
+    fn nominal_wide_domains_are_grouped_by_frequency() {
+        // A string column with 60 distinct values, heavily skewed.
+        let mut t = TableBuilder::new("t").key("id").col("city");
+        for i in 0..3_000i64 {
+            let city = if i % 3 != 0 {
+                format!("metro{}", i % 4) // 4 big cities get 2/3 of rows
+            } else {
+                format!("town{}", i % 56)
+            };
+            t.push_row(vec![Cell::Key(i), Cell::Val(Value::Str(city))]).unwrap();
+        }
+        let db = DatabaseBuilder::new().add_table(t.finish().unwrap()).finish().unwrap();
+        assert!(db.table("t").unwrap().domain("city").unwrap().card() > 16);
+        let dd = discretize_database(&db, 16).unwrap();
+        assert_eq!(dd.n_binned(), 1);
+        assert!(dd.db.table("t").unwrap().domain("city").unwrap().card() <= 16);
+        let inner = PrmEstimator::build(&dd.db, &PrmLearnConfig::default()).unwrap();
+        let est = DiscretizingEstimator::new(inner, &dd);
+        // A heavy hitter keeps its own group → near-exact estimate.
+        let mut b = Query::builder();
+        let v = b.var("t");
+        b.eq(v, "city", "metro1");
+        let q = b.build();
+        let truth = result_size(&db, &q).unwrap() as f64;
+        let got = est.estimate(&q).unwrap();
+        assert!((got - truth).abs() / truth < 0.05, "metro: got={got} truth={truth}");
+        // A rare value goes through the OTHER group with uniformity.
+        let mut b = Query::builder();
+        let v = b.var("t");
+        b.eq(v, "city", "town7");
+        let q = b.build();
+        let truth = result_size(&db, &q).unwrap() as f64;
+        let got = est.estimate(&q).unwrap();
+        assert!(
+            (got - truth).abs() / truth.max(1.0) < 1.0,
+            "town: got={got} truth={truth}"
+        );
+    }
+
+    #[test]
+    fn narrow_databases_pass_through_unchanged() {
+        let mut t = TableBuilder::new("t").col("x");
+        for i in 0..50i64 {
+            t.push_row(vec![Cell::Val(Value::Int(i % 5))]).unwrap();
+        }
+        let db = DatabaseBuilder::new().add_table(t.finish().unwrap()).finish().unwrap();
+        let dd = discretize_database(&db, 16).unwrap();
+        assert_eq!(dd.n_binned(), 0);
+        assert_eq!(dd.db.table("t").unwrap().domain("x").unwrap().card(), 5);
+    }
+}

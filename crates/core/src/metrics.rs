@@ -1,0 +1,207 @@
+//! Error metrics and suite evaluation.
+//!
+//! The paper scores estimates by the **adjusted relative error**
+//! `|S − Ŝ| / max(S, 1)` (§5), reported in percent and averaged over every
+//! instantiation of a query suite (typically thousands of queries).
+
+use reldb::{exec, Database, Query, Result};
+
+use crate::estimator::SelectivityEstimator;
+
+/// Adjusted relative error of one estimate.
+pub fn adjusted_relative_error(truth: u64, estimate: f64) -> f64 {
+    (truth as f64 - estimate).abs() / (truth.max(1) as f64)
+}
+
+/// Per-query evaluation record.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryEval {
+    /// Exact result size.
+    pub truth: u64,
+    /// Estimated result size.
+    pub estimate: f64,
+    /// Adjusted relative error.
+    pub error: f64,
+}
+
+/// Evaluation of one estimator on one suite.
+#[derive(Debug, Clone)]
+pub struct SuiteEval {
+    /// Per-query records (suite order).
+    pub per_query: Vec<QueryEval>,
+}
+
+impl SuiteEval {
+    /// Mean adjusted relative error, in percent (the paper's y-axis).
+    pub fn mean_error_pct(&self) -> f64 {
+        if self.per_query.is_empty() {
+            return 0.0;
+        }
+        100.0 * self.per_query.iter().map(|q| q.error).sum::<f64>()
+            / self.per_query.len() as f64
+    }
+
+    /// Median adjusted relative error, in percent.
+    pub fn median_error_pct(&self) -> f64 {
+        self.quantile_error_pct(0.5)
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of the adjusted relative error, in
+    /// percent — optimizers care about tail misestimates (a p95 blowup
+    /// picks a catastrophic plan even when the mean looks fine).
+    pub fn quantile_error_pct(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.per_query.is_empty() {
+            return 0.0;
+        }
+        let mut errs: Vec<f64> = self.per_query.iter().map(|e| e.error).collect();
+        errs.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+        let idx = ((errs.len() as f64 - 1.0) * q).round() as usize;
+        100.0 * errs[idx]
+    }
+
+    /// Worst-case adjusted relative error, in percent.
+    pub fn max_error_pct(&self) -> f64 {
+        self.quantile_error_pct(1.0)
+    }
+
+    /// Number of queries evaluated.
+    pub fn len(&self) -> usize {
+        self.per_query.len()
+    }
+
+    /// True if no queries were evaluated.
+    pub fn is_empty(&self) -> bool {
+        self.per_query.is_empty()
+    }
+}
+
+/// Runs an estimator over a query suite, computing exact ground truth with
+/// the relational executor.
+pub fn evaluate_suite(
+    db: &Database,
+    estimator: &dyn SelectivityEstimator,
+    queries: &[Query],
+) -> Result<SuiteEval> {
+    let mut per_query = Vec::with_capacity(queries.len());
+    for q in queries {
+        let truth = exec::result_size(db, q)?;
+        let estimate = estimator.estimate(q)?;
+        per_query.push(QueryEval {
+            truth,
+            estimate,
+            error: adjusted_relative_error(truth, estimate),
+        });
+    }
+    Ok(SuiteEval { per_query })
+}
+
+/// Ground-truth sizes of a suite (for harnesses that reuse them across
+/// estimators instead of re-executing per estimator).
+pub fn ground_truth(db: &Database, queries: &[Query]) -> Result<Vec<u64>> {
+    queries.iter().map(|q| exec::result_size(db, q)).collect()
+}
+
+/// Parallel variant of [`evaluate_with_truth`]: splits the suite across
+/// `threads` OS threads. Useful for the large figure sweeps; estimators
+/// are immutable after construction, so sharing them is free.
+pub fn evaluate_with_truth_parallel(
+    estimator: &(dyn SelectivityEstimator + Sync),
+    queries: &[Query],
+    truths: &[u64],
+    threads: usize,
+) -> Result<SuiteEval> {
+    assert_eq!(queries.len(), truths.len());
+    let threads = threads.max(1).min(queries.len().max(1));
+    let chunk = queries.len().div_ceil(threads);
+    let results: Vec<Result<Vec<QueryEval>>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (qs, ts) in queries.chunks(chunk).zip(truths.chunks(chunk)) {
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::with_capacity(qs.len());
+                for (q, &truth) in qs.iter().zip(ts) {
+                    let estimate = estimator.estimate(q)?;
+                    out.push(QueryEval {
+                        truth,
+                        estimate,
+                        error: adjusted_relative_error(truth, estimate),
+                    });
+                }
+                Ok(out)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+    let mut per_query = Vec::with_capacity(queries.len());
+    for r in results {
+        per_query.extend(r?);
+    }
+    Ok(SuiteEval { per_query })
+}
+
+/// Evaluates an estimator against precomputed ground truth.
+pub fn evaluate_with_truth(
+    estimator: &dyn SelectivityEstimator,
+    queries: &[Query],
+    truths: &[u64],
+) -> Result<SuiteEval> {
+    assert_eq!(queries.len(), truths.len());
+    let mut per_query = Vec::with_capacity(queries.len());
+    for (q, &truth) in queries.iter().zip(truths) {
+        let estimate = estimator.estimate(q)?;
+        per_query.push(QueryEval {
+            truth,
+            estimate,
+            error: adjusted_relative_error(truth, estimate),
+        });
+    }
+    Ok(SuiteEval { per_query })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjusted_error_definition() {
+        assert_eq!(adjusted_relative_error(100, 150.0), 0.5);
+        assert_eq!(adjusted_relative_error(100, 50.0), 0.5);
+        // max(S,1) guards the empty-result case.
+        assert_eq!(adjusted_relative_error(0, 3.0), 3.0);
+        assert_eq!(adjusted_relative_error(0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn mean_and_median() {
+        let eval = SuiteEval {
+            per_query: vec![
+                QueryEval { truth: 1, estimate: 1.0, error: 0.0 },
+                QueryEval { truth: 1, estimate: 2.0, error: 1.0 },
+                QueryEval { truth: 1, estimate: 4.0, error: 3.0 },
+            ],
+        };
+        assert!((eval.mean_error_pct() - 400.0 / 3.0).abs() < 1e-9);
+        assert_eq!(eval.median_error_pct(), 100.0);
+        assert_eq!(eval.len(), 3);
+    }
+
+    #[test]
+    fn quantiles_and_max() {
+        let eval = SuiteEval {
+            per_query: (0..100)
+                .map(|i| QueryEval { truth: 1, estimate: 0.0, error: i as f64 / 100.0 })
+                .collect(),
+        };
+        assert!((eval.quantile_error_pct(0.0) - 0.0).abs() < 1e-9);
+        assert!((eval.quantile_error_pct(0.95) - 94.0).abs() < 1.5);
+        assert!((eval.max_error_pct() - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_suite_is_zero() {
+        let eval = SuiteEval { per_query: vec![] };
+        assert_eq!(eval.mean_error_pct(), 0.0);
+        assert_eq!(eval.median_error_pct(), 0.0);
+        assert!(eval.is_empty());
+    }
+}

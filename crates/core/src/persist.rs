@@ -1,0 +1,480 @@
+//! Model persistence: a small versioned binary format for PRMs.
+//!
+//! The offline phase runs in a batch job; the online phase runs inside a
+//! query optimizer. This module is the handoff: [`save_model`] serializes
+//! a learned [`Prm`] together with the [`SchemaInfo`] snapshot it needs at
+//! estimation time, [`load_model`] restores both. The format is
+//! hand-rolled (little-endian, length-prefixed) so the core crate carries
+//! no serialization dependency, and it is versioned + magic-tagged so
+//! stale or foreign files fail loudly instead of misestimating quietly.
+
+use std::io::{Read, Write};
+
+use bayesnet::cpd::{Cpd, TableCpd, TreeCpd, TreeNode};
+use reldb::{Domain, Error, Result, Value};
+
+use crate::prm::{
+    AttrModel, JiParentRef, JoinIndicatorModel, ParentRef, Prm, TableModel,
+};
+use crate::schema::{FkInfo, SchemaInfo, TableInfo};
+
+const MAGIC: &[u8; 8] = b"PRMSEL01";
+
+/// Serializes a model + schema snapshot.
+pub fn save_model(prm: &Prm, schema: &SchemaInfo, mut out: impl Write) -> Result<()> {
+    let mut w = Writer { out: &mut out };
+    w.bytes(MAGIC)?;
+    w.usize_(prm.tables.len())?;
+    for t in &prm.tables {
+        w.string(&t.table)?;
+        w.u64_(t.n_rows)?;
+        w.usize_(t.attrs.len())?;
+        for a in &t.attrs {
+            w.string(&a.name)?;
+            w.usize_(a.card)?;
+            w.usize_(a.parents.len())?;
+            for p in &a.parents {
+                match *p {
+                    ParentRef::Local { attr } => {
+                        w.u8_(0)?;
+                        w.usize_(attr)?;
+                    }
+                    ParentRef::Foreign { fk, attr } => {
+                        w.u8_(1)?;
+                        w.usize_(fk)?;
+                        w.usize_(attr)?;
+                    }
+                }
+            }
+            w.cpd(&a.cpd)?;
+        }
+        w.usize_(t.join_indicators.len())?;
+        for ji in &t.join_indicators {
+            w.string(&ji.fk_attr)?;
+            w.string(&ji.target)?;
+            w.usize_(ji.parents.len())?;
+            for p in &ji.parents {
+                match *p {
+                    JiParentRef::Child { attr } => {
+                        w.u8_(0)?;
+                        w.usize_(attr)?;
+                    }
+                    JiParentRef::Parent { attr } => {
+                        w.u8_(1)?;
+                        w.usize_(attr)?;
+                    }
+                }
+            }
+            w.usizes(&ji.parent_cards)?;
+            w.f64s(&ji.p_true)?;
+        }
+    }
+    // Schema snapshot.
+    w.usize_(schema.tables.len())?;
+    for t in &schema.tables {
+        w.string(&t.name)?;
+        w.u64_(t.n_rows)?;
+        w.usize_(t.attrs.len())?;
+        for (a, d) in t.attrs.iter().zip(&t.domains) {
+            w.string(a)?;
+            w.usize_(d.card())?;
+            for v in d.values() {
+                w.value(v)?;
+            }
+        }
+        w.usize_(t.fks.len())?;
+        for fk in &t.fks {
+            w.string(&fk.attr)?;
+            w.usize_(fk.target)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a model + schema snapshot saved by [`save_model`].
+pub fn load_model(mut input: impl Read) -> Result<(Prm, SchemaInfo)> {
+    let mut r = Reader { input: &mut input };
+    let magic = r.fixed::<8>()?;
+    if &magic != MAGIC {
+        return Err(Error::Corrupt(
+            "not a prmsel model file (bad magic/version)".into(),
+        ));
+    }
+    let n_tables = r.usize_()?;
+    let mut tables = Vec::with_capacity(n_tables);
+    for _ in 0..n_tables {
+        let table = r.string()?;
+        let n_rows = r.u64_()?;
+        let n_attrs = r.usize_()?;
+        let mut attrs = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            let name = r.string()?;
+            let card = r.usize_()?;
+            let n_parents = r.usize_()?;
+            let mut parents = Vec::with_capacity(n_parents);
+            for _ in 0..n_parents {
+                parents.push(match r.u8_()? {
+                    0 => ParentRef::Local { attr: r.usize_()? },
+                    1 => ParentRef::Foreign { fk: r.usize_()?, attr: r.usize_()? },
+                    x => return Err(corrupt(format!("parent tag {x}"))),
+                });
+            }
+            let cpd = r.cpd()?;
+            attrs.push(AttrModel { name, card, parents, cpd });
+        }
+        let n_jis = r.usize_()?;
+        let mut join_indicators = Vec::with_capacity(n_jis);
+        for _ in 0..n_jis {
+            let fk_attr = r.string()?;
+            let target = r.string()?;
+            let n_parents = r.usize_()?;
+            let mut parents = Vec::with_capacity(n_parents);
+            for _ in 0..n_parents {
+                parents.push(match r.u8_()? {
+                    0 => JiParentRef::Child { attr: r.usize_()? },
+                    1 => JiParentRef::Parent { attr: r.usize_()? },
+                    x => return Err(corrupt(format!("ji parent tag {x}"))),
+                });
+            }
+            let parent_cards = r.usizes()?;
+            let p_true = r.f64s()?;
+            join_indicators.push(JoinIndicatorModel {
+                fk_attr,
+                target,
+                parents,
+                parent_cards,
+                p_true,
+            });
+        }
+        tables.push(TableModel { table, n_rows, attrs, join_indicators });
+    }
+    let n_schema = r.usize_()?;
+    let mut schema_tables = Vec::with_capacity(n_schema);
+    for _ in 0..n_schema {
+        let name = r.string()?;
+        let n_rows = r.u64_()?;
+        let n_attrs = r.usize_()?;
+        let mut attrs = Vec::with_capacity(n_attrs);
+        let mut domains = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            attrs.push(r.string()?);
+            let card = r.usize_()?;
+            let mut values = Vec::with_capacity(card);
+            for _ in 0..card {
+                values.push(r.value()?);
+            }
+            domains.push(Domain::new(values));
+        }
+        let n_fks = r.usize_()?;
+        let mut fks = Vec::with_capacity(n_fks);
+        for _ in 0..n_fks {
+            fks.push(FkInfo { attr: r.string()?, target: r.usize_()? });
+        }
+        schema_tables.push(TableInfo { name, n_rows, attrs, domains, fks });
+    }
+    Ok((Prm { tables }, SchemaInfo { tables: schema_tables }))
+}
+
+fn corrupt(what: String) -> Error {
+    Error::Corrupt(format!("corrupt model file: {what}"))
+}
+
+// ---------------------------------------------------------------------
+// Primitive writer/reader.
+// ---------------------------------------------------------------------
+
+struct Writer<'a, W: Write> {
+    out: &'a mut W,
+}
+
+impl<W: Write> Writer<'_, W> {
+    fn bytes(&mut self, b: &[u8]) -> Result<()> {
+        self.out
+            .write_all(b)
+            .map_err(|e| Error::Io(format!("write error: {e}")))
+    }
+
+    fn u8_(&mut self, v: u8) -> Result<()> {
+        self.bytes(&[v])
+    }
+
+    fn u64_(&mut self, v: u64) -> Result<()> {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    fn usize_(&mut self, v: usize) -> Result<()> {
+        self.u64_(v as u64)
+    }
+
+    fn f64_(&mut self, v: f64) -> Result<()> {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    fn string(&mut self, s: &str) -> Result<()> {
+        self.usize_(s.len())?;
+        self.bytes(s.as_bytes())
+    }
+
+    fn usizes(&mut self, v: &[usize]) -> Result<()> {
+        self.usize_(v.len())?;
+        for &x in v {
+            self.usize_(x)?;
+        }
+        Ok(())
+    }
+
+    fn f64s(&mut self, v: &[f64]) -> Result<()> {
+        self.usize_(v.len())?;
+        for &x in v {
+            self.f64_(x)?;
+        }
+        Ok(())
+    }
+
+    fn value(&mut self, v: &Value) -> Result<()> {
+        match v {
+            Value::Int(i) => {
+                self.u8_(0)?;
+                self.u64_(*i as u64)
+            }
+            Value::Str(s) => {
+                self.u8_(1)?;
+                self.string(s)
+            }
+        }
+    }
+
+    fn cpd(&mut self, cpd: &Cpd) -> Result<()> {
+        match cpd {
+            Cpd::Table(t) => {
+                self.u8_(0)?;
+                self.usize_(t.child_card())?;
+                self.usizes(t.parent_cards())?;
+                // Reconstruct the flat probability table row by row.
+                let rows: usize = t.parent_cards().iter().product::<usize>().max(1);
+                self.usize_(rows * t.child_card())?;
+                let mut config = vec![0u32; t.parent_cards().len()];
+                for row in 0..rows {
+                    let mut rem = row;
+                    for k in (0..config.len()).rev() {
+                        config[k] = (rem % t.parent_cards()[k]) as u32;
+                        rem /= t.parent_cards()[k];
+                    }
+                    for &p in t.dist(&config) {
+                        self.f64_(p)?;
+                    }
+                }
+                Ok(())
+            }
+            Cpd::Tree(t) => {
+                self.u8_(1)?;
+                self.usize_(t.child_card())?;
+                self.usizes(t.parent_cards())?;
+                self.usize_(t.nodes().len())?;
+                for node in t.nodes() {
+                    match node {
+                        TreeNode::Leaf(d) => {
+                            self.u8_(0)?;
+                            self.f64s(d)?;
+                        }
+                        TreeNode::SplitPerValue { slot, branches } => {
+                            self.u8_(1)?;
+                            self.usize_(*slot)?;
+                            self.usizes(branches)?;
+                        }
+                        TreeNode::SplitThreshold { slot, cut, lo, hi } => {
+                            self.u8_(2)?;
+                            self.usize_(*slot)?;
+                            self.u64_(*cut as u64)?;
+                            self.usize_(*lo)?;
+                            self.usize_(*hi)?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+struct Reader<'a, R: Read> {
+    input: &'a mut R,
+}
+
+impl<R: Read> Reader<'_, R> {
+    fn fixed<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let mut buf = [0u8; N];
+        self.input
+            .read_exact(&mut buf)
+            .map_err(|e| Error::Io(format!("read error: {e}")))?;
+        Ok(buf)
+    }
+
+    fn u8_(&mut self) -> Result<u8> {
+        Ok(self.fixed::<1>()?[0])
+    }
+
+    fn u64_(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.fixed::<8>()?))
+    }
+
+    fn usize_(&mut self) -> Result<usize> {
+        let v = self.u64_()?;
+        if v > (1 << 40) {
+            return Err(corrupt(format!("implausible length {v}")));
+        }
+        Ok(v as usize)
+    }
+
+    fn f64_(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.fixed::<8>()?))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let len = self.usize_()?;
+        let mut buf = vec![0u8; len];
+        self.input
+            .read_exact(&mut buf)
+            .map_err(|e| Error::Io(format!("read error: {e}")))?;
+        String::from_utf8(buf).map_err(|_| corrupt("non-utf8 string".into()))
+    }
+
+    fn usizes(&mut self) -> Result<Vec<usize>> {
+        let len = self.usize_()?;
+        (0..len).map(|_| self.usize_()).collect()
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>> {
+        let len = self.usize_()?;
+        (0..len).map(|_| self.f64_()).collect()
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.u8_()? {
+            0 => Ok(Value::Int(self.u64_()? as i64)),
+            1 => Ok(Value::Str(self.string()?)),
+            x => Err(corrupt(format!("value tag {x}"))),
+        }
+    }
+
+    fn cpd(&mut self) -> Result<Cpd> {
+        match self.u8_()? {
+            0 => {
+                let child_card = self.usize_()?;
+                let parent_cards = self.usizes()?;
+                let n = self.usize_()?;
+                let probs: Vec<f64> = (0..n).map(|_| self.f64_()).collect::<Result<_>>()?;
+                let expected =
+                    parent_cards.iter().product::<usize>().max(1) * child_card;
+                if n != expected {
+                    return Err(corrupt("table cpd size mismatch".into()));
+                }
+                Ok(TableCpd::new(child_card, parent_cards, probs).into())
+            }
+            1 => {
+                let child_card = self.usize_()?;
+                let parent_cards = self.usizes()?;
+                let n_nodes = self.usize_()?;
+                let mut nodes = Vec::with_capacity(n_nodes);
+                for _ in 0..n_nodes {
+                    nodes.push(match self.u8_()? {
+                        0 => TreeNode::Leaf(self.f64s()?),
+                        1 => TreeNode::SplitPerValue {
+                            slot: self.usize_()?,
+                            branches: self.usizes()?,
+                        },
+                        2 => TreeNode::SplitThreshold {
+                            slot: self.usize_()?,
+                            cut: self.u64_()? as u32,
+                            lo: self.usize_()?,
+                            hi: self.usize_()?,
+                        },
+                        x => return Err(corrupt(format!("tree node tag {x}"))),
+                    });
+                }
+                Ok(TreeCpd::new(child_card, parent_cards, nodes).into())
+            }
+            x => Err(corrupt(format!("cpd tag {x}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{PrmEstimator, SelectivityEstimator};
+    use crate::learn::{learn_prm, PrmLearnConfig};
+    use crate::CpdKind;
+    use workloads::tb::tb_database_sized;
+
+    fn round_trip(kind: CpdKind) {
+        let db = tb_database_sized(100, 150, 1_200, 8);
+        let prm = learn_prm(
+            &db,
+            &PrmLearnConfig { cpd_kind: kind, ..Default::default() },
+        )
+        .unwrap();
+        let schema = SchemaInfo::from_db(&db).unwrap();
+        let mut buf = Vec::new();
+        save_model(&prm, &schema, &mut buf).unwrap();
+        let (prm2, schema2) = load_model(buf.as_slice()).unwrap();
+        assert_eq!(prm.size_bytes(), prm2.size_bytes());
+
+        // Same estimates for a join query before and after the round trip.
+        let mut b = reldb::Query::builder();
+        let c = b.var("contact");
+        let p = b.var("patient");
+        b.join(c, "patient", p).eq(c, "contype", 2).eq(p, "age", 1);
+        let q = b.build();
+        let before = PrmEstimator::from_prm(prm, &db, "a").unwrap().estimate(&q).unwrap();
+        let after = {
+            // Reconstruct an estimator purely from the loaded artifacts
+            // (no database access).
+            let est = crate::estimator::PrmEstimator::from_parts(prm2, schema2, "loaded");
+            est.estimate(&q).unwrap()
+        };
+        assert!((before - after).abs() < 1e-12, "{before} vs {after}");
+    }
+
+    #[test]
+    fn tree_models_round_trip() {
+        round_trip(CpdKind::Tree);
+    }
+
+    #[test]
+    fn table_models_round_trip() {
+        round_trip(CpdKind::Table);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = load_model(&b"NOTAMODL"[..]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let db = tb_database_sized(50, 60, 300, 8);
+        let prm = learn_prm(&db, &PrmLearnConfig::default()).unwrap();
+        let schema = SchemaInfo::from_db(&db).unwrap();
+        let mut buf = Vec::new();
+        save_model(&prm, &schema, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(load_model(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn string_values_survive() {
+        let db = tb_database_sized(50, 60, 300, 8);
+        let prm = learn_prm(&db, &PrmLearnConfig::default()).unwrap();
+        let schema = SchemaInfo::from_db(&db).unwrap();
+        let mut buf = Vec::new();
+        save_model(&prm, &schema, &mut buf).unwrap();
+        let (_, schema2) = load_model(buf.as_slice()).unwrap();
+        // usborn's string domain reloads in order.
+        let t = schema2.tables.iter().find(|t| t.name == "patient").unwrap();
+        let idx = t.attrs.iter().position(|a| a == "usborn").unwrap();
+        assert_eq!(t.domains[idx].values().len(), 2);
+        assert_eq!(t.domains[idx].value(0), &Value::from("no"));
+    }
+}

@@ -1,0 +1,325 @@
+//! The probabilistic relational model (PRM) type.
+//!
+//! A PRM (Definition 3.1 of the paper) holds, for every table:
+//!
+//! * a local probabilistic model for each **value attribute** — parents may
+//!   be attributes of the same table or attributes of a foreign-key target
+//!   table (one hop; longer chains compose when queries are unrolled), and
+//! * a local probabilistic model for each **join indicator** `J_F` — one
+//!   boolean per foreign key `F`, true for a (child, parent) tuple pair
+//!   exactly when the foreign key matches, with parents drawn from the
+//!   attributes of the two tables it connects.
+//!
+//! A PRM over a one-table database degenerates to a plain Bayesian network,
+//! which is how the single-table experiments (§2) run through the same
+//! code path as the select-join ones (§3).
+
+use bayesnet::Cpd;
+
+/// Reference to a parent of a value attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ParentRef {
+    /// Another value attribute of the same table (by attr index).
+    Local {
+        /// Index into the owning table's value attributes.
+        attr: usize,
+    },
+    /// A value attribute of the table referenced by foreign key `fk`.
+    Foreign {
+        /// Index into the owning table's foreign keys.
+        fk: usize,
+        /// Index into the *target* table's value attributes.
+        attr: usize,
+    },
+}
+
+/// Reference to a parent of a join indicator `J_F` for `F : T → S`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum JiParentRef {
+    /// A value attribute of the child table `T` (the FK side).
+    Child {
+        /// Index into `T`'s value attributes.
+        attr: usize,
+    },
+    /// A value attribute of the parent table `S` (the PK side).
+    Parent {
+        /// Index into `S`'s value attributes.
+        attr: usize,
+    },
+}
+
+/// The model of one value attribute.
+#[derive(Debug, Clone)]
+pub struct AttrModel {
+    /// Attribute name.
+    pub name: String,
+    /// Domain cardinality.
+    pub card: usize,
+    /// Parent references, aligned with the CPD's parent slots.
+    pub parents: Vec<ParentRef>,
+    /// `P(attr | parents)` (conditioned on the relevant join indicators
+    /// being true, which is the only case a query-evaluation network ever
+    /// exercises).
+    pub cpd: Cpd,
+}
+
+/// The model of one join indicator.
+#[derive(Debug, Clone)]
+pub struct JoinIndicatorModel {
+    /// Foreign-key attribute name in the child table.
+    pub fk_attr: String,
+    /// Target (parent) table name.
+    pub target: String,
+    /// Parent references, aligned with `parent_cards` / the rows of
+    /// `p_true`.
+    pub parents: Vec<JiParentRef>,
+    /// Cardinalities of the parents.
+    pub parent_cards: Vec<usize>,
+    /// `P(J = true | parents)`, one entry per parent configuration
+    /// (row-major). With no parents this is the single value `1/|S|`.
+    pub p_true: Vec<f64>,
+}
+
+impl JoinIndicatorModel {
+    /// `P(J = true | config)`.
+    pub fn prob_true(&self, config: &[u32]) -> f64 {
+        debug_assert_eq!(config.len(), self.parent_cards.len());
+        let mut row = 0usize;
+        for (&c, &card) in config.iter().zip(&self.parent_cards) {
+            row = row * card + c as usize;
+        }
+        self.p_true[row]
+    }
+
+    /// Storage: 4 bytes per stored probability + 2 per scope variable.
+    pub fn size_bytes(&self) -> usize {
+        4 * self.p_true.len() + 2 * (1 + self.parents.len())
+    }
+
+    /// Expands to a CPD over (parents…, J) suitable for a query-evaluation
+    /// network (J binary: false = 0, true = 1).
+    pub fn to_cpd(&self) -> Cpd {
+        let rows = self.parent_cards.iter().product::<usize>().max(1);
+        let mut probs = Vec::with_capacity(rows * 2);
+        for &p in &self.p_true {
+            probs.push(1.0 - p);
+            probs.push(p);
+        }
+        bayesnet::TableCpd::new(2, self.parent_cards.clone(), probs).into()
+    }
+}
+
+/// Per-table component of a PRM.
+#[derive(Debug, Clone)]
+pub struct TableModel {
+    /// Table name.
+    pub table: String,
+    /// Table cardinality at learning time (used in size estimates).
+    pub n_rows: u64,
+    /// Models for the value attributes, in schema order.
+    pub attrs: Vec<AttrModel>,
+    /// Models for the join indicators, in schema (FK declaration) order.
+    pub join_indicators: Vec<JoinIndicatorModel>,
+}
+
+/// A learned probabilistic relational model.
+#[derive(Debug, Clone)]
+pub struct Prm {
+    /// Per-table models, in database table order.
+    pub tables: Vec<TableModel>,
+}
+
+impl Prm {
+    /// The model for a table, by name.
+    pub fn table_model(&self, table: &str) -> Option<&TableModel> {
+        self.tables.iter().find(|t| t.table == table)
+    }
+
+    /// Total storage in bytes: every attribute CPD plus every join
+    /// indicator (the join-indicator entry with no parents — the uniform
+    /// join probability — is counted too, as any estimator must store it).
+    pub fn size_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| {
+                t.attrs.iter().map(|a| a.cpd.size_bytes()).sum::<usize>()
+                    + t.join_indicators.iter().map(|j| j.size_bytes()).sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Total number of cross-table (foreign) attribute parents — zero for
+    /// a BN+UJ-style model.
+    pub fn foreign_parent_count(&self) -> usize {
+        self.tables
+            .iter()
+            .flat_map(|t| &t.attrs)
+            .flat_map(|a| &a.parents)
+            .filter(|p| matches!(p, ParentRef::Foreign { .. }))
+            .count()
+    }
+
+    /// Total number of join-indicator parents — zero under the uniform
+    /// join assumption.
+    pub fn ji_parent_count(&self) -> usize {
+        self.tables
+            .iter()
+            .flat_map(|t| &t.join_indicators)
+            .map(|j| j.parents.len())
+            .sum()
+    }
+}
+
+impl Prm {
+    /// A human-readable structure summary (the textual analogue of the
+    /// paper's Fig. 3(a) diagram): every attribute with its parents, every
+    /// join indicator with its parents, and per-family storage.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for t in &self.tables {
+            let _ = writeln!(out, "table {} ({} rows):", t.table, t.n_rows);
+            for a in &t.attrs {
+                let parents: Vec<String> = a
+                    .parents
+                    .iter()
+                    .map(|p| match *p {
+                        ParentRef::Local { attr } => t.attrs[attr].name.clone(),
+                        ParentRef::Foreign { fk, attr } => {
+                            let ji = &t.join_indicators[fk];
+                            let target = self
+                                .table_model(&ji.target)
+                                .expect("target table modeled");
+                            format!("{}.{}", ji.fk_attr, target.attrs[attr].name)
+                        }
+                    })
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  {} <- [{}]  ({} B)",
+                    a.name,
+                    parents.join(", "),
+                    a.cpd.size_bytes()
+                );
+            }
+            for ji in &t.join_indicators {
+                let target =
+                    self.table_model(&ji.target).expect("target table modeled");
+                let parents: Vec<String> = ji
+                    .parents
+                    .iter()
+                    .map(|p| match *p {
+                        JiParentRef::Child { attr } => t.attrs[attr].name.clone(),
+                        JiParentRef::Parent { attr } => {
+                            format!("{}.{}", ji.target, target.attrs[attr].name)
+                        }
+                    })
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  J[{} -> {}] <- [{}]  ({} B)",
+                    ji.fk_attr,
+                    ji.target,
+                    parents.join(", "),
+                    ji.size_bytes()
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayesnet::TableCpd;
+
+    fn tiny_prm() -> Prm {
+        Prm {
+            tables: vec![TableModel {
+                table: "t".into(),
+                n_rows: 10,
+                attrs: vec![AttrModel {
+                    name: "x".into(),
+                    card: 2,
+                    parents: vec![],
+                    cpd: TableCpd::new(2, vec![], vec![0.5, 0.5]).into(),
+                }],
+                join_indicators: vec![JoinIndicatorModel {
+                    fk_attr: "s".into(),
+                    target: "s".into(),
+                    parents: vec![JiParentRef::Child { attr: 0 }],
+                    parent_cards: vec![2],
+                    p_true: vec![0.1, 0.3],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn join_indicator_lookup_and_expansion() {
+        let prm = tiny_prm();
+        let ji = &prm.tables[0].join_indicators[0];
+        assert_eq!(ji.prob_true(&[0]), 0.1);
+        assert_eq!(ji.prob_true(&[1]), 0.3);
+        let cpd = ji.to_cpd();
+        assert_eq!(cpd.dist(&[0]), &[0.9, 0.1]);
+        assert_eq!(cpd.dist(&[1]), &[0.7, 0.3]);
+    }
+
+    #[test]
+    fn size_accounting_sums_components() {
+        let prm = tiny_prm();
+        let attr_bytes = prm.tables[0].attrs[0].cpd.size_bytes();
+        let ji_bytes = prm.tables[0].join_indicators[0].size_bytes();
+        assert_eq!(prm.size_bytes(), attr_bytes + ji_bytes);
+        assert_eq!(ji_bytes, 4 * 2 + 2 * 2);
+    }
+
+    #[test]
+    fn parent_counts() {
+        let prm = tiny_prm();
+        assert_eq!(prm.foreign_parent_count(), 0);
+        assert_eq!(prm.ji_parent_count(), 1);
+    }
+
+    #[test]
+    fn describe_renders_structure() {
+        let prm = Prm {
+            tables: vec![
+                TableModel {
+                    table: "s".into(),
+                    n_rows: 5,
+                    attrs: vec![AttrModel {
+                        name: "u".into(),
+                        card: 2,
+                        parents: vec![],
+                        cpd: TableCpd::new(2, vec![], vec![0.5, 0.5]).into(),
+                    }],
+                    join_indicators: vec![],
+                },
+                TableModel {
+                    table: "t".into(),
+                    n_rows: 10,
+                    attrs: vec![AttrModel {
+                        name: "x".into(),
+                        card: 2,
+                        parents: vec![ParentRef::Foreign { fk: 0, attr: 0 }],
+                        cpd: TableCpd::new(2, vec![2], vec![0.5; 4]).into(),
+                    }],
+                    join_indicators: vec![JoinIndicatorModel {
+                        fk_attr: "s".into(),
+                        target: "s".into(),
+                        parents: vec![JiParentRef::Parent { attr: 0 }],
+                        parent_cards: vec![2],
+                        p_true: vec![0.1, 0.3],
+                    }],
+                },
+            ],
+        };
+        let text = prm.describe();
+        assert!(text.contains("table t (10 rows):"), "{text}");
+        assert!(text.contains("x <- [s.u]"), "{text}");
+        assert!(text.contains("J[s -> s] <- [s.u]"), "{text}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Schema metadata captured from a database at model-build time.
+//!
+//! Estimation happens long after (and far away from) the data: the online
+//! phase must map query constants to dictionary codes and foreign-key
+//! names to model slots without touching the tables. `SchemaInfo` is the
+//! small immutable snapshot that makes this possible; its table and
+//! foreign-key ordering matches [`crate::prm::Prm`]'s (both are derived
+//! from the database's declaration order).
+
+use reldb::{Database, Domain, Result};
+
+/// One foreign key of a table.
+#[derive(Debug, Clone)]
+pub struct FkInfo {
+    /// Foreign-key attribute name.
+    pub attr: String,
+    /// Target table index within [`SchemaInfo::tables`].
+    pub target: usize,
+}
+
+/// Snapshot of one table's schema.
+#[derive(Debug, Clone)]
+pub struct TableInfo {
+    /// Table name.
+    pub name: String,
+    /// Row count when the model was built.
+    pub n_rows: u64,
+    /// Value attribute names, in schema order.
+    pub attrs: Vec<String>,
+    /// Value attribute domains, aligned with `attrs`.
+    pub domains: Vec<Domain>,
+    /// Foreign keys, in schema order.
+    pub fks: Vec<FkInfo>,
+}
+
+/// Snapshot of the whole database's schema (tables in database order).
+#[derive(Debug, Clone)]
+pub struct SchemaInfo {
+    /// Per-table snapshots.
+    pub tables: Vec<TableInfo>,
+}
+
+impl SchemaInfo {
+    /// Captures the schema of `db`.
+    pub fn from_db(db: &Database) -> Result<SchemaInfo> {
+        let mut tables = Vec::with_capacity(db.tables().len());
+        for t in db.tables() {
+            let attrs: Vec<String> =
+                t.schema().value_attrs().iter().map(|s| s.to_string()).collect();
+            let domains: Vec<Domain> = attrs
+                .iter()
+                .map(|a| t.domain(a).cloned())
+                .collect::<Result<_>>()?;
+            let fks = t
+                .schema()
+                .foreign_keys()
+                .into_iter()
+                .map(|fk| {
+                    Ok(FkInfo { attr: fk.attr, target: db.table_index(&fk.target)? })
+                })
+                .collect::<Result<_>>()?;
+            tables.push(TableInfo {
+                name: t.name().to_owned(),
+                n_rows: t.n_rows() as u64,
+                attrs,
+                domains,
+                fks,
+            });
+        }
+        Ok(SchemaInfo { tables })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reldb::{Cell, DatabaseBuilder, TableBuilder};
+
+    #[test]
+    fn captures_tables_attrs_and_fks_in_order() {
+        let mut p = TableBuilder::new("p").key("id").col("x");
+        p.push_row(vec![Cell::Key(1), "a".into()]).unwrap();
+        let mut c = TableBuilder::new("c").key("id").fk("p", "p").col("y").col("z");
+        c.push_row(vec![Cell::Key(1), Cell::Key(1), "u".into(), "v".into()]).unwrap();
+        let db = DatabaseBuilder::new()
+            .add_table(p.finish().unwrap())
+            .add_table(c.finish().unwrap())
+            .finish()
+            .unwrap();
+        let s = SchemaInfo::from_db(&db).unwrap();
+        assert_eq!(s.tables.len(), 2);
+        assert_eq!(s.tables[0].name, "p");
+        assert_eq!(s.tables[1].attrs, vec!["y", "z"]);
+        assert_eq!(s.tables[1].fks.len(), 1);
+        assert_eq!(s.tables[1].fks[0].attr, "p");
+        assert_eq!(s.tables[1].fks[0].target, 0);
+        assert_eq!(s.tables[1].n_rows, 1);
+        assert_eq!(s.tables[0].domains[0].card(), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the PRM estimator: global invariants that must
+//! hold for *any* learned model on *any* database — normalization
+//! (estimates over a partition of value space sum to the table size),
+//! Proposition 3.4 (upward closure does not change the estimate), and
+//! monotonicity of conjunctions.
+
+use prmsel::{PrmEstimator, PrmLearnConfig, SelectivityEstimator};
+use proptest::prelude::*;
+use reldb::{Cell, Database, DatabaseBuilder, Query, TableBuilder, Value};
+
+fn arb_db() -> impl Strategy<Value = Database> {
+    (
+        2usize..6,
+        proptest::collection::vec(0u32..3, 2..10),  // parent x codes
+        proptest::collection::vec(0u32..5, 10..60), // child fk seeds
+        proptest::collection::vec(0u32..3, 10..60), // child y codes
+    )
+        .prop_map(|(n_parent, xs, fks, ys)| {
+            let mut p = TableBuilder::new("parent").key("id").col("x");
+            for i in 0..n_parent {
+                p.push_row(vec![
+                    Cell::Key(i as i64),
+                    Cell::Val(Value::Int(xs[i % xs.len()] as i64)),
+                ])
+                .unwrap();
+            }
+            let n_child = fks.len().min(ys.len());
+            let mut c =
+                TableBuilder::new("child").key("id").fk("parent", "parent").col("y");
+            for i in 0..n_child {
+                c.push_row(vec![
+                    Cell::Key(i as i64),
+                    Cell::Key((fks[i] as usize % n_parent) as i64),
+                    Cell::Val(Value::Int(ys[i] as i64)),
+                ])
+                .unwrap();
+            }
+            DatabaseBuilder::new()
+                .add_table(p.finish().unwrap())
+                .add_table(c.finish().unwrap())
+                .finish()
+                .unwrap()
+        })
+}
+
+fn estimator(db: &Database, budget: usize) -> PrmEstimator {
+    PrmEstimator::build(
+        db,
+        &PrmLearnConfig { budget_bytes: budget, ..Default::default() },
+    )
+    .expect("build")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn estimates_over_a_partition_sum_to_table_size(db in arb_db(), budget in 256usize..4096) {
+        let est = estimator(&db, budget);
+        let domain = db.table("child").unwrap().domain("y").unwrap().clone();
+        let mut total = 0.0;
+        for v in domain.values() {
+            let mut b = Query::builder();
+            let c = b.var("child");
+            b.eq(c, "y", v.clone());
+            total += est.estimate(&b.build()).unwrap();
+        }
+        let n = db.table("child").unwrap().n_rows() as f64;
+        prop_assert!((total - n).abs() < 1e-6 * n.max(1.0), "total={total} n={n}");
+    }
+
+    #[test]
+    fn closure_does_not_change_the_estimate(db in arb_db(), y in 0i64..3) {
+        // Proposition 3.4: a single-table query and the same query with the
+        // unconstrained keyjoin made explicit produce the same estimate.
+        let est = estimator(&db, 2048);
+        let mut b1 = Query::builder();
+        let c1 = b1.var("child");
+        b1.eq(c1, "y", y);
+        let e1 = est.estimate(&b1.build()).unwrap();
+
+        let mut b2 = Query::builder();
+        let c2 = b2.var("child");
+        let p2 = b2.var("parent");
+        b2.join(c2, "parent", p2).eq(c2, "y", y);
+        let e2 = est.estimate(&b2.build()).unwrap();
+        prop_assert!((e1 - e2).abs() < 1e-6 * e1.max(1.0), "e1={e1} e2={e2}");
+    }
+
+    #[test]
+    fn conjunction_never_exceeds_its_parts(db in arb_db(), x in 0i64..3, y in 0i64..3) {
+        let est = estimator(&db, 2048);
+        let mut both = Query::builder();
+        let c = both.var("child");
+        let p = both.var("parent");
+        both.join(c, "parent", p).eq(p, "x", x).eq(c, "y", y);
+        let e_both = est.estimate(&both.build()).unwrap();
+
+        let mut one = Query::builder();
+        let c1 = one.var("child");
+        let p1 = one.var("parent");
+        one.join(c1, "parent", p1).eq(c1, "y", y);
+        let e_one = est.estimate(&one.build()).unwrap();
+        prop_assert!(e_both <= e_one + 1e-9, "both={e_both} one={e_one}");
+    }
+
+    #[test]
+    fn empty_query_estimates_table_cardinality(db in arb_db()) {
+        let est = estimator(&db, 2048);
+        let mut b = Query::builder();
+        let _ = b.var("parent");
+        let e = est.estimate(&b.build()).unwrap();
+        let n = db.table("parent").unwrap().n_rows() as f64;
+        prop_assert!((e - n).abs() < 1e-9, "e={e} n={n}");
+    }
+
+    #[test]
+    fn estimates_are_finite_and_nonnegative(db in arb_db(), x in -1i64..4, y in -1i64..4) {
+        // Includes out-of-domain constants.
+        let est = estimator(&db, 1024);
+        let mut b = Query::builder();
+        let c = b.var("child");
+        let p = b.var("parent");
+        b.join(c, "parent", p).eq(p, "x", x).eq(c, "y", y);
+        let e = est.estimate(&b.build()).unwrap();
+        prop_assert!(e.is_finite());
+        prop_assert!(e >= 0.0);
+    }
+
+    #[test]
+    fn model_size_respects_budget(db in arb_db(), budget in 128usize..4096) {
+        let est = estimator(&db, budget);
+        prop_assert!(est.size_bytes() <= budget.max(est_min_size(&db)),
+            "size={} budget={budget}", est.size_bytes());
+    }
+}
+
+/// The irreducible floor: marginal CPDs for every attribute plus the join
+/// indicator entry exist regardless of budget.
+fn est_min_size(db: &Database) -> usize {
+    let mut bytes = 0usize;
+    for t in db.tables() {
+        for attr in t.schema().value_attrs() {
+            let card = t.domain(attr).unwrap().card();
+            bytes += 4 * (card - 1) + 2;
+        }
+        bytes += t.schema().foreign_keys().len() * 6;
+    }
+    bytes + 64
+}

@@ -1,0 +1,277 @@
+//! Loading tables from delimited text files.
+//!
+//! The paper's pipeline starts from an existing database; downstream users
+//! will usually have CSV extracts. This loader is deliberately small: one
+//! header line naming the attributes, a caller-supplied schema mapping
+//! each attribute to its role (key / foreign key / value), comma (or
+//! custom) delimiters, and no quoting dialect — values containing the
+//! delimiter are out of scope. Integer-looking fields in value columns are
+//! parsed as ordinal [`Value::Int`]s; everything else becomes a nominal
+//! [`Value::Str`].
+
+use std::io::BufRead;
+use std::path::Path;
+
+use crate::error::{Error, Result};
+use crate::table::{Cell, Table, TableBuilder};
+use crate::value::Value;
+
+/// The declared role of one CSV column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvColumn {
+    /// Primary key (must parse as `i64`).
+    Key,
+    /// Foreign key referencing the named table (must parse as `i64`).
+    ForeignKey(String),
+    /// Ordinal value column: fields must parse as `i64`.
+    IntValue,
+    /// Nominal value column: fields are kept as strings.
+    StrValue,
+}
+
+/// Schema declaration for a CSV file: column name → role, in file order.
+#[derive(Debug, Clone)]
+pub struct CsvSchema {
+    /// Name of the table to create.
+    pub table: String,
+    /// Columns in file order. Header names must match exactly.
+    pub columns: Vec<(String, CsvColumn)>,
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+}
+
+impl CsvSchema {
+    /// A schema with the default comma delimiter.
+    pub fn new(table: impl Into<String>, columns: Vec<(String, CsvColumn)>) -> Self {
+        CsvSchema { table: table.into(), columns, delimiter: ',' }
+    }
+}
+
+/// Reads a table from a delimited file with a header line.
+pub fn load_table(path: impl AsRef<Path>, schema: &CsvSchema) -> Result<Table> {
+    let file = std::fs::File::open(path.as_ref()).map_err(|e| {
+        Error::Io(format!("cannot open {}: {e}", path.as_ref().display()))
+    })?;
+    read_table(std::io::BufReader::new(file), schema)
+}
+
+/// Reads a table from any buffered reader (exposed for tests and in-memory
+/// sources).
+pub fn read_table(reader: impl BufRead, schema: &CsvSchema) -> Result<Table> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .transpose()
+        .map_err(|e| Error::Io(format!("read error: {e}")))?
+        .ok_or_else(|| Error::Parse("empty file: missing header".into()))?;
+    let names: Vec<&str> = header.split(schema.delimiter).map(str::trim).collect();
+    if names.len() != schema.columns.len() {
+        return Err(Error::ArityMismatch {
+            table: schema.table.clone(),
+            expected: schema.columns.len(),
+            got: names.len(),
+        });
+    }
+    for (name, (declared, _)) in names.iter().zip(&schema.columns) {
+        if name != declared {
+            return Err(Error::UnknownAttr {
+                table: schema.table.clone(),
+                attr: format!("header `{name}` does not match declared `{declared}`"),
+            });
+        }
+    }
+    let mut builder = TableBuilder::new(&schema.table);
+    for (name, col) in &schema.columns {
+        builder = match col {
+            CsvColumn::Key => builder.key(name),
+            CsvColumn::ForeignKey(target) => builder.fk(name, target),
+            CsvColumn::IntValue | CsvColumn::StrValue => builder.col(name),
+        };
+    }
+    for (line_no, line) in lines.enumerate() {
+        let line = line.map_err(|e| Error::Io(format!("read error: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(schema.delimiter).map(str::trim).collect();
+        if fields.len() != schema.columns.len() {
+            return Err(Error::ArityMismatch {
+                table: schema.table.clone(),
+                expected: schema.columns.len(),
+                got: fields.len(),
+            });
+        }
+        let cells: Vec<Cell> = fields
+            .iter()
+            .zip(&schema.columns)
+            .map(|(field, (name, col))| {
+                let parse_int = || {
+                    field.parse::<i64>().map_err(|_| Error::TypeMismatch {
+                        table: schema.table.clone(),
+                        attr: format!("{name} (line {})", line_no + 2),
+                    })
+                };
+                Ok(match col {
+                    CsvColumn::Key | CsvColumn::ForeignKey(_) => Cell::Key(parse_int()?),
+                    CsvColumn::IntValue => Cell::Val(Value::Int(parse_int()?)),
+                    CsvColumn::StrValue => Cell::Val(Value::Str((*field).to_owned())),
+                })
+            })
+            .collect::<Result<_>>()?;
+        builder.push_row(cells)?;
+    }
+    builder.finish()
+}
+
+/// Writes a table as delimited text (header line + one line per row),
+/// the inverse of [`read_table`]. Key and foreign-key columns are written
+/// as integers, value columns through their [`Value`] display form.
+pub fn write_table(table: &Table, mut out: impl std::io::Write, delimiter: char) -> Result<()> {
+    let io_err = |e: std::io::Error| Error::Io(format!("write error: {e}"));
+    let schema = table.schema();
+    let names: Vec<&str> = schema.attrs.iter().map(|a| a.name.as_str()).collect();
+    writeln!(out, "{}", names.join(&delimiter.to_string())).map_err(io_err)?;
+    for row in 0..table.n_rows() {
+        let mut fields = Vec::with_capacity(schema.attrs.len());
+        for attr in &schema.attrs {
+            let field = match &attr.kind {
+                crate::schema::AttrKind::PrimaryKey => {
+                    table.key_values().expect("pk exists")[row].to_string()
+                }
+                crate::schema::AttrKind::ForeignKey { .. } => {
+                    table.fk_values(&attr.name)?[row].to_string()
+                }
+                crate::schema::AttrKind::Value => {
+                    table.value_at(&attr.name, row)?.to_string()
+                }
+            };
+            fields.push(field);
+        }
+        writeln!(out, "{}", fields.join(&delimiter.to_string())).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Derives the [`CsvSchema`] that [`write_table`] output conforms to, so
+/// `read_table(write_table(t))` round-trips without hand-written schemas.
+/// String-valued columns are declared [`CsvColumn::StrValue`]; integer
+/// ones [`CsvColumn::IntValue`].
+pub fn schema_of(table: &Table) -> CsvSchema {
+    let columns = table
+        .schema()
+        .attrs
+        .iter()
+        .map(|a| {
+            let col = match &a.kind {
+                crate::schema::AttrKind::PrimaryKey => CsvColumn::Key,
+                crate::schema::AttrKind::ForeignKey { target } => {
+                    CsvColumn::ForeignKey(target.clone())
+                }
+                crate::schema::AttrKind::Value => {
+                    let is_int = table
+                        .domain(&a.name)
+                        .map(|d| d.values().iter().all(|v| v.as_int().is_some()))
+                        .unwrap_or(false);
+                    if is_int {
+                        CsvColumn::IntValue
+                    } else {
+                        CsvColumn::StrValue
+                    }
+                }
+            };
+            (a.name.clone(), col)
+        })
+        .collect();
+    CsvSchema::new(table.name(), columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn schema() -> CsvSchema {
+        CsvSchema::new(
+            "patient",
+            vec![
+                ("id".into(), CsvColumn::Key),
+                ("strain".into(), CsvColumn::ForeignKey("strain".into())),
+                ("age".into(), CsvColumn::IntValue),
+                ("usborn".into(), CsvColumn::StrValue),
+            ],
+        )
+    }
+
+    #[test]
+    fn loads_well_formed_csv() {
+        let data = "id,strain,age,usborn\n1,10,35,yes\n2,11,60,no\n\n3,10,35,yes\n";
+        let t = read_table(Cursor::new(data), &schema()).unwrap();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.key_values(), Some(&[1i64, 2, 3][..]));
+        assert_eq!(t.fk_values("strain").unwrap(), &[10, 11, 10]);
+        assert_eq!(t.domain("age").unwrap().card(), 2);
+        assert_eq!(t.value_at("usborn", 1).unwrap(), &Value::from("no"));
+    }
+
+    #[test]
+    fn header_mismatch_is_rejected() {
+        let data = "id,strain,years,usborn\n1,10,35,yes\n";
+        assert!(matches!(
+            read_table(Cursor::new(data), &schema()),
+            Err(Error::UnknownAttr { .. })
+        ));
+    }
+
+    #[test]
+    fn ragged_row_is_rejected() {
+        let data = "id,strain,age,usborn\n1,10,35\n";
+        assert!(matches!(
+            read_table(Cursor::new(data), &schema()),
+            Err(Error::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_integer_key_is_rejected() {
+        let data = "id,strain,age,usborn\nxx,10,35,yes\n";
+        assert!(matches!(
+            read_table(Cursor::new(data), &schema()),
+            Err(Error::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn custom_delimiter() {
+        let mut s = schema();
+        s.delimiter = ';';
+        let data = "id;strain;age;usborn\n1;10;35;yes\n";
+        let t = read_table(Cursor::new(data), &s).unwrap();
+        assert_eq!(t.n_rows(), 1);
+    }
+
+    #[test]
+    fn empty_file_is_rejected() {
+        assert!(read_table(Cursor::new(""), &schema()).is_err());
+    }
+
+    #[test]
+    fn write_read_round_trips() {
+        let data = "id,strain,age,usborn\n1,10,35,yes\n2,11,60,no\n";
+        let t = read_table(Cursor::new(data), &schema()).unwrap();
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf, ',').unwrap();
+        let derived = schema_of(&t);
+        let t2 = read_table(Cursor::new(String::from_utf8(buf).unwrap()), &derived).unwrap();
+        assert_eq!(t2.n_rows(), t.n_rows());
+        assert_eq!(t2.key_values(), t.key_values());
+        assert_eq!(t2.codes("age").unwrap(), t.codes("age").unwrap());
+        assert_eq!(t2.value_at("usborn", 1).unwrap(), t.value_at("usborn", 1).unwrap());
+    }
+
+    #[test]
+    fn whitespace_is_trimmed() {
+        let data = "id, strain, age, usborn\n 1 , 10 , 35 , yes \n";
+        let t = read_table(Cursor::new(data), &schema()).unwrap();
+        assert_eq!(t.value_at("usborn", 0).unwrap(), &Value::from("yes"));
+    }
+}

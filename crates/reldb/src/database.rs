@@ -1,0 +1,283 @@
+//! A database: a set of tables with resolved, integrity-checked foreign keys.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::schema::ForeignKeyDef;
+use crate::table::Table;
+
+/// Resolved foreign-key artifacts for one FK column.
+#[derive(Debug, Clone)]
+struct ResolvedFk {
+    /// For each row of the owning table: the row index in the target table.
+    target_rows: Vec<u32>,
+    /// CSR layout of the reverse mapping: child rows grouped by parent row.
+    rev_offsets: Vec<u32>,
+    rev_children: Vec<u32>,
+}
+
+/// An immutable database with referential integrity guaranteed.
+///
+/// Construction (via [`DatabaseBuilder`]) verifies the paper's standing
+/// assumption: every foreign-key value matches exactly one primary key in
+/// the target table. After that, each FK column is resolved to dense row
+/// indexes in both directions, which is what the exact executor and the
+/// sufficient-statistics engine traverse.
+#[derive(Debug, Clone)]
+pub struct Database {
+    tables: Vec<Table>,
+    by_name: HashMap<String, usize>,
+    /// `(table_idx, attr_idx) -> ResolvedFk`
+    fks: HashMap<(usize, usize), ResolvedFk>,
+}
+
+impl Database {
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.by_name
+            .get(name)
+            .map(|&i| &self.tables[i])
+            .ok_or_else(|| Error::UnknownTable(name.to_owned()))
+    }
+
+    /// All tables, in insertion order.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Index of a table by name.
+    pub fn table_index(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::UnknownTable(name.to_owned()))
+    }
+
+    /// For foreign key `table.attr`: the target-table row index of each row.
+    pub fn fk_target_rows(&self, table: &str, attr: &str) -> Result<&[u32]> {
+        let (t, a) = self.fk_key(table, attr)?;
+        Ok(&self.fks[&(t, a)].target_rows)
+    }
+
+    /// For foreign key `child_table.attr` referencing parent table `P`: the
+    /// child rows whose FK points at `parent_row`.
+    pub fn fk_child_rows(&self, child_table: &str, attr: &str, parent_row: usize) -> Result<&[u32]> {
+        let (t, a) = self.fk_key(child_table, attr)?;
+        let fk = &self.fks[&(t, a)];
+        let lo = fk.rev_offsets[parent_row] as usize;
+        let hi = fk.rev_offsets[parent_row + 1] as usize;
+        Ok(&fk.rev_children[lo..hi])
+    }
+
+    /// All foreign keys of a table.
+    pub fn foreign_keys_of(&self, table: &str) -> Result<Vec<ForeignKeyDef>> {
+        Ok(self.table(table)?.schema().foreign_keys())
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(|t| t.n_rows()).sum()
+    }
+
+    /// A human-readable summary: per table, the row count, each value
+    /// attribute with its domain cardinality, and the declared foreign
+    /// keys — the first thing to look at before modelling a new database.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for t in &self.tables {
+            let _ = writeln!(out, "table {} ({} rows)", t.name(), t.n_rows());
+            for attr in t.schema().value_attrs() {
+                let card = t.domain(attr).map(|d| d.card()).unwrap_or(0);
+                let _ = writeln!(out, "  {attr}: {card} distinct values");
+            }
+            for fk in t.schema().foreign_keys() {
+                let _ = writeln!(out, "  {} -> {}", fk.attr, fk.target);
+            }
+        }
+        out
+    }
+
+    fn fk_key(&self, table: &str, attr: &str) -> Result<(usize, usize)> {
+        let t = self.table_index(table)?;
+        let a = self.tables[t]
+            .schema()
+            .attr_index(attr)
+            .ok_or_else(|| Error::UnknownAttr { table: table.to_owned(), attr: attr.to_owned() })?;
+        if self.fks.contains_key(&(t, a)) {
+            Ok((t, a))
+        } else {
+            Err(Error::WrongAttrKind {
+                table: table.to_owned(),
+                attr: attr.to_owned(),
+                expected: "foreign-key",
+            })
+        }
+    }
+}
+
+/// Accumulates tables and produces an integrity-checked [`Database`].
+#[derive(Default)]
+pub struct DatabaseBuilder {
+    tables: Vec<Table>,
+}
+
+impl DatabaseBuilder {
+    /// Starts an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table. Order does not matter; FKs are resolved at `finish`.
+    pub fn add_table(mut self, table: Table) -> Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Resolves all foreign keys, verifying referential integrity.
+    pub fn finish(self) -> Result<Database> {
+        let mut by_name = HashMap::new();
+        for (i, t) in self.tables.iter().enumerate() {
+            if by_name.insert(t.name().to_owned(), i).is_some() {
+                return Err(Error::DuplicateName(t.name().to_owned()));
+            }
+        }
+        // Primary-key hash indexes per table.
+        let mut pk_index: Vec<Option<HashMap<i64, u32>>> = Vec::with_capacity(self.tables.len());
+        for t in &self.tables {
+            pk_index.push(t.key_values().map(|keys| {
+                keys.iter().enumerate().map(|(row, &k)| (k, row as u32)).collect()
+            }));
+        }
+
+        let mut fks = HashMap::new();
+        for (ti, t) in self.tables.iter().enumerate() {
+            for fk in t.schema().foreign_keys() {
+                let ai = t.schema().attr_index(&fk.attr).expect("fk attr exists");
+                let target_idx = *by_name.get(&fk.target).ok_or_else(|| {
+                    Error::BadForeignKeyTarget {
+                        table: t.name().to_owned(),
+                        attr: fk.attr.clone(),
+                        target: fk.target.clone(),
+                    }
+                })?;
+                let index = pk_index[target_idx].as_ref().ok_or_else(|| {
+                    Error::BadForeignKeyTarget {
+                        table: t.name().to_owned(),
+                        attr: fk.attr.clone(),
+                        target: fk.target.clone(),
+                    }
+                })?;
+                let raw = t.fk_values(&fk.attr)?;
+                let mut target_rows = Vec::with_capacity(raw.len());
+                for &k in raw {
+                    let row = index.get(&k).copied().ok_or(Error::DanglingForeignKey {
+                        table: t.name().to_owned(),
+                        attr: fk.attr.clone(),
+                        key: k,
+                    })?;
+                    target_rows.push(row);
+                }
+                // Build reverse CSR: parent row -> child rows.
+                let n_parent = self.tables[target_idx].n_rows();
+                let mut counts = vec![0u32; n_parent + 1];
+                for &r in &target_rows {
+                    counts[r as usize + 1] += 1;
+                }
+                for i in 0..n_parent {
+                    counts[i + 1] += counts[i];
+                }
+                let rev_offsets = counts.clone();
+                let mut cursor = counts;
+                let mut rev_children = vec![0u32; target_rows.len()];
+                for (child, &parent) in target_rows.iter().enumerate() {
+                    let slot = cursor[parent as usize];
+                    rev_children[slot as usize] = child as u32;
+                    cursor[parent as usize] += 1;
+                }
+                fks.insert((ti, ai), ResolvedFk { target_rows, rev_offsets, rev_children });
+            }
+        }
+        Ok(Database { tables: self.tables, by_name, fks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Cell, TableBuilder};
+
+    fn tiny_db() -> Database {
+        let mut p = TableBuilder::new("parent").key("id").col("x");
+        p.push_row(vec![Cell::Key(10), "a".into()]).unwrap();
+        p.push_row(vec![Cell::Key(20), "b".into()]).unwrap();
+        let mut c = TableBuilder::new("child").key("id").fk("parent", "parent").col("y");
+        c.push_row(vec![Cell::Key(1), Cell::Key(20), "p".into()]).unwrap();
+        c.push_row(vec![Cell::Key(2), Cell::Key(10), "q".into()]).unwrap();
+        c.push_row(vec![Cell::Key(3), Cell::Key(20), "p".into()]).unwrap();
+        DatabaseBuilder::new()
+            .add_table(p.finish().unwrap())
+            .add_table(c.finish().unwrap())
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn fk_resolution_maps_keys_to_rows() {
+        let db = tiny_db();
+        assert_eq!(db.fk_target_rows("child", "parent").unwrap(), &[1, 0, 1]);
+    }
+
+    #[test]
+    fn reverse_index_groups_children() {
+        let db = tiny_db();
+        assert_eq!(db.fk_child_rows("child", "parent", 0).unwrap(), &[1]);
+        assert_eq!(db.fk_child_rows("child", "parent", 1).unwrap(), &[0, 2]);
+    }
+
+    #[test]
+    fn dangling_fk_is_rejected() {
+        let mut p = TableBuilder::new("parent").key("id");
+        p.push_row(vec![Cell::Key(1)]).unwrap();
+        let mut c = TableBuilder::new("child").fk("parent", "parent");
+        c.push_row(vec![Cell::Key(99)]).unwrap();
+        let err = DatabaseBuilder::new()
+            .add_table(p.finish().unwrap())
+            .add_table(c.finish().unwrap())
+            .finish();
+        assert!(matches!(err, Err(Error::DanglingForeignKey { key: 99, .. })));
+    }
+
+    #[test]
+    fn fk_to_missing_table_is_rejected() {
+        let mut c = TableBuilder::new("child").fk("parent", "nope");
+        c.push_row(vec![Cell::Key(1)]).unwrap();
+        let err = DatabaseBuilder::new().add_table(c.finish().unwrap()).finish();
+        assert!(matches!(err, Err(Error::BadForeignKeyTarget { .. })));
+    }
+
+    #[test]
+    fn duplicate_table_names_rejected() {
+        let t1 = TableBuilder::new("t").col("x").finish().unwrap();
+        let t2 = TableBuilder::new("t").col("y").finish().unwrap();
+        let err = DatabaseBuilder::new().add_table(t1).add_table(t2).finish();
+        assert!(matches!(err, Err(Error::DuplicateName(_))));
+    }
+
+    #[test]
+    fn summary_lists_tables_attrs_and_fks() {
+        let db = tiny_db();
+        let text = db.summary();
+        assert!(text.contains("table parent (2 rows)"), "{text}");
+        assert!(text.contains("x: 2 distinct values"), "{text}");
+        assert!(text.contains("parent -> parent"), "{text}");
+    }
+
+    #[test]
+    fn accessors_reject_wrong_kinds() {
+        let db = tiny_db();
+        assert!(db.fk_target_rows("child", "y").is_err());
+        assert!(db.table("nope").is_err());
+        assert_eq!(db.total_rows(), 5);
+    }
+}

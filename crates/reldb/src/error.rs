@@ -1,0 +1,88 @@
+//! Error type shared across the relational engine.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while building or querying a database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A table name was not found in the database.
+    UnknownTable(String),
+    /// An attribute name was not found in a table.
+    UnknownAttr { table: String, attr: String },
+    /// A tuple variable index was out of range for the query.
+    UnknownVar(usize),
+    /// The referenced attribute exists but has the wrong kind for the
+    /// operation (e.g. a select predicate on a key column).
+    WrongAttrKind { table: String, attr: String, expected: &'static str },
+    /// A row was pushed with the wrong number of values.
+    ArityMismatch { table: String, expected: usize, got: usize },
+    /// A value's type did not match the column's previously seen values.
+    TypeMismatch { table: String, attr: String },
+    /// Two rows share a primary-key value.
+    DuplicateKey { table: String, key: i64 },
+    /// A foreign-key value has no matching primary key in the target table
+    /// (referential-integrity violation).
+    DanglingForeignKey { table: String, attr: String, key: i64 },
+    /// A foreign key references a table with no primary key, or a missing
+    /// table.
+    BadForeignKeyTarget { table: String, attr: String, target: String },
+    /// Two tables (or two attributes within a table) share a name.
+    DuplicateName(String),
+    /// The query's join graph is malformed (join through a non-FK column,
+    /// join to the wrong table, or a cyclic join graph the exact executor
+    /// cannot handle).
+    BadJoin(String),
+    /// A predicate references values outside the column's domain in a way
+    /// that cannot be resolved (only possible for range bounds on
+    /// non-integer columns).
+    BadPredicate(String),
+    /// An I/O failure while reading or writing files.
+    Io(String),
+    /// A parse failure (SQL text, CSV contents, schema manifests).
+    Parse(String),
+    /// A corrupt or incompatible on-disk artifact (model files).
+    Corrupt(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            Error::UnknownAttr { table, attr } => {
+                write!(f, "unknown attribute `{attr}` in table `{table}`")
+            }
+            Error::UnknownVar(v) => write!(f, "tuple variable #{v} out of range"),
+            Error::WrongAttrKind { table, attr, expected } => {
+                write!(f, "attribute `{table}.{attr}` is not a {expected} column")
+            }
+            Error::ArityMismatch { table, expected, got } => {
+                write!(f, "row for `{table}` has {got} values, schema expects {expected}")
+            }
+            Error::TypeMismatch { table, attr } => {
+                write!(f, "mixed value types in column `{table}.{attr}`")
+            }
+            Error::DuplicateKey { table, key } => {
+                write!(f, "duplicate primary key {key} in table `{table}`")
+            }
+            Error::DanglingForeignKey { table, attr, key } => write!(
+                f,
+                "foreign key `{table}.{attr}` = {key} has no matching primary key"
+            ),
+            Error::BadForeignKeyTarget { table, attr, target } => write!(
+                f,
+                "foreign key `{table}.{attr}` references `{target}` which is missing or has no primary key"
+            ),
+            Error::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            Error::BadJoin(msg) => write!(f, "bad join: {msg}"),
+            Error::BadPredicate(msg) => write!(f, "bad predicate: {msg}"),
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::Corrupt(msg) => write!(f, "corrupt artifact: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,506 @@
+//! Exact evaluation of select/keyjoin queries.
+//!
+//! The estimators in this workspace are scored against ground truth, so we
+//! need the *exact* result size of every workload query. Because all joins
+//! are foreign-key joins and the join graph of a well-formed query is a
+//! forest, the count is computable in linear time by dynamic programming
+//! over the join tree — no intermediate join materialization.
+//!
+//! For each tuple variable `X` we maintain a per-row weight `w_X(x)` = the
+//! number of ways row `x` extends to a full assignment of `X`'s join
+//! subtree. Leaves start at `pred(x) ∈ {0,1}`; an edge `C.fk = P.pk` is
+//! absorbed either by a gather (`w_P(p) *= Σ_{c: fk(c)=p} w_C(c)`) or a probe
+//! (`w_C(c) *= w_P(fk(c))`) depending on which side is closer to the root.
+//! The query result size is the product over connected components of the
+//! root weights' sum. A brute-force nested-loop evaluator
+//! ([`result_size_bruteforce`]) cross-checks the DP in tests.
+
+use crate::database::Database;
+use crate::error::{Error, Result};
+use crate::query::Query;
+
+/// Computes the exact result size of `query` against `db`.
+///
+/// Errors if the query is invalid or its join graph contains a cycle (which
+/// cannot arise from the paper's query class).
+pub fn result_size(db: &Database, query: &Query) -> Result<u64> {
+    query.validate(db)?;
+    let n = query.vars.len();
+    if n == 0 {
+        return Ok(0);
+    }
+
+    // Per-variable predicate weights.
+    let mut weights: Vec<Vec<u64>> = Vec::with_capacity(n);
+    for v in 0..n {
+        weights.push(pred_weights(db, query, v)?);
+    }
+
+    // Adjacency over the join forest. Edge payload: (join index, neighbor).
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (ji, j) in query.joins.iter().enumerate() {
+        if j.child == j.parent {
+            return Err(Error::BadJoin("self-join of a variable with itself".into()));
+        }
+        adj[j.child].push((ji, j.parent));
+        adj[j.parent].push((ji, j.child));
+    }
+
+    let mut visited = vec![false; n];
+    let mut total: u128 = 1;
+    for root in 0..n {
+        if visited[root] {
+            continue;
+        }
+        let component_sum = eval_component(db, query, &mut weights, &adj, &mut visited, root)?;
+        total = total.saturating_mul(component_sum as u128);
+        if total == 0 {
+            return Ok(0);
+        }
+    }
+    Ok(u64::try_from(total).unwrap_or(u64::MAX))
+}
+
+/// Evaluates one connected component rooted at `root`; returns Σ w_root.
+fn eval_component(
+    db: &Database,
+    query: &Query,
+    weights: &mut [Vec<u64>],
+    adj: &[Vec<(usize, usize)>],
+    visited: &mut [bool],
+    root: usize,
+) -> Result<u64> {
+    // Iterative DFS producing a post-order over (node, parent_edge).
+    let mut order: Vec<(usize, Option<usize>)> = Vec::new();
+    let mut stack = vec![(root, usize::MAX)];
+    visited[root] = true;
+    let mut parent_edge: Vec<Option<usize>> = vec![None; adj.len()];
+    while let Some((node, from)) = stack.pop() {
+        order.push((node, parent_edge[node]));
+        for &(ji, next) in &adj[node] {
+            if next == from {
+                continue;
+            }
+            if visited[next] {
+                return Err(Error::BadJoin("cyclic join graph".into()));
+            }
+            visited[next] = true;
+            parent_edge[next] = Some(ji);
+            stack.push((next, node));
+        }
+    }
+    // Children first.
+    for &(node, up_edge) in order.iter().rev() {
+        let Some(ji) = up_edge else { continue };
+        let join = &query.joins[ji];
+        let (child_var, parent_var) = (join.child, join.parent);
+        let other = if node == child_var { parent_var } else { child_var };
+        if node == child_var {
+            // `node` is the FK side and `other` is closer to the root:
+            // gather node's weights onto the parent rows.
+            let fk_rows =
+                db.fk_target_rows(&query.vars[child_var], &join.fk_attr)?.to_vec();
+            let child_w = std::mem::take(&mut weights[node]);
+            let agg_len = weights[other].len();
+            let mut agg = vec![0u64; agg_len];
+            for (c, &p) in fk_rows.iter().enumerate() {
+                agg[p as usize] = agg[p as usize].saturating_add(child_w[c]);
+            }
+            for (w, a) in weights[other].iter_mut().zip(agg) {
+                *w = w.saturating_mul(a);
+            }
+        } else {
+            // `node` is the PK side and `other` (FK side) is closer to the
+            // root: probe node's weights through the FK pointers.
+            let fk_rows =
+                db.fk_target_rows(&query.vars[child_var], &join.fk_attr)?.to_vec();
+            let parent_w = std::mem::take(&mut weights[node]);
+            for (c, &p) in fk_rows.iter().enumerate() {
+                weights[other][c] = weights[other][c].saturating_mul(parent_w[p as usize]);
+            }
+        }
+    }
+    Ok(weights[root].iter().fold(0u64, |s, &w| s.saturating_add(w)))
+}
+
+/// 0/1 weight per row of `query.vars[var]` from its selection predicates.
+fn pred_weights(db: &Database, query: &Query, var: usize) -> Result<Vec<u64>> {
+    let table = db.table(&query.vars[var])?;
+    let mut w = vec![1u64; table.n_rows()];
+    for p in query.preds.iter().filter(|p| p.var() == var) {
+        let domain = table.domain(p.attr())?;
+        let mut allowed = vec![false; domain.card()];
+        for code in p.matching_codes(db, &query.vars[var])? {
+            allowed[code as usize] = true;
+        }
+        let codes = table.codes(p.attr())?;
+        for (wi, &c) in w.iter_mut().zip(codes) {
+            if !allowed[c as usize] {
+                *wi = 0;
+            }
+        }
+    }
+    Ok(w)
+}
+
+/// Materializes (up to `limit`) result tuples of a select/keyjoin query:
+/// each result is one row index per tuple variable. Enumeration walks the
+/// join forest depth-first, so it touches only rows that can still extend
+/// to a full result — complexity is output-sensitive rather than
+/// nested-loop.
+///
+/// Used by tests to cross-check counts and by demos to show actual
+/// matching tuples; the estimators never need it.
+pub fn select_rows(db: &Database, query: &Query, limit: usize) -> Result<Vec<Vec<u32>>> {
+    query.validate(db)?;
+    let n = query.vars.len();
+    if n == 0 || limit == 0 {
+        return Ok(Vec::new());
+    }
+    let mut pred_ok: Vec<Vec<u64>> = Vec::with_capacity(n);
+    for v in 0..n {
+        pred_ok.push(pred_weights(db, query, v)?);
+    }
+    let fk_maps: Vec<Vec<u32>> = query
+        .joins
+        .iter()
+        .map(|j| db.fk_target_rows(&query.vars[j.child], &j.fk_attr).map(|r| r.to_vec()))
+        .collect::<Result<_>>()?;
+
+    let mut out = Vec::new();
+    let mut assignment: Vec<Option<u32>> = vec![None; n];
+    // Order variables so each (after the first in its component) is join-
+    // connected to an earlier one; the join constraint then prunes early.
+    let order = connected_order(n, &query.joins);
+    enumerate_rows(
+        db, query, &pred_ok, &fk_maps, &order, 0, &mut assignment, &mut out, limit,
+    )?;
+    Ok(out)
+}
+
+/// Variables ordered so that joins bind as early as possible.
+fn connected_order(n: usize, joins: &[crate::query::Join]) -> Vec<usize> {
+    let mut order = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    while order.len() < n {
+        // Prefer a variable joined to an already-placed one.
+        let next = (0..n)
+            .find(|&v| {
+                !placed[v]
+                    && joins.iter().any(|j| {
+                        (j.child == v && placed[j.parent])
+                            || (j.parent == v && placed[j.child])
+                    })
+            })
+            .or_else(|| (0..n).find(|&v| !placed[v]))
+            .expect("some variable unplaced");
+        placed[next] = true;
+        order.push(next);
+    }
+    order
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_rows(
+    db: &Database,
+    query: &Query,
+    pred_ok: &[Vec<u64>],
+    fk_maps: &[Vec<u32>],
+    order: &[usize],
+    depth: usize,
+    assignment: &mut Vec<Option<u32>>,
+    out: &mut Vec<Vec<u32>>,
+    limit: usize,
+) -> Result<()> {
+    if out.len() >= limit {
+        return Ok(());
+    }
+    if depth == order.len() {
+        out.push(assignment.iter().map(|a| a.expect("fully assigned")).collect());
+        return Ok(());
+    }
+    let var = order[depth];
+    // Candidate rows: constrained by any join to an already-bound variable.
+    let mut candidates: Option<Vec<u32>> = None;
+    for (ji, j) in query.joins.iter().enumerate() {
+        if j.child == var {
+            if let Some(parent_row) = assignment[j.parent] {
+                // Child rows pointing at the bound parent row.
+                let rows: Vec<u32> = db
+                    .fk_child_rows(&query.vars[var], &j.fk_attr, parent_row as usize)?
+                    .to_vec();
+                candidates = Some(intersect_sorted(candidates, rows));
+            }
+        } else if j.parent == var {
+            if let Some(child_row) = assignment[j.child] {
+                let parent_row = fk_maps[ji][child_row as usize];
+                candidates = Some(intersect_sorted(candidates, vec![parent_row]));
+            }
+        }
+    }
+    let all: Vec<u32>;
+    let rows: &[u32] = match &candidates {
+        Some(c) => c,
+        None => {
+            let n_rows = db.table(&query.vars[var])?.n_rows() as u32;
+            all = (0..n_rows).collect();
+            &all
+        }
+    };
+    for &row in rows {
+        if pred_ok[var][row as usize] == 0 {
+            continue;
+        }
+        assignment[var] = Some(row);
+        enumerate_rows(db, query, pred_ok, fk_maps, order, depth + 1, assignment, out, limit)?;
+        assignment[var] = None;
+        if out.len() >= limit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn intersect_sorted(current: Option<Vec<u32>>, mut incoming: Vec<u32>) -> Vec<u32> {
+    incoming.sort_unstable();
+    match current {
+        None => incoming,
+        Some(cur) => cur.into_iter().filter(|r| incoming.binary_search(r).is_ok()).collect(),
+    }
+}
+
+/// Brute-force nested-loop evaluation. Exponential in the number of tuple
+/// variables — only for cross-checking on small inputs (guards against more
+/// than ~10⁷ combinations).
+pub fn result_size_bruteforce(db: &Database, query: &Query) -> Result<u64> {
+    query.validate(db)?;
+    let n = query.vars.len();
+    let sizes: Vec<usize> = query
+        .vars
+        .iter()
+        .map(|t| db.table(t).map(|t| t.n_rows()))
+        .collect::<Result<_>>()?;
+    let combos: f64 = sizes.iter().map(|&s| s as f64).product();
+    if combos > 1e7 {
+        return Err(Error::BadJoin("brute force would enumerate too many combinations".into()));
+    }
+    let mut pred_ok: Vec<Vec<u64>> = Vec::with_capacity(n);
+    for v in 0..n {
+        pred_ok.push(pred_weights(db, query, v)?);
+    }
+    let mut fk_maps = Vec::new();
+    for j in &query.joins {
+        fk_maps.push(db.fk_target_rows(&query.vars[j.child], &j.fk_attr)?.to_vec());
+    }
+
+    let mut count = 0u64;
+    let mut assignment = vec![0usize; n];
+    loop {
+        let sat = assignment
+            .iter()
+            .enumerate()
+            .all(|(v, &row)| pred_ok[v][row] == 1)
+            && query.joins.iter().zip(&fk_maps).all(|(j, map)| {
+                map[assignment[j.child]] as usize == assignment[j.parent]
+            });
+        if sat {
+            count += 1;
+        }
+        // Odometer increment.
+        let mut k = 0;
+        loop {
+            if k == n {
+                return Ok(count);
+            }
+            assignment[k] += 1;
+            if assignment[k] < sizes[k] {
+                break;
+            }
+            assignment[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::DatabaseBuilder;
+    use crate::table::{Cell, TableBuilder};
+    use crate::value::Value;
+
+    /// TB-style 3-table chain: contact →fk patient →fk strain.
+    fn chain_db() -> Database {
+        let mut s = TableBuilder::new("strain").key("id").col("unique");
+        for (id, u) in [(1, "yes"), (2, "no"), (3, "no")] {
+            s.push_row(vec![Cell::Key(id), u.into()]).unwrap();
+        }
+        let mut p = TableBuilder::new("patient").key("id").fk("strain", "strain").col("age");
+        for (id, st, age) in [(1, 1, 30i64), (2, 2, 60), (3, 2, 60), (4, 3, 30)] {
+            p.push_row(vec![Cell::Key(id), Cell::Key(st), Cell::Val(Value::Int(age))]).unwrap();
+        }
+        let mut c = TableBuilder::new("contact").key("id").fk("patient", "patient").col("type");
+        for (id, pt, ty) in [
+            (1, 1, "home"),
+            (2, 2, "work"),
+            (3, 2, "home"),
+            (4, 2, "home"),
+            (5, 4, "work"),
+        ] {
+            c.push_row(vec![Cell::Key(id), Cell::Key(pt), ty.into()]).unwrap();
+        }
+        DatabaseBuilder::new()
+            .add_table(s.finish().unwrap())
+            .add_table(p.finish().unwrap())
+            .add_table(c.finish().unwrap())
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_table_select_counts_rows() {
+        let db = chain_db();
+        let mut b = Query::builder();
+        let p = b.var("patient");
+        b.eq(p, "age", 60);
+        assert_eq!(result_size(&db, &b.build()).unwrap(), 2);
+    }
+
+    #[test]
+    fn unconstrained_join_size_equals_child_cardinality() {
+        // Under referential integrity, contact ⋈ patient has |contact| rows.
+        let db = chain_db();
+        let mut b = Query::builder();
+        let c = b.var("contact");
+        let p = b.var("patient");
+        b.join(c, "patient", p);
+        assert_eq!(result_size(&db, &b.build()).unwrap(), 5);
+    }
+
+    #[test]
+    fn three_table_chain_with_selects() {
+        let db = chain_db();
+        let mut b = Query::builder();
+        let c = b.var("contact");
+        let p = b.var("patient");
+        let s = b.var("strain");
+        b.join(c, "patient", p)
+            .join(p, "strain", s)
+            .eq(c, "type", "home")
+            .eq(s, "unique", "no");
+        // home contacts of patients with non-unique strains: contacts 3, 4.
+        assert_eq!(result_size(&db, &b.build()).unwrap(), 2);
+    }
+
+    #[test]
+    fn disconnected_vars_form_cross_product() {
+        let db = chain_db();
+        let mut b = Query::builder();
+        let p = b.var("patient");
+        let s = b.var("strain");
+        b.eq(p, "age", 30).eq(s, "unique", "no");
+        // 2 patients × 2 strains.
+        assert_eq!(result_size(&db, &b.build()).unwrap(), 4);
+    }
+
+    #[test]
+    fn range_predicate_counts_inclusive_interval() {
+        let db = chain_db();
+        let mut b = Query::builder();
+        let p = b.var("patient");
+        b.range(p, "age", Some(30), Some(59));
+        assert_eq!(result_size(&db, &b.build()).unwrap(), 2);
+    }
+
+    #[test]
+    fn dp_matches_bruteforce_on_chain_queries() {
+        let db = chain_db();
+        for (ctype, uniq) in
+            [("home", "yes"), ("home", "no"), ("work", "yes"), ("work", "no")]
+        {
+            let mut b = Query::builder();
+            let c = b.var("contact");
+            let p = b.var("patient");
+            let s = b.var("strain");
+            b.join(c, "patient", p)
+                .join(p, "strain", s)
+                .eq(c, "type", ctype)
+                .eq(s, "unique", uniq);
+            let q = b.build();
+            assert_eq!(
+                result_size(&db, &q).unwrap(),
+                result_size_bruteforce(&db, &q).unwrap(),
+                "mismatch for ({ctype},{uniq})"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_parent_star_query() {
+        // Two contact variables joined to the same patient variable.
+        let db = chain_db();
+        let mut b = Query::builder();
+        let c1 = b.var("contact");
+        let c2 = b.var("contact");
+        let p = b.var("patient");
+        b.join(c1, "patient", p).join(c2, "patient", p);
+        let q = b.build();
+        // Patient 1: 1², patient 2: 3², patient 3: 0, patient 4: 1² → 11.
+        assert_eq!(result_size(&db, &q).unwrap(), 11);
+        assert_eq!(result_size_bruteforce(&db, &q).unwrap(), 11);
+    }
+
+    #[test]
+    fn select_rows_matches_count_and_satisfies_query() {
+        let db = chain_db();
+        let mut b = Query::builder();
+        let c = b.var("contact");
+        let p = b.var("patient");
+        let s = b.var("strain");
+        b.join(c, "patient", p)
+            .join(p, "strain", s)
+            .eq(c, "type", "home")
+            .eq(s, "unique", "no");
+        let q = b.build();
+        let rows = select_rows(&db, &q, 1000).unwrap();
+        assert_eq!(rows.len() as u64, result_size(&db, &q).unwrap());
+        // Every materialized tuple satisfies the joins.
+        let c_to_p = db.fk_target_rows("contact", "patient").unwrap();
+        let p_to_s = db.fk_target_rows("patient", "strain").unwrap();
+        for r in &rows {
+            assert_eq!(c_to_p[r[0] as usize], r[1]);
+            assert_eq!(p_to_s[r[1] as usize], r[2]);
+        }
+    }
+
+    #[test]
+    fn select_rows_respects_limit() {
+        let db = chain_db();
+        let mut b = Query::builder();
+        let c = b.var("contact");
+        let p = b.var("patient");
+        b.join(c, "patient", p);
+        let rows = select_rows(&db, &b.build(), 3).unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn select_rows_on_cross_product() {
+        let db = chain_db();
+        let mut b = Query::builder();
+        let p = b.var("patient");
+        let s = b.var("strain");
+        b.eq(p, "age", 30).eq(s, "unique", "no");
+        let rows = select_rows(&db, &b.build(), 100).unwrap();
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn empty_predicate_value_gives_zero() {
+        let db = chain_db();
+        let mut b = Query::builder();
+        let p = b.var("patient");
+        b.eq(p, "age", 99);
+        assert_eq!(result_size(&db, &b.build()).unwrap(), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! # reldb — a minimal columnar relational engine
+//!
+//! This crate is the relational substrate for the SIGMOD 2001 reproduction of
+//! *Selectivity Estimation using Probabilistic Models* (Getoor, Taskar,
+//! Koller). It provides exactly what the paper's estimators need from a DBMS:
+//!
+//! * dictionary-encoded columnar tables with small categorical/ordinal
+//!   domains ([`Table`], [`Domain`], [`Value`]),
+//! * schemas with primary keys and foreign keys, and a [`Database`] that
+//!   enforces **referential integrity** (every foreign key resolves to
+//!   exactly one target row — the standing assumption of the paper),
+//! * a select/foreign-key-join query AST ([`Query`], [`Pred`], [`Join`]),
+//! * an **exact** executor ([`exec::result_size`]) used to compute
+//!   ground-truth result sizes against which estimates are scored,
+//! * a group-by/count engine ([`stats`]) producing the *sufficient
+//!   statistics* that drive maximum-likelihood CPD estimation, including
+//!   counts over foreign-key joined columns.
+//!
+//! The engine is deliberately small: no transactions, no buffer manager
+//! (there *is* a tiny `SELECT COUNT(*)` SQL parser in [`sql`]). Tables are
+//! immutable once built, which lets every column be stored as a dense
+//! `Vec<u32>` of dictionary codes — the representation all the estimators
+//! in the workspace consume directly.
+//!
+//! ```
+//! use reldb::{Cell, DatabaseBuilder, TableBuilder, Value, parse_query, result_size};
+//!
+//! let mut p = TableBuilder::new("parent").key("id").col("x");
+//! p.push_row(vec![Cell::Key(1), Cell::Val(Value::Int(0))])?;
+//! p.push_row(vec![Cell::Key(2), Cell::Val(Value::Int(1))])?;
+//! let mut c = TableBuilder::new("child").key("id").fk("parent", "parent").col("y");
+//! c.push_row(vec![Cell::Key(10), Cell::Key(1), Cell::Val(Value::Int(7))])?;
+//! c.push_row(vec![Cell::Key(11), Cell::Key(1), Cell::Val(Value::Int(8))])?;
+//! c.push_row(vec![Cell::Key(12), Cell::Key(2), Cell::Val(Value::Int(7))])?;
+//! let db = DatabaseBuilder::new()
+//!     .add_table(p.finish()?)
+//!     .add_table(c.finish()?)
+//!     .finish()?; // referential integrity verified here
+//!
+//! let q = parse_query(
+//!     "SELECT COUNT(*) FROM child c, parent p WHERE c.parent = p AND p.x = 0",
+//! )?;
+//! assert_eq!(result_size(&db, &q)?, 2);
+//! # Ok::<(), reldb::Error>(())
+//! ```
+
+pub mod csv;
+pub mod database;
+pub mod error;
+pub mod exec;
+pub mod query;
+pub mod schema;
+pub mod sql;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use csv::{load_table, write_table, CsvColumn, CsvSchema};
+pub use database::{Database, DatabaseBuilder};
+pub use error::{Error, Result};
+pub use exec::{result_size, result_size_bruteforce, select_rows};
+pub use query::{Join, Pred, Query, QueryBuilder};
+pub use schema::{AttrDef, AttrKind, ForeignKeyDef, TableSchema};
+pub use sql::{parse_query, to_sql};
+pub use stats::{counts_sparse, CountTable, GroupSpec, ResolvedCol};
+pub use table::{Cell, Column, Domain, Table, TableBuilder};
+pub use value::Value;

@@ -1,0 +1,124 @@
+//! Table schemas: attribute definitions, primary keys, foreign keys.
+
+/// The role an attribute plays in its table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrKind {
+    /// The table's primary key (`i64`, unique).
+    PrimaryKey,
+    /// A foreign key (`i64`) referencing the primary key of `target`.
+    ForeignKey {
+        /// Name of the referenced table.
+        target: String,
+    },
+    /// A value (non-key) attribute over a small discrete domain. These are
+    /// the attributes written `R.*` in the paper — the ones probabilistic
+    /// models are built over.
+    Value,
+}
+
+/// One attribute of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Attribute name, unique within the table.
+    pub name: String,
+    /// Role of the attribute.
+    pub kind: AttrKind,
+}
+
+/// A resolved foreign-key definition (derived from the attribute list).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKeyDef {
+    /// Name of the foreign-key attribute in the owning table.
+    pub attr: String,
+    /// Name of the referenced table.
+    pub target: String,
+}
+
+/// The schema of a single table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name, unique within the database.
+    pub name: String,
+    /// All attributes in declaration order (keys and values).
+    pub attrs: Vec<AttrDef>,
+}
+
+impl TableSchema {
+    /// Index of an attribute by name.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// The primary-key attribute name, if the table has one.
+    pub fn primary_key(&self) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|a| a.kind == AttrKind::PrimaryKey)
+            .map(|a| a.name.as_str())
+    }
+
+    /// All foreign keys declared by this table.
+    pub fn foreign_keys(&self) -> Vec<ForeignKeyDef> {
+        self.attrs
+            .iter()
+            .filter_map(|a| match &a.kind {
+                AttrKind::ForeignKey { target } => Some(ForeignKeyDef {
+                    attr: a.name.clone(),
+                    target: target.clone(),
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Names of the value (non-key) attributes, in declaration order.
+    pub fn value_attrs(&self) -> Vec<&str> {
+        self.attrs
+            .iter()
+            .filter(|a| a.kind == AttrKind::Value)
+            .map(|a| a.name.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema {
+            name: "contact".into(),
+            attrs: vec![
+                AttrDef { name: "contact_id".into(), kind: AttrKind::PrimaryKey },
+                AttrDef {
+                    name: "patient".into(),
+                    kind: AttrKind::ForeignKey { target: "patient".into() },
+                },
+                AttrDef { name: "contype".into(), kind: AttrKind::Value },
+                AttrDef { name: "age".into(), kind: AttrKind::Value },
+            ],
+        }
+    }
+
+    #[test]
+    fn attr_index_finds_by_name() {
+        let s = schema();
+        assert_eq!(s.attr_index("contype"), Some(2));
+        assert_eq!(s.attr_index("nope"), None);
+    }
+
+    #[test]
+    fn primary_key_and_foreign_keys_are_extracted() {
+        let s = schema();
+        assert_eq!(s.primary_key(), Some("contact_id"));
+        let fks = s.foreign_keys();
+        assert_eq!(fks.len(), 1);
+        assert_eq!(fks[0].attr, "patient");
+        assert_eq!(fks[0].target, "patient");
+    }
+
+    #[test]
+    fn value_attrs_excludes_keys() {
+        assert_eq!(schema().value_attrs(), vec!["contype", "age"]);
+    }
+}

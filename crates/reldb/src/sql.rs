@@ -1,0 +1,564 @@
+//! A small SQL-subset parser for counting queries.
+//!
+//! The estimators answer the paper's query class — conjunctive selections
+//! plus foreign-key equijoins — so the parser accepts exactly that:
+//!
+//! ```sql
+//! SELECT COUNT(*)
+//! FROM contact c, patient p, strain s
+//! WHERE c.patient = p
+//!   AND p.strain = s
+//!   AND c.contype = 4
+//!   AND p.age BETWEEN 2 AND 3
+//!   AND s.unique IN ('no', 'yes')
+//! ```
+//!
+//! * `FROM` lists tuple variables as `table alias` (alias optional when a
+//!   table appears once; the table name then doubles as the alias).
+//! * A join is written `child_alias.fk_attr = parent_alias` (or
+//!   `parent_alias.pk_attr`, whose attribute name is checked against the
+//!   parent's primary key when a database is supplied for validation).
+//! * Selections: `=`, `IN (…)`, `BETWEEN … AND …`, `<`, `<=`, `>`, `>=`
+//!   (inequalities desugar to half-open ranges over integers).
+//! * Literals: integers or single-quoted strings.
+//!
+//! Keywords are case-insensitive; identifiers are case-sensitive. The
+//! parser builds a [`Query`]; semantic validation (tables exist, joins go
+//! through declared foreign keys) stays in [`Query::validate`].
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::query::Query;
+use crate::value::Value;
+
+/// Parses `SELECT COUNT(*) FROM … WHERE …` into a [`Query`].
+pub fn parse_query(sql: &str) -> Result<Query> {
+    Parser::new(sql)?.parse()
+}
+
+/// Renders a [`Query`] back to the SQL subset [`parse_query`] accepts —
+/// the inverse used for logging, `EXPLAIN` output, and round-trip tests.
+/// Tuple variables are named `t0, t1, …`.
+pub fn to_sql(query: &Query) -> String {
+    use crate::query::Pred;
+    use std::fmt::Write;
+    let mut out = String::from("SELECT COUNT(*) FROM ");
+    let froms: Vec<String> = query
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, table)| format!("{table} t{i}"))
+        .collect();
+    out.push_str(&froms.join(", "));
+    let mut conds: Vec<String> = Vec::new();
+    for j in &query.joins {
+        conds.push(format!("t{}.{} = t{}", j.child, j.fk_attr, j.parent));
+    }
+    let lit = |v: &Value| match v {
+        Value::Int(i) => i.to_string(),
+        Value::Str(s) => format!("'{s}'"),
+    };
+    for p in &query.preds {
+        let var = p.var();
+        match p {
+            Pred::Eq { attr, value, .. } => {
+                conds.push(format!("t{var}.{attr} = {}", lit(value)));
+            }
+            Pred::In { attr, values, .. } => {
+                let vals: Vec<String> = values.iter().map(&lit).collect();
+                conds.push(format!("t{var}.{attr} IN ({})", vals.join(", ")));
+            }
+            Pred::Range { attr, lo, hi, .. } => match (lo, hi) {
+                (Some(l), Some(h)) => {
+                    conds.push(format!("t{var}.{attr} BETWEEN {l} AND {h}"));
+                }
+                (Some(l), None) => conds.push(format!("t{var}.{attr} >= {l}")),
+                (None, Some(h)) => conds.push(format!("t{var}.{attr} <= {h}")),
+                (None, None) => {}
+            },
+        }
+    }
+    if !conds.is_empty() {
+        let _ = write!(out, " WHERE {}", conds.join(" AND "));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Lexer.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Star,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Eq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::Star => write!(f, "*"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Eq => write!(f, "="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+        }
+    }
+}
+
+fn err(msg: impl Into<String>) -> Error {
+    Error::Parse(msg.into())
+}
+
+fn lex(sql: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Tok::Dot);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Eq);
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Le);
+                    i += 2;
+                } else {
+                    out.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    out.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\'' {
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(err("unterminated string literal"));
+                }
+                out.push(Tok::Str(chars[start..j].iter().collect()));
+                i = j + 1;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let n = text
+                    .parse::<i64>()
+                    .map_err(|_| err(format!("bad integer literal `{text}`")))?;
+                out.push(Tok::Int(n));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_')
+                {
+                    i += 1;
+                }
+                out.push(Tok::Ident(chars[start..i].iter().collect()));
+            }
+            other => return Err(err(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Parser> {
+        Ok(Parser { toks: lex(sql)?, pos: 0 })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| err("unexpected end of query"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<()> {
+        let got = self.next()?;
+        if &got == want {
+            Ok(())
+        } else {
+            Err(err(format!("expected `{want}`, found `{got}`")))
+        }
+    }
+
+    /// Consumes an identifier and checks it case-insensitively against a
+    /// keyword.
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next()? {
+            Tok::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            got => Err(err(format!("expected `{kw}`, found `{got}`"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            got => Err(err(format!("expected identifier, found `{got}`"))),
+        }
+    }
+
+    fn parse(&mut self) -> Result<Query> {
+        self.keyword("SELECT")?;
+        self.keyword("COUNT")?;
+        self.expect(&Tok::LParen)?;
+        self.expect(&Tok::Star)?;
+        self.expect(&Tok::RParen)?;
+        self.keyword("FROM")?;
+
+        // FROM list: `table [alias]` separated by commas.
+        let mut builder = Query::builder();
+        let mut aliases: Vec<(String, usize)> = Vec::new();
+        loop {
+            let table = self.ident()?;
+            // Optional alias (an identifier that is not WHERE/end/comma).
+            let alias = match self.peek() {
+                Some(Tok::Ident(s)) if !s.eq_ignore_ascii_case("where") => self.ident()?,
+                _ => table.clone(),
+            };
+            if aliases.iter().any(|(a, _)| a == &alias) {
+                return Err(err(format!("duplicate alias `{alias}`")));
+            }
+            let var = builder.var(&table);
+            aliases.push((alias, var));
+            match self.peek() {
+                Some(Tok::Comma) => {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+
+        if self.peek().is_some() {
+            self.keyword("WHERE")?;
+            loop {
+                self.condition(&mut builder, &aliases)?;
+                if self.peek_keyword("AND") {
+                    self.keyword("AND")?;
+                } else {
+                    break;
+                }
+            }
+        }
+        if let Some(t) = self.peek() {
+            return Err(err(format!("trailing input at `{t}`")));
+        }
+        Ok(builder.build())
+    }
+
+    fn lookup_var(&self, aliases: &[(String, usize)], alias: &str) -> Result<usize> {
+        aliases
+            .iter()
+            .find(|(a, _)| a == alias)
+            .map(|&(_, v)| v)
+            .ok_or_else(|| err(format!("unknown alias `{alias}`")))
+    }
+
+    /// `alias.attr <op> …`
+    fn condition(
+        &mut self,
+        builder: &mut crate::query::QueryBuilder,
+        aliases: &[(String, usize)],
+    ) -> Result<()> {
+        let alias = self.ident()?;
+        self.expect(&Tok::Dot)?;
+        let attr = self.ident()?;
+        let var = self.lookup_var(aliases, &alias)?;
+        match self.next()? {
+            Tok::Eq => {
+                // Either a join (right side is an alias, optionally
+                // `.attr`) or an equality literal.
+                match self.next()? {
+                    Tok::Int(i) => {
+                        builder.eq(var, attr, Value::Int(i));
+                    }
+                    Tok::Str(s) => {
+                        builder.eq(var, attr, Value::Str(s));
+                    }
+                    Tok::Ident(rhs) => {
+                        let parent = self.lookup_var(aliases, &rhs)?;
+                        // Optional `.pk_attr` — consumed and ignored here;
+                        // `Query::validate` checks the join is a keyjoin.
+                        if self.peek() == Some(&Tok::Dot) {
+                            self.pos += 1;
+                            let _pk = self.ident()?;
+                        }
+                        builder.join(var, attr, parent);
+                    }
+                    got => return Err(err(format!("expected literal or alias after `=`, found `{got}`"))),
+                }
+            }
+            Tok::Lt => {
+                let n = self.int_literal()?;
+                builder.range(var, attr, None, Some(n - 1));
+            }
+            Tok::Le => {
+                let n = self.int_literal()?;
+                builder.range(var, attr, None, Some(n));
+            }
+            Tok::Gt => {
+                let n = self.int_literal()?;
+                builder.range(var, attr, Some(n + 1), None);
+            }
+            Tok::Ge => {
+                let n = self.int_literal()?;
+                builder.range(var, attr, Some(n), None);
+            }
+            Tok::Ident(kw) if kw.eq_ignore_ascii_case("between") => {
+                let lo = self.int_literal()?;
+                self.keyword("AND")?;
+                let hi = self.int_literal()?;
+                builder.range(var, attr, Some(lo), Some(hi));
+            }
+            Tok::Ident(kw) if kw.eq_ignore_ascii_case("in") => {
+                self.expect(&Tok::LParen)?;
+                let mut values = Vec::new();
+                loop {
+                    match self.next()? {
+                        Tok::Int(i) => values.push(Value::Int(i)),
+                        Tok::Str(s) => values.push(Value::Str(s)),
+                        got => {
+                            return Err(err(format!("expected literal in IN list, found `{got}`")))
+                        }
+                    }
+                    match self.next()? {
+                        Tok::Comma => continue,
+                        Tok::RParen => break,
+                        got => return Err(err(format!("expected `,` or `)`, found `{got}`"))),
+                    }
+                }
+                builder.isin(var, attr, values);
+            }
+            got => return Err(err(format!("unsupported operator `{got}`"))),
+        }
+        Ok(())
+    }
+
+    fn int_literal(&mut self) -> Result<i64> {
+        match self.next()? {
+            Tok::Int(i) => Ok(i),
+            got => Err(err(format!("expected integer literal, found `{got}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Join, Pred};
+
+    #[test]
+    fn parses_the_paper_style_query() {
+        let q = parse_query(
+            "SELECT COUNT(*) FROM contact c, patient p, strain s \
+             WHERE c.patient = p AND p.strain = s \
+             AND c.contype = 4 AND p.age BETWEEN 2 AND 3 \
+             AND s.unique IN ('no', 'yes')",
+        )
+        .unwrap();
+        assert_eq!(q.vars, vec!["contact", "patient", "strain"]);
+        assert_eq!(
+            q.joins,
+            vec![
+                Join { child: 0, fk_attr: "patient".into(), parent: 1 },
+                Join { child: 1, fk_attr: "strain".into(), parent: 2 },
+            ]
+        );
+        assert_eq!(q.preds.len(), 3);
+        assert!(matches!(&q.preds[1], Pred::Range { lo: Some(2), hi: Some(3), .. }));
+        assert!(matches!(&q.preds[2], Pred::In { values, .. } if values.len() == 2));
+    }
+
+    #[test]
+    fn alias_defaults_to_table_name() {
+        let q = parse_query("SELECT COUNT(*) FROM census WHERE census.age = 7").unwrap();
+        assert_eq!(q.vars, vec!["census"]);
+        assert_eq!(q.preds.len(), 1);
+    }
+
+    #[test]
+    fn join_right_side_may_name_the_primary_key() {
+        let q = parse_query(
+            "select count(*) from contact c, patient p where c.patient = p.patient_id",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.joins[0].child, 0);
+        assert_eq!(q.joins[0].parent, 1);
+    }
+
+    #[test]
+    fn inequalities_desugar_to_ranges() {
+        let q = parse_query(
+            "SELECT COUNT(*) FROM t WHERE t.a < 5 AND t.b <= 5 AND t.c > 5 AND t.d >= 5",
+        )
+        .unwrap();
+        assert!(matches!(&q.preds[0], Pred::Range { lo: None, hi: Some(4), .. }));
+        assert!(matches!(&q.preds[1], Pred::Range { lo: None, hi: Some(5), .. }));
+        assert!(matches!(&q.preds[2], Pred::Range { lo: Some(6), hi: None, .. }));
+        assert!(matches!(&q.preds[3], Pred::Range { lo: Some(5), hi: None, .. }));
+    }
+
+    #[test]
+    fn negative_integers_parse() {
+        let q = parse_query("SELECT COUNT(*) FROM t WHERE t.a = -3").unwrap();
+        assert!(matches!(&q.preds[0], Pred::Eq { value: Value::Int(-3), .. }));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        parse_query("select count(*) from t where t.a = 1 and t.b = 2").unwrap();
+        parse_query("SeLeCt CoUnT(*) FrOm t").unwrap();
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        let e = parse_query("SELECT COUNT(*) FROM t WHERE t.a != 1").unwrap_err();
+        assert!(e.to_string().contains("unexpected character"), "{e}");
+        let e = parse_query("SELECT COUNT(*) FROM t WHERE x.a = 1").unwrap_err();
+        assert!(e.to_string().contains("unknown alias"), "{e}");
+        let e = parse_query("SELECT COUNT(*) FROM t t, u t").unwrap_err();
+        assert!(e.to_string().contains("duplicate alias"), "{e}");
+        let e = parse_query("SELECT COUNT(*) FROM t WHERE t.a = 'oops").unwrap_err();
+        assert!(e.to_string().contains("unterminated"), "{e}");
+        let e = parse_query("SELECT SUM(*) FROM t").unwrap_err();
+        assert!(e.to_string().contains("expected `COUNT`"), "{e}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let e = parse_query("SELECT COUNT(*) FROM t WHERE t.a = 1 GROUP BY x").unwrap_err();
+        assert!(e.to_string().contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn to_sql_round_trips_through_the_parser() {
+        let original = parse_query(
+            "SELECT COUNT(*) FROM contact c, patient p, strain s \
+             WHERE c.patient = p AND p.strain = s \
+             AND c.contype = 4 AND p.age BETWEEN 2 AND 3 \
+             AND s.unique IN ('no', 'yes') AND c.age >= 1 AND p.hiv <= 1",
+        )
+        .unwrap();
+        let rendered = to_sql(&original);
+        let reparsed = parse_query(&rendered).unwrap();
+        assert_eq!(original, reparsed, "rendered: {rendered}");
+    }
+
+    #[test]
+    fn to_sql_of_unconstrained_query_omits_where() {
+        let q = parse_query("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(to_sql(&q), "SELECT COUNT(*) FROM t t0");
+        assert_eq!(parse_query(&to_sql(&q)).unwrap(), q);
+    }
+
+    #[test]
+    fn parsed_query_round_trips_through_the_executor() {
+        use crate::table::{Cell, TableBuilder};
+        use crate::{result_size, DatabaseBuilder};
+        let mut p = TableBuilder::new("parent").key("id").col("x");
+        for i in 0..10i64 {
+            p.push_row(vec![Cell::Key(i), Cell::Val(Value::Int(i % 2))]).unwrap();
+        }
+        let mut c = TableBuilder::new("child").key("id").fk("parent", "parent").col("y");
+        for i in 0..40i64 {
+            c.push_row(vec![
+                Cell::Key(i),
+                Cell::Key(i % 10),
+                Cell::Val(Value::Int(i % 4)),
+            ])
+            .unwrap();
+        }
+        let db = DatabaseBuilder::new()
+            .add_table(p.finish().unwrap())
+            .add_table(c.finish().unwrap())
+            .finish()
+            .unwrap();
+        let q = parse_query(
+            "SELECT COUNT(*) FROM child c, parent p \
+             WHERE c.parent = p AND p.x = 1 AND c.y IN (0, 1)",
+        )
+        .unwrap();
+        // y ∈ {0,1} and parent odd: children with i%10 odd and i%4 ∈ {0,1}.
+        let expect = (0..40).filter(|i| (i % 10) % 2 == 1 && i % 4 <= 1).count() as u64;
+        assert_eq!(result_size(&db, &q).unwrap(), expect);
+    }
+}

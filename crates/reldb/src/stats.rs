@@ -1,0 +1,324 @@
+//! Sufficient statistics: group-by/count over (possibly foreign-key joined)
+//! columns.
+//!
+//! Maximum-likelihood CPD estimation needs counts of the form
+//! `N(X = x, Pa = pa)` where `X` is an attribute of a base table and each
+//! parent is either another attribute of the same table or an attribute
+//! reached through a chain of foreign keys (paper §4.2). Under referential
+//! integrity each base row reaches exactly *one* row through any FK chain,
+//! so the "join" needed to collect these statistics is a simple pointer
+//! chase and the scan is linear in the base table.
+
+use crate::database::Database;
+use crate::error::{Error, Result};
+
+/// A column addressed relative to a base table: follow `fk_path` (a chain of
+/// foreign-key attribute names, possibly empty), then read value attribute
+/// `attr`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ResolvedCol {
+    /// Foreign-key attributes to traverse, starting at the base table.
+    pub fk_path: Vec<String>,
+    /// Value attribute in the table reached by the path.
+    pub attr: String,
+}
+
+impl ResolvedCol {
+    /// A column of the base table itself.
+    pub fn local(attr: impl Into<String>) -> Self {
+        ResolvedCol { fk_path: Vec::new(), attr: attr.into() }
+    }
+
+    /// A column one foreign-key hop away.
+    pub fn via(fk: impl Into<String>, attr: impl Into<String>) -> Self {
+        ResolvedCol { fk_path: vec![fk.into()], attr: attr.into() }
+    }
+}
+
+/// A group-by/count request over a base table.
+#[derive(Debug, Clone)]
+pub struct GroupSpec {
+    /// Table whose rows are being counted.
+    pub base_table: String,
+    /// Columns forming the group-by key, in order.
+    pub cols: Vec<ResolvedCol>,
+}
+
+/// Dense mixed-radix count table: `counts[i]` is the number of base rows
+/// whose column codes linearize to `i` (row-major, first column most
+/// significant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountTable {
+    /// Cardinality of each grouped column.
+    pub cards: Vec<usize>,
+    /// Dense counts, `len == cards.iter().product()`.
+    pub counts: Vec<u64>,
+}
+
+impl CountTable {
+    /// Linearizes a configuration (one code per column) to an index.
+    pub fn index_of(&self, config: &[u32]) -> usize {
+        debug_assert_eq!(config.len(), self.cards.len());
+        let mut idx = 0usize;
+        for (&c, &card) in config.iter().zip(&self.cards) {
+            idx = idx * card + c as usize;
+        }
+        idx
+    }
+
+    /// Count of one configuration.
+    pub fn count(&self, config: &[u32]) -> u64 {
+        self.counts[self.index_of(config)]
+    }
+
+    /// Total number of counted rows.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sums out all columns except those in `keep` (indices into `cards`,
+    /// strictly increasing). Returns a new table over the kept columns.
+    pub fn marginalize(&self, keep: &[usize]) -> CountTable {
+        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]));
+        let kept_cards: Vec<usize> = keep.iter().map(|&k| self.cards[k]).collect();
+        let mut out = vec![0u64; kept_cards.iter().product::<usize>().max(1)];
+        let mut config = vec![0u32; self.cards.len()];
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n != 0 {
+                self.unindex(i, &mut config);
+                let mut idx = 0usize;
+                for (&k, &card) in keep.iter().zip(&kept_cards) {
+                    idx = idx * card + config[k] as usize;
+                }
+                out[idx] += n;
+            }
+        }
+        CountTable { cards: kept_cards, counts: out }
+    }
+
+    /// Inverse of [`CountTable::index_of`].
+    pub fn unindex(&self, mut idx: usize, config: &mut [u32]) {
+        for (slot, &card) in config.iter_mut().zip(&self.cards).rev() {
+            *slot = (idx % card) as u32;
+            idx /= card;
+        }
+    }
+
+    /// Iterates over non-zero entries as `(config, count)`.
+    pub fn nonzero(&self) -> impl Iterator<Item = (Vec<u32>, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &n)| n != 0).map(|(i, &n)| {
+            let mut config = vec![0u32; self.cards.len()];
+            self.unindex(i, &mut config);
+            (config, n)
+        })
+    }
+}
+
+/// Materializes, for each requested column, the per-base-row dictionary
+/// codes (length = base table row count). This is the row-level view used
+/// by tree-CPD induction; [`counts`] aggregates it for table CPDs.
+pub fn materialize_codes(db: &Database, spec: &GroupSpec) -> Result<Vec<Vec<u32>>> {
+    let base = db.table(&spec.base_table)?;
+    let n = base.n_rows();
+    let mut out = Vec::with_capacity(spec.cols.len());
+    for col in &spec.cols {
+        // Compose the row mapping along the FK chain.
+        let mut table_name = spec.base_table.clone();
+        let mut mapping: Option<Vec<u32>> = None;
+        for fk in &col.fk_path {
+            let hop = db.fk_target_rows(&table_name, fk)?;
+            mapping = Some(match mapping {
+                None => hop.to_vec(),
+                Some(m) => m.iter().map(|&r| hop[r as usize]).collect(),
+            });
+            let fk_def = db
+                .foreign_keys_of(&table_name)?
+                .into_iter()
+                .find(|f| &f.attr == fk)
+                .ok_or_else(|| Error::BadJoin(format!("`{table_name}.{fk}` is not a foreign key")))?;
+            table_name = fk_def.target;
+        }
+        let codes = db.table(&table_name)?.codes(&col.attr)?;
+        let column: Vec<u32> = match mapping {
+            None => codes.to_vec(),
+            Some(m) => m.iter().map(|&r| codes[r as usize]).collect(),
+        };
+        debug_assert_eq!(column.len(), n);
+        out.push(column);
+    }
+    Ok(out)
+}
+
+/// Cardinality of each requested column's domain.
+pub fn column_cards(db: &Database, spec: &GroupSpec) -> Result<Vec<usize>> {
+    let mut cards = Vec::with_capacity(spec.cols.len());
+    for col in &spec.cols {
+        let mut table_name = spec.base_table.clone();
+        for fk in &col.fk_path {
+            let fk_def = db
+                .foreign_keys_of(&table_name)?
+                .into_iter()
+                .find(|f| &f.attr == fk)
+                .ok_or_else(|| Error::BadJoin(format!("`{table_name}.{fk}` is not a foreign key")))?;
+            table_name = fk_def.target;
+        }
+        cards.push(db.table(&table_name)?.domain(&col.attr)?.card());
+    }
+    Ok(cards)
+}
+
+/// Sparse group-by/count for wide column sets whose dense configuration
+/// space would not fit in memory: returns only the populated
+/// configurations. One linear scan, hash-aggregated.
+pub fn counts_sparse(
+    db: &Database,
+    spec: &GroupSpec,
+) -> Result<std::collections::HashMap<Vec<u32>, u64>> {
+    let columns = materialize_codes(db, spec)?;
+    let n = db.table(&spec.base_table)?.n_rows();
+    let mut out: std::collections::HashMap<Vec<u32>, u64> = std::collections::HashMap::new();
+    let mut config = vec![0u32; columns.len()];
+    for row in 0..n {
+        for (slot, col) in config.iter_mut().zip(&columns) {
+            *slot = col[row];
+        }
+        *out.entry(config.clone()).or_insert(0) += 1;
+    }
+    Ok(out)
+}
+
+/// Runs the group-by/count: one linear scan over the base table.
+pub fn counts(db: &Database, spec: &GroupSpec) -> Result<CountTable> {
+    let cards = column_cards(db, spec)?;
+    let columns = materialize_codes(db, spec)?;
+    let size: usize = cards.iter().product::<usize>().max(1);
+    let mut table = CountTable { cards, counts: vec![0u64; size] };
+    let n = db.table(&spec.base_table)?.n_rows();
+    let mut config = vec![0u32; columns.len()];
+    for row in 0..n {
+        for (slot, col) in config.iter_mut().zip(&columns) {
+            *slot = col[row];
+        }
+        let idx = table.index_of(&config);
+        table.counts[idx] += 1;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::DatabaseBuilder;
+    use crate::table::{Cell, TableBuilder};
+
+    fn db() -> Database {
+        let mut p = TableBuilder::new("patient").key("id").col("age");
+        for (id, age) in [(1, "young"), (2, "old"), (3, "old")] {
+            p.push_row(vec![Cell::Key(id), age.into()]).unwrap();
+        }
+        let mut c = TableBuilder::new("contact").key("id").fk("patient", "patient").col("type");
+        for (id, pt, ty) in [(1, 1, "home"), (2, 2, "work"), (3, 2, "home"), (4, 3, "work")] {
+            c.push_row(vec![Cell::Key(id), Cell::Key(pt), ty.into()]).unwrap();
+        }
+        DatabaseBuilder::new()
+            .add_table(p.finish().unwrap())
+            .add_table(c.finish().unwrap())
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn local_counts_match_frequencies() {
+        let db = db();
+        let spec = GroupSpec {
+            base_table: "patient".into(),
+            cols: vec![ResolvedCol::local("age")],
+        };
+        let t = counts(&db, &spec).unwrap();
+        // Codes: "old" = 0, "young" = 1 (sorted).
+        assert_eq!(t.counts, vec![2, 1]);
+        assert_eq!(t.total(), 3);
+    }
+
+    #[test]
+    fn cross_table_counts_follow_fk() {
+        let db = db();
+        let spec = GroupSpec {
+            base_table: "contact".into(),
+            cols: vec![ResolvedCol::local("type"), ResolvedCol::via("patient", "age")],
+        };
+        let t = counts(&db, &spec).unwrap();
+        // type: home=0, work=1; age: old=0, young=1.
+        assert_eq!(t.count(&[0, 0]), 1); // contact 3
+        assert_eq!(t.count(&[0, 1]), 1); // contact 1
+        assert_eq!(t.count(&[1, 0]), 2); // contacts 2, 4
+        assert_eq!(t.count(&[1, 1]), 0);
+    }
+
+    #[test]
+    fn marginalize_sums_out_columns() {
+        let db = db();
+        let spec = GroupSpec {
+            base_table: "contact".into(),
+            cols: vec![ResolvedCol::local("type"), ResolvedCol::via("patient", "age")],
+        };
+        let t = counts(&db, &spec).unwrap();
+        let m = t.marginalize(&[0]);
+        assert_eq!(m.counts, vec![2, 2]);
+        let m2 = t.marginalize(&[1]);
+        assert_eq!(m2.counts, vec![3, 1]);
+        let all = t.marginalize(&[]);
+        assert_eq!(all.counts, vec![4]);
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let t = CountTable { cards: vec![3, 2, 4], counts: vec![0; 24] };
+        let mut config = vec![0u32; 3];
+        for idx in 0..24 {
+            t.unindex(idx, &mut config);
+            assert_eq!(t.index_of(&config), idx);
+        }
+    }
+
+    #[test]
+    fn materialized_codes_align_with_base_rows() {
+        let db = db();
+        let spec = GroupSpec {
+            base_table: "contact".into(),
+            cols: vec![ResolvedCol::via("patient", "age")],
+        };
+        let cols = materialize_codes(&db, &spec).unwrap();
+        // Contacts 1..4 → patients 1,2,2,3 → ages young, old, old, old.
+        assert_eq!(cols[0], vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn sparse_counts_agree_with_dense() {
+        let db = db();
+        let spec = GroupSpec {
+            base_table: "contact".into(),
+            cols: vec![ResolvedCol::local("type"), ResolvedCol::via("patient", "age")],
+        };
+        let dense = counts(&db, &spec).unwrap();
+        let sparse = counts_sparse(&db, &spec).unwrap();
+        assert_eq!(sparse.values().sum::<u64>(), dense.total());
+        for (config, n) in dense.nonzero() {
+            assert_eq!(sparse.get(&config), Some(&n), "config {config:?}");
+        }
+        assert_eq!(sparse.len(), dense.nonzero().count());
+    }
+
+    #[test]
+    fn nonzero_iterates_only_populated_cells() {
+        let db = db();
+        let spec = GroupSpec {
+            base_table: "contact".into(),
+            cols: vec![ResolvedCol::local("type"), ResolvedCol::via("patient", "age")],
+        };
+        let t = counts(&db, &spec).unwrap();
+        let nz: Vec<_> = t.nonzero().collect();
+        assert_eq!(nz.len(), 3);
+        assert!(nz.iter().all(|(_, n)| *n > 0));
+    }
+}

@@ -1,0 +1,446 @@
+//! Immutable, dictionary-encoded columnar tables.
+
+use std::collections::HashMap;
+
+use crate::error::{Error, Result};
+use crate::schema::{AttrDef, AttrKind, TableSchema};
+use crate::value::Value;
+
+/// The (finite, discrete) domain of a value column.
+///
+/// Codes are assigned in sorted value order, so for integer columns the code
+/// ordering matches the value ordering and range predicates translate to
+/// contiguous code intervals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Domain {
+    values: Vec<Value>,
+    index: HashMap<Value, u32>,
+}
+
+impl Domain {
+    /// Builds a domain from a set of distinct values (deduplicated and
+    /// sorted internally).
+    pub fn new(mut values: Vec<Value>) -> Self {
+        values.sort();
+        values.dedup();
+        let index = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
+        Domain { values, index }
+    }
+
+    /// Number of distinct values.
+    pub fn card(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value for a code. Panics if the code is out of range.
+    pub fn value(&self, code: u32) -> &Value {
+        &self.values[code as usize]
+    }
+
+    /// The code for a value, if it is in the domain.
+    pub fn code(&self, value: &Value) -> Option<u32> {
+        self.index.get(value).copied()
+    }
+
+    /// All values in code order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Codes whose (integer) value lies in the inclusive range
+    /// `[lo, hi]`. Unbounded ends are expressed with `None`.
+    /// Non-integer values never match.
+    pub fn codes_in_range(&self, lo: Option<i64>, hi: Option<i64>) -> Vec<u32> {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| {
+                v.as_int().is_some_and(|i| {
+                    lo.is_none_or(|l| i >= l) && hi.is_none_or(|h| i <= h)
+                })
+            })
+            .map(|(c, _)| c as u32)
+            .collect()
+    }
+}
+
+/// A fully-built column of a table.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// Primary-key column: unique `i64` values.
+    Key(Vec<i64>),
+    /// Foreign-key column: raw `i64` key values referencing another table's
+    /// primary key (resolved to row indexes by [`crate::Database`]).
+    ForeignKey(Vec<i64>),
+    /// Value column: dense dictionary codes plus the domain.
+    Value {
+        /// Per-row dictionary code.
+        codes: Vec<u32>,
+        /// Code ↔ value mapping.
+        domain: Domain,
+    },
+}
+
+/// An immutable table: schema plus columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    columns: Vec<Column>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The column at attribute index `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Dictionary codes of a value column, by attribute name.
+    pub fn codes(&self, attr: &str) -> Result<&[u32]> {
+        match self.column_by_name(attr)? {
+            Column::Value { codes, .. } => Ok(codes),
+            _ => Err(Error::WrongAttrKind {
+                table: self.schema.name.clone(),
+                attr: attr.to_owned(),
+                expected: "value",
+            }),
+        }
+    }
+
+    /// Domain of a value column, by attribute name.
+    pub fn domain(&self, attr: &str) -> Result<&Domain> {
+        match self.column_by_name(attr)? {
+            Column::Value { domain, .. } => Ok(domain),
+            _ => Err(Error::WrongAttrKind {
+                table: self.schema.name.clone(),
+                attr: attr.to_owned(),
+                expected: "value",
+            }),
+        }
+    }
+
+    /// Raw key values of the primary-key column.
+    pub fn key_values(&self) -> Option<&[i64]> {
+        let idx = self
+            .schema
+            .attrs
+            .iter()
+            .position(|a| a.kind == AttrKind::PrimaryKey)?;
+        match &self.columns[idx] {
+            Column::Key(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Raw foreign-key values of column `attr`.
+    pub fn fk_values(&self, attr: &str) -> Result<&[i64]> {
+        match self.column_by_name(attr)? {
+            Column::ForeignKey(v) => Ok(v),
+            _ => Err(Error::WrongAttrKind {
+                table: self.schema.name.clone(),
+                attr: attr.to_owned(),
+                expected: "foreign-key",
+            }),
+        }
+    }
+
+    /// The value of row `row` in value column `attr`.
+    pub fn value_at(&self, attr: &str, row: usize) -> Result<&Value> {
+        let codes = self.codes(attr)?;
+        let domain = self.domain(attr)?;
+        Ok(domain.value(codes[row]))
+    }
+
+    /// Projects the table onto a subset of its **value** attributes (keys
+    /// are dropped), preserving row order. Used to compare estimators in
+    /// the paper's Fig. 4 setting, where every method models exactly the
+    /// queried attribute subset.
+    pub fn project(&self, attrs: &[&str]) -> Result<Table> {
+        let mut schema_attrs = Vec::with_capacity(attrs.len());
+        let mut columns = Vec::with_capacity(attrs.len());
+        for a in attrs {
+            let idx = self.schema.attr_index(a).ok_or_else(|| Error::UnknownAttr {
+                table: self.schema.name.clone(),
+                attr: (*a).to_owned(),
+            })?;
+            match &self.columns[idx] {
+                Column::Value { codes, domain } => {
+                    schema_attrs.push(AttrDef { name: (*a).to_owned(), kind: AttrKind::Value });
+                    columns.push(Column::Value { codes: codes.clone(), domain: domain.clone() });
+                }
+                _ => {
+                    return Err(Error::WrongAttrKind {
+                        table: self.schema.name.clone(),
+                        attr: (*a).to_owned(),
+                        expected: "value",
+                    })
+                }
+            }
+        }
+        Ok(Table {
+            schema: TableSchema { name: self.schema.name.clone(), attrs: schema_attrs },
+            columns,
+            n_rows: self.n_rows,
+        })
+    }
+
+    fn column_by_name(&self, attr: &str) -> Result<&Column> {
+        let idx = self.schema.attr_index(attr).ok_or_else(|| Error::UnknownAttr {
+            table: self.schema.name.clone(),
+            attr: attr.to_owned(),
+        })?;
+        Ok(&self.columns[idx])
+    }
+}
+
+/// Raw per-column accumulation used while building a table.
+enum RawColumn {
+    Key(Vec<i64>),
+    ForeignKey(Vec<i64>),
+    Value(Vec<Value>),
+}
+
+/// Incrementally builds a [`Table`]; dictionaries are assigned at
+/// [`TableBuilder::finish`].
+pub struct TableBuilder {
+    name: String,
+    attrs: Vec<AttrDef>,
+    raw: Vec<RawColumn>,
+}
+
+/// A single cell passed to [`TableBuilder::push_row`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A key or foreign-key value.
+    Key(i64),
+    /// A value-column payload.
+    Val(Value),
+}
+
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::Key(v)
+    }
+}
+
+impl From<Value> for Cell {
+    fn from(v: Value) -> Self {
+        Cell::Val(v)
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(v: &str) -> Self {
+        Cell::Val(Value::from(v))
+    }
+}
+
+impl TableBuilder {
+    /// Starts a builder for table `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        TableBuilder { name: name.into(), attrs: Vec::new(), raw: Vec::new() }
+    }
+
+    /// Declares the primary-key attribute. At most one per table.
+    pub fn key(mut self, name: impl Into<String>) -> Self {
+        self.attrs.push(AttrDef { name: name.into(), kind: AttrKind::PrimaryKey });
+        self.raw.push(RawColumn::Key(Vec::new()));
+        self
+    }
+
+    /// Declares a foreign-key attribute referencing `target`'s primary key.
+    pub fn fk(mut self, name: impl Into<String>, target: impl Into<String>) -> Self {
+        self.attrs.push(AttrDef {
+            name: name.into(),
+            kind: AttrKind::ForeignKey { target: target.into() },
+        });
+        self.raw.push(RawColumn::ForeignKey(Vec::new()));
+        self
+    }
+
+    /// Declares a value attribute.
+    pub fn col(mut self, name: impl Into<String>) -> Self {
+        self.attrs.push(AttrDef { name: name.into(), kind: AttrKind::Value });
+        self.raw.push(RawColumn::Value(Vec::new()));
+        self
+    }
+
+    /// Appends a row; cells must match the declared attributes in order.
+    pub fn push_row<C: Into<Cell>>(&mut self, row: Vec<C>) -> Result<()> {
+        if row.len() != self.attrs.len() {
+            return Err(Error::ArityMismatch {
+                table: self.name.clone(),
+                expected: self.attrs.len(),
+                got: row.len(),
+            });
+        }
+        for (cell, (attr, raw)) in
+            row.into_iter().zip(self.attrs.iter().zip(self.raw.iter_mut()))
+        {
+            match (cell.into(), raw) {
+                (Cell::Key(k), RawColumn::Key(col)) => col.push(k),
+                (Cell::Key(k), RawColumn::ForeignKey(col)) => col.push(k),
+                (Cell::Val(v), RawColumn::Value(col)) => col.push(v),
+                _ => {
+                    return Err(Error::TypeMismatch {
+                        table: self.name.clone(),
+                        attr: attr.name.clone(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalizes the table: validates names and key uniqueness, builds value
+    /// dictionaries.
+    pub fn finish(self) -> Result<Table> {
+        let mut seen = std::collections::HashSet::new();
+        for a in &self.attrs {
+            if !seen.insert(a.name.clone()) {
+                return Err(Error::DuplicateName(format!("{}.{}", self.name, a.name)));
+            }
+        }
+        if self.attrs.iter().filter(|a| a.kind == AttrKind::PrimaryKey).count() > 1 {
+            return Err(Error::DuplicateName(format!("{}: multiple primary keys", self.name)));
+        }
+        let n_rows = self
+            .raw
+            .first()
+            .map(|c| match c {
+                RawColumn::Key(v) | RawColumn::ForeignKey(v) => v.len(),
+                RawColumn::Value(v) => v.len(),
+            })
+            .unwrap_or(0);
+
+        let mut columns = Vec::with_capacity(self.raw.len());
+        for (attr, raw) in self.attrs.iter().zip(self.raw) {
+            match raw {
+                RawColumn::Key(keys) => {
+                    let mut uniq = std::collections::HashSet::with_capacity(keys.len());
+                    for &k in &keys {
+                        if !uniq.insert(k) {
+                            return Err(Error::DuplicateKey {
+                                table: self.name.clone(),
+                                key: k,
+                            });
+                        }
+                    }
+                    columns.push(Column::Key(keys));
+                }
+                RawColumn::ForeignKey(keys) => columns.push(Column::ForeignKey(keys)),
+                RawColumn::Value(values) => {
+                    if let Some(first) = values.first() {
+                        if values.iter().any(|v| !v.same_type(first)) {
+                            return Err(Error::TypeMismatch {
+                                table: self.name.clone(),
+                                attr: attr.name.clone(),
+                            });
+                        }
+                    }
+                    let domain = Domain::new(values.clone());
+                    let codes = values
+                        .iter()
+                        .map(|v| domain.code(v).expect("value present in freshly built domain"))
+                        .collect();
+                    columns.push(Column::Value { codes, domain });
+                }
+            }
+        }
+        Ok(Table {
+            schema: TableSchema { name: self.name, attrs: self.attrs },
+            columns,
+            n_rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> Table {
+        let mut b = TableBuilder::new("people").key("id").col("income").col("age");
+        b.push_row(vec![Cell::Key(1), "low".into(), Cell::Val(Value::Int(30))]).unwrap();
+        b.push_row(vec![Cell::Key(2), "high".into(), Cell::Val(Value::Int(40))]).unwrap();
+        b.push_row(vec![Cell::Key(3), "low".into(), Cell::Val(Value::Int(30))]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builds_dictionary_encoded_columns() {
+        let t = people();
+        assert_eq!(t.n_rows(), 3);
+        let dom = t.domain("income").unwrap();
+        assert_eq!(dom.card(), 2);
+        // Sorted order: "high" < "low".
+        assert_eq!(dom.value(0), &Value::from("high"));
+        assert_eq!(t.codes("income").unwrap(), &[1, 0, 1]);
+    }
+
+    #[test]
+    fn integer_domains_are_code_ordered() {
+        let t = people();
+        let dom = t.domain("age").unwrap();
+        assert_eq!(dom.values(), &[Value::Int(30), Value::Int(40)]);
+        assert_eq!(dom.codes_in_range(Some(35), None), vec![1]);
+        assert_eq!(dom.codes_in_range(None, None), vec![0, 1]);
+        assert_eq!(dom.codes_in_range(Some(50), Some(60)), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn duplicate_primary_key_rejected() {
+        let mut b = TableBuilder::new("t").key("id").col("x");
+        b.push_row(vec![Cell::Key(1), "a".into()]).unwrap();
+        b.push_row(vec![Cell::Key(1), "b".into()]).unwrap();
+        assert!(matches!(b.finish(), Err(Error::DuplicateKey { .. })));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut b = TableBuilder::new("t").key("id").col("x");
+        let err = b.push_row(vec![Cell::Key(1)]);
+        assert!(matches!(err, Err(Error::ArityMismatch { expected: 2, got: 1, .. })));
+    }
+
+    #[test]
+    fn mixed_types_rejected() {
+        let mut b = TableBuilder::new("t").col("x");
+        b.push_row(vec![Cell::Val(Value::Int(1))]).unwrap();
+        b.push_row(vec![Cell::Val(Value::from("a"))]).unwrap();
+        assert!(matches!(b.finish(), Err(Error::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn key_column_accessors() {
+        let t = people();
+        assert_eq!(t.key_values(), Some(&[1i64, 2, 3][..]));
+        assert!(t.codes("id").is_err());
+        assert!(t.fk_values("income").is_err());
+    }
+
+    #[test]
+    fn value_at_reads_through_dictionary() {
+        let t = people();
+        assert_eq!(t.value_at("income", 1).unwrap(), &Value::from("high"));
+    }
+}

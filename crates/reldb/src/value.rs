@@ -1,0 +1,103 @@
+//! Scalar values stored in value (non-key) columns.
+
+use std::fmt;
+
+/// A scalar cell value.
+///
+/// The paper works over small categorical or discretized ordinal domains, so
+/// two payload types suffice: integers (ordinal — range predicates apply)
+/// and symbols (nominal). Keys are *not* `Value`s; they are `i64` and live in
+/// dedicated key columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// Ordinal value; range predicates are meaningful.
+    Int(i64),
+    /// Nominal value; only (in)equality is meaningful.
+    Str(String),
+}
+
+impl Value {
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+
+    /// True if both values have the same payload type.
+    pub fn same_type(&self, other: &Value) -> bool {
+        matches!(
+            (self, other),
+            (Value::Int(_), Value::Int(_)) | (Value::Str(_), Value::Str(_))
+        )
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Value::from(7).as_int(), Some(7));
+        assert_eq!(Value::from("low").as_str(), Some("low"));
+        assert_eq!(Value::from(7).as_str(), None);
+        assert_eq!(Value::from("low").as_int(), None);
+    }
+
+    #[test]
+    fn same_type_distinguishes_payloads() {
+        assert!(Value::from(1).same_type(&Value::from(2)));
+        assert!(Value::from("a").same_type(&Value::from("b")));
+        assert!(!Value::from(1).same_type(&Value::from("b")));
+    }
+
+    #[test]
+    fn ordering_is_total_within_ints() {
+        let mut vals = vec![Value::from(3), Value::from(1), Value::from(2)];
+        vals.sort();
+        assert_eq!(vals, vec![Value::from(1), Value::from(2), Value::from(3)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::from(42).to_string(), "42");
+        assert_eq!(Value::from("yes").to_string(), "yes");
+    }
+}

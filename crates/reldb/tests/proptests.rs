@@ -1,0 +1,179 @@
+//! Property-based tests: the linear-time join-tree executor must agree
+//! with brute-force nested-loop evaluation on arbitrary databases and
+//! queries, and the core encodings must round-trip.
+
+use proptest::prelude::*;
+use reldb::{
+    result_size, result_size_bruteforce, Cell, Database, DatabaseBuilder, Domain,
+    Query, TableBuilder, Value,
+};
+
+/// A random two-table database: parent(x), child(fk → parent, y).
+fn arb_db() -> impl Strategy<Value = Database> {
+    (
+        1usize..8,                                  // parent rows
+        proptest::collection::vec(0u32..4, 1..40),  // child rows: fk choice seeds
+        proptest::collection::vec(0u32..3, 1..40),  // child y codes
+        proptest::collection::vec(0u32..3, 1..8),   // parent x codes
+    )
+        .prop_map(|(n_parent, fk_seeds, ys, xs)| {
+            let mut p = TableBuilder::new("parent").key("id").col("x");
+            for i in 0..n_parent {
+                let x = xs[i % xs.len()];
+                p.push_row(vec![Cell::Key(i as i64), Cell::Val(Value::Int(x as i64))])
+                    .unwrap();
+            }
+            let n_child = fk_seeds.len().min(ys.len());
+            let mut c = TableBuilder::new("child").key("id").fk("parent", "parent").col("y");
+            for i in 0..n_child {
+                let target = (fk_seeds[i] as usize) % n_parent;
+                c.push_row(vec![
+                    Cell::Key(i as i64),
+                    Cell::Key(target as i64),
+                    Cell::Val(Value::Int(ys[i] as i64)),
+                ])
+                .unwrap();
+            }
+            DatabaseBuilder::new()
+                .add_table(p.finish().unwrap())
+                .add_table(c.finish().unwrap())
+                .finish()
+                .unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn executor_matches_bruteforce_on_join_queries(
+        db in arb_db(),
+        x in 0i64..3,
+        y in 0i64..3,
+    ) {
+        let mut b = Query::builder();
+        let c = b.var("child");
+        let p = b.var("parent");
+        b.join(c, "parent", p).eq(p, "x", x).eq(c, "y", y);
+        let q = b.build();
+        prop_assert_eq!(
+            result_size(&db, &q).unwrap(),
+            result_size_bruteforce(&db, &q).unwrap()
+        );
+    }
+
+    #[test]
+    fn executor_matches_bruteforce_on_star_queries(
+        db in arb_db(),
+        y1 in 0i64..3,
+        y2 in 0i64..3,
+    ) {
+        // Two child variables sharing one parent variable.
+        let mut b = Query::builder();
+        let c1 = b.var("child");
+        let c2 = b.var("child");
+        let p = b.var("parent");
+        b.join(c1, "parent", p).join(c2, "parent", p).eq(c1, "y", y1).eq(c2, "y", y2);
+        let q = b.build();
+        prop_assert_eq!(
+            result_size(&db, &q).unwrap(),
+            result_size_bruteforce(&db, &q).unwrap()
+        );
+    }
+
+    #[test]
+    fn executor_matches_bruteforce_on_cross_products(
+        db in arb_db(),
+        x in 0i64..3,
+    ) {
+        let mut b = Query::builder();
+        let p1 = b.var("parent");
+        let _p2 = b.var("parent");
+        b.eq(p1, "x", x);
+        let q = b.build();
+        prop_assert_eq!(
+            result_size(&db, &q).unwrap(),
+            result_size_bruteforce(&db, &q).unwrap()
+        );
+    }
+
+    #[test]
+    fn range_equals_explicit_in_set(db in arb_db(), lo in 0i64..3, width in 0i64..3) {
+        let hi = lo + width;
+        let mut b1 = Query::builder();
+        let c1 = b1.var("child");
+        b1.range(c1, "y", Some(lo), Some(hi));
+        let mut b2 = Query::builder();
+        let c2 = b2.var("child");
+        b2.isin(c2, "y", (lo..=hi).map(Value::Int).collect());
+        prop_assert_eq!(
+            result_size(&db, &b1.build()).unwrap(),
+            result_size(&db, &b2.build()).unwrap()
+        );
+    }
+
+    #[test]
+    fn domain_round_trips(values in proptest::collection::vec(-50i64..50, 1..30)) {
+        let domain = Domain::new(values.iter().copied().map(Value::Int).collect());
+        for code in 0..domain.card() as u32 {
+            let v = domain.value(code).clone();
+            prop_assert_eq!(domain.code(&v), Some(code));
+        }
+        // Codes are sorted by value for integers.
+        for w in 0..domain.card().saturating_sub(1) as u32 {
+            prop_assert!(domain.value(w) < domain.value(w + 1));
+        }
+    }
+
+    #[test]
+    fn unconstrained_join_equals_child_count(db in arb_db()) {
+        // Referential integrity: |child ⋈ parent| == |child|.
+        let mut b = Query::builder();
+        let c = b.var("child");
+        let p = b.var("parent");
+        b.join(c, "parent", p);
+        let n_child = db.table("child").unwrap().n_rows() as u64;
+        prop_assert_eq!(result_size(&db, &b.build()).unwrap(), n_child);
+    }
+
+    #[test]
+    fn sql_rendering_round_trips_random_queries(
+        db in arb_db(),
+        x in 0i64..3,
+        lo in 0i64..3,
+        width in 0i64..2,
+    ) {
+        let mut b = Query::builder();
+        let c = b.var("child");
+        let p = b.var("parent");
+        b.join(c, "parent", p)
+            .eq(p, "x", x)
+            .range(c, "y", Some(lo), Some(lo + width))
+            .isin(c, "y", vec![Value::Int(0), Value::Int(2)]);
+        let q = b.build();
+        let rendered = reldb::to_sql(&q);
+        let reparsed = reldb::parse_query(&rendered).unwrap();
+        prop_assert_eq!(&q, &reparsed, "rendered: {}", rendered);
+        // And both evaluate identically.
+        prop_assert_eq!(
+            result_size(&db, &q).unwrap(),
+            result_size(&db, &reparsed).unwrap()
+        );
+    }
+
+    #[test]
+    fn groupby_counts_sum_to_rows(db in arb_db()) {
+        let spec = reldb::GroupSpec {
+            base_table: "child".into(),
+            cols: vec![
+                reldb::ResolvedCol::local("y"),
+                reldb::ResolvedCol::via("parent", "x"),
+            ],
+        };
+        let counts = reldb::stats::counts(&db, &spec).unwrap();
+        prop_assert_eq!(counts.total(), db.table("child").unwrap().n_rows() as u64);
+        // Marginalizing preserves totals.
+        prop_assert_eq!(counts.marginalize(&[0]).total(), counts.total());
+        prop_assert_eq!(counts.marginalize(&[]).total(), counts.total());
+    }
+}

@@ -1,0 +1,266 @@
+//! Synthetic Census dataset.
+//!
+//! Mirrors the 1993 CPS extract the paper uses: a single table with the
+//! attribute names of Fig. 2(a) and the domain sizes listed in §2.2
+//! (18, 9, 17, 7, 24, 5, 2, 3, 3, 3, 42, 4) plus `HoursPerWeek` (12),
+//! which the Fig. 4 query suites reference. Rows are sampled from a
+//! hand-specified ground-truth Bayesian network whose structure echoes the
+//! learned network of Fig. 2(a): income is driven by education and age,
+//! children by income/age/marital status, and so on — so the data contains
+//! exactly the kind of conditional-independence structure the estimators
+//! compete on.
+
+use bayesnet::cpd::TableCpd;
+use bayesnet::sample::sample_columns;
+use bayesnet::BayesNet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reldb::{Database, DatabaseBuilder, Table, TableBuilder, Value};
+
+/// Attribute names and domain sizes, in column order.
+pub const ATTRS: &[(&str, usize)] = &[
+    ("age", 18),
+    ("worker_class", 9),
+    ("education", 17),
+    ("marital_status", 7),
+    ("industry", 24),
+    ("race", 5),
+    ("sex", 2),
+    ("child_support", 3),
+    ("earner", 3),
+    ("children", 3),
+    ("income", 42),
+    ("employ_type", 4),
+    ("hours_per_week", 12),
+];
+
+/// Index of an attribute within [`ATTRS`].
+fn idx(name: &str) -> usize {
+    ATTRS.iter().position(|&(n, _)| n == name).expect("known attribute")
+}
+
+/// The ground-truth generator network.
+///
+/// CPDs are generated procedurally: each family's distribution is a
+/// softmax-like ramp whose mode moves with the parent codes, giving strong
+/// but noisy dependencies (correlations well above what the
+/// attribute-value-independence assumption can capture).
+pub fn census_bn() -> BayesNet {
+    let names: Vec<String> = ATTRS.iter().map(|&(n, _)| n.to_owned()).collect();
+    let cards: Vec<usize> = ATTRS.iter().map(|&(_, c)| c).collect();
+    let mut bn = BayesNet::new(names, cards);
+
+    let card = |name: &str| ATTRS[idx(name)].1;
+
+    // Roots.
+    set(&mut bn, "age", &[], |child, _| {
+        // Working-age bulge.
+        let x = child as f64;
+        (-(x - 7.0).powi(2) / 18.0).exp() + 0.05
+    });
+    set(&mut bn, "sex", &[], |child, _| if child == 0 { 0.52 } else { 0.48 });
+    set(&mut bn, "race", &[], |child, _| [0.62, 0.17, 0.11, 0.06, 0.04][child as usize]);
+
+    // education ← age: older cohorts skew lower, prime-age higher.
+    set(&mut bn, "education", &["age"], |child, pa| {
+        let target = 4.0 + 0.9 * (pa[0] as f64).min(10.0);
+        ramp(child, card("education"), target, 3.0)
+    });
+    // marital_status ← age.
+    set(&mut bn, "marital_status", &["age"], |child, pa| {
+        let age = pa[0] as f64;
+        let target = if age < 4.0 { 0.5 } else { 1.5 + age / 5.0 };
+        ramp(child, card("marital_status"), target, 1.2)
+    });
+    // worker_class ← education.
+    set(&mut bn, "worker_class", &["education"], |child, pa| {
+        let target = (pa[0] as f64) / 2.2;
+        ramp(child, card("worker_class"), target, 1.5)
+    });
+    // industry ← worker_class.
+    set(&mut bn, "industry", &["worker_class"], |child, pa| {
+        let target = 2.0 + (pa[0] as f64) * 2.4;
+        ramp(child, card("industry"), target, 3.0)
+    });
+    // income ← education, age: the paper's headline correlation.
+    set(&mut bn, "income", &["education", "age"], |child, pa| {
+        let edu = pa[0] as f64;
+        let age = pa[1] as f64;
+        let peak = 10.0f64.min(age) / 10.0; // earnings peak mid-career
+        let target = 2.0 + 1.9 * edu * peak;
+        ramp(child, card("income"), target, 4.0)
+    });
+    // employ_type ← worker_class.
+    set(&mut bn, "employ_type", &["worker_class"], |child, pa| {
+        let target = (pa[0] as f64) / 2.5;
+        ramp(child, card("employ_type"), target, 0.8)
+    });
+    // earner ← income.
+    set(&mut bn, "earner", &["income"], |child, pa| {
+        let target = (pa[0] as f64) / 16.0;
+        ramp(child, card("earner"), target, 0.6)
+    });
+    // child_support ← marital_status.
+    set(&mut bn, "child_support", &["marital_status"], |child, pa| {
+        let target = if pa[0] >= 2 && pa[0] <= 4 { 1.3 } else { 0.2 };
+        ramp(child, card("child_support"), target, 0.7)
+    });
+    // children ← income, age, marital_status (Fig. 2(b)'s family).
+    set(&mut bn, "children", &["income", "age", "marital_status"], |child, pa| {
+        let income = pa[0] as f64;
+        let age = pa[1] as f64;
+        let married = (1..=3).contains(&pa[2]);
+        let has_kids = if !(3.0..=13.0).contains(&age) {
+            0.1
+        } else if married {
+            0.55 + income / 120.0
+        } else {
+            0.25
+        };
+        match child {
+            0 => 1.0 - has_kids, // none
+            1 => has_kids * 0.7, // yes
+            _ => has_kids * 0.3, // N/A-style bucket
+        }
+    });
+    // hours_per_week ← worker_class, income.
+    set(&mut bn, "hours_per_week", &["worker_class", "income"], |child, pa| {
+        let target = 3.0 + (pa[0] as f64) / 2.0 + (pa[1] as f64) / 8.0;
+        ramp(child, card("hours_per_week"), target, 1.8)
+    });
+    bn
+}
+
+/// Discretized bell over `0..card` centred at `target`.
+fn ramp(child: u32, card: usize, target: f64, width: f64) -> f64 {
+    let _ = card;
+    let x = child as f64;
+    (-(x - target).powi(2) / (2.0 * width * width)).exp() + 0.01
+}
+
+fn set(bn: &mut BayesNet, child: &str, parents: &[&str], w: impl Fn(u32, &[u32]) -> f64) {
+    let c = idx(child);
+    let ps: Vec<usize> = parents.iter().map(|p| idx(p)).collect();
+    let child_card = ATTRS[c].1;
+    let parent_cards: Vec<usize> = ps.iter().map(|&p| ATTRS[p].1).collect();
+    let rows: usize = parent_cards.iter().product::<usize>().max(1);
+    let mut probs = Vec::with_capacity(rows * child_card);
+    let mut pa = vec![0u32; ps.len()];
+    for row in 0..rows {
+        let mut rem = row;
+        for (slot, &pc) in pa.iter_mut().zip(&parent_cards).rev() {
+            *slot = (rem % pc) as u32;
+            rem /= pc;
+        }
+        // `pa` currently decodes with the last parent fastest; reverse
+        // loop above fills in reverse order, which is exactly row-major.
+        let weights: Vec<f64> = (0..child_card as u32).map(|v| w(v, &pa).max(1e-9)).collect();
+        let total: f64 = weights.iter().sum();
+        probs.extend(weights.into_iter().map(|x| x / total));
+    }
+    bn.set_family(c, &ps, TableCpd::new(child_card, parent_cards, probs).into());
+}
+
+/// Generates the Census table with `n_rows` rows.
+pub fn census_table(n_rows: usize, seed: u64) -> Table {
+    let bn = census_bn();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cols = sample_columns(&bn, n_rows, &mut rng);
+    let mut builder = TableBuilder::new("census");
+    for &(name, _) in ATTRS {
+        builder = builder.col(name);
+    }
+    let mut row = Vec::with_capacity(ATTRS.len());
+    for r in 0..n_rows {
+        row.clear();
+        for col in &cols {
+            row.push(Value::Int(col[r] as i64));
+        }
+        builder.push_row(row.clone()).expect("arity matches ATTRS");
+    }
+    ensure_full_domains(builder).expect("census table builds")
+}
+
+/// A database containing just the Census table.
+pub fn census_database(n_rows: usize, seed: u64) -> Database {
+    DatabaseBuilder::new()
+        .add_table(census_table(n_rows, seed))
+        .finish()
+        .expect("single-table database is always consistent")
+}
+
+/// Appends one synthetic row per attribute value so every declared domain
+/// value appears at least once (keeps dictionary codes aligned with the
+/// generator's code space). The padding rows are a negligible fraction of
+/// the data (≤ 42 rows out of 150K).
+fn ensure_full_domains(mut builder: TableBuilder) -> reldb::Result<Table> {
+    let max_card = ATTRS.iter().map(|&(_, c)| c).max().expect("non-empty ATTRS");
+    for v in 0..max_card {
+        let row: Vec<Value> = ATTRS
+            .iter()
+            .map(|&(_, card)| Value::Int((v % card) as i64))
+            .collect();
+        builder.push_row(row)?;
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_declared_shape() {
+        let t = census_table(2000, 1);
+        assert_eq!(t.schema().value_attrs().len(), ATTRS.len());
+        for &(name, card) in ATTRS {
+            assert_eq!(t.domain(name).unwrap().card(), card, "{name}");
+        }
+        assert!(t.n_rows() >= 2000);
+    }
+
+    #[test]
+    fn codes_equal_values_for_all_attributes() {
+        // Domains are 0..card, so dictionary code == integer value.
+        let t = census_table(500, 2);
+        let dom = t.domain("income").unwrap();
+        for c in 0..dom.card() as u32 {
+            assert_eq!(dom.value(c), &Value::Int(c as i64));
+        }
+    }
+
+    #[test]
+    fn education_income_are_strongly_correlated() {
+        let t = census_table(20_000, 3);
+        let edu = t.codes("education").unwrap();
+        let inc = t.codes("income").unwrap();
+        // Mean income for low vs high education.
+        let mean = |pred: &dyn Fn(u32) -> bool| {
+            let (mut s, mut n) = (0f64, 0f64);
+            for (&e, &i) in edu.iter().zip(inc) {
+                if pred(e) {
+                    s += i as f64;
+                    n += 1.0;
+                }
+            }
+            s / n.max(1.0)
+        };
+        let low = mean(&|e| e < 5);
+        let high = mean(&|e| e >= 12);
+        assert!(high > low + 5.0, "low={low} high={high}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = census_table(300, 9);
+        let b = census_table(300, 9);
+        assert_eq!(a.codes("income").unwrap(), b.codes("income").unwrap());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = census_table(300, 1);
+        let b = census_table(300, 2);
+        assert_ne!(a.codes("income").unwrap(), b.codes("income").unwrap());
+    }
+}

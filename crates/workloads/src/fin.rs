@@ -1,0 +1,331 @@
+//! Synthetic financial database (PKDD'99 shape).
+//!
+//! Three tables with the paper's cardinalities: `district` (77 rows),
+//! `account` (4.5K rows, FK → district) and `transaction` (106K rows,
+//! FK → account). Correlations run down the FK chain: a district's wealth
+//! drives its accounts' statement frequency, which in turn drives the
+//! number, type and size of transactions — so select-join estimates that
+//! assume join uniformity or attribute independence go wrong in exactly
+//! the ways §5's FIN experiments probe.
+
+use bayesnet::sample::sample_categorical;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reldb::{Cell, Database, DatabaseBuilder, Value};
+
+/// Row counts matching the paper.
+pub const N_DISTRICTS: usize = 77;
+/// Accounts in the paper's FIN dataset.
+pub const N_ACCOUNTS: usize = 4_500;
+/// Transactions in the paper's FIN dataset.
+pub const N_TRANSACTIONS: usize = 106_000;
+
+/// Builds the FIN database with the paper's cardinalities.
+pub fn fin_database(seed: u64) -> Database {
+    fin_database_sized(N_DISTRICTS, N_ACCOUNTS, N_TRANSACTIONS, seed)
+}
+
+/// Builds a FIN-shaped database with custom row counts.
+pub fn fin_database_sized(
+    n_districts: usize,
+    n_accounts: usize,
+    n_transactions: usize,
+    seed: u64,
+) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // ---- district(district_id, region, avg_salary, urban) ----
+    let mut district_salary = Vec::with_capacity(n_districts);
+    let mut district_builder = reldb::TableBuilder::new("district")
+        .key("district_id")
+        .col("region")
+        .col("avg_salary")
+        .col("urban");
+    for d in 0..n_districts {
+        let region = rng.gen_range(0..8i64);
+        // Wealth depends on region (capital region is richest).
+        let salary_weights = match region {
+            0 => [0.05, 0.15, 0.35, 0.45],
+            1 | 2 => [0.15, 0.35, 0.35, 0.15],
+            _ => [0.35, 0.4, 0.2, 0.05],
+        };
+        let salary = sample_categorical(&salary_weights, &mut rng);
+        district_salary.push(salary);
+        let urban_weights = match salary {
+            3 => [0.1, 0.3, 0.6],
+            2 => [0.3, 0.4, 0.3],
+            _ => [0.55, 0.35, 0.1],
+        };
+        let urban = sample_categorical(&urban_weights, &mut rng) as i64;
+        district_builder
+            .push_row(vec![
+                Cell::Key(d as i64),
+                Cell::Val(Value::Int(region)),
+                Cell::Val(Value::Int(salary as i64)),
+                Cell::Val(Value::Int(urban)),
+            ])
+            .expect("district row arity");
+    }
+
+    // ---- account(account_id, district fk, frequency, opened) ----
+    // Wealthy districts host more accounts.
+    let district_weights: Vec<f64> =
+        district_salary.iter().map(|&s| 1.0 + s as f64).collect();
+    let mut account_freq = Vec::with_capacity(n_accounts);
+    let mut account_district = Vec::with_capacity(n_accounts);
+    let mut account_builder = reldb::TableBuilder::new("account")
+        .key("account_id")
+        .fk("district", "district")
+        .col("frequency")
+        .col("opened");
+    for a in 0..n_accounts {
+        let d = sample_categorical(&district_weights, &mut rng) as usize;
+        account_district.push(d);
+        // frequency: 0 monthly, 1 weekly, 2 after-transaction; wealthier
+        // districts skew to high-frequency statements.
+        let freq_weights = match district_salary[d] {
+            3 => [0.3, 0.4, 0.3],
+            2 => [0.5, 0.35, 0.15],
+            _ => [0.75, 0.2, 0.05],
+        };
+        let freq = sample_categorical(&freq_weights, &mut rng);
+        account_freq.push(freq);
+        let opened = rng.gen_range(0..5i64);
+        account_builder
+            .push_row(vec![
+                Cell::Key(a as i64),
+                Cell::Key(d as i64),
+                Cell::Val(Value::Int(freq as i64)),
+                Cell::Val(Value::Int(opened)),
+            ])
+            .expect("account row arity");
+    }
+
+    // ---- transaction(trans_id, account fk, ttype, operation, amount, balance) ----
+    // Busy accounts (high frequency) produce many more transactions.
+    let account_weights: Vec<f64> = account_freq
+        .iter()
+        .map(|&f| match f {
+            2 => 5.0,
+            1 => 2.5,
+            _ => 1.0,
+        })
+        .collect();
+    let mut tx_builder = reldb::TableBuilder::new("transaction")
+        .key("trans_id")
+        .fk("account", "account")
+        .col("ttype")
+        .col("operation")
+        .col("amount")
+        .col("balance");
+    for t in 0..n_transactions {
+        let a = sample_categorical(&account_weights, &mut rng) as usize;
+        let freq = account_freq[a];
+        let salary = district_salary[account_district[a]];
+        // ttype: 0 credit, 1 debit, 2 transfer.
+        let type_weights = match freq {
+            2 => [0.25, 0.45, 0.3],
+            1 => [0.35, 0.45, 0.2],
+            _ => [0.5, 0.42, 0.08],
+        };
+        let ttype = sample_categorical(&type_weights, &mut rng) as i64;
+        // operation: 5 kinds, correlated with type.
+        let op_weights: [f64; 5] = match ttype {
+            0 => [0.5, 0.3, 0.1, 0.05, 0.05],
+            1 => [0.05, 0.15, 0.4, 0.3, 0.1],
+            _ => [0.05, 0.05, 0.15, 0.25, 0.5],
+        };
+        let operation = sample_categorical(&op_weights, &mut rng) as i64;
+        // amount bucket grows with district wealth.
+        let amount_target = 1.0 + salary as f64;
+        let amount_weights: Vec<f64> = (0..5)
+            .map(|b| (-(b as f64 - amount_target).powi(2) / 2.0).exp() + 0.02)
+            .collect();
+        let amount = sample_categorical(&amount_weights, &mut rng) as i64;
+        // balance bucket correlates with amount and wealth.
+        let balance_target = (amount as f64 + salary as f64) / 2.0 + 1.0;
+        let balance_weights: Vec<f64> = (0..5)
+            .map(|b| (-(b as f64 - balance_target).powi(2) / 2.5).exp() + 0.02)
+            .collect();
+        let balance = sample_categorical(&balance_weights, &mut rng) as i64;
+        tx_builder
+            .push_row(vec![
+                Cell::Key(t as i64),
+                Cell::Key(a as i64),
+                Cell::Val(Value::Int(ttype)),
+                Cell::Val(Value::Int(operation)),
+                Cell::Val(Value::Int(amount)),
+                Cell::Val(Value::Int(balance)),
+            ])
+            .expect("transaction row arity");
+    }
+
+    DatabaseBuilder::new()
+        .add_table(district_builder.finish().expect("district table"))
+        .add_table(account_builder.finish().expect("account table"))
+        .add_table(tx_builder.finish().expect("transaction table"))
+        .finish()
+        .expect("referential integrity holds by construction")
+}
+
+/// Like [`fin_database_sized`] plus the PKDD'99 `card` table: cards
+/// attach to accounts (busy, high-frequency accounts hold more cards) and
+/// card type (0 junior, 1 classic, 2 gold) tracks the district's wealth —
+/// a second child table whose skew correlates with the transaction skew,
+/// giving 4-table join workloads their bite.
+///
+/// The base three tables are byte-identical to [`fin_database_sized`] for
+/// the same seed (the card generator uses a decorrelated RNG stream).
+pub fn fin_database_with_cards(
+    n_districts: usize,
+    n_accounts: usize,
+    n_transactions: usize,
+    n_cards: usize,
+    seed: u64,
+) -> Database {
+    let base = fin_database_sized(n_districts, n_accounts, n_transactions, seed);
+    let account = base.table("account").expect("account");
+    let district = base.table("district").expect("district");
+    let freq_codes = account.codes("frequency").expect("frequency").to_vec();
+    let salary_codes = district.codes("avg_salary").expect("avg_salary").to_vec();
+    let acc_to_dist = base.fk_target_rows("account", "district").expect("fk").to_vec();
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xCA7D_CA7D);
+    let account_weights: Vec<f64> = freq_codes
+        .iter()
+        .map(|&f| match f {
+            2 => 4.0,
+            1 => 2.0,
+            _ => 1.0,
+        })
+        .collect();
+    let mut card_builder = reldb::TableBuilder::new("card")
+        .key("card_id")
+        .fk("account", "account")
+        .col("ctype");
+    for c in 0..n_cards {
+        let a = sample_categorical(&account_weights, &mut rng) as usize;
+        let salary = salary_codes[acc_to_dist[a] as usize];
+        let type_weights = match salary {
+            3 => [0.1, 0.4, 0.5],
+            2 => [0.2, 0.5, 0.3],
+            _ => [0.4, 0.5, 0.1],
+        };
+        let ctype = sample_categorical(&type_weights, &mut rng) as i64;
+        card_builder
+            .push_row(vec![
+                Cell::Key(c as i64),
+                Cell::Key(a as i64),
+                Cell::Val(Value::Int(ctype)),
+            ])
+            .expect("card row arity");
+    }
+    let mut builder = DatabaseBuilder::new();
+    for t in base.tables() {
+        builder = builder.add_table(t.clone());
+    }
+    builder
+        .add_table(card_builder.finish().expect("card table"))
+        .finish()
+        .expect("referential integrity holds by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_the_paper() {
+        let db = fin_database_sized(77, 450, 5_000, 1);
+        assert_eq!(db.table("district").unwrap().n_rows(), 77);
+        assert_eq!(db.table("account").unwrap().n_rows(), 450);
+        assert_eq!(db.table("transaction").unwrap().n_rows(), 5_000);
+    }
+
+    #[test]
+    fn transaction_count_skews_to_busy_accounts() {
+        let db = fin_database_sized(77, 500, 20_000, 2);
+        let account = db.table("account").unwrap();
+        let freq = account.codes("frequency").unwrap();
+        let mut counts = vec![0usize; account.n_rows()];
+        for &a in db.fk_target_rows("transaction", "account").unwrap() {
+            counts[a as usize] += 1;
+        }
+        let avg = |f: u32| {
+            let (mut s, mut n) = (0.0f64, 0.0f64);
+            for (row, &fr) in freq.iter().enumerate() {
+                if fr == f {
+                    s += counts[row] as f64;
+                    n += 1.0;
+                }
+            }
+            s / n.max(1.0)
+        };
+        assert!(avg(2) > 2.0 * avg(0), "busy={} lazy={}", avg(2), avg(0));
+    }
+
+    #[test]
+    fn amount_correlates_with_district_wealth_through_two_hops() {
+        let db = fin_database_sized(77, 800, 30_000, 3);
+        let tx = db.table("transaction").unwrap();
+        let district = db.table("district").unwrap();
+        let amount = tx.codes("amount").unwrap();
+        let salary = district.codes("avg_salary").unwrap();
+        let tx_to_acc = db.fk_target_rows("transaction", "account").unwrap();
+        let acc_to_dist = db.fk_target_rows("account", "district").unwrap();
+        let mean_amount = |rich: bool| {
+            let (mut s, mut n) = (0.0f64, 0.0f64);
+            for (row, &a) in tx_to_acc.iter().enumerate() {
+                let d = acc_to_dist[a as usize] as usize;
+                if (salary[d] >= 2) == rich {
+                    s += amount[row] as f64;
+                    n += 1.0;
+                }
+            }
+            s / n.max(1.0)
+        };
+        assert!(mean_amount(true) > mean_amount(false) + 0.5);
+    }
+
+    #[test]
+    fn card_table_extends_without_perturbing_the_base() {
+        let base = fin_database_sized(20, 100, 1000, 5);
+        let with_cards = fin_database_with_cards(20, 100, 1000, 400, 5);
+        assert_eq!(
+            base.table("transaction").unwrap().codes("amount").unwrap(),
+            with_cards.table("transaction").unwrap().codes("amount").unwrap()
+        );
+        assert_eq!(with_cards.table("card").unwrap().n_rows(), 400);
+        // Gold cards concentrate in wealthy districts.
+        let card = with_cards.table("card").unwrap();
+        let district = with_cards.table("district").unwrap();
+        let ctype = card.codes("ctype").unwrap();
+        let salary = district.codes("avg_salary").unwrap();
+        let card_to_acc = with_cards.fk_target_rows("card", "account").unwrap();
+        let acc_to_dist = with_cards.fk_target_rows("account", "district").unwrap();
+        let gold_frac = |rich: bool| {
+            let (mut g, mut n) = (0.0f64, 0.0f64);
+            for (row, &a) in card_to_acc.iter().enumerate() {
+                let d = acc_to_dist[a as usize] as usize;
+                if (salary[d] >= 2) == rich {
+                    n += 1.0;
+                    if ctype[row] == 2 {
+                        g += 1.0;
+                    }
+                }
+            }
+            g / n.max(1.0)
+        };
+        assert!(gold_frac(true) > gold_frac(false));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = fin_database_sized(20, 100, 1000, 5);
+        let b = fin_database_sized(20, 100, 1000, 5);
+        assert_eq!(
+            a.table("transaction").unwrap().codes("amount").unwrap(),
+            b.table("transaction").unwrap().codes("amount").unwrap()
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! # workloads — synthetic datasets and query suites for the evaluation
+//!
+//! The paper evaluates on three proprietary datasets (a 1993 Census CPS
+//! extract, the San Francisco tuberculosis patient database, and the
+//! PKDD'99 financial database). None is redistributable, so this crate
+//! reproduces each as a **seeded synthetic generator** with the schema,
+//! cardinalities, and — crucially — the specific correlation and join-skew
+//! structure the paper describes (see `DESIGN.md` §4 for the substitution
+//! argument).
+//!
+//! * [`census`] — single 150K-row table, 13 attributes with the paper's
+//!   domain sizes, generated from a hand-specified ground-truth Bayesian
+//!   network with strong conditional-independence structure.
+//! * [`tb`] — Strain (2K) ← Patient (2.5K) ← Contact (19K), with
+//!   join-indicator skew (US-born patients cluster on non-unique strains),
+//!   contact-count skew by patient age, and cross-table attribute
+//!   correlations.
+//! * [`fin`] — District (77) ← Account (4.5K) ← Transaction (106K), with
+//!   fk-chain correlations and per-account transaction-count skew.
+//! * [`suites`] — exhaustive equality query suites over attribute subsets
+//!   and select-join suites over table chains, as used in Figs. 4–6.
+
+pub mod census;
+pub mod fin;
+pub mod suites;
+pub mod tb;
+
+pub use census::{census_database, census_table};
+pub use fin::{fin_database, fin_database_with_cards};
+pub use suites::{join_chain_range_suite, join_chain_suite, single_table_eq_suite, single_table_range_suite, QuerySuite};
+pub use tb::{tb_database, tb_database_with_skew};

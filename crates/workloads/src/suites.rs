@@ -1,0 +1,337 @@
+//! Query-suite generators.
+//!
+//! The paper's experiments average the adjusted relative error over "all
+//! possible instantiations for the select values of the query" (§5) — i.e.
+//! an exhaustive equality suite over a chosen attribute subset, typically
+//! several thousand queries. This module generates those suites for both
+//! single-table and select-join (table-chain) workloads.
+
+use reldb::{Database, Query, Result};
+
+/// A named collection of queries to evaluate together.
+#[derive(Debug, Clone)]
+pub struct QuerySuite {
+    /// Human-readable label, e.g. `"census(age,income)"`.
+    pub name: String,
+    /// The queries.
+    pub queries: Vec<Query>,
+}
+
+impl QuerySuite {
+    /// Number of queries in the suite.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True if the suite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// All equality instantiations of the given attributes of a single table.
+pub fn single_table_eq_suite(db: &Database, table: &str, attrs: &[&str]) -> Result<QuerySuite> {
+    let t = db.table(table)?;
+    let cards: Vec<usize> = attrs
+        .iter()
+        .map(|a| t.domain(a).map(|d| d.card()))
+        .collect::<Result<_>>()?;
+    let mut queries = Vec::new();
+    let mut combo = vec![0u32; attrs.len()];
+    loop {
+        let mut b = Query::builder();
+        let v = b.var(table);
+        for (i, attr) in attrs.iter().enumerate() {
+            let value = t.domain(attr)?.value(combo[i]).clone();
+            b.eq(v, *attr, value);
+        }
+        queries.push(b.build());
+        // Odometer.
+        let mut k = attrs.len();
+        loop {
+            if k == 0 {
+                let name = format!("{table}({})", attrs.join(","));
+                return Ok(QuerySuite { name, queries });
+            }
+            k -= 1;
+            combo[k] += 1;
+            if (combo[k] as usize) < cards[k] {
+                break;
+            }
+            combo[k] = 0;
+            if k == 0 {
+                let name = format!("{table}({})", attrs.join(","));
+                return Ok(QuerySuite { name, queries });
+            }
+        }
+    }
+}
+
+/// A suite of random *range* queries over ordinal attributes of one table
+/// (paper §2.3: range predicates are answered exactly by set-valued
+/// evidence). Each query draws an inclusive `[lo, hi]` sub-range of each
+/// attribute's integer value span, deterministically per seed.
+pub fn single_table_range_suite(
+    db: &Database,
+    table: &str,
+    attrs: &[&str],
+    n_queries: usize,
+    seed: u64,
+) -> Result<QuerySuite> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let t = db.table(table)?;
+    // Integer value spans per attribute.
+    let mut spans = Vec::with_capacity(attrs.len());
+    for a in attrs {
+        let dom = t.domain(a)?;
+        let ints: Vec<i64> = dom.values().iter().filter_map(|v| v.as_int()).collect();
+        let lo = *ints.iter().min().ok_or_else(|| {
+            reldb::Error::BadPredicate(format!("`{a}` has no integer values"))
+        })?;
+        let hi = *ints.iter().max().expect("non-empty by min check");
+        spans.push((lo, hi));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queries = Vec::with_capacity(n_queries);
+    for _ in 0..n_queries {
+        let mut b = Query::builder();
+        let v = b.var(table);
+        for (a, &(lo, hi)) in attrs.iter().zip(&spans) {
+            let x = rng.gen_range(lo..=hi);
+            let y = rng.gen_range(lo..=hi);
+            b.range(v, *a, Some(x.min(y)), Some(x.max(y)));
+        }
+        queries.push(b.build());
+    }
+    Ok(QuerySuite { name: format!("{table}-range({})", attrs.join(",")), queries })
+}
+
+/// One step of a join chain: a table plus the FK attribute leading to the
+/// *next* table in the chain (the last step has no FK).
+#[derive(Debug, Clone)]
+pub struct ChainStep<'a> {
+    /// Table name.
+    pub table: &'a str,
+    /// FK attribute joining this table to the next one (None on the last).
+    pub fk_to_next: Option<&'a str>,
+    /// Attributes of this table to instantiate with equality selects.
+    pub select_attrs: &'a [&'a str],
+}
+
+/// All equality instantiations of a select-join query over a chain of
+/// tables (e.g. contact ⋈ patient ⋈ strain): every query joins the whole
+/// chain and selects one value per chosen attribute.
+pub fn join_chain_suite(db: &Database, steps: &[ChainStep<'_>]) -> Result<QuerySuite> {
+    assert!(!steps.is_empty());
+    // Collect (step index, attr, card) in order.
+    let mut slots: Vec<(usize, &str, usize)> = Vec::new();
+    for (si, step) in steps.iter().enumerate() {
+        let t = db.table(step.table)?;
+        for attr in step.select_attrs {
+            slots.push((si, attr, t.domain(attr)?.card()));
+        }
+    }
+    let mut queries = Vec::new();
+    let mut combo = vec![0u32; slots.len()];
+    'outer: loop {
+        let mut b = Query::builder();
+        let vars: Vec<usize> = steps.iter().map(|s| b.var(s.table)).collect();
+        for (si, step) in steps.iter().enumerate() {
+            if let Some(fk) = step.fk_to_next {
+                b.join(vars[si], fk, vars[si + 1]);
+            }
+        }
+        for (slot, &(si, attr, _)) in slots.iter().enumerate() {
+            let t = db.table(steps[si].table)?;
+            let value = t.domain(attr)?.value(combo[slot]).clone();
+            b.eq(vars[si], attr, value);
+        }
+        queries.push(b.build());
+        let mut k = slots.len();
+        loop {
+            if k == 0 {
+                break 'outer;
+            }
+            k -= 1;
+            combo[k] += 1;
+            if (combo[k] as usize) < slots[k].2 {
+                break;
+            }
+            combo[k] = 0;
+            if k == 0 {
+                break 'outer;
+            }
+        }
+    }
+    let name = steps
+        .iter()
+        .map(|s| format!("{}({})", s.table, s.select_attrs.join(",")))
+        .collect::<Vec<_>>()
+        .join("⋈");
+    Ok(QuerySuite { name, queries })
+}
+
+/// A suite of random select-join queries over a chain: the whole chain is
+/// joined, and each listed (step, attr) gets a random inclusive range over
+/// its integer value span — the most general query shape the paper's
+/// estimator answers from one model.
+pub fn join_chain_range_suite(
+    db: &Database,
+    steps: &[ChainStep<'_>],
+    n_queries: usize,
+    seed: u64,
+) -> Result<QuerySuite> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    assert!(!steps.is_empty());
+    // Integer spans for every selected attribute.
+    let mut spans: Vec<(usize, &str, i64, i64)> = Vec::new();
+    for (si, step) in steps.iter().enumerate() {
+        let t = db.table(step.table)?;
+        for attr in step.select_attrs {
+            let dom = t.domain(attr)?;
+            let ints: Vec<i64> =
+                dom.values().iter().filter_map(|v| v.as_int()).collect();
+            let lo = *ints.iter().min().ok_or_else(|| {
+                reldb::Error::BadPredicate(format!("`{attr}` has no integer values"))
+            })?;
+            let hi = *ints.iter().max().expect("non-empty by min check");
+            spans.push((si, attr, lo, hi));
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queries = Vec::with_capacity(n_queries);
+    for _ in 0..n_queries {
+        let mut b = Query::builder();
+        let vars: Vec<usize> = steps.iter().map(|s| b.var(s.table)).collect();
+        for (si, step) in steps.iter().enumerate() {
+            if let Some(fk) = step.fk_to_next {
+                b.join(vars[si], fk, vars[si + 1]);
+            }
+        }
+        for &(si, attr, lo, hi) in &spans {
+            let x = rng.gen_range(lo..=hi);
+            let y = rng.gen_range(lo..=hi);
+            b.range(vars[si], attr, Some(x.min(y)), Some(x.max(y)));
+        }
+        queries.push(b.build());
+    }
+    let name = steps
+        .iter()
+        .map(|s| format!("{}~({})", s.table, s.select_attrs.join(",")))
+        .collect::<Vec<_>>()
+        .join("⋈");
+    Ok(QuerySuite { name, queries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tb::tb_database_sized;
+
+    #[test]
+    fn single_table_suite_is_exhaustive() {
+        let db = tb_database_sized(50, 100, 500, 1);
+        let suite =
+            single_table_eq_suite(&db, "patient", &["age", "gender"]).unwrap();
+        // 6 ages × 2 genders.
+        assert_eq!(suite.len(), 12);
+        for q in &suite.queries {
+            q.validate(&db).unwrap();
+            assert!(q.is_single_table());
+            assert_eq!(q.preds.len(), 2);
+        }
+    }
+
+    #[test]
+    fn suite_queries_cover_all_values_exactly_once() {
+        let db = tb_database_sized(50, 100, 500, 1);
+        let suite = single_table_eq_suite(&db, "patient", &["age"]).unwrap();
+        assert_eq!(suite.len(), 6);
+        let mut seen = std::collections::HashSet::new();
+        for q in &suite.queries {
+            let reldb::Pred::Eq { value, .. } = &q.preds[0] else { panic!() };
+            assert!(seen.insert(value.clone()));
+        }
+    }
+
+    #[test]
+    fn join_chain_suite_builds_valid_three_table_queries() {
+        let db = tb_database_sized(50, 100, 500, 1);
+        let steps = [
+            ChainStep {
+                table: "contact",
+                fk_to_next: Some("patient"),
+                select_attrs: &["contype"],
+            },
+            ChainStep {
+                table: "patient",
+                fk_to_next: Some("strain"),
+                select_attrs: &["age"],
+            },
+            ChainStep { table: "strain", fk_to_next: None, select_attrs: &["unique"] },
+        ];
+        let suite = join_chain_suite(&db, &steps).unwrap();
+        // 5 contypes × 6 ages × 2 unique values.
+        assert_eq!(suite.len(), 60);
+        for q in &suite.queries {
+            q.validate(&db).unwrap();
+            assert_eq!(q.vars.len(), 3);
+            assert_eq!(q.joins.len(), 2);
+            assert_eq!(q.preds.len(), 3);
+        }
+    }
+
+    #[test]
+    fn range_suite_is_deterministic_and_valid() {
+        let db = tb_database_sized(50, 100, 500, 1);
+        let a = single_table_range_suite(&db, "patient", &["age", "hiv"], 20, 9).unwrap();
+        let b = single_table_range_suite(&db, "patient", &["age", "hiv"], 20, 9).unwrap();
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.len(), 20);
+        for q in &a.queries {
+            q.validate(&db).unwrap();
+            assert_eq!(q.preds.len(), 2);
+            for p in &q.preds {
+                assert!(matches!(p, reldb::Pred::Range { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn range_suite_rejects_nominal_attrs() {
+        let db = tb_database_sized(50, 100, 500, 1);
+        // usborn is a string attribute.
+        assert!(single_table_range_suite(&db, "patient", &["usborn"], 5, 1).is_err());
+    }
+
+    #[test]
+    fn join_range_suite_is_valid_and_deterministic() {
+        let db = tb_database_sized(50, 100, 500, 1);
+        let steps = [
+            ChainStep { table: "contact", fk_to_next: Some("patient"), select_attrs: &["age"] },
+            ChainStep { table: "patient", fk_to_next: None, select_attrs: &["hiv"] },
+        ];
+        let a = join_chain_range_suite(&db, &steps, 15, 3).unwrap();
+        let b = join_chain_range_suite(&db, &steps, 15, 3).unwrap();
+        assert_eq!(a.queries, b.queries);
+        for q in &a.queries {
+            q.validate(&db).unwrap();
+            assert_eq!(q.joins.len(), 1);
+            assert_eq!(q.preds.len(), 2);
+        }
+    }
+
+    #[test]
+    fn chain_without_selects_yields_single_join_query() {
+        let db = tb_database_sized(50, 100, 500, 1);
+        let steps = [
+            ChainStep { table: "contact", fk_to_next: Some("patient"), select_attrs: &[] },
+            ChainStep { table: "patient", fk_to_next: None, select_attrs: &[] },
+        ];
+        let suite = join_chain_suite(&db, &steps).unwrap();
+        assert_eq!(suite.len(), 1);
+        assert!(suite.queries[0].preds.is_empty());
+    }
+}

@@ -1,0 +1,296 @@
+//! Synthetic tuberculosis-patient database.
+//!
+//! Three tables mirroring the paper's TB dataset (§5): `strain` (2K rows),
+//! `patient` (2.5K rows, FK → strain) and `contact` (19K rows, FK →
+//! patient). The generator bakes in the three effects §3 of the paper
+//! builds PRMs to capture — and which the baselines' uniformity
+//! assumptions miss:
+//!
+//! 1. **Join-indicator skew** — non-unique strains are roughly 3× more
+//!    likely to join with U.S.-born patients than with foreign-born ones;
+//!    unique strains join uniformly (the example of §3.2).
+//! 2. **Join-cardinality skew** — middle-aged patients have more contacts
+//!    than elderly ones (§3.1).
+//! 3. **Cross-table correlation** — a contact's type and age depend on the
+//!    patient's age and gender (the PRM of Fig. 3(a)).
+
+use bayesnet::sample::sample_categorical;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reldb::{Cell, Database, DatabaseBuilder, Value};
+
+/// Row counts matching the paper.
+pub const N_STRAINS: usize = 2_000;
+/// Patients in the paper's TB dataset.
+pub const N_PATIENTS: usize = 2_500;
+/// Contacts in the paper's TB dataset.
+pub const N_CONTACTS: usize = 19_000;
+
+/// Builds the TB database with the paper's cardinalities.
+pub fn tb_database(seed: u64) -> Database {
+    tb_database_sized(N_STRAINS, N_PATIENTS, N_CONTACTS, seed)
+}
+
+/// Builds a TB-shaped database with custom row counts (used by scaling
+/// benches and tests).
+pub fn tb_database_sized(
+    n_strains: usize,
+    n_patients: usize,
+    n_contacts: usize,
+    seed: u64,
+) -> Database {
+    tb_database_with_skew(n_strains, n_patients, n_contacts, seed, 3.0)
+}
+
+/// Like [`tb_database_sized`] but with an explicit **join-skew dial**:
+/// `skew` is the preference multiplier of US-born patients for non-unique
+/// strains (the paper's §3.2 effect). `skew = 1.0` removes the
+/// join-indicator dependence entirely; the paper's scenario corresponds to
+/// `skew ≈ 3.0`. Used by the skew-sweep ablation to locate where the PRM's
+/// advantage over the uniform-join assumption appears.
+pub fn tb_database_with_skew(
+    n_strains: usize,
+    n_patients: usize,
+    n_contacts: usize,
+    seed: u64,
+    skew: f64,
+) -> Database {
+    assert!(skew > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // ---- strain(strain_id, unique, drug_resist, lineage) ----
+    // unique: yes=1/no=0 after dictionary sort ("no" < "yes").
+    let mut strain_unique = Vec::with_capacity(n_strains);
+    let mut strain_builder = reldb::TableBuilder::new("strain")
+        .key("strain_id")
+        .col("unique")
+        .col("drug_resist")
+        .col("lineage");
+    for s in 0..n_strains {
+        let unique = rng.gen_bool(0.6);
+        strain_unique.push(unique);
+        let lineage = rng.gen_range(0..5i64);
+        // Resistance correlates with lineage.
+        let dr_weights = match lineage {
+            0 | 1 => [0.8, 0.15, 0.05],
+            2 => [0.55, 0.3, 0.15],
+            _ => [0.35, 0.4, 0.25],
+        };
+        let dr = sample_categorical(&dr_weights, &mut rng) as i64;
+        strain_builder
+            .push_row(vec![
+                Cell::Key(s as i64),
+                Cell::Val(Value::Str(if unique { "yes" } else { "no" }.into())),
+                Cell::Val(Value::Int(dr)),
+                Cell::Val(Value::Int(lineage)),
+            ])
+            .expect("strain row arity");
+    }
+
+    // ---- patient(patient_id, strain fk, age, gender, usborn, hiv, homeless) ----
+    // Ages are 6 groups: 0:0-19, 1:20-34, 2:35-49, 3:50-64, 4:65-79, 5:80+.
+    let age_dist = [0.08, 0.22, 0.28, 0.22, 0.14, 0.06];
+    let mut patient_age = Vec::with_capacity(n_patients);
+    let mut patient_builder = reldb::TableBuilder::new("patient")
+        .key("patient_id")
+        .fk("strain", "strain")
+        .col("age")
+        .col("gender")
+        .col("usborn")
+        .col("hiv")
+        .col("homeless");
+    // Pre-compute the two strain-preference weight vectors of §3.2:
+    // w(usborn=yes, s) = 3 for non-unique strains, 0.8 for unique;
+    // w(usborn=no, s) = 1 for non-unique, 0.8 for unique.
+    let weights_us: Vec<f64> =
+        strain_unique.iter().map(|&u| if u { 0.8 } else { skew }).collect();
+    let weights_foreign: Vec<f64> =
+        strain_unique.iter().map(|&u| if u { 0.8 } else { 1.0 }).collect();
+    for p in 0..n_patients {
+        let age = sample_categorical(&age_dist, &mut rng);
+        patient_age.push(age);
+        let gender = i64::from(rng.gen_bool(0.42));
+        let usborn = rng.gen_bool(0.45);
+        // HIV co-infection is more common among younger patients.
+        let hiv_weights = if age <= 2 { [0.7, 0.2, 0.1] } else { [0.88, 0.08, 0.04] };
+        let hiv = sample_categorical(&hiv_weights, &mut rng) as i64;
+        // Homelessness is more common among middle-aged U.S.-born patients.
+        let p_homeless = if usborn && (2..=3).contains(&age) { 0.25 } else { 0.06 };
+        let homeless = i64::from(rng.gen_bool(p_homeless));
+        let strain = sample_categorical(
+            if usborn { &weights_us } else { &weights_foreign },
+            &mut rng,
+        ) as i64;
+        patient_builder
+            .push_row(vec![
+                Cell::Key(p as i64),
+                Cell::Key(strain),
+                Cell::Val(Value::Int(age as i64)),
+                Cell::Val(Value::Int(gender)),
+                Cell::Val(Value::Str(if usborn { "yes" } else { "no" }.into())),
+                Cell::Val(Value::Int(hiv)),
+                Cell::Val(Value::Int(homeless)),
+            ])
+            .expect("patient row arity");
+    }
+
+    // ---- contact(contact_id, patient fk, contype, age, infected, household) ----
+    // Contact counts skew towards middle-aged patients (§3.1): weight by age.
+    let count_weight = |age: u32| match age {
+        1 | 2 => 3.0, // middle-aged: many contacts
+        3 => 2.0,
+        0 => 1.5,
+        _ => 0.6, // elderly: few contacts, and rarely roommates
+    };
+    let patient_weights: Vec<f64> =
+        patient_age.iter().map(|&a| count_weight(a)).collect();
+    let mut contact_builder = reldb::TableBuilder::new("contact")
+        .key("contact_id")
+        .fk("patient", "patient")
+        .col("contype")
+        .col("age")
+        .col("infected")
+        .col("household");
+    for c in 0..n_contacts {
+        let p = sample_categorical(&patient_weights, &mut rng) as usize;
+        let page = patient_age[p];
+        // contype: 0 coworker, 1 friend, 2 household, 3 relative, 4 roommate.
+        let contype_weights = match page {
+            1 | 2 => [0.3, 0.25, 0.2, 0.15, 0.1],
+            3 => [0.15, 0.2, 0.3, 0.25, 0.1],
+            0 => [0.05, 0.3, 0.4, 0.2, 0.05],
+            _ => [0.02, 0.13, 0.35, 0.48, 0.02], // elderly roommates are rare
+        };
+        let contype = sample_categorical(&contype_weights, &mut rng) as i64;
+        // Contact age tracks patient age with noise.
+        let jitter = rng.gen_range(0..3) as i64 - 1;
+        let cage = (page as i64 + jitter).clamp(0, 5);
+        // Infection likelier for household/roommate contacts.
+        let p_inf = match contype {
+            2 | 4 => 0.35,
+            3 => 0.2,
+            _ => 0.08,
+        };
+        let infected = i64::from(rng.gen_bool(p_inf));
+        let household = i64::from(matches!(contype, 2 | 4) && rng.gen_bool(0.9));
+        contact_builder
+            .push_row(vec![
+                Cell::Key(c as i64),
+                Cell::Key(p as i64),
+                Cell::Val(Value::Int(contype)),
+                Cell::Val(Value::Int(cage)),
+                Cell::Val(Value::Int(infected)),
+                Cell::Val(Value::Int(household)),
+            ])
+            .expect("contact row arity");
+    }
+
+    DatabaseBuilder::new()
+        .add_table(strain_builder.finish().expect("strain table"))
+        .add_table(patient_builder.finish().expect("patient table"))
+        .add_table(contact_builder.finish().expect("contact table"))
+        .finish()
+        .expect("referential integrity holds by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_the_paper() {
+        let db = tb_database_sized(200, 250, 1900, 1);
+        assert_eq!(db.table("strain").unwrap().n_rows(), 200);
+        assert_eq!(db.table("patient").unwrap().n_rows(), 250);
+        assert_eq!(db.table("contact").unwrap().n_rows(), 1900);
+    }
+
+    #[test]
+    fn join_skew_usborn_to_nonunique_strains() {
+        let db = tb_database_sized(400, 2000, 100, 2);
+        let patient = db.table("patient").unwrap();
+        let strain = db.table("strain").unwrap();
+        let usborn_codes = patient.codes("usborn").unwrap();
+        let usborn_yes = patient.domain("usborn").unwrap().code(&"yes".into()).unwrap();
+        let unique_codes = strain.codes("unique").unwrap();
+        let unique_yes = strain.domain("unique").unwrap().code(&"yes".into()).unwrap();
+        let fk = db.fk_target_rows("patient", "strain").unwrap();
+        // P(non-unique strain | usborn) should clearly exceed
+        // P(non-unique strain | foreign-born).
+        let frac_nonunique = |want_usborn: bool| {
+            let (mut hits, mut n) = (0.0f64, 0.0f64);
+            for (row, &s) in fk.iter().enumerate() {
+                if (usborn_codes[row] == usborn_yes) == want_usborn {
+                    n += 1.0;
+                    if unique_codes[s as usize] != unique_yes {
+                        hits += 1.0;
+                    }
+                }
+            }
+            hits / n.max(1.0)
+        };
+        let us = frac_nonunique(true);
+        let foreign = frac_nonunique(false);
+        assert!(us > foreign + 0.1, "us={us} foreign={foreign}");
+    }
+
+    #[test]
+    fn contact_count_skew_by_patient_age() {
+        let db = tb_database_sized(100, 1000, 10_000, 3);
+        let patient = db.table("patient").unwrap();
+        let ages = patient.codes("age").unwrap();
+        let mut counts = vec![0usize; patient.n_rows()];
+        for &p in db.fk_target_rows("contact", "patient").unwrap() {
+            counts[p as usize] += 1;
+        }
+        let avg = |age_code: u32| {
+            let (mut s, mut n) = (0.0f64, 0.0f64);
+            for (row, &a) in ages.iter().enumerate() {
+                if a == age_code {
+                    s += counts[row] as f64;
+                    n += 1.0;
+                }
+            }
+            s / n.max(1.0)
+        };
+        // Middle-aged (codes 1–2) vs elderly (codes 4–5).
+        let middle = (avg(1) + avg(2)) / 2.0;
+        let elderly = (avg(4) + avg(5)) / 2.0;
+        assert!(middle > 1.5 * elderly, "middle={middle} elderly={elderly}");
+    }
+
+    #[test]
+    fn contype_correlates_with_patient_age() {
+        let db = tb_database_sized(100, 1000, 20_000, 4);
+        let contact = db.table("contact").unwrap();
+        let patient = db.table("patient").unwrap();
+        let contype = contact.codes("contype").unwrap();
+        let page = patient.codes("age").unwrap();
+        let fk = db.fk_target_rows("contact", "patient").unwrap();
+        // Coworker contacts (code 0) should be much rarer for elderly
+        // patients.
+        let frac_coworker = |elderly: bool| {
+            let (mut hits, mut n) = (0.0f64, 0.0f64);
+            for (row, &p) in fk.iter().enumerate() {
+                if (page[p as usize] >= 4) == elderly {
+                    n += 1.0;
+                    if contype[row] == 0 {
+                        hits += 1.0;
+                    }
+                }
+            }
+            hits / n.max(1.0)
+        };
+        assert!(frac_coworker(false) > 3.0 * frac_coworker(true));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = tb_database_sized(50, 100, 500, 7);
+        let b = tb_database_sized(50, 100, 500, 7);
+        assert_eq!(
+            a.table("contact").unwrap().codes("contype").unwrap(),
+            b.table("contact").unwrap().codes("contype").unwrap()
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Full-scale generator validation: the synthetic datasets must exhibit
+//! the quantitative shapes the paper documents for the originals, at the
+//! paper's cardinalities.
+
+use workloads::census::{census_table, ATTRS};
+use workloads::fin::fin_database;
+use workloads::tb::tb_database;
+
+#[test]
+fn census_domain_sizes_match_the_paper() {
+    // §2.2 lists the domain sizes; our ATTRS table pins them.
+    let expected: &[(&str, usize)] = &[
+        ("age", 18),
+        ("worker_class", 9),
+        ("education", 17),
+        ("marital_status", 7),
+        ("industry", 24),
+        ("race", 5),
+        ("sex", 2),
+        ("income", 42),
+        ("employ_type", 4),
+    ];
+    for &(name, card) in expected {
+        let declared = ATTRS.iter().find(|&&(n, _)| n == name).unwrap().1;
+        assert_eq!(declared, card, "{name}");
+    }
+    // And the generated table realizes every domain.
+    let t = census_table(3_000, 99);
+    for &(name, card) in ATTRS {
+        assert_eq!(t.domain(name).unwrap().card(), card, "{name}");
+    }
+}
+
+#[test]
+fn tb_cardinalities_and_join_probabilities() {
+    let db = tb_database(42);
+    assert_eq!(db.table("strain").unwrap().n_rows(), 2_000);
+    assert_eq!(db.table("patient").unwrap().n_rows(), 2_500);
+    assert_eq!(db.table("contact").unwrap().n_rows(), 19_000);
+
+    // §3.2's effect, measured as empirical join-indicator probabilities:
+    // P(J | usborn, non-unique) should be ~3x P(J | foreign, non-unique).
+    let patient = db.table("patient").unwrap();
+    let strain = db.table("strain").unwrap();
+    let usborn = patient.codes("usborn").unwrap();
+    let yes = patient.domain("usborn").unwrap().code(&"yes".into()).unwrap();
+    let unique = strain.codes("unique").unwrap();
+    let uyes = strain.domain("unique").unwrap().code(&"yes".into()).unwrap();
+    let fk = db.fk_target_rows("patient", "strain").unwrap();
+
+    let n_nonunique = unique.iter().filter(|&&u| u != uyes).count() as f64;
+    let count_pat =
+        |want_us: bool| usborn.iter().filter(|&&u| (u == yes) == want_us).count() as f64;
+    let joins_nonunique = |want_us: bool| {
+        fk.iter()
+            .enumerate()
+            .filter(|&(row, &s)| {
+                (usborn[row] == yes) == want_us && unique[s as usize] != uyes
+            })
+            .count() as f64
+    };
+    let p_us = joins_nonunique(true) / (count_pat(true) * n_nonunique);
+    let p_foreign = joins_nonunique(false) / (count_pat(false) * n_nonunique);
+    let ratio = p_us / p_foreign;
+    // The generator expresses a 3x *preference weight*; the realized
+    // per-pair probability ratio is compressed by normalization over the
+    // whole strain population:
+    //   ratio = 3·(N_nu + 0.8·N_u) / (3·N_nu + 0.8·N_u).
+    let n_unique = unique.iter().filter(|&&u| u == uyes).count() as f64;
+    let implied = 3.0 * (n_nonunique + 0.8 * n_unique)
+        / (3.0 * n_nonunique + 0.8 * n_unique);
+    assert!(
+        (ratio - implied).abs() / implied < 0.15,
+        "measured ratio {ratio:.2} vs generator-implied {implied:.2}"
+    );
+    // Qualitative direction of §3.2 regardless of compression.
+    assert!(ratio > 1.3, "join skew direction lost: {ratio:.2}");
+}
+
+#[test]
+fn fin_cardinalities_match_the_paper() {
+    let db = fin_database(42);
+    assert_eq!(db.table("district").unwrap().n_rows(), 77);
+    assert_eq!(db.table("account").unwrap().n_rows(), 4_500);
+    assert_eq!(db.table("transaction").unwrap().n_rows(), 106_000);
+}

@@ -1,0 +1,79 @@
+//! Quickstart: build a tiny two-table database, learn a PRM, and compare
+//! its select-join estimates against exact result sizes.
+//!
+//! Run with: `cargo run --release -p prmsel --example quickstart`
+
+use prmsel::{PrmEstimator, PrmLearnConfig, SelectivityEstimator};
+use reldb::{result_size, Cell, DatabaseBuilder, Query, TableBuilder, Value};
+
+fn main() -> reldb::Result<()> {
+    // A customers/orders schema where premium customers order far more
+    // often (join skew) and order priority tracks the customer's tier
+    // (cross-table correlation) — the two effects PRMs exist to model.
+    let mut customers = TableBuilder::new("customer").key("id").col("tier").col("region");
+    for i in 0..200i64 {
+        let tier = i64::from(i % 5 == 0); // 20% premium
+        customers.push_row(vec![
+            Cell::Key(i),
+            Cell::Val(Value::Int(tier)),
+            Cell::Val(Value::Int(i % 4)),
+        ])?;
+    }
+    let mut orders = TableBuilder::new("order").key("id").fk("customer", "customer").col("priority");
+    for i in 0..4_000i64 {
+        // Premium customers (ids ≡ 0 mod 5) receive 60% of the orders.
+        let customer = if i % 10 < 6 { (i * 7) % 40 * 5 } else { (i * 3) % 160 + (i * 3) % 160 / 4 + 1 };
+        let customer = customer.min(199);
+        let premium = customer % 5 == 0;
+        let priority = if premium { i % 2 } else { 2 + i % 2 }; // 0/1 high, 2/3 low
+        orders.push_row(vec![
+            Cell::Key(i),
+            Cell::Key(customer),
+            Cell::Val(Value::Int(priority)),
+        ])?;
+    }
+    let db = DatabaseBuilder::new()
+        .add_table(customers.finish()?)
+        .add_table(orders.finish()?)
+        .finish()?;
+
+    // Offline phase: learn the model under a 4 KiB budget.
+    let est = PrmEstimator::build(&db, &PrmLearnConfig { budget_bytes: 4096, ..Default::default() })?;
+    println!("learned PRM: {} bytes", est.size_bytes());
+    println!("  foreign parents: {}", est.prm().foreign_parent_count());
+    println!("  join-indicator parents: {}", est.prm().ji_parent_count());
+    println!();
+
+    // Online phase: estimate some select-join queries.
+    println!("{:<55} {:>8} {:>10} {:>7}", "query", "exact", "estimate", "err%");
+    for (tier, priority) in [(1i64, 0i64), (1, 2), (0, 0), (0, 3)] {
+        let mut b = Query::builder();
+        let o = b.var("order");
+        let c = b.var("customer");
+        b.join(o, "customer", c).eq(c, "tier", tier).eq(o, "priority", priority);
+        let q = b.build();
+        let truth = result_size(&db, &q)?;
+        let estimate = est.estimate(&q)?;
+        let err = 100.0 * prmsel::adjusted_relative_error(truth, estimate);
+        println!(
+            "{:<55} {:>8} {:>10.1} {:>6.1}%",
+            format!("order ⋈ customer, tier={tier}, priority={priority}"),
+            truth,
+            estimate,
+            err
+        );
+    }
+
+    // The same model answers single-table queries too.
+    let mut b = Query::builder();
+    let c = b.var("customer");
+    b.eq(c, "tier", 1);
+    let q = b.build();
+    println!(
+        "{:<55} {:>8} {:>10.1}",
+        "customer, tier=1",
+        result_size(&db, &q)?,
+        est.estimate(&q)?
+    );
+    Ok(())
+}

@@ -1,0 +1,221 @@
+//! Edge cases and failure injection across the whole stack: degenerate
+//! tables, single-value domains, empty-intersection predicates, corrupt
+//! model files, numerically extreme inputs — the system must degrade with
+//! clean errors or sensible estimates, never panics or NaNs.
+
+use prmsel::{PrmEstimator, PrmLearnConfig, SelectivityEstimator};
+use reldb::{result_size, Cell, Database, DatabaseBuilder, Query, TableBuilder, Value};
+
+fn one_row_db() -> Database {
+    let mut p = TableBuilder::new("p").key("id").col("x");
+    p.push_row(vec![Cell::Key(1), Cell::Val(Value::Int(0))]).unwrap();
+    let mut c = TableBuilder::new("c").key("id").fk("p", "p").col("y");
+    c.push_row(vec![Cell::Key(1), Cell::Key(1), Cell::Val(Value::Int(0))]).unwrap();
+    DatabaseBuilder::new()
+        .add_table(p.finish().unwrap())
+        .add_table(c.finish().unwrap())
+        .finish()
+        .unwrap()
+}
+
+#[test]
+fn single_row_database_learns_and_estimates() {
+    let db = one_row_db();
+    let est = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+    let mut b = Query::builder();
+    let c = b.var("c");
+    let p = b.var("p");
+    b.join(c, "p", p).eq(c, "y", 0).eq(p, "x", 0);
+    let q = b.build();
+    assert_eq!(result_size(&db, &q).unwrap(), 1);
+    let e = est.estimate(&q).unwrap();
+    assert!((e - 1.0).abs() < 1e-9, "est={e}");
+}
+
+#[test]
+fn cardinality_one_domains_are_harmless() {
+    // Every attribute has a single value: all selectivities are 1.
+    let mut t = TableBuilder::new("t").col("a").col("b");
+    for _ in 0..50 {
+        t.push_row(vec![Cell::Val(Value::Int(7)), Cell::Val(Value::from("only"))])
+            .unwrap();
+    }
+    let db = DatabaseBuilder::new().add_table(t.finish().unwrap()).finish().unwrap();
+    let est = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+    let mut b = Query::builder();
+    let v = b.var("t");
+    b.eq(v, "a", 7).eq(v, "b", "only");
+    let e = est.estimate(&b.build()).unwrap();
+    assert!((e - 50.0).abs() < 1e-9);
+}
+
+#[test]
+fn contradictory_predicates_estimate_zero() {
+    let db = one_row_db();
+    let est = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+    let mut b = Query::builder();
+    let p = b.var("p");
+    b.eq(p, "x", 0).eq(p, "x", 99); // x = 0 AND x = 99
+    let q = b.build();
+    assert_eq!(result_size(&db, &q).unwrap(), 0);
+    assert_eq!(est.estimate(&q).unwrap(), 0.0);
+}
+
+#[test]
+fn inverted_range_is_empty_not_panicking() {
+    let db = one_row_db();
+    let est = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+    let mut b = Query::builder();
+    let p = b.var("p");
+    b.range(p, "x", Some(5), Some(-5));
+    let q = b.build();
+    assert_eq!(result_size(&db, &q).unwrap(), 0);
+    assert_eq!(est.estimate(&q).unwrap(), 0.0);
+}
+
+#[test]
+fn fk_heavy_hitter_all_children_one_parent() {
+    // Extreme join skew: every child points at one parent row.
+    let mut p = TableBuilder::new("p").key("id").col("x");
+    for i in 0..20i64 {
+        p.push_row(vec![Cell::Key(i), Cell::Val(Value::Int(i % 2))]).unwrap();
+    }
+    let mut c = TableBuilder::new("c").key("id").fk("p", "p").col("y");
+    for i in 0..300i64 {
+        c.push_row(vec![Cell::Key(i), Cell::Key(0), Cell::Val(Value::Int(i % 3))])
+            .unwrap();
+    }
+    let db = DatabaseBuilder::new()
+        .add_table(p.finish().unwrap())
+        .add_table(c.finish().unwrap())
+        .finish()
+        .unwrap();
+    let est = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+    // Parent row 0 has x = 0: the join with x = 1 is empty.
+    let mut b = Query::builder();
+    let cv = b.var("c");
+    let pv = b.var("p");
+    b.join(cv, "p", pv).eq(pv, "x", 1);
+    let q = b.build();
+    assert_eq!(result_size(&db, &q).unwrap(), 0);
+    let e = est.estimate(&q).unwrap();
+    assert!(e < 30.0, "est={e} for a truly empty join");
+    // And the non-empty side is close to 300.
+    let mut b = Query::builder();
+    let cv = b.var("c");
+    let pv = b.var("p");
+    b.join(cv, "p", pv).eq(pv, "x", 0);
+    let e = est.estimate(&b.build()).unwrap();
+    assert!((e - 300.0).abs() / 300.0 < 0.2, "est={e}");
+}
+
+#[test]
+fn empty_query_over_zero_var_list_counts_nothing() {
+    let db = one_row_db();
+    let q = Query::builder().build();
+    assert_eq!(result_size(&db, &q).unwrap(), 0);
+}
+
+#[test]
+fn estimates_never_produce_nan_or_negative() {
+    let db = workloads::tb::tb_database_sized(80, 100, 800, 30);
+    let est = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+    // Stress with every (contype, age, unique) combination plus nonsense
+    // values.
+    for contype in -1..6i64 {
+        for age in -1..7i64 {
+            let mut b = Query::builder();
+            let c = b.var("contact");
+            let p = b.var("patient");
+            let s = b.var("strain");
+            b.join(c, "patient", p)
+                .join(p, "strain", s)
+                .eq(c, "contype", contype)
+                .eq(p, "age", age);
+            let e = est.estimate(&b.build()).unwrap();
+            assert!(e.is_finite() && e >= 0.0, "({contype},{age}) -> {e}");
+        }
+    }
+}
+
+#[test]
+fn model_files_reject_garbage_and_truncation() {
+    use prmsel::{load_model, save_model, SchemaInfo};
+    let db = one_row_db();
+    let prm = prmsel::learn_prm(&db, &PrmLearnConfig::default()).unwrap();
+    let schema = SchemaInfo::from_db(&db).unwrap();
+    let mut buf = Vec::new();
+    save_model(&prm, &schema, &mut buf).unwrap();
+    // Garbage magic.
+    assert!(load_model(&b"XXXXXXXXrest"[..]).is_err());
+    // Every truncation point fails cleanly (no panic).
+    for cut in [8usize, 9, buf.len() / 4, buf.len() / 2, buf.len() - 1] {
+        let cut = cut.min(buf.len() - 1);
+        assert!(load_model(&buf[..cut]).is_err(), "cut at {cut} should fail");
+    }
+    // Bit-flip in the body: either a clean error or a loadable (but
+    // different) model — never a panic.
+    let mut flipped = buf.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0xFF;
+    std::panic::catch_unwind(|| {
+        let _ = load_model(flipped.as_slice());
+    })
+    .expect("bit flip must not panic");
+}
+
+#[test]
+fn sql_parser_survives_fuzzish_inputs() {
+    for bad in [
+        "",
+        "SELECT",
+        "SELECT COUNT(*)",
+        "SELECT COUNT(*) FROM",
+        "SELECT COUNT(*) FROM t WHERE",
+        "SELECT COUNT(*) FROM t WHERE t.",
+        "SELECT COUNT(*) FROM t WHERE t.a IN (",
+        "SELECT COUNT(*) FROM t WHERE t.a BETWEEN 1",
+        "SELECT COUNT(*) FROM t t2 t3",
+        "SELECT COUNT(*) FROM t WHERE t.a = = 1",
+        "))))(((",
+        "SELECT COUNT(*) FROM t WHERE t.a = 99999999999999999999",
+    ] {
+        assert!(reldb::parse_query(bad).is_err(), "`{bad}` should fail to parse");
+    }
+}
+
+#[test]
+fn discretizing_estimator_handles_out_of_range_queries() {
+    use prmsel::{discretize_database, DiscretizingEstimator};
+    let mut t = TableBuilder::new("t").col("wide");
+    for i in 0..500i64 {
+        t.push_row(vec![Cell::Val(Value::Int(i % 100))]).unwrap();
+    }
+    let db = DatabaseBuilder::new().add_table(t.finish().unwrap()).finish().unwrap();
+    let dd = discretize_database(&db, 8).unwrap();
+    let inner = PrmEstimator::build(&dd.db, &PrmLearnConfig::default()).unwrap();
+    let est = DiscretizingEstimator::new(inner, &dd);
+    // Entirely out-of-range.
+    let mut b = Query::builder();
+    let v = b.var("t");
+    b.range(v, "wide", Some(1_000), Some(2_000));
+    assert_eq!(est.estimate(&b.build()).unwrap(), 0.0);
+    // Partially out-of-range clips to the real domain.
+    let mut b = Query::builder();
+    let v = b.var("t");
+    b.range(v, "wide", Some(50), Some(10_000));
+    let e = est.estimate(&b.build()).unwrap();
+    assert!((e - 250.0).abs() / 250.0 < 0.2, "est={e}");
+}
+
+#[test]
+fn group_counts_on_skewed_groups_stay_normalized() {
+    let db = workloads::fin::fin_database_sized(20, 150, 2_000, 31);
+    let est = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+    let mut b = Query::builder();
+    let t = b.var("transaction");
+    let q = b.build();
+    let groups = est.estimate_group_counts(&q, t, "ttype").unwrap();
+    let total: f64 = groups.iter().map(|g| g.count).sum();
+    assert!((total - 2_000.0).abs() < 1.0, "total={total}");
+}

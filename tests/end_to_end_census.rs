@@ -1,0 +1,200 @@
+//! End-to-end single-table reproduction on the synthetic Census data:
+//! the qualitative claims of Figs. 4–5 must hold on a scaled-down run.
+
+use prmsel::{
+    AviAdapter, CpdKind, MhistAdapter, PrmEstimator, PrmLearnConfig, SampleAdapter,
+    SelectivityEstimator, TreeGrowOptions,
+};
+use workloads::census::census_database;
+use workloads::single_table_eq_suite;
+
+fn prm_config(budget: usize, kind: CpdKind) -> PrmLearnConfig {
+    PrmLearnConfig {
+        cpd_kind: kind,
+        budget_bytes: budget,
+        tree: TreeGrowOptions { min_gain_per_param: 1.0, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn prm_beats_avi_on_correlated_attributes() {
+    let db = census_database(6_000, 11);
+    let suite = single_table_eq_suite(&db, "census", &["education", "income"]).unwrap();
+    let truths = prmsel::metrics::ground_truth(&db, &suite.queries).unwrap();
+
+    let prm = PrmEstimator::build(&db, &prm_config(4096, CpdKind::Tree)).unwrap();
+    let avi = AviAdapter::build(&db, "census").unwrap();
+
+    let prm_eval =
+        prmsel::metrics::evaluate_with_truth(&prm, &suite.queries, &truths).unwrap();
+    let avi_eval =
+        prmsel::metrics::evaluate_with_truth(&avi, &suite.queries, &truths).unwrap();
+    assert!(
+        prm_eval.mean_error_pct() < avi_eval.mean_error_pct(),
+        "PRM {:.1}% should beat AVI {:.1}%",
+        prm_eval.mean_error_pct(),
+        avi_eval.mean_error_pct()
+    );
+}
+
+#[test]
+fn one_model_answers_multiple_suites() {
+    // Build once over all 13 attributes, then query two disjoint subsets —
+    // the whole point of the approach vs. per-query-set histograms.
+    let db = census_database(4_000, 12);
+    let prm = PrmEstimator::build(&db, &prm_config(8192, CpdKind::Tree)).unwrap();
+    for attrs in [&["sex", "race"][..], &["marital_status", "children"][..]] {
+        let suite = single_table_eq_suite(&db, "census", attrs).unwrap();
+        let eval = prmsel::evaluate_suite(&db, &prm, &suite.queries).unwrap();
+        assert!(
+            eval.mean_error_pct() < 60.0,
+            "{attrs:?}: {:.1}%",
+            eval.mean_error_pct()
+        );
+    }
+}
+
+#[test]
+fn all_methods_run_at_equal_budget() {
+    let db = census_database(3_000, 13);
+    let budget = 2_000;
+    let attrs = ["age", "income"];
+    let suite = single_table_eq_suite(&db, "census", &attrs).unwrap();
+    let truths = prmsel::metrics::ground_truth(&db, &suite.queries).unwrap();
+
+    let prm = PrmEstimator::build(&db, &prm_config(budget, CpdKind::Tree)).unwrap();
+    let mhist = MhistAdapter::build(&db, "census", &attrs, budget).unwrap();
+    let sample = SampleAdapter::build(&db, "census", budget, 5).unwrap();
+    let ests: Vec<&dyn SelectivityEstimator> = vec![&prm, &mhist, &sample];
+    for est in ests {
+        // Nobody may exceed ~1.2× the budget (PRM granularity is a family).
+        assert!(
+            est.size_bytes() <= budget * 12 / 10,
+            "{} blew the budget: {}",
+            est.name(),
+            est.size_bytes()
+        );
+        let eval =
+            prmsel::metrics::evaluate_with_truth(est, &suite.queries, &truths).unwrap();
+        assert!(eval.mean_error_pct().is_finite());
+    }
+}
+
+#[test]
+fn tree_cpds_fit_more_structure_than_tables_at_equal_budget() {
+    // Fig. 5's key observation: across budgets, tree CPDs reach lower
+    // suite error than table CPDs. Individual budget points are subject
+    // to greedy-search variance, so the claim is asserted on the average
+    // over a small budget sweep.
+    let db = census_database(6_000, 14);
+    let suite =
+        single_table_eq_suite(&db, "census", &["education", "income"]).unwrap();
+    let truths = prmsel::metrics::ground_truth(&db, &suite.queries).unwrap();
+    let mean_err = |kind: CpdKind| -> f64 {
+        let mut total = 0.0;
+        for budget in [1_000usize, 1_500, 2_500, 4_000] {
+            let est = PrmEstimator::build(&db, &prm_config(budget, kind)).unwrap();
+            total += prmsel::metrics::evaluate_with_truth(&est, &suite.queries, &truths)
+                .unwrap()
+                .mean_error_pct();
+        }
+        total / 4.0
+    };
+    let tree = mean_err(CpdKind::Tree);
+    let table = mean_err(CpdKind::Table);
+    assert!(
+        tree <= table * 1.05,
+        "tree avg {tree:.1}% vs table avg {table:.1}%"
+    );
+}
+
+#[test]
+fn range_queries_are_answered_accurately() {
+    // Paper §2.3: range selects cost nothing extra (set-valued evidence).
+    use workloads::single_table_range_suite;
+    let db = census_database(6_000, 15);
+    let prm = PrmEstimator::build(&db, &prm_config(6_000, CpdKind::Tree)).unwrap();
+    let suite =
+        single_table_range_suite(&db, "census", &["age", "income"], 50, 3).unwrap();
+    let eval = prmsel::evaluate_suite(&db, &prm, &suite.queries).unwrap();
+    assert!(eval.mean_error_pct() < 40.0, "{:.1}%", eval.mean_error_pct());
+}
+
+#[test]
+fn parallel_evaluation_matches_sequential() {
+    let db = census_database(2_000, 16);
+    let prm = PrmEstimator::build(&db, &prm_config(4_096, CpdKind::Tree)).unwrap();
+    let suite = single_table_eq_suite(&db, "census", &["sex", "race"]).unwrap();
+    let truths = prmsel::metrics::ground_truth(&db, &suite.queries).unwrap();
+    let seq = prmsel::metrics::evaluate_with_truth(&prm, &suite.queries, &truths).unwrap();
+    let par = prmsel::metrics::evaluate_with_truth_parallel(&prm, &suite.queries, &truths, 4)
+        .unwrap();
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.per_query.iter().zip(&par.per_query) {
+        assert_eq!(a.truth, b.truth);
+        assert!((a.estimate - b.estimate).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn estimators_are_shareable_across_threads() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PrmEstimator>();
+    assert_send_sync::<AviAdapter>();
+    assert_send_sync::<MhistAdapter>();
+    assert_send_sync::<SampleAdapter>();
+}
+
+#[test]
+fn model_compresses_the_joint_distribution_by_orders_of_magnitude() {
+    // §2.2 of the paper: the census joint distribution has ~7 billion
+    // entries while the learned BN used 951 parameters. Our synthetic
+    // census has the same domain sizes, so the same compression argument
+    // must hold for the learned model.
+    let db = census_database(5_000, 17);
+    let prm = prmsel::learn_prm(&db, &prm_config(8_192, CpdKind::Tree)).unwrap();
+    let joint_cells: f64 = db
+        .table("census")
+        .unwrap()
+        .schema()
+        .value_attrs()
+        .iter()
+        .map(|a| db.table("census").unwrap().domain(a).unwrap().card() as f64)
+        .product();
+    assert!(joint_cells > 1e9, "joint space {joint_cells}");
+    let params = prm.size_bytes() as f64 / 4.0;
+    assert!(
+        params < joint_cells / 1e5,
+        "model should compress by ≥ 10⁵: {params} params vs {joint_cells} cells"
+    );
+}
+
+#[test]
+fn candidate_prefilter_speeds_up_construction() {
+    use std::time::Instant;
+    let db = census_database(8_000, 18);
+    let t0 = Instant::now();
+    let full = PrmEstimator::build(&db, &prm_config(4_096, CpdKind::Tree)).unwrap();
+    let full_time = t0.elapsed();
+    let t1 = Instant::now();
+    let filtered = PrmEstimator::build(
+        &db,
+        &PrmLearnConfig {
+            candidate_parents_per_attr: Some(3),
+            ..prm_config(4_096, CpdKind::Tree)
+        },
+    )
+    .unwrap();
+    let filtered_time = t1.elapsed();
+    // The shortlist must not be slower by more than noise, and the model
+    // must stay usable (sanity: answers a suite with finite error).
+    assert!(
+        filtered_time <= full_time * 2,
+        "prefilter slowed construction: {filtered_time:?} vs {full_time:?}"
+    );
+    let suite = single_table_eq_suite(&db, "census", &["education", "income"]).unwrap();
+    let eval = prmsel::evaluate_suite(&db, &filtered, &suite.queries).unwrap();
+    assert!(eval.mean_error_pct().is_finite());
+    let _ = full;
+}

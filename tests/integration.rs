@@ -1,0 +1,316 @@
+//! Cross-crate integration: every estimator builds from the same database,
+//! answers the same relational queries through the common trait, and
+//! reports a sane storage footprint.
+
+use prmsel::{
+    AviAdapter, JoinSampleAdapter, MhistAdapter, PrmEstimator, PrmLearnConfig,
+    SampleAdapter, SelectivityEstimator,
+};
+use reldb::{result_size, Cell, Database, DatabaseBuilder, Query, TableBuilder, Value};
+
+/// Two tables with a deterministic dependency: child.y copies parent.x
+/// through the FK, and children prefer x=1 parents 3:1.
+fn db() -> Database {
+    let mut p = TableBuilder::new("parent").key("id").col("x").col("z");
+    for i in 0..60i64 {
+        p.push_row(vec![
+            Cell::Key(i),
+            Cell::Val(Value::Int(i % 2)),
+            Cell::Val(Value::Int(i % 3)),
+        ])
+        .unwrap();
+    }
+    let mut c = TableBuilder::new("child").key("id").fk("parent", "parent").col("y");
+    for i in 0..600i64 {
+        let odd = i % 4 != 0;
+        let pid = (i * 13) % 30;
+        let target = if odd { 2 * pid + 1 } else { 2 * pid };
+        c.push_row(vec![Cell::Key(i), Cell::Key(target), Cell::Val(Value::Int(target % 2))])
+            .unwrap();
+    }
+    DatabaseBuilder::new()
+        .add_table(p.finish().unwrap())
+        .add_table(c.finish().unwrap())
+        .finish()
+        .unwrap()
+}
+
+fn single_table_query(table: &str, attr: &str, v: i64) -> Query {
+    let mut b = Query::builder();
+    let var = b.var(table);
+    b.eq(var, attr, v);
+    b.build()
+}
+
+#[test]
+fn all_single_table_estimators_answer_through_the_trait() {
+    let db = db();
+    let prm = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+    let avi = AviAdapter::build(&db, "parent").unwrap();
+    let mhist = MhistAdapter::build(&db, "parent", &["x", "z"], 1024).unwrap();
+    let sample = SampleAdapter::build(&db, "parent", 4096, 7).unwrap();
+    let q = single_table_query("parent", "x", 1);
+    let truth = result_size(&db, &q).unwrap() as f64;
+    let estimators: Vec<&dyn SelectivityEstimator> = vec![&prm, &avi, &mhist, &sample];
+    for est in estimators {
+        let e = est.estimate(&q).unwrap();
+        assert!(
+            (e - truth).abs() / truth < 0.2,
+            "{}: est={e} truth={truth}",
+            est.name()
+        );
+        assert!(est.size_bytes() > 0, "{} reports zero size", est.name());
+    }
+}
+
+#[test]
+fn join_estimators_answer_the_full_chain() {
+    let db = db();
+    let prm = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+    let bn_uj = PrmEstimator::build(&db, &PrmLearnConfig::bn_uj(8192)).unwrap();
+    let sample = JoinSampleAdapter::build(&db, "child", &["parent"], 1 << 20, 3).unwrap();
+
+    let mut b = Query::builder();
+    let c = b.var("child");
+    let p = b.var("parent");
+    b.join(c, "parent", p).eq(p, "x", 1).eq(c, "y", 1);
+    let q = b.build();
+    let truth = result_size(&db, &q).unwrap() as f64;
+    assert!(truth > 0.0);
+
+    // The full-budget join sample is exact.
+    let s = sample.estimate(&q).unwrap();
+    assert!((s - truth).abs() < 1e-9, "sample est={s} truth={truth}");
+
+    // The PRM captures both the join skew and the cross-table copy.
+    let e = prm.estimate(&q).unwrap();
+    assert!((e - truth).abs() / truth < 0.25, "prm est={e} truth={truth}");
+
+    // BN+UJ must misestimate this strongly-correlated query more than the
+    // PRM does (it assumes uniform joins and independent attributes).
+    let u = bn_uj.estimate(&q).unwrap();
+    assert!(
+        (u - truth).abs() >= (e - truth).abs(),
+        "bn_uj={u} prm={e} truth={truth}"
+    );
+}
+
+#[test]
+fn prm_names_reflect_configuration() {
+    let db = db();
+    let prm = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+    let bn_uj = PrmEstimator::build(&db, &PrmLearnConfig::bn_uj(8192)).unwrap();
+    assert_eq!(prm.name(), "PRM");
+    assert_eq!(bn_uj.name(), "BN+UJ");
+    assert_eq!(bn_uj.prm().foreign_parent_count(), 0);
+}
+
+#[test]
+fn estimators_reject_queries_they_cannot_answer() {
+    let db = db();
+    let avi = AviAdapter::build(&db, "parent").unwrap();
+    // AVI over `parent` cannot answer a child query.
+    assert!(avi.estimate(&single_table_query("child", "y", 0)).is_err());
+    // MHIST over (x) cannot answer a predicate on an uncovered attr.
+    let mhist = MhistAdapter::build(&db, "parent", &["x"], 256).unwrap();
+    assert!(mhist.estimate(&single_table_query("parent", "z", 0)).is_err());
+    // The join sample answers only full-chain queries.
+    let js = JoinSampleAdapter::build(&db, "child", &["parent"], 4096, 1).unwrap();
+    assert!(js.estimate(&single_table_query("child", "y", 0)).is_err());
+}
+
+#[test]
+fn suite_evaluation_computes_adjusted_errors() {
+    let db = db();
+    let prm = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+    let queries: Vec<Query> = (0..2)
+        .map(|v| single_table_query("parent", "x", v))
+        .collect();
+    let eval = prmsel::evaluate_suite(&db, &prm, &queries).unwrap();
+    assert_eq!(eval.len(), 2);
+    for q in &eval.per_query {
+        assert!(q.error.is_finite());
+        assert_eq!(q.truth, 30);
+    }
+}
+
+#[test]
+fn prm_answers_queries_over_any_attribute_subset() {
+    // One model, many query shapes — the paper's "not limited to a small
+    // set of predetermined queries" claim.
+    let db = db();
+    let prm = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+    for (attr, card) in [("x", 2i64), ("z", 3)] {
+        for v in 0..card {
+            let q = single_table_query("parent", attr, v);
+            let truth = result_size(&db, &q).unwrap() as f64;
+            let est = prm.estimate(&q).unwrap();
+            assert!(
+                (est - truth).abs() / truth.max(1.0) < 0.2,
+                "{attr}={v}: est={est} truth={truth}"
+            );
+        }
+    }
+    // And a range query.
+    let mut b = Query::builder();
+    let p = b.var("parent");
+    b.range(p, "z", Some(1), Some(2));
+    let q = b.build();
+    let truth = result_size(&db, &q).unwrap() as f64;
+    let est = prm.estimate(&q).unwrap();
+    assert!((est - truth).abs() / truth < 0.2, "est={est} truth={truth}");
+}
+
+/// Diamond schema: `order` has TWO foreign keys (customer, product) — the
+/// query-evaluation network must handle a variable with several foreign
+/// parents and several join indicators.
+mod diamond {
+    use super::*;
+
+    fn diamond_db() -> Database {
+        let mut cust = TableBuilder::new("customer").key("id").col("tier");
+        for i in 0..20i64 {
+            cust.push_row(vec![Cell::Key(i), Cell::Val(Value::Int(i % 2))]).unwrap();
+        }
+        let mut prod = TableBuilder::new("product").key("id").col("kind");
+        for i in 0..10i64 {
+            prod.push_row(vec![Cell::Key(i), Cell::Val(Value::Int(i % 3))]).unwrap();
+        }
+        let mut ord = TableBuilder::new("order")
+            .key("id")
+            .fk("customer", "customer")
+            .fk("product", "product")
+            .col("qty");
+        for i in 0..400i64 {
+            // Decorrelated FK choices (a PRM models each join indicator
+            // against *attributes*, not against the other join's choice, so
+            // the generator must not couple the two through the row index).
+            let c = ((i as u64).wrapping_mul(2654435761) >> 7) as i64 % 20;
+            let p = ((i as u64).wrapping_mul(40503) >> 4) as i64 % 10;
+            // qty correlates with BOTH parents.
+            let qty = (c % 2 + p % 3) % 3;
+            ord.push_row(vec![
+                Cell::Key(i),
+                Cell::Key(c),
+                Cell::Key(p),
+                Cell::Val(Value::Int(qty)),
+            ])
+            .unwrap();
+        }
+        DatabaseBuilder::new()
+            .add_table(cust.finish().unwrap())
+            .add_table(prod.finish().unwrap())
+            .add_table(ord.finish().unwrap())
+            .finish()
+            .unwrap()
+    }
+
+    #[test]
+    fn executor_handles_double_fk_joins() {
+        let db = diamond_db();
+        let mut b = Query::builder();
+        let o = b.var("order");
+        let c = b.var("customer");
+        let p = b.var("product");
+        b.join(o, "customer", c)
+            .join(o, "product", p)
+            .eq(c, "tier", 1)
+            .eq(p, "kind", 2);
+        let q = b.build();
+        let fast = result_size(&db, &q).unwrap();
+        let brute = reldb::result_size_bruteforce(&db, &q).unwrap();
+        assert_eq!(fast, brute);
+        assert!(fast > 0);
+    }
+
+    #[test]
+    fn prm_learns_and_answers_diamond_queries() {
+        let db = diamond_db();
+        let est = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+        let mut b = Query::builder();
+        let o = b.var("order");
+        let c = b.var("customer");
+        let p = b.var("product");
+        b.join(o, "customer", c)
+            .join(o, "product", p)
+            .eq(c, "tier", 1)
+            .eq(p, "kind", 2)
+            .eq(o, "qty", 0);
+        let q = b.build();
+        let truth = result_size(&db, &q).unwrap() as f64;
+        let e = est.estimate(&q).unwrap();
+        assert!(
+            (e - truth).abs() / truth.max(1.0) < 0.5,
+            "est={e} truth={truth}"
+        );
+    }
+
+    #[test]
+    fn closure_pulls_in_both_parents_when_needed() {
+        // A single-table query on order.qty: if qty learned foreign
+        // parents on both sides, the closure introduces both tables — and
+        // the estimate must still match the explicit-join formulation.
+        let db = diamond_db();
+        let est = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+        let mut b1 = Query::builder();
+        let o1 = b1.var("order");
+        b1.eq(o1, "qty", 1);
+        let e1 = est.estimate(&b1.build()).unwrap();
+
+        let mut b2 = Query::builder();
+        let o2 = b2.var("order");
+        let c2 = b2.var("customer");
+        let p2 = b2.var("product");
+        b2.join(o2, "customer", c2).join(o2, "product", p2).eq(o2, "qty", 1);
+        let e2 = est.estimate(&b2.build()).unwrap();
+        assert!((e1 - e2).abs() < 1e-6 * e1.max(1.0), "{e1} vs {e2}");
+
+        let truth = result_size(&db, &b1.build()).unwrap() as f64;
+        assert!((e1 - truth).abs() / truth < 0.35, "est={e1} truth={truth}");
+    }
+
+    #[test]
+    fn planner_handles_diamond_join_graphs() {
+        let db = diamond_db();
+        let est = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+        let mut b = Query::builder();
+        let o = b.var("order");
+        let c = b.var("customer");
+        let p = b.var("product");
+        b.join(o, "customer", c).join(o, "product", p).eq(c, "tier", 0);
+        let plans = prmsel::enumerate_plans(&est, &b.build()).unwrap();
+        // Star around `order`: orders o-c-p, o-p-c, c-o-p, p-o-c.
+        assert_eq!(plans.len(), 4);
+    }
+}
+
+#[test]
+fn wavelet_adapter_answers_through_the_trait() {
+    let db = db();
+    let wavelet = prmsel::WaveletAdapter::build(&db, "parent", &["x", "z"], 2048).unwrap();
+    let q = single_table_query("parent", "x", 1);
+    let truth = result_size(&db, &q).unwrap() as f64;
+    let est = wavelet.estimate(&q).unwrap();
+    assert!((est - truth).abs() / truth < 0.2, "est={est} truth={truth}");
+    assert!(wavelet.size_bytes() > 0 && wavelet.size_bytes() <= 2048);
+    // Predicates outside the covered attrs are rejected.
+    assert!(wavelet.estimate(&single_table_query("child", "y", 0)).is_err());
+}
+
+#[test]
+fn trait_objects_and_boxes_work_in_collections() {
+    // The blanket impls let heterogeneous estimator fleets live in one Vec.
+    let db = db();
+    let fleet: Vec<Box<dyn SelectivityEstimator + Sync>> = vec![
+        Box::new(PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap()),
+        Box::new(AviAdapter::build(&db, "parent").unwrap()),
+        Box::new(SampleAdapter::build(&db, "parent", 2048, 1).unwrap()),
+    ];
+    let q = single_table_query("parent", "x", 0);
+    let truth = result_size(&db, &q).unwrap() as f64;
+    for est in &fleet {
+        // `&Box<dyn ...>` goes through both blanket impls.
+        let e = est.estimate(&q).unwrap();
+        assert!((e - truth).abs() / truth < 0.25, "{}: {e}", est.name());
+    }
+}

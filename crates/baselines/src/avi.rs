@@ -37,7 +37,11 @@ impl AviEstimator {
 
     /// Builds bucketed histograms with at most `max_buckets` buckets per
     /// attribute (for large domains).
-    pub fn build_bucketed(table: &Table, kind: HistogramKind, max_buckets: usize) -> Self {
+    pub fn build_bucketed(
+        table: &Table,
+        kind: HistogramKind,
+        max_buckets: usize,
+    ) -> Self {
         let mut by_attr = HashMap::new();
         for attr in table.schema().value_attrs() {
             let codes = table.codes(attr).expect("value attr");

@@ -104,11 +104,10 @@ impl MhistEstimator {
             vec![best_split(&joint, cards, &buckets[0], split)];
         while (buckets.len() + 1) * bucket_bytes <= budget_bytes {
             // Most-in-need bucket.
-            let Some((idx, choice)) = choices
-                .iter()
-                .enumerate()
-                .filter_map(|(i, c)| c.map(|c| (i, c)))
-                .max_by(|a, b| a.1.variance.partial_cmp(&b.1.variance).expect("finite"))
+            let Some((idx, choice)) =
+                choices.iter().enumerate().filter_map(|(i, c)| c.map(|c| (i, c))).max_by(
+                    |a, b| a.1.variance.partial_cmp(&b.1.variance).expect("finite"),
+                )
             else {
                 break;
             };
@@ -186,7 +185,12 @@ fn rect_total(joint: &[u64], cards: &[usize], b: &Bucket) -> u64 {
 }
 
 /// Invokes `f(coords, value)` for every cell in the rectangle.
-fn walk_rect(joint: &[u64], cards: &[usize], b: &Bucket, f: &mut impl FnMut(&[u32], u64)) {
+fn walk_rect(
+    joint: &[u64],
+    cards: &[usize],
+    b: &Bucket,
+    f: &mut impl FnMut(&[u32], u64),
+) {
     let d = cards.len();
     let mut coords: Vec<u32> = b.lo.clone();
     loop {
@@ -247,8 +251,8 @@ fn best_split(
                     let mut cut_at = 0usize;
                     let mut best_resid = f64::INFINITY;
                     for cut in 0..extent - 1 {
-                        let resid = variance(&marginal[..=cut])
-                            + variance(&marginal[cut + 1..]);
+                        let resid =
+                            variance(&marginal[..=cut]) + variance(&marginal[cut + 1..]);
                         if resid < best_resid {
                             best_resid = resid;
                             cut_at = cut;
@@ -259,9 +263,7 @@ fn best_split(
                 MhistSplit::MaxDiff => {
                     // Cut at the largest adjacent frequency difference.
                     (0..extent - 1)
-                        .max_by_key(|&cut| {
-                            marginal[cut].abs_diff(marginal[cut + 1])
-                        })
+                        .max_by_key(|&cut| marginal[cut].abs_diff(marginal[cut + 1]))
                         .expect("extent >= 2")
                 }
             };
@@ -399,9 +401,8 @@ mod tests {
     fn maxdiff_cuts_at_the_step() {
         // A step function: MaxDiff must cut exactly at the discontinuity,
         // giving an exact 2-bucket model along the stepped dimension.
-        let stepped: Vec<u32> = (0..800u32)
-            .map(|i| if (i % 8) < 5 { 0 } else { 1 })
-            .collect();
+        let stepped: Vec<u32> =
+            (0..800u32).map(|i| if (i % 8) < 5 { 0 } else { 1 }).collect();
         let dim2: Vec<u32> = (0..800u32).map(|i| i % 8).collect();
         let m = MhistEstimator::build_with_split(
             &[&stepped, &dim2],

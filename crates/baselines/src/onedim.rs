@@ -89,7 +89,12 @@ pub struct Histogram1D {
 impl Histogram1D {
     /// Builds a histogram of `codes` (domain `0..card`) with at most
     /// `max_buckets` buckets.
-    pub fn build(codes: &[u32], card: usize, kind: HistogramKind, max_buckets: usize) -> Self {
+    pub fn build(
+        codes: &[u32],
+        card: usize,
+        kind: HistogramKind,
+        max_buckets: usize,
+    ) -> Self {
         assert!(card >= 1 && max_buckets >= 1);
         let mut freq = vec![0u64; card];
         for &c in codes {
@@ -103,9 +108,9 @@ impl Histogram1D {
         let upper: Vec<u32> = match kind {
             HistogramKind::Exact => (0..card as u32).collect(),
             HistogramKind::VOptimal => v_optimal_bounds(&freq, buckets),
-            HistogramKind::EquiWidth => (1..=buckets)
-                .map(|b| ((b * card).div_ceil(buckets) - 1) as u32)
-                .collect(),
+            HistogramKind::EquiWidth => {
+                (1..=buckets).map(|b| ((b * card).div_ceil(buckets) - 1) as u32).collect()
+            }
             HistogramKind::EquiDepth => {
                 let target = (n as f64 / buckets as f64).max(1.0);
                 let mut upper = Vec::with_capacity(buckets);
@@ -245,8 +250,7 @@ mod tests {
             let h = Histogram1D::build(&codes, 6, kind, 3);
             (0..6u32)
                 .map(|c| {
-                    let truth =
-                        codes.iter().filter(|&&x| x == c).count() as f64;
+                    let truth = codes.iter().filter(|&&x| x == c).count() as f64;
                     (h.estimate_rows(&[c]) - truth).abs()
                 })
                 .sum::<f64>()
@@ -256,7 +260,12 @@ mod tests {
 
     #[test]
     fn estimates_sum_to_total_for_any_kind() {
-        for kind in [HistogramKind::Exact, HistogramKind::EquiWidth, HistogramKind::EquiDepth, HistogramKind::VOptimal] {
+        for kind in [
+            HistogramKind::Exact,
+            HistogramKind::EquiWidth,
+            HistogramKind::EquiDepth,
+            HistogramKind::VOptimal,
+        ] {
             for buckets in [1, 2, 3, 5] {
                 let h = Histogram1D::build(&codes(), 5, kind, buckets);
                 let all: Vec<u32> = (0..5).collect();

@@ -40,9 +40,13 @@ impl SampleEstimator {
             let codes = table.codes(attr).expect("value attr");
             cols.push(rows.iter().map(|&r| codes[r]).collect());
         }
-        let attr_index =
-            attrs.into_iter().enumerate().map(|(i, a)| (a, i)).collect();
-        SampleEstimator { attr_index, cols, sample_size: rows.len(), population: n as u64 }
+        let attr_index = attrs.into_iter().enumerate().map(|(i, a)| (a, i)).collect();
+        SampleEstimator {
+            attr_index,
+            cols,
+            sample_size: rows.len(),
+            population: n as u64,
+        }
     }
 
     /// Estimated result size of a conjunction of (attribute, allowed code
@@ -108,7 +112,12 @@ pub struct JoinSampleEstimator {
 
 impl JoinSampleEstimator {
     /// Builds the join sample within `budget_bytes`.
-    pub fn build(db: &Database, path: &JoinPath, budget_bytes: usize, seed: u64) -> Result<Self> {
+    pub fn build(
+        db: &Database,
+        path: &JoinPath,
+        budget_bytes: usize,
+        seed: u64,
+    ) -> Result<Self> {
         // Resolve the chain: table names and row mappings from base rows.
         let mut tables = vec![path.base.clone()];
         let mut mappings: Vec<Option<Vec<u32>>> = vec![None];
@@ -272,10 +281,14 @@ mod tests {
     fn chain_db() -> Database {
         let mut s = TableBuilder::new("strain").key("id").col("unique");
         for i in 0..10i64 {
-            s.push_row(vec![reldb::Cell::Key(i), if i < 5 { "yes" } else { "no" }.into()])
-                .unwrap();
+            s.push_row(vec![
+                reldb::Cell::Key(i),
+                if i < 5 { "yes" } else { "no" }.into(),
+            ])
+            .unwrap();
         }
-        let mut p = TableBuilder::new("patient").key("id").fk("strain", "strain").col("age");
+        let mut p =
+            TableBuilder::new("patient").key("id").fk("strain", "strain").col("age");
         for i in 0..100i64 {
             p.push_row(vec![
                 reldb::Cell::Key(i),
@@ -284,7 +297,8 @@ mod tests {
             ])
             .unwrap();
         }
-        let mut c = TableBuilder::new("contact").key("id").fk("patient", "patient").col("type");
+        let mut c =
+            TableBuilder::new("contact").key("id").fk("patient", "patient").col("type");
         for i in 0..500i64 {
             c.push_row(vec![
                 reldb::Cell::Key(i),
@@ -304,7 +318,10 @@ mod tests {
     #[test]
     fn join_sample_with_full_budget_matches_exact_join_counts() {
         let db = chain_db();
-        let path = JoinPath { base: "contact".into(), hops: vec!["patient".into(), "strain".into()] };
+        let path = JoinPath {
+            base: "contact".into(),
+            hops: vec!["patient".into(), "strain".into()],
+        };
         let js = JoinSampleEstimator::build(&db, &path, 1_000_000, 3).unwrap();
         assert_eq!(js.sample_size(), 500);
         // Exact: contacts with type=home (code 0) whose patient age=60.
@@ -317,16 +334,17 @@ mod tests {
             (("patient".into(), "age".into()), vec![age60]),
         ]);
         // Ground truth: even contact ids whose patient id (i%100) ≡ 0 mod 3.
-        let truth = (0..500)
-            .filter(|i| i % 2 == 0 && (i % 100) % 3 == 0)
-            .count() as f64;
+        let truth = (0..500).filter(|i| i % 2 == 0 && (i % 100) % 3 == 0).count() as f64;
         assert!((est - truth).abs() < 1e-9, "est={est} truth={truth}");
     }
 
     #[test]
     fn join_sample_size_accounting() {
         let db = chain_db();
-        let path = JoinPath { base: "contact".into(), hops: vec!["patient".into(), "strain".into()] };
+        let path = JoinPath {
+            base: "contact".into(),
+            hops: vec!["patient".into(), "strain".into()],
+        };
         let js = JoinSampleEstimator::build(&db, &path, 600, 3).unwrap();
         // 3 attributes across the chain → 6 bytes per joined row → 100 rows.
         assert_eq!(js.sample_size(), 100);

@@ -89,9 +89,7 @@ impl WaveletEstimator {
         let mut cursor = vec![0usize; allowed.len()];
         loop {
             let mut idx = 0usize;
-            for ((sel, &card), &cur) in
-                allowed.iter().zip(&self.cards).zip(&cursor)
-            {
+            for ((sel, &card), &cur) in allowed.iter().zip(&self.cards).zip(&cursor) {
                 idx = idx * card + sel[cur] as usize;
             }
             est += self.recon[idx].max(0.0);
@@ -238,11 +236,9 @@ mod tests {
         let w = WaveletEstimator::build(&[&x, &y], &[5, 3], 1 << 20);
         for qx in 0..5u32 {
             for qy in 0..3u32 {
-                let truth = x
-                    .iter()
-                    .zip(&y)
-                    .filter(|&(&a, &b)| a == qx && b == qy)
-                    .count() as f64;
+                let truth =
+                    x.iter().zip(&y).filter(|&(&a, &b)| a == qx && b == qy).count()
+                        as f64;
                 let est = w.estimate(&[vec![qx], vec![qy]]);
                 assert!((est - truth).abs() < 1e-6, "({qx},{qy}): {est} vs {truth}");
             }
@@ -259,10 +255,7 @@ mod tests {
             let est = w.estimate(&[all_x, all_y]);
             // The top coefficient (overall average) is always among the
             // largest, so total mass survives thresholding approximately.
-            assert!(
-                (est - 600.0).abs() / 600.0 < 0.5,
-                "budget {budget}: total {est}"
-            );
+            assert!((est - 600.0).abs() / 600.0 < 0.5, "budget {budget}: total {est}");
         }
     }
 

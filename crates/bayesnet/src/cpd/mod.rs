@@ -96,7 +96,9 @@ impl Cpd {
         // Position of each sorted-scope variable within (parents..., child).
         let slot_of: Vec<usize> = sorted
             .iter()
-            .map(|&(v, _)| scope.iter().position(|&(sv, _)| sv == v).expect("var in scope"))
+            .map(|&(v, _)| {
+                scope.iter().position(|&(sv, _)| sv == v).expect("var in scope")
+            })
             .collect();
         let mut data = vec![0.0; len];
         let mut assign = vec![0u32; vars.len()];

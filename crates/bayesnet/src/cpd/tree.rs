@@ -44,18 +44,31 @@ impl TreeCpd {
     /// Creates a tree CPD from an explicit arena (root at index 0).
     /// Panics on malformed trees (bad branch counts, out-of-range indexes,
     /// wrong leaf arity).
-    pub fn new(child_card: usize, parent_cards: Vec<usize>, nodes: Vec<TreeNode>) -> Self {
+    pub fn new(
+        child_card: usize,
+        parent_cards: Vec<usize>,
+        nodes: Vec<TreeNode>,
+    ) -> Self {
         assert!(!nodes.is_empty(), "tree needs at least a root leaf");
         for node in &nodes {
             match node {
                 TreeNode::Leaf(d) => assert_eq!(d.len(), child_card, "bad leaf arity"),
                 TreeNode::SplitPerValue { slot, branches } => {
                     assert_eq!(branches.len(), parent_cards[*slot], "bad branch count");
-                    assert!(branches.iter().all(|&b| b < nodes.len()), "branch out of range");
+                    assert!(
+                        branches.iter().all(|&b| b < nodes.len()),
+                        "branch out of range"
+                    );
                 }
                 TreeNode::SplitThreshold { slot, cut, lo, hi } => {
-                    assert!((*cut as usize) + 1 < parent_cards[*slot], "degenerate threshold");
-                    assert!(*lo < nodes.len() && *hi < nodes.len(), "branch out of range");
+                    assert!(
+                        (*cut as usize) + 1 < parent_cards[*slot],
+                        "degenerate threshold"
+                    );
+                    assert!(
+                        *lo < nodes.len() && *hi < nodes.len(),
+                        "branch out of range"
+                    );
                 }
             }
         }

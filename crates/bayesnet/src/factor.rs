@@ -94,7 +94,10 @@ impl Factor {
                 || (i < self.vars.len() && self.vars[i] <= other.vars[j]);
             if take_self {
                 if j < other.vars.len() && self.vars[i] == other.vars[j] {
-                    debug_assert_eq!(self.cards[i], other.cards[j], "cardinality mismatch");
+                    debug_assert_eq!(
+                        self.cards[i], other.cards[j],
+                        "cardinality mismatch"
+                    );
                     j += 1;
                 }
                 vars.push(self.vars[i]);

@@ -86,6 +86,7 @@ impl Evidence {
 /// Panics if the network is incomplete or an evidence mask has the wrong
 /// length for its variable.
 pub fn probability_of_evidence(bn: &BayesNet, evidence: &Evidence) -> f64 {
+    obs::counter!("bn.infer.queries").inc();
     if evidence.is_empty() {
         return 1.0;
     }
@@ -180,6 +181,8 @@ pub fn eliminate_all(
             .reduce(|a, b| a.product(&b))
             .expect("at least one factor");
         factors.push(combined.sum_out(var));
+        // One elimination ≈ one message in the clique-tree reading of VE.
+        obs::counter!("bn.infer.messages").inc();
     }
     factors
         .into_iter()
@@ -208,12 +211,8 @@ mod tests {
         bn.set_family(
             1,
             &[0],
-            TableCpd::new(
-                3,
-                vec![3],
-                vec![0.6, 0.3, 0.1, 0.5, 0.3, 0.2, 0.1, 0.3, 0.6],
-            )
-            .into(),
+            TableCpd::new(3, vec![3], vec![0.6, 0.3, 0.1, 0.5, 0.3, 0.2, 0.1, 0.3, 0.6])
+                .into(),
         );
         // H | I: f=0, t=1.
         bn.set_family(
@@ -275,20 +274,13 @@ mod tests {
     #[test]
     fn ve_matches_full_joint_enumeration() {
         let bn = paper_chain();
-        let joint = bn
-            .factors()
-            .into_iter()
-            .reduce(|a, b| a.product(&b))
-            .unwrap();
+        let joint = bn.factors().into_iter().reduce(|a, b| a.product(&b)).unwrap();
         // Check every single-var and pairwise evidence combination.
         for e in 0..3u32 {
             for h in 0..2u32 {
                 let mut ev = Evidence::new();
                 ev.eq(0, e, 3).eq(2, h, 2);
-                let brute = joint
-                    .reduce(0, &mask(3, e))
-                    .reduce(2, &mask(2, h))
-                    .total();
+                let brute = joint.reduce(0, &mask(3, e)).reduce(2, &mask(2, h)).total();
                 let ve = probability_of_evidence(&bn, &ev);
                 assert!((ve - brute).abs() < 1e-12, "mismatch at ({e},{h})");
             }

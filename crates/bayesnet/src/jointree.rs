@@ -169,14 +169,18 @@ impl JoinTree {
             }
         }
         debug_assert_eq!(order.len(), m);
-        JoinTree {
+        let tree = JoinTree {
             cliques,
             edges,
             assigned,
             cards: bn.cards().to_vec(),
             factors,
             post_order: order,
-        }
+        };
+        obs::histogram!("bn.jointree.n_cliques").record(tree.n_cliques() as u64);
+        obs::histogram!("bn.jointree.max_clique_weight")
+            .record(tree.max_clique_weight() as u64);
+        tree
     }
 
     /// Number of cliques.
@@ -329,6 +333,7 @@ impl JoinTree {
                 }
             }
             messages[ei] = Some(msg);
+            obs::counter!("bn.jointree.messages").inc();
         }
         (messages, potentials)
     }
@@ -516,10 +521,7 @@ mod tests {
     #[test]
     fn chain_network_calibration() {
         // X0 → X1 → X2 → X3 chain; check a mid-chain posterior.
-        let mut bn = BayesNet::new(
-            (0..4).map(|i| format!("x{i}")).collect(),
-            vec![2; 4],
-        );
+        let mut bn = BayesNet::new((0..4).map(|i| format!("x{i}")).collect(), vec![2; 4]);
         bn.set_family(0, &[], TableCpd::new(2, vec![], vec![0.6, 0.4]).into());
         for v in 1..4 {
             bn.set_family(

@@ -84,7 +84,8 @@ impl Dataset {
         let size: usize = cards.iter().product::<usize>().max(1);
         let mut counts = vec![0u64; size];
         let child_col = &self.cols[child];
-        let parent_cols: Vec<&[u32]> = parents.iter().map(|&p| self.cols[p].as_slice()).collect();
+        let parent_cols: Vec<&[u32]> =
+            parents.iter().map(|&p| self.cols[p].as_slice()).collect();
         for row in 0..self.n {
             let mut idx = 0usize;
             for (col, &card) in parent_cols.iter().zip(&cards) {
@@ -149,10 +150,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "ragged")]
     fn ragged_input_rejected() {
-        Dataset::new(
-            vec!["a".into(), "b".into()],
-            vec![2, 2],
-            vec![vec![0], vec![0, 1]],
-        );
+        Dataset::new(vec!["a".into(), "b".into()], vec![2, 2], vec![vec![0], vec![0, 1]]);
     }
 }

@@ -123,6 +123,7 @@ impl GreedyLearner {
 
     /// Learns a Bayesian network for the dataset.
     pub fn learn(&self, data: &Dataset) -> LearnOutcome {
+        let _span = obs::span("bn.learn");
         let mut cache: Cache = HashMap::new();
         let n = data.n_vars();
         let mut dag = Dag::empty(n);
@@ -131,6 +132,7 @@ impl GreedyLearner {
         let mut best = self.climb(data, &mut dag, &mut cache);
         let mut best_dag = dag.clone();
         for _ in 0..self.config.restarts {
+            obs::counter!("bn.search.restarts").inc();
             self.perturb(data, &mut dag, &mut cache, &mut rng);
             let outcome = self.climb(data, &mut dag, &mut cache);
             if self.objective(&outcome, data) > self.objective(&best, data) {
@@ -139,6 +141,7 @@ impl GreedyLearner {
             }
         }
         let _ = best_dag;
+        obs::debug!("structure search done: ll={:.2} bytes={}", best.loglik, best.bytes);
         best
     }
 
@@ -153,12 +156,7 @@ impl GreedyLearner {
     }
 
     /// Hill-climbs to a local optimum from the current DAG.
-    fn climb(
-        &self,
-        data: &Dataset,
-        dag: &mut Dag,
-        cache: &mut Cache,
-    ) -> LearnOutcome {
+    fn climb(&self, data: &Dataset, dag: &mut Dag, cache: &mut Cache) -> LearnOutcome {
         let n = data.n_vars();
         const TOL: f64 = 1e-9;
         // Current family evaluations (what the model would ship today).
@@ -204,24 +202,29 @@ impl GreedyLearner {
                         candidates.push(Move::Add(p, c));
                     }
                     for mv in candidates {
+                        obs::counter!("bn.search.moves.evaluated").inc();
                         let Some((dll, dbytes)) =
                             self.move_delta(data, dag, cache, mv, cur_bytes, &cur)
                         else {
+                            obs::counter!("bn.search.moves.illegal").inc();
                             continue;
                         };
                         let new_bytes = (cur_bytes as i64 + dbytes) as usize;
                         if new_bytes > self.config.budget_bytes {
+                            obs::counter!("bn.search.moves.over_budget").inc();
                             continue;
                         }
                         let score = match self.config.rule {
                             StepRule::Naive => {
                                 if dll <= TOL {
+                                    obs::counter!("bn.search.moves.rejected").inc();
                                     continue;
                                 }
                                 dll
                             }
                             StepRule::Ssn => {
                                 if dll <= TOL {
+                                    obs::counter!("bn.search.moves.rejected").inc();
                                     continue;
                                 }
                                 if dbytes > 0 {
@@ -236,6 +239,7 @@ impl GreedyLearner {
                                         * dbytes as f64
                                         / 4.0;
                                 if dmdl <= TOL {
+                                    obs::counter!("bn.search.moves.rejected").inc();
                                     continue;
                                 }
                                 dmdl
@@ -251,7 +255,23 @@ impl GreedyLearner {
                 None => {
                     return self.assemble(dag, &cur, data, cur_ll, cur_bytes);
                 }
-                Some((mv, _, _, _)) => {
+                Some((mv, _, dll, new_bytes)) => {
+                    match mv {
+                        Move::Add(..) => obs::counter!("bn.search.steps.add").inc(),
+                        Move::Delete(..) => obs::counter!("bn.search.steps.delete").inc(),
+                        Move::Reverse(..) => {
+                            obs::counter!("bn.search.steps.reverse").inc()
+                        }
+                    }
+                    obs::counter!("bn.search.steps.accepted").inc();
+                    let dbytes = new_bytes as i64 - cur_bytes as i64;
+                    if dbytes != 0 {
+                        obs::gauge!("bn.search.last_dll_per_byte")
+                            .set(dll / dbytes as f64);
+                    }
+                    obs::trace!(
+                        "accepted {mv:?}: dll={dll:.3} bytes {cur_bytes}->{new_bytes}"
+                    );
                     self.apply(data, dag, cache, mv, cur_bytes, &mut cur);
                 }
             }
@@ -282,7 +302,13 @@ impl GreedyLearner {
                 && dag.parents(c).len() < self.config.max_parents
                 && !dag.creates_cycle(p, c)
                 && self
-                    .eval_family(data, c, &with_parent(dag.parents(c), p), cache, usize::MAX)
+                    .eval_family(
+                        data,
+                        c,
+                        &with_parent(dag.parents(c), p),
+                        cache,
+                        usize::MAX,
+                    )
                     .is_some()
             {
                 dag.add_edge(p, c);
@@ -302,7 +328,9 @@ impl GreedyLearner {
                 break;
             }
             let edges: Vec<(usize, usize)> = (0..n)
-                .flat_map(|c| dag.parents(c).iter().map(move |&p| (p, c)).collect::<Vec<_>>())
+                .flat_map(|c| {
+                    dag.parents(c).iter().map(move |&p| (p, c)).collect::<Vec<_>>()
+                })
                 .collect();
             if edges.is_empty() {
                 break;
@@ -434,39 +462,37 @@ impl GreedyLearner {
             CpdKind::Tree => param_cap,
         };
         let key = (child, parents_sorted.to_vec(), keyed_cap);
-        let entry = cache.entry(key).or_insert_with(|| {
-            match self.config.cpd_kind {
-                CpdKind::Table => {
-                    if data.family_table_cells(child, parents_sorted)
-                        > self.config.max_family_cells
-                    {
-                        return None;
-                    }
-                    let counts = data.family_counts(child, parents_sorted);
-                    let ll = family_loglik(&counts);
-                    let cpd: Cpd = TableCpd::from_counts(&counts).into();
-                    let bytes = cpd.size_bytes();
-                    Some(FamilyEval { ll, bytes, cpd })
+        let entry = cache.entry(key).or_insert_with(|| match self.config.cpd_kind {
+            CpdKind::Table => {
+                if data.family_table_cells(child, parents_sorted)
+                    > self.config.max_family_cells
+                {
+                    return None;
                 }
-                CpdKind::Tree => {
-                    let parent_cols: Vec<&[u32]> =
-                        parents_sorted.iter().map(|&p| data.col(p)).collect();
-                    let parent_cards: Vec<usize> =
-                        parents_sorted.iter().map(|&p| data.card(p)).collect();
-                    let opts = TreeGrowOptions {
-                        byte_budget: self.config.tree.byte_budget.min(param_cap),
-                        ..self.config.tree.clone()
-                    };
-                    let grown = grow_tree(
-                        data.col(child),
-                        data.card(child),
-                        &parent_cols,
-                        &parent_cards,
-                        &opts,
-                    );
-                    let bytes = grown.cpd.size_bytes();
-                    Some(FamilyEval { ll: grown.loglik, bytes, cpd: grown.cpd.into() })
-                }
+                let counts = data.family_counts(child, parents_sorted);
+                let ll = family_loglik(&counts);
+                let cpd: Cpd = TableCpd::from_counts(&counts).into();
+                let bytes = cpd.size_bytes();
+                Some(FamilyEval { ll, bytes, cpd })
+            }
+            CpdKind::Tree => {
+                let parent_cols: Vec<&[u32]> =
+                    parents_sorted.iter().map(|&p| data.col(p)).collect();
+                let parent_cards: Vec<usize> =
+                    parents_sorted.iter().map(|&p| data.card(p)).collect();
+                let opts = TreeGrowOptions {
+                    byte_budget: self.config.tree.byte_budget.min(param_cap),
+                    ..self.config.tree.clone()
+                };
+                let grown = grow_tree(
+                    data.col(child),
+                    data.card(child),
+                    &parent_cols,
+                    &parent_cards,
+                    &opts,
+                );
+                let bytes = grown.cpd.size_bytes();
+                Some(FamilyEval { ll: grown.loglik, bytes, cpd: grown.cpd.into() })
             }
         });
         entry.as_ref()
@@ -625,11 +651,8 @@ mod tests {
         let n = 4000;
         let parent: Vec<u32> = (0..n).map(|i| (i % 16) as u32).collect();
         let child: Vec<u32> = parent.iter().map(|&v| v % 8).collect();
-        let data = Dataset::new(
-            vec!["p".into(), "c".into()],
-            vec![16, 8],
-            vec![parent, child],
-        );
+        let data =
+            Dataset::new(vec!["p".into(), "c".into()], vec![16, 8], vec![parent, child]);
         // Marginals alone: (16-1 + 8-1) * 4 + small = ~96 bytes. The full
         // tree for c|p is 16 leaves * 7 params * 4 = 448 bytes.
         let outcome = GreedyLearner::new(LearnConfig {

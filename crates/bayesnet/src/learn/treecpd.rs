@@ -168,7 +168,13 @@ pub fn grow_tree(
         // leaf contributes at most one pending candidate, consumed above.
         for id in new_ids {
             if let Some(c) = best_split(
-                &nodes, id, child_col, child_card, parent_cols, parent_cards, opts,
+                &nodes,
+                id,
+                child_col,
+                child_card,
+                parent_cols,
+                parent_cards,
+                opts,
             ) {
                 pending.push(c);
             }
@@ -256,10 +262,7 @@ fn best_split(
             matrix[v * child_card + c] += 1;
         }
         // Multiway split.
-        let multi_ll: f64 = matrix
-            .chunks(child_card)
-            .map(marginal_loglik)
-            .sum();
+        let multi_ll: f64 = matrix.chunks(child_card).map(marginal_loglik).sum();
         consider(
             &mut best,
             Candidate {
@@ -280,8 +283,7 @@ fn best_split(
             for c in 0..child_card {
                 lo[c] += matrix[cut * child_card + c];
             }
-            let hi: Vec<u64> =
-                total.iter().zip(&lo).map(|(&t, &l)| t - l).collect();
+            let hi: Vec<u64> = total.iter().zip(&lo).map(|(&t, &l)| t - l).collect();
             let gain = marginal_loglik(&lo) + marginal_loglik(&hi) - leaf_ll;
             consider(
                 &mut best,
@@ -368,7 +370,11 @@ mod tests {
             2,
             &[&p0],
             &[4],
-            &TreeGrowOptions { param_budget: 1, min_gain_per_param: 0.0, ..Default::default() },
+            &TreeGrowOptions {
+                param_budget: 1,
+                min_gain_per_param: 0.0,
+                ..Default::default()
+            },
         );
         assert_eq!(grown.cpd.leaf_count(), 1);
     }
@@ -400,7 +406,11 @@ mod tests {
             2,
             &[&p0],
             &[2],
-            &TreeGrowOptions { min_rows: 10, min_gain_per_param: 0.0, ..Default::default() },
+            &TreeGrowOptions {
+                min_rows: 10,
+                min_gain_per_param: 0.0,
+                ..Default::default()
+            },
         );
         assert_eq!(grown.cpd.leaf_count(), 1);
     }

@@ -60,6 +60,6 @@ pub use graph::Dag;
 pub use infer::{probability_of_evidence, Evidence};
 pub use jointree::JoinTree;
 pub use learn::dataset::Dataset;
-pub use sample::likelihood_weighting;
 pub use learn::search::{GreedyLearner, LearnConfig, StepRule};
 pub use network::BayesNet;
+pub use sample::likelihood_weighting;

@@ -114,8 +114,7 @@ impl BayesNet {
 
     /// Total model size in bytes (CPDs + 2 bytes per edge of structure).
     pub fn size_bytes(&self) -> usize {
-        let cpd_bytes: usize =
-            self.cpds.iter().flatten().map(|c| c.size_bytes()).sum();
+        let cpd_bytes: usize = self.cpds.iter().flatten().map(|c| c.size_bytes()).sum();
         cpd_bytes + 2 * self.dag.edge_count()
     }
 
@@ -166,10 +165,8 @@ mod tests {
 
     fn chain() -> BayesNet {
         // X0 → X1 → X2, all binary.
-        let mut bn = BayesNet::new(
-            vec!["a".into(), "b".into(), "c".into()],
-            vec![2, 2, 2],
-        );
+        let mut bn =
+            BayesNet::new(vec!["a".into(), "b".into(), "c".into()], vec![2, 2, 2]);
         bn.set_family(0, &[], TableCpd::new(2, vec![], vec![0.6, 0.4]).into());
         bn.set_family(
             1,
@@ -188,11 +185,7 @@ mod tests {
     fn joint_via_factors_matches_chain_rule() {
         let bn = chain();
         assert!(bn.is_complete());
-        let joint = bn
-            .factors()
-            .into_iter()
-            .reduce(|a, b| a.product(&b))
-            .unwrap();
+        let joint = bn.factors().into_iter().reduce(|a, b| a.product(&b)).unwrap();
         // P(0,0,0) = 0.6 * 0.9 * 0.7
         assert!((joint.value_at(&[0, 0, 0]) - 0.6 * 0.9 * 0.7).abs() < 1e-12);
         // P(1,1,1) = 0.4 * 0.8 * 0.5
@@ -233,16 +226,10 @@ mod tests {
         let n = 500;
         let a: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
         let b: Vec<u32> = a.iter().map(|&v| v ^ 1).collect();
-        let data = Dataset::new(
-            vec!["a".into(), "b".into()],
-            vec![2, 2],
-            vec![a, b],
-        );
-        let outcome = GreedyLearner::new(LearnConfig {
-            restarts: 0,
-            ..Default::default()
-        })
-        .learn(&data);
+        let data = Dataset::new(vec!["a".into(), "b".into()], vec![2, 2], vec![a, b]);
+        let outcome =
+            GreedyLearner::new(LearnConfig { restarts: 0, ..Default::default() })
+                .learn(&data);
         let direct = outcome.network.log_likelihood(&data);
         assert!(
             (direct - outcome.loglik).abs() < 1e-6,
@@ -254,10 +241,8 @@ mod tests {
     #[test]
     fn size_accounts_for_cpds_and_edges() {
         let bn = chain();
-        let expect: usize = (0..3)
-            .map(|v| bn.cpd(v).unwrap().size_bytes())
-            .sum::<usize>()
-            + 2 * 2;
+        let expect: usize =
+            (0..3).map(|v| bn.cpd(v).unwrap().size_bytes()).sum::<usize>() + 2 * 2;
         assert_eq!(bn.size_bytes(), expect);
     }
 

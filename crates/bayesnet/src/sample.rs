@@ -24,7 +24,11 @@ pub fn sample_row<R: Rng + ?Sized>(bn: &BayesNet, rng: &mut R) -> Vec<u32> {
 }
 
 /// Draws `n` rows, column-major (one `Vec<u32>` per variable).
-pub fn sample_columns<R: Rng + ?Sized>(bn: &BayesNet, n: usize, rng: &mut R) -> Vec<Vec<u32>> {
+pub fn sample_columns<R: Rng + ?Sized>(
+    bn: &BayesNet,
+    n: usize,
+    rng: &mut R,
+) -> Vec<Vec<u32>> {
     let mut cols = vec![Vec::with_capacity(n); bn.len()];
     for _ in 0..n {
         let row = sample_row(bn, rng);
@@ -73,9 +77,7 @@ pub fn likelihood_weighting<R: Rng + ?Sized>(
                     // Weight by the allowed mass, then sample within it.
                     masked.clear();
                     masked.extend(
-                        dist.iter()
-                            .zip(mask)
-                            .map(|(&p, &ok)| if ok { p } else { 0.0 }),
+                        dist.iter().zip(mask).map(|(&p, &ok)| if ok { p } else { 0.0 }),
                     );
                     let mass: f64 = masked.iter().sum();
                     weight *= mass;

@@ -56,11 +56,8 @@ fn arb_bn() -> impl Strategy<Value = BayesNet> {
 
 /// Brute-force `P(E)`: build the full joint, reduce, total.
 fn brute_force(bn: &BayesNet, ev: &Evidence) -> f64 {
-    let mut joint = bn
-        .factors()
-        .into_iter()
-        .reduce(|a, b| a.product(&b))
-        .expect("non-empty network");
+    let mut joint =
+        bn.factors().into_iter().reduce(|a, b| a.product(&b)).expect("non-empty network");
     for v in ev.vars().collect::<Vec<_>>() {
         joint = joint.reduce(v, ev.mask_of(v).expect("constrained"));
     }

@@ -59,9 +59,7 @@ fn bench_baselines(c: &mut Criterion) {
     group.sample_size(10);
     let db = census_database(20_000, 1);
     let table = db.table("census").expect("census");
-    group.bench_function("avi", |b| {
-        b.iter(|| baselines::AviEstimator::build(table))
-    });
+    group.bench_function("avi", |b| b.iter(|| baselines::AviEstimator::build(table)));
     group.bench_function("sample", |b| {
         b.iter(|| baselines::SampleEstimator::build(table, 3_500, 42))
     });

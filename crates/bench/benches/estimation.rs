@@ -50,8 +50,16 @@ fn bench_join_estimation(c: &mut Criterion) {
     let suite = join_chain_suite(
         &db,
         &[
-            ChainStep { table: "contact", fk_to_next: Some("patient"), select_attrs: &["contype"] },
-            ChainStep { table: "patient", fk_to_next: Some("strain"), select_attrs: &["age"] },
+            ChainStep {
+                table: "contact",
+                fk_to_next: Some("patient"),
+                select_attrs: &["contype"],
+            },
+            ChainStep {
+                table: "patient",
+                fk_to_next: Some("strain"),
+                select_attrs: &["age"],
+            },
             ChainStep { table: "strain", fk_to_next: None, select_attrs: &["unique"] },
         ],
     )
@@ -69,12 +77,14 @@ fn bench_join_estimation(c: &mut Criterion) {
     let bn_uj = PrmEstimator::build(&db, &PrmLearnConfig::bn_uj(3_000)).expect("build");
     group.bench_function("bn_uj", |b| b.iter(|| bn_uj.estimate(q).expect("estimate")));
 
-    let sample = JoinSampleAdapter::build(&db, "contact", &["patient", "strain"], 3_000, 13)
-        .expect("build");
+    let sample =
+        JoinSampleAdapter::build(&db, "contact", &["patient", "strain"], 3_000, 13)
+            .expect("build");
     group.bench_function("sample", |b| b.iter(|| sample.estimate(q).expect("estimate")));
 
     // The unrolling step alone (closure + network assembly, no inference).
-    group.bench_function("prm_unroll_only", |b| b.iter(|| prm.unroll(q).expect("unroll")));
+    group
+        .bench_function("prm_unroll_only", |b| b.iter(|| prm.unroll(q).expect("unroll")));
     group.finish();
 }
 
@@ -90,7 +100,7 @@ criterion_main!(benches);
 // tree) — the trade the paper's §2.3 references. One-off P(E) favours VE;
 // all-marginals-under-one-evidence favours the calibrated tree.
 mod engines {
-    use bayesnet::{probability_of_evidence, infer::posterior, Evidence, JoinTree};
+    use bayesnet::{infer::posterior, probability_of_evidence, Evidence, JoinTree};
     use criterion::Criterion;
     use workloads::census::census_bn;
 

@@ -13,7 +13,7 @@
 //! Run: `cargo run --release -p prmsel-bench --bin ablation [-- --quick]`
 
 use prmsel::{CpdKind, PrmEstimator, PrmLearnConfig, SelectivityEstimator, StepRule};
-use prmsel_bench::{cap_suite, truths_by_groupby, HarnessOpts};
+use prmsel_bench::{cap_suite, emit_bench_json, truths_by_groupby, FigRow, HarnessOpts};
 use reldb::stats::ResolvedCol;
 use reldb::Database;
 use workloads::census::census_database;
@@ -21,7 +21,12 @@ use workloads::single_table_eq_suite;
 use workloads::suites::{join_chain_suite, ChainStep};
 use workloads::tb::{tb_database, tb_database_sized, tb_database_with_skew};
 
-fn eval(db: &Database, cfg: &PrmLearnConfig, queries: &[reldb::Query], truths: &[u64]) -> (usize, f64, f64) {
+fn eval(
+    db: &Database,
+    cfg: &PrmLearnConfig,
+    queries: &[reldb::Query],
+    truths: &[u64],
+) -> (usize, f64, f64) {
     let est = PrmEstimator::build(db, cfg).expect("build");
     let e = prmsel::metrics::evaluate_with_truth(&est, queries, truths).expect("eval");
     let ll = prmsel::model_loglik(est.prm(), db).expect("score");
@@ -30,21 +35,34 @@ fn eval(db: &Database, cfg: &PrmLearnConfig, queries: &[reldb::Query], truths: &
 
 fn main() -> reldb::Result<()> {
     let opts = HarnessOpts::from_args();
+    let mut sections: Vec<(String, Vec<FigRow>)> = Vec::new();
 
     // ---- TB select-join suite --------------------------------------
-    let tb = if opts.quick { tb_database_sized(400, 500, 4_000, 7) } else { tb_database(7) };
+    let tb =
+        if opts.quick { tb_database_sized(400, 500, 4_000, 7) } else { tb_database(7) };
     let suite = join_chain_suite(
         &tb,
         &[
-            ChainStep { table: "contact", fk_to_next: Some("patient"), select_attrs: &["contype"] },
-            ChainStep { table: "patient", fk_to_next: Some("strain"), select_attrs: &["age"] },
+            ChainStep {
+                table: "contact",
+                fk_to_next: Some("patient"),
+                select_attrs: &["contype"],
+            },
+            ChainStep {
+                table: "patient",
+                fk_to_next: Some("strain"),
+                select_attrs: &["age"],
+            },
             ChainStep { table: "strain", fk_to_next: None, select_attrs: &["unique"] },
         ],
     )?;
     let cols = vec![
         ResolvedCol::local("contype"),
         ResolvedCol::via("patient", "age"),
-        ResolvedCol { fk_path: vec!["patient".into(), "strain".into()], attr: "unique".into() },
+        ResolvedCol {
+            fk_path: vec!["patient".into(), "strain".into()],
+            attr: "unique".into(),
+        },
     ];
     let truths = truths_by_groupby(&tb, "contact", &cols, &suite.queries)?;
     let budget = 4_000;
@@ -55,7 +73,11 @@ fn main() -> reldb::Result<()> {
         ("full PRM", PrmLearnConfig { budget_bytes: budget, ..Default::default() }),
         (
             "- join-indicator parents",
-            PrmLearnConfig { budget_bytes: budget, max_ji_parents: 0, ..Default::default() },
+            PrmLearnConfig {
+                budget_bytes: budget,
+                max_ji_parents: 0,
+                ..Default::default()
+            },
         ),
         (
             "- foreign parents",
@@ -67,10 +89,13 @@ fn main() -> reldb::Result<()> {
         ),
         ("- both (BN+UJ)", PrmLearnConfig::bn_uj(budget)),
     ];
+    let mut rows_a = Vec::new();
     for (name, cfg) in &variants {
         let (bytes, err, ll) = eval(&tb, cfg, &suite.queries, &truths);
         println!("{name:<44} {bytes:>8} {err:>9.1}% {ll:>14.0}");
+        rows_a.push(FigRow { method: (*name).to_owned(), x: bytes as f64, y: err });
     }
+    sections.push(("Ablation A: structural features (TB join suite)".to_owned(), rows_a));
 
     // ---- Census select suite: scoring rules and CPD kinds ----------
     let rows = if opts.quick { 20_000 } else { 150_000 };
@@ -82,28 +107,55 @@ fn main() -> reldb::Result<()> {
     let ctruths = truths_by_groupby(&census, "census", &ccols, &queries)?;
     let cbudget = 4_000;
 
-    println!("\n== Ablation B: step-selection rule (Census 3-attr suite, {cbudget} B) ==");
+    println!(
+        "\n== Ablation B: step-selection rule (Census 3-attr suite, {cbudget} B) =="
+    );
     println!("{:<44} {:>8} {:>10} {:>14}", "rule", "bytes", "mean err%", "model LL");
-    for (name, rule) in
-        [("naive ΔLL", StepRule::Naive), ("SSN (ΔLL/Δbytes)", StepRule::Ssn), ("MDL", StepRule::Mdl)]
-    {
+    let mut rows_b = Vec::new();
+    for (name, rule) in [
+        ("naive ΔLL", StepRule::Naive),
+        ("SSN (ΔLL/Δbytes)", StepRule::Ssn),
+        ("MDL", StepRule::Mdl),
+    ] {
         let cfg = PrmLearnConfig { budget_bytes: cbudget, rule, ..Default::default() };
         let (bytes, err, ll) = eval(&census, &cfg, &queries, &ctruths);
         println!("{name:<44} {bytes:>8} {err:>9.1}% {ll:>14.0}");
+        rows_b.push(FigRow { method: name.to_owned(), x: bytes as f64, y: err });
     }
+    sections.push((
+        "Ablation B: step-selection rule (Census 3-attr suite)".to_owned(),
+        rows_b,
+    ));
 
     println!("\n== Ablation C: CPD representation (Census 3-attr suite) ==");
-    println!("{:<20} {:<12} {:>8} {:>10} {:>14}", "budget", "cpds", "bytes", "mean err%", "model LL");
+    println!(
+        "{:<20} {:<12} {:>8} {:>10} {:>14}",
+        "budget", "cpds", "bytes", "mean err%", "model LL"
+    );
+    let mut rows_c = Vec::new();
     for budget in [1_000usize, 2_500, 5_000] {
         for kind in [CpdKind::Tree, CpdKind::Table] {
-            let cfg = PrmLearnConfig { budget_bytes: budget, cpd_kind: kind, ..Default::default() };
+            let cfg = PrmLearnConfig {
+                budget_bytes: budget,
+                cpd_kind: kind,
+                ..Default::default()
+            };
             let (bytes, err, ll) = eval(&census, &cfg, &queries, &ctruths);
-            println!("{budget:<20} {:<12} {bytes:>8} {err:>9.1}% {ll:>14.0}", format!("{kind:?}"));
+            println!(
+                "{budget:<20} {:<12} {bytes:>8} {err:>9.1}% {ll:>14.0}",
+                format!("{kind:?}")
+            );
+            rows_c.push(FigRow { method: format!("{kind:?}"), x: bytes as f64, y: err });
         }
     }
+    sections.push((
+        "Ablation C: CPD representation (Census 3-attr suite)".to_owned(),
+        rows_c,
+    ));
     // ---- Skew sweep: when does modelling the join indicator matter? --
     println!("\n== Ablation D: PRM vs BN+UJ as join skew grows (patient ⋈ strain) ==");
     println!("{:<10} {:>12} {:>12}", "skew", "PRM err%", "BN+UJ err%");
+    let mut rows_d = Vec::new();
     for skew in [1.0f64, 1.5, 2.0, 3.0, 5.0] {
         let db = if opts.quick {
             tb_database_with_skew(400, 500, 100, 7, skew)
@@ -113,20 +165,35 @@ fn main() -> reldb::Result<()> {
         let suite = join_chain_suite(
             &db,
             &[
-                ChainStep { table: "patient", fk_to_next: Some("strain"), select_attrs: &["usborn"] },
-                ChainStep { table: "strain", fk_to_next: None, select_attrs: &["unique"] },
+                ChainStep {
+                    table: "patient",
+                    fk_to_next: Some("strain"),
+                    select_attrs: &["usborn"],
+                },
+                ChainStep {
+                    table: "strain",
+                    fk_to_next: None,
+                    select_attrs: &["unique"],
+                },
             ],
         )?;
-        let cols = vec![
-            ResolvedCol::local("usborn"),
-            ResolvedCol::via("strain", "unique"),
-        ];
+        let cols =
+            vec![ResolvedCol::local("usborn"), ResolvedCol::via("strain", "unique")];
         let truths = truths_by_groupby(&db, "patient", &cols, &suite.queries)?;
-        let prm = PrmEstimator::build(&db, &PrmLearnConfig { budget_bytes: 4_000, ..Default::default() })?;
+        let prm = PrmEstimator::build(
+            &db,
+            &PrmLearnConfig { budget_bytes: 4_000, ..Default::default() },
+        )?;
         let uj = PrmEstimator::build(&db, &PrmLearnConfig::bn_uj(4_000))?;
-        let e1 = prmsel::metrics::evaluate_with_truth(&prm, &suite.queries, &truths)?.mean_error_pct();
-        let e2 = prmsel::metrics::evaluate_with_truth(&uj, &suite.queries, &truths)?.mean_error_pct();
+        let e1 = prmsel::metrics::evaluate_with_truth(&prm, &suite.queries, &truths)?
+            .mean_error_pct();
+        let e2 = prmsel::metrics::evaluate_with_truth(&uj, &suite.queries, &truths)?
+            .mean_error_pct();
         println!("{skew:<10} {e1:>11.1}% {e2:>11.1}%");
+        rows_d.push(FigRow { method: "PRM".to_owned(), x: skew, y: e1 });
+        rows_d.push(FigRow { method: "BN+UJ".to_owned(), x: skew, y: e2 });
     }
+    sections.push(("Ablation D: PRM vs BN+UJ as join skew grows".to_owned(), rows_d));
+    emit_bench_json(&opts, "ablation", &sections);
     Ok(())
 }

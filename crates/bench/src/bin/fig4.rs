@@ -12,7 +12,9 @@ use prmsel::{
     AviAdapter, MhistAdapter, PrmEstimator, PrmLearnConfig, SampleAdapter,
     SelectivityEstimator, WaveletAdapter,
 };
-use prmsel_bench::{cap_suite, print_series, truths_by_groupby, FigRow, HarnessOpts};
+use prmsel_bench::{
+    cap_suite, emit_bench_json, print_series, truths_by_groupby, FigRow, HarnessOpts,
+};
 use reldb::{stats::ResolvedCol, Database, DatabaseBuilder};
 use workloads::census::census_database;
 use workloads::single_table_eq_suite;
@@ -24,7 +26,11 @@ fn main() -> reldb::Result<()> {
     let db = census_database(rows, 1);
 
     let panels: [(&str, &[&str], &[usize]); 3] = [
-        ("Fig 4(a): 2-attr (age, income)", &["age", "income"], &[200, 400, 600, 800, 1000, 1200]),
+        (
+            "Fig 4(a): 2-attr (age, income)",
+            &["age", "income"],
+            &[200, 400, 600, 800, 1000, 1200],
+        ),
         (
             "Fig 4(b): 3-attr (age, hours_per_week, income)",
             &["age", "hours_per_week", "income"],
@@ -37,6 +43,7 @@ fn main() -> reldb::Result<()> {
         ),
     ];
 
+    let mut sections: Vec<(String, Vec<FigRow>)> = Vec::new();
     for (title, attrs, budgets) in panels {
         let suite = single_table_eq_suite(&db, "census", attrs)?;
         let queries = cap_suite(suite.queries, 4_000, 99);
@@ -80,6 +87,8 @@ fn main() -> reldb::Result<()> {
             "mean err %",
             &rows_out,
         );
+        sections.push((title.to_owned(), rows_out));
     }
+    emit_bench_json(&opts, "fig4", &sections);
     Ok(())
 }

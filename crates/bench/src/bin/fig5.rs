@@ -8,7 +8,9 @@
 use prmsel::{
     CpdKind, PrmEstimator, PrmLearnConfig, SampleAdapter, SelectivityEstimator,
 };
-use prmsel_bench::{cap_suite, print_series, truths_by_groupby, FigRow, HarnessOpts};
+use prmsel_bench::{
+    cap_suite, emit_bench_json, print_series, truths_by_groupby, FigRow, HarnessOpts,
+};
 use reldb::stats::ResolvedCol;
 use workloads::census::census_database;
 use workloads::single_table_eq_suite;
@@ -32,6 +34,7 @@ fn main() -> reldb::Result<()> {
         ),
     ];
 
+    let mut sections: Vec<(String, Vec<FigRow>)> = Vec::new();
     for (title, attrs, budgets) in panels {
         let suite = single_table_eq_suite(&db, "census", attrs)?;
         let queries = cap_suite(suite.queries, 4_000, 99);
@@ -44,11 +47,19 @@ fn main() -> reldb::Result<()> {
             let sample = SampleAdapter::build(&db, "census", budget, 42)?;
             let tree = PrmEstimator::build(
                 &db,
-                &PrmLearnConfig { budget_bytes: budget, cpd_kind: CpdKind::Tree, ..Default::default() },
+                &PrmLearnConfig {
+                    budget_bytes: budget,
+                    cpd_kind: CpdKind::Tree,
+                    ..Default::default()
+                },
             )?;
             let table = PrmEstimator::build(
                 &db,
-                &PrmLearnConfig { budget_bytes: budget, cpd_kind: CpdKind::Table, ..Default::default() },
+                &PrmLearnConfig {
+                    budget_bytes: budget,
+                    cpd_kind: CpdKind::Table,
+                    ..Default::default()
+                },
             )?;
             for (label, est) in [
                 ("SAMPLE", &sample as &dyn SelectivityEstimator),
@@ -69,6 +80,7 @@ fn main() -> reldb::Result<()> {
             "mean err %",
             &rows_out,
         );
+        sections.push((title.to_owned(), rows_out));
     }
 
     // Fig 5(c): per-query scatter at ~9.3 KB on (income, industry, age).
@@ -97,25 +109,48 @@ fn main() -> reldb::Result<()> {
         queries.len(),
         100.0 * prm_better as f64 / queries.len() as f64
     );
-    println!("mean err: SAMPLE {:.1}%  PRM {:.1}%", s_eval.mean_error_pct(), p_eval.mean_error_pct());
+    println!(
+        "mean err: SAMPLE {:.1}%  PRM {:.1}%",
+        s_eval.mean_error_pct(),
+        p_eval.mean_error_pct()
+    );
     println!(
         "tail errors: SAMPLE p95 {:.1}% / PRM p95 {:.1}%",
         s_eval.quantile_error_pct(0.95),
         p_eval.quantile_error_pct(0.95)
     );
     // Full scatter for plotting.
-    let path = "results/fig5_scatter.tsv";
-    if let Ok(mut f) = std::fs::File::create(path) {
+    let path = opts.out.join("fig5_scatter.tsv");
+    std::fs::create_dir_all(&opts.out).ok();
+    if let Ok(mut f) = std::fs::File::create(&path) {
         use std::io::Write;
         let _ = writeln!(f, "sample_err_pct\tprm_err_pct\ttruth");
         for (s, p) in s_eval.per_query.iter().zip(&p_eval.per_query) {
-            let _ = writeln!(f, "{:.2}\t{:.2}\t{}", 100.0 * s.error, 100.0 * p.error, s.truth);
+            let _ = writeln!(
+                f,
+                "{:.2}\t{:.2}\t{}",
+                100.0 * s.error,
+                100.0 * p.error,
+                s.truth
+            );
         }
-        eprintln!("wrote {path} ({} points)", s_eval.len());
+        eprintln!("wrote {} ({} points)", path.display(), s_eval.len());
     }
     println!("first 40 points (sample_err%\tprm_err%):");
     for (s, p) in s_eval.per_query.iter().zip(&p_eval.per_query).take(40) {
         println!("{:>10.1}\t{:>10.1}", 100.0 * s.error, 100.0 * p.error);
     }
+    sections.push((
+        "Fig 5(c): scatter summary (mean err % at 9.3 KB)".to_owned(),
+        vec![
+            FigRow {
+                method: "SAMPLE".into(),
+                x: budget as f64,
+                y: s_eval.mean_error_pct(),
+            },
+            FigRow { method: "PRM".into(), x: budget as f64, y: p_eval.mean_error_pct() },
+        ],
+    ));
+    emit_bench_json(&opts, "fig5", &sections);
     Ok(())
 }

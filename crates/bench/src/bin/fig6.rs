@@ -10,7 +10,9 @@
 //! Run: `cargo run --release -p prmsel-bench --bin fig6 [-- --quick]`
 
 use prmsel::{JoinSampleAdapter, PrmEstimator, PrmLearnConfig, SelectivityEstimator};
-use prmsel_bench::{print_series, truths_by_groupby, FigRow, HarnessOpts};
+use prmsel_bench::{
+    emit_bench_json, print_series, truths_by_groupby, FigRow, HarnessOpts,
+};
 use reldb::stats::ResolvedCol;
 use reldb::Database;
 use workloads::suites::{join_chain_suite, ChainStep};
@@ -41,8 +43,16 @@ fn run_set(
     let suite = join_chain_suite(
         db,
         &[
-            ChainStep { table: chain.base, fk_to_next: Some(chain.fk1), select_attrs: set.base_attrs },
-            ChainStep { table: chain.mid, fk_to_next: Some(chain.fk2), select_attrs: set.mid_attrs },
+            ChainStep {
+                table: chain.base,
+                fk_to_next: Some(chain.fk1),
+                select_attrs: set.base_attrs,
+            },
+            ChainStep {
+                table: chain.mid,
+                fk_to_next: Some(chain.fk2),
+                select_attrs: set.mid_attrs,
+            },
             ChainStep { table: chain.top, fk_to_next: None, select_attrs: set.top_attrs },
         ],
     )?;
@@ -61,9 +71,13 @@ fn run_set(
     }
     let truths = truths_by_groupby(db, chain.base, &cols, &suite.queries)?;
 
-    let sample = JoinSampleAdapter::build(db, chain.base, &[chain.fk1, chain.fk2], budget, 13)?;
+    let sample =
+        JoinSampleAdapter::build(db, chain.base, &[chain.fk1, chain.fk2], budget, 13)?;
     let bn_uj = PrmEstimator::build(db, &PrmLearnConfig::bn_uj(budget))?;
-    let prm = PrmEstimator::build(db, &PrmLearnConfig { budget_bytes: budget, ..Default::default() })?;
+    let prm = PrmEstimator::build(
+        db,
+        &PrmLearnConfig { budget_bytes: budget, ..Default::default() },
+    )?;
     let mut out = Vec::new();
     for est in [&sample as &dyn SelectivityEstimator, &bn_uj, &prm] {
         let eval = prmsel::metrics::evaluate_with_truth(est, &suite.queries, &truths)?;
@@ -75,12 +89,15 @@ fn run_set(
 fn main() -> reldb::Result<()> {
     let opts = HarnessOpts::from_args();
     eprintln!("generating TB data...");
-    let tb = if opts.quick {
-        tb_database_sized(400, 500, 4_000, 7)
-    } else {
-        tb_database(7)
+    let tb =
+        if opts.quick { tb_database_sized(400, 500, 4_000, 7) } else { tb_database(7) };
+    let tb_chain = Chain {
+        base: "contact",
+        fk1: "patient",
+        mid: "patient",
+        fk2: "strain",
+        top: "strain",
     };
-    let tb_chain = Chain { base: "contact", fk1: "patient", mid: "patient", fk2: "strain", top: "strain" };
     let set1 = QuerySet {
         name: "set1 (contype, age, unique)",
         base_attrs: &["contype"],
@@ -95,7 +112,14 @@ fn main() -> reldb::Result<()> {
             rows.push(FigRow { method: m, x: budget as f64, y: e });
         }
     }
-    print_series("Fig 6(a): TB select-join, error vs storage", "bytes", "mean err %", &rows);
+    print_series(
+        "Fig 6(a): TB select-join, error vs storage",
+        "bytes",
+        "mean err %",
+        &rows,
+    );
+    let mut sections: Vec<(String, Vec<FigRow>)> =
+        vec![("Fig 6(a): TB select-join, error vs storage".to_owned(), rows)];
 
     // (b) three query sets at 4.4 KB.
     let sets = [
@@ -122,6 +146,13 @@ fn main() -> reldb::Result<()> {
             .collect::<Vec<_>>()
             .join("  ");
         println!("{:<42} {line}", set.name);
+        sections.push((
+            format!("Fig 6(b): TB {} @ 4.4 KB", set.name),
+            results
+                .iter()
+                .map(|(m, e)| FigRow { method: m.clone(), x: 4_400.0, y: *e })
+                .collect(),
+        ));
     }
 
     // (c) FIN: three query sets at 2 KB.
@@ -131,7 +162,13 @@ fn main() -> reldb::Result<()> {
     } else {
         fin_database(7)
     };
-    let fin_chain = Chain { base: "transaction", fk1: "account", mid: "account", fk2: "district", top: "district" };
+    let fin_chain = Chain {
+        base: "transaction",
+        fk1: "account",
+        mid: "account",
+        fk2: "district",
+        top: "district",
+    };
     let fin_sets = [
         QuerySet {
             name: "set1 (ttype, frequency, avg_salary)",
@@ -161,6 +198,14 @@ fn main() -> reldb::Result<()> {
             .collect::<Vec<_>>()
             .join("  ");
         println!("{:<42} {line}", set.name);
+        sections.push((
+            format!("Fig 6(c): FIN {} @ 2 KB", set.name),
+            results
+                .iter()
+                .map(|(m, e)| FigRow { method: m.clone(), x: 2_000.0, y: *e })
+                .collect(),
+        ));
     }
+    emit_bench_json(&opts, "fig6", &sections);
     Ok(())
 }

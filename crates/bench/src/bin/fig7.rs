@@ -12,7 +12,9 @@
 //! Run: `cargo run --release -p prmsel-bench --bin fig7 [-- --quick]`
 
 use prmsel::{CpdKind, PrmEstimator, PrmLearnConfig, SelectivityEstimator};
-use prmsel_bench::{cap_suite, print_series, time_it, FigRow, HarnessOpts};
+use prmsel_bench::{
+    cap_suite, emit_bench_json, print_series, time_it, FigRow, HarnessOpts,
+};
 use workloads::census::census_database;
 use workloads::single_table_eq_suite;
 
@@ -30,8 +32,9 @@ fn main() -> reldb::Result<()> {
     let mut rows_a = Vec::new();
     for budget in [500usize, 1500, 3500, 5500, 8500] {
         for kind in [CpdKind::Tree, CpdKind::Table] {
-            let (est, secs) =
-                time_it(|| PrmEstimator::build(&db, &config(budget, kind)).expect("build"));
+            let (est, secs) = time_it(|| {
+                PrmEstimator::build(&db, &config(budget, kind)).expect("build")
+            });
             rows_a.push(FigRow {
                 method: format!("{kind:?}"),
                 x: est.size_bytes() as f64,
@@ -39,7 +42,12 @@ fn main() -> reldb::Result<()> {
             });
         }
     }
-    print_series("Fig 7(a): construction time vs model storage", "model bytes", "seconds", &rows_a);
+    print_series(
+        "Fig 7(a): construction time vs model storage",
+        "model bytes",
+        "seconds",
+        &rows_a,
+    );
 
     // (b) construction time vs data size at a fixed 3.5 KB budget.
     let mut rows_b = Vec::new();
@@ -51,12 +59,18 @@ fn main() -> reldb::Result<()> {
     for &n in sizes {
         let dbn = census_database(n, 2);
         for kind in [CpdKind::Tree, CpdKind::Table] {
-            let (_, secs) =
-                time_it(|| PrmEstimator::build(&dbn, &config(3_500, kind)).expect("build"));
+            let (_, secs) = time_it(|| {
+                PrmEstimator::build(&dbn, &config(3_500, kind)).expect("build")
+            });
             rows_b.push(FigRow { method: format!("{kind:?}"), x: n as f64, y: secs });
         }
     }
-    print_series("Fig 7(b): construction time vs data size (3.5 KB budget)", "rows", "seconds", &rows_b);
+    print_series(
+        "Fig 7(b): construction time vs data size (3.5 KB budget)",
+        "rows",
+        "seconds",
+        &rows_b,
+    );
 
     // (c) estimation time vs model size.
     let suite = single_table_eq_suite(&db, "census", &["income", "age", "children"])?;
@@ -79,6 +93,23 @@ fn main() -> reldb::Result<()> {
             });
         }
     }
-    print_series("Fig 7(c): estimation time vs model size", "model bytes", "ms/query", &rows_c);
+    print_series(
+        "Fig 7(c): estimation time vs model size",
+        "model bytes",
+        "ms/query",
+        &rows_c,
+    );
+    emit_bench_json(
+        &opts,
+        "fig7",
+        &[
+            ("Fig 7(a): construction time vs model storage".to_owned(), rows_a),
+            (
+                "Fig 7(b): construction time vs data size (3.5 KB budget)".to_owned(),
+                rows_b,
+            ),
+            ("Fig 7(c): estimation time vs model size".to_owned(), rows_c),
+        ],
+    );
     Ok(())
 }

@@ -29,8 +29,16 @@ fn suite_error(db: &Database, est: &dyn SelectivityEstimator) -> f64 {
     let suite = join_chain_suite(
         db,
         &[
-            ChainStep { table: "contact", fk_to_next: Some("patient"), select_attrs: &["contype"] },
-            ChainStep { table: "patient", fk_to_next: Some("strain"), select_attrs: &["age"] },
+            ChainStep {
+                table: "contact",
+                fk_to_next: Some("patient"),
+                select_attrs: &["contype"],
+            },
+            ChainStep {
+                table: "patient",
+                fk_to_next: Some("strain"),
+                select_attrs: &["age"],
+            },
             ChainStep { table: "strain", fk_to_next: None, select_attrs: &["unique"] },
         ],
     )
@@ -38,7 +46,10 @@ fn suite_error(db: &Database, est: &dyn SelectivityEstimator) -> f64 {
     let cols = vec![
         ResolvedCol::local("contype"),
         ResolvedCol::via("patient", "age"),
-        ResolvedCol { fk_path: vec!["patient".into(), "strain".into()], attr: "unique".into() },
+        ResolvedCol {
+            fk_path: vec!["patient".into(), "strain".into()],
+            attr: "unique".into(),
+        },
     ];
     let truths = truths_by_groupby(db, "contact", &cols, &suite.queries).expect("truth");
     prmsel::metrics::evaluate_with_truth(est, &suite.queries, &truths)
@@ -58,7 +69,13 @@ fn main() -> reldb::Result<()> {
     println!("epoch-0 structure search: {learn_secs:.2}s, {} bytes\n", prm0.size_bytes());
     println!(
         "{:<6} {:>7} {:>12} {:>12} {:>12} {:>14} {:>14}",
-        "epoch", "skew", "stale err%", "refresh err%", "relearn err%", "refresh s(cum)", "relearn s(cum)"
+        "epoch",
+        "skew",
+        "stale err%",
+        "refresh err%",
+        "relearn err%",
+        "refresh s(cum)",
+        "relearn s(cum)"
     );
 
     let mut refresh_model = prm0.clone();
@@ -67,7 +84,13 @@ fn main() -> reldb::Result<()> {
     for epoch in 0..6u64 {
         // Drift: skew decays towards uniform; population resamples.
         let skew = 3.0 - epoch as f64 * 0.5;
-        let db = tb_database_with_skew(strains, patients, contacts, 100 + epoch, skew.max(0.5));
+        let db = tb_database_with_skew(
+            strains,
+            patients,
+            contacts,
+            100 + epoch,
+            skew.max(0.5),
+        );
 
         let stale = PrmEstimator::from_prm(prm0.clone(), &db, "stale")?;
         let (new_refresh, t_refresh) =
@@ -75,7 +98,8 @@ fn main() -> reldb::Result<()> {
         refresh_model = new_refresh;
         cum_refresh += t_refresh;
         let refreshed = PrmEstimator::from_prm(refresh_model.clone(), &db, "refresh")?;
-        let (relearned_prm, t_relearn) = time_it(|| learn_prm(&db, &config).expect("learn"));
+        let (relearned_prm, t_relearn) =
+            time_it(|| learn_prm(&db, &config).expect("learn"));
         cum_relearn += t_relearn;
         let relearned = PrmEstimator::from_prm(relearned_prm, &db, "relearn")?;
 

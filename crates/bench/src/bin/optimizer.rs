@@ -15,7 +15,7 @@
 
 use prmsel::planner::{enumerate_plans, subquery};
 use prmsel::{PrmEstimator, PrmLearnConfig, SelectivityEstimator};
-use prmsel_bench::HarnessOpts;
+use prmsel_bench::{emit_bench_json, FigRow, HarnessOpts};
 use reldb::{Database, Query};
 use workloads::fin::fin_database_with_cards;
 use workloads::tb::{tb_database, tb_database_sized};
@@ -33,10 +33,8 @@ fn true_cost(db: &Database, q: &Query, order: &[usize]) -> f64 {
 fn judge(db: &Database, est: &dyn SelectivityEstimator, q: &Query) -> (f64, f64) {
     let plans = enumerate_plans(est, q).expect("plans");
     let chosen_true = true_cost(db, q, &plans[0].order);
-    let best = plans
-        .iter()
-        .map(|p| true_cost(db, q, &p.order))
-        .fold(f64::INFINITY, f64::min);
+    let best =
+        plans.iter().map(|p| true_cost(db, q, &p.order)).fold(f64::INFINITY, f64::min);
     let regret = if best == 0.0 { 1.0 } else { chosen_true / best };
     let mispred = (plans[0].cost - chosen_true).abs() / chosen_true.max(1.0);
     (regret, mispred)
@@ -47,8 +45,11 @@ fn run_workload(
     db: &Database,
     queries: &[Query],
     budget: usize,
-) -> reldb::Result<()> {
-    let prm = PrmEstimator::build(db, &PrmLearnConfig { budget_bytes: budget, ..Default::default() })?;
+) -> reldb::Result<Vec<FigRow>> {
+    let prm = PrmEstimator::build(
+        db,
+        &PrmLearnConfig { budget_bytes: budget, ..Default::default() },
+    )?;
     let bn_uj = PrmEstimator::build(db, &PrmLearnConfig::bn_uj(budget))?;
     let (mut reg_prm, mut reg_uj) = (0.0, 0.0);
     let (mut mis_prm, mut mis_uj) = (0.0, 0.0);
@@ -72,15 +73,31 @@ fn run_workload(
         100.0 * mis_prm / n,
         100.0 * mis_uj / n
     );
-    Ok(())
+    Ok(vec![
+        FigRow { method: "PRM regret".into(), x: budget as f64, y: reg_prm / n },
+        FigRow { method: "BN+UJ regret".into(), x: budget as f64, y: reg_uj / n },
+        FigRow {
+            method: "PRM mispred%".into(),
+            x: budget as f64,
+            y: 100.0 * mis_prm / n,
+        },
+        FigRow {
+            method: "BN+UJ mispred%".into(),
+            x: budget as f64,
+            y: 100.0 * mis_uj / n,
+        },
+    ])
 }
 
 fn main() -> reldb::Result<()> {
     let opts = HarnessOpts::from_args();
-    println!("plan-quality regret (true cost of chosen order / true cost of best order)\n");
+    println!(
+        "plan-quality regret (true cost of chosen order / true cost of best order)\n"
+    );
 
     // TB chain workload.
-    let tb = if opts.quick { tb_database_sized(400, 500, 4_000, 61) } else { tb_database(61) };
+    let tb =
+        if opts.quick { tb_database_sized(400, 500, 4_000, 61) } else { tb_database(61) };
     let mut tb_queries = Vec::new();
     for contype in 0..5i64 {
         for unique in ["yes", "no"] {
@@ -95,7 +112,7 @@ fn main() -> reldb::Result<()> {
             tb_queries.push(b.build());
         }
     }
-    run_workload("TB contact⋈patient⋈strain", &tb, &tb_queries, 4_000)?;
+    let tb_rows = run_workload("TB contact⋈patient⋈strain", &tb, &tb_queries, 4_000)?;
 
     // FIN 4-table workload: transaction and card both fan out from
     // account with *correlated* skew (busy accounts have more of both),
@@ -124,6 +141,15 @@ fn main() -> reldb::Result<()> {
             fin_queries.push(b.build());
         }
     }
-    run_workload("FIN card⋈account⋈district + tx", &fin, &fin_queries, 3_000)?;
+    let fin_rows =
+        run_workload("FIN card⋈account⋈district + tx", &fin, &fin_queries, 3_000)?;
+    emit_bench_json(
+        &opts,
+        "optimizer",
+        &[
+            ("TB contact⋈patient⋈strain".to_owned(), tb_rows),
+            ("FIN card⋈account⋈district + tx".to_owned(), fin_rows),
+        ],
+    );
     Ok(())
 }

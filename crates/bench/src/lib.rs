@@ -6,6 +6,8 @@
 //! computed with a single group-by pass instead of one executor run per
 //! query, which keeps the 150K-row sweeps fast.
 
+use std::path::PathBuf;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -16,13 +18,87 @@ use reldb::{stats, Database, Pred, Query, Result};
 pub struct HarnessOpts {
     /// Scale the datasets down for a fast smoke run (`--quick`).
     pub quick: bool,
+    /// Directory for machine-readable results (`--out DIR`).
+    pub out: PathBuf,
 }
 
 impl HarnessOpts {
     /// Parses `std::env::args`.
     pub fn from_args() -> Self {
-        let quick = std::env::args().any(|a| a == "--quick");
-        HarnessOpts { quick }
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results"));
+        HarnessOpts { quick, out }
+    }
+
+    /// Writes the figure's series — grouped into `(title, rows)` sections —
+    /// plus a full metrics-registry snapshot to `<out>/BENCH_<name>.json`
+    /// and returns the path. The snapshot makes every run carry its own
+    /// cost telemetry (learning steps, inference messages, latencies)
+    /// alongside the accuracy numbers.
+    pub fn write_bench_json(
+        &self,
+        name: &str,
+        sections: &[(String, Vec<FigRow>)],
+    ) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.out)?;
+        let path = self.out.join(format!("BENCH_{name}.json"));
+        std::fs::write(&path, bench_json(name, self.quick, sections))?;
+        Ok(path)
+    }
+}
+
+/// Renders one benchmark result document (see [`HarnessOpts::write_bench_json`]).
+fn bench_json(name: &str, quick: bool, sections: &[(String, Vec<FigRow>)]) -> String {
+    let mut w = obs::json::JsonWriter::new();
+    w.begin_object();
+    w.key("bench");
+    w.string(name);
+    w.key("quick");
+    w.raw(if quick { "true" } else { "false" });
+    w.key("sections");
+    w.begin_array();
+    for (title, rows) in sections {
+        w.begin_object();
+        w.key("title");
+        w.string(title);
+        w.key("rows");
+        w.begin_array();
+        for r in rows {
+            w.begin_object();
+            w.key("method");
+            w.string(&r.method);
+            w.key("x");
+            w.float(r.x);
+            w.key("y");
+            w.float(r.y);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("metrics");
+    w.raw(&obs::registry().snapshot().to_json());
+    w.end_object();
+    w.finish()
+}
+
+/// Convenience for binaries: write the JSON and report where it went (or
+/// that it failed) on stderr without aborting the run.
+pub fn emit_bench_json(
+    opts: &HarnessOpts,
+    name: &str,
+    sections: &[(String, Vec<FigRow>)],
+) {
+    match opts.write_bench_json(name, sections) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write BENCH_{name}.json: {e}"),
     }
 }
 
@@ -54,7 +130,8 @@ pub fn truths_by_groupby(
     cols: &[stats::ResolvedCol],
     queries: &[Query],
 ) -> Result<Vec<u64>> {
-    let spec = stats::GroupSpec { base_table: base_table.to_owned(), cols: cols.to_vec() };
+    let spec =
+        stats::GroupSpec { base_table: base_table.to_owned(), cols: cols.to_vec() };
     let table = stats::counts(db, &spec)?;
     // Resolve the domain of each counted column for value→code mapping.
     let mut domains = Vec::with_capacity(cols.len());
@@ -130,8 +207,12 @@ mod tests {
         }
         let mut c = TableBuilder::new("c").key("id").fk("p", "p").col("y");
         for i in 0..40i64 {
-            c.push_row(vec![Cell::Key(i), Cell::Key(i % 10), Cell::Val(Value::Int(i % 3))])
-                .unwrap();
+            c.push_row(vec![
+                Cell::Key(i),
+                Cell::Key(i % 10),
+                Cell::Val(Value::Int(i % 3)),
+            ])
+            .unwrap();
         }
         DatabaseBuilder::new()
             .add_table(p.finish().unwrap())
@@ -154,7 +235,8 @@ mod tests {
                 queries.push(b.build());
             }
         }
-        let cols = vec![stats::ResolvedCol::local("y"), stats::ResolvedCol::via("p", "x")];
+        let cols =
+            vec![stats::ResolvedCol::local("y"), stats::ResolvedCol::via("p", "x")];
         let fast = truths_by_groupby(&db, "c", &cols, &queries).unwrap();
         for (q, &t) in queries.iter().zip(&fast) {
             assert_eq!(t, reldb::result_size(&db, q).unwrap());
@@ -170,6 +252,38 @@ mod tests {
         let cols = vec![stats::ResolvedCol::local("x")];
         let t = truths_by_groupby(&db, "p", &cols, &[b.build()]).unwrap();
         assert_eq!(t, vec![0]);
+    }
+
+    #[test]
+    fn bench_json_contains_sections_and_metrics() {
+        obs::counter!("bench.test.marker").inc();
+        let rows = vec![
+            FigRow { method: "PRM".into(), x: 512.0, y: 3.5 },
+            FigRow { method: "AVI".into(), x: 64.0, y: 21.0 },
+        ];
+        let doc = bench_json("unit", true, &[("panel a".into(), rows)]);
+        assert!(doc.contains("\"bench\":\"unit\""), "{doc}");
+        assert!(doc.contains("\"quick\":true"), "{doc}");
+        assert!(doc.contains("\"method\":\"PRM\""), "{doc}");
+        assert!(doc.contains("\"bench.test.marker\""), "{doc}");
+        // The document must survive the registry snapshot splice intact:
+        // balanced braces imply the raw embed stayed well-formed.
+        let opens = doc.matches('{').count();
+        let closes = doc.matches('}').count();
+        assert_eq!(opens, closes, "{doc}");
+    }
+
+    #[test]
+    fn out_flag_defaults_to_results_dir() {
+        let opts = HarnessOpts { quick: true, out: PathBuf::from("results") };
+        assert_eq!(opts.out, PathBuf::from("results"));
+        let dir = std::env::temp_dir().join("prmsel_bench_out_test");
+        let opts = HarnessOpts { quick: false, out: dir.clone() };
+        let path = opts.write_bench_json("unit_out", &[]).unwrap();
+        assert_eq!(path, dir.join("BENCH_unit_out.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench\":\"unit_out\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -4,8 +4,8 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use prmsel::{
-    learn_prm, load_model, save_model, CpdKind, PrmEstimator, PrmLearnConfig,
-    SchemaInfo, SelectivityEstimator,
+    learn_prm, load_model, save_model, CpdKind, PrmEstimator, PrmLearnConfig, SchemaInfo,
+    SelectivityEstimator,
 };
 use reldb::{load_table, parse_query, Database, DatabaseBuilder};
 
@@ -33,7 +33,18 @@ type CliResult<T> = std::result::Result<T, CliError>;
 
 /// Entry point: dispatches `args` (without the program name) and returns
 /// the text to print.
+///
+/// Logging is configured before dispatch: `PRMSEL_LOG` (or `RUST_LOG`)
+/// directives first, then `-v`/`-vv`/`--verbose` flags, which raise the
+/// global threshold to `Debug`/`Trace` (flags win over the environment).
 pub fn run(args: &[String]) -> CliResult<String> {
+    obs::init_from_env();
+    let (args, verbosity) = strip_verbosity(args);
+    match verbosity {
+        0 => {}
+        1 => obs::set_max_level(Some(obs::Level::Debug)),
+        _ => obs::set_max_level(Some(obs::Level::Trace)),
+    }
     match args.first().map(String::as_str) {
         Some("build") => build(&args[1..]),
         Some("estimate") => estimate(&args[1..]),
@@ -42,9 +53,43 @@ pub fn run(args: &[String]) -> CliResult<String> {
         Some("inspect") => inspect(&args[1..]),
         Some("evaluate") => evaluate(&args[1..]),
         Some("describe") => describe(&args[1..]),
+        Some("stats") => stats(&args[1..]),
         Some("--help") | Some("-h") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError(format!("unknown command `{other}`\n{USAGE}"))),
     }
+}
+
+/// Runs and converts the outcome into a process exit code, printing the
+/// output (or the error, through the tracing layer as well) — the whole
+/// behavior of the binary, kept in the library so it is unit-testable.
+pub fn run_to_exit_code(args: &[String]) -> i32 {
+    match run(args) {
+        Ok(out) => {
+            println!("{out}");
+            0
+        }
+        Err(e) => {
+            obs::error!("{e}");
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+/// Removes `-v`, `-vv`, and `--verbose` from anywhere in the argument
+/// list and returns the cleaned arguments plus the verbosity (0 = quiet,
+/// 1 = debug, ≥2 = trace).
+fn strip_verbosity(args: &[String]) -> (Vec<String>, u8) {
+    let mut verbosity = 0u8;
+    let mut rest = Vec::with_capacity(args.len());
+    for a in args {
+        match a.as_str() {
+            "-v" | "--verbose" => verbosity = verbosity.saturating_add(1),
+            "-vv" => verbosity = verbosity.saturating_add(2),
+            _ => rest.push(a.clone()),
+        }
+    }
+    (rest, verbosity)
 }
 
 const USAGE: &str = "\
@@ -58,14 +103,19 @@ USAGE:
   prmsel inspect  --csv-dir DIR
   prmsel evaluate --model FILE --csv-dir DIR 'SELECT COUNT(*) ...'
   prmsel describe --model FILE
+  prmsel stats    --csv-dir DIR [--budget BYTES] [--pretty]
+
+OPTIONS (all commands):
+  -v / --verbose   debug logging to stderr    -vv   trace logging
+  PRMSEL_LOG=...   RUST_LOG-style directives, e.g. info,prmsel::learn=debug
+
+`stats` builds a model, runs an example workload, and dumps the metrics
+registry (JSON by default, a table with --pretty).
 
 DIR must contain <table>.csv files plus schema.txt (see the manifest docs).";
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 fn required<'a>(args: &'a [String], flag: &str) -> CliResult<&'a str> {
@@ -75,9 +125,8 @@ fn required<'a>(args: &'a [String], flag: &str) -> CliResult<&'a str> {
 /// Loads the CSV directory into a database.
 pub fn load_csv_dir(dir: &Path) -> CliResult<Database> {
     let manifest_path = dir.join("schema.txt");
-    let text = std::fs::read_to_string(&manifest_path).map_err(|e| {
-        CliError(format!("cannot read {}: {e}", manifest_path.display()))
-    })?;
+    let text = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| CliError(format!("cannot read {}: {e}", manifest_path.display())))?;
     let decls = parse_manifest(&text)?;
     let mut builder = DatabaseBuilder::new();
     for decl in &decls {
@@ -152,8 +201,7 @@ fn plan(args: &[String]) -> CliResult<String> {
     let mut out = String::new();
     out.push_str("join order                                estimated cost\n");
     for p in &plans {
-        let label: Vec<&str> =
-            p.order.iter().map(|&v| query.vars[v].as_str()).collect();
+        let label: Vec<&str> = p.order.iter().map(|&v| query.vars[v].as_str()).collect();
         out.push_str(&format!("{:<42} {:>14.1}\n", label.join(" JOIN "), p.cost));
     }
     Ok(out)
@@ -181,7 +229,68 @@ fn evaluate(args: &[String]) -> CliResult<String> {
     let estimate = est.estimate(&query)?;
     let exact = reldb::result_size(&db, &query)?;
     let err = 100.0 * prmsel::adjusted_relative_error(exact, estimate);
-    Ok(format!("estimate: {estimate:.1}\nexact:    {exact}\nadjusted relative error: {err:.1}%"))
+    Ok(format!(
+        "estimate: {estimate:.1}\nexact:    {exact}\nadjusted relative error: {err:.1}%"
+    ))
+}
+
+/// Builds a model from the CSV directory, runs an example workload
+/// through it (recording estimation-quality metrics against exact
+/// counts), and dumps the process-global metrics registry: structure-
+/// search step counts, model bytes, estimate-latency and QEBN-size
+/// histograms, executor row counts, and per-phase span timings.
+fn stats(args: &[String]) -> CliResult<String> {
+    let dir = PathBuf::from(required(args, "--csv-dir")?);
+    let budget: usize = flag_value(args, "--budget")
+        .map(|v| v.parse().map_err(|_| CliError(format!("bad --budget `{v}`"))))
+        .transpose()?
+        .unwrap_or(8192);
+    let db = load_csv_dir(&dir)?;
+    let config = PrmLearnConfig { budget_bytes: budget, ..Default::default() };
+    let est = PrmEstimator::build(&db, &config)?;
+    let queries = example_workload(&db)?;
+    obs::info!("stats workload: {} example queries", queries.len());
+    prmsel::evaluate_suite(&db, &est, &queries)?;
+    let snap = obs::registry().snapshot();
+    Ok(if args.iter().any(|a| a == "--pretty") {
+        snap.to_pretty()
+    } else {
+        snap.to_json()
+    })
+}
+
+/// A small deterministic workload derived from the schema: one equality
+/// query per (table, value attribute, value) — capped per attribute — and
+/// one selection-over-join query per foreign key.
+fn example_workload(db: &Database) -> CliResult<Vec<reldb::Query>> {
+    const MAX_VALUES_PER_ATTR: usize = 4;
+    let mut queries = Vec::new();
+    for table in db.tables() {
+        for attr in table.schema().value_attrs() {
+            let domain = table.domain(attr)?;
+            for value in domain.values().iter().take(MAX_VALUES_PER_ATTR) {
+                let mut b = reldb::Query::builder();
+                let v = b.var(table.name());
+                b.eq(v, attr, value.clone());
+                queries.push(b.build());
+            }
+        }
+        for fk in table.schema().foreign_keys() {
+            let parent_table = db.table(&fk.target)?;
+            let Some(attr) = parent_table.schema().value_attrs().first().copied() else {
+                continue;
+            };
+            let Some(value) = parent_table.domain(attr)?.values().first() else {
+                continue;
+            };
+            let mut b = reldb::Query::builder();
+            let c = b.var(table.name());
+            let p = b.var(&fk.target);
+            b.join(c, fk.attr.clone(), p).eq(p, attr, value.clone());
+            queries.push(b.build());
+        }
+    }
+    Ok(queries)
 }
 
 fn describe(args: &[String]) -> CliResult<String> {
@@ -284,11 +393,12 @@ mod tests {
         ]))
         .unwrap();
         let sql = "SELECT COUNT(*) FROM patient p WHERE p.age IN (1, 2)";
-        let cli_est: f64 = run(&s(&["estimate", "--model", model.to_str().unwrap(), sql]))
-            .unwrap()
-            .trim()
-            .parse()
-            .unwrap();
+        let cli_est: f64 =
+            run(&s(&["estimate", "--model", model.to_str().unwrap(), sql]))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
         let q = parse_query(sql).unwrap();
         let direct_est = direct.estimate(&q).unwrap();
         assert!((cli_est - direct_est).abs() < 0.05 + 1e-3 * direct_est.abs());
@@ -384,5 +494,48 @@ mod tests {
         let help = run(&s(&["--help"])).unwrap();
         assert!(help.contains("USAGE"));
         assert!(run(&[]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn failures_map_to_nonzero_exit_codes() {
+        assert_eq!(run_to_exit_code(&s(&["frobnicate"])), 1);
+        assert_eq!(run_to_exit_code(&s(&["estimate", "--model", "/nonexistent"])), 1);
+        assert_eq!(run_to_exit_code(&s(&["--help"])), 0);
+    }
+
+    #[test]
+    fn verbosity_flags_are_stripped_anywhere() {
+        let (rest, v) = strip_verbosity(&s(&["-v", "inspect", "--csv-dir", "d"]));
+        assert_eq!(v, 1);
+        assert_eq!(rest, s(&["inspect", "--csv-dir", "d"]));
+        let (rest, v) = strip_verbosity(&s(&["stats", "-vv", "--pretty"]));
+        assert_eq!(v, 2);
+        assert_eq!(rest, s(&["stats", "--pretty"]));
+        let (_, v) = strip_verbosity(&s(&["--verbose", "-v", "x"]));
+        assert_eq!(v, 2);
+        // Flags still work through `run` (here: help with verbosity on).
+        assert!(run(&s(&["-v", "--help"])).unwrap().contains("USAGE"));
+        obs::set_max_level(None);
+    }
+
+    #[test]
+    fn stats_command_dumps_the_metric_registry() {
+        let dir = dump_db("stats");
+        let out = run(&s(&["stats", "--csv-dir", dir.to_str().unwrap()])).unwrap();
+        // The acceptance quantities: search-step counts, model size,
+        // estimate-latency and QEBN-size histograms, quality errors.
+        for key in [
+            "prm.search.steps.accepted",
+            "prm.model.bytes",
+            "prm.estimate.ns",
+            "prm.qebn.nodes",
+            "quality.adj_rel_err_pct",
+            "reldb.exec.queries",
+        ] {
+            assert!(out.contains(&format!("\"{key}\"")), "missing {key} in:\n{out}");
+        }
+        let pretty =
+            run(&s(&["stats", "--csv-dir", dir.to_str().unwrap(), "--pretty"])).unwrap();
+        assert!(pretty.contains("prm.estimate.ns"), "{pretty}");
     }
 }

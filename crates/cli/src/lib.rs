@@ -4,7 +4,12 @@
 //! prmsel build    --csv-dir DIR --out model.prm [--budget BYTES] [--cpd tree|table]
 //! prmsel estimate --model model.prm 'SELECT COUNT(*) FROM …'
 //! prmsel describe --model model.prm
+//! prmsel stats    --csv-dir DIR [--pretty]
 //! ```
+//!
+//! Every command accepts `-v`/`-vv`/`--verbose` (debug/trace logging to
+//! stderr) and honors `PRMSEL_LOG`/`RUST_LOG` directives; `stats` builds a
+//! model, runs an example workload, and dumps the metrics registry.
 //!
 //! `DIR` holds one `<table>.csv` per table plus a `schema.txt` manifest
 //! declaring column roles (see [`manifest`]). `build` runs the paper's
@@ -15,4 +20,4 @@
 pub mod commands;
 pub mod manifest;
 
-pub use commands::{run, CliError};
+pub use commands::{run, run_to_exit_code, CliError};

@@ -1,13 +1,7 @@
 //! `prmsel` binary entry point; all logic lives in the library so the
-//! commands are unit-testable.
+//! commands (including the exit-code mapping) are unit-testable.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match prmsel_cli::run(&args) {
-        Ok(out) => println!("{out}"),
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
-    }
+    std::process::exit(prmsel_cli::run_to_exit_code(&args));
 }

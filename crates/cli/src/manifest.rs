@@ -38,9 +38,8 @@ pub fn parse_manifest(text: &str) -> Result<Vec<TableDecl>> {
         }
         let mut parts = line.split_whitespace();
         let kw = parts.next().expect("non-empty line");
-        let err = |msg: &str| {
-            Error::Parse(format!("schema.txt line {}: {msg}", line_no + 1))
-        };
+        let err =
+            |msg: &str| Error::Parse(format!("schema.txt line {}: {msg}", line_no + 1));
         match kw {
             "table" => {
                 let name = parts.next().ok_or_else(|| err("missing table name"))?;
@@ -62,7 +61,8 @@ pub fn parse_manifest(text: &str) -> Result<Vec<TableDecl>> {
             }
             "fk" => {
                 let name = parts.next().ok_or_else(|| err("missing fk column name"))?;
-                let target = parts.next().ok_or_else(|| err("missing fk target table"))?;
+                let target =
+                    parts.next().ok_or_else(|| err("missing fk target table"))?;
                 let schema =
                     current.as_mut().ok_or_else(|| err("column before any `table`"))?;
                 schema

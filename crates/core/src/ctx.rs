@@ -55,8 +55,7 @@ impl Ctx {
                 let mut foreign_cols = Vec::new();
                 for attr in target.schema().value_attrs() {
                     let codes = target.codes(attr)?;
-                    foreign_cols
-                        .push(rows.iter().map(|&r| codes[r as usize]).collect());
+                    foreign_cols.push(rows.iter().map(|&r| codes[r as usize]).collect());
                 }
                 fks.push(FkCtx { attr: fk.attr, target: target_idx, foreign_cols });
             }
@@ -96,4 +95,3 @@ pub(crate) fn check_fk_graph_acyclic(db: &Database) -> Result<()> {
     }
     Ok(())
 }
-

@@ -8,7 +8,9 @@
 use std::collections::HashMap;
 
 use baselines::sample::JoinPath;
-use baselines::{AviEstimator, JoinSampleEstimator, MhistEstimator, SampleEstimator, WaveletEstimator};
+use baselines::{
+    AviEstimator, JoinSampleEstimator, MhistEstimator, SampleEstimator, WaveletEstimator,
+};
 use reldb::{Database, Domain, Error, Pred, Query, Result};
 
 use crate::learn::{learn_prm, PrmLearnConfig};
@@ -55,7 +57,8 @@ fn codes_for_pred(domain: &Domain, pred: &Pred) -> Vec<u32> {
     match pred {
         Pred::Eq { value, .. } => domain.code(value).into_iter().collect(),
         Pred::In { values, .. } => {
-            let mut codes: Vec<u32> = values.iter().filter_map(|v| domain.code(v)).collect();
+            let mut codes: Vec<u32> =
+                values.iter().filter_map(|v| domain.code(v)).collect();
             codes.sort_unstable();
             codes.dedup();
             codes
@@ -105,17 +108,26 @@ pub struct PrmEstimator {
 impl PrmEstimator {
     /// Learns a PRM from the database and wraps it for estimation.
     pub fn build(db: &Database, config: &PrmLearnConfig) -> Result<Self> {
+        let _span = obs::span("prm.build");
         let name = if config.allow_foreign_parents || config.max_ji_parents > 0 {
             "PRM"
         } else {
             "BN+UJ"
         };
-        Ok(PrmEstimator {
+        let est = PrmEstimator {
             name: name.to_owned(),
             prm: learn_prm(db, config)?,
             schema: SchemaInfo::from_db(db)?,
             engine: InferenceEngine::Exact,
-        })
+        };
+        obs::gauge!("prm.model.bytes").set(est.prm.size_bytes() as f64);
+        obs::info!(
+            "built {} model: {} bytes over {} tables",
+            est.name,
+            est.prm.size_bytes(),
+            est.prm.tables.len()
+        );
+        Ok(est)
     }
 
     /// Wraps an already-learned PRM.
@@ -204,13 +216,18 @@ impl SelectivityEstimator for PrmEstimator {
     }
 
     fn estimate(&self, query: &Query) -> Result<f64> {
+        let start = std::time::Instant::now();
         let qebn = QueryEvalBn::build(&self.prm, &self.schema, query)?;
-        Ok(match self.engine {
+        obs::histogram!("prm.qebn.nodes").record(qebn.bn.len() as u64);
+        let est = match self.engine {
             InferenceEngine::Exact => qebn.estimated_size(&self.prm),
             InferenceEngine::LikelihoodWeighting { samples, seed } => {
                 qebn.estimated_size_approx(&self.prm, samples, seed)
             }
-        })
+        };
+        obs::counter!("prm.estimate.calls").inc();
+        obs::histogram!("prm.estimate.ns").record_duration(start.elapsed());
+        Ok(est)
     }
 }
 
@@ -248,19 +265,23 @@ impl SelectivityEstimator for AviAdapter {
     }
 
     fn estimate(&self, query: &Query) -> Result<f64> {
+        let start = std::time::Instant::now();
         expect_single_table(query, &self.table)?;
         let preds: Vec<(String, Vec<u32>)> = query
             .preds
             .iter()
             .map(|p| {
-                let domain = self.domains.get(p.attr()).ok_or_else(|| Error::UnknownAttr {
-                    table: self.table.clone(),
-                    attr: p.attr().to_owned(),
-                })?;
+                let domain =
+                    self.domains.get(p.attr()).ok_or_else(|| Error::UnknownAttr {
+                        table: self.table.clone(),
+                        attr: p.attr().to_owned(),
+                    })?;
                 Ok((p.attr().to_owned(), codes_for_pred(domain, p)))
             })
             .collect::<Result<_>>()?;
-        Ok(self.inner.estimate(&preds))
+        let est = self.inner.estimate(&preds);
+        obs::histogram!("est.avi.estimate.ns").record_duration(start.elapsed());
+        Ok(est)
     }
 }
 
@@ -279,7 +300,12 @@ pub struct MhistAdapter {
 
 impl MhistAdapter {
     /// Builds an MHIST over `attrs` of `table` within `budget_bytes`.
-    pub fn build(db: &Database, table: &str, attrs: &[&str], budget_bytes: usize) -> Result<Self> {
+    pub fn build(
+        db: &Database,
+        table: &str,
+        attrs: &[&str],
+        budget_bytes: usize,
+    ) -> Result<Self> {
         let t = db.table(table)?;
         let mut columns = Vec::with_capacity(attrs.len());
         let mut cards = Vec::with_capacity(attrs.len());
@@ -308,13 +334,11 @@ impl SelectivityEstimator for MhistAdapter {
     }
 
     fn estimate(&self, query: &Query) -> Result<f64> {
+        let start = std::time::Instant::now();
         expect_single_table(query, &self.table)?;
         // Start unconstrained, then intersect per-predicate.
-        let mut allowed: Vec<Vec<u32>> = self
-            .domains
-            .iter()
-            .map(|d| (0..d.card() as u32).collect())
-            .collect();
+        let mut allowed: Vec<Vec<u32>> =
+            self.domains.iter().map(|d| (0..d.card() as u32).collect()).collect();
         for p in &query.preds {
             let dim = self.attrs.iter().position(|a| a == p.attr()).ok_or_else(|| {
                 Error::BadPredicate(format!(
@@ -325,7 +349,9 @@ impl SelectivityEstimator for MhistAdapter {
             let codes = codes_for_pred(&self.domains[dim], p);
             allowed[dim].retain(|c| codes.contains(c));
         }
-        Ok(self.inner.estimate(&allowed))
+        let est = self.inner.estimate(&allowed);
+        obs::histogram!("est.mhist.estimate.ns").record_duration(start.elapsed());
+        Ok(est)
     }
 }
 
@@ -345,7 +371,12 @@ pub struct WaveletAdapter {
 impl WaveletAdapter {
     /// Builds the wavelet summary over `attrs` of `table` within
     /// `budget_bytes`.
-    pub fn build(db: &Database, table: &str, attrs: &[&str], budget_bytes: usize) -> Result<Self> {
+    pub fn build(
+        db: &Database,
+        table: &str,
+        attrs: &[&str],
+        budget_bytes: usize,
+    ) -> Result<Self> {
         let t = db.table(table)?;
         let mut columns = Vec::with_capacity(attrs.len());
         let mut cards = Vec::with_capacity(attrs.len());
@@ -374,12 +405,10 @@ impl SelectivityEstimator for WaveletAdapter {
     }
 
     fn estimate(&self, query: &Query) -> Result<f64> {
+        let start = std::time::Instant::now();
         expect_single_table(query, &self.table)?;
-        let mut allowed: Vec<Vec<u32>> = self
-            .domains
-            .iter()
-            .map(|d| (0..d.card() as u32).collect())
-            .collect();
+        let mut allowed: Vec<Vec<u32>> =
+            self.domains.iter().map(|d| (0..d.card() as u32).collect()).collect();
         for p in &query.preds {
             let dim = self.attrs.iter().position(|a| a == p.attr()).ok_or_else(|| {
                 Error::BadPredicate(format!(
@@ -390,7 +419,9 @@ impl SelectivityEstimator for WaveletAdapter {
             let codes = codes_for_pred(&self.domains[dim], p);
             allowed[dim].retain(|c| codes.contains(c));
         }
-        Ok(self.inner.estimate(&allowed))
+        let est = self.inner.estimate(&allowed);
+        obs::histogram!("est.wavelet.estimate.ns").record_duration(start.elapsed());
+        Ok(est)
     }
 }
 
@@ -408,7 +439,12 @@ pub struct SampleAdapter {
 
 impl SampleAdapter {
     /// Reservoir-samples `table` within `budget_bytes`.
-    pub fn build(db: &Database, table: &str, budget_bytes: usize, seed: u64) -> Result<Self> {
+    pub fn build(
+        db: &Database,
+        table: &str,
+        budget_bytes: usize,
+        seed: u64,
+    ) -> Result<Self> {
         let t = db.table(table)?;
         let mut domains = HashMap::new();
         for attr in t.schema().value_attrs() {
@@ -432,19 +468,23 @@ impl SelectivityEstimator for SampleAdapter {
     }
 
     fn estimate(&self, query: &Query) -> Result<f64> {
+        let start = std::time::Instant::now();
         expect_single_table(query, &self.table)?;
         let preds: Vec<(String, Vec<u32>)> = query
             .preds
             .iter()
             .map(|p| {
-                let domain = self.domains.get(p.attr()).ok_or_else(|| Error::UnknownAttr {
-                    table: self.table.clone(),
-                    attr: p.attr().to_owned(),
-                })?;
+                let domain =
+                    self.domains.get(p.attr()).ok_or_else(|| Error::UnknownAttr {
+                        table: self.table.clone(),
+                        attr: p.attr().to_owned(),
+                    })?;
                 Ok((p.attr().to_owned(), codes_for_pred(domain, p)))
             })
             .collect::<Result<_>>()?;
-        Ok(self.inner.estimate(&preds))
+        let est = self.inner.estimate(&preds);
+        obs::histogram!("est.sample.estimate.ns").record_duration(start.elapsed());
+        Ok(est)
     }
 }
 
@@ -482,7 +522,9 @@ impl JoinSampleAdapter {
                 .foreign_keys_of(&current)?
                 .into_iter()
                 .find(|f| &f.attr == fk)
-                .ok_or_else(|| Error::BadJoin(format!("`{current}.{fk}` is not a foreign key")))?
+                .ok_or_else(|| {
+                    Error::BadJoin(format!("`{current}.{fk}` is not a foreign key"))
+                })?
                 .target;
             chain.push(target.clone());
             current = target;
@@ -527,19 +569,21 @@ impl SelectivityEstimator for JoinSampleAdapter {
                 )));
             }
         }
+        let start = std::time::Instant::now();
         let preds: Vec<((String, String), Vec<u32>)> = query
             .preds
             .iter()
             .map(|p| {
                 let table = query.vars[p.var()].clone();
                 let key = (table, p.attr().to_owned());
-                let domain = self.domains.get(&key).ok_or_else(|| Error::UnknownAttr {
-                    table: key.0.clone(),
-                    attr: key.1.clone(),
+                let domain = self.domains.get(&key).ok_or_else(|| {
+                    Error::UnknownAttr { table: key.0.clone(), attr: key.1.clone() }
                 })?;
                 Ok((key, codes_for_pred(domain, p)))
             })
             .collect::<Result<_>>()?;
-        Ok(self.inner.estimate(&preds))
+        let est = self.inner.estimate(&preds);
+        obs::histogram!("est.join_sample.estimate.ns").record_duration(start.elapsed());
+        Ok(est)
     }
 }

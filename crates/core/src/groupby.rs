@@ -47,6 +47,19 @@ impl PrmEstimator {
             q.preds.push(Pred::Eq { var, attr: attr.to_owned(), value: value.clone() });
             out.push(GroupEstimate { value: value.clone(), count: self.estimate(&q)? });
         }
+        // Normalize to the ungrouped estimate. The grouped queries close
+        // upward through the grouping attribute's foreign parents, so
+        // their join-indicator mass need not sum to exactly 1 over the
+        // extra variables; rescaling restores the partition invariant
+        // (groups sum to the ungrouped size) exactly.
+        let raw_total: f64 = out.iter().map(|g| g.count).sum();
+        if raw_total > 0.0 {
+            let ungrouped = self.estimate(query)?;
+            let scale = ungrouped / raw_total;
+            for g in &mut out {
+                g.count *= scale;
+            }
+        }
         Ok(out)
     }
 }

@@ -87,7 +87,10 @@ impl DiscretizedDatabase {
 
 /// Rewrites every integer value column with more than `max_card` distinct
 /// values into at most `max_card` equi-depth bins.
-pub fn discretize_database(db: &Database, max_card: usize) -> Result<DiscretizedDatabase> {
+pub fn discretize_database(
+    db: &Database,
+    max_card: usize,
+) -> Result<DiscretizedDatabase> {
     assert!(max_card >= 2, "need at least two bins");
     let mut out = DatabaseBuilder::new();
     let mut binnings = HashMap::new();
@@ -136,8 +139,7 @@ pub fn discretize_database(db: &Database, max_card: usize) -> Result<Discretized
                                 max_card,
                             ))
                         };
-                        let binning =
-                            Binning { mapper, base_domain: domain.clone() };
+                        let binning = Binning { mapper, base_domain: domain.clone() };
                         let binned: Vec<u32> =
                             codes.iter().map(|&c| binning.bin_of(c)).collect();
                         binnings.insert(
@@ -189,10 +191,8 @@ impl<E: SelectivityEstimator> DiscretizingEstimator<E> {
         let mut out = query.clone();
         let mut scale = 1.0;
         for pred in &mut out.preds {
-            let table = query
-                .vars
-                .get(pred.var())
-                .ok_or(Error::UnknownVar(pred.var()))?;
+            let table =
+                query.vars.get(pred.var()).ok_or(Error::UnknownVar(pred.var()))?;
             let Some(binning) =
                 self.binnings.get(&(table.clone(), pred.attr().to_owned()))
             else {
@@ -212,7 +212,9 @@ impl<E: SelectivityEstimator> DiscretizingEstimator<E> {
                     cs.dedup();
                     cs
                 }
-                Pred::Range { lo, hi, .. } => binning.base_domain.codes_in_range(*lo, *hi),
+                Pred::Range { lo, hi, .. } => {
+                    binning.base_domain.codes_in_range(*lo, *hi)
+                }
             };
             // Overlapping bins and their covered width.
             let mut bins: Vec<u32> = codes.iter().map(|&c| binning.bin_of(c)).collect();
@@ -244,8 +246,7 @@ impl<E: SelectivityEstimator> SelectivityEstimator for DiscretizingEstimator<E> 
     fn size_bytes(&self) -> usize {
         // Bin boundaries must be stored alongside the model: 2 bytes per
         // bin upper bound.
-        let bin_bytes: usize =
-            self.binnings.values().map(|b| 2 * b.n_bins()).sum();
+        let bin_bytes: usize = self.binnings.values().map(|b| 2 * b.n_bins()).sum();
         self.inner.size_bytes() + bin_bytes
     }
 
@@ -307,10 +308,7 @@ mod tests {
         let q = b.build();
         let truth = result_size(&db, &q).unwrap() as f64;
         let got = est.estimate(&q).unwrap();
-        assert!(
-            (got - truth).abs() / truth < 0.15,
-            "got={got} truth={truth}"
-        );
+        assert!((got - truth).abs() / truth < 0.15, "got={got} truth={truth}");
     }
 
     #[test]
@@ -330,10 +328,7 @@ mod tests {
         let truth = result_size(&db, &q).unwrap() as f64;
         let got = est.estimate(&q).unwrap();
         // Equality on a near-uniform wide attribute: within a factor ~2.
-        assert!(
-            (got - truth).abs() / truth.max(1.0) < 1.0,
-            "got={got} truth={truth}"
-        );
+        assert!((got - truth).abs() / truth.max(1.0) < 1.0, "got={got} truth={truth}");
     }
 
     #[test]
@@ -352,10 +347,7 @@ mod tests {
         let q = b.build();
         let truth = result_size(&db, &q).unwrap() as f64;
         let got = est.estimate(&q).unwrap();
-        assert!(
-            (got - truth).abs() / truth < 0.25,
-            "got={got} truth={truth}"
-        );
+        assert!((got - truth).abs() / truth < 0.25, "got={got} truth={truth}");
     }
 
     #[test]

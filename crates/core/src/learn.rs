@@ -33,7 +33,9 @@ use bayesnet::{Cpd, CpdKind, StepRule};
 use reldb::{CountTable, Database, Result};
 
 use crate::ctx::Ctx;
-use crate::prm::{AttrModel, JiParentRef, JoinIndicatorModel, ParentRef, Prm, TableModel};
+use crate::prm::{
+    AttrModel, JiParentRef, JoinIndicatorModel, ParentRef, Prm, TableModel,
+};
 
 /// Configuration of PRM construction.
 #[derive(Debug, Clone)]
@@ -104,10 +106,17 @@ impl PrmLearnConfig {
 pub fn learn_prm(db: &Database, config: &PrmLearnConfig) -> Result<Prm> {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    let ctx = Ctx::build(db, config)?;
+    let ctx = {
+        let _span = obs::span("prm.learn.stats");
+        Ctx::build(db, config)?
+    };
     let mut learner = Learner::new(&ctx, config.clone());
-    learner.climb();
+    {
+        let _span = obs::span("prm.learn.climb");
+        learner.climb();
+    }
     if config.restarts > 0 {
+        let _span = obs::span("prm.learn.restarts");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut best = learner.snapshot();
         for _ in 0..config.restarts {
@@ -121,6 +130,7 @@ pub fn learn_prm(db: &Database, config: &PrmLearnConfig) -> Result<Prm> {
             learner.restore(best);
         }
     }
+    let _span = obs::span("prm.learn.assemble");
     Ok(learner.assemble())
 }
 
@@ -181,11 +191,8 @@ struct Learner<'c> {
 
 impl<'c> Learner<'c> {
     fn new(ctx: &'c Ctx, config: PrmLearnConfig) -> Self {
-        let attr_parents = ctx
-            .tables
-            .iter()
-            .map(|t| vec![Vec::new(); t.attr_names.len()])
-            .collect();
+        let attr_parents =
+            ctx.tables.iter().map(|t| vec![Vec::new(); t.attr_names.len()]).collect();
         let ji_parents =
             ctx.tables.iter().map(|t| vec![Vec::new(); t.fks.len()]).collect();
         let local_dags =
@@ -228,19 +235,26 @@ impl<'c> Learner<'c> {
             let cur_bytes = self.total_bytes();
             let mut best: Option<(Move, f64)> = None;
             for mv in self.candidate_moves() {
-                let Some((dll, dbytes)) = self.move_delta(mv, cur_bytes) else { continue };
+                obs::counter!("prm.search.moves.evaluated").inc();
+                let Some((dll, dbytes)) = self.move_delta(mv, cur_bytes) else {
+                    obs::counter!("prm.search.moves.illegal").inc();
+                    continue;
+                };
                 if (cur_bytes as i64 + dbytes) as usize > self.config.budget_bytes {
+                    obs::counter!("prm.search.moves.over_budget").inc();
                     continue;
                 }
                 let score = match self.config.rule {
                     StepRule::Naive => {
                         if dll <= TOL {
+                            obs::counter!("prm.search.moves.rejected").inc();
                             continue;
                         }
                         dll
                     }
                     StepRule::Ssn => {
                         if dll <= TOL {
+                            obs::counter!("prm.search.moves.rejected").inc();
                             continue;
                         }
                         if dbytes > 0 {
@@ -255,6 +269,7 @@ impl<'c> Learner<'c> {
                         let n = self.move_population(mv);
                         let dmdl = dll - mdl_penalty_per_param(n) * dbytes as f64 / 4.0;
                         if dmdl <= TOL {
+                            obs::counter!("prm.search.moves.rejected").inc();
                             continue;
                         }
                         dmdl
@@ -270,6 +285,23 @@ impl<'c> Learner<'c> {
                     return;
                 }
                 Some((mv, _)) => {
+                    // One macro call per arm: the handle is memoized per
+                    // call site, so the name must be a fixed literal.
+                    match mv {
+                        Move::AttrAdd { .. } => {
+                            obs::counter!("prm.search.steps.attr_add").inc()
+                        }
+                        Move::AttrDel { .. } => {
+                            obs::counter!("prm.search.steps.attr_del").inc()
+                        }
+                        Move::JiAdd { .. } => {
+                            obs::counter!("prm.search.steps.ji_add").inc()
+                        }
+                        Move::JiDel { .. } => {
+                            obs::counter!("prm.search.steps.ji_del").inc()
+                        }
+                    }
+                    obs::counter!("prm.search.steps.accepted").inc();
                     let cur_bytes = self.total_bytes();
                     self.apply(mv, cur_bytes);
                 }
@@ -306,7 +338,8 @@ impl<'c> Learner<'c> {
                     {
                         continue;
                     }
-                    let score = if dbytes > 0 { dll / dbytes as f64 } else { f64::INFINITY };
+                    let score =
+                        if dbytes > 0 { dll / dbytes as f64 } else { f64::INFINITY };
                     if best.as_ref().is_none_or(|b| score > b.3) {
                         best = Some((t, a, new, score));
                     }
@@ -395,7 +428,9 @@ impl<'c> Learner<'c> {
     /// attribute family, |T|·|S| pairs for a join indicator).
     fn move_population(&self, mv: Move) -> usize {
         match mv {
-            Move::AttrAdd { t, .. } | Move::AttrDel { t, .. } => self.ctx.tables[t].n_rows,
+            Move::AttrAdd { t, .. } | Move::AttrDel { t, .. } => {
+                self.ctx.tables[t].n_rows
+            }
             Move::JiAdd { t, f, .. } | Move::JiDel { t, f, .. } => {
                 let target = self.ctx.tables[t].fks[f].target;
                 self.ctx.tables[t].n_rows * self.ctx.tables[target].n_rows
@@ -458,9 +493,9 @@ impl<'c> Learner<'c> {
                     for a in 0..table.attr_names.len() {
                         let pref = JiParentRef::Child { attr: a };
                         // Forbidden if attr `a` depends through this FK.
-                        let depends = self.attr_parents[t][a]
-                            .iter()
-                            .any(|p| matches!(p, ParentRef::Foreign { fk, .. } if *fk == f));
+                        let depends = self.attr_parents[t][a].iter().any(
+                            |p| matches!(p, ParentRef::Foreign { fk, .. } if *fk == f),
+                        );
                         if !parents.contains(&pref) && !depends {
                             moves.push(Move::JiAdd { t, f, p: pref });
                         }
@@ -481,10 +516,7 @@ impl<'c> Learner<'c> {
     /// The byte allowance a candidate family may grow to, given the bytes
     /// the rest of the model currently occupies.
     fn family_param_cap(&self, cur_bytes: usize, old_family_bytes: usize) -> usize {
-        self.config
-            .budget_bytes
-            .saturating_sub(cur_bytes - old_family_bytes)
-            .max(1)
+        self.config.budget_bytes.saturating_sub(cur_bytes - old_family_bytes).max(1)
     }
 
     fn move_delta(&mut self, mv: Move, cur_bytes: usize) -> Option<(f64, i64)> {
@@ -507,8 +539,7 @@ impl<'c> Learner<'c> {
                     Move::JiAdd { .. } => with_ref(&old_key, p),
                     _ => without_ref(&old_key, p),
                 };
-                let (old_ll, old_bytes) =
-                    (self.cur_ji[t][f].ll, self.cur_ji[t][f].bytes);
+                let (old_ll, old_bytes) = (self.cur_ji[t][f].ll, self.cur_ji[t][f].bytes);
                 let new = self.eval_ji(t, f, &new_key);
                 Some((new.ll - old_ll, new.bytes as i64 - old_bytes as i64))
             }
@@ -525,9 +556,8 @@ impl<'c> Learner<'c> {
                 self.attr_parents[t][a].sort_unstable();
                 let cap = self.family_param_cap(cur_bytes, self.cur_attr[t][a].bytes);
                 let key = sorted_refs(&self.attr_parents[t][a]);
-                self.cur_attr[t][a] = self
-                    .eval_attr(t, a, &key, cap)
-                    .expect("move was evaluated as legal");
+                self.cur_attr[t][a] =
+                    self.eval_attr(t, a, &key, cap).expect("move was evaluated as legal");
             }
             Move::AttrDel { t, a, p } => {
                 if let ParentRef::Local { attr } = p {
@@ -780,11 +810,7 @@ fn compute_candidates(
     config: &PrmLearnConfig,
 ) -> Vec<Vec<Option<Vec<ParentRef>>>> {
     let Some(k) = config.candidate_parents_per_attr else {
-        return ctx
-            .tables
-            .iter()
-            .map(|t| vec![None; t.attr_names.len()])
-            .collect();
+        return ctx.tables.iter().map(|t| vec![None; t.attr_names.len()]).collect();
     };
     use bayesnet::learn::score::mi_times_n;
     let mut out = Vec::with_capacity(ctx.tables.len());
@@ -824,10 +850,7 @@ fn compute_candidates(
         for (row, &c) in child_col.iter().enumerate() {
             counts[col[row] as usize * child_card + c as usize] += 1;
         }
-        mi_times_n(&reldb::CountTable {
-            cards: vec![card, child_card],
-            counts,
-        })
+        mi_times_n(&reldb::CountTable { cards: vec![card, child_card], counts })
     }
     out
 }
@@ -1027,10 +1050,7 @@ mod tests {
         let db = correlated_db();
         let prm = learn_prm(
             &db,
-            &PrmLearnConfig {
-                candidate_parents_per_attr: Some(1),
-                ..Default::default()
-            },
+            &PrmLearnConfig { candidate_parents_per_attr: Some(1), ..Default::default() },
         )
         .unwrap();
         // child.y's single strongest candidate is parent.x (through the
@@ -1049,10 +1069,7 @@ mod tests {
         let full = learn_prm(&db, &PrmLearnConfig::default()).unwrap();
         let filtered = learn_prm(
             &db,
-            &PrmLearnConfig {
-                candidate_parents_per_attr: Some(1),
-                ..Default::default()
-            },
+            &PrmLearnConfig { candidate_parents_per_attr: Some(1), ..Default::default() },
         )
         .unwrap();
         let count = |p: &crate::prm::Prm| -> usize {
@@ -1064,7 +1081,8 @@ mod tests {
     #[test]
     fn restarts_never_hurt_and_respect_budget() {
         let db = correlated_db();
-        let base = learn_prm(&db, &PrmLearnConfig { restarts: 0, ..Default::default() }).unwrap();
+        let base = learn_prm(&db, &PrmLearnConfig { restarts: 0, ..Default::default() })
+            .unwrap();
         let restarted = learn_prm(
             &db,
             &PrmLearnConfig { restarts: 3, seed: 42, ..Default::default() },
@@ -1075,7 +1093,8 @@ mod tests {
         let _ = base;
         let child = restarted.table_model("child").unwrap();
         assert!(
-            !child.attrs[0].parents.is_empty() || !child.join_indicators[0].parents.is_empty(),
+            !child.attrs[0].parents.is_empty()
+                || !child.join_indicators[0].parents.is_empty(),
             "restarted model lost all structure"
         );
     }

@@ -87,10 +87,10 @@ pub use groupby::GroupEstimate;
 pub use largedomain::{discretize_database, DiscretizedDatabase, DiscretizingEstimator};
 pub use learn::{learn_prm, PrmLearnConfig};
 pub use maintain::{model_loglik, refresh_parameters};
+pub use metrics::{adjusted_relative_error, evaluate_suite, SuiteEval};
 pub use nonkey::JoinSide;
 pub use persist::{load_model, save_model};
 pub use planner::{best_plan, enumerate_plans, Plan};
-pub use metrics::{adjusted_relative_error, evaluate_suite, SuiteEval};
 pub use prm::{JiParentRef, ParentRef, Prm};
 pub use qebn::QueryEvalBn;
 pub use schema::SchemaInfo;

@@ -38,20 +38,15 @@ pub fn refresh_parameters(prm: &Prm, db: &Database) -> Result<Prm> {
         let table = &ctx.tables[t];
         table_model.n_rows = table.n_rows as u64;
         for (a, attr) in table_model.attrs.iter_mut().enumerate() {
-            let parent_data: Vec<(&[u32], usize)> = attr
-                .parents
-                .iter()
-                .map(|&p| parent_column(&ctx, t, p))
-                .collect();
+            let parent_data: Vec<(&[u32], usize)> =
+                attr.parents.iter().map(|&p| parent_column(&ctx, t, p)).collect();
             attr.cpd = match &attr.cpd {
                 Cpd::Table(_) => {
-                    let counts =
-                        family_counts(&parent_data, &table.cols[a], attr.card);
+                    let counts = family_counts(&parent_data, &table.cols[a], attr.card);
                     TableCpd::from_counts(&counts).into()
                 }
                 Cpd::Tree(tree) => {
-                    let cols: Vec<&[u32]> =
-                        parent_data.iter().map(|&(c, _)| c).collect();
+                    let cols: Vec<&[u32]> = parent_data.iter().map(|&(c, _)| c).collect();
                     tree.refit(&table.cols[a], &cols).into()
                 }
             };
@@ -78,11 +73,8 @@ pub fn model_loglik(prm: &Prm, db: &Database) -> Result<f64> {
     for (t, table_model) in prm.tables.iter().enumerate() {
         let table = &ctx.tables[t];
         for (a, attr) in table_model.attrs.iter().enumerate() {
-            let parent_data: Vec<(&[u32], usize)> = attr
-                .parents
-                .iter()
-                .map(|&p| parent_column(&ctx, t, p))
-                .collect();
+            let parent_data: Vec<(&[u32], usize)> =
+                attr.parents.iter().map(|&p| parent_column(&ctx, t, p)).collect();
             let child_col = &table.cols[a];
             let mut config = vec![0u32; parent_data.len()];
             for (row, &child) in child_col.iter().enumerate() {
@@ -104,10 +96,8 @@ pub fn model_loglik(prm: &Prm, db: &Database) -> Result<f64> {
 /// Builds a learning context matching the PRM's schema assumptions.
 fn ctx_for(prm: &Prm, db: &Database) -> Result<Ctx> {
     let needs_foreign = prm.foreign_parent_count() > 0;
-    let config = PrmLearnConfig {
-        allow_foreign_parents: needs_foreign,
-        ..Default::default()
-    };
+    let config =
+        PrmLearnConfig { allow_foreign_parents: needs_foreign, ..Default::default() };
     let ctx = Ctx::build(db, &config)?;
     if ctx.tables.len() != prm.tables.len() {
         return Err(Error::BadJoin("database/model table count mismatch".into()));
@@ -434,8 +424,12 @@ mod tests {
         }
         let mut c = TableBuilder::new("child").key("id").fk("parent", "parent").col("y");
         for i in 0..12i64 {
-            c.push_row(vec![Cell::Key(i), Cell::Key(i % 4), Cell::Val(Value::Int(i % 3))])
-                .unwrap();
+            c.push_row(vec![
+                Cell::Key(i),
+                Cell::Key(i % 4),
+                Cell::Val(Value::Int(i % 3)),
+            ])
+            .unwrap();
         }
         let drifted = DatabaseBuilder::new()
             .add_table(p.finish().unwrap())

@@ -13,6 +13,27 @@ pub fn adjusted_relative_error(truth: u64, estimate: f64) -> f64 {
     (truth as f64 - estimate).abs() / (truth.max(1) as f64)
 }
 
+/// Records one `(truth, estimate)` pair into the process-global
+/// estimation-quality histograms:
+///
+/// * `quality.adj_rel_err_pct` — adjusted relative error in percent
+///   (the paper's §5 metric), rounded;
+/// * `quality.qerror_milli` — the optimizer community's q-error
+///   `max(S/Ŝ, Ŝ/S)` (both sides clamped to ≥ 1), × 1000.
+///
+/// Every suite-evaluation path calls this, so `prmsel stats` reports
+/// estimation quality alongside cost metrics.
+pub fn record_quality(truth: u64, estimate: f64) {
+    let err = adjusted_relative_error(truth, estimate);
+    obs::histogram!("quality.adj_rel_err_pct")
+        .record((err * 100.0).round().min(u64::MAX as f64) as u64);
+    let t = truth.max(1) as f64;
+    let e = estimate.max(1.0);
+    let q = (t / e).max(e / t);
+    obs::histogram!("quality.qerror_milli")
+        .record((q * 1000.0).round().min(u64::MAX as f64) as u64);
+}
+
 /// Per-query evaluation record.
 #[derive(Debug, Clone, Copy)]
 pub struct QueryEval {
@@ -87,6 +108,7 @@ pub fn evaluate_suite(
     for q in queries {
         let truth = exec::result_size(db, q)?;
         let estimate = estimator.estimate(q)?;
+        record_quality(truth, estimate);
         per_query.push(QueryEval {
             truth,
             estimate,
@@ -121,6 +143,7 @@ pub fn evaluate_with_truth_parallel(
                 let mut out = Vec::with_capacity(qs.len());
                 for (q, &truth) in qs.iter().zip(ts) {
                     let estimate = estimator.estimate(q)?;
+                    record_quality(truth, estimate);
                     out.push(QueryEval {
                         truth,
                         estimate,
@@ -149,6 +172,7 @@ pub fn evaluate_with_truth(
     let mut per_query = Vec::with_capacity(queries.len());
     for (q, &truth) in queries.iter().zip(truths) {
         let estimate = estimator.estimate(q)?;
+        record_quality(truth, estimate);
         per_query.push(QueryEval {
             truth,
             estimate,

@@ -41,8 +41,14 @@ impl PrmEstimator {
         let mut total = 0.0;
         for v in l_dom {
             if r_dom.contains(&v) {
-                let l = self.estimate(&with_eq(&left.query, left.var, &left.attr, v.clone()))?;
-                let r = self.estimate(&with_eq(&right.query, right.var, &right.attr, v))?;
+                let l = self.estimate(&with_eq(
+                    &left.query,
+                    left.var,
+                    &left.attr,
+                    v.clone(),
+                ))?;
+                let r =
+                    self.estimate(&with_eq(&right.query, right.var, &right.attr, v))?;
                 total += l * r;
             }
         }
@@ -50,25 +56,17 @@ impl PrmEstimator {
     }
 
     fn join_attr_domain(&self, side: &JoinSide) -> Result<Vec<Value>> {
-        let table_name = side
-            .query
-            .vars
-            .get(side.var)
-            .ok_or(Error::UnknownVar(side.var))?;
+        let table_name =
+            side.query.vars.get(side.var).ok_or(Error::UnknownVar(side.var))?;
         let table = self
             .schema_info()
             .tables
             .iter()
             .find(|t| &t.name == table_name)
             .ok_or_else(|| Error::UnknownTable(table_name.clone()))?;
-        let idx = table
-            .attrs
-            .iter()
-            .position(|a| a == &side.attr)
-            .ok_or_else(|| Error::UnknownAttr {
-                table: table_name.clone(),
-                attr: side.attr.clone(),
-            })?;
+        let idx = table.attrs.iter().position(|a| a == &side.attr).ok_or_else(|| {
+            Error::UnknownAttr { table: table_name.clone(), attr: side.attr.clone() }
+        })?;
         Ok(table.domains[idx].values().to_vec())
     }
 }
@@ -151,10 +149,7 @@ mod tests {
             .estimate_nonkey_join(&side("store", "city"), &side("person", "city"))
             .unwrap();
         let truth = exact(&db, None) as f64;
-        assert!(
-            (got - truth).abs() / truth < 0.05,
-            "got={got} truth={truth}"
-        );
+        assert!((got - truth).abs() / truth < 0.05, "got={got} truth={truth}");
     }
 
     #[test]
@@ -167,14 +162,9 @@ mod tests {
         b.eq(v, "kind", 1);
         left.query = b.build();
         left.var = v;
-        let got = est
-            .estimate_nonkey_join(&left, &side("person", "city"))
-            .unwrap();
+        let got = est.estimate_nonkey_join(&left, &side("person", "city")).unwrap();
         let truth = exact(&db, Some(1)) as f64;
-        assert!(
-            (got - truth).abs() / truth < 0.1,
-            "got={got} truth={truth}"
-        );
+        assert!((got - truth).abs() / truth < 0.1, "got={got} truth={truth}");
     }
 
     #[test]

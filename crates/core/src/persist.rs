@@ -96,9 +96,7 @@ pub fn load_model(mut input: impl Read) -> Result<(Prm, SchemaInfo)> {
     let mut r = Reader { input: &mut input };
     let magic = r.fixed::<8>()?;
     if &magic != MAGIC {
-        return Err(Error::Corrupt(
-            "not a prmsel model file (bad magic/version)".into(),
-        ));
+        return Err(Error::Corrupt("not a prmsel model file (bad magic/version)".into()));
     }
     let n_tables = r.usize_()?;
     let mut tables = Vec::with_capacity(n_tables);
@@ -189,9 +187,7 @@ struct Writer<'a, W: Write> {
 
 impl<W: Write> Writer<'_, W> {
     fn bytes(&mut self, b: &[u8]) -> Result<()> {
-        self.out
-            .write_all(b)
-            .map_err(|e| Error::Io(format!("write error: {e}")))
+        self.out.write_all(b).map_err(|e| Error::Io(format!("write error: {e}")))
     }
 
     fn u8_(&mut self, v: u8) -> Result<()> {
@@ -363,9 +359,9 @@ impl<R: Read> Reader<'_, R> {
                 let child_card = self.usize_()?;
                 let parent_cards = self.usizes()?;
                 let n = self.usize_()?;
-                let probs: Vec<f64> = (0..n).map(|_| self.f64_()).collect::<Result<_>>()?;
-                let expected =
-                    parent_cards.iter().product::<usize>().max(1) * child_card;
+                let probs: Vec<f64> =
+                    (0..n).map(|_| self.f64_()).collect::<Result<_>>()?;
+                let expected = parent_cards.iter().product::<usize>().max(1) * child_card;
                 if n != expected {
                     return Err(corrupt("table cpd size mismatch".into()));
                 }
@@ -409,11 +405,9 @@ mod tests {
 
     fn round_trip(kind: CpdKind) {
         let db = tb_database_sized(100, 150, 1_200, 8);
-        let prm = learn_prm(
-            &db,
-            &PrmLearnConfig { cpd_kind: kind, ..Default::default() },
-        )
-        .unwrap();
+        let prm =
+            learn_prm(&db, &PrmLearnConfig { cpd_kind: kind, ..Default::default() })
+                .unwrap();
         let schema = SchemaInfo::from_db(&db).unwrap();
         let mut buf = Vec::new();
         save_model(&prm, &schema, &mut buf).unwrap();

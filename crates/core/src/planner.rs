@@ -55,15 +55,7 @@ pub fn enumerate_plans(
     // variables it covers (the subquery is order-independent), so prefix
     // estimates are shared across the orders that permute them.
     let mut memo: HashMap<Vec<usize>, f64> = HashMap::new();
-    enumerate(
-        estimator,
-        query,
-        &adjacent,
-        &mut order,
-        &mut used,
-        &mut plans,
-        &mut memo,
-    )?;
+    enumerate(estimator, query, &adjacent, &mut order, &mut used, &mut plans, &mut memo)?;
     if plans.is_empty() {
         return Err(Error::BadJoin("join graph is disconnected".into()));
     }

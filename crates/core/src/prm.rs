@@ -162,11 +162,7 @@ impl Prm {
     /// Total number of join-indicator parents — zero under the uniform
     /// join assumption.
     pub fn ji_parent_count(&self) -> usize {
-        self.tables
-            .iter()
-            .flat_map(|t| &t.join_indicators)
-            .map(|j| j.parents.len())
-            .sum()
+        self.tables.iter().flat_map(|t| &t.join_indicators).map(|j| j.parents.len()).sum()
     }
 }
 
@@ -203,8 +199,7 @@ impl Prm {
                 );
             }
             for ji in &t.join_indicators {
-                let target =
-                    self.table_model(&ji.target).expect("target table modeled");
+                let target = self.table_model(&ji.target).expect("target table modeled");
                 let parents: Vec<String> = ji
                     .parents
                     .iter()

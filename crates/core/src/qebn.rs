@@ -68,7 +68,8 @@ impl QueryEvalBn {
     pub fn estimated_size_approx(&self, prm: &Prm, samples: usize, seed: u64) -> f64 {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let p = bayesnet::likelihood_weighting(&self.bn, &self.evidence, samples, &mut rng);
+        let p =
+            bayesnet::likelihood_weighting(&self.bn, &self.evidence, samples, &mut rng);
         self.scale(prm, p)
     }
 
@@ -164,7 +165,9 @@ impl<'a> Builder<'a> {
                     let refs = model.parents.clone();
                     refs.iter()
                         .map(|&p| match p {
-                            ParentRef::Local { attr } => self.need(NodeKey::Attr(v, attr)),
+                            ParentRef::Local { attr } => {
+                                self.need(NodeKey::Attr(v, attr))
+                            }
                             ParentRef::Foreign { fk, attr } => {
                                 let w = self.joined_var(v, fk);
                                 self.need(NodeKey::Attr(w, attr))
@@ -179,8 +182,12 @@ impl<'a> Builder<'a> {
                     let w = self.joined_var(v, f);
                     refs.iter()
                         .map(|&p| match p {
-                            JiParentRef::Child { attr } => self.need(NodeKey::Attr(v, attr)),
-                            JiParentRef::Parent { attr } => self.need(NodeKey::Attr(w, attr)),
+                            JiParentRef::Child { attr } => {
+                                self.need(NodeKey::Attr(v, attr))
+                            }
+                            JiParentRef::Parent { attr } => {
+                                self.need(NodeKey::Attr(w, attr))
+                            }
                         })
                         .collect::<Vec<_>>()
                 }
@@ -269,26 +276,22 @@ impl SchemaInfo {
     }
 
     fn attr_index(&self, table: usize, attr: &str) -> Result<usize> {
-        self.tables[table]
-            .attrs
-            .iter()
-            .position(|a| a == attr)
-            .ok_or_else(|| Error::UnknownAttr {
+        self.tables[table].attrs.iter().position(|a| a == attr).ok_or_else(|| {
+            Error::UnknownAttr {
                 table: self.tables[table].name.clone(),
                 attr: attr.to_owned(),
-            })
+            }
+        })
     }
 
     fn fk_index(&self, table: usize, fk_attr: &str) -> Result<usize> {
-        self.tables[table]
-            .fks
-            .iter()
-            .position(|f| f.attr == fk_attr)
-            .ok_or_else(|| Error::WrongAttrKind {
+        self.tables[table].fks.iter().position(|f| f.attr == fk_attr).ok_or_else(|| {
+            Error::WrongAttrKind {
                 table: self.tables[table].name.clone(),
                 attr: fk_attr.to_owned(),
                 expected: "foreign-key",
-            })
+            }
+        })
     }
 
     fn fk_target(&self, table: usize, fk: usize) -> usize {
@@ -404,16 +407,14 @@ mod tests {
         let mut b1 = Query::builder();
         let c1 = b1.var("child");
         b1.eq(c1, "y", 0);
-        let est1 = QueryEvalBn::build(&prm, &schema, &b1.build())
-            .unwrap()
-            .estimated_size(&prm);
+        let est1 =
+            QueryEvalBn::build(&prm, &schema, &b1.build()).unwrap().estimated_size(&prm);
         let mut b2 = Query::builder();
         let c2 = b2.var("child");
         let p2 = b2.var("parent");
         b2.join(c2, "parent", p2).eq(c2, "y", 0);
-        let est2 = QueryEvalBn::build(&prm, &schema, &b2.build())
-            .unwrap()
-            .estimated_size(&prm);
+        let est2 =
+            QueryEvalBn::build(&prm, &schema, &b2.build()).unwrap().estimated_size(&prm);
         assert!((est1 - est2).abs() < 1e-9, "{est1} vs {est2}");
     }
 
@@ -427,9 +428,8 @@ mod tests {
         let c = b.var("child");
         let p = b.var("parent");
         b.join(c, "parent", p);
-        let est = QueryEvalBn::build(&prm, &schema, &b.build())
-            .unwrap()
-            .estimated_size(&prm);
+        let est =
+            QueryEvalBn::build(&prm, &schema, &b.build()).unwrap().estimated_size(&prm);
         assert!((est - 100.0).abs() < 1e-9, "est={est}");
     }
 
@@ -451,9 +451,8 @@ mod tests {
         let mut b = Query::builder();
         let p = b.var("parent");
         b.range(p, "x", Some(0), Some(1));
-        let est = QueryEvalBn::build(&prm, &schema, &b.build())
-            .unwrap()
-            .estimated_size(&prm);
+        let est =
+            QueryEvalBn::build(&prm, &schema, &b.build()).unwrap().estimated_size(&prm);
         assert!((est - 50.0).abs() < 1e-9, "est={est}");
     }
 
@@ -558,9 +557,8 @@ mod tests {
         let p2 = b2.var("patient");
         let s2 = b2.var("strain");
         b2.join(c2, "patient", p2).join(p2, "strain", s2).eq(c2, "z", 1);
-        let joined = QueryEvalBn::build(&prm, &schema, &b2.build())
-            .unwrap()
-            .estimated_size(&prm);
+        let joined =
+            QueryEvalBn::build(&prm, &schema, &b2.build()).unwrap().estimated_size(&prm);
         assert!((single - joined).abs() < 1e-9, "{single} vs {joined}");
     }
 
@@ -570,9 +568,8 @@ mod tests {
         let mut b = Query::builder();
         let p = b.var("parent");
         b.eq(p, "x", 99);
-        let est = QueryEvalBn::build(&prm, &schema, &b.build())
-            .unwrap()
-            .estimated_size(&prm);
+        let est =
+            QueryEvalBn::build(&prm, &schema, &b.build()).unwrap().estimated_size(&prm);
         assert_eq!(est, 0.0);
     }
 }

@@ -47,10 +47,8 @@ impl SchemaInfo {
         for t in db.tables() {
             let attrs: Vec<String> =
                 t.schema().value_attrs().iter().map(|s| s.to_string()).collect();
-            let domains: Vec<Domain> = attrs
-                .iter()
-                .map(|a| t.domain(a).cloned())
-                .collect::<Result<_>>()?;
+            let domains: Vec<Domain> =
+                attrs.iter().map(|a| t.domain(a).cloned()).collect::<Result<_>>()?;
             let fks = t
                 .schema()
                 .foreign_keys()

@@ -1,0 +1,123 @@
+//! Integration test for the observability wiring: building a PRM and
+//! running estimates must leave the expected traces in the process-global
+//! metrics registry.
+//!
+//! The registry is shared across the whole process, so every assertion is
+//! a *delta* against a snapshot taken before the workload — absolute
+//! values would couple this test to execution order.
+
+use prmsel::{PrmEstimator, PrmLearnConfig, SelectivityEstimator};
+use reldb::{Cell, Database, DatabaseBuilder, Query, TableBuilder, Value};
+
+fn tiny_db() -> Database {
+    let mut p = TableBuilder::new("parent").key("id").col("x");
+    for (id, x) in [(0, 0i64), (1, 1), (2, 0), (3, 1)] {
+        p.push_row(vec![Cell::Key(id), Cell::Val(Value::Int(x))]).unwrap();
+    }
+    let mut c = TableBuilder::new("child").key("id").fk("parent", "parent").col("y");
+    for (id, pa, y) in [
+        (0, 0, 0i64),
+        (1, 0, 1),
+        (2, 1, 0),
+        (3, 2, 1),
+        (4, 3, 0),
+        (5, 3, 1),
+        (6, 1, 0),
+        (7, 2, 1),
+    ] {
+        c.push_row(vec![Cell::Key(id), Cell::Key(pa), Cell::Val(Value::Int(y))]).unwrap();
+    }
+    DatabaseBuilder::new()
+        .add_table(p.finish().unwrap())
+        .add_table(c.finish().unwrap())
+        .finish()
+        .unwrap()
+}
+
+#[test]
+fn build_and_estimate_increment_the_expected_metrics() {
+    let reg = obs::registry();
+    let calls_before = reg.counter("prm.estimate.calls").get();
+    let ns_before = reg.histogram("prm.estimate.ns").count();
+    let qebn_before = reg.histogram("prm.qebn.nodes").count();
+
+    let db = tiny_db();
+    let est = PrmEstimator::build(&db, &PrmLearnConfig::default()).expect("build");
+
+    // The built model reports its size.
+    assert!(reg.gauge("prm.model.bytes").get() > 0.0, "model bytes gauge unset");
+    // The build phase ran under a span that records its latency.
+    assert!(
+        reg.histogram("span.prm.build.ns").count() > 0,
+        "prm.build span not recorded"
+    );
+
+    // Run a few estimates: single-table and join queries.
+    let mut b = Query::builder();
+    let c = b.var("child");
+    b.eq(c, "y", 0);
+    est.estimate(&b.build()).expect("estimate");
+
+    let mut b = Query::builder();
+    let c = b.var("child");
+    let p = b.var("parent");
+    b.join(c, "parent", p).eq(p, "x", 1);
+    est.estimate(&b.build()).expect("estimate");
+
+    let calls = reg.counter("prm.estimate.calls").get() - calls_before;
+    assert_eq!(calls, 2, "each estimate() call must count once");
+    assert_eq!(
+        reg.histogram("prm.estimate.ns").count() - ns_before,
+        2,
+        "each estimate() call must record a latency sample"
+    );
+    let qebn = reg.histogram("prm.qebn.nodes").count() - qebn_before;
+    assert_eq!(qebn, 2, "each estimate() call must record the QEBN node count");
+    // The join query unrolls at least child.y, parent.x and one join
+    // indicator, so the QEBN histogram must have seen a value ≥ 3.
+    assert!(
+        reg.histogram("prm.qebn.nodes").snapshot().max >= 3,
+        "join QEBN should have at least 3 nodes"
+    );
+}
+
+#[test]
+fn suite_evaluation_drives_executor_and_quality_metrics() {
+    let reg = obs::registry();
+    let exec_before = reg.counter("reldb.exec.queries").get();
+    let rows_before = reg.counter("reldb.exec.rows_scanned").get();
+    let quality_before = reg.histogram("quality.adj_rel_err_pct").count();
+
+    let db = tiny_db();
+    let est = PrmEstimator::build(&db, &PrmLearnConfig::default()).expect("build");
+
+    let mut b = Query::builder();
+    let c = b.var("child");
+    b.eq(c, "y", 1);
+    let suite = [b.build()];
+    let eval = prmsel::metrics::evaluate_suite(&db, &est, &suite).expect("evaluate");
+    assert_eq!(eval.len(), 1);
+
+    // Ground truth ran through the relational executor...
+    assert_eq!(reg.counter("reldb.exec.queries").get() - exec_before, 1);
+    // ...scanning the 8 child rows once...
+    assert_eq!(reg.counter("reldb.exec.rows_scanned").get() - rows_before, 8);
+    // ...and the (truth, estimate) pair landed in the quality histogram.
+    assert_eq!(reg.histogram("quality.adj_rel_err_pct").count() - quality_before, 1);
+}
+
+#[test]
+fn quality_recording_feeds_the_error_histograms() {
+    let reg = obs::registry();
+    let before = reg.histogram("quality.adj_rel_err_pct").count();
+    let q_before = reg.histogram("quality.qerror_milli").count();
+
+    prmsel::metrics::record_quality(100, 150.0);
+    prmsel::metrics::record_quality(100, 100.0);
+
+    assert_eq!(reg.histogram("quality.adj_rel_err_pct").count() - before, 2);
+    assert_eq!(reg.histogram("quality.qerror_milli").count() - q_before, 2);
+    // 50% error and q-error 1.5 both land in the snapshot's max.
+    assert!(reg.histogram("quality.adj_rel_err_pct").snapshot().max >= 50);
+    assert!(reg.histogram("quality.qerror_milli").snapshot().max >= 1500);
+}

@@ -11,7 +11,7 @@ use reldb::{Cell, Database, DatabaseBuilder, Query, TableBuilder, Value};
 fn arb_db() -> impl Strategy<Value = Database> {
     (
         2usize..6,
-        proptest::collection::vec(0u32..3, 2..10),  // parent x codes
+        proptest::collection::vec(0u32..3, 2..10), // parent x codes
         proptest::collection::vec(0u32..5, 10..60), // child fk seeds
         proptest::collection::vec(0u32..3, 10..60), // child y codes
     )

@@ -4,7 +4,9 @@
 //! and Proposition 3.4 (closure invariance) must hold.
 
 use bayesnet::TableCpd;
-use prmsel::prm::{AttrModel, JiParentRef, JoinIndicatorModel, ParentRef, Prm, TableModel};
+use prmsel::prm::{
+    AttrModel, JiParentRef, JoinIndicatorModel, ParentRef, Prm, TableModel,
+};
 use prmsel::schema::{FkInfo, SchemaInfo, TableInfo};
 use prmsel::QueryEvalBn;
 use proptest::prelude::*;
@@ -19,188 +21,194 @@ fn arb_prm() -> impl Strategy<Value = (Prm, SchemaInfo)> {
         any::<bool>(),                            // y1 ← y0 local edge
         any::<bool>(),                            // y0 ← parent.x0 foreign edge
         any::<bool>(),                            // JI ← parent.x1
-        any::<bool>(),                            // JI ← child.y1 (legal: y1 has no foreign parent)
-        2usize..4,                                // card of x0
-        2usize..4,                                // card of y0
+        any::<bool>(), // JI ← child.y1 (legal: y1 has no foreign parent)
+        2usize..4,     // card of x0
+        2usize..4,     // card of y0
     )
-        .prop_map(|(w, local_edge, foreign_edge, ji_parent_p, ji_parent_c, cx, cy)| {
-            let mut wi = w.into_iter().cycle();
-            let mut dist = |n: usize| -> Vec<f64> {
-                let raw: Vec<f64> = (0..n).map(|_| wi.next().unwrap() as f64).collect();
-                let t: f64 = raw.iter().sum();
-                raw.into_iter().map(|x| x / t).collect()
-            };
-            // parent table: x0 (card cx), x1 (card 2), x1 ← x0.
-            let x0 = AttrModel {
-                name: "x0".into(),
-                card: cx,
-                parents: vec![],
-                cpd: TableCpd::new(cx, vec![], dist(cx)).into(),
-            };
-            let mut x1_probs = Vec::new();
-            for _ in 0..cx {
-                x1_probs.extend(dist(2));
-            }
-            let x1 = AttrModel {
-                name: "x1".into(),
-                card: 2,
-                parents: vec![ParentRef::Local { attr: 0 }],
-                cpd: TableCpd::new(2, vec![cx], x1_probs).into(),
-            };
-            // child table: y0 (card cy, maybe ← parent.x0), y1 (card 2,
-            // maybe ← y0).
-            let (y0_parents, y0_cpd) = if foreign_edge {
-                let mut probs = Vec::new();
+        .prop_map(
+            |(w, local_edge, foreign_edge, ji_parent_p, ji_parent_c, cx, cy)| {
+                let mut wi = w.into_iter().cycle();
+                let mut dist = |n: usize| -> Vec<f64> {
+                    let raw: Vec<f64> =
+                        (0..n).map(|_| wi.next().unwrap() as f64).collect();
+                    let t: f64 = raw.iter().sum();
+                    raw.into_iter().map(|x| x / t).collect()
+                };
+                // parent table: x0 (card cx), x1 (card 2), x1 ← x0.
+                let x0 = AttrModel {
+                    name: "x0".into(),
+                    card: cx,
+                    parents: vec![],
+                    cpd: TableCpd::new(cx, vec![], dist(cx)).into(),
+                };
+                let mut x1_probs = Vec::new();
                 for _ in 0..cx {
-                    probs.extend(dist(cy));
+                    x1_probs.extend(dist(2));
                 }
-                (
-                    vec![ParentRef::Foreign { fk: 0, attr: 0 }],
-                    TableCpd::new(cy, vec![cx], probs),
-                )
-            } else {
-                (vec![], TableCpd::new(cy, vec![], dist(cy)))
-            };
-            let (y1_parents, y1_cpd) = if local_edge {
-                let mut probs = Vec::new();
-                for _ in 0..cy {
-                    probs.extend(dist(2));
-                }
-                (vec![ParentRef::Local { attr: 0 }], TableCpd::new(2, vec![cy], probs))
-            } else {
-                (vec![], TableCpd::new(2, vec![], dist(2)))
-            };
-            // Join indicator parents.
-            let mut ji_parents = Vec::new();
-            let mut ji_cards = Vec::new();
-            if ji_parent_c {
-                ji_parents.push(JiParentRef::Child { attr: 1 });
-                ji_cards.push(2);
-            }
-            if ji_parent_p {
-                ji_parents.push(JiParentRef::Parent { attr: 1 });
-                ji_cards.push(2);
-            }
-            let rows: usize = ji_cards.iter().product::<usize>().max(1);
-            let mut p_true: Vec<f64> =
-                (0..rows).map(|_| 0.01 + (wi.next().unwrap() % 50) as f64 / 1000.0).collect();
-            // Referential-integrity calibration (Prop. 3.4 relies on it,
-            // and learned models satisfy it by construction): every child
-            // tuple joins exactly one parent, so for EVERY child
-            // configuration `c`, Σ_p P(p-part)·p_true(c, p) must equal
-            // 1/|S|. Rescale each child-part slice accordingly (parent
-            // marginals are computable from the parent-local CPDs).
-            {
-                let p_x0 = x0.cpd.dist(&[]).to_vec();
-                // Parent-side marginal P(x1 = b).
-                let mut p_b = [0.0f64; 2];
-                for a in 0..cx as u32 {
-                    for (b, pb) in p_b.iter_mut().enumerate() {
-                        *pb += p_x0[a as usize] * x1.cpd.dist(&[a])[b];
+                let x1 = AttrModel {
+                    name: "x1".into(),
+                    card: 2,
+                    parents: vec![ParentRef::Local { attr: 0 }],
+                    cpd: TableCpd::new(2, vec![cx], x1_probs).into(),
+                };
+                // child table: y0 (card cy, maybe ← parent.x0), y1 (card 2,
+                // maybe ← y0).
+                let (y0_parents, y0_cpd) = if foreign_edge {
+                    let mut probs = Vec::new();
+                    for _ in 0..cx {
+                        probs.extend(dist(cy));
                     }
+                    (
+                        vec![ParentRef::Foreign { fk: 0, attr: 0 }],
+                        TableCpd::new(cy, vec![cx], probs),
+                    )
+                } else {
+                    (vec![], TableCpd::new(cy, vec![], dist(cy)))
+                };
+                let (y1_parents, y1_cpd) = if local_edge {
+                    let mut probs = Vec::new();
+                    for _ in 0..cy {
+                        probs.extend(dist(2));
+                    }
+                    (
+                        vec![ParentRef::Local { attr: 0 }],
+                        TableCpd::new(2, vec![cy], probs),
+                    )
+                } else {
+                    (vec![], TableCpd::new(2, vec![], dist(2)))
+                };
+                // Join indicator parents.
+                let mut ji_parents = Vec::new();
+                let mut ji_cards = Vec::new();
+                if ji_parent_c {
+                    ji_parents.push(JiParentRef::Child { attr: 1 });
+                    ji_cards.push(2);
                 }
-                let target = 1.0 / 50.0;
-                let child_parts: usize = if ji_parent_c { 2 } else { 1 };
-                for c_part in 0..child_parts {
-                    // Expected p_true over the parent marginal for this
-                    // child part.
-                    let mut expectation = 0.0;
-                    if ji_parent_p {
-                        for (b, pb) in p_b.iter().enumerate() {
-                            let mut cfg = Vec::new();
-                            if ji_parent_c {
-                                cfg.push(c_part as u32);
-                            }
-                            cfg.push(b as u32);
-                            let mut idx = 0usize;
-                            for (&v, &card) in cfg.iter().zip(&ji_cards) {
-                                idx = idx * card + v as usize;
-                            }
-                            expectation += pb * p_true[idx];
+                if ji_parent_p {
+                    ji_parents.push(JiParentRef::Parent { attr: 1 });
+                    ji_cards.push(2);
+                }
+                let rows: usize = ji_cards.iter().product::<usize>().max(1);
+                let mut p_true: Vec<f64> = (0..rows)
+                    .map(|_| 0.01 + (wi.next().unwrap() % 50) as f64 / 1000.0)
+                    .collect();
+                // Referential-integrity calibration (Prop. 3.4 relies on it,
+                // and learned models satisfy it by construction): every child
+                // tuple joins exactly one parent, so for EVERY child
+                // configuration `c`, Σ_p P(p-part)·p_true(c, p) must equal
+                // 1/|S|. Rescale each child-part slice accordingly (parent
+                // marginals are computable from the parent-local CPDs).
+                {
+                    let p_x0 = x0.cpd.dist(&[]).to_vec();
+                    // Parent-side marginal P(x1 = b).
+                    let mut p_b = [0.0f64; 2];
+                    for a in 0..cx as u32 {
+                        for (b, pb) in p_b.iter_mut().enumerate() {
+                            *pb += p_x0[a as usize] * x1.cpd.dist(&[a])[b];
                         }
-                    } else {
-                        let idx = if ji_parent_c { c_part } else { 0 };
-                        expectation = p_true[idx];
                     }
-                    let scale = target / expectation;
-                    // Rescale this child part's slice.
-                    if ji_parent_p {
-                        for b in 0..2usize {
-                            let mut cfg = Vec::new();
-                            if ji_parent_c {
-                                cfg.push(c_part as u32);
+                    let target = 1.0 / 50.0;
+                    let child_parts: usize = if ji_parent_c { 2 } else { 1 };
+                    for c_part in 0..child_parts {
+                        // Expected p_true over the parent marginal for this
+                        // child part.
+                        let mut expectation = 0.0;
+                        if ji_parent_p {
+                            for (b, pb) in p_b.iter().enumerate() {
+                                let mut cfg = Vec::new();
+                                if ji_parent_c {
+                                    cfg.push(c_part as u32);
+                                }
+                                cfg.push(b as u32);
+                                let mut idx = 0usize;
+                                for (&v, &card) in cfg.iter().zip(&ji_cards) {
+                                    idx = idx * card + v as usize;
+                                }
+                                expectation += pb * p_true[idx];
                             }
-                            cfg.push(b as u32);
-                            let mut idx = 0usize;
-                            for (&v, &card) in cfg.iter().zip(&ji_cards) {
-                                idx = idx * card + v as usize;
+                        } else {
+                            let idx = if ji_parent_c { c_part } else { 0 };
+                            expectation = p_true[idx];
+                        }
+                        let scale = target / expectation;
+                        // Rescale this child part's slice.
+                        if ji_parent_p {
+                            for b in 0..2usize {
+                                let mut cfg = Vec::new();
+                                if ji_parent_c {
+                                    cfg.push(c_part as u32);
+                                }
+                                cfg.push(b as u32);
+                                let mut idx = 0usize;
+                                for (&v, &card) in cfg.iter().zip(&ji_cards) {
+                                    idx = idx * card + v as usize;
+                                }
+                                p_true[idx] = (p_true[idx] * scale).min(1.0);
                             }
+                        } else {
+                            let idx = if ji_parent_c { c_part } else { 0 };
                             p_true[idx] = (p_true[idx] * scale).min(1.0);
                         }
-                    } else {
-                        let idx = if ji_parent_c { c_part } else { 0 };
-                        p_true[idx] = (p_true[idx] * scale).min(1.0);
                     }
                 }
-            }
-            let prm = Prm {
-                tables: vec![
-                    TableModel {
-                        table: "parent".into(),
-                        n_rows: 50,
-                        attrs: vec![x0, x1],
-                        join_indicators: vec![],
-                    },
-                    TableModel {
-                        table: "child".into(),
-                        n_rows: 200,
-                        attrs: vec![
-                            AttrModel {
-                                name: "y0".into(),
-                                card: cy,
-                                parents: y0_parents,
-                                cpd: y0_cpd.into(),
-                            },
-                            AttrModel {
-                                name: "y1".into(),
-                                card: 2,
-                                parents: y1_parents,
-                                cpd: y1_cpd.into(),
-                            },
-                        ],
-                        join_indicators: vec![JoinIndicatorModel {
-                            fk_attr: "parent".into(),
-                            target: "parent".into(),
-                            parents: ji_parents,
-                            parent_cards: ji_cards,
-                            p_true,
-                        }],
-                    },
-                ],
-            };
-            let dom = |card: usize| {
-                Domain::new((0..card as i64).map(Value::Int).collect())
-            };
-            let schema = SchemaInfo {
-                tables: vec![
-                    TableInfo {
-                        name: "parent".into(),
-                        n_rows: 50,
-                        attrs: vec!["x0".into(), "x1".into()],
-                        domains: vec![dom(cx), dom(2)],
-                        fks: vec![],
-                    },
-                    TableInfo {
-                        name: "child".into(),
-                        n_rows: 200,
-                        attrs: vec!["y0".into(), "y1".into()],
-                        domains: vec![dom(cy), dom(2)],
-                        fks: vec![FkInfo { attr: "parent".into(), target: 0 }],
-                    },
-                ],
-            };
-            (prm, schema)
-        })
+                let prm = Prm {
+                    tables: vec![
+                        TableModel {
+                            table: "parent".into(),
+                            n_rows: 50,
+                            attrs: vec![x0, x1],
+                            join_indicators: vec![],
+                        },
+                        TableModel {
+                            table: "child".into(),
+                            n_rows: 200,
+                            attrs: vec![
+                                AttrModel {
+                                    name: "y0".into(),
+                                    card: cy,
+                                    parents: y0_parents,
+                                    cpd: y0_cpd.into(),
+                                },
+                                AttrModel {
+                                    name: "y1".into(),
+                                    card: 2,
+                                    parents: y1_parents,
+                                    cpd: y1_cpd.into(),
+                                },
+                            ],
+                            join_indicators: vec![JoinIndicatorModel {
+                                fk_attr: "parent".into(),
+                                target: "parent".into(),
+                                parents: ji_parents,
+                                parent_cards: ji_cards,
+                                p_true,
+                            }],
+                        },
+                    ],
+                };
+                let dom =
+                    |card: usize| Domain::new((0..card as i64).map(Value::Int).collect());
+                let schema = SchemaInfo {
+                    tables: vec![
+                        TableInfo {
+                            name: "parent".into(),
+                            n_rows: 50,
+                            attrs: vec!["x0".into(), "x1".into()],
+                            domains: vec![dom(cx), dom(2)],
+                            fks: vec![],
+                        },
+                        TableInfo {
+                            name: "child".into(),
+                            n_rows: 200,
+                            attrs: vec!["y0".into(), "y1".into()],
+                            domains: vec![dom(cy), dom(2)],
+                            fks: vec![FkInfo { attr: "parent".into(), target: 0 }],
+                        },
+                    ],
+                };
+                (prm, schema)
+            },
+        )
 }
 
 proptest! {

@@ -1,0 +1,233 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace ships
+//! the slice of the criterion API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (with `sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Methodology: each benchmark auto-calibrates its iteration batch size
+//! to ~10 ms, collects `sample_size` timed batches, and reports the
+//! median, minimum, and mean ns/iter on stdout. No plots, no persisted
+//! baselines — trajectory tracking lives in `results/BENCH_*.json`
+//! written by the figure binaries instead.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — keeps the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Label of one benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut id = function.into();
+        let _ = write!(id, "/{parameter}");
+        BenchmarkId { id }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to the closure under measurement.
+pub struct Bencher {
+    batch: u64,
+    n_samples: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, running it in calibrated batches.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        for _ in 0..self.n_samples {
+            let start = Instant::now();
+            for _ in 0..self.batch {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (separator line on stdout).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        self.sample_size = 20;
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = id.id.clone();
+        self.run_one(&full, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        // Calibrate: find a batch size taking roughly 10 ms.
+        let mut batch = 1u64;
+        loop {
+            let mut b = Bencher { batch, n_samples: 1, samples: Vec::with_capacity(1) };
+            f(&mut b);
+            let elapsed = b.samples.first().copied().unwrap_or_default();
+            if elapsed >= Duration::from_millis(10) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut b = Bencher {
+            batch,
+            n_samples: self.sample_size,
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        f(&mut b);
+        let mut per_iter: Vec<f64> =
+            b.samples.iter().map(|d| d.as_nanos() as f64 / batch as f64).collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter.first().copied().unwrap_or(0.0);
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+        println!(
+            "{name:<48} median {:>12} min {:>12} mean {:>12}  ({} samples x {batch} iters)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(mean),
+            per_iter.len(),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); accept
+            // and ignore them.
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("Tree", 5000).id, "Tree/5000");
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3);
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! A minimal streaming JSON writer (no external deps).
+//!
+//! Emits compact, valid JSON with correct string escaping and
+//! comma/colon placement handled by a small state stack. Floats are
+//! rendered with `{:?}` (shortest round-trip form); non-finite floats
+//! become `null` per RFC 8259.
+
+/// Streaming writer building one JSON document.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` once it has a first element.
+    stack: Vec<bool>,
+    /// A key was just written; the next value attaches to it.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    fn before_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some(has_elems) = self.stack.last_mut() {
+            if *has_elems {
+                self.out.push(',');
+            }
+            *has_elems = true;
+        }
+    }
+
+    /// Opens `{`.
+    pub fn begin_object(&mut self) {
+        self.before_value();
+        self.out.push('{');
+        self.stack.push(false);
+    }
+
+    /// Closes `}`.
+    pub fn end_object(&mut self) {
+        self.stack.pop();
+        self.out.push('}');
+    }
+
+    /// Opens `[`.
+    pub fn begin_array(&mut self) {
+        self.before_value();
+        self.out.push('[');
+        self.stack.push(false);
+    }
+
+    /// Closes `]`.
+    pub fn end_array(&mut self) {
+        self.stack.pop();
+        self.out.push(']');
+    }
+
+    /// Writes an object key (value must follow).
+    pub fn key(&mut self, k: &str) {
+        if let Some(has_elems) = self.stack.last_mut() {
+            if *has_elems {
+                self.out.push(',');
+            }
+            *has_elems = true;
+        }
+        self.write_escaped(k);
+        self.out.push(':');
+        self.pending_key = true;
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, s: &str) {
+        self.before_value();
+        self.write_escaped(s);
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn uint(&mut self, v: u64) {
+        self.before_value();
+        self.out.push_str(&v.to_string());
+    }
+
+    /// Writes a float value (`null` when non-finite).
+    pub fn float(&mut self, v: f64) {
+        self.before_value();
+        if v.is_finite() {
+            self.out.push_str(&format!("{v:?}"));
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Writes a pre-rendered JSON fragment as a value. The caller
+    /// guarantees `json` is itself valid JSON (e.g. the output of another
+    /// writer or [`crate::Snapshot::to_json`]).
+    pub fn raw(&mut self, json: &str) {
+        self.before_value();
+        self.out.push_str(json);
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32))
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unclosed container");
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_structure_renders_correctly() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("a");
+        w.uint(1);
+        w.key("b");
+        w.begin_array();
+        w.uint(2);
+        w.float(1.5);
+        w.string("x\"y\\z\n");
+        w.end_array();
+        w.key("c");
+        w.begin_object();
+        w.end_object();
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":1,"b":[2,1.5,"x\"y\\z\n"],"c":{}}"#);
+    }
+
+    #[test]
+    fn raw_fragments_embed_verbatim() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("inner");
+        w.raw(r#"{"x":1}"#);
+        w.key("n");
+        w.uint(2);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"inner":{"x":1},"n":2}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array();
+        w.float(f64::NAN);
+        w.float(f64::INFINITY);
+        w.float(0.25);
+        w.end_array();
+        assert_eq!(w.finish(), "[null,null,0.25]");
+    }
+}

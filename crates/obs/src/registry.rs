@@ -1,0 +1,764 @@
+//! The process-global metrics registry.
+//!
+//! Handles are `&'static` and updates are relaxed atomics, so metric
+//! updates never contend with each other or with readers; only the first
+//! registration of a name takes a lock. Snapshots read the same atomics,
+//! so they are cheap, lock-free for the values themselves, and safe to
+//! take at any time (values are monotone counters or last-write gauges;
+//! a snapshot is not a consistent cut and does not need to be).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::json::JsonWriter;
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Sets the value if it exceeds the current one.
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log₂ buckets: bucket 0 holds zeros, bucket `i ≥ 1` holds
+/// values in `[2^(i-1), 2^i)`, and the last bucket is open-ended.
+pub const N_BUCKETS: usize = 64;
+
+/// A log₂-scale histogram of `u64` observations (latencies in ns, sizes,
+/// counts). Relative error of any reconstructed quantile is < 2×, which
+/// is plenty for order-of-magnitude latency and size tracking.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index a value lands in.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(N_BUCKETS - 1)
+}
+
+/// The inclusive upper bound of bucket `i` (saturating for the last).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Reads the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_upper_bound(i), n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: self.sum(),
+            min: if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// `(inclusive upper bound, count)` for every non-empty bucket, in
+    /// increasing bound order.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile: the upper bound of the bucket holding
+    /// the `⌈q·count⌉`-th observation.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for &(bound, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bound;
+            }
+        }
+        self.max
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+/// A named collection of metrics.
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry { metrics: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Interns (registering on first use) the counter `name`.
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut map =
+            self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Box::leak(Box::default())))
+        {
+            Metric::Counter(c) => c,
+            _ => panic!("metric `{name}` already registered with another kind"),
+        }
+    }
+
+    /// Interns the gauge `name`.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        let mut map =
+            self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Box::leak(Box::default())))
+        {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric `{name}` already registered with another kind"),
+        }
+    }
+
+    /// Interns the histogram `name`.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        let mut map =
+            self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match map
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Box::leak(Box::default())))
+        {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric `{name}` already registered with another kind"),
+        }
+    }
+
+    /// Reads every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut snap = Snapshot::default();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => {
+                    snap.histograms.push((name.clone(), h.snapshot()))
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Zeroes every registered metric. Test-only affordance: metric handles
+/// are process-global, so integration tests reset between assertions
+/// instead of fighting other tests' residue.
+pub fn reset_for_tests() {
+    let map =
+        registry().metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    for metric in map.values() {
+        match metric {
+            Metric::Counter(c) => c.value.store(0, Ordering::Relaxed),
+            Metric::Gauge(g) => g.bits.store(0f64.to_bits(), Ordering::Relaxed),
+            Metric::Histogram(h) => {
+                for b in &h.buckets {
+                    b.store(0, Ordering::Relaxed);
+                }
+                h.count.store(0, Ordering::Relaxed);
+                h.sum.store(0, Ordering::Relaxed);
+                h.min.store(u64::MAX, Ordering::Relaxed);
+                h.max.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Point-in-time view of the whole registry (names sorted).
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, state)` per histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of a counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Value of a gauge, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// State of a histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Machine-readable JSON rendering (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("counters");
+        w.begin_object();
+        for (name, v) in &self.counters {
+            w.key(name);
+            w.uint(*v);
+        }
+        w.end_object();
+        w.key("gauges");
+        w.begin_object();
+        for (name, v) in &self.gauges {
+            w.key(name);
+            w.float(*v);
+        }
+        w.end_object();
+        w.key("histograms");
+        w.begin_object();
+        for (name, h) in &self.histograms {
+            w.key(name);
+            w.begin_object();
+            w.key("count");
+            w.uint(h.count);
+            w.key("sum");
+            w.uint(h.sum);
+            w.key("min");
+            w.uint(h.min);
+            w.key("max");
+            w.uint(h.max);
+            w.key("mean");
+            w.float(h.mean());
+            w.key("p50");
+            w.uint(h.quantile(0.5));
+            w.key("p99");
+            w.uint(h.quantile(0.99));
+            w.key("buckets");
+            w.begin_array();
+            for &(bound, n) in &h.buckets {
+                w.begin_object();
+                w.key("le");
+                w.uint(bound);
+                w.key("n");
+                w.uint(n);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Human-readable table rendering.
+    pub fn to_pretty(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<48} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<48} {v:.4}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<48} n={} mean={:.1} min={} p50={} p99={} max={}",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.quantile(0.5),
+                    h.quantile(0.99),
+                    h.max,
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics registered)\n");
+        }
+        out
+    }
+}
+
+/// Interns a counter once per call site and returns the `&'static` handle.
+///
+/// ```
+/// obs::counter!("docs.counter.example").add(3);
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// Interns a gauge once per call site and returns the `&'static` handle.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Gauge> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().gauge($name))
+    }};
+}
+
+/// Interns a histogram once per call site and returns the `&'static` handle.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_exact_under_concurrency() {
+        let c = registry().counter("test.registry.concurrent");
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), threads * per_thread);
+    }
+
+    #[test]
+    fn interning_returns_the_same_handle() {
+        let a = registry().counter("test.registry.interned") as *const Counter;
+        let b = registry().counter("test.registry.interned") as *const Counter;
+        assert_eq!(a, b);
+        let m1 = counter!("test.registry.macro") as *const Counter;
+        let m2 = counter!("test.registry.macro") as *const Counter;
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn kind_mismatch_panics() {
+        registry().counter("test.registry.mismatch");
+        registry().gauge("test.registry.mismatch");
+    }
+
+    #[test]
+    fn gauge_set_max_is_monotone() {
+        let g = Gauge::default();
+        g.set_max(3.0);
+        g.set_max(1.0);
+        assert_eq!(g.get(), 3.0);
+        g.set_max(7.5);
+        assert_eq!(g.get(), 7.5);
+        g.set(2.0);
+        assert_eq!(g.get(), 2.0);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), N_BUCKETS - 1);
+        // Every value is ≤ its bucket's upper bound and (for i ≥ 1)
+        // > the previous bucket's upper bound.
+        for v in [0u64, 1, 2, 5, 100, 4096, 1 << 40, u64::MAX] {
+            let i = bucket_of(v);
+            assert!(v <= bucket_upper_bound(i), "v={v} i={i}");
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1), "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_stats_and_quantiles() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 10, 100, 1000, 1000, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 3111);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 3111.0 / 7.0).abs() < 1e-9);
+        // 1000 lands in bucket (512, 1023]; median of 7 obs is the 4th.
+        assert_eq!(s.quantile(0.5), bucket_upper_bound(bucket_of(100)));
+        assert_eq!(s.quantile(1.0), bucket_upper_bound(bucket_of(1000)));
+        assert_eq!(s.quantile(0.0), 0);
+
+        let empty = Histogram::default().snapshot();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.min, 0);
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_through_a_parser() {
+        let r = registry();
+        r.counter("test.json.counter").add(42);
+        r.gauge("test.json.gauge").set(1.25);
+        r.histogram("test.json.hist").record(300);
+        let json = registry().snapshot().to_json();
+
+        let v = parse_json(&json).expect("snapshot JSON must parse");
+        let obj = v.as_object().unwrap();
+        let counters = obj["counters"].as_object().unwrap();
+        assert_eq!(counters["test.json.counter"], Json::Num(42.0));
+        let gauges = obj["gauges"].as_object().unwrap();
+        assert_eq!(gauges["test.json.gauge"], Json::Num(1.25));
+        let hists = obj["histograms"].as_object().unwrap();
+        let hist = hists["test.json.hist"].as_object().unwrap();
+        assert_eq!(hist["sum"], Json::Num(300.0));
+        let buckets = match &hist["buckets"] {
+            Json::Arr(a) => a,
+            other => panic!("buckets should be an array, got {other:?}"),
+        };
+        assert!(!buckets.is_empty());
+    }
+
+    /// A tiny recursive-descent JSON parser used only to validate the
+    /// exporter's output in tests.
+    #[derive(Debug, Clone, PartialEq)]
+    enum Json {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        fn as_object(&self) -> Option<JsonObj<'_>> {
+            match self {
+                Json::Obj(pairs) => Some(JsonObj(pairs)),
+                _ => None,
+            }
+        }
+    }
+
+    struct JsonObj<'a>(&'a [(String, Json)]);
+
+    impl std::ops::Index<&str> for JsonObj<'_> {
+        type Output = Json;
+        fn index(&self, key: &str) -> &Json {
+            &self
+                .0
+                .iter()
+                .find(|(k, _)| k == key)
+                .unwrap_or_else(|| panic!("missing key {key:?}"))
+                .1
+        }
+    }
+
+    fn parse_json(s: &str) -> Option<Json> {
+        let bytes = s.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        (pos == bytes.len()).then_some(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn eat(b: &[u8], pos: &mut usize, c: u8) -> Option<()> {
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&c) {
+            *pos += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Option<Json> {
+        skip_ws(b, pos);
+        match *b.get(*pos)? {
+            b'{' => {
+                *pos += 1;
+                let mut pairs = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Some(Json::Obj(pairs));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = match parse_value(b, pos)? {
+                        Json::Str(s) => s,
+                        _ => return None,
+                    };
+                    eat(b, pos, b':')?;
+                    pairs.push((key, parse_value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos)? {
+                        b',' => *pos += 1,
+                        b'}' => {
+                            *pos += 1;
+                            return Some(Json::Obj(pairs));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            b'[' => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Some(Json::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos)? {
+                        b',' => *pos += 1,
+                        b']' => {
+                            *pos += 1;
+                            return Some(Json::Arr(items));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            b'"' => {
+                *pos += 1;
+                let mut out = String::new();
+                loop {
+                    match *b.get(*pos)? {
+                        b'"' => {
+                            *pos += 1;
+                            return Some(Json::Str(out));
+                        }
+                        b'\\' => {
+                            *pos += 1;
+                            match *b.get(*pos)? {
+                                b'"' => out.push('"'),
+                                b'\\' => out.push('\\'),
+                                b'n' => out.push('\n'),
+                                b'r' => out.push('\r'),
+                                b't' => out.push('\t'),
+                                b'u' => {
+                                    let hex =
+                                        std::str::from_utf8(b.get(*pos + 1..*pos + 5)?)
+                                            .ok()?;
+                                    let cp = u32::from_str_radix(hex, 16).ok()?;
+                                    out.push(char::from_u32(cp)?);
+                                    *pos += 4;
+                                }
+                                _ => return None,
+                            }
+                            *pos += 1;
+                        }
+                        _ => {
+                            let start = *pos;
+                            while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+                                *pos += 1;
+                            }
+                            out.push_str(std::str::from_utf8(&b[start..*pos]).ok()?);
+                        }
+                    }
+                }
+            }
+            b't' => {
+                *pos = pos.checked_add(4)?;
+                Some(Json::Bool(true))
+            }
+            b'f' => {
+                *pos = pos.checked_add(5)?;
+                Some(Json::Bool(false))
+            }
+            b'n' => {
+                *pos = pos.checked_add(4)?;
+                Some(Json::Null)
+            }
+            _ => {
+                let start = *pos;
+                while *pos < b.len()
+                    && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *pos += 1;
+                }
+                std::str::from_utf8(&b[start..*pos]).ok()?.parse().ok().map(Json::Num)
+            }
+        }
+    }
+}

@@ -126,7 +126,11 @@ pub fn read_table(reader: impl BufRead, schema: &CsvSchema) -> Result<Table> {
 /// Writes a table as delimited text (header line + one line per row),
 /// the inverse of [`read_table`]. Key and foreign-key columns are written
 /// as integers, value columns through their [`Value`] display form.
-pub fn write_table(table: &Table, mut out: impl std::io::Write, delimiter: char) -> Result<()> {
+pub fn write_table(
+    table: &Table,
+    mut out: impl std::io::Write,
+    delimiter: char,
+) -> Result<()> {
     let io_err = |e: std::io::Error| Error::Io(format!("write error: {e}"));
     let schema = table.schema();
     let names: Vec<&str> = schema.attrs.iter().map(|a| a.name.as_str()).collect();
@@ -261,7 +265,8 @@ mod tests {
         let mut buf = Vec::new();
         write_table(&t, &mut buf, ',').unwrap();
         let derived = schema_of(&t);
-        let t2 = read_table(Cursor::new(String::from_utf8(buf).unwrap()), &derived).unwrap();
+        let t2 =
+            read_table(Cursor::new(String::from_utf8(buf).unwrap()), &derived).unwrap();
         assert_eq!(t2.n_rows(), t.n_rows());
         assert_eq!(t2.key_values(), t.key_values());
         assert_eq!(t2.codes("age").unwrap(), t.codes("age").unwrap());

@@ -61,7 +61,12 @@ impl Database {
 
     /// For foreign key `child_table.attr` referencing parent table `P`: the
     /// child rows whose FK points at `parent_row`.
-    pub fn fk_child_rows(&self, child_table: &str, attr: &str, parent_row: usize) -> Result<&[u32]> {
+    pub fn fk_child_rows(
+        &self,
+        child_table: &str,
+        attr: &str,
+        parent_row: usize,
+    ) -> Result<&[u32]> {
         let (t, a) = self.fk_key(child_table, attr)?;
         let fk = &self.fks[&(t, a)];
         let lo = fk.rev_offsets[parent_row] as usize;
@@ -100,10 +105,9 @@ impl Database {
 
     fn fk_key(&self, table: &str, attr: &str) -> Result<(usize, usize)> {
         let t = self.table_index(table)?;
-        let a = self.tables[t]
-            .schema()
-            .attr_index(attr)
-            .ok_or_else(|| Error::UnknownAttr { table: table.to_owned(), attr: attr.to_owned() })?;
+        let a = self.tables[t].schema().attr_index(attr).ok_or_else(|| {
+            Error::UnknownAttr { table: table.to_owned(), attr: attr.to_owned() }
+        })?;
         if self.fks.contains_key(&(t, a)) {
             Ok((t, a))
         } else {
@@ -143,7 +147,8 @@ impl DatabaseBuilder {
             }
         }
         // Primary-key hash indexes per table.
-        let mut pk_index: Vec<Option<HashMap<i64, u32>>> = Vec::with_capacity(self.tables.len());
+        let mut pk_index: Vec<Option<HashMap<i64, u32>>> =
+            Vec::with_capacity(self.tables.len());
         for t in &self.tables {
             pk_index.push(t.key_values().map(|keys| {
                 keys.iter().enumerate().map(|(row, &k)| (k, row as u32)).collect()
@@ -171,11 +176,12 @@ impl DatabaseBuilder {
                 let raw = t.fk_values(&fk.attr)?;
                 let mut target_rows = Vec::with_capacity(raw.len());
                 for &k in raw {
-                    let row = index.get(&k).copied().ok_or(Error::DanglingForeignKey {
-                        table: t.name().to_owned(),
-                        attr: fk.attr.clone(),
-                        key: k,
-                    })?;
+                    let row =
+                        index.get(&k).copied().ok_or(Error::DanglingForeignKey {
+                            table: t.name().to_owned(),
+                            attr: fk.attr.clone(),
+                            key: k,
+                        })?;
                     target_rows.push(row);
                 }
                 // Build reverse CSR: parent row -> child rows.
@@ -195,7 +201,10 @@ impl DatabaseBuilder {
                     rev_children[slot as usize] = child as u32;
                     cursor[parent as usize] += 1;
                 }
-                fks.insert((ti, ai), ResolvedFk { target_rows, rev_offsets, rev_children });
+                fks.insert(
+                    (ti, ai),
+                    ResolvedFk { target_rows, rev_offsets, rev_children },
+                );
             }
         }
         Ok(Database { tables: self.tables, by_name, fks })

@@ -24,6 +24,7 @@ use crate::query::Query;
 /// Errors if the query is invalid or its join graph contains a cycle (which
 /// cannot arise from the paper's query class).
 pub fn result_size(db: &Database, query: &Query) -> Result<u64> {
+    obs::counter!("reldb.exec.queries").inc();
     query.validate(db)?;
     let n = query.vars.len();
     if n == 0 {
@@ -33,7 +34,9 @@ pub fn result_size(db: &Database, query: &Query) -> Result<u64> {
     // Per-variable predicate weights.
     let mut weights: Vec<Vec<u64>> = Vec::with_capacity(n);
     for v in 0..n {
-        weights.push(pred_weights(db, query, v)?);
+        let w = pred_weights(db, query, v)?;
+        obs::counter!("reldb.exec.rows_scanned").add(w.len() as u64);
+        weights.push(w);
     }
 
     // Adjacency over the join forest. Edge payload: (join index, neighbor).
@@ -52,7 +55,8 @@ pub fn result_size(db: &Database, query: &Query) -> Result<u64> {
         if visited[root] {
             continue;
         }
-        let component_sum = eval_component(db, query, &mut weights, &adj, &mut visited, root)?;
+        let component_sum =
+            eval_component(db, query, &mut weights, &adj, &mut visited, root)?;
         total = total.saturating_mul(component_sum as u128);
         if total == 0 {
             return Ok(0);
@@ -116,7 +120,8 @@ fn eval_component(
                 db.fk_target_rows(&query.vars[child_var], &join.fk_attr)?.to_vec();
             let parent_w = std::mem::take(&mut weights[node]);
             for (c, &p) in fk_rows.iter().enumerate() {
-                weights[other][c] = weights[other][c].saturating_mul(parent_w[p as usize]);
+                weights[other][c] =
+                    weights[other][c].saturating_mul(parent_w[p as usize]);
             }
         }
     }
@@ -173,7 +178,15 @@ pub fn select_rows(db: &Database, query: &Query, limit: usize) -> Result<Vec<Vec
     // connected to an earlier one; the join constraint then prunes early.
     let order = connected_order(n, &query.joins);
     enumerate_rows(
-        db, query, &pred_ok, &fk_maps, &order, 0, &mut assignment, &mut out, limit,
+        db,
+        query,
+        &pred_ok,
+        &fk_maps,
+        &order,
+        0,
+        &mut assignment,
+        &mut out,
+        limit,
     )?;
     Ok(out)
 }
@@ -252,7 +265,17 @@ fn enumerate_rows(
             continue;
         }
         assignment[var] = Some(row);
-        enumerate_rows(db, query, pred_ok, fk_maps, order, depth + 1, assignment, out, limit)?;
+        enumerate_rows(
+            db,
+            query,
+            pred_ok,
+            fk_maps,
+            order,
+            depth + 1,
+            assignment,
+            out,
+            limit,
+        )?;
         assignment[var] = None;
         if out.len() >= limit {
             break;
@@ -265,7 +288,9 @@ fn intersect_sorted(current: Option<Vec<u32>>, mut incoming: Vec<u32>) -> Vec<u3
     incoming.sort_unstable();
     match current {
         None => incoming,
-        Some(cur) => cur.into_iter().filter(|r| incoming.binary_search(r).is_ok()).collect(),
+        Some(cur) => {
+            cur.into_iter().filter(|r| incoming.binary_search(r).is_ok()).collect()
+        }
     }
 }
 
@@ -282,7 +307,9 @@ pub fn result_size_bruteforce(db: &Database, query: &Query) -> Result<u64> {
         .collect::<Result<_>>()?;
     let combos: f64 = sizes.iter().map(|&s| s as f64).product();
     if combos > 1e7 {
-        return Err(Error::BadJoin("brute force would enumerate too many combinations".into()));
+        return Err(Error::BadJoin(
+            "brute force would enumerate too many combinations".into(),
+        ));
     }
     let mut pred_ok: Vec<Vec<u64>> = Vec::with_capacity(n);
     for v in 0..n {
@@ -296,10 +323,7 @@ pub fn result_size_bruteforce(db: &Database, query: &Query) -> Result<u64> {
     let mut count = 0u64;
     let mut assignment = vec![0usize; n];
     loop {
-        let sat = assignment
-            .iter()
-            .enumerate()
-            .all(|(v, &row)| pred_ok[v][row] == 1)
+        let sat = assignment.iter().enumerate().all(|(v, &row)| pred_ok[v][row] == 1)
             && query.joins.iter().zip(&fk_maps).all(|(j, map)| {
                 map[assignment[j.child]] as usize == assignment[j.parent]
             });
@@ -335,11 +359,14 @@ mod tests {
         for (id, u) in [(1, "yes"), (2, "no"), (3, "no")] {
             s.push_row(vec![Cell::Key(id), u.into()]).unwrap();
         }
-        let mut p = TableBuilder::new("patient").key("id").fk("strain", "strain").col("age");
+        let mut p =
+            TableBuilder::new("patient").key("id").fk("strain", "strain").col("age");
         for (id, st, age) in [(1, 1, 30i64), (2, 2, 60), (3, 2, 60), (4, 3, 30)] {
-            p.push_row(vec![Cell::Key(id), Cell::Key(st), Cell::Val(Value::Int(age))]).unwrap();
+            p.push_row(vec![Cell::Key(id), Cell::Key(st), Cell::Val(Value::Int(age))])
+                .unwrap();
         }
-        let mut c = TableBuilder::new("contact").key("id").fk("patient", "patient").col("type");
+        let mut c =
+            TableBuilder::new("contact").key("id").fk("patient", "patient").col("type");
         for (id, pt, ty) in [
             (1, 1, "home"),
             (2, 2, "work"),

@@ -55,7 +55,9 @@ impl Pred {
     /// The attribute this predicate constrains.
     pub fn attr(&self) -> &str {
         match self {
-            Pred::Eq { attr, .. } | Pred::In { attr, .. } | Pred::Range { attr, .. } => attr,
+            Pred::Eq { attr, .. } | Pred::In { attr, .. } | Pred::Range { attr, .. } => {
+                attr
+            }
         }
     }
 
@@ -90,8 +92,7 @@ pub struct Join {
 }
 
 /// A select/keyjoin query.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Query {
     /// Table name each tuple variable ranges over.
     pub vars: Vec<String>,
@@ -121,8 +122,7 @@ impl Query {
         }
         let mut seen = std::collections::HashSet::new();
         for j in &self.joins {
-            let child_table =
-                self.vars.get(j.child).ok_or(Error::UnknownVar(j.child))?;
+            let child_table = self.vars.get(j.child).ok_or(Error::UnknownVar(j.child))?;
             let parent_table =
                 self.vars.get(j.parent).ok_or(Error::UnknownVar(j.parent))?;
             let fk = db
@@ -163,7 +163,6 @@ pub struct QueryBuilder {
     query: Query,
 }
 
-
 impl QueryBuilder {
     /// Adds a tuple variable over `table`; returns its index.
     pub fn var(&mut self, table: impl Into<String>) -> usize {
@@ -172,7 +171,12 @@ impl QueryBuilder {
     }
 
     /// Adds an equality predicate `var.attr = value`.
-    pub fn eq(&mut self, var: usize, attr: impl Into<String>, value: impl Into<Value>) -> &mut Self {
+    pub fn eq(
+        &mut self,
+        var: usize,
+        attr: impl Into<String>,
+        value: impl Into<Value>,
+    ) -> &mut Self {
         self.query.preds.push(Pred::Eq { var, attr: attr.into(), value: value.into() });
         self
     }
@@ -201,7 +205,12 @@ impl QueryBuilder {
     }
 
     /// Adds a keyjoin `child.fk_attr = parent.pk`.
-    pub fn join(&mut self, child: usize, fk_attr: impl Into<String>, parent: usize) -> &mut Self {
+    pub fn join(
+        &mut self,
+        child: usize,
+        fk_attr: impl Into<String>,
+        parent: usize,
+    ) -> &mut Self {
         self.query.joins.push(Join { child, fk_attr: fk_attr.into(), parent });
         self
     }

@@ -62,10 +62,9 @@ impl TableSchema {
         self.attrs
             .iter()
             .filter_map(|a| match &a.kind {
-                AttrKind::ForeignKey { target } => Some(ForeignKeyDef {
-                    attr: a.name.clone(),
-                    target: target.clone(),
-                }),
+                AttrKind::ForeignKey { target } => {
+                    Some(ForeignKeyDef { attr: a.name.clone(), target: target.clone() })
+                }
                 _ => None,
             })
             .collect()

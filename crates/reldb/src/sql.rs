@@ -44,12 +44,8 @@ pub fn to_sql(query: &Query) -> String {
     use crate::query::Pred;
     use std::fmt::Write;
     let mut out = String::from("SELECT COUNT(*) FROM ");
-    let froms: Vec<String> = query
-        .vars
-        .iter()
-        .enumerate()
-        .map(|(i, table)| format!("{table} t{i}"))
-        .collect();
+    let froms: Vec<String> =
+        query.vars.iter().enumerate().map(|(i, table)| format!("{table} t{i}")).collect();
     out.push_str(&froms.join(", "));
     let mut conds: Vec<String> = Vec::new();
     for j in &query.joins {
@@ -206,9 +202,7 @@ fn lex(sql: &str) -> Result<Vec<Tok>> {
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
-                while i < chars.len()
-                    && (chars[i].is_alphanumeric() || chars[i] == '_')
-                {
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
                     i += 1;
                 }
                 out.push(Tok::Ident(chars[start..i].iter().collect()));
@@ -291,7 +285,9 @@ impl Parser {
             let table = self.ident()?;
             // Optional alias (an identifier that is not WHERE/end/comma).
             let alias = match self.peek() {
-                Some(Tok::Ident(s)) if !s.eq_ignore_ascii_case("where") => self.ident()?,
+                Some(Tok::Ident(s)) if !s.eq_ignore_ascii_case("where") => {
+                    self.ident()?
+                }
                 _ => table.clone(),
             };
             if aliases.iter().any(|(a, _)| a == &alias) {
@@ -363,7 +359,11 @@ impl Parser {
                         }
                         builder.join(var, attr, parent);
                     }
-                    got => return Err(err(format!("expected literal or alias after `=`, found `{got}`"))),
+                    got => {
+                        return Err(err(format!(
+                            "expected literal or alias after `=`, found `{got}`"
+                        )))
+                    }
                 }
             }
             Tok::Lt => {
@@ -396,13 +396,19 @@ impl Parser {
                         Tok::Int(i) => values.push(Value::Int(i)),
                         Tok::Str(s) => values.push(Value::Str(s)),
                         got => {
-                            return Err(err(format!("expected literal in IN list, found `{got}`")))
+                            return Err(err(format!(
+                                "expected literal in IN list, found `{got}`"
+                            )))
                         }
                     }
                     match self.next()? {
                         Tok::Comma => continue,
                         Tok::RParen => break,
-                        got => return Err(err(format!("expected `,` or `)`, found `{got}`"))),
+                        got => {
+                            return Err(err(format!(
+                                "expected `,` or `)`, found `{got}`"
+                            )))
+                        }
                     }
                 }
                 builder.isin(var, attr, values);
@@ -505,7 +511,8 @@ mod tests {
 
     #[test]
     fn trailing_garbage_is_rejected() {
-        let e = parse_query("SELECT COUNT(*) FROM t WHERE t.a = 1 GROUP BY x").unwrap_err();
+        let e =
+            parse_query("SELECT COUNT(*) FROM t WHERE t.a = 1 GROUP BY x").unwrap_err();
         assert!(e.to_string().contains("trailing"), "{e}");
     }
 

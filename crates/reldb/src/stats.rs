@@ -135,7 +135,9 @@ pub fn materialize_codes(db: &Database, spec: &GroupSpec) -> Result<Vec<Vec<u32>
                 .foreign_keys_of(&table_name)?
                 .into_iter()
                 .find(|f| &f.attr == fk)
-                .ok_or_else(|| Error::BadJoin(format!("`{table_name}.{fk}` is not a foreign key")))?;
+                .ok_or_else(|| {
+                    Error::BadJoin(format!("`{table_name}.{fk}` is not a foreign key"))
+                })?;
             table_name = fk_def.target;
         }
         let codes = db.table(&table_name)?.codes(&col.attr)?;
@@ -159,7 +161,9 @@ pub fn column_cards(db: &Database, spec: &GroupSpec) -> Result<Vec<usize>> {
                 .foreign_keys_of(&table_name)?
                 .into_iter()
                 .find(|f| &f.attr == fk)
-                .ok_or_else(|| Error::BadJoin(format!("`{table_name}.{fk}` is not a foreign key")))?;
+                .ok_or_else(|| {
+                    Error::BadJoin(format!("`{table_name}.{fk}` is not a foreign key"))
+                })?;
             table_name = fk_def.target;
         }
         cards.push(db.table(&table_name)?.domain(&col.attr)?.card());
@@ -176,7 +180,10 @@ pub fn counts_sparse(
 ) -> Result<std::collections::HashMap<Vec<u32>, u64>> {
     let columns = materialize_codes(db, spec)?;
     let n = db.table(&spec.base_table)?.n_rows();
-    let mut out: std::collections::HashMap<Vec<u32>, u64> = std::collections::HashMap::new();
+    obs::counter!("reldb.groupby.scans").inc();
+    obs::counter!("reldb.groupby.rows").add(n as u64);
+    let mut out: std::collections::HashMap<Vec<u32>, u64> =
+        std::collections::HashMap::new();
     let mut config = vec![0u32; columns.len()];
     for row in 0..n {
         for (slot, col) in config.iter_mut().zip(&columns) {
@@ -194,6 +201,8 @@ pub fn counts(db: &Database, spec: &GroupSpec) -> Result<CountTable> {
     let size: usize = cards.iter().product::<usize>().max(1);
     let mut table = CountTable { cards, counts: vec![0u64; size] };
     let n = db.table(&spec.base_table)?.n_rows();
+    obs::counter!("reldb.groupby.scans").inc();
+    obs::counter!("reldb.groupby.rows").add(n as u64);
     let mut config = vec![0u32; columns.len()];
     for row in 0..n {
         for (slot, col) in config.iter_mut().zip(&columns) {
@@ -216,8 +225,11 @@ mod tests {
         for (id, age) in [(1, "young"), (2, "old"), (3, "old")] {
             p.push_row(vec![Cell::Key(id), age.into()]).unwrap();
         }
-        let mut c = TableBuilder::new("contact").key("id").fk("patient", "patient").col("type");
-        for (id, pt, ty) in [(1, 1, "home"), (2, 2, "work"), (3, 2, "home"), (4, 3, "work")] {
+        let mut c =
+            TableBuilder::new("contact").key("id").fk("patient", "patient").col("type");
+        for (id, pt, ty) in
+            [(1, 1, "home"), (2, 2, "work"), (3, 2, "home"), (4, 3, "work")]
+        {
             c.push_row(vec![Cell::Key(id), Cell::Key(pt), ty.into()]).unwrap();
         }
         DatabaseBuilder::new()

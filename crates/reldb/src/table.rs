@@ -23,11 +23,8 @@ impl Domain {
     pub fn new(mut values: Vec<Value>) -> Self {
         values.sort();
         values.dedup();
-        let index = values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (v.clone(), i as u32))
-            .collect();
+        let index =
+            values.iter().enumerate().map(|(i, v)| (v.clone(), i as u32)).collect();
         Domain { values, index }
     }
 
@@ -140,11 +137,8 @@ impl Table {
 
     /// Raw key values of the primary-key column.
     pub fn key_values(&self) -> Option<&[i64]> {
-        let idx = self
-            .schema
-            .attrs
-            .iter()
-            .position(|a| a.kind == AttrKind::PrimaryKey)?;
+        let idx =
+            self.schema.attrs.iter().position(|a| a.kind == AttrKind::PrimaryKey)?;
         match &self.columns[idx] {
             Column::Key(k) => Some(k),
             _ => None,
@@ -184,8 +178,12 @@ impl Table {
             })?;
             match &self.columns[idx] {
                 Column::Value { codes, domain } => {
-                    schema_attrs.push(AttrDef { name: (*a).to_owned(), kind: AttrKind::Value });
-                    columns.push(Column::Value { codes: codes.clone(), domain: domain.clone() });
+                    schema_attrs
+                        .push(AttrDef { name: (*a).to_owned(), kind: AttrKind::Value });
+                    columns.push(Column::Value {
+                        codes: codes.clone(),
+                        domain: domain.clone(),
+                    });
                 }
                 _ => {
                     return Err(Error::WrongAttrKind {
@@ -321,7 +319,10 @@ impl TableBuilder {
             }
         }
         if self.attrs.iter().filter(|a| a.kind == AttrKind::PrimaryKey).count() > 1 {
-            return Err(Error::DuplicateName(format!("{}: multiple primary keys", self.name)));
+            return Err(Error::DuplicateName(format!(
+                "{}: multiple primary keys",
+                self.name
+            )));
         }
         let n_rows = self
             .raw
@@ -360,7 +361,9 @@ impl TableBuilder {
                     let domain = Domain::new(values.clone());
                     let codes = values
                         .iter()
-                        .map(|v| domain.code(v).expect("value present in freshly built domain"))
+                        .map(|v| {
+                            domain.code(v).expect("value present in freshly built domain")
+                        })
                         .collect();
                     columns.push(Column::Value { codes, domain });
                 }

@@ -4,17 +4,17 @@
 
 use proptest::prelude::*;
 use reldb::{
-    result_size, result_size_bruteforce, Cell, Database, DatabaseBuilder, Domain,
-    Query, TableBuilder, Value,
+    result_size, result_size_bruteforce, Cell, Database, DatabaseBuilder, Domain, Query,
+    TableBuilder, Value,
 };
 
 /// A random two-table database: parent(x), child(fk → parent, y).
 fn arb_db() -> impl Strategy<Value = Database> {
     (
-        1usize..8,                                  // parent rows
-        proptest::collection::vec(0u32..4, 1..40),  // child rows: fk choice seeds
-        proptest::collection::vec(0u32..3, 1..40),  // child y codes
-        proptest::collection::vec(0u32..3, 1..8),   // parent x codes
+        1usize..8,                                 // parent rows
+        proptest::collection::vec(0u32..4, 1..40), // child rows: fk choice seeds
+        proptest::collection::vec(0u32..3, 1..40), // child y codes
+        proptest::collection::vec(0u32..3, 1..8),  // parent x codes
     )
         .prop_map(|(n_parent, fk_seeds, ys, xs)| {
             let mut p = TableBuilder::new("parent").key("id").col("x");
@@ -24,7 +24,8 @@ fn arb_db() -> impl Strategy<Value = Database> {
                     .unwrap();
             }
             let n_child = fk_seeds.len().min(ys.len());
-            let mut c = TableBuilder::new("child").key("id").fk("parent", "parent").col("y");
+            let mut c =
+                TableBuilder::new("child").key("id").fk("parent", "parent").col("y");
             for i in 0..n_child {
                 let target = (fk_seeds[i] as usize) % n_parent;
                 c.push_row(vec![

@@ -154,7 +154,8 @@ fn set(bn: &mut BayesNet, child: &str, parents: &[&str], w: impl Fn(u32, &[u32])
         }
         // `pa` currently decodes with the last parent fastest; reverse
         // loop above fills in reverse order, which is exactly row-major.
-        let weights: Vec<f64> = (0..child_card as u32).map(|v| w(v, &pa).max(1e-9)).collect();
+        let weights: Vec<f64> =
+            (0..child_card as u32).map(|v| w(v, &pa).max(1e-9)).collect();
         let total: f64 = weights.iter().sum();
         probs.extend(weights.into_iter().map(|x| x / total));
     }
@@ -196,10 +197,8 @@ pub fn census_database(n_rows: usize, seed: u64) -> Database {
 fn ensure_full_domains(mut builder: TableBuilder) -> reldb::Result<Table> {
     let max_card = ATTRS.iter().map(|&(_, c)| c).max().expect("non-empty ATTRS");
     for v in 0..max_card {
-        let row: Vec<Value> = ATTRS
-            .iter()
-            .map(|&(_, card)| Value::Int((v % card) as i64))
-            .collect();
+        let row: Vec<Value> =
+            ATTRS.iter().map(|&(_, card)| Value::Int((v % card) as i64)).collect();
         builder.push_row(row)?;
     }
     builder.finish()

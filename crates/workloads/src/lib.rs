@@ -27,5 +27,8 @@ pub mod tb;
 
 pub use census::{census_database, census_table};
 pub use fin::{fin_database, fin_database_with_cards};
-pub use suites::{join_chain_range_suite, join_chain_suite, single_table_eq_suite, single_table_range_suite, QuerySuite};
+pub use suites::{
+    join_chain_range_suite, join_chain_suite, single_table_eq_suite,
+    single_table_range_suite, QuerySuite,
+};
 pub use tb::{tb_database, tb_database_with_skew};

@@ -30,12 +30,14 @@ impl QuerySuite {
 }
 
 /// All equality instantiations of the given attributes of a single table.
-pub fn single_table_eq_suite(db: &Database, table: &str, attrs: &[&str]) -> Result<QuerySuite> {
+pub fn single_table_eq_suite(
+    db: &Database,
+    table: &str,
+    attrs: &[&str],
+) -> Result<QuerySuite> {
     let t = db.table(table)?;
-    let cards: Vec<usize> = attrs
-        .iter()
-        .map(|a| t.domain(a).map(|d| d.card()))
-        .collect::<Result<_>>()?;
+    let cards: Vec<usize> =
+        attrs.iter().map(|a| t.domain(a).map(|d| d.card())).collect::<Result<_>>()?;
     let mut queries = Vec::new();
     let mut combo = vec![0u32; attrs.len()];
     loop {
@@ -191,8 +193,7 @@ pub fn join_chain_range_suite(
         let t = db.table(step.table)?;
         for attr in step.select_attrs {
             let dom = t.domain(attr)?;
-            let ints: Vec<i64> =
-                dom.values().iter().filter_map(|v| v.as_int()).collect();
+            let ints: Vec<i64> = dom.values().iter().filter_map(|v| v.as_int()).collect();
             let lo = *ints.iter().min().ok_or_else(|| {
                 reldb::Error::BadPredicate(format!("`{attr}` has no integer values"))
             })?;
@@ -233,8 +234,7 @@ mod tests {
     #[test]
     fn single_table_suite_is_exhaustive() {
         let db = tb_database_sized(50, 100, 500, 1);
-        let suite =
-            single_table_eq_suite(&db, "patient", &["age", "gender"]).unwrap();
+        let suite = single_table_eq_suite(&db, "patient", &["age", "gender"]).unwrap();
         // 6 ages × 2 genders.
         assert_eq!(suite.len(), 12);
         for q in &suite.queries {
@@ -310,7 +310,11 @@ mod tests {
     fn join_range_suite_is_valid_and_deterministic() {
         let db = tb_database_sized(50, 100, 500, 1);
         let steps = [
-            ChainStep { table: "contact", fk_to_next: Some("patient"), select_attrs: &["age"] },
+            ChainStep {
+                table: "contact",
+                fk_to_next: Some("patient"),
+                select_attrs: &["age"],
+            },
             ChainStep { table: "patient", fk_to_next: None, select_attrs: &["hiv"] },
         ];
         let a = join_chain_range_suite(&db, &steps, 15, 3).unwrap();
@@ -327,7 +331,11 @@ mod tests {
     fn chain_without_selects_yields_single_join_query() {
         let db = tb_database_sized(50, 100, 500, 1);
         let steps = [
-            ChainStep { table: "contact", fk_to_next: Some("patient"), select_attrs: &[] },
+            ChainStep {
+                table: "contact",
+                fk_to_next: Some("patient"),
+                select_attrs: &[],
+            },
             ChainStep { table: "patient", fk_to_next: None, select_attrs: &[] },
         ];
         let suite = join_chain_suite(&db, &steps).unwrap();

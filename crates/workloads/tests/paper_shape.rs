@@ -67,8 +67,8 @@ fn tb_cardinalities_and_join_probabilities() {
     // whole strain population:
     //   ratio = 3·(N_nu + 0.8·N_u) / (3·N_nu + 0.8·N_u).
     let n_unique = unique.iter().filter(|&&u| u == uyes).count() as f64;
-    let implied = 3.0 * (n_nonunique + 0.8 * n_unique)
-        / (3.0 * n_nonunique + 0.8 * n_unique);
+    let implied =
+        3.0 * (n_nonunique + 0.8 * n_unique) / (3.0 * n_nonunique + 0.8 * n_unique);
     assert!(
         (ratio - implied).abs() / implied < 0.15,
         "measured ratio {ratio:.2} vs generator-implied {implied:.2}"

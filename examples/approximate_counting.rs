@@ -10,12 +10,11 @@ use workloads::fin::fin_database;
 fn main() -> reldb::Result<()> {
     println!("generating FIN data (77 districts / 4.5K accounts / 106K transactions)...");
     let db = fin_database(3);
-    let prm = PrmEstimator::build(&db, &PrmLearnConfig { budget_bytes: 2_048, ..Default::default() })?;
-    println!(
-        "model: {} bytes vs {} raw rows\n",
-        prm.size_bytes(),
-        db.total_rows()
-    );
+    let prm = PrmEstimator::build(
+        &db,
+        &PrmLearnConfig { budget_bytes: 2_048, ..Default::default() },
+    )?;
+    println!("model: {} bytes vs {} raw rows\n", prm.size_bytes(), db.total_rows());
 
     // "SELECT ttype, COUNT(*) FROM transaction t JOIN account a JOIN
     //  district d WHERE d.avg_salary = 3 GROUP BY t.ttype" — answered

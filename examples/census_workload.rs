@@ -26,12 +26,18 @@ fn main() -> reldb::Result<()> {
         .add_table(db.table("census")?.project(&attrs)?)
         .finish()?;
     let budget = 1_200;
-    let prm = PrmEstimator::build(&proj, &PrmLearnConfig { budget_bytes: budget, ..Default::default() })?;
+    let prm = PrmEstimator::build(
+        &proj,
+        &PrmLearnConfig { budget_bytes: budget, ..Default::default() },
+    )?;
     let avi = AviAdapter::build(&proj, "census")?;
     let mhist = MhistAdapter::build(&db, "census", &attrs, budget)?;
     let sample = SampleAdapter::build(&proj, "census", budget, 42)?;
 
-    println!("\n{:<10} {:>10} {:>12} {:>12}", "method", "bytes", "mean err%", "median err%");
+    println!(
+        "\n{:<10} {:>10} {:>12} {:>12}",
+        "method", "bytes", "mean err%", "median err%"
+    );
     let ests: Vec<&dyn SelectivityEstimator> = vec![&prm, &mhist, &sample, &avi];
     for est in ests {
         let eval = prmsel::metrics::evaluate_with_truth(est, &suite.queries, &truths)?;
@@ -43,6 +49,8 @@ fn main() -> reldb::Result<()> {
             eval.median_error_pct()
         );
     }
-    println!("\n(AVI ignores the education→income correlation, so its error dwarfs the rest.)");
+    println!(
+        "\n(AVI ignores the education→income correlation, so its error dwarfs the rest.)"
+    );
     Ok(())
 }

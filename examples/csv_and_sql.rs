@@ -29,10 +29,17 @@ fn main() -> reldb::Result<()> {
         builder = builder.add_table(load_table(path, schema)?);
     }
     let reloaded = builder.finish()?;
-    println!("reloaded {} tables, {} rows total", reloaded.tables().len(), reloaded.total_rows());
+    println!(
+        "reloaded {} tables, {} rows total",
+        reloaded.tables().len(),
+        reloaded.total_rows()
+    );
 
     // 3. Learn the model and answer SQL.
-    let est = PrmEstimator::build(&reloaded, &PrmLearnConfig { budget_bytes: 4096, ..Default::default() })?;
+    let est = PrmEstimator::build(
+        &reloaded,
+        &PrmLearnConfig { budget_bytes: 4096, ..Default::default() },
+    )?;
     let sql = "SELECT COUNT(*) FROM contact c, patient p, strain s \
                WHERE c.patient = p AND p.strain = s \
                AND c.contype = 4 AND s.unique = 'no' AND p.age BETWEEN 1 AND 2";

@@ -5,8 +5,7 @@
 //! Run with: `cargo run --release -p prmsel --example model_maintenance`
 
 use prmsel::{
-    model_loglik, refresh_parameters, PrmEstimator, PrmLearnConfig,
-    SelectivityEstimator,
+    model_loglik, refresh_parameters, PrmEstimator, PrmLearnConfig, SelectivityEstimator,
 };
 use workloads::tb::tb_database_sized;
 

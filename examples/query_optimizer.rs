@@ -12,7 +12,10 @@ use workloads::tb::tb_database;
 fn main() -> reldb::Result<()> {
     println!("generating TB data...");
     let db = tb_database(3);
-    let est = PrmEstimator::build(&db, &PrmLearnConfig { budget_bytes: 4096, ..Default::default() })?;
+    let est = PrmEstimator::build(
+        &db,
+        &PrmLearnConfig { budget_bytes: 4096, ..Default::default() },
+    )?;
 
     // A selective 3-table query: roommate contacts of patients carrying a
     // unique strain.
@@ -38,16 +41,14 @@ fn main() -> reldb::Result<()> {
             let prefix = subquery(&q, &plan.order[..k]);
             true_cost += reldb::result_size(&db, &prefix)? as f64;
         }
-        println!(
-            "{:<28} {:>14.0} {:>14.0}",
-            label.join(" ⋈ "),
-            plan.cost,
-            true_cost
-        );
+        println!("{:<28} {:>14.0} {:>14.0}", label.join(" ⋈ "), plan.cost, true_cost);
     }
     let best = &plans[0];
     let label: Vec<&str> = best.order.iter().map(|&v| names[v]).collect();
     println!("\nchosen plan: {}", label.join(" ⋈ "));
-    println!("intermediate estimates: {:?}", best.intermediate_sizes.iter().map(|s| s.round()).collect::<Vec<_>>());
+    println!(
+        "intermediate estimates: {:?}",
+        best.intermediate_sizes.iter().map(|s| s.round()).collect::<Vec<_>>()
+    );
     Ok(())
 }

@@ -19,10 +19,15 @@ fn main() -> reldb::Result<()> {
             Cell::Val(Value::Int(i % 4)),
         ])?;
     }
-    let mut orders = TableBuilder::new("order").key("id").fk("customer", "customer").col("priority");
+    let mut orders =
+        TableBuilder::new("order").key("id").fk("customer", "customer").col("priority");
     for i in 0..4_000i64 {
         // Premium customers (ids ≡ 0 mod 5) receive 60% of the orders.
-        let customer = if i % 10 < 6 { (i * 7) % 40 * 5 } else { (i * 3) % 160 + (i * 3) % 160 / 4 + 1 };
+        let customer = if i % 10 < 6 {
+            (i * 7) % 40 * 5
+        } else {
+            (i * 3) % 160 + (i * 3) % 160 / 4 + 1
+        };
         let customer = customer.min(199);
         let premium = customer % 5 == 0;
         let priority = if premium { i % 2 } else { 2 + i % 2 }; // 0/1 high, 2/3 low
@@ -38,7 +43,10 @@ fn main() -> reldb::Result<()> {
         .finish()?;
 
     // Offline phase: learn the model under a 4 KiB budget.
-    let est = PrmEstimator::build(&db, &PrmLearnConfig { budget_bytes: 4096, ..Default::default() })?;
+    let est = PrmEstimator::build(
+        &db,
+        &PrmLearnConfig { budget_bytes: 4096, ..Default::default() },
+    )?;
     println!("learned PRM: {} bytes", est.size_bytes());
     println!("  foreign parents: {}", est.prm().foreign_parent_count());
     println!("  join-indicator parents: {}", est.prm().ji_parent_count());

@@ -14,8 +14,16 @@ fn main() -> reldb::Result<()> {
     let suite = join_chain_suite(
         &db,
         &[
-            ChainStep { table: "contact", fk_to_next: Some("patient"), select_attrs: &["contype"] },
-            ChainStep { table: "patient", fk_to_next: Some("strain"), select_attrs: &["age"] },
+            ChainStep {
+                table: "contact",
+                fk_to_next: Some("patient"),
+                select_attrs: &["contype"],
+            },
+            ChainStep {
+                table: "patient",
+                fk_to_next: Some("strain"),
+                select_attrs: &["age"],
+            },
             ChainStep { table: "strain", fk_to_next: None, select_attrs: &["unique"] },
         ],
     )?;
@@ -23,15 +31,24 @@ fn main() -> reldb::Result<()> {
     let truths = prmsel::metrics::ground_truth(&db, &suite.queries)?;
 
     let budget = 4_400; // the paper's Fig. 6(b) budget
-    let prm = PrmEstimator::build(&db, &PrmLearnConfig { budget_bytes: budget, ..Default::default() })?;
+    let prm = PrmEstimator::build(
+        &db,
+        &PrmLearnConfig { budget_bytes: budget, ..Default::default() },
+    )?;
     let bn_uj = PrmEstimator::build(&db, &PrmLearnConfig::bn_uj(budget))?;
-    let sample = JoinSampleAdapter::build(&db, "contact", &["patient", "strain"], budget, 13)?;
+    let sample =
+        JoinSampleAdapter::build(&db, "contact", &["patient", "strain"], budget, 13)?;
 
     println!("\n{:<10} {:>10} {:>12}", "method", "bytes", "mean err%");
     let ests: Vec<&dyn SelectivityEstimator> = vec![&prm, &bn_uj, &sample];
     for est in ests {
         let eval = prmsel::metrics::evaluate_with_truth(est, &suite.queries, &truths)?;
-        println!("{:<10} {:>10} {:>11.1}%", est.name(), est.size_bytes(), eval.mean_error_pct());
+        println!(
+            "{:<10} {:>10} {:>11.1}%",
+            est.name(),
+            est.size_bytes(),
+            eval.mean_error_pct()
+        );
     }
 
     // Showcase the §3.2 example: US-born patients joining non-unique strains.
@@ -44,6 +61,9 @@ fn main() -> reldb::Result<()> {
     println!("\npatient ⋈ strain, usborn=yes, unique=no:");
     println!("  exact  = {truth}");
     println!("  PRM    = {:.1}", prm.estimate(&q)?);
-    println!("  BN+UJ  = {:.1}  (uniform-join assumption misses the 3x skew)", bn_uj.estimate(&q)?);
+    println!(
+        "  BN+UJ  = {:.1}  (uniform-join assumption misses the 3x skew)",
+        bn_uj.estimate(&q)?
+    );
     Ok(())
 }

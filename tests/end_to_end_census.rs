@@ -47,11 +47,7 @@ fn one_model_answers_multiple_suites() {
     for attrs in [&["sex", "race"][..], &["marital_status", "children"][..]] {
         let suite = single_table_eq_suite(&db, "census", attrs).unwrap();
         let eval = prmsel::evaluate_suite(&db, &prm, &suite.queries).unwrap();
-        assert!(
-            eval.mean_error_pct() < 60.0,
-            "{attrs:?}: {:.1}%",
-            eval.mean_error_pct()
-        );
+        assert!(eval.mean_error_pct() < 60.0, "{attrs:?}: {:.1}%", eval.mean_error_pct());
     }
 }
 
@@ -88,8 +84,7 @@ fn tree_cpds_fit_more_structure_than_tables_at_equal_budget() {
     // to greedy-search variance, so the claim is asserted on the average
     // over a small budget sweep.
     let db = census_database(6_000, 14);
-    let suite =
-        single_table_eq_suite(&db, "census", &["education", "income"]).unwrap();
+    let suite = single_table_eq_suite(&db, "census", &["education", "income"]).unwrap();
     let truths = prmsel::metrics::ground_truth(&db, &suite.queries).unwrap();
     let mean_err = |kind: CpdKind| -> f64 {
         let mut total = 0.0;
@@ -103,10 +98,7 @@ fn tree_cpds_fit_more_structure_than_tables_at_equal_budget() {
     };
     let tree = mean_err(CpdKind::Tree);
     let table = mean_err(CpdKind::Table);
-    assert!(
-        tree <= table * 1.05,
-        "tree avg {tree:.1}% vs table avg {table:.1}%"
-    );
+    assert!(tree <= table * 1.05, "tree avg {tree:.1}% vs table avg {table:.1}%");
 }
 
 #[test]
@@ -127,9 +119,11 @@ fn parallel_evaluation_matches_sequential() {
     let prm = PrmEstimator::build(&db, &prm_config(4_096, CpdKind::Tree)).unwrap();
     let suite = single_table_eq_suite(&db, "census", &["sex", "race"]).unwrap();
     let truths = prmsel::metrics::ground_truth(&db, &suite.queries).unwrap();
-    let seq = prmsel::metrics::evaluate_with_truth(&prm, &suite.queries, &truths).unwrap();
-    let par = prmsel::metrics::evaluate_with_truth_parallel(&prm, &suite.queries, &truths, 4)
-        .unwrap();
+    let seq =
+        prmsel::metrics::evaluate_with_truth(&prm, &suite.queries, &truths).unwrap();
+    let par =
+        prmsel::metrics::evaluate_with_truth_parallel(&prm, &suite.queries, &truths, 4)
+            .unwrap();
     assert_eq!(seq.len(), par.len());
     for (a, b) in seq.per_query.iter().zip(&par.per_query) {
         assert_eq!(a.truth, b.truth);

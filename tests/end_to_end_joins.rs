@@ -149,15 +149,15 @@ fn likelihood_weighting_engine_tracks_exact_inference() {
     let c = b.var("contact");
     let p = b.var("patient");
     let s = b.var("strain");
-    b.join(c, "patient", p).join(p, "strain", s).eq(c, "contype", 2).eq(s, "unique", "no");
+    b.join(c, "patient", p)
+        .join(p, "strain", s)
+        .eq(c, "contype", 2)
+        .eq(s, "unique", "no");
     let q = b.build();
     let e = exact.estimate(&q).unwrap();
     let a = approx.estimate(&q).unwrap();
     assert!(e > 0.0);
-    assert!(
-        (a - e).abs() / e < 0.15,
-        "likelihood weighting {a} vs exact {e}"
-    );
+    assert!((a - e).abs() / e < 0.15, "likelihood weighting {a} vs exact {e}");
 }
 
 #[test]
@@ -168,8 +168,16 @@ fn join_range_queries_from_one_model() {
     let db = tb_database_sized(300, 400, 3_000, 26);
     let prm = PrmEstimator::build(&db, &config(3_000)).unwrap();
     let steps = [
-        ChainStep { table: "contact", fk_to_next: Some("patient"), select_attrs: &["age"] },
-        ChainStep { table: "patient", fk_to_next: Some("strain"), select_attrs: &["hiv"] },
+        ChainStep {
+            table: "contact",
+            fk_to_next: Some("patient"),
+            select_attrs: &["age"],
+        },
+        ChainStep {
+            table: "patient",
+            fk_to_next: Some("strain"),
+            select_attrs: &["hiv"],
+        },
         ChainStep { table: "strain", fk_to_next: None, select_attrs: &["lineage"] },
     ];
     let suite = join_chain_range_suite(&db, &steps, 40, 9).unwrap();

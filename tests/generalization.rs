@@ -21,8 +21,16 @@ fn suite(db: &reldb::Database) -> workloads::QuerySuite {
     join_chain_suite(
         db,
         &[
-            ChainStep { table: "contact", fk_to_next: Some("patient"), select_attrs: &["contype"] },
-            ChainStep { table: "patient", fk_to_next: Some("strain"), select_attrs: &["age"] },
+            ChainStep {
+                table: "contact",
+                fk_to_next: Some("patient"),
+                select_attrs: &["contype"],
+            },
+            ChainStep {
+                table: "patient",
+                fk_to_next: Some("strain"),
+                select_attrs: &["age"],
+            },
             ChainStep { table: "strain", fk_to_next: None, select_attrs: &["unique"] },
         ],
     )
@@ -61,9 +69,8 @@ fn model_transfers_to_an_independent_sample() {
     // And it must still beat the uniform-join baseline trained on the
     // *test* data itself.
     let uj = PrmEstimator::build(&test, &PrmLearnConfig::bn_uj(3_000)).unwrap();
-    let uj_err = prmsel::evaluate_suite(&test, &uj, &s_test.queries)
-        .unwrap()
-        .mean_error_pct();
+    let uj_err =
+        prmsel::evaluate_suite(&test, &uj, &s_test.queries).unwrap().mean_error_pct();
     assert!(
         out_err < uj_err,
         "transferred PRM {out_err:.1}% should beat in-sample BN+UJ {uj_err:.1}%"
@@ -79,13 +86,17 @@ fn sample_estimator_does_not_transfer_as_well() {
     let prm = prmsel::learn_prm(&train, &config()).unwrap();
     let est = PrmEstimator::from_prm(prm, &test, "prm").unwrap();
     let s_test = suite(&test);
-    let prm_err = prmsel::evaluate_suite(&test, &est, &s_test.queries)
-        .unwrap()
-        .mean_error_pct();
+    let prm_err =
+        prmsel::evaluate_suite(&test, &est, &s_test.queries).unwrap().mean_error_pct();
     // Join sample drawn from TRAIN, applied to TEST queries.
-    let sample =
-        prmsel::JoinSampleAdapter::build(&train, "contact", &["patient", "strain"], 3_000, 5)
-            .unwrap();
+    let sample = prmsel::JoinSampleAdapter::build(
+        &train,
+        "contact",
+        &["patient", "strain"],
+        3_000,
+        5,
+    )
+    .unwrap();
     let sample_err = prmsel::metrics::evaluate_with_truth(
         &sample,
         &s_test.queries,

@@ -25,8 +25,12 @@ fn db() -> Database {
         let odd = i % 4 != 0;
         let pid = (i * 13) % 30;
         let target = if odd { 2 * pid + 1 } else { 2 * pid };
-        c.push_row(vec![Cell::Key(i), Cell::Key(target), Cell::Val(Value::Int(target % 2))])
-            .unwrap();
+        c.push_row(vec![
+            Cell::Key(i),
+            Cell::Key(target),
+            Cell::Val(Value::Int(target % 2)),
+        ])
+        .unwrap();
     }
     DatabaseBuilder::new()
         .add_table(p.finish().unwrap())
@@ -54,11 +58,7 @@ fn all_single_table_estimators_answer_through_the_trait() {
     let estimators: Vec<&dyn SelectivityEstimator> = vec![&prm, &avi, &mhist, &sample];
     for est in estimators {
         let e = est.estimate(&q).unwrap();
-        assert!(
-            (e - truth).abs() / truth < 0.2,
-            "{}: est={e} truth={truth}",
-            est.name()
-        );
+        assert!((e - truth).abs() / truth < 0.2, "{}: est={e} truth={truth}", est.name());
         assert!(est.size_bytes() > 0, "{} reports zero size", est.name());
     }
 }
@@ -89,10 +89,7 @@ fn join_estimators_answer_the_full_chain() {
     // BN+UJ must misestimate this strongly-correlated query more than the
     // PRM does (it assumes uniform joins and independent attributes).
     let u = bn_uj.estimate(&q).unwrap();
-    assert!(
-        (u - truth).abs() >= (e - truth).abs(),
-        "bn_uj={u} prm={e} truth={truth}"
-    );
+    assert!((u - truth).abs() >= (e - truth).abs(), "bn_uj={u} prm={e} truth={truth}");
 }
 
 #[test]
@@ -123,9 +120,8 @@ fn estimators_reject_queries_they_cannot_answer() {
 fn suite_evaluation_computes_adjusted_errors() {
     let db = db();
     let prm = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
-    let queries: Vec<Query> = (0..2)
-        .map(|v| single_table_query("parent", "x", v))
-        .collect();
+    let queries: Vec<Query> =
+        (0..2).map(|v| single_table_query("parent", "x", v)).collect();
     let eval = prmsel::evaluate_suite(&db, &prm, &queries).unwrap();
     assert_eq!(eval.len(), 2);
     for q in &eval.per_query {
@@ -212,10 +208,7 @@ mod diamond {
         let o = b.var("order");
         let c = b.var("customer");
         let p = b.var("product");
-        b.join(o, "customer", c)
-            .join(o, "product", p)
-            .eq(c, "tier", 1)
-            .eq(p, "kind", 2);
+        b.join(o, "customer", c).join(o, "product", p).eq(c, "tier", 1).eq(p, "kind", 2);
         let q = b.build();
         let fast = result_size(&db, &q).unwrap();
         let brute = reldb::result_size_bruteforce(&db, &q).unwrap();
@@ -239,10 +232,7 @@ mod diamond {
         let q = b.build();
         let truth = result_size(&db, &q).unwrap() as f64;
         let e = est.estimate(&q).unwrap();
-        assert!(
-            (e - truth).abs() / truth.max(1.0) < 0.5,
-            "est={e} truth={truth}"
-        );
+        assert!((e - truth).abs() / truth.max(1.0) < 0.5, "est={e} truth={truth}");
     }
 
     #[test]
@@ -287,7 +277,8 @@ mod diamond {
 #[test]
 fn wavelet_adapter_answers_through_the_trait() {
     let db = db();
-    let wavelet = prmsel::WaveletAdapter::build(&db, "parent", &["x", "z"], 2048).unwrap();
+    let wavelet =
+        prmsel::WaveletAdapter::build(&db, "parent", &["x", "z"], 2048).unwrap();
     let q = single_table_query("parent", "x", 1);
     let truth = result_size(&db, &q).unwrap() as f64;
     let est = wavelet.estimate(&q).unwrap();

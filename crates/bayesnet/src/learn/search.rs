@@ -110,6 +110,90 @@ enum Move {
 /// of the key (mirroring the PRM learner in the `prmsel` crate).
 type Cache = HashMap<(usize, Vec<usize>, usize), Option<FamilyEval>>;
 
+/// A worker's view of the memo during concurrent move scoring: shared
+/// read access to the cross-step cache plus a thread-local overflow for
+/// evaluations computed this batch. The caller absorbs the locals back
+/// after the parallel region. Evaluations are pure functions of
+/// `(config, data, key)`, so duplicate computation across workers inserts
+/// identical values and merge order cannot matter.
+struct FamilyShard<'a> {
+    config: &'a LearnConfig,
+    shared: &'a Cache,
+    local: Cache,
+}
+
+impl FamilyShard<'_> {
+    /// Scores a family: `(ll, bytes)`, or `None` if the family is illegal.
+    fn score(
+        &mut self,
+        data: &Dataset,
+        child: usize,
+        parents_sorted: &[usize],
+        param_cap: usize,
+    ) -> Option<(f64, usize)> {
+        let key = (child, parents_sorted.to_vec(), cache_cap(self.config, param_cap));
+        if let Some(hit) = self.shared.get(&key).or_else(|| self.local.get(&key)) {
+            return hit.as_ref().map(|e| (e.ll, e.bytes));
+        }
+        let result = compute_family(self.config, data, child, parents_sorted, param_cap);
+        let out = result.as_ref().map(|e| (e.ll, e.bytes));
+        self.local.insert(key, result);
+        out
+    }
+}
+
+/// The cap value a family evaluation is cached under. Table CPDs ignore
+/// the cap (all-or-nothing families), so collapse the key to keep the
+/// cache effective.
+fn cache_cap(config: &LearnConfig, param_cap: usize) -> usize {
+    match config.cpd_kind {
+        CpdKind::Table => usize::MAX,
+        CpdKind::Tree => param_cap,
+    }
+}
+
+/// Evaluates one family from scratch. A pure function of its arguments,
+/// safe to call from pool workers.
+fn compute_family(
+    config: &LearnConfig,
+    data: &Dataset,
+    child: usize,
+    parents_sorted: &[usize],
+    param_cap: usize,
+) -> Option<FamilyEval> {
+    match config.cpd_kind {
+        CpdKind::Table => {
+            if data.family_table_cells(child, parents_sorted) > config.max_family_cells {
+                return None;
+            }
+            let counts = data.family_counts(child, parents_sorted);
+            let ll = family_loglik(&counts);
+            let cpd: Cpd = TableCpd::from_counts(&counts).into();
+            let bytes = cpd.size_bytes();
+            Some(FamilyEval { ll, bytes, cpd })
+        }
+        CpdKind::Tree => {
+            let parent_cols: Vec<&[u32]> =
+                parents_sorted.iter().map(|&p| data.col(p)).collect();
+            let parent_cards: Vec<usize> =
+                parents_sorted.iter().map(|&p| data.card(p)).collect();
+            let opts = TreeGrowOptions {
+                byte_budget: config.tree.byte_budget.min(param_cap),
+                ..config.tree.clone()
+            };
+            let grown = grow_tree(
+                data.col(child),
+                data.card(child),
+                &parent_cols,
+                &parent_cards,
+                &opts,
+            );
+            let bytes = grown.cpd.size_bytes();
+            Some(FamilyEval { ll: grown.loglik, bytes, cpd: grown.cpd.into() })
+        }
+    }
+}
+
 /// Greedy hill-climbing learner.
 pub struct GreedyLearner {
     config: LearnConfig,
@@ -174,16 +258,18 @@ impl GreedyLearner {
             let cur_ll: f64 = cur.iter().map(|f| f.ll).sum();
             let cur_bytes: usize =
                 cur.iter().map(|f| f.bytes).sum::<usize>() + 2 * dag.edge_count();
-            let mut best: Option<(Move, f64, f64, usize)> = None; // move, rule score, dll, new bytes
+            // Enumerate the legal moves serially (the Reverse probe clones
+            // the DAG) in a stable order, score the batch across the pool,
+            // then select in that same stable order — so the accepted move
+            // is independent of the thread count.
+            let mut moves: Vec<Move> = Vec::new();
             for p in 0..n {
                 for c in 0..n {
                     if p == c {
                         continue;
                     }
-                    let exists = dag.has_edge(p, c);
-                    let mut candidates: Vec<Move> = Vec::new();
-                    if exists {
-                        candidates.push(Move::Delete(p, c));
+                    if dag.has_edge(p, c) {
+                        moves.push(Move::Delete(p, c));
                         // Reverse = delete p→c, add c→p; legal only if no
                         // *other* directed path p ⇝ c exists.
                         if self.parent_allowed(c, p)
@@ -192,63 +278,81 @@ impl GreedyLearner {
                             let mut tmp = dag.clone();
                             tmp.remove_edge(p, c);
                             if !tmp.creates_cycle(c, p) {
-                                candidates.push(Move::Reverse(p, c));
+                                moves.push(Move::Reverse(p, c));
                             }
                         }
                     } else if self.parent_allowed(p, c)
                         && dag.parents(c).len() < self.config.max_parents
                         && !dag.creates_cycle(p, c)
                     {
-                        candidates.push(Move::Add(p, c));
+                        moves.push(Move::Add(p, c));
                     }
-                    for mv in candidates {
-                        obs::counter!("bn.search.moves.evaluated").inc();
-                        let Some((dll, dbytes)) =
-                            self.move_delta(data, dag, cache, mv, cur_bytes, &cur)
-                        else {
-                            obs::counter!("bn.search.moves.illegal").inc();
-                            continue;
-                        };
-                        let new_bytes = (cur_bytes as i64 + dbytes) as usize;
-                        if new_bytes > self.config.budget_bytes {
-                            obs::counter!("bn.search.moves.over_budget").inc();
+                }
+            }
+            let shared: &Cache = cache;
+            let dag_ref: &Dag = dag;
+            let cur_ref: &[FamilyEval] = &cur;
+            let scored = par::chunks(moves.len(), |range| {
+                let mut shard =
+                    FamilyShard { config: &self.config, shared, local: HashMap::new() };
+                let deltas: Vec<Option<(f64, i64)>> = moves[range]
+                    .iter()
+                    .map(|&mv| {
+                        self.move_delta_in(
+                            data, dag_ref, &mut shard, mv, cur_bytes, cur_ref,
+                        )
+                    })
+                    .collect();
+                (deltas, shard.local)
+            });
+            let mut deltas = Vec::with_capacity(moves.len());
+            for (chunk, local) in scored {
+                deltas.extend(chunk);
+                cache.extend(local);
+            }
+            let mut best: Option<(Move, f64, f64, usize)> = None; // move, rule score, dll, new bytes
+            for (&mv, &delta) in moves.iter().zip(&deltas) {
+                obs::counter!("bn.search.moves.evaluated").inc();
+                let Some((dll, dbytes)) = delta else {
+                    obs::counter!("bn.search.moves.illegal").inc();
+                    continue;
+                };
+                let new_bytes = (cur_bytes as i64 + dbytes) as usize;
+                if new_bytes > self.config.budget_bytes {
+                    obs::counter!("bn.search.moves.over_budget").inc();
+                    continue;
+                }
+                let score = match self.config.rule {
+                    StepRule::Naive => {
+                        if dll <= TOL {
+                            obs::counter!("bn.search.moves.rejected").inc();
                             continue;
                         }
-                        let score = match self.config.rule {
-                            StepRule::Naive => {
-                                if dll <= TOL {
-                                    obs::counter!("bn.search.moves.rejected").inc();
-                                    continue;
-                                }
-                                dll
-                            }
-                            StepRule::Ssn => {
-                                if dll <= TOL {
-                                    obs::counter!("bn.search.moves.rejected").inc();
-                                    continue;
-                                }
-                                if dbytes > 0 {
-                                    dll / dbytes as f64
-                                } else {
-                                    f64::INFINITY
-                                }
-                            }
-                            StepRule::Mdl => {
-                                let dmdl = dll
-                                    - mdl_penalty_per_param(data.n_rows())
-                                        * dbytes as f64
-                                        / 4.0;
-                                if dmdl <= TOL {
-                                    obs::counter!("bn.search.moves.rejected").inc();
-                                    continue;
-                                }
-                                dmdl
-                            }
-                        };
-                        if best.as_ref().is_none_or(|b| score > b.1) {
-                            best = Some((mv, score, dll, new_bytes));
+                        dll
+                    }
+                    StepRule::Ssn => {
+                        if dll <= TOL {
+                            obs::counter!("bn.search.moves.rejected").inc();
+                            continue;
+                        }
+                        if dbytes > 0 {
+                            dll / dbytes as f64
+                        } else {
+                            f64::INFINITY
                         }
                     }
+                    StepRule::Mdl => {
+                        let dmdl = dll
+                            - mdl_penalty_per_param(data.n_rows()) * dbytes as f64 / 4.0;
+                        if dmdl <= TOL {
+                            obs::counter!("bn.search.moves.rejected").inc();
+                            continue;
+                        }
+                        dmdl
+                    }
+                };
+                if best.as_ref().is_none_or(|b| score > b.1) {
+                    best = Some((mv, score, dll, new_bytes));
                 }
             }
             match best {
@@ -384,13 +488,14 @@ impl GreedyLearner {
     }
 
     /// ΔLL and Δbytes of a move, or `None` if a touched family is illegal
-    /// (e.g. its table would blow the cell guard).
+    /// (e.g. its table would blow the cell guard). Scores through a worker
+    /// shard, so it can run from pool workers during batch scoring.
     #[allow(clippy::too_many_arguments)]
-    fn move_delta(
+    fn move_delta_in(
         &self,
         data: &Dataset,
         dag: &Dag,
-        cache: &mut Cache,
+        shard: &mut FamilyShard<'_>,
         mv: Move,
         cur_bytes: usize,
         cur: &[FamilyEval],
@@ -416,9 +521,9 @@ impl GreedyLearner {
             let (old_ll, old_bytes) = (cur[child].ll, cur[child].bytes);
             // Cap tree growth by the bytes the rest of the model leaves.
             let cap = self.family_cap(cur_bytes, old_bytes);
-            let new = self.eval_family(data, child, &new_parents, cache, cap)?;
-            dll += new.ll - old_ll;
-            dbytes += new.bytes as i64 - old_bytes as i64;
+            let (new_ll, new_bytes) = shard.score(data, child, &new_parents, cap)?;
+            dll += new_ll - old_ll;
+            dbytes += new_bytes as i64 - old_bytes as i64;
         }
         Some((dll, dbytes + 2 * edge_delta))
     }
@@ -455,45 +560,9 @@ impl GreedyLearner {
         cache: &'c mut Cache,
         param_cap: usize,
     ) -> Option<&'c FamilyEval> {
-        // Table CPDs ignore the cap (all-or-nothing families), so collapse
-        // the key to keep the cache effective.
-        let keyed_cap = match self.config.cpd_kind {
-            CpdKind::Table => usize::MAX,
-            CpdKind::Tree => param_cap,
-        };
-        let key = (child, parents_sorted.to_vec(), keyed_cap);
-        let entry = cache.entry(key).or_insert_with(|| match self.config.cpd_kind {
-            CpdKind::Table => {
-                if data.family_table_cells(child, parents_sorted)
-                    > self.config.max_family_cells
-                {
-                    return None;
-                }
-                let counts = data.family_counts(child, parents_sorted);
-                let ll = family_loglik(&counts);
-                let cpd: Cpd = TableCpd::from_counts(&counts).into();
-                let bytes = cpd.size_bytes();
-                Some(FamilyEval { ll, bytes, cpd })
-            }
-            CpdKind::Tree => {
-                let parent_cols: Vec<&[u32]> =
-                    parents_sorted.iter().map(|&p| data.col(p)).collect();
-                let parent_cards: Vec<usize> =
-                    parents_sorted.iter().map(|&p| data.card(p)).collect();
-                let opts = TreeGrowOptions {
-                    byte_budget: self.config.tree.byte_budget.min(param_cap),
-                    ..self.config.tree.clone()
-                };
-                let grown = grow_tree(
-                    data.col(child),
-                    data.card(child),
-                    &parent_cols,
-                    &parent_cards,
-                    &opts,
-                );
-                let bytes = grown.cpd.size_bytes();
-                Some(FamilyEval { ll: grown.loglik, bytes, cpd: grown.cpd.into() })
-            }
+        let key = (child, parents_sorted.to_vec(), cache_cap(&self.config, param_cap));
+        let entry = cache.entry(key).or_insert_with(|| {
+            compute_family(&self.config, data, child, parents_sorted, param_cap)
         });
         entry.as_ref()
     }
@@ -677,5 +746,37 @@ mod tests {
         let learner = GreedyLearner::new(LearnConfig::default());
         let outcome = learner.learn(&dataset());
         assert_eq!(outcome.bytes, outcome.network.size_bytes());
+    }
+
+    #[test]
+    fn search_is_deterministic_across_thread_counts() {
+        // Batch scoring re-assembles deltas in move order and the
+        // selection scan is first-wins, so the learned structure must not
+        // depend on the worker count.
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let data = dataset();
+        for rule in [StepRule::Naive, StepRule::Ssn, StepRule::Mdl] {
+            let learn = |threads: usize| {
+                par::set_threads(Some(threads));
+                let out = GreedyLearner::new(LearnConfig { rule, ..Default::default() })
+                    .learn(&data);
+                par::set_threads(None);
+                out
+            };
+            let serial = learn(1);
+            for t in [4, 8] {
+                let parallel = learn(t);
+                assert_eq!(parallel.loglik, serial.loglik, "{rule:?} threads={t}");
+                assert_eq!(parallel.bytes, serial.bytes, "{rule:?} threads={t}");
+                for v in 0..data.n_vars() {
+                    assert_eq!(
+                        parallel.network.parents(v),
+                        serial.network.parents(v),
+                        "{rule:?} threads={t} var={v}"
+                    );
+                }
+            }
+        }
     }
 }

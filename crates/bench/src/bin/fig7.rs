@@ -80,11 +80,10 @@ fn main() -> reldb::Result<()> {
         for kind in [CpdKind::Tree, CpdKind::Table] {
             let est = PrmEstimator::build(&db, &config(budget, kind))?;
             let (_, secs) = time_it(|| {
-                let mut acc = 0.0;
-                for q in &queries {
-                    acc += est.estimate(q).expect("estimate");
-                }
-                acc
+                prmsel::estimate_batch(&est, &queries)
+                    .expect("estimate")
+                    .iter()
+                    .sum::<f64>()
             });
             rows_c.push(FigRow {
                 method: format!("{kind:?}"),

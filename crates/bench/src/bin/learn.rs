@@ -1,0 +1,61 @@
+//! Learn bench — PRM construction wall-clock vs. worker-thread count.
+//!
+//! Times `learn_prm` under each step rule (Naive / SSN / MDL) at 1, 2 and
+//! N threads (N = `max(available_parallelism, 4)`), pinning the pool width
+//! with `par::set_threads` so `PRMSEL_THREADS` in the environment cannot
+//! skew the sweep. Every run is serialized with `save_model` and checked
+//! byte-identical to the 1-thread model of the same rule: the speedup
+//! must come for free, not from a different search trajectory.
+//!
+//! Run: `cargo run --release -p prmsel-bench --bin learn [-- --quick]`
+
+use prmsel::{learn_prm, PrmLearnConfig, SchemaInfo, StepRule};
+use prmsel_bench::{emit_bench_json, print_series, time_it, FigRow, HarnessOpts};
+use workloads::tb::{tb_database, tb_database_sized};
+
+fn main() -> reldb::Result<()> {
+    let opts = HarnessOpts::from_args();
+    let db =
+        if opts.quick { tb_database_sized(30, 200, 1500, 1) } else { tb_database(1) };
+    let schema = SchemaInfo::from_db(&db)?;
+
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut thread_counts = vec![1usize, 2, hw.max(4)];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let mut rows = Vec::new();
+    for rule in [StepRule::Naive, StepRule::Ssn, StepRule::Mdl] {
+        let config = PrmLearnConfig { rule, ..Default::default() };
+        let mut serial_bytes: Option<Vec<u8>> = None;
+        for &t in &thread_counts {
+            par::set_threads(Some(t));
+            let (prm, secs) = time_it(|| learn_prm(&db, &config).expect("learn"));
+            let mut bytes = Vec::new();
+            prmsel::save_model(&prm, &schema, &mut bytes)?;
+            match &serial_bytes {
+                None => serial_bytes = Some(bytes),
+                Some(base) => assert_eq!(
+                    base, &bytes,
+                    "{rule:?}: model at {t} threads differs from 1 thread"
+                ),
+            }
+            eprintln!("{rule:?} x{t}: {secs:.3}s");
+            rows.push(FigRow { method: format!("{rule:?}"), x: t as f64, y: secs });
+        }
+    }
+    par::set_threads(None);
+
+    print_series(
+        "Learn: construction time vs worker threads",
+        "threads",
+        "seconds",
+        &rows,
+    );
+    emit_bench_json(
+        &opts,
+        "learn",
+        &[("construction time vs worker threads (per step rule)".to_owned(), rows)],
+    );
+    Ok(())
+}

@@ -108,6 +108,8 @@ USAGE:
 OPTIONS (all commands):
   -v / --verbose   debug logging to stderr    -vv   trace logging
   PRMSEL_LOG=...   RUST_LOG-style directives, e.g. info,prmsel::learn=debug
+  PRMSEL_THREADS=N worker threads for learning/estimation (default: all
+                   cores; results are identical at any thread count)
 
 `stats` builds a model, runs an example workload, and dumps the metrics
 registry (JSON by default, a table with --pretty).
@@ -523,7 +525,8 @@ mod tests {
         let dir = dump_db("stats");
         let out = run(&s(&["stats", "--csv-dir", dir.to_str().unwrap()])).unwrap();
         // The acceptance quantities: search-step counts, model size,
-        // estimate-latency and QEBN-size histograms, quality errors.
+        // estimate-latency and QEBN-size histograms, quality errors,
+        // thread-pool occupancy.
         for key in [
             "prm.search.steps.accepted",
             "prm.model.bytes",
@@ -531,6 +534,8 @@ mod tests {
             "prm.qebn.nodes",
             "quality.adj_rel_err_pct",
             "reldb.exec.queries",
+            "par.pool.tasks",
+            "par.pool.threads",
         ] {
             assert!(out.contains(&format!("\"{key}\"")), "missing {key} in:\n{out}");
         }

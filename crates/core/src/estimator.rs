@@ -19,13 +19,38 @@ use crate::qebn::QueryEvalBn;
 use crate::schema::SchemaInfo;
 
 /// A selectivity estimator: maps a query to an estimated result size.
-pub trait SelectivityEstimator {
+///
+/// Estimators are immutable after construction (`estimate` takes `&self`),
+/// and `Sync` is a supertrait so any estimator — including `&dyn` trait
+/// objects — can answer independent queries from pool workers (see
+/// [`estimate_batch`] and the suite evaluators in [`crate::metrics`]).
+pub trait SelectivityEstimator: Sync {
     /// Short display name (e.g. `"PRM"`, `"SAMPLE"`).
     fn name(&self) -> &str;
     /// Storage footprint of the model, in bytes.
     fn size_bytes(&self) -> usize;
     /// Estimated result size (in tuples).
     fn estimate(&self, query: &Query) -> Result<f64>;
+}
+
+/// Estimates a batch of independent queries across the pool, returning
+/// the estimates in query order (first error wins, matching a serial
+/// loop). Queries share no state, so this is pure fan-out; the per-query
+/// metrics each estimator records remain exact under concurrency.
+pub fn estimate_batch<E: SelectivityEstimator + ?Sized>(
+    estimator: &E,
+    queries: &[Query],
+) -> Result<Vec<f64>> {
+    let chunks = par::chunks(queries.len(), |range| {
+        queries[range].iter().map(|q| estimator.estimate(q)).collect::<Vec<_>>()
+    });
+    let mut out = Vec::with_capacity(queries.len());
+    for chunk in chunks {
+        for r in chunk {
+            out.push(r?);
+        }
+    }
+    Ok(out)
 }
 
 impl<T: SelectivityEstimator + ?Sized> SelectivityEstimator for &T {

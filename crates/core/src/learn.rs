@@ -170,6 +170,9 @@ struct Snapshot {
     ll: f64,
 }
 
+type AttrCache = HashMap<(usize, usize, Vec<ParentRef>, usize), Option<AttrEval>>;
+type JiCache = HashMap<(usize, usize, Vec<JiParentRef>), JiEval>;
+
 struct Learner<'c> {
     ctx: &'c Ctx,
     config: PrmLearnConfig,
@@ -185,8 +188,60 @@ struct Learner<'c> {
     /// the byte allowance available at evaluation time (the paper's
     /// "add a split" operator at a different granularity), so the cap is
     /// part of the key.
-    attr_cache: HashMap<(usize, usize, Vec<ParentRef>, usize), Option<AttrEval>>,
-    ji_cache: HashMap<(usize, usize, Vec<JiParentRef>), JiEval>,
+    attr_cache: AttrCache,
+    ji_cache: JiCache,
+}
+
+/// A worker's view of the learner during concurrent move scoring: shared
+/// read access to the cross-step memo plus a thread-local overflow for
+/// evaluations computed this batch. The caller absorbs the locals back
+/// into the learner's memo after the parallel region, so cross-step
+/// caching keeps working. Evaluations are pure functions of
+/// `(ctx, config, key)`, so two workers computing the same key insert
+/// identical values and merge order cannot matter.
+struct EvalShard<'a> {
+    ctx: &'a Ctx,
+    config: &'a PrmLearnConfig,
+    shared_attr: &'a AttrCache,
+    shared_ji: &'a JiCache,
+    local_attr: AttrCache,
+    local_ji: JiCache,
+}
+
+impl EvalShard<'_> {
+    /// Scores an attribute family: `(ll, bytes)`, or `None` if the family
+    /// is illegal (dense table too large). Checks both cache layers
+    /// before computing, avoiding the CPD clone on the scoring path.
+    fn score_attr(
+        &mut self,
+        t: usize,
+        a: usize,
+        parents: &[ParentRef],
+        param_cap: usize,
+    ) -> Option<(f64, usize)> {
+        let key = (t, a, parents.to_vec(), param_cap);
+        if let Some(hit) =
+            self.shared_attr.get(&key).or_else(|| self.local_attr.get(&key))
+        {
+            return hit.as_ref().map(|e| (e.ll, e.bytes));
+        }
+        let result = compute_attr_eval(self.ctx, self.config, t, a, parents, param_cap);
+        let out = result.as_ref().map(|e| (e.ll, e.bytes));
+        self.local_attr.insert(key, result);
+        out
+    }
+
+    /// Scores a join-indicator family: `(ll, bytes)`.
+    fn score_ji(&mut self, t: usize, f: usize, parents: &[JiParentRef]) -> (f64, usize) {
+        let key = (t, f, parents.to_vec());
+        if let Some(hit) = self.shared_ji.get(&key).or_else(|| self.local_ji.get(&key)) {
+            return (hit.ll, hit.bytes);
+        }
+        let eval = compute_ji_eval(self.ctx, t, f, parents);
+        let out = (eval.ll, eval.bytes);
+        self.local_ji.insert(key, eval);
+        out
+    }
 }
 
 impl<'c> Learner<'c> {
@@ -233,10 +288,31 @@ impl<'c> Learner<'c> {
         const TOL: f64 = 1e-9;
         loop {
             let cur_bytes = self.total_bytes();
+            let moves = self.candidate_moves();
+            // Score the whole batch across the pool. Workers only read the
+            // learner and write thread-local cache shards; the shards are
+            // absorbed below and the deltas re-assembled in move order, so
+            // selection (and hence the learned structure) is independent
+            // of the thread count.
+            let this = &*self;
+            let scored = par::chunks(moves.len(), |range| {
+                let mut shard = this.shard();
+                let deltas: Vec<Option<(f64, i64)>> = moves[range]
+                    .iter()
+                    .map(|&mv| this.move_delta_in(&mut shard, mv, cur_bytes))
+                    .collect();
+                (deltas, shard.local_attr, shard.local_ji)
+            });
+            let mut deltas = Vec::with_capacity(moves.len());
+            for (chunk, local_attr, local_ji) in scored {
+                deltas.extend(chunk);
+                self.attr_cache.extend(local_attr);
+                self.ji_cache.extend(local_ji);
+            }
             let mut best: Option<(Move, f64)> = None;
-            for mv in self.candidate_moves() {
+            for (&mv, &delta) in moves.iter().zip(&deltas) {
                 obs::counter!("prm.search.moves.evaluated").inc();
-                let Some((dll, dbytes)) = self.move_delta(mv, cur_bytes) else {
+                let Some((dll, dbytes)) = delta else {
                     obs::counter!("prm.search.moves.illegal").inc();
                     continue;
                 };
@@ -519,7 +595,25 @@ impl<'c> Learner<'c> {
         self.config.budget_bytes.saturating_sub(cur_bytes - old_family_bytes).max(1)
     }
 
-    fn move_delta(&mut self, mv: Move, cur_bytes: usize) -> Option<(f64, i64)> {
+    /// A fresh worker view over the learner's memo.
+    fn shard(&self) -> EvalShard<'_> {
+        EvalShard {
+            ctx: self.ctx,
+            config: &self.config,
+            shared_attr: &self.attr_cache,
+            shared_ji: &self.ji_cache,
+            local_attr: HashMap::new(),
+            local_ji: HashMap::new(),
+        }
+    }
+
+    /// Scores one move through a worker shard (no learner mutation).
+    fn move_delta_in(
+        &self,
+        shard: &mut EvalShard<'_>,
+        mv: Move,
+        cur_bytes: usize,
+    ) -> Option<(f64, i64)> {
         match mv {
             Move::AttrAdd { t, a, p } | Move::AttrDel { t, a, p } => {
                 let old_key = sorted_refs(&self.attr_parents[t][a]);
@@ -530,8 +624,8 @@ impl<'c> Learner<'c> {
                 let (old_ll, old_bytes) =
                     (self.cur_attr[t][a].ll, self.cur_attr[t][a].bytes);
                 let cap = self.family_param_cap(cur_bytes, old_bytes);
-                let new = self.eval_attr(t, a, &new_key, cap)?;
-                Some((new.ll - old_ll, new.bytes as i64 - old_bytes as i64))
+                let (new_ll, new_bytes) = shard.score_attr(t, a, &new_key, cap)?;
+                Some((new_ll - old_ll, new_bytes as i64 - old_bytes as i64))
             }
             Move::JiAdd { t, f, p } | Move::JiDel { t, f, p } => {
                 let old_key = sorted_refs(&self.ji_parents[t][f]);
@@ -540,10 +634,21 @@ impl<'c> Learner<'c> {
                     _ => without_ref(&old_key, p),
                 };
                 let (old_ll, old_bytes) = (self.cur_ji[t][f].ll, self.cur_ji[t][f].bytes);
-                let new = self.eval_ji(t, f, &new_key);
-                Some((new.ll - old_ll, new.bytes as i64 - old_bytes as i64))
+                let (new_ll, new_bytes) = shard.score_ji(t, f, &new_key);
+                Some((new_ll - old_ll, new_bytes as i64 - old_bytes as i64))
             }
         }
+    }
+
+    /// Serial [`Learner::move_delta_in`]: scores through a one-off shard
+    /// and absorbs its locals into the memo.
+    fn move_delta(&mut self, mv: Move, cur_bytes: usize) -> Option<(f64, i64)> {
+        let mut shard = self.shard();
+        let out = self.move_delta_in(&mut shard, mv, cur_bytes);
+        let EvalShard { local_attr, local_ji, .. } = shard;
+        self.attr_cache.extend(local_attr);
+        self.ji_cache.extend(local_ji);
+        out
     }
 
     fn apply(&mut self, mv: Move, cur_bytes: usize) {
@@ -612,41 +717,7 @@ impl<'c> Learner<'c> {
         if let Some(hit) = self.attr_cache.get(&key) {
             return hit.clone();
         }
-        let ctx = self.ctx;
-        let table = &ctx.tables[t];
-        let child_col = &table.cols[a];
-        let child_card = table.cards[a];
-        let parent_data: Vec<(&[u32], usize)> =
-            parents.iter().map(|&p| parent_column(ctx, t, p)).collect();
-        let result = match self.config.cpd_kind {
-            CpdKind::Table => {
-                let cells: usize = parent_data
-                    .iter()
-                    .map(|&(_, c)| c)
-                    .product::<usize>()
-                    .saturating_mul(child_card);
-                if cells > self.config.max_family_cells {
-                    None
-                } else {
-                    let counts = family_counts(&parent_data, child_col, child_card);
-                    let ll = family_loglik(&counts);
-                    let cpd: Cpd = TableCpd::from_counts(&counts).into();
-                    let bytes = cpd.size_bytes();
-                    Some(AttrEval { ll, bytes, cpd })
-                }
-            }
-            CpdKind::Tree => {
-                let cols: Vec<&[u32]> = parent_data.iter().map(|&(c, _)| c).collect();
-                let cards: Vec<usize> = parent_data.iter().map(|&(_, c)| c).collect();
-                let opts = TreeGrowOptions {
-                    byte_budget: self.config.tree.byte_budget.min(param_cap),
-                    ..self.config.tree.clone()
-                };
-                let grown = grow_tree(child_col, child_card, &cols, &cards, &opts);
-                let bytes = grown.cpd.size_bytes();
-                Some(AttrEval { ll: grown.loglik, bytes, cpd: grown.cpd.into() })
-            }
-        };
+        let result = compute_attr_eval(self.ctx, &self.config, t, a, parents, param_cap);
         self.attr_cache.insert(key, result.clone());
         result
     }
@@ -656,112 +727,162 @@ impl<'c> Learner<'c> {
         if let Some(hit) = self.ji_cache.get(&key) {
             return hit.clone();
         }
-        let ctx = self.ctx;
-        let table = &ctx.tables[t];
-        let fk = &table.fks[f];
-        let target = &ctx.tables[fk.target];
-        let n_t = table.n_rows as f64;
-        let n_s = target.n_rows as f64;
-
-        // Joined columns over the child rows, in parent order.
-        let joined: Vec<&[u32]> = parents
-            .iter()
-            .map(|p| match *p {
-                JiParentRef::Child { attr } => table.cols[attr].as_slice(),
-                JiParentRef::Parent { attr } => fk.foreign_cols[attr].as_slice(),
-            })
-            .collect();
-        let cards: Vec<usize> = parents
-            .iter()
-            .map(|p| match *p {
-                JiParentRef::Child { attr } => table.cards[attr],
-                JiParentRef::Parent { attr } => target.cards[attr],
-            })
-            .collect();
-        // N_true(config): joined counts over T's rows.
-        let size: usize = cards.iter().product::<usize>().max(1);
-        let mut n_true = vec![0u64; size];
-        for row in 0..table.n_rows {
-            let mut idx = 0usize;
-            for (col, &card) in joined.iter().zip(&cards) {
-                idx = idx * card + col[row] as usize;
-            }
-            n_true[idx] += 1;
-        }
-        // Marginal counts of the child side over T, parent side over S.
-        let child_dims: Vec<usize> = parents
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| matches!(p, JiParentRef::Child { .. }))
-            .map(|(i, _)| i)
-            .collect();
-        let parent_dims: Vec<usize> = parents
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| matches!(p, JiParentRef::Parent { .. }))
-            .map(|(i, _)| i)
-            .collect();
-        let child_counts = marginal_counts(
-            &parents
-                .iter()
-                .filter_map(|p| match *p {
-                    JiParentRef::Child { attr } => {
-                        Some((table.cols[attr].as_slice(), table.cards[attr]))
-                    }
-                    JiParentRef::Parent { .. } => None,
-                })
-                .collect::<Vec<_>>(),
-            table.n_rows,
-        );
-        let parent_counts = marginal_counts(
-            &parents
-                .iter()
-                .filter_map(|p| match *p {
-                    JiParentRef::Parent { attr } => {
-                        Some((target.cols[attr].as_slice(), target.cards[attr]))
-                    }
-                    JiParentRef::Child { .. } => None,
-                })
-                .collect::<Vec<_>>(),
-            target.n_rows,
-        );
-        // Walk all configurations.
-        let mut p_true = vec![0.0f64; size];
-        let mut ll = 0.0;
-        let mut config = vec![0u32; cards.len()];
-        for (idx, &nt) in n_true.iter().enumerate() {
-            // Decode idx.
-            let mut rem = idx;
-            for k in (0..cards.len()).rev() {
-                config[k] = (rem % cards[k]) as u32;
-                rem /= cards[k];
-            }
-            let ci = linearize(&config, &child_dims, &cards);
-            let pi = linearize(&config, &parent_dims, &cards);
-            let pairs = child_counts[ci] as f64 * parent_counts[pi] as f64;
-            if pairs <= 0.0 {
-                continue;
-            }
-            let p = nt as f64 / pairs;
-            p_true[idx] = p;
-            if nt > 0 {
-                ll += nt as f64 * p.ln();
-            }
-            if pairs > nt as f64 && p < 1.0 {
-                ll += (pairs - nt as f64) * (1.0 - p).ln();
-            }
-        }
-        let _ = (n_t, n_s);
-        let eval = JiEval {
-            ll,
-            bytes: 4 * size + 2 * (1 + parents.len()),
-            parent_cards: cards,
-            p_true,
-        };
+        let eval = compute_ji_eval(self.ctx, t, f, parents);
         self.ji_cache.insert(key, eval.clone());
         eval
     }
+}
 
+/// Evaluates an attribute family from scratch: sufficient statistics,
+/// log-likelihood, CPD and byte size. A pure function of `(ctx, config)`
+/// and the family key, so it is safe to call from pool workers.
+fn compute_attr_eval(
+    ctx: &Ctx,
+    config: &PrmLearnConfig,
+    t: usize,
+    a: usize,
+    parents: &[ParentRef],
+    param_cap: usize,
+) -> Option<AttrEval> {
+    let table = &ctx.tables[t];
+    let child_col = &table.cols[a];
+    let child_card = table.cards[a];
+    let parent_data: Vec<(&[u32], usize)> =
+        parents.iter().map(|&p| parent_column(ctx, t, p)).collect();
+    match config.cpd_kind {
+        CpdKind::Table => {
+            let cells: usize = parent_data
+                .iter()
+                .map(|&(_, c)| c)
+                .product::<usize>()
+                .saturating_mul(child_card);
+            if cells > config.max_family_cells {
+                None
+            } else {
+                let counts = family_counts(&parent_data, child_col, child_card);
+                let ll = family_loglik(&counts);
+                let cpd: Cpd = TableCpd::from_counts(&counts).into();
+                let bytes = cpd.size_bytes();
+                Some(AttrEval { ll, bytes, cpd })
+            }
+        }
+        CpdKind::Tree => {
+            let cols: Vec<&[u32]> = parent_data.iter().map(|&(c, _)| c).collect();
+            let cards: Vec<usize> = parent_data.iter().map(|&(_, c)| c).collect();
+            let opts = TreeGrowOptions {
+                byte_budget: config.tree.byte_budget.min(param_cap),
+                ..config.tree.clone()
+            };
+            let grown = grow_tree(child_col, child_card, &cols, &cards, &opts);
+            let bytes = grown.cpd.size_bytes();
+            Some(AttrEval { ll: grown.loglik, bytes, cpd: grown.cpd.into() })
+        }
+    }
+}
+
+/// Evaluates a join-indicator family from scratch (the paper's Eq. 4
+/// statistics: one join group-by plus two marginal group-bys). A pure
+/// function of `ctx` and the family key, safe to call from pool workers.
+fn compute_ji_eval(ctx: &Ctx, t: usize, f: usize, parents: &[JiParentRef]) -> JiEval {
+    let table = &ctx.tables[t];
+    let fk = &table.fks[f];
+    let target = &ctx.tables[fk.target];
+    let n_t = table.n_rows as f64;
+    let n_s = target.n_rows as f64;
+
+    // Joined columns over the child rows, in parent order.
+    let joined: Vec<&[u32]> = parents
+        .iter()
+        .map(|p| match *p {
+            JiParentRef::Child { attr } => table.cols[attr].as_slice(),
+            JiParentRef::Parent { attr } => fk.foreign_cols[attr].as_slice(),
+        })
+        .collect();
+    let cards: Vec<usize> = parents
+        .iter()
+        .map(|p| match *p {
+            JiParentRef::Child { attr } => table.cards[attr],
+            JiParentRef::Parent { attr } => target.cards[attr],
+        })
+        .collect();
+    // N_true(config): joined counts over T's rows.
+    let size: usize = cards.iter().product::<usize>().max(1);
+    let mut n_true = vec![0u64; size];
+    for row in 0..table.n_rows {
+        let mut idx = 0usize;
+        for (col, &card) in joined.iter().zip(&cards) {
+            idx = idx * card + col[row] as usize;
+        }
+        n_true[idx] += 1;
+    }
+    // Marginal counts of the child side over T, parent side over S.
+    let child_dims: Vec<usize> = parents
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| matches!(p, JiParentRef::Child { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let parent_dims: Vec<usize> = parents
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| matches!(p, JiParentRef::Parent { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let child_counts = marginal_counts(
+        &parents
+            .iter()
+            .filter_map(|p| match *p {
+                JiParentRef::Child { attr } => {
+                    Some((table.cols[attr].as_slice(), table.cards[attr]))
+                }
+                JiParentRef::Parent { .. } => None,
+            })
+            .collect::<Vec<_>>(),
+        table.n_rows,
+    );
+    let parent_counts = marginal_counts(
+        &parents
+            .iter()
+            .filter_map(|p| match *p {
+                JiParentRef::Parent { attr } => {
+                    Some((target.cols[attr].as_slice(), target.cards[attr]))
+                }
+                JiParentRef::Child { .. } => None,
+            })
+            .collect::<Vec<_>>(),
+        target.n_rows,
+    );
+    // Walk all configurations.
+    let mut p_true = vec![0.0f64; size];
+    let mut ll = 0.0;
+    let mut config = vec![0u32; cards.len()];
+    for (idx, &nt) in n_true.iter().enumerate() {
+        // Decode idx.
+        let mut rem = idx;
+        for k in (0..cards.len()).rev() {
+            config[k] = (rem % cards[k]) as u32;
+            rem /= cards[k];
+        }
+        let ci = linearize(&config, &child_dims, &cards);
+        let pi = linearize(&config, &parent_dims, &cards);
+        let pairs = child_counts[ci] as f64 * parent_counts[pi] as f64;
+        if pairs <= 0.0 {
+            continue;
+        }
+        let p = nt as f64 / pairs;
+        p_true[idx] = p;
+        if nt > 0 {
+            ll += nt as f64 * p.ln();
+        }
+        if pairs > nt as f64 && p < 1.0 {
+            ll += (pairs - nt as f64) * (1.0 - p).ln();
+        }
+    }
+    let _ = (n_t, n_s);
+    JiEval { ll, bytes: 4 * size + 2 * (1 + parents.len()), parent_cards: cards, p_true }
+}
+
+impl<'c> Learner<'c> {
     fn assemble(&mut self) -> Prm {
         let mut tables = Vec::new();
         for t in 0..self.ctx.tables.len() {

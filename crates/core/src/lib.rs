@@ -80,8 +80,8 @@ pub mod qebn;
 pub mod schema;
 
 pub use estimator::{
-    AviAdapter, InferenceEngine, JoinSampleAdapter, MhistAdapter, PrmEstimator,
-    SampleAdapter, SelectivityEstimator, WaveletAdapter,
+    estimate_batch, AviAdapter, InferenceEngine, JoinSampleAdapter, MhistAdapter,
+    PrmEstimator, SampleAdapter, SelectivityEstimator, WaveletAdapter,
 };
 pub use groupby::GroupEstimate;
 pub use largedomain::{discretize_database, DiscretizedDatabase, DiscretizingEstimator};

@@ -98,22 +98,32 @@ impl SuiteEval {
 }
 
 /// Runs an estimator over a query suite, computing exact ground truth with
-/// the relational executor.
+/// the relational executor. Queries are independent, so both the truth
+/// executions and the estimates fan out across the pool; records come
+/// back in suite order.
 pub fn evaluate_suite(
     db: &Database,
     estimator: &dyn SelectivityEstimator,
     queries: &[Query],
 ) -> Result<SuiteEval> {
+    let chunks = par::chunks(queries.len(), |range| {
+        queries[range]
+            .iter()
+            .map(|q| {
+                let truth = exec::result_size(db, q)?;
+                let estimate = estimator.estimate(q)?;
+                record_quality(truth, estimate);
+                Ok(QueryEval {
+                    truth,
+                    estimate,
+                    error: adjusted_relative_error(truth, estimate),
+                })
+            })
+            .collect::<Result<Vec<_>>>()
+    });
     let mut per_query = Vec::with_capacity(queries.len());
-    for q in queries {
-        let truth = exec::result_size(db, q)?;
-        let estimate = estimator.estimate(q)?;
-        record_quality(truth, estimate);
-        per_query.push(QueryEval {
-            truth,
-            estimate,
-            error: adjusted_relative_error(truth, estimate),
-        });
+    for chunk in chunks {
+        per_query.extend(chunk?);
     }
     Ok(SuiteEval { per_query })
 }
@@ -124,62 +134,46 @@ pub fn ground_truth(db: &Database, queries: &[Query]) -> Result<Vec<u64>> {
     queries.iter().map(|q| exec::result_size(db, q)).collect()
 }
 
-/// Parallel variant of [`evaluate_with_truth`]: splits the suite across
-/// `threads` OS threads. Useful for the large figure sweeps; estimators
-/// are immutable after construction, so sharing them is free.
+/// [`evaluate_with_truth`] with an explicit worker count (overriding the
+/// ambient `PRMSEL_THREADS` resolution). Useful for harnesses that sweep
+/// thread counts.
 pub fn evaluate_with_truth_parallel(
-    estimator: &(dyn SelectivityEstimator + Sync),
+    estimator: &dyn SelectivityEstimator,
     queries: &[Query],
     truths: &[u64],
     threads: usize,
 ) -> Result<SuiteEval> {
     assert_eq!(queries.len(), truths.len());
-    let threads = threads.max(1).min(queries.len().max(1));
-    let chunk = queries.len().div_ceil(threads);
-    let results: Vec<Result<Vec<QueryEval>>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (qs, ts) in queries.chunks(chunk).zip(truths.chunks(chunk)) {
-            handles.push(scope.spawn(move || {
-                let mut out = Vec::with_capacity(qs.len());
-                for (q, &truth) in qs.iter().zip(ts) {
-                    let estimate = estimator.estimate(q)?;
-                    record_quality(truth, estimate);
-                    out.push(QueryEval {
-                        truth,
-                        estimate,
-                        error: adjusted_relative_error(truth, estimate),
-                    });
-                }
-                Ok(out)
-            }));
-        }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    let chunks = par::chunks_with(threads, queries.len(), |range| {
+        queries[range.clone()]
+            .iter()
+            .zip(&truths[range])
+            .map(|(q, &truth)| {
+                let estimate = estimator.estimate(q)?;
+                record_quality(truth, estimate);
+                Ok(QueryEval {
+                    truth,
+                    estimate,
+                    error: adjusted_relative_error(truth, estimate),
+                })
+            })
+            .collect::<Result<Vec<_>>>()
     });
     let mut per_query = Vec::with_capacity(queries.len());
-    for r in results {
-        per_query.extend(r?);
+    for chunk in chunks {
+        per_query.extend(chunk?);
     }
     Ok(SuiteEval { per_query })
 }
 
-/// Evaluates an estimator against precomputed ground truth.
+/// Evaluates an estimator against precomputed ground truth, fanning the
+/// independent queries out across the pool (records in suite order).
 pub fn evaluate_with_truth(
     estimator: &dyn SelectivityEstimator,
     queries: &[Query],
     truths: &[u64],
 ) -> Result<SuiteEval> {
-    assert_eq!(queries.len(), truths.len());
-    let mut per_query = Vec::with_capacity(queries.len());
-    for (q, &truth) in queries.iter().zip(truths) {
-        let estimate = estimator.estimate(q)?;
-        record_quality(truth, estimate);
-        per_query.push(QueryEval {
-            truth,
-            estimate,
-            error: adjusted_relative_error(truth, estimate),
-        });
-    }
-    Ok(SuiteEval { per_query })
+    evaluate_with_truth_parallel(estimator, queries, truths, par::threads())
 }
 
 #[cfg(test)]

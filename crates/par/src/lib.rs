@@ -1,0 +1,221 @@
+//! # prmsel-par — scoped data-parallelism for the workspace
+//!
+//! A dependency-free fork/join layer over [`std::thread::scope`]. The
+//! workspace builds offline with stand-in crates, so rayon is not an
+//! option; this crate provides the small subset the estimation stack
+//! actually needs:
+//!
+//! * [`map`] — apply a function to every element of a slice, in parallel,
+//!   returning results **in input order**;
+//! * [`chunks`] — split an index range `0..n` into one contiguous chunk
+//!   per worker and collect the per-chunk results **in chunk order**
+//!   (the building block for partitioned scans with thread-local
+//!   accumulators merged by the caller);
+//! * [`chunks_with`] — same, with an explicit worker count.
+//!
+//! ## Degree of parallelism
+//!
+//! [`threads`] resolves the worker count: a process-wide programmatic
+//! override ([`set_threads`], used by benches and determinism tests)
+//! wins over the `PRMSEL_THREADS` environment variable, which wins over
+//! [`std::thread::available_parallelism`]. With one worker every entry
+//! point runs inline on the caller's thread — no spawn, same code path,
+//! so `PRMSEL_THREADS=1` behaves exactly like the pre-parallel code.
+//!
+//! ## Determinism
+//!
+//! Work is split by *position*, never by completion order: chunk
+//! boundaries depend only on `(n, threads)` and results are joined in
+//! chunk order. Callers that fold per-chunk partials therefore see the
+//! same sequence of partials for a given thread count, and callers whose
+//! merge is order-insensitive (integer count merges, stable best-move
+//! scans) produce bit-identical output for *every* thread count.
+//!
+//! ## Telemetry
+//!
+//! Every parallel region records into the process-global [`obs`]
+//! registry: `par.pool.tasks` (counter, tasks dispatched),
+//! `par.pool.threads` (gauge, workers used by the most recent region)
+//! and `par.task.ns` (histogram, per-task wall clock).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// `0` = no override; anything else is the forced worker count.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces the worker count process-wide (`None` restores the
+/// `PRMSEL_THREADS` / `available_parallelism` resolution). Intended for
+/// benches and determinism tests; parallel regions already in flight are
+/// unaffected.
+pub fn set_threads(n: Option<usize>) {
+    OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The worker count parallel regions will use: [`set_threads`] override,
+/// else `PRMSEL_THREADS` (a positive integer), else
+/// [`std::thread::available_parallelism`].
+pub fn threads() -> usize {
+    let forced = OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    std::env::var("PRMSEL_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+}
+
+/// Splits `0..n` into `threads` contiguous chunks (sizes differing by at
+/// most one), runs `f` on each chunk across that many scoped workers, and
+/// returns the per-chunk results in chunk order. With one worker (or one
+/// element) `f` runs inline on the caller's thread. `n == 0` returns an
+/// empty vector without calling `f`.
+pub fn chunks_with<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let t = threads.max(1).min(n);
+    obs::gauge!("par.pool.threads").set(t as f64);
+    obs::counter!("par.pool.tasks").add(t as u64);
+    if t == 1 {
+        let start = Instant::now();
+        let out = f(0..n);
+        obs::histogram!("par.task.ns").record_duration(start.elapsed());
+        return vec![out];
+    }
+    // Balanced partition: the first `n % t` chunks get one extra element.
+    let base = n / t;
+    let extra = n % t;
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut lo = 0usize;
+        let handles: Vec<_> = (0..t)
+            .map(|i| {
+                let hi = lo + base + usize::from(i < extra);
+                let range = lo..hi;
+                lo = hi;
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let out = f(range);
+                    obs::histogram!("par.task.ns").record_duration(start.elapsed());
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("par worker panicked")).collect()
+    })
+}
+
+/// [`chunks_with`] at the ambient worker count ([`threads`]).
+pub fn chunks<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    chunks_with(threads(), n, f)
+}
+
+/// Applies `f` to every element of `items` across the pool and returns
+/// the results in input order.
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let parts =
+        chunks(items.len(), |range| items[range].iter().map(&f).collect::<Vec<R>>());
+    let mut out = Vec::with_capacity(items.len());
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests mutate the process-wide override; serialize them.
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_threads(Some(n));
+        let out = f();
+        set_threads(None);
+        out
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for t in [1, 3, 8] {
+            let out = with_threads(t, || map(&items, |&x| x * 2));
+            assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>(), "t={t}");
+        }
+    }
+
+    #[test]
+    fn chunks_partition_exactly_in_order() {
+        for (n, t) in [(10, 3), (7, 7), (5, 8), (1, 4), (100, 1)] {
+            let ranges = chunks_with(t, n, |r| r);
+            assert_eq!(ranges.len(), t.min(n));
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, n);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "n={n} t={t}");
+                assert!(!w[1].is_empty());
+            }
+            // Balanced: sizes differ by at most one.
+            let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "n={n} t={t} sizes={sizes:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input_never_calls_the_closure() {
+        let out = chunks_with(4, 0, |_| panic!("must not be called"));
+        assert!(out.is_empty());
+        let mapped: Vec<u32> = map(&[] as &[u32], |_| panic!("must not be called"));
+        assert!(mapped.is_empty());
+    }
+
+    #[test]
+    fn override_wins_and_resets() {
+        with_threads(3, || assert_eq!(threads(), 3));
+        // After reset, the count is whatever env/hardware dictates — just
+        // check it is sane.
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_sum_matches_serial() {
+        let data: Vec<u64> = (0..10_000).map(|i| i % 97).collect();
+        let serial: u64 = data.iter().sum();
+        for t in [2, 5, 16] {
+            let partials =
+                with_threads(t, || chunks(data.len(), |r| data[r].iter().sum::<u64>()));
+            assert_eq!(partials.iter().sum::<u64>(), serial, "t={t}");
+        }
+    }
+
+    #[test]
+    fn pool_metrics_are_recorded() {
+        with_threads(2, || {
+            let before = obs::counter!("par.pool.tasks").get();
+            let _ = chunks(8, |r| r.len());
+            assert_eq!(obs::counter!("par.pool.tasks").get(), before + 2);
+            assert_eq!(obs::registry().snapshot().gauge("par.pool.threads"), Some(2.0));
+        });
+    }
+}

@@ -173,7 +173,10 @@ pub fn column_cards(db: &Database, spec: &GroupSpec) -> Result<Vec<usize>> {
 
 /// Sparse group-by/count for wide column sets whose dense configuration
 /// space would not fit in memory: returns only the populated
-/// configurations. One linear scan, hash-aggregated.
+/// configurations. One linear scan, hash-aggregated; the row range is
+/// partitioned across the pool and the thread-local maps are merged, which
+/// yields the same map as a serial scan (u64 addition is associative and
+/// commutative).
 pub fn counts_sparse(
     db: &Database,
     spec: &GroupSpec,
@@ -182,36 +185,68 @@ pub fn counts_sparse(
     let n = db.table(&spec.base_table)?.n_rows();
     obs::counter!("reldb.groupby.scans").inc();
     obs::counter!("reldb.groupby.rows").add(n as u64);
-    let mut out: std::collections::HashMap<Vec<u32>, u64> =
-        std::collections::HashMap::new();
-    let mut config = vec![0u32; columns.len()];
-    for row in 0..n {
-        for (slot, col) in config.iter_mut().zip(&columns) {
-            *slot = col[row];
+    let locals = par::chunks(n, |rows| {
+        let mut local: std::collections::HashMap<Vec<u32>, u64> =
+            std::collections::HashMap::new();
+        let mut config = vec![0u32; columns.len()];
+        for row in rows {
+            for (slot, col) in config.iter_mut().zip(&columns) {
+                *slot = col[row];
+            }
+            // Look up before cloning so only new configurations allocate.
+            match local.get_mut(config.as_slice()) {
+                Some(c) => *c += 1,
+                None => {
+                    local.insert(config.clone(), 1);
+                }
+            }
         }
-        *out.entry(config.clone()).or_insert(0) += 1;
+        local
+    });
+    let mut locals = locals.into_iter();
+    let mut out = locals.next().unwrap_or_default();
+    for local in locals {
+        for (config, c) in local {
+            *out.entry(config).or_insert(0) += c;
+        }
     }
     Ok(out)
 }
 
-/// Runs the group-by/count: one linear scan over the base table.
+/// Runs the group-by/count: one linear scan over the base table. The row
+/// range is split into one contiguous chunk per pool worker; each worker
+/// aggregates into a thread-local dense table and the tables are summed
+/// elementwise, so the result is bit-identical to a serial scan.
 pub fn counts(db: &Database, spec: &GroupSpec) -> Result<CountTable> {
     let cards = column_cards(db, spec)?;
     let columns = materialize_codes(db, spec)?;
     let size: usize = cards.iter().product::<usize>().max(1);
-    let mut table = CountTable { cards, counts: vec![0u64; size] };
     let n = db.table(&spec.base_table)?.n_rows();
     obs::counter!("reldb.groupby.scans").inc();
     obs::counter!("reldb.groupby.rows").add(n as u64);
-    let mut config = vec![0u32; columns.len()];
-    for row in 0..n {
-        for (slot, col) in config.iter_mut().zip(&columns) {
-            *slot = col[row];
+    let cards_ref = &cards;
+    let locals = par::chunks(n, |rows| {
+        let mut local = vec![0u64; size];
+        let mut config = vec![0u32; columns.len()];
+        for row in rows {
+            for (slot, col) in config.iter_mut().zip(&columns) {
+                *slot = col[row];
+            }
+            let mut idx = 0usize;
+            for (&c, &card) in config.iter().zip(cards_ref) {
+                idx = idx * card + c as usize;
+            }
+            local[idx] += 1;
         }
-        let idx = table.index_of(&config);
-        table.counts[idx] += 1;
+        local
+    });
+    let mut counts = vec![0u64; size];
+    for local in locals {
+        for (dst, src) in counts.iter_mut().zip(local) {
+            *dst += src;
+        }
     }
-    Ok(table)
+    Ok(CountTable { cards, counts })
 }
 
 #[cfg(test)]
@@ -319,6 +354,74 @@ mod tests {
             assert_eq!(sparse.get(&config), Some(&n), "config {config:?}");
         }
         assert_eq!(sparse.len(), dense.nonzero().count());
+    }
+
+    /// A database large enough that every thread count actually splits the
+    /// scan: 60 patients, 600 contacts with skewed codes.
+    fn big_db() -> Database {
+        let ages = ["young", "mid", "old"];
+        let types = ["home", "work", "school", "bus"];
+        let mut p = TableBuilder::new("patient").key("id").col("age");
+        for id in 0..60i64 {
+            p.push_row(vec![Cell::Key(id), ages[(id * id % 3) as usize].into()]).unwrap();
+        }
+        let mut c =
+            TableBuilder::new("contact").key("id").fk("patient", "patient").col("type");
+        for id in 0..600i64 {
+            c.push_row(vec![
+                Cell::Key(id),
+                Cell::Key(id * 7 % 60),
+                types[(id % 4) as usize].into(),
+            ])
+            .unwrap();
+        }
+        DatabaseBuilder::new()
+            .add_table(p.finish().unwrap())
+            .add_table(c.finish().unwrap())
+            .finish()
+            .unwrap()
+    }
+
+    /// Serializes tests that flip the process-wide thread override.
+    fn thread_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn parallel_counts_are_bit_identical_to_serial() {
+        let _guard = thread_lock();
+        let db = big_db();
+        let spec = GroupSpec {
+            base_table: "contact".into(),
+            cols: vec![ResolvedCol::local("type"), ResolvedCol::via("patient", "age")],
+        };
+        par::set_threads(Some(1));
+        let serial = counts(&db, &spec).unwrap();
+        for t in [2, 3, 8, 64] {
+            par::set_threads(Some(t));
+            assert_eq!(counts(&db, &spec).unwrap(), serial, "threads={t}");
+        }
+        par::set_threads(None);
+        assert_eq!(serial.total(), 600);
+    }
+
+    #[test]
+    fn parallel_sparse_counts_are_identical_to_serial() {
+        let _guard = thread_lock();
+        let db = big_db();
+        let spec = GroupSpec {
+            base_table: "contact".into(),
+            cols: vec![ResolvedCol::local("type"), ResolvedCol::via("patient", "age")],
+        };
+        par::set_threads(Some(1));
+        let serial = counts_sparse(&db, &spec).unwrap();
+        for t in [2, 5, 16] {
+            par::set_threads(Some(t));
+            assert_eq!(counts_sparse(&db, &spec).unwrap(), serial, "threads={t}");
+        }
+        par::set_threads(None);
+        assert_eq!(serial.values().sum::<u64>(), 600);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Parallel execution must be invisible: group-by statistics and learned
+//! models are bit-identical at every worker count.
+//!
+//! `par::set_threads` mutates process-global state, so every test holds a
+//! shared lock while it pins the pool width.
+
+use std::sync::Mutex;
+
+use prmsel::{learn_prm, save_model, PrmLearnConfig, SchemaInfo, StepRule};
+use reldb::stats::{self, GroupSpec, ResolvedCol};
+use workloads::tb::tb_database_sized;
+
+static THREADS: Mutex<()> = Mutex::new(());
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let _guard = THREADS.lock().unwrap_or_else(|e| e.into_inner());
+    par::set_threads(Some(n));
+    let out = f();
+    par::set_threads(None);
+    out
+}
+
+fn contact_spec() -> GroupSpec {
+    GroupSpec {
+        base_table: "contact".to_owned(),
+        cols: vec![
+            ResolvedCol::local("contype"),
+            ResolvedCol::local("infected"),
+            ResolvedCol::via("patient", "usborn"),
+            ResolvedCol::via("patient", "hiv"),
+        ],
+    }
+}
+
+#[test]
+fn dense_counts_match_serial_at_any_thread_count() {
+    let db = tb_database_sized(40, 250, 2000, 7);
+    let spec = contact_spec();
+    let serial = with_threads(1, || stats::counts(&db, &spec).unwrap());
+    for t in [2, 3, 8, 64] {
+        let parallel = with_threads(t, || stats::counts(&db, &spec).unwrap());
+        assert_eq!(serial, parallel, "dense counts diverged at {t} threads");
+    }
+}
+
+#[test]
+fn sparse_counts_match_serial_at_any_thread_count() {
+    let db = tb_database_sized(40, 250, 2000, 7);
+    let spec = contact_spec();
+    let serial = with_threads(1, || stats::counts_sparse(&db, &spec).unwrap());
+    for t in [2, 5, 16] {
+        let parallel = with_threads(t, || stats::counts_sparse(&db, &spec).unwrap());
+        assert_eq!(serial, parallel, "sparse counts diverged at {t} threads");
+    }
+}
+
+#[test]
+fn learned_models_are_byte_identical_across_thread_counts() {
+    let db = tb_database_sized(25, 150, 1000, 3);
+    let schema = SchemaInfo::from_db(&db).unwrap();
+    for rule in [StepRule::Naive, StepRule::Ssn, StepRule::Mdl] {
+        let config = PrmLearnConfig { rule, ..Default::default() };
+        let learn_bytes = |t: usize| {
+            with_threads(t, || {
+                let prm = learn_prm(&db, &config).unwrap();
+                let mut bytes = Vec::new();
+                save_model(&prm, &schema, &mut bytes).unwrap();
+                bytes
+            })
+        };
+        let serial = learn_bytes(1);
+        for t in [4, 8] {
+            assert_eq!(
+                serial,
+                learn_bytes(t),
+                "{rule:?}: model at {t} threads differs from 1 thread"
+            );
+        }
+    }
+}

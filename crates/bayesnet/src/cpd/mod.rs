@@ -74,50 +74,43 @@ impl Cpd {
         }
     }
 
+    /// Materializes the CPD as a factor over *slot-local* variable ids
+    /// `0..=parents.len()`: axis `i` is parent slot `i`, the last axis is
+    /// the child. The data layout is exactly the concatenation of `dist`
+    /// rows in parent-config row-major order, so materialization is one
+    /// sequential pass (one tree walk per parent configuration for tree
+    /// CPDs). This is the canonical shape the per-model factor cache
+    /// stores; [`Factor::relabeled`] instantiates it over the variable ids
+    /// of a concrete query-evaluation network.
+    pub fn to_local_factor(&self) -> Factor {
+        let pcards = self.parent_cards();
+        let ccard = self.child_card();
+        let rows: usize = pcards.iter().product::<usize>().max(1);
+        let mut data = Vec::with_capacity(rows * ccard);
+        let mut config = vec![0u32; pcards.len()];
+        for _ in 0..rows {
+            data.extend_from_slice(self.dist(&config));
+            for k in (0..pcards.len()).rev() {
+                config[k] += 1;
+                if (config[k] as usize) < pcards[k] {
+                    break;
+                }
+                config[k] = 0;
+            }
+        }
+        let vars: Vec<usize> = (0..=pcards.len()).collect();
+        let mut cards = pcards.to_vec();
+        cards.push(ccard);
+        Factor::new(vars, cards, data)
+    }
+
     /// Expands the CPD into a factor `P(child | parents)` over the given
     /// variable ids (`parent_vars` aligned with the CPD's parent slots).
     pub fn to_factor(&self, child_var: usize, parent_vars: &[usize]) -> Factor {
         assert_eq!(parent_vars.len(), self.parent_cards().len());
-        let mut scope: Vec<(usize, usize)> = parent_vars
-            .iter()
-            .copied()
-            .zip(self.parent_cards().iter().copied())
-            .collect();
-        scope.push((child_var, self.child_card()));
-        let mut sorted = scope.clone();
-        sorted.sort_by_key(|&(v, _)| v);
-        let vars: Vec<usize> = sorted.iter().map(|&(v, _)| v).collect();
-        assert!(
-            vars.windows(2).all(|w| w[0] < w[1]),
-            "child and parent variable ids must be distinct"
-        );
-        let cards: Vec<usize> = sorted.iter().map(|&(_, c)| c).collect();
-        let len: usize = cards.iter().product::<usize>().max(1);
-        // Position of each sorted-scope variable within (parents..., child).
-        let slot_of: Vec<usize> = sorted
-            .iter()
-            .map(|&(v, _)| {
-                scope.iter().position(|&(sv, _)| sv == v).expect("var in scope")
-            })
-            .collect();
-        let mut data = vec![0.0; len];
-        let mut assign = vec![0u32; vars.len()];
-        let mut local = vec![0u32; scope.len()]; // (parents..., child)
-        for (idx, slot) in data.iter_mut().enumerate() {
-            // Decode idx (row-major over sorted scope).
-            let mut rem = idx;
-            for k in (0..vars.len()).rev() {
-                assign[k] = (rem % cards[k]) as u32;
-                rem /= cards[k];
-            }
-            for (k, &a) in assign.iter().enumerate() {
-                local[slot_of[k]] = a;
-            }
-            let (child_code, parent_config) =
-                (local[scope.len() - 1], &local[..scope.len() - 1]);
-            *slot = self.dist(parent_config)[child_code as usize];
-        }
-        Factor::new(vars, cards, data)
+        let mut ids = parent_vars.to_vec();
+        ids.push(child_var);
+        self.to_local_factor().relabeled(&ids)
     }
 }
 
@@ -153,6 +146,21 @@ mod tests {
         assert!((f.value_at(&[1, 0, 0]) - 0.2).abs() < 1e-12);
         // (x0=0, x2=1, x5=1) → parent config (1,0) → 0.7.
         assert!((f.value_at(&[0, 1, 1]) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_factor_lays_out_dist_rows_in_slot_order() {
+        let cpd: Cpd =
+            TableCpd::new(2, vec![2, 2], vec![0.1, 0.9, 0.2, 0.8, 0.3, 0.7, 0.4, 0.6])
+                .into();
+        let f = cpd.to_local_factor();
+        assert_eq!(f.vars(), &[0, 1, 2]);
+        assert_eq!(f.cards(), &[2, 2, 2]);
+        // Entries are the dist rows verbatim, parent configs row-major.
+        assert_eq!(f.data(), &[0.1, 0.9, 0.2, 0.8, 0.3, 0.7, 0.4, 0.6]);
+        // And to_factor is the relabeled local factor.
+        let g = cpd.to_factor(2, &[0, 1]);
+        assert_eq!(g.data(), f.data());
     }
 
     #[test]

@@ -84,42 +84,44 @@ impl Factor {
     }
 
     /// Pointwise product ψ = φ₁ · φ₂ over the union of scopes.
+    ///
+    /// The innermost (last, stride-1 in the result) variable is handled by
+    /// a tight strided loop instead of the per-entry odometer, so the
+    /// odometer only steps once per `len / card(last)` entries.
     pub fn product(&self, other: &Factor) -> Factor {
-        // Union of scopes.
-        let mut vars = Vec::with_capacity(self.vars.len() + other.vars.len());
-        let mut cards = Vec::new();
-        let (mut i, mut j) = (0, 0);
-        while i < self.vars.len() || j < other.vars.len() {
-            let take_self = j >= other.vars.len()
-                || (i < self.vars.len() && self.vars[i] <= other.vars[j]);
-            if take_self {
-                if j < other.vars.len() && self.vars[i] == other.vars[j] {
-                    debug_assert_eq!(
-                        self.cards[i], other.cards[j],
-                        "cardinality mismatch"
-                    );
-                    j += 1;
-                }
-                vars.push(self.vars[i]);
-                cards.push(self.cards[i]);
-                i += 1;
-            } else {
-                vars.push(other.vars[j]);
-                cards.push(other.cards[j]);
-                j += 1;
-            }
-        }
+        let (vars, cards) = union_scope(self, other);
         // Strides of each result variable within each operand (0 if absent).
         let stride_a = strides_in(&self.vars, &self.cards, &vars);
         let stride_b = strides_in(&other.vars, &other.cards, &vars);
         let len: usize = cards.iter().product::<usize>().max(1);
         let mut data = vec![0.0; len];
-        let mut assign = vec![0usize; vars.len()];
+        if vars.is_empty() {
+            data[0] = self.data[0] * other.data[0];
+            return Factor { vars, cards, data };
+        }
+        let outer = vars.len() - 1;
+        let inner = cards[outer];
+        let (sa, sb) = (stride_a[outer], stride_b[outer]);
+        let mut assign = vec![0usize; outer];
         let (mut ia, mut ib) = (0usize, 0usize);
-        for slot in data.iter_mut() {
-            *slot = self.data[ia] * other.data[ib];
-            // Odometer increment from the least-significant (last) variable.
-            for k in (0..vars.len()).rev() {
+        for block in data.chunks_exact_mut(inner) {
+            if sa == 1 && sb == 1 {
+                // Both operands contiguous over the innermost variable.
+                let a = &self.data[ia..ia + inner];
+                let b = &other.data[ib..ib + inner];
+                for (slot, (&x, &y)) in block.iter_mut().zip(a.iter().zip(b)) {
+                    *slot = x * y;
+                }
+            } else {
+                let (mut oa, mut ob) = (ia, ib);
+                for slot in block.iter_mut() {
+                    *slot = self.data[oa] * other.data[ob];
+                    oa += sa;
+                    ob += sb;
+                }
+            }
+            // Odometer over the outer variables only.
+            for k in (0..outer).rev() {
                 assign[k] += 1;
                 ia += stride_a[k];
                 ib += stride_b[k];
@@ -129,6 +131,112 @@ impl Factor {
                 assign[k] = 0;
                 ia -= stride_a[k] * cards[k];
                 ib -= stride_b[k] * cards[k];
+            }
+        }
+        Factor { vars, cards, data }
+    }
+
+    /// Fused `φ₁ · φ₂` followed by summing out `var`: computes
+    /// `ψ(U∖var) = Σ_var φ₁ · φ₂` without materializing the product.
+    ///
+    /// Bit-identical to `self.product(other).sum_out(var)`: every product
+    /// term is the same multiplication, and each output cell accumulates
+    /// its terms in ascending `var` order — exactly the addition sequence
+    /// of the unfused pair.
+    pub fn product_sum_out(&self, other: &Factor, var: usize) -> Factor {
+        let (uvars, ucards) = union_scope(self, other);
+        let Some(pos) = uvars.iter().position(|&v| v == var) else {
+            // `var` absent from both scopes: sum_out would be the identity.
+            return self.product(other);
+        };
+        let stride_a = strides_in(&self.vars, &self.cards, &uvars);
+        let stride_b = strides_in(&other.vars, &other.cards, &uvars);
+        let card_v = ucards[pos];
+        let (sav, sbv) = (stride_a[pos], stride_b[pos]);
+        let mut vars = uvars;
+        let mut cards = ucards;
+        vars.remove(pos);
+        cards.remove(pos);
+        let mut rstride_a = stride_a;
+        let mut rstride_b = stride_b;
+        rstride_a.remove(pos);
+        rstride_b.remove(pos);
+        let len: usize = cards.iter().product::<usize>().max(1);
+        let mut data = vec![0.0; len];
+        let mut assign = vec![0usize; vars.len()];
+        let (mut ia, mut ib) = (0usize, 0usize);
+        for slot in data.iter_mut() {
+            let mut acc = 0.0;
+            let (mut oa, mut ob) = (ia, ib);
+            for _ in 0..card_v {
+                acc += self.data[oa] * other.data[ob];
+                oa += sav;
+                ob += sbv;
+            }
+            *slot = acc;
+            for k in (0..vars.len()).rev() {
+                assign[k] += 1;
+                ia += rstride_a[k];
+                ib += rstride_b[k];
+                if assign[k] < cards[k] {
+                    break;
+                }
+                assign[k] = 0;
+                ia -= rstride_a[k] * cards[k];
+                ib -= rstride_b[k] * cards[k];
+            }
+        }
+        Factor { vars, cards, data }
+    }
+
+    /// Renames axis `i` to `new_vars[i]` and reorders axes so the scope is
+    /// strictly increasing again. A pure data permutation: entries are
+    /// copied bit-for-bit, no arithmetic.
+    ///
+    /// This is how a canonical (slot-ordered) cached factor is instantiated
+    /// over the variable ids of a concrete query-evaluation network.
+    pub fn relabeled(&self, new_vars: &[usize]) -> Factor {
+        assert_eq!(new_vars.len(), self.vars.len(), "relabel arity mismatch");
+        let mut order: Vec<usize> = (0..new_vars.len()).collect();
+        order.sort_by_key(|&i| new_vars[i]);
+        let vars: Vec<usize> = order.iter().map(|&i| new_vars[i]).collect();
+        assert!(
+            vars.windows(2).all(|w| w[0] < w[1]),
+            "relabeled variable ids must be distinct"
+        );
+        let cards: Vec<usize> = order.iter().map(|&i| self.cards[i]).collect();
+        if order.iter().enumerate().all(|(k, &i)| k == i) {
+            return Factor { vars, cards, data: self.data.clone() };
+        }
+        // Row-major strides of each source axis, then reordered to follow
+        // the output's axis order.
+        let mut src_stride = vec![0usize; self.vars.len()];
+        let mut s = 1usize;
+        for i in (0..self.vars.len()).rev() {
+            src_stride[i] = s;
+            s *= self.cards[i];
+        }
+        let stride: Vec<usize> = order.iter().map(|&i| src_stride[i]).collect();
+        let mut data = vec![0.0; self.data.len()];
+        let outer = vars.len() - 1;
+        let inner = cards[outer];
+        let sl = stride[outer];
+        let mut assign = vec![0usize; outer];
+        let mut src = 0usize;
+        for block in data.chunks_exact_mut(inner) {
+            let mut o = src;
+            for slot in block.iter_mut() {
+                *slot = self.data[o];
+                o += sl;
+            }
+            for k in (0..outer).rev() {
+                assign[k] += 1;
+                src += stride[k];
+                if assign[k] < cards[k] {
+                    break;
+                }
+                assign[k] = 0;
+                src -= stride[k] * cards[k];
             }
         }
         Factor { vars, cards, data }
@@ -220,6 +328,30 @@ impl Factor {
             }
         }
     }
+}
+
+/// Merged scope of two factors: sorted union of vars with their cards.
+fn union_scope(a: &Factor, b: &Factor) -> (Vec<usize>, Vec<usize>) {
+    let mut vars = Vec::with_capacity(a.vars.len() + b.vars.len());
+    let mut cards = Vec::with_capacity(a.vars.len() + b.vars.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.vars.len() || j < b.vars.len() {
+        let take_a = j >= b.vars.len() || (i < a.vars.len() && a.vars[i] <= b.vars[j]);
+        if take_a {
+            if j < b.vars.len() && a.vars[i] == b.vars[j] {
+                debug_assert_eq!(a.cards[i], b.cards[j], "cardinality mismatch");
+                j += 1;
+            }
+            vars.push(a.vars[i]);
+            cards.push(a.cards[i]);
+            i += 1;
+        } else {
+            vars.push(b.vars[j]);
+            cards.push(b.cards[j]);
+            j += 1;
+        }
+    }
+    (vars, cards)
 }
 
 /// For each variable in `result_vars`, its row-major stride within a factor
@@ -355,6 +487,95 @@ mod tests {
         f.normalize();
         assert!(close(f.value_at(&[0]), 0.25));
         assert!(close(f.total(), 1.0));
+    }
+
+    /// A deterministic pseudo-random factor (values in (0, 1]).
+    fn pseudo_factor(vars: Vec<usize>, cards: Vec<usize>, seed: u64) -> Factor {
+        let len = cards.iter().product::<usize>().max(1);
+        let mut state = seed | 1;
+        let data = (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64).max(1e-3)
+            })
+            .collect();
+        Factor::new(vars, cards, data)
+    }
+
+    #[test]
+    fn product_sum_out_is_bit_identical_to_unfused_pair() {
+        for seed in 1..6u64 {
+            let a = pseudo_factor(vec![0, 2, 3], vec![2, 3, 4], seed);
+            let b = pseudo_factor(vec![1, 2], vec![5, 3], seed.wrapping_mul(31));
+            for var in [0, 1, 2, 3, 9] {
+                let fused = a.product_sum_out(&b, var);
+                let unfused = a.product(&b).sum_out(var);
+                assert_eq!(fused.vars(), unfused.vars(), "var={var}");
+                for (x, y) in fused.data().iter().zip(unfused.data()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "var={var}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn product_sum_out_of_scalars() {
+        let f = Factor::scalar(0.5).product_sum_out(&Factor::scalar(4.0), 0);
+        assert!(close(f.scalar_value(), 2.0));
+        let g = Factor::new(vec![3], vec![2], vec![0.25, 0.75]);
+        let s = Factor::scalar(2.0).product_sum_out(&g, 3);
+        assert!(close(s.scalar_value(), 2.0));
+    }
+
+    #[test]
+    fn relabeled_identity_keeps_layout() {
+        let f = pseudo_factor(vec![0, 1, 2], vec![2, 3, 2], 7);
+        let r = f.relabeled(&[4, 6, 9]);
+        assert_eq!(r.vars(), &[4, 6, 9]);
+        assert_eq!(r.cards(), f.cards());
+        assert_eq!(r.data(), f.data());
+    }
+
+    #[test]
+    fn relabeled_permutes_axes() {
+        // f over axes (A=0 card 2, B=1 card 3); relabel A→5, B→2 swaps axes.
+        let f = Factor::new(vec![0, 1], vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let r = f.relabeled(&[5, 2]);
+        assert_eq!(r.vars(), &[2, 5]);
+        assert_eq!(r.cards(), &[3, 2]);
+        for a in 0..2u32 {
+            for b in 0..3u32 {
+                assert!(close(r.value_at(&[b, a]), f.value_at(&[a, b])));
+            }
+        }
+    }
+
+    #[test]
+    fn relabeled_three_axis_rotation_matches_value_lookup() {
+        let f = pseudo_factor(vec![0, 1, 2], vec![2, 3, 4], 11);
+        // 0→7, 1→3, 2→5: output order is (1, 2, 0).
+        let r = f.relabeled(&[7, 3, 5]);
+        assert_eq!(r.vars(), &[3, 5, 7]);
+        assert_eq!(r.cards(), &[3, 4, 2]);
+        for a in 0..2u32 {
+            for b in 0..3u32 {
+                for c in 0..4u32 {
+                    assert_eq!(
+                        r.value_at(&[b, c, a]).to_bits(),
+                        f.value_at(&[a, b, c]).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn relabeled_rejects_duplicate_ids() {
+        let f = Factor::new(vec![0, 1], vec![2, 2], vec![1.0; 4]);
+        f.relabeled(&[3, 3]);
     }
 
     #[test]

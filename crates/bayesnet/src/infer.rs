@@ -10,6 +10,7 @@
 //! their ancestors matter; every other CPD sums to one), then variables
 //! are eliminated greedily by the min-weight heuristic.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 use crate::factor::Factor;
@@ -90,10 +91,24 @@ pub fn probability_of_evidence(bn: &BayesNet, evidence: &Evidence) -> f64 {
     if evidence.is_empty() {
         return 1.0;
     }
-    // Relevant set: evidence variables and all their ancestors. CPDs of
-    // barren variables integrate to 1 and can be dropped.
+    let (factors, relevant) = reduced_relevant_factors(bn, evidence, &[]);
+    let elim: Vec<usize> = (0..bn.len()).filter(|&v| relevant[v]).collect();
+    eliminate_all(factors, &elim, |v| bn.card(v))
+}
+
+/// Materializes and evidence-reduces the CPD factors of the *relevant*
+/// set: the evidence variables, every variable in `extra_roots`, and all
+/// of their ancestors. CPDs of barren variables integrate to 1 and are
+/// dropped. Returns the factors (ascending by owning variable) and the
+/// relevance mask.
+fn reduced_relevant_factors(
+    bn: &BayesNet,
+    evidence: &Evidence,
+    extra_roots: &[usize],
+) -> (Vec<Factor>, Vec<bool>) {
     let mut relevant = vec![false; bn.len()];
-    let mut stack: Vec<usize> = evidence.vars().collect();
+    let mut stack: Vec<usize> =
+        evidence.vars().chain(extra_roots.iter().copied()).collect();
     for &v in &stack {
         assert!(v < bn.len(), "evidence variable out of range");
         relevant[v] = true;
@@ -117,23 +132,29 @@ pub fn probability_of_evidence(bn: &BayesNet, evidence: &Evidence) -> f64 {
         }
         factors.push(f);
     }
-    let elim: Vec<usize> = (0..bn.len()).filter(|&v| relevant[v]).collect();
-    eliminate_all(factors, &elim, |v| bn.card(v))
+    (factors, relevant)
 }
 
-/// Posterior `P(var | evidence)` by two evidence queries per value —
-/// convenient for spot checks; use [`crate::jointree`] when many
-/// posteriors are needed under the same evidence.
+/// Posterior `P(var | evidence)` from a **single** variable elimination
+/// that leaves `var` uneliminated: one pass yields the joint
+/// `P(var = c ∧ E)` for every value `c` at once, and `P(E)` is its total.
+/// Use [`crate::jointree`] when many posteriors are needed under the same
+/// evidence.
 pub fn posterior(bn: &BayesNet, evidence: &Evidence, var: usize) -> Factor {
     let card = bn.card(var);
-    let p_e = probability_of_evidence(bn, evidence);
-    let mut data = Vec::with_capacity(card);
-    for code in 0..card as u32 {
-        let mut ev = evidence.clone();
-        ev.eq(var, code, card);
-        let joint = probability_of_evidence(bn, &ev);
-        data.push(if p_e > 0.0 { joint / p_e } else { 0.0 });
-    }
+    let (factors, relevant) = reduced_relevant_factors(bn, evidence, &[var]);
+    let elim: Vec<usize> = (0..bn.len()).filter(|&v| relevant[v] && v != var).collect();
+    let scopes: Vec<Vec<usize>> = factors.iter().map(|f| f.vars().to_vec()).collect();
+    let order = elimination_order(&scopes, &elim, |v| bn.card(v));
+    let joint = eliminate_keeping(
+        factors.into_iter().map(Cow::Owned).collect(),
+        &order,
+        var,
+        card,
+    );
+    let p_e = joint.total();
+    let data =
+        joint.data().iter().map(|&j| if p_e > 0.0 { j / p_e } else { 0.0 }).collect();
     Factor::new(vec![var], vec![card], data)
 }
 
@@ -141,48 +162,131 @@ pub fn posterior(bn: &BayesNet, evidence: &Evidence, var: usize) -> Factor {
 /// variable in `elim`, and returns the resulting scalar.
 ///
 /// Factors whose scope mentions variables outside `elim` are not supported
-/// here — the selectivity workload always eliminates everything.
+/// here — the selectivity workload always eliminates everything. This is
+/// the uncached path: it derives the [`elimination_order`] from the factor
+/// scopes, then replays it with [`eliminate_in_order`] — exactly what a
+/// compiled query plan does with its recorded order, so cached and
+/// uncached estimates are bit-identical by construction.
 pub fn eliminate_all(
-    mut factors: Vec<Factor>,
+    factors: Vec<Factor>,
     elim: &[usize],
     card_of: impl Fn(usize) -> usize,
 ) -> f64 {
+    let scopes: Vec<Vec<usize>> = factors.iter().map(|f| f.vars().to_vec()).collect();
+    let order = elimination_order(&scopes, elim, card_of);
+    eliminate_in_order(factors.into_iter().map(Cow::Owned).collect(), &order)
+}
+
+/// Derives a min-weight elimination order from factor *scopes* alone — no
+/// factor data needed, so a query-plan compiler can record the order once
+/// and replay it for every query of the same shape. (Evidence reduction
+/// masks entries but never shrinks a scope, so the order is valid for any
+/// predicate values.)
+///
+/// Scopes must be sorted ascending (the canonical [`Factor`] form). Each
+/// candidate's weight is the product of the cardinalities of the union of
+/// the scopes containing it, computed by sorted merges rather than the
+/// O(n²) `contains` scans of the naive formulation; elimination is then
+/// simulated on the scopes to keep later weights exact.
+pub fn elimination_order(
+    scopes: &[Vec<usize>],
+    elim: &[usize],
+    card_of: impl Fn(usize) -> usize,
+) -> Vec<usize> {
+    let mut scopes: Vec<Vec<usize>> = scopes.to_vec();
     let mut remaining: Vec<usize> = elim.to_vec();
+    let mut order = Vec::with_capacity(remaining.len());
+    let mut merged: Vec<usize> = Vec::new();
     while !remaining.is_empty() {
         // Min-weight heuristic: eliminate the variable whose combined
-        // factor is smallest.
+        // factor is smallest (first minimum wins on ties).
         let (best_idx, _) = remaining
             .iter()
             .enumerate()
             .map(|(i, &v)| {
-                let mut scope: Vec<usize> = Vec::new();
-                for f in factors.iter().filter(|f| f.vars().contains(&v)) {
-                    for &sv in f.vars() {
-                        if !scope.contains(&sv) {
-                            scope.push(sv);
-                        }
-                    }
+                merged.clear();
+                for s in scopes.iter().filter(|s| s.binary_search(&v).is_ok()) {
+                    merged = merge_sorted(&merged, s);
                 }
-                let weight: f64 = scope.iter().map(|&sv| card_of(sv) as f64).product();
+                let weight: f64 = merged.iter().map(|&sv| card_of(sv) as f64).product();
                 (i, weight)
             })
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("weights are finite"))
             .expect("remaining is non-empty");
         let var = remaining.swap_remove(best_idx);
+        order.push(var);
+        // Simulate the elimination on scopes: the factors touching `var`
+        // fuse into one factor over their union minus `var`.
+        let (touching, rest): (Vec<Vec<usize>>, Vec<Vec<usize>>) =
+            scopes.into_iter().partition(|s| s.binary_search(&var).is_ok());
+        scopes = rest;
+        if touching.is_empty() {
+            continue;
+        }
+        let mut fused: Vec<usize> = Vec::new();
+        for s in &touching {
+            fused = merge_sorted(&fused, s);
+        }
+        fused.retain(|&sv| sv != var);
+        scopes.push(fused);
+    }
+    order
+}
 
-        let (touching, rest): (Vec<Factor>, Vec<Factor>) =
-            factors.into_iter().partition(|f| f.vars().contains(&var));
+/// Union of two sorted ascending id lists.
+fn merge_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        if j >= b.len() || (i < a.len() && a[i] <= b[j]) {
+            if j < b.len() && a[i] == b[j] {
+                j += 1;
+            }
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Replays a fixed elimination order: for each variable, the factors whose
+/// scope contains it (in list order) are combined by left-fold products,
+/// with the *final* product fused with the marginalization
+/// ([`Factor::product_sum_out`]) so the largest intermediate is never
+/// materialized. Returns the product of the leftover scalars.
+///
+/// Borrowed (`Cow::Borrowed`) factors are only cloned if they survive to a
+/// product untouched — plan-cached factors that no evidence mask touched
+/// flow through without a per-query copy until they are consumed.
+pub fn eliminate_in_order(mut factors: Vec<Cow<'_, Factor>>, order: &[usize]) -> f64 {
+    for &var in order {
+        let (touching, rest): (Vec<_>, Vec<_>) =
+            factors.into_iter().partition(|f| f.vars().binary_search(&var).is_ok());
         factors = rest;
         if touching.is_empty() {
             continue;
         }
-        let combined = touching
-            .into_iter()
-            .reduce(|a, b| a.product(&b))
-            .expect("at least one factor");
-        factors.push(combined.sum_out(var));
+        let start = std::time::Instant::now();
+        let n = touching.len();
+        let mut iter = touching.into_iter();
+        let mut acc = iter.next().expect("at least one factor");
+        let summed = if n == 1 {
+            acc.sum_out(var)
+        } else {
+            // Left-fold all but the last product; fuse the last with the
+            // marginalization (bit-identical to product-then-sum_out).
+            for _ in 0..n - 2 {
+                acc = Cow::Owned(acc.product(&iter.next().expect("n - 2 more factors")));
+            }
+            acc.product_sum_out(&iter.next().expect("last factor"), var)
+        };
+        factors.push(Cow::Owned(summed));
         // One elimination ≈ one message in the clique-tree reading of VE.
         obs::counter!("bn.infer.messages").inc();
+        obs::histogram!("bn.factor.kernel.ns").record_duration(start.elapsed());
     }
     factors
         .into_iter()
@@ -191,6 +295,47 @@ pub fn eliminate_all(
             f.scalar_value()
         })
         .product()
+}
+
+/// Like [`eliminate_in_order`], but the leftover factors are multiplied
+/// into a factor over `keep` (which must not appear in `order`) instead of
+/// a scalar — the single-pass workhorse behind [`posterior`].
+fn eliminate_keeping(
+    mut factors: Vec<Cow<'_, Factor>>,
+    order: &[usize],
+    keep: usize,
+    keep_card: usize,
+) -> Factor {
+    debug_assert!(!order.contains(&keep));
+    for &var in order {
+        let (touching, rest): (Vec<_>, Vec<_>) =
+            factors.into_iter().partition(|f| f.vars().binary_search(&var).is_ok());
+        factors = rest;
+        if touching.is_empty() {
+            continue;
+        }
+        let mut iter = touching.into_iter();
+        let mut combined = iter.next().expect("at least one factor").into_owned();
+        for f in iter {
+            combined = combined.product(&f);
+        }
+        factors.push(Cow::Owned(combined.sum_out(var)));
+        obs::counter!("bn.infer.messages").inc();
+    }
+    factors
+        .into_iter()
+        .map(Cow::into_owned)
+        .reduce(|a, b| a.product(&b))
+        .map(|f| {
+            if f.is_empty() {
+                // No factor mentioned `keep`: broadcast the scalar.
+                let v = f.scalar_value();
+                Factor::new(vec![keep], vec![keep_card], vec![v; keep_card])
+            } else {
+                f
+            }
+        })
+        .unwrap_or_else(|| Factor::ones(vec![keep], vec![keep_card]))
 }
 
 #[cfg(test)]

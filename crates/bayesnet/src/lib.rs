@@ -57,7 +57,10 @@ pub mod sample;
 pub use cpd::{Cpd, CpdKind, TableCpd, TreeCpd};
 pub use factor::Factor;
 pub use graph::Dag;
-pub use infer::{probability_of_evidence, Evidence};
+pub use infer::{
+    eliminate_all, eliminate_in_order, elimination_order, probability_of_evidence,
+    Evidence,
+};
 pub use jointree::JoinTree;
 pub use learn::dataset::Dataset;
 pub use learn::search::{GreedyLearner, LearnConfig, StepRule};

@@ -1,0 +1,182 @@
+//! Estimate bench — online estimation latency, cold vs. warm plan cache.
+//!
+//! For each paper workload suite (census equality, TB select-join chain,
+//! census range), learns one PRM and measures:
+//!
+//! * **cold** per-query latency — the plan cache is cleared before every
+//!   query, so each estimate pays QEBN unrolling, factor instantiation,
+//!   and elimination-order derivation;
+//! * **warm** per-query latency — plans are primed, so each estimate is
+//!   predicate decoding + masked elimination replay;
+//! * **batch throughput** — `estimate_batch` over the whole suite at 1
+//!   and N worker threads against the shared warm cache.
+//!
+//! Every warm estimate is asserted bit-identical to the uncached
+//! `unroll + estimated_size` pipeline first — the speedup must come from
+//! caching, not from computing something else.
+//!
+//! Run: `cargo run --release -p prmsel-bench --bin estimate [-- --quick]`
+
+use prmsel::{estimate_batch, PrmEstimator, PrmLearnConfig, SelectivityEstimator};
+use prmsel_bench::{
+    cap_suite, emit_bench_json, print_series, time_it, FigRow, HarnessOpts,
+};
+use reldb::Query;
+use workloads::census::census_database;
+use workloads::suites::{join_chain_suite, single_table_range_suite, ChainStep};
+use workloads::tb::{tb_database, tb_database_sized};
+use workloads::QuerySuite;
+
+/// Mean per-query seconds for one full pass over the suite.
+fn mean_latency(est: &PrmEstimator, queries: &[Query], cold: bool) -> f64 {
+    let mut total = 0.0;
+    for q in queries {
+        if cold {
+            est.clear_plan_cache();
+        }
+        let (r, secs) = time_it(|| est.estimate(q).expect("estimate"));
+        assert!(r.is_finite());
+        total += secs;
+    }
+    total / queries.len() as f64
+}
+
+fn main() -> reldb::Result<()> {
+    let opts = HarnessOpts::from_args();
+    let cap = if opts.quick { 120 } else { 600 };
+
+    // ---- Workload suites over their learned models ------------------
+    let census = census_database(if opts.quick { 5_000 } else { 50_000 }, 1);
+    let census_est = PrmEstimator::build(&census, &PrmLearnConfig::default())?;
+    let census_eq = {
+        let s = workloads::single_table_eq_suite(&census, "census", &["age", "income"])?;
+        QuerySuite { name: "census-eq".into(), queries: cap_suite(s.queries, cap, 17) }
+    };
+    let census_range = QuerySuite {
+        name: "census-range".into(),
+        queries: single_table_range_suite(
+            &census,
+            "census",
+            &["age", "hours_per_week"],
+            cap,
+            29,
+        )?
+        .queries,
+    };
+
+    let tb =
+        if opts.quick { tb_database_sized(200, 300, 2_000, 7) } else { tb_database(7) };
+    let tb_est = PrmEstimator::build(&tb, &PrmLearnConfig::default())?;
+    let tb_join = {
+        let s = join_chain_suite(
+            &tb,
+            &[
+                ChainStep {
+                    table: "contact",
+                    fk_to_next: Some("patient"),
+                    select_attrs: &["contype"],
+                },
+                ChainStep {
+                    table: "patient",
+                    fk_to_next: Some("strain"),
+                    select_attrs: &["age"],
+                },
+                ChainStep {
+                    table: "strain",
+                    fk_to_next: None,
+                    select_attrs: &["unique"],
+                },
+            ],
+        )?;
+        QuerySuite { name: "tb-join".into(), queries: cap_suite(s.queries, cap, 23) }
+    };
+
+    let cases: [(&PrmEstimator, &QuerySuite); 3] =
+        [(&census_est, &census_eq), (&census_est, &census_range), (&tb_est, &tb_join)];
+
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = {
+        let mut t = vec![1usize, hw.max(4)];
+        t.dedup();
+        t
+    };
+
+    let mut latency_rows = Vec::new();
+    let mut speedup_rows = Vec::new();
+    let mut throughput_rows = Vec::new();
+    for (est, suite) in cases {
+        let n = suite.queries.len();
+        // Determinism gate: warm plan-cached estimates must be
+        // bit-identical to the uncached pipeline.
+        est.clear_plan_cache();
+        for q in &suite.queries {
+            let cached = est.estimate(q)?;
+            let uncached = est.unroll(q)?.estimated_size(est.prm());
+            assert_eq!(
+                cached.to_bits(),
+                uncached.to_bits(),
+                "{}: plan-cached {cached} != uncached {uncached}",
+                suite.name
+            );
+        }
+
+        let cold = mean_latency(est, &suite.queries, true);
+        est.clear_plan_cache();
+        mean_latency(est, &suite.queries, false); // prime every template
+        let warm = mean_latency(est, &suite.queries, false);
+        let speedup = cold / warm;
+        eprintln!(
+            "{}: {n} queries, cold {:.1}us, warm {:.1}us, speedup {speedup:.1}x",
+            suite.name,
+            cold * 1e6,
+            warm * 1e6,
+        );
+        latency_rows.push(FigRow {
+            method: format!("{}/cold", suite.name),
+            x: n as f64,
+            y: cold * 1e6,
+        });
+        latency_rows.push(FigRow {
+            method: format!("{}/warm", suite.name),
+            x: n as f64,
+            y: warm * 1e6,
+        });
+        speedup_rows.push(FigRow { method: suite.name.clone(), x: n as f64, y: speedup });
+
+        for &t in &threads {
+            par::set_threads(Some(t));
+            let (res, secs) = time_it(|| estimate_batch(est, &suite.queries));
+            res?;
+            throughput_rows.push(FigRow {
+                method: suite.name.clone(),
+                x: t as f64,
+                y: n as f64 / secs,
+            });
+        }
+        par::set_threads(None);
+    }
+
+    print_series(
+        "Estimate: per-query latency, cold vs warm plan cache",
+        "queries",
+        "us/query",
+        &latency_rows,
+    );
+    print_series("Estimate: warm-over-cold speedup", "queries", "x", &speedup_rows);
+    print_series(
+        "Estimate: warm batch throughput vs threads",
+        "threads",
+        "queries/s",
+        &throughput_rows,
+    );
+    emit_bench_json(
+        &opts,
+        "estimate",
+        &[
+            ("per-query latency cold vs warm (us)".to_owned(), latency_rows),
+            ("warm-over-cold speedup (x)".to_owned(), speedup_rows),
+            ("warm batch throughput vs threads (queries/s)".to_owned(), throughput_rows),
+        ],
+    );
+    Ok(())
+}

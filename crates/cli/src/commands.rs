@@ -531,6 +531,9 @@ mod tests {
             "prm.search.steps.accepted",
             "prm.model.bytes",
             "prm.estimate.ns",
+            "prm.plan.miss",
+            "prm.plan.compile.ns",
+            "prm.factor.materialize",
             "prm.qebn.nodes",
             "quality.adj_rel_err_pct",
             "reldb.exec.queries",

@@ -14,6 +14,7 @@ use baselines::{
 use reldb::{Database, Domain, Error, Pred, Query, Result};
 
 use crate::learn::{learn_prm, PrmLearnConfig};
+use crate::plan::{FactorCache, PlanCache, PlanKey, QueryPlan};
 use crate::prm::Prm;
 use crate::qebn::QueryEvalBn;
 use crate::schema::SchemaInfo;
@@ -122,12 +123,19 @@ pub enum InferenceEngine {
 }
 
 /// The paper's estimator: a PRM queried through query-evaluation BNs.
+///
+/// The exact-inference path is compile-once, estimate-many: CPD factors
+/// are materialized once per model ([`FactorCache`]) and query templates
+/// are compiled once into replayable plans ([`PlanCache`]) — see
+/// [`crate::plan`]. Cached and uncached estimates are bit-identical.
 #[derive(Debug)]
 pub struct PrmEstimator {
     name: String,
     prm: Prm,
     schema: SchemaInfo,
     engine: InferenceEngine,
+    factors: FactorCache,
+    plans: PlanCache,
 }
 
 impl PrmEstimator {
@@ -139,11 +147,14 @@ impl PrmEstimator {
         } else {
             "BN+UJ"
         };
+        let prm = learn_prm(db, config)?;
         let est = PrmEstimator {
             name: name.to_owned(),
-            prm: learn_prm(db, config)?,
+            factors: FactorCache::new(&prm),
+            prm,
             schema: SchemaInfo::from_db(db)?,
             engine: InferenceEngine::Exact,
+            plans: PlanCache::with_default_capacity(),
         };
         obs::gauge!("prm.model.bytes").set(est.prm.size_bytes() as f64);
         obs::info!(
@@ -159,21 +170,62 @@ impl PrmEstimator {
     pub fn from_prm(prm: Prm, db: &Database, name: impl Into<String>) -> Result<Self> {
         Ok(PrmEstimator {
             name: name.into(),
+            factors: FactorCache::new(&prm),
             prm,
             schema: SchemaInfo::from_db(db)?,
             engine: InferenceEngine::Exact,
+            plans: PlanCache::with_default_capacity(),
         })
     }
 
     /// Assembles an estimator from persisted artifacts (see
     /// [`crate::persist`]) — no database access needed at estimation time.
     pub fn from_parts(prm: Prm, schema: SchemaInfo, name: impl Into<String>) -> Self {
-        PrmEstimator { name: name.into(), prm, schema, engine: InferenceEngine::Exact }
+        PrmEstimator {
+            name: name.into(),
+            factors: FactorCache::new(&prm),
+            prm,
+            schema,
+            engine: InferenceEngine::Exact,
+            plans: PlanCache::with_default_capacity(),
+        }
     }
 
     /// Selects the inference engine used for `P(E)`.
     pub fn set_engine(&mut self, engine: InferenceEngine) {
         self.engine = engine;
+    }
+
+    /// Replaces the model (and schema snapshot) in place, invalidating
+    /// the factor and plan caches — the reload path for maintenance
+    /// (paper §6): a refreshed model must never answer from stale plans.
+    pub fn replace_model(&mut self, prm: Prm, schema: SchemaInfo) {
+        self.factors = FactorCache::new(&prm);
+        self.prm = prm;
+        self.schema = schema;
+        self.plans.clear();
+        obs::gauge!("prm.model.bytes").set(self.prm.size_bytes() as f64);
+    }
+
+    /// Caps the number of resident compiled plans (`0` disables plan
+    /// caching; every estimate then compiles and discards its plan).
+    pub fn set_plan_cache_capacity(&self, capacity: usize) {
+        self.plans.set_capacity(capacity);
+    }
+
+    /// Drops every compiled plan (cold-cache starting point for benches).
+    pub fn clear_plan_cache(&self) {
+        self.plans.clear();
+    }
+
+    /// Number of resident compiled plans.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether `query`'s template already has a resident plan.
+    pub fn has_cached_plan(&self, query: &Query) -> bool {
+        self.plans.contains(&PlanKey::of(query))
     }
 
     /// The underlying model.
@@ -242,11 +294,17 @@ impl SelectivityEstimator for PrmEstimator {
 
     fn estimate(&self, query: &Query) -> Result<f64> {
         let start = std::time::Instant::now();
-        let qebn = QueryEvalBn::build(&self.prm, &self.schema, query)?;
-        obs::histogram!("prm.qebn.nodes").record(qebn.bn.len() as u64);
         let est = match self.engine {
-            InferenceEngine::Exact => qebn.estimated_size(&self.prm),
+            InferenceEngine::Exact => {
+                let plan = self.plans.get_or_compile(PlanKey::of(query), || {
+                    QueryPlan::compile(&self.prm, &self.schema, &self.factors, query)
+                })?;
+                obs::histogram!("prm.qebn.nodes").record(plan.n_nodes() as u64);
+                plan.estimate(&self.schema, query)?
+            }
             InferenceEngine::LikelihoodWeighting { samples, seed } => {
+                let qebn = QueryEvalBn::build(&self.prm, &self.schema, query)?;
+                obs::histogram!("prm.qebn.nodes").record(qebn.bn.len() as u64);
                 qebn.estimated_size_approx(&self.prm, samples, seed)
             }
         };

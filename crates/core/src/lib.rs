@@ -56,6 +56,7 @@
 //! | [`prm`] | §3.2 | the PRM model type: attribute CPDs, join indicators |
 //! | [`learn`] | §4 | greedy budgeted structure search (SSN / MDL / naive) |
 //! | [`qebn`] | §3.3 | upward closure + query-evaluation BN + inference |
+//! | [`plan`] | §3.3–3.5 | compile-once online path: factor cache, plan cache |
 //! | [`estimator`] | §5 | one trait over PRM, BN+UJ, AVI, MHIST, SAMPLE |
 //! | [`metrics`] | §5 | adjusted relative error, suite evaluation |
 //! | [`largedomain`] | §2.3 | discretization of wide ordinal domains |
@@ -74,6 +75,7 @@ pub mod maintain;
 pub mod metrics;
 pub mod nonkey;
 pub mod persist;
+pub mod plan;
 pub mod planner;
 pub mod prm;
 pub mod qebn;
@@ -90,9 +92,10 @@ pub use maintain::{model_loglik, refresh_parameters};
 pub use metrics::{adjusted_relative_error, evaluate_suite, SuiteEval};
 pub use nonkey::JoinSide;
 pub use persist::{load_model, save_model};
+pub use plan::{FactorCache, PlanCache, PlanKey, QueryPlan};
 pub use planner::{best_plan, enumerate_plans, Plan};
 pub use prm::{JiParentRef, ParentRef, Prm};
-pub use qebn::QueryEvalBn;
+pub use qebn::{NodeSource, QueryEvalBn};
 pub use schema::SchemaInfo;
 
 // Re-export the knobs callers tune.

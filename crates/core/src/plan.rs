@@ -1,0 +1,383 @@
+//! Compile-once, estimate-many: the online query-plan layer.
+//!
+//! The paper's operating model is one offline-learned PRM answering a
+//! heavy stream of online queries (§2.3, §3.3–3.5). A planner issues the
+//! same query *templates* over and over with different constants, so the
+//! per-query work should be predicate decoding, factor masking, and an
+//! elimination replay — not re-unrolling the QEBN, re-materializing CPDs,
+//! and re-deriving an elimination order. This module splits the online
+//! path accordingly:
+//!
+//! * [`FactorCache`] — each table/tree CPD of the model is materialized
+//!   into its canonical dense factor **once**, lazily, behind an
+//!   `Arc`-shared [`std::sync::OnceLock`] slot, so concurrent
+//!   `estimate_batch` workers share the result;
+//! * [`QueryPlan`] — for one query template, the unrolled network
+//!   structure, the evidence-independent factors (with the fixed
+//!   `J = true` join evidence already folded in), and the full
+//!   elimination order;
+//! * [`PlanCache`] — a bounded LRU of compiled plans keyed by
+//!   [`PlanKey`], hung off [`crate::PrmEstimator`].
+//!
+//! ## Determinism
+//!
+//! Plan-cached estimates are **bit-identical** to the uncached
+//! [`QueryEvalBn::build`] + `estimated_size` path (see DESIGN.md §6c):
+//! factor entries are copied CPD parameters (no arithmetic, so the
+//! construction route cannot change them); evidence reduction zeroes
+//! entries without touching scopes, so pre-reducing the fixed join
+//! evidence at compile time commutes bitwise with the per-query predicate
+//! reduction; the recorded elimination order is the same deterministic
+//! function of the (reduction-invariant) scopes the fallback path
+//! derives; and the replay kernel preserves the floating-point operation
+//! order of the unfused pipeline. The proptest suite in
+//! `crates/core/tests/plan_proptests.rs` asserts the equality with
+//! `f64::to_bits`.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use bayesnet::{eliminate_in_order, elimination_order, Evidence, Factor};
+use reldb::{Query, Result};
+
+use crate::prm::Prm;
+use crate::qebn::{pred_codes, NodeSource, QueryEvalBn};
+use crate::schema::SchemaInfo;
+
+/// Lazily materialized canonical CPD factors, one slot per CPD of the
+/// model (value attributes and join indicators). Tree CPDs pay their
+/// per-parent-configuration tree walk once per model instead of once per
+/// query; table CPDs pay one copy.
+#[derive(Debug)]
+pub struct FactorCache {
+    /// `[table][attr]` slots.
+    attrs: Vec<Vec<OnceLock<Arc<Factor>>>>,
+    /// `[table][fk]` slots.
+    jis: Vec<Vec<OnceLock<Arc<Factor>>>>,
+}
+
+impl FactorCache {
+    /// Empty cache shaped like `prm` (nothing is materialized yet).
+    pub fn new(prm: &Prm) -> Self {
+        FactorCache {
+            attrs: prm
+                .tables
+                .iter()
+                .map(|t| t.attrs.iter().map(|_| OnceLock::new()).collect())
+                .collect(),
+            jis: prm
+                .tables
+                .iter()
+                .map(|t| t.join_indicators.iter().map(|_| OnceLock::new()).collect())
+                .collect(),
+        }
+    }
+
+    /// The canonical slot-local factor (see [`bayesnet::Cpd`]'s
+    /// `to_local_factor`) for `source`, materialized on first use and
+    /// shared afterwards. `prm` must be the model this cache was shaped
+    /// from.
+    pub fn local(&self, prm: &Prm, source: NodeSource) -> Arc<Factor> {
+        let slot = match source {
+            NodeSource::Attr { table, attr } => &self.attrs[table][attr],
+            NodeSource::Ji { table, fk } => &self.jis[table][fk],
+        };
+        slot.get_or_init(|| {
+            obs::counter!("prm.factor.materialize").inc();
+            Arc::new(match source {
+                NodeSource::Attr { table, attr } => {
+                    prm.tables[table].attrs[attr].cpd.to_local_factor()
+                }
+                NodeSource::Ji { table, fk } => {
+                    prm.tables[table].join_indicators[fk].to_cpd().to_local_factor()
+                }
+            })
+        })
+        .clone()
+    }
+
+    /// How many CPD factors have been materialized so far.
+    pub fn materialized(&self) -> usize {
+        self.attrs
+            .iter()
+            .chain(self.jis.iter())
+            .flatten()
+            .filter(|slot| slot.get().is_some())
+            .count()
+    }
+}
+
+/// The *template* of a query: its tuple variables, join skeleton, and
+/// predicate slots, with the predicate constants abstracted away. Two
+/// queries with the same key unroll to the same QEBN structure and share
+/// one compiled plan.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    vars: Vec<String>,
+    /// `(child var, fk attr, parent var)` per keyjoin.
+    joins: Vec<(usize, String, usize)>,
+    /// `(var, attr)` per predicate, in predicate order.
+    preds: Vec<(usize, String)>,
+}
+
+impl PlanKey {
+    /// The template key of `query`.
+    pub fn of(query: &Query) -> PlanKey {
+        PlanKey {
+            vars: query.vars.clone(),
+            joins: query
+                .joins
+                .iter()
+                .map(|j| (j.child, j.fk_attr.clone(), j.parent))
+                .collect(),
+            preds: query.preds.iter().map(|p| (p.var(), p.attr().to_owned())).collect(),
+        }
+    }
+}
+
+/// One predicate slot of a compiled plan, aligned with the template's
+/// predicate list.
+#[derive(Debug, Clone, Copy)]
+struct PredSlot {
+    /// QEBN node the predicate masks.
+    node: usize,
+    /// Cardinality of that node.
+    card: usize,
+    /// PRM table index whose domain decodes the predicate constants.
+    table: usize,
+}
+
+/// A compiled query template: everything about estimation that does not
+/// depend on the predicate constants.
+#[derive(Debug)]
+pub struct QueryPlan {
+    /// Evidence-independent factors in node order: cached canonical
+    /// factors relabeled to the QEBN's ids, with the fixed `J = true`
+    /// join evidence pre-reduced (zeroing commutes bitwise with the
+    /// per-query predicate reduction).
+    factors: Vec<Factor>,
+    /// Recorded min-weight elimination order over all nodes.
+    order: Vec<usize>,
+    /// Per-predicate decode/mask instructions.
+    pred_slots: Vec<PredSlot>,
+    /// `|T_v|` per closure tuple variable, in closure order; replayed as
+    /// the same sequential multiply as the uncached scale step.
+    row_factors: Vec<f64>,
+}
+
+impl QueryPlan {
+    /// Compiles the plan for `query`'s template: unrolls the QEBN once,
+    /// instantiates its factors from the cache, folds in the join
+    /// evidence, and records the elimination order.
+    pub fn compile(
+        prm: &Prm,
+        schema: &SchemaInfo,
+        cache: &FactorCache,
+        query: &Query,
+    ) -> Result<QueryPlan> {
+        let qebn = QueryEvalBn::build(prm, schema, query)?;
+        let n = qebn.bn.len();
+        let mut factors = Vec::with_capacity(n);
+        for v in 0..n {
+            let local = cache.local(prm, qebn.node_sources[v]);
+            let mut ids = qebn.bn.parents(v).to_vec();
+            ids.push(v);
+            let mut f = local.relabeled(&ids);
+            for sv in f.vars().to_vec() {
+                if qebn.ji_nodes.binary_search(&sv).is_ok() {
+                    f = f.reduce(sv, &[false, true]);
+                }
+            }
+            factors.push(f);
+        }
+        let scopes: Vec<Vec<usize>> = factors.iter().map(|f| f.vars().to_vec()).collect();
+        // Every materialized node is evidence or an ancestor of evidence
+        // (the builder only unrolls queried attributes and their
+        // ancestors), so the eliminated set is all of them — exactly the
+        // relevance prune of the uncached path.
+        let elim: Vec<usize> = (0..n).collect();
+        let order = elimination_order(&scopes, &elim, |v| qebn.bn.card(v));
+        let pred_slots = query
+            .preds
+            .iter()
+            .zip(&qebn.pred_nodes)
+            .map(|(pred, &node)| PredSlot {
+                node,
+                card: qebn.bn.card(node),
+                table: qebn.closure_tables[pred.var()],
+            })
+            .collect();
+        let row_factors =
+            qebn.closure_tables.iter().map(|&t| prm.tables[t].n_rows as f64).collect();
+        Ok(QueryPlan { factors, order, pred_slots, row_factors })
+    }
+
+    /// Executes the plan for one concrete query of its template: decode
+    /// predicates to masks, reduce the touched factors (untouched ones
+    /// are borrowed, not copied), replay the elimination order, scale by
+    /// the table sizes.
+    pub fn estimate(&self, schema: &SchemaInfo, query: &Query) -> Result<f64> {
+        debug_assert_eq!(query.preds.len(), self.pred_slots.len(), "template mismatch");
+        let mut evidence = Evidence::new();
+        for (slot, pred) in self.pred_slots.iter().zip(&query.preds) {
+            let codes = pred_codes(schema, slot.table, pred)?;
+            evidence.isin(slot.node, &codes, slot.card);
+        }
+        let mut work: Vec<Cow<'_, Factor>> = Vec::with_capacity(self.factors.len());
+        for f in &self.factors {
+            let mut cur = Cow::Borrowed(f);
+            for sv in f.vars().to_vec() {
+                if let Some(mask) = evidence.mask_of(sv) {
+                    cur = Cow::Owned(cur.reduce(sv, mask));
+                }
+            }
+            work.push(cur);
+        }
+        let p = eliminate_in_order(work, &self.order);
+        let mut size = p;
+        for &rows in &self.row_factors {
+            size *= rows;
+        }
+        Ok(size)
+    }
+
+    /// Number of nodes in the unrolled network this plan replays.
+    pub fn n_nodes(&self) -> usize {
+        self.factors.len()
+    }
+}
+
+/// Bounded LRU cache of compiled plans, keyed by query template.
+///
+/// Concurrency: lookups and inserts take a short mutex; compilation runs
+/// *outside* the lock, so workers compiling different templates do not
+/// serialize. Two workers racing on the same template may both compile
+/// it — the plans are bit-identical (see the module docs), the first
+/// insert wins, and the loser's copy is used once and dropped.
+#[derive(Debug)]
+pub struct PlanCache {
+    inner: Mutex<PlanCacheInner>,
+}
+
+#[derive(Debug)]
+struct PlanCacheInner {
+    capacity: usize,
+    /// Monotonic access clock; larger = more recently used.
+    tick: u64,
+    plans: HashMap<PlanKey, (Arc<QueryPlan>, u64)>,
+}
+
+/// Default plan-cache capacity when `PRMSEL_PLAN_CACHE` is unset.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans; `0` disables caching
+    /// (every call compiles, nothing is stored).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(PlanCacheInner {
+                capacity,
+                tick: 0,
+                plans: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Capacity from the `PRMSEL_PLAN_CACHE` environment variable, else
+    /// [`DEFAULT_PLAN_CACHE_CAPACITY`].
+    pub fn with_default_capacity() -> Self {
+        let capacity = std::env::var("PRMSEL_PLAN_CACHE")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_PLAN_CACHE_CAPACITY);
+        PlanCache::new(capacity)
+    }
+
+    /// The cached plan for `key`, or the result of `compile`, recorded
+    /// under the key. Hits, misses, evictions, and compile latency are
+    /// reported as `prm.plan.hit` / `prm.plan.miss` / `prm.plan.evict` /
+    /// `prm.plan.compile.ns`.
+    pub fn get_or_compile(
+        &self,
+        key: PlanKey,
+        compile: impl FnOnce() -> Result<QueryPlan>,
+    ) -> Result<Arc<QueryPlan>> {
+        {
+            let mut inner = self.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.plans.get_mut(&key) {
+                entry.1 = tick;
+                obs::counter!("prm.plan.hit").inc();
+                return Ok(entry.0.clone());
+            }
+        }
+        obs::counter!("prm.plan.miss").inc();
+        let start = std::time::Instant::now();
+        let plan = Arc::new(compile()?);
+        obs::histogram!("prm.plan.compile.ns").record_duration(start.elapsed());
+        let mut inner = self.lock();
+        if inner.capacity == 0 {
+            return Ok(plan);
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        let resident =
+            inner.plans.entry(key).or_insert_with(|| (plan.clone(), tick)).0.clone();
+        // Evict the stalest entries down to capacity. A linear scan is
+        // fine: capacity is small and this only runs on insertion.
+        while inner.plans.len() > inner.capacity {
+            let oldest = inner
+                .plans
+                .iter()
+                .min_by_key(|(_, &(_, t))| t)
+                .map(|(k, _)| k.clone())
+                .expect("cache is non-empty");
+            inner.plans.remove(&oldest);
+            obs::counter!("prm.plan.evict").inc();
+        }
+        Ok(resident)
+    }
+
+    /// Number of resident plans.
+    pub fn len(&self) -> usize {
+        self.lock().plans.len()
+    }
+
+    /// True when no plan is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether a plan for `key` is resident (does not touch recency).
+    pub fn contains(&self, key: &PlanKey) -> bool {
+        self.lock().plans.contains_key(key)
+    }
+
+    /// Drops every resident plan (used on model replacement).
+    pub fn clear(&self) {
+        self.lock().plans.clear();
+    }
+
+    /// Changes the capacity, evicting stalest plans if over the new
+    /// bound. Capacity `0` clears the cache and disables it.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut inner = self.lock();
+        inner.capacity = capacity;
+        while inner.plans.len() > capacity {
+            let oldest = inner
+                .plans
+                .iter()
+                .min_by_key(|(_, &(_, t))| t)
+                .map(|(k, _)| k.clone())
+                .expect("cache is non-empty");
+            inner.plans.remove(&oldest);
+            obs::counter!("prm.plan.evict").inc();
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlanCacheInner> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}

@@ -36,6 +36,26 @@ enum NodeKey {
     Ji(usize, usize),
 }
 
+/// Where a QEBN node's CPD lives in the PRM — the coordinate the
+/// per-model factor cache ([`crate::plan::FactorCache`]) is indexed by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeSource {
+    /// The attribute CPD `tables[table].attrs[attr]`.
+    Attr {
+        /// Table index into the PRM.
+        table: usize,
+        /// Value-attribute index within the table model.
+        attr: usize,
+    },
+    /// The join-indicator CPD `tables[table].join_indicators[fk]`.
+    Ji {
+        /// Table index (FK side) into the PRM.
+        table: usize,
+        /// Foreign-key index within the table model.
+        fk: usize,
+    },
+}
+
 /// The unrolled network plus the evidence encoding the query.
 #[derive(Debug)]
 pub struct QueryEvalBn {
@@ -47,6 +67,14 @@ pub struct QueryEvalBn {
     /// Table index (into the PRM's tables) of each tuple variable in the
     /// closure `Q⁺`, including variables introduced by the closure.
     pub closure_tables: Vec<usize>,
+    /// Where each node's CPD lives in the PRM, by node id.
+    pub node_sources: Vec<NodeSource>,
+    /// Node id per query predicate, aligned with `query.preds` (repeats
+    /// when several predicates constrain the same attribute).
+    pub pred_nodes: Vec<usize>,
+    /// Join-indicator node ids (evidence fixes them to `J = true`),
+    /// ascending.
+    pub ji_nodes: Vec<usize>,
 }
 
 impl QueryEvalBn {
@@ -235,47 +263,82 @@ impl<'a> Builder<'a> {
 
         // Evidence: selection masks + all join indicators true.
         let mut evidence = Evidence::new();
+        let mut pred_nodes = Vec::with_capacity(self.query.preds.len());
         for pred in &self.query.preds {
             let t = self.var_tables[pred.var()];
             let a = self.schema.attr_index(t, pred.attr())?;
             let id = self.node_ids[&NodeKey::Attr(pred.var(), a)];
             let card = self.prm.tables[t].attrs[a].card;
-            let codes = self.pred_codes(t, pred)?;
+            let codes = pred_codes(self.schema, t, pred)?;
             evidence.isin(id, &codes, card);
+            pred_nodes.push(id);
         }
         for (&(v, f), _) in self.join_var.iter() {
             if let Some(&id) = self.node_ids.get(&NodeKey::Ji(v, f)) {
                 evidence.eq(id, 1, 2);
             }
         }
-        Ok(QueryEvalBn { bn, evidence, closure_tables: self.var_tables })
-    }
-
-    fn pred_codes(&self, table: usize, pred: &Pred) -> Result<Vec<u32>> {
-        let domain = self.schema.domain(table, pred.attr())?;
-        Ok(match pred {
-            Pred::Eq { value, .. } => domain.code(value).into_iter().collect(),
-            Pred::In { values, .. } => {
-                let mut codes: Vec<u32> =
-                    values.iter().filter_map(|v| domain.code(v)).collect();
-                codes.sort_unstable();
-                codes.dedup();
-                codes
-            }
-            Pred::Range { lo, hi, .. } => domain.codes_in_range(*lo, *hi),
+        let node_sources = self
+            .node_order
+            .iter()
+            .map(|&key| match key {
+                NodeKey::Attr(v, a) => {
+                    NodeSource::Attr { table: self.var_tables[v], attr: a }
+                }
+                NodeKey::Ji(v, f) => NodeSource::Ji { table: self.var_tables[v], fk: f },
+            })
+            .collect();
+        // Node ids are indices into `node_order`, so this is ascending.
+        let ji_nodes = self
+            .node_order
+            .iter()
+            .enumerate()
+            .filter(|(_, key)| matches!(key, NodeKey::Ji(..)))
+            .map(|(id, _)| id)
+            .collect();
+        Ok(QueryEvalBn {
+            bn,
+            evidence,
+            closure_tables: self.var_tables,
+            node_sources,
+            pred_nodes,
+            ji_nodes,
         })
     }
 }
 
+/// Resolves a predicate to the allowed dictionary codes of `table.attr`'s
+/// domain (an empty vector means unsatisfiable against this database).
+/// Shared by the one-shot builder above and the plan replay path, which
+/// must decode predicate values identically.
+pub(crate) fn pred_codes(
+    schema: &SchemaInfo,
+    table: usize,
+    pred: &Pred,
+) -> Result<Vec<u32>> {
+    let domain = schema.domain(table, pred.attr())?;
+    Ok(match pred {
+        Pred::Eq { value, .. } => domain.code(value).into_iter().collect(),
+        Pred::In { values, .. } => {
+            let mut codes: Vec<u32> =
+                values.iter().filter_map(|v| domain.code(v)).collect();
+            codes.sort_unstable();
+            codes.dedup();
+            codes
+        }
+        Pred::Range { lo, hi, .. } => domain.codes_in_range(*lo, *hi),
+    })
+}
+
 impl SchemaInfo {
-    fn table_index(&self, name: &str) -> Result<usize> {
+    pub(crate) fn table_index(&self, name: &str) -> Result<usize> {
         self.tables
             .iter()
             .position(|t| t.name == name)
             .ok_or_else(|| Error::UnknownTable(name.to_owned()))
     }
 
-    fn attr_index(&self, table: usize, attr: &str) -> Result<usize> {
+    pub(crate) fn attr_index(&self, table: usize, attr: &str) -> Result<usize> {
         self.tables[table].attrs.iter().position(|a| a == attr).ok_or_else(|| {
             Error::UnknownAttr {
                 table: self.tables[table].name.clone(),
@@ -298,7 +361,7 @@ impl SchemaInfo {
         self.tables[table].fks[fk].target
     }
 
-    fn domain(&self, table: usize, attr: &str) -> Result<&reldb::Domain> {
+    pub(crate) fn domain(&self, table: usize, attr: &str) -> Result<&reldb::Domain> {
         let a = self.attr_index(table, attr)?;
         Ok(&self.tables[table].domains[a])
     }

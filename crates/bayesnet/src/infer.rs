@@ -269,6 +269,10 @@ pub fn eliminate_in_order(mut factors: Vec<Cow<'_, Factor>>, order: &[usize]) ->
         if touching.is_empty() {
             continue;
         }
+        // Flight-recorder gate: one relaxed atomic load when recording is
+        // off; the step record (scope copy) is only built when a live
+        // trace wants it.
+        let flight_t0 = obs::flight::active().then(obs::flight::now_ns);
         let start = std::time::Instant::now();
         let n = touching.len();
         let mut iter = touching.into_iter();
@@ -283,10 +287,21 @@ pub fn eliminate_in_order(mut factors: Vec<Cow<'_, Factor>>, order: &[usize]) ->
             }
             acc.product_sum_out(&iter.next().expect("last factor"), var)
         };
+        let elapsed = start.elapsed();
+        if let Some(t0) = flight_t0 {
+            obs::flight::elim_step(
+                var,
+                n,
+                summed.vars(),
+                summed.len() as u64,
+                t0,
+                elapsed.as_nanos().min(u64::MAX as u128) as u64,
+            );
+        }
         factors.push(Cow::Owned(summed));
         // One elimination ≈ one message in the clique-tree reading of VE.
         obs::counter!("bn.infer.messages").inc();
-        obs::histogram!("bn.factor.kernel.ns").record_duration(start.elapsed());
+        obs::histogram!("bn.factor.kernel.ns").record_duration(elapsed);
     }
     factors
         .into_iter()

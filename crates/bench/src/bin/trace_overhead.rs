@@ -1,0 +1,137 @@
+//! Flight-recorder overhead gate — proves the recorder is free when off.
+//!
+//! The recorder's disabled hooks each cost one relaxed atomic load, so
+//! the warm estimation path must not slow down measurably when tracing
+//! is off. An A/B build without the hooks isn't possible inside one
+//! binary, so the gate is computed from first principles:
+//!
+//! 1. measure the warm per-query latency with recording off;
+//! 2. record one trace to count how many hook sites a warm estimate
+//!    actually crosses (phases + elimination steps + predicate masks +
+//!    begin/finish/plan-cache);
+//! 3. microbench the disabled hook itself in a tight loop;
+//! 4. assert `hooks_per_query x ns_per_disabled_hook` is under 2% of
+//!    the warm latency.
+//!
+//! The recording-ON slowdown is also reported (informational — that
+//! path allocates and is expected to cost a few percent).
+//!
+//! Run: `cargo run --release -p prmsel-bench --bin trace_overhead [-- --quick]`
+
+use std::hint::black_box;
+
+use obs::flight;
+use prmsel::{PrmEstimator, PrmLearnConfig, SelectivityEstimator};
+use prmsel_bench::{cap_suite, emit_bench_json, FigRow, HarnessOpts};
+use reldb::Query;
+use workloads::census::census_database;
+
+/// Maximum tolerated recorder-off overhead on the warm path.
+const MAX_OFF_OVERHEAD: f64 = 0.02;
+
+/// Mean warm per-query latency in ns over `passes` full sweeps.
+fn warm_latency_ns(est: &PrmEstimator, queries: &[Query], passes: usize) -> f64 {
+    let start = std::time::Instant::now();
+    for _ in 0..passes {
+        for q in queries {
+            black_box(est.estimate(q).expect("estimate"));
+        }
+    }
+    start.elapsed().as_nanos() as f64 / (passes * queries.len()) as f64
+}
+
+/// Cost of one disabled hook: a representative mix (gate check, phase
+/// guard open+drop, mask/step hooks) averaged over a tight loop.
+fn disabled_hook_ns(iters: u64) -> f64 {
+    assert!(!flight::on(), "hooks must be measured disabled");
+    let start = std::time::Instant::now();
+    for i in 0..iters {
+        // One of each hook kind the warm path crosses.
+        black_box(flight::active());
+        let g = flight::phase("bench");
+        drop(black_box(g));
+        flight::plan_cache(black_box(i % 2 == 0));
+        flight::pred_mask(black_box(i as usize), 1, 2);
+    }
+    // 4 hook crossings per iteration.
+    start.elapsed().as_nanos() as f64 / (iters * 4) as f64
+}
+
+fn main() -> reldb::Result<()> {
+    let opts = HarnessOpts::from_args();
+    let rows = if opts.quick { 5_000 } else { 50_000 };
+    let passes = if opts.quick { 20 } else { 50 };
+
+    let db = census_database(rows, 1);
+    let est = PrmEstimator::build(&db, &PrmLearnConfig::default())?;
+    let suite = workloads::single_table_eq_suite(&db, "census", &["age", "income"])?;
+    let queries = cap_suite(suite.queries, 64, 17);
+
+    // Prime the plan cache, then measure the steady state.
+    for q in &queries {
+        est.estimate(q)?;
+    }
+    warm_latency_ns(&est, &queries, 2); // warm-up sweep, discarded
+    let off_ns = warm_latency_ns(&est, &queries, passes);
+
+    // Count the hook sites one warm estimate crosses.
+    flight::set_recording(true);
+    est.estimate(&queries[0])?;
+    let trace = flight::ring().find(flight::last_finished_id()).expect("trace recorded");
+    flight::set_recording(false);
+    assert_eq!(trace.plan_hit, Some(true), "hook count must come from a warm query");
+    // begin + finish + plan-cache outcome, plus one crossing per phase,
+    // elimination step, and predicate mask.
+    let hooks_per_query =
+        (3 + trace.phases.len() + trace.elim_steps.len() + trace.pred_masks.len()) as f64;
+
+    let hook_ns = disabled_hook_ns(2_000_000);
+    let projected_overhead = hooks_per_query * hook_ns / off_ns;
+
+    // Informational: the recording-ON slowdown on the same suite.
+    flight::set_recording(true);
+    let on_ns = warm_latency_ns(&est, &queries, passes);
+    flight::set_recording(false);
+
+    println!("warm estimate (recording off):   {:>10.0} ns/query", off_ns);
+    println!("warm estimate (recording on):    {:>10.0} ns/query", on_ns);
+    println!("hook sites per warm query:       {:>10.0}", hooks_per_query);
+    println!("disabled hook cost:              {:>12.1} ns", hook_ns);
+    println!(
+        "projected recorder-off overhead: {:>11.3}% (limit {:.1}%)",
+        projected_overhead * 100.0,
+        MAX_OFF_OVERHEAD * 100.0
+    );
+    println!(
+        "recording-on slowdown:           {:>11.1}% (informational)",
+        (on_ns / off_ns - 1.0) * 100.0
+    );
+
+    emit_bench_json(
+        &opts,
+        "trace_overhead",
+        &[(
+            "flight recorder overhead (census warm path)".to_owned(),
+            vec![
+                FigRow { method: "off_ns_per_query".into(), x: 0.0, y: off_ns },
+                FigRow { method: "on_ns_per_query".into(), x: 0.0, y: on_ns },
+                FigRow { method: "hooks_per_query".into(), x: 0.0, y: hooks_per_query },
+                FigRow { method: "hook_ns".into(), x: 0.0, y: hook_ns },
+                FigRow {
+                    method: "projected_off_overhead_pct".into(),
+                    x: 0.0,
+                    y: projected_overhead * 100.0,
+                },
+            ],
+        )],
+    );
+
+    assert!(
+        projected_overhead < MAX_OFF_OVERHEAD,
+        "recorder-off overhead {:.3}% exceeds the {:.1}% budget",
+        projected_overhead * 100.0,
+        MAX_OFF_OVERHEAD * 100.0
+    );
+    println!("OK: recorder-off overhead within budget");
+    Ok(())
+}

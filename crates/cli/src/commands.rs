@@ -54,6 +54,7 @@ pub fn run(args: &[String]) -> CliResult<String> {
         Some("evaluate") => evaluate(&args[1..]),
         Some("describe") => describe(&args[1..]),
         Some("stats") => stats(&args[1..]),
+        Some("gen") => gen(&args[1..]),
         Some("--help") | Some("-h") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError(format!("unknown command `{other}`\n{USAGE}"))),
     }
@@ -99,20 +100,34 @@ USAGE:
   prmsel build    --csv-dir DIR --out FILE [--budget BYTES] [--cpd tree|table]
   prmsel estimate --model FILE 'SELECT COUNT(*) FROM ... WHERE ...'
   prmsel plan     --model FILE 'SELECT COUNT(*) FROM ... WHERE ...'
-  prmsel explain  --model FILE 'SELECT COUNT(*) FROM ... WHERE ...'
+  prmsel explain  --model FILE [--truth N | --csv-dir DIR]
+                  [--trace-json FILE] 'SELECT COUNT(*) FROM ... WHERE ...'
   prmsel inspect  --csv-dir DIR
   prmsel evaluate --model FILE --csv-dir DIR 'SELECT COUNT(*) ...'
   prmsel describe --model FILE
-  prmsel stats    --csv-dir DIR [--budget BYTES] [--pretty]
+  prmsel stats    --csv-dir DIR [--budget BYTES] [--pretty] [--traces]
+                  [--trace-json FILE]
+  prmsel gen      --csv-dir DIR [--workload census|tb|fin] [--rows N] [--seed S]
 
 OPTIONS (all commands):
   -v / --verbose   debug logging to stderr    -vv   trace logging
   PRMSEL_LOG=...   RUST_LOG-style directives, e.g. info,prmsel::learn=debug
   PRMSEL_THREADS=N worker threads for learning/estimation (default: all
                    cores; results are identical at any thread count)
+  PRMSEL_TRACE_RING=N  flight-recorder ring capacity (default 256)
+
+`explain` flight-records the query cold (plan compile) and warm (plan
+replay) and prints both traces as timing trees; `--truth N` (or
+`--csv-dir DIR` for an exact count) attaches the q-error, and
+`--trace-json FILE` writes the traces as Chrome trace_event JSON for
+chrome://tracing / Perfetto.
 
 `stats` builds a model, runs an example workload, and dumps the metrics
-registry (JSON by default, a table with --pretty).
+registry (JSON by default, a table with --pretty); `--traces` appends a
+per-query flight-trace summary and `--trace-json FILE` exports the ring.
+
+`gen` writes a synthetic workload database as <table>.csv + schema.txt,
+ready for `build`/`stats`.
 
 DIR must contain <table>.csv files plus schema.txt (see the manifest docs).";
 
@@ -209,10 +224,70 @@ fn plan(args: &[String]) -> CliResult<String> {
     Ok(out)
 }
 
+/// Static explanation (closure / network arithmetic) plus two flight
+/// traces of the same query: cold (plan-cache miss, compile recorded)
+/// and warm (replay). With ground truth available the warm trace also
+/// carries the q-error.
 fn explain(args: &[String]) -> CliResult<String> {
     let est = open_estimator(args)?;
     let query = parse_query(sql_arg(args)?)?;
-    Ok(est.explain(&query)?)
+    let mut out = est.explain(&query)?;
+
+    est.clear_plan_cache();
+    obs::flight::set_recording(true);
+    let cold_result = est.estimate(&query);
+    let cold = obs::flight::ring().find(obs::flight::last_finished_id());
+    let warm_result = est.estimate(&query);
+    let warm_id = obs::flight::last_finished_id();
+    let estimate = match cold_result.and(warm_result) {
+        Ok(e) => e,
+        Err(e) => {
+            obs::flight::set_recording(false);
+            return Err(e.into());
+        }
+    };
+
+    // Ground truth: `--truth N` wins; otherwise `--csv-dir DIR` runs the
+    // exact count. Attaching must happen while recording is still on.
+    let truth = match flag_value(args, "--truth") {
+        Some(v) => {
+            Some(v.parse::<u64>().map_err(|_| CliError(format!("bad --truth `{v}`")))?)
+        }
+        None => match flag_value(args, "--csv-dir") {
+            Some(dir) => {
+                let db = load_csv_dir(Path::new(dir))?;
+                Some(reldb::result_size(&db, &query)?)
+            }
+            None => None,
+        },
+    };
+    if let Some(t) = truth {
+        prmsel::record_quality(t, estimate);
+    }
+    obs::flight::set_recording(false);
+    let warm = obs::flight::ring().find(warm_id);
+
+    let mut traces = Vec::new();
+    if let Some(t) = cold {
+        out.push_str("\nflight trace (cold, plan compiled):\n");
+        out.push_str(&t.to_explain_tree());
+        traces.push(t);
+    }
+    if let Some(t) = warm {
+        out.push_str("\nflight trace (warm, plan replayed):\n");
+        out.push_str(&t.to_explain_tree());
+        traces.push(t);
+    }
+    if let Some(path) = flag_value(args, "--trace-json") {
+        let json = obs::flight::to_chrome_trace(&traces);
+        std::fs::write(path, json)
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!(
+            "\nwrote {} trace event(s) to {path} (chrome://tracing)\n",
+            traces.iter().map(|t| t.chrome_event_count()).sum::<usize>()
+        ));
+    }
+    Ok(out)
 }
 
 fn inspect(args: &[String]) -> CliResult<String> {
@@ -252,13 +327,133 @@ fn stats(args: &[String]) -> CliResult<String> {
     let est = PrmEstimator::build(&db, &config)?;
     let queries = example_workload(&db)?;
     obs::info!("stats workload: {} example queries", queries.len());
-    prmsel::evaluate_suite(&db, &est, &queries)?;
+    let want_traces = args.iter().any(|a| a == "--traces")
+        || flag_value(args, "--trace-json").is_some();
+    if want_traces {
+        obs::flight::ring().clear();
+        obs::flight::set_recording(true);
+    }
+    let eval = prmsel::evaluate_suite(&db, &est, &queries);
+    if want_traces {
+        obs::flight::set_recording(false);
+    }
+    eval?;
     let snap = obs::registry().snapshot();
-    Ok(if args.iter().any(|a| a == "--pretty") {
+    let mut out = if args.iter().any(|a| a == "--pretty") {
         snap.to_pretty()
     } else {
         snap.to_json()
-    })
+    };
+    if want_traces {
+        let traces = obs::flight::ring().snapshot();
+        if args.iter().any(|a| a == "--traces") {
+            out.push_str(&format!("\nflight traces ({} recorded):\n", traces.len()));
+            out.push_str("  id     total_us  plan  q-error  estimate      query\n");
+            for t in &traces {
+                let plan = match t.plan_hit {
+                    Some(true) => "HIT ",
+                    Some(false) => "MISS",
+                    None => "-   ",
+                };
+                let q = t
+                    .q_error
+                    .map(|q| format!("{q:>7.2}"))
+                    .unwrap_or_else(|| "      -".to_owned());
+                let e = t
+                    .estimate
+                    .map(|e| format!("{e:>12.1}"))
+                    .unwrap_or_else(|| "           -".to_owned());
+                out.push_str(&format!(
+                    "  {:<5} {:>9.1}  {plan}  {q} {e}      {}\n",
+                    t.id,
+                    t.total_ns as f64 / 1e3,
+                    t.label
+                ));
+            }
+        }
+        if let Some(path) = flag_value(args, "--trace-json") {
+            let json = obs::flight::to_chrome_trace(&traces);
+            std::fs::write(path, json)
+                .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+            out.push_str(&format!(
+                "\nwrote {} trace(s) to {path} (chrome://tracing)\n",
+                traces.len()
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Writes `db` into `dir` as one CSV per table plus a `schema.txt`
+/// manifest — the inverse of [`load_csv_dir`].
+pub fn write_csv_dir(db: &Database, dir: &Path) -> CliResult<()> {
+    use reldb::csv::{schema_of, write_table};
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CliError(format!("cannot create {}: {e}", dir.display())))?;
+    let mut manifest = String::new();
+    for table in db.tables() {
+        let path = dir.join(format!("{}.csv", table.name()));
+        let file = std::fs::File::create(&path)
+            .map_err(|e| CliError(format!("cannot create {}: {e}", path.display())))?;
+        write_table(table, std::io::BufWriter::new(file), ',')?;
+        manifest.push_str(&format!("table {}\n", table.name()));
+        for (name, col) in schema_of(table).columns {
+            match col {
+                reldb::CsvColumn::Key => manifest.push_str(&format!("key {name}\n")),
+                reldb::CsvColumn::ForeignKey(t) => {
+                    manifest.push_str(&format!("fk {name} {t}\n"))
+                }
+                reldb::CsvColumn::IntValue => manifest.push_str(&format!("int {name}\n")),
+                reldb::CsvColumn::StrValue => manifest.push_str(&format!("str {name}\n")),
+            }
+        }
+        manifest.push('\n');
+    }
+    std::fs::write(dir.join("schema.txt"), manifest)
+        .map_err(|e| CliError(format!("cannot write schema.txt: {e}")))?;
+    Ok(())
+}
+
+/// Generates a synthetic workload database on disk, so every other
+/// command (and CI smoke tests) can run without shipping data files.
+fn gen(args: &[String]) -> CliResult<String> {
+    let dir = PathBuf::from(required(args, "--csv-dir")?);
+    let rows: usize = flag_value(args, "--rows")
+        .map(|v| v.parse().map_err(|_| CliError(format!("bad --rows `{v}`"))))
+        .transpose()?
+        .unwrap_or(2000);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|v| v.parse().map_err(|_| CliError(format!("bad --seed `{v}`"))))
+        .transpose()?
+        .unwrap_or(7);
+    let workload = flag_value(args, "--workload").unwrap_or("census");
+    let db = match workload {
+        "census" => workloads::census::census_database(rows, seed),
+        // Keep the paper's shape (strains : patients : contacts) while
+        // scaling with --rows = the largest table.
+        "tb" => workloads::tb::tb_database_sized(
+            (rows / 30).max(2),
+            (rows / 8).max(4),
+            rows.max(8),
+            seed,
+        ),
+        "fin" => workloads::fin::fin_database_sized(
+            (rows / 60).max(2),
+            (rows / 20).max(4),
+            rows.max(8),
+            seed,
+        ),
+        other => {
+            return Err(CliError(format!("bad --workload `{other}` (census|tb|fin)")))
+        }
+    };
+    write_csv_dir(&db, &dir)?;
+    Ok(format!(
+        "generated {workload} database in {}: {} tables, {} rows",
+        dir.display(),
+        db.tables().len(),
+        db.total_rows()
+    ))
 }
 
 /// A small deterministic workload derived from the schema: one equality
@@ -309,42 +504,28 @@ fn describe(args: &[String]) -> CliResult<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use reldb::csv::{schema_of, write_table};
     use workloads::tb::tb_database_sized;
 
     /// Dumps a database + manifest into a temp dir and returns the dir.
     fn dump_db(tag: &str) -> PathBuf {
         let db = tb_database_sized(60, 80, 500, 9);
         let dir = std::env::temp_dir().join(format!("prmsel_cli_test_{tag}"));
-        std::fs::create_dir_all(&dir).unwrap();
-        let mut manifest = String::new();
-        for table in db.tables() {
-            let path = dir.join(format!("{}.csv", table.name()));
-            let file = std::fs::File::create(&path).unwrap();
-            write_table(table, std::io::BufWriter::new(file), ',').unwrap();
-            manifest.push_str(&format!("table {}\n", table.name()));
-            for (name, col) in schema_of(table).columns {
-                match col {
-                    reldb::CsvColumn::Key => manifest.push_str(&format!("key {name}\n")),
-                    reldb::CsvColumn::ForeignKey(t) => {
-                        manifest.push_str(&format!("fk {name} {t}\n"))
-                    }
-                    reldb::CsvColumn::IntValue => {
-                        manifest.push_str(&format!("int {name}\n"))
-                    }
-                    reldb::CsvColumn::StrValue => {
-                        manifest.push_str(&format!("str {name}\n"))
-                    }
-                }
-            }
-            manifest.push('\n');
-        }
-        std::fs::write(dir.join("schema.txt"), manifest).unwrap();
+        write_csv_dir(&db, &dir).unwrap();
         dir
     }
 
     fn s(v: &[&str]) -> Vec<String> {
         v.iter().map(|x| x.to_string()).collect()
+    }
+
+    /// Flight recording is process-global; tests that toggle it
+    /// serialize here so one test's `set_recording(false)` cannot cut
+    /// another's trace short.
+    fn with_recording_lock(f: impl FnOnce()) {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        f();
+        obs::flight::set_recording(false);
     }
 
     #[test]
@@ -443,15 +624,87 @@ mod tests {
             model.to_str().unwrap(),
         ]))
         .unwrap();
-        let out = run(&s(&[
-            "explain",
-            "--model",
+        with_recording_lock(|| {
+            let out = run(&s(&[
+                "explain",
+                "--model",
+                model.to_str().unwrap(),
+                "SELECT COUNT(*) FROM contact c WHERE c.contype = 2",
+            ]))
+            .unwrap();
+            assert!(out.contains("upward closure"), "{out}");
+            assert!(out.contains("estimate ="), "{out}");
+            // The flight traces: a cold compile and a warm replay.
+            assert!(out.contains("flight trace (cold, plan compiled)"), "{out}");
+            assert!(out.contains("flight trace (warm, plan replayed)"), "{out}");
+            assert!(out.contains("plan cache: MISS (compiled this call)"), "{out}");
+            assert!(out.contains("plan cache: HIT (replay only)"), "{out}");
+            assert!(out.contains("phase decode"), "{out}");
+        });
+    }
+
+    #[test]
+    fn explain_attaches_truth_and_writes_chrome_json() {
+        let dir = dump_db("explain_truth");
+        let model = dir.join("model_truth.prm");
+        run(&s(&[
+            "build",
+            "--csv-dir",
+            dir.to_str().unwrap(),
+            "--out",
             model.to_str().unwrap(),
-            "SELECT COUNT(*) FROM contact c WHERE c.contype = 2",
         ]))
         .unwrap();
-        assert!(out.contains("upward closure"), "{out}");
-        assert!(out.contains("estimate ="), "{out}");
+        let json_path = dir.join("trace.json");
+        with_recording_lock(|| {
+            let out = run(&s(&[
+                "explain",
+                "--model",
+                model.to_str().unwrap(),
+                "--csv-dir",
+                dir.to_str().unwrap(),
+                "--trace-json",
+                json_path.to_str().unwrap(),
+                "SELECT COUNT(*) FROM patient p WHERE p.age = 2",
+            ]))
+            .unwrap();
+            assert!(out.contains("q-error"), "{out}");
+            assert!(out.contains("trace event(s)"), "{out}");
+        });
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+    }
+
+    #[test]
+    fn gen_then_stats_traces_round_trip() {
+        let dir = std::env::temp_dir().join("prmsel_cli_test_gen");
+        let out = run(&s(&[
+            "gen",
+            "--csv-dir",
+            dir.to_str().unwrap(),
+            "--workload",
+            "census",
+            "--rows",
+            "300",
+        ]))
+        .unwrap();
+        assert!(out.contains("generated census"), "{out}");
+        assert!(dir.join("census.csv").exists());
+        assert!(dir.join("schema.txt").exists());
+        with_recording_lock(|| {
+            let stats_out =
+                run(&s(&["stats", "--csv-dir", dir.to_str().unwrap(), "--traces"]))
+                    .unwrap();
+            assert!(stats_out.contains("flight traces ("), "{stats_out}");
+            assert!(stats_out.contains("census WHERE"), "{stats_out}");
+            // Every workload query consults the plan cache.
+            assert!(
+                stats_out.contains("HIT") || stats_out.contains("MISS"),
+                "{stats_out}"
+            );
+        });
     }
 
     #[test]

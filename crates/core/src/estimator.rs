@@ -34,18 +34,70 @@ pub trait SelectivityEstimator: Sync {
     fn estimate(&self, query: &Query) -> Result<f64>;
 }
 
-/// Estimates a batch of independent queries across the pool, returning
-/// the estimates in query order (first error wins, matching a serial
-/// loop). Queries share no state, so this is pure fan-out; the per-query
-/// metrics each estimator records remain exact under concurrency.
+/// Default for `PRMSEL_PAR_THRESHOLD`: projected batch cost (ns) below
+/// which `estimate_batch` stays on the caller's thread. Fast suites
+/// (tens of µs per warm query) lose more to per-batch pool spawn and
+/// cross-thread cache contention than they gain from fan-out; ~20 ms of
+/// work is where the pool reliably pays for itself.
+pub const DEFAULT_PAR_THRESHOLD_NS: u64 = 20_000_000;
+
+fn par_threshold_ns() -> u64 {
+    std::env::var("PRMSEL_PAR_THRESHOLD")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(DEFAULT_PAR_THRESHOLD_NS)
+}
+
+/// Estimates a batch of independent queries, returning the estimates in
+/// query order (first error wins, matching a serial loop). Queries share
+/// no state, so this is pure fan-out; the per-query metrics each
+/// estimator records remain exact under concurrency.
+///
+/// Small batches never reach the pool: the first query is timed as a
+/// cost probe, and when the projected remaining work lands under
+/// `PRMSEL_PAR_THRESHOLD` nanoseconds ([`DEFAULT_PAR_THRESHOLD_NS`]) the
+/// rest runs serially on the caller's thread — per-batch pool spawn on a
+/// fast suite otherwise costs more than it buys (the small-batch
+/// regression where 4-thread throughput landed below 1-thread). The
+/// chosen path is counted in `par.batch.serial` / `par.batch.parallel`.
 pub fn estimate_batch<E: SelectivityEstimator + ?Sized>(
     estimator: &E,
     queries: &[Query],
 ) -> Result<Vec<f64>> {
-    let chunks = par::chunks(queries.len(), |range| {
-        queries[range].iter().map(|q| estimator.estimate(q)).collect::<Vec<_>>()
-    });
+    estimate_batch_with_threshold(estimator, queries, par_threshold_ns())
+}
+
+/// [`estimate_batch`] with an explicit serial-cutoff threshold (ns of
+/// projected work) — exposed so tests and benches can pin the path.
+pub fn estimate_batch_with_threshold<E: SelectivityEstimator + ?Sized>(
+    estimator: &E,
+    queries: &[Query],
+    threshold_ns: u64,
+) -> Result<Vec<f64>> {
+    if queries.is_empty() {
+        return Ok(Vec::new());
+    }
     let mut out = Vec::with_capacity(queries.len());
+    // Cost probe: time the first query (it also warms the plan cache for
+    // its template, so the projection reflects the warm path the rest of
+    // the batch will take only approximately — a miss-heavy batch skews
+    // the probe up, which errs toward the pool).
+    let probe_start = std::time::Instant::now();
+    out.push(estimator.estimate(&queries[0])?);
+    let est_cost = probe_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let rest = &queries[1..];
+    let projected = est_cost.saturating_mul(rest.len() as u64);
+    if par::threads() == 1 || projected < threshold_ns {
+        obs::counter!("par.batch.serial").inc();
+        for q in rest {
+            out.push(estimator.estimate(q)?);
+        }
+        return Ok(out);
+    }
+    obs::counter!("par.batch.parallel").inc();
+    let chunks = par::chunks(rest.len(), |range| {
+        rest[range].iter().map(|q| estimator.estimate(q)).collect::<Vec<_>>()
+    });
     for chunk in chunks {
         for r in chunk {
             out.push(r?);
@@ -91,6 +143,22 @@ fn codes_for_pred(domain: &Domain, pred: &Pred) -> Vec<u32> {
         }
         Pred::Range { lo, hi, .. } => domain.codes_in_range(*lo, *hi),
     }
+}
+
+/// Compact one-line rendering of a query for flight-recorder trace
+/// labels: joined tables plus the predicated attributes, e.g.
+/// `person JOIN house WHERE person.age, house.rooms`.
+fn query_label(query: &Query) -> String {
+    let mut label = query.vars.join(" JOIN ");
+    for (i, p) in query.preds.iter().enumerate() {
+        label.push_str(if i == 0 { " WHERE " } else { ", " });
+        if query.vars.len() > 1 {
+            label.push_str(&query.vars[p.var()]);
+            label.push('.');
+        }
+        label.push_str(p.attr());
+    }
+    label
 }
 
 fn expect_single_table(query: &Query, table: &str) -> Result<()> {
@@ -294,20 +362,29 @@ impl SelectivityEstimator for PrmEstimator {
 
     fn estimate(&self, query: &Query) -> Result<f64> {
         let start = std::time::Instant::now();
+        obs::flight::begin(|| query_label(query));
         let est = match self.engine {
             InferenceEngine::Exact => {
-                let plan = self.plans.get_or_compile(PlanKey::of(query), || {
-                    QueryPlan::compile(&self.prm, &self.schema, &self.factors, query)
-                })?;
+                let plan = {
+                    let _plan_phase = obs::flight::phase("plan");
+                    self.plans.get_or_compile(PlanKey::of(query), || {
+                        QueryPlan::compile(&self.prm, &self.schema, &self.factors, query)
+                    })?
+                };
                 obs::histogram!("prm.qebn.nodes").record(plan.n_nodes() as u64);
                 plan.estimate(&self.schema, query)?
             }
             InferenceEngine::LikelihoodWeighting { samples, seed } => {
-                let qebn = QueryEvalBn::build(&self.prm, &self.schema, query)?;
+                let qebn = {
+                    let _unroll_phase = obs::flight::phase("unroll");
+                    QueryEvalBn::build(&self.prm, &self.schema, query)?
+                };
                 obs::histogram!("prm.qebn.nodes").record(qebn.bn.len() as u64);
+                let _sample_phase = obs::flight::phase("sample");
                 qebn.estimated_size_approx(&self.prm, samples, seed)
             }
         };
+        obs::flight::finish(est);
         obs::counter!("prm.estimate.calls").inc();
         obs::histogram!("prm.estimate.ns").record_duration(start.elapsed());
         Ok(est)

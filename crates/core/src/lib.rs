@@ -82,14 +82,15 @@ pub mod qebn;
 pub mod schema;
 
 pub use estimator::{
-    estimate_batch, AviAdapter, InferenceEngine, JoinSampleAdapter, MhistAdapter,
-    PrmEstimator, SampleAdapter, SelectivityEstimator, WaveletAdapter,
+    estimate_batch, estimate_batch_with_threshold, AviAdapter, InferenceEngine,
+    JoinSampleAdapter, MhistAdapter, PrmEstimator, SampleAdapter, SelectivityEstimator,
+    WaveletAdapter, DEFAULT_PAR_THRESHOLD_NS,
 };
 pub use groupby::GroupEstimate;
 pub use largedomain::{discretize_database, DiscretizedDatabase, DiscretizingEstimator};
 pub use learn::{learn_prm, PrmLearnConfig};
 pub use maintain::{model_loglik, refresh_parameters};
-pub use metrics::{adjusted_relative_error, evaluate_suite, SuiteEval};
+pub use metrics::{adjusted_relative_error, evaluate_suite, record_quality, SuiteEval};
 pub use nonkey::JoinSide;
 pub use persist::{load_model, save_model};
 pub use plan::{FactorCache, PlanCache, PlanKey, QueryPlan};

@@ -32,6 +32,9 @@ pub fn record_quality(truth: u64, estimate: f64) {
     let q = (t / e).max(e / t);
     obs::histogram!("quality.qerror_milli")
         .record((q * 1000.0).round().min(u64::MAX as f64) as u64);
+    // Suite evaluators score right after estimating on the same thread,
+    // so this lands on the flight trace the estimate just finished.
+    obs::flight::attach_quality(truth, q);
 }
 
 /// Per-query evaluation record.

@@ -219,11 +219,17 @@ impl QueryPlan {
     /// the table sizes.
     pub fn estimate(&self, schema: &SchemaInfo, query: &Query) -> Result<f64> {
         debug_assert_eq!(query.preds.len(), self.pred_slots.len(), "template mismatch");
+        let decode = obs::flight::phase("decode");
         let mut evidence = Evidence::new();
         for (slot, pred) in self.pred_slots.iter().zip(&query.preds) {
             let codes = pred_codes(schema, slot.table, pred)?;
+            if obs::flight::active() {
+                obs::flight::pred_mask(slot.node, codes.len(), slot.card);
+            }
             evidence.isin(slot.node, &codes, slot.card);
         }
+        drop(decode);
+        let reduce = obs::flight::phase("reduce");
         let mut work: Vec<Cow<'_, Factor>> = Vec::with_capacity(self.factors.len());
         for f in &self.factors {
             let mut cur = Cow::Borrowed(f);
@@ -234,7 +240,10 @@ impl QueryPlan {
             }
             work.push(cur);
         }
+        drop(reduce);
+        let eliminate = obs::flight::phase("eliminate");
         let p = eliminate_in_order(work, &self.order);
+        drop(eliminate);
         let mut size = p;
         for &rows in &self.row_factors {
             size *= rows;
@@ -271,6 +280,18 @@ struct PlanCacheInner {
 /// Default plan-cache capacity when `PRMSEL_PLAN_CACHE` is unset.
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
 
+/// Recomputes the `prm.plan.hit_ratio` gauge — hits / (hits + misses) —
+/// from the process-global counters. Called on every lookup, so any
+/// snapshot sees the current ratio.
+fn refresh_hit_ratio() {
+    let hits = obs::counter!("prm.plan.hit").get();
+    let misses = obs::counter!("prm.plan.miss").get();
+    let total = hits + misses;
+    if total > 0 {
+        obs::gauge!("prm.plan.hit_ratio").set(hits as f64 / total as f64);
+    }
+}
+
 impl PlanCache {
     /// A cache holding at most `capacity` plans; `0` disables caching
     /// (every call compiles, nothing is stored).
@@ -297,7 +318,8 @@ impl PlanCache {
     /// The cached plan for `key`, or the result of `compile`, recorded
     /// under the key. Hits, misses, evictions, and compile latency are
     /// reported as `prm.plan.hit` / `prm.plan.miss` / `prm.plan.evict` /
-    /// `prm.plan.compile.ns`.
+    /// `prm.plan.compile.ns`, plus a derived `prm.plan.hit_ratio` gauge;
+    /// the outcome also lands on the live flight-recorder trace.
     pub fn get_or_compile(
         &self,
         key: PlanKey,
@@ -310,13 +332,19 @@ impl PlanCache {
             if let Some(entry) = inner.plans.get_mut(&key) {
                 entry.1 = tick;
                 obs::counter!("prm.plan.hit").inc();
+                refresh_hit_ratio();
+                obs::flight::plan_cache(true);
                 return Ok(entry.0.clone());
             }
         }
         obs::counter!("prm.plan.miss").inc();
+        refresh_hit_ratio();
+        obs::flight::plan_cache(false);
+        let compile_phase = obs::flight::phase("compile");
         let start = std::time::Instant::now();
         let plan = Arc::new(compile()?);
         obs::histogram!("prm.plan.compile.ns").record_duration(start.elapsed());
+        drop(compile_phase);
         let mut inner = self.lock();
         if inner.capacity == 0 {
             return Ok(plan);

@@ -17,6 +17,11 @@
 //!   relaxed atomic load. Span exit durations are also recorded into
 //!   `span.<name>.ns` histograms, so timing shows up in metric snapshots
 //!   even when logging is off.
+//! * **Flight recorder** ([`flight`]) — opt-in per-query traces (phase
+//!   timings, elimination steps, plan-cache outcome, predicate masks,
+//!   estimate + q-error) retained in a bounded ring, exported as an
+//!   `EXPLAIN`-style tree or Chrome `trace_event` JSON. Disabled hooks
+//!   cost one relaxed atomic load and never allocate.
 //!
 //! Exporters: [`Registry::snapshot`] → [`Snapshot`], rendered with
 //! [`Snapshot::to_json`] (machine-readable, stable field order) or
@@ -34,6 +39,7 @@
 //! assert!(snap.to_json().contains("\"demo.requests\""));
 //! ```
 
+pub mod flight;
 pub mod json;
 pub mod registry;
 pub mod trace;

@@ -211,6 +211,21 @@ impl HistogramSnapshot {
         }
         self.max
     }
+
+    /// Median estimate (upper bound of the p50 bucket).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// p90 estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.9)
+    }
+
+    /// p99 estimate — the tail the latency SLOs care about.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
 }
 
 enum Metric {
@@ -377,9 +392,11 @@ impl Snapshot {
             w.key("mean");
             w.float(h.mean());
             w.key("p50");
-            w.uint(h.quantile(0.5));
+            w.uint(h.p50());
+            w.key("p90");
+            w.uint(h.p90());
             w.key("p99");
-            w.uint(h.quantile(0.99));
+            w.uint(h.p99());
             w.key("buckets");
             w.begin_array();
             for &(bound, n) in &h.buckets {
@@ -419,12 +436,13 @@ impl Snapshot {
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "  {name:<48} n={} mean={:.1} min={} p50={} p99={} max={}",
+                    "  {name:<48} n={} mean={:.1} min={} p50={} p90={} p99={} max={}",
                     h.count,
                     h.mean(),
                     h.min,
-                    h.quantile(0.5),
-                    h.quantile(0.99),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
                     h.max,
                 );
             }
@@ -557,6 +575,11 @@ mod tests {
         assert_eq!(s.quantile(0.5), bucket_upper_bound(bucket_of(100)));
         assert_eq!(s.quantile(1.0), bucket_upper_bound(bucket_of(1000)));
         assert_eq!(s.quantile(0.0), 0);
+        // p50/p90/p99 are shorthands for the corresponding quantiles; the
+        // 90th and 99th percentiles of 7 obs are both the last (1000).
+        assert_eq!(s.p50(), s.quantile(0.5));
+        assert_eq!(s.p90(), bucket_upper_bound(bucket_of(1000)));
+        assert_eq!(s.p99(), bucket_upper_bound(bucket_of(1000)));
 
         let empty = Histogram::default().snapshot();
         assert_eq!(empty.count, 0);

@@ -233,9 +233,24 @@ macro_rules! trace {
 mod tests {
     use super::*;
 
-    // Filter state is process-global; run as one test to avoid races.
+    /// Filter state is process-global; tests that mutate it serialize
+    /// here and restore the everything-off default on exit.
+    fn with_filter_lock(f: impl FnOnce()) {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        f();
+        apply_directives("off");
+        set_max_level(None);
+    }
+
     #[test]
     fn directives_filter_by_level_and_target() {
+        with_filter_lock(|| {
+            directives_filter_by_level_and_target_impl();
+        });
+    }
+
+    fn directives_filter_by_level_and_target_impl() {
         apply_directives("warn");
         assert!(enabled(Level::Warn, "prmsel::learn"));
         assert!(enabled(Level::Error, "anywhere"));
@@ -255,6 +270,58 @@ mod tests {
         assert!(!enabled(Level::Trace, "x"));
         set_max_level(None);
         assert!(!enabled(Level::Error, "x"));
+    }
+
+    #[test]
+    fn empty_and_whitespace_directives_are_ignored() {
+        with_filter_lock(|| {
+            // Empty parts contribute nothing; the spec below is just `info`.
+            apply_directives(",, info , ,");
+            assert!(enabled(Level::Info, "anywhere"));
+            assert!(!enabled(Level::Debug, "anywhere"));
+            // A fully empty spec leaves everything off.
+            apply_directives("");
+            assert!(!enabled(Level::Error, "anywhere"));
+        });
+    }
+
+    #[test]
+    fn unknown_levels_fall_back_without_clobbering() {
+        with_filter_lock(|| {
+            // An unknown global level is ignored (global stays off)...
+            apply_directives("loud");
+            assert!(!enabled(Level::Error, "x"));
+            // ...and an unknown per-target level drops only that
+            // directive, keeping the rest of the spec.
+            apply_directives("warn,prmsel::learn=verbose,reldb=debug");
+            assert!(enabled(Level::Warn, "prmsel::learn"));
+            assert!(
+                !enabled(Level::Info, "prmsel::learn"),
+                "bad directive must not apply"
+            );
+            assert!(enabled(Level::Debug, "reldb::exec"));
+        });
+    }
+
+    #[test]
+    fn most_specific_module_prefix_wins() {
+        with_filter_lock(|| {
+            // Declaration order must not matter: the longest matching
+            // prefix decides, for both widening and narrowing overrides.
+            for spec in [
+                "error,prmsel=warn,prmsel::learn=trace,prmsel::learn::search=off",
+                "prmsel::learn::search=off,prmsel::learn=trace,prmsel=warn,error",
+            ] {
+                apply_directives(spec);
+                assert!(enabled(Level::Warn, "prmsel::qebn"), "{spec}");
+                assert!(!enabled(Level::Info, "prmsel::qebn"), "{spec}");
+                assert!(enabled(Level::Trace, "prmsel::learn"), "{spec}");
+                assert!(enabled(Level::Trace, "prmsel::learn::score"), "{spec}");
+                assert!(!enabled(Level::Error, "prmsel::learn::search"), "{spec}");
+                assert!(!enabled(Level::Warn, "reldb"), "{spec}");
+                assert!(enabled(Level::Error, "reldb"), "{spec}");
+            }
+        });
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! End-to-end flight-recorder test: record traces through the public
+//! hook API, export them as Chrome `trace_event` JSON, and round-trip
+//! the spans back out with a minimal JSON scanner — validating the
+//! structure a `chrome://tracing` / Perfetto import depends on.
+
+use obs::flight;
+
+/// A minimal parser for the subset of JSON the Chrome exporter emits:
+/// extracts every object in the `traceEvents` array as a flat list of
+/// `key:value` string pairs (values kept as raw JSON text).
+fn parse_trace_events(json: &str) -> Vec<Vec<(String, String)>> {
+    let start = json.find("\"traceEvents\":[").expect("traceEvents array") + 15;
+    let mut events = Vec::new();
+    let mut depth = 0usize;
+    let mut obj_start = 0usize;
+    let bytes = json.as_bytes();
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate().skip(start) {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' => {
+                if depth == 0 {
+                    obj_start = i;
+                }
+                depth += 1;
+            }
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    events.push(parse_flat_object(&json[obj_start..=i]));
+                }
+            }
+            b']' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    events
+}
+
+/// Splits one flat-ish JSON object into top-level key/value pairs (the
+/// nested `args` object is kept whole as a raw value).
+fn parse_flat_object(obj: &str) -> Vec<(String, String)> {
+    let inner = &obj[1..obj.len() - 1];
+    let mut pairs = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut field_start = 0usize;
+    let bytes = inner.as_bytes();
+    let mut fields = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => depth -= 1,
+            b',' if depth == 0 => {
+                fields.push(&inner[field_start..i]);
+                field_start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    fields.push(&inner[field_start..]);
+    for f in fields {
+        let (k, v) = f.split_once(':').expect("key:value");
+        pairs.push((k.trim().trim_matches('"').to_owned(), v.trim().to_owned()));
+    }
+    pairs
+}
+
+/// Recording and the ring are process-global; tests serialize here.
+fn with_flight_lock(f: impl FnOnce()) {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    f();
+    flight::set_recording(false);
+}
+
+fn get<'a>(event: &'a [(String, String)], key: &str) -> &'a str {
+    event
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .unwrap_or_else(|| panic!("event missing key {key}"))
+}
+
+/// Records one synthetic trace through the hook API and returns it.
+fn record_one(label: &str, n_steps: usize) -> flight::QueryTrace {
+    assert!(flight::begin(|| label.to_owned()));
+    {
+        let _p = flight::phase("decode");
+        flight::pred_mask(0, 3, 8);
+    }
+    flight::plan_cache(false);
+    {
+        let _outer = flight::phase("eliminate");
+        for v in 0..n_steps {
+            let t0 = flight::now_ns();
+            flight::elim_step(v, 2, &[v, v + 1], 16, t0, 10);
+        }
+    }
+    flight::finish(42.5);
+    let id = flight::last_finished_id();
+    flight::ring().find(id).expect("trace deposited in ring")
+}
+
+#[test]
+fn chrome_export_round_trips_spans() {
+    let mut recorded = None;
+    with_flight_lock(|| {
+        flight::set_recording(true);
+        let a = record_one("t1 JOIN t2 WHERE t1.x", 3);
+        let b = record_one("t3 WHERE t3.y", 1);
+        flight::set_recording(false);
+        recorded = Some((a, b));
+    });
+    let (a, b) = recorded.unwrap();
+
+    let json = flight::to_chrome_trace(&[a.clone(), b.clone()]);
+    // Document-level shape chrome://tracing requires.
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert!(json.contains("\"displayTimeUnit\":\"ns\""), "{json}");
+
+    let events = parse_trace_events(&json);
+    assert_eq!(
+        events.len(),
+        a.chrome_event_count() + b.chrome_event_count(),
+        "every query, phase, and elimination step exports one event"
+    );
+
+    // Every event is a complete event on pid 1 with numeric ts/dur.
+    for e in &events {
+        assert_eq!(get(e, "ph"), "\"X\"");
+        assert_eq!(get(e, "pid"), "1");
+        let ts: f64 = get(e, "ts").parse().expect("numeric ts");
+        let dur: f64 = get(e, "dur").parse().expect("numeric dur");
+        assert!(ts >= 0.0 && dur >= 0.0);
+    }
+
+    // Events land on one track (tid) per query id.
+    for trace in [&a, &b] {
+        let tid = trace.id.to_string();
+        let on_track: Vec<_> = events.iter().filter(|e| get(e, "tid") == tid).collect();
+        assert_eq!(on_track.len(), trace.chrome_event_count());
+        // The query-level event spans its phases: ts(query) <= ts(child)
+        // and the whole child fits inside the query duration.
+        let query_event = on_track
+            .iter()
+            .find(|e| get(e, "cat") == "\"query\"")
+            .expect("query-level event");
+        let q_ts: f64 = get(query_event, "ts").parse().unwrap();
+        let q_dur: f64 = get(query_event, "dur").parse().unwrap();
+        for child in on_track.iter().filter(|e| get(e, "cat") != "\"query\"") {
+            let ts: f64 = get(child, "ts").parse().unwrap();
+            let dur: f64 = get(child, "dur").parse().unwrap();
+            assert!(ts >= q_ts, "child starts inside the query span");
+            assert!(ts + dur <= q_ts + q_dur + 1e-3, "child ends inside the query span");
+        }
+    }
+
+    // Elimination steps carry their factor metadata in args.
+    let elim_events: Vec<_> =
+        events.iter().filter(|e| get(e, "cat") == "\"elim\"").collect();
+    assert_eq!(elim_events.len(), a.elim_steps.len() + b.elim_steps.len());
+    for e in &elim_events {
+        let args = get(e, "args");
+        assert!(args.contains("\"factors\""), "{args}");
+        assert!(args.contains("\"width\""), "{args}");
+        assert!(args.contains("\"scope\""), "{args}");
+    }
+
+    // The query event of the miss-recorded trace carries the plan outcome.
+    let q_a = events
+        .iter()
+        .find(|e| get(e, "tid") == a.id.to_string() && get(e, "cat") == "\"query\"")
+        .unwrap();
+    assert!(get(q_a, "args").contains("\"plan\":\"miss\""));
+}
+
+#[test]
+fn ring_retains_worst_traces_under_pressure() {
+    with_flight_lock(|| {
+        flight::ring().clear();
+        flight::ring().set_capacity(4);
+        flight::set_recording(true);
+        // One slow trace, then a burst of fast ones.
+        assert!(flight::begin(|| "slow".to_owned()));
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        flight::finish(1.0);
+        let slow_id = flight::last_finished_id();
+        for i in 0..16 {
+            assert!(flight::begin(|| format!("fast {i}")));
+            flight::finish(1.0);
+        }
+        flight::set_recording(false);
+        // The slow trace was rotated out of the recent window but
+        // survives in the worst-by-latency pin.
+        let snapshot = flight::ring().snapshot();
+        assert!(
+            snapshot.iter().any(|t| t.id == slow_id),
+            "worst-latency trace must be pinned past eviction"
+        );
+        flight::ring().clear();
+        flight::ring().set_capacity(flight::DEFAULT_RING_CAPACITY);
+    });
+}

@@ -12,9 +12,66 @@
 
 use std::borrow::Cow;
 use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
 
 use crate::factor::Factor;
 use crate::network::BayesNet;
+
+/// Resource limits enforced during variable elimination.
+///
+/// The paper's §3.3 claim is that query-evaluation networks stay small, so
+/// the default is [`InferBudget::unlimited`] and the guarded path costs two
+/// `Option` checks per elimination step. When a limit *is* set, the width
+/// check projects the size of the next intermediate factor from scopes
+/// alone — before any cell is allocated — so a blowup is refused, not
+/// survived.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InferBudget {
+    /// Maximum cells any intermediate factor may hold.
+    pub max_cells: Option<u64>,
+    /// Absolute wall-clock deadline for the whole elimination.
+    pub deadline: Option<Instant>,
+}
+
+impl InferBudget {
+    /// No limits: the guarded path behaves exactly like the unguarded one.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// True when neither limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_cells.is_none() && self.deadline.is_none()
+    }
+}
+
+/// Why a guarded elimination refused to continue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferAbort {
+    /// Eliminating `var` would materialize an intermediate factor of
+    /// `cells` cells, over the `budget` limit.
+    Width { var: usize, cells: u64, budget: u64 },
+    /// The wall-clock deadline passed before elimination finished.
+    Deadline,
+    /// An injected fault (the `infer.eliminate` failpoint) fired.
+    Fault(String),
+}
+
+impl fmt::Display for InferAbort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferAbort::Width { var, cells, budget } => write!(
+                f,
+                "eliminating node {var} needs a {cells}-cell factor (budget {budget})"
+            ),
+            InferAbort::Deadline => write!(f, "elimination deadline passed"),
+            InferAbort::Fault(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for InferAbort {}
 
 /// Evidence: per-variable masks of allowed values.
 #[derive(Debug, Clone, Default)]
@@ -177,6 +234,19 @@ pub fn eliminate_all(
     eliminate_in_order(factors.into_iter().map(Cow::Owned).collect(), &order)
 }
 
+/// Guarded [`eliminate_all`]: derives the order, then replays it under
+/// `budget` via [`try_eliminate_in_order`].
+pub fn try_eliminate_all(
+    factors: Vec<Factor>,
+    elim: &[usize],
+    card_of: impl Fn(usize) -> usize,
+    budget: InferBudget,
+) -> Result<f64, InferAbort> {
+    let scopes: Vec<Vec<usize>> = factors.iter().map(|f| f.vars().to_vec()).collect();
+    let order = elimination_order(&scopes, elim, card_of);
+    try_eliminate_in_order(factors.into_iter().map(Cow::Owned).collect(), &order, budget)
+}
+
 /// Derives a min-weight elimination order from factor *scopes* alone — no
 /// factor data needed, so a query-plan compiler can record the order once
 /// and replay it for every query of the same shape. (Evidence reduction
@@ -261,13 +331,62 @@ fn merge_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
 /// Borrowed (`Cow::Borrowed`) factors are only cloned if they survive to a
 /// product untouched — plan-cached factors that no evidence mask touched
 /// flow through without a per-query copy until they are consumed.
-pub fn eliminate_in_order(mut factors: Vec<Cow<'_, Factor>>, order: &[usize]) -> f64 {
+///
+/// This is the unguarded wrapper around [`try_eliminate_in_order`] with an
+/// unlimited budget; the only abort it can see is an injected fault from
+/// the `infer.eliminate` failpoint, which it re-raises as a panic so chaos
+/// isolation layers (`catch_unwind`) still contain it.
+pub fn eliminate_in_order(factors: Vec<Cow<'_, Factor>>, order: &[usize]) -> f64 {
+    match try_eliminate_in_order(factors, order, InferBudget::unlimited()) {
+        Ok(v) => v,
+        Err(abort) => panic!("unguarded elimination aborted: {abort}"),
+    }
+}
+
+/// Projected cell count of the product of `touching` (union of scopes);
+/// saturates at `u64::MAX`.
+fn projected_cells(touching: &[Cow<'_, Factor>]) -> u64 {
+    let mut scope: Vec<(usize, u64)> = Vec::new();
+    for f in touching {
+        for (&v, &c) in f.vars().iter().zip(f.cards()) {
+            match scope.binary_search_by_key(&v, |&(sv, _)| sv) {
+                Ok(_) => {}
+                Err(at) => scope.insert(at, (v, c as u64)),
+            }
+        }
+    }
+    scope.iter().fold(1u64, |acc, &(_, c)| acc.saturating_mul(c))
+}
+
+/// Guarded replay of a fixed elimination order — identical arithmetic to
+/// [`eliminate_in_order`] (same factors, same fold order, same fused
+/// final step, so results are bit-identical), plus three pure control-flow
+/// checks per step: the `infer.eliminate` failpoint, the wall-clock
+/// deadline, and the projected width of the next intermediate factor.
+pub fn try_eliminate_in_order(
+    mut factors: Vec<Cow<'_, Factor>>,
+    order: &[usize],
+    budget: InferBudget,
+) -> Result<f64, InferAbort> {
+    failpoint::fail_point!("infer.eliminate")
+        .map_err(|e| InferAbort::Fault(e.to_string()))?;
     for &var in order {
         let (touching, rest): (Vec<_>, Vec<_>) =
             factors.into_iter().partition(|f| f.vars().binary_search(&var).is_ok());
         factors = rest;
         if touching.is_empty() {
             continue;
+        }
+        if let Some(deadline) = budget.deadline {
+            if Instant::now() >= deadline {
+                return Err(InferAbort::Deadline);
+            }
+        }
+        if let Some(max) = budget.max_cells {
+            let cells = projected_cells(&touching);
+            if cells > max {
+                return Err(InferAbort::Width { var, cells, budget: max });
+            }
         }
         // Flight-recorder gate: one relaxed atomic load when recording is
         // off; the step record (scope copy) is only built when a live
@@ -303,13 +422,13 @@ pub fn eliminate_in_order(mut factors: Vec<Cow<'_, Factor>>, order: &[usize]) ->
         obs::counter!("bn.infer.messages").inc();
         obs::histogram!("bn.factor.kernel.ns").record_duration(elapsed);
     }
-    factors
+    Ok(factors
         .into_iter()
         .map(|f| {
             debug_assert!(f.is_empty(), "variable left uneliminated");
             f.scalar_value()
         })
-        .product()
+        .product())
 }
 
 /// Like [`eliminate_in_order`], but the leftover factors are multiplied
@@ -470,6 +589,89 @@ mod tests {
         let bn = paper_chain();
         let post = posterior(&bn, &Evidence::new(), 1);
         assert!((post.value_at(&[0]) - 0.47).abs() < 1e-12);
+    }
+
+    #[test]
+    fn guarded_and_unguarded_elimination_are_bit_identical() {
+        let bn = paper_chain();
+        let mut ev = Evidence::new();
+        ev.eq(2, 1, 2);
+        let (factors, relevant) = reduced_relevant_factors(&bn, &ev, &[]);
+        let elim: Vec<usize> = (0..bn.len()).filter(|&v| relevant[v]).collect();
+        let scopes: Vec<Vec<usize>> = factors.iter().map(|f| f.vars().to_vec()).collect();
+        let order = elimination_order(&scopes, &elim, |v| bn.card(v));
+        let cowed = |fs: &[Factor]| -> Vec<Cow<'_, Factor>> {
+            fs.iter().map(|f| Cow::Owned(f.clone())).collect()
+        };
+        let unguarded = eliminate_in_order(cowed(&factors), &order);
+        let guarded = try_eliminate_in_order(
+            cowed(&factors),
+            &order,
+            InferBudget { max_cells: Some(1 << 30), deadline: None },
+        )
+        .unwrap();
+        assert_eq!(unguarded.to_bits(), guarded.to_bits());
+    }
+
+    #[test]
+    fn width_budget_refuses_large_intermediates() {
+        let bn = paper_chain();
+        let mut ev = Evidence::new();
+        ev.eq(0, 0, 3).eq(2, 0, 2);
+        let (factors, relevant) = reduced_relevant_factors(&bn, &ev, &[]);
+        let elim: Vec<usize> = (0..bn.len()).filter(|&v| relevant[v]).collect();
+        // Every intermediate in this chain has at least 2 cells.
+        let abort = try_eliminate_all(
+            factors,
+            &elim,
+            |v| bn.card(v),
+            InferBudget { max_cells: Some(1), deadline: None },
+        )
+        .unwrap_err();
+        match abort {
+            InferAbort::Width { cells, budget, .. } => {
+                assert!(cells > budget);
+                assert_eq!(budget, 1);
+            }
+            other => panic!("expected width abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_before_work() {
+        let bn = paper_chain();
+        let mut ev = Evidence::new();
+        ev.eq(1, 0, 3);
+        let (factors, relevant) = reduced_relevant_factors(&bn, &ev, &[]);
+        let elim: Vec<usize> = (0..bn.len()).filter(|&v| relevant[v]).collect();
+        let abort = try_eliminate_all(
+            factors,
+            &elim,
+            |v| bn.card(v),
+            InferBudget {
+                max_cells: None,
+                deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            },
+        )
+        .unwrap_err();
+        assert_eq!(abort, InferAbort::Deadline);
+    }
+
+    #[test]
+    fn infer_failpoint_injects_fault_abort() {
+        failpoint::arm("infer.eliminate", failpoint::Action::Err);
+        let bn = paper_chain();
+        let mut ev = Evidence::new();
+        ev.eq(1, 0, 3);
+        let (factors, relevant) = reduced_relevant_factors(&bn, &ev, &[]);
+        let elim: Vec<usize> = (0..bn.len()).filter(|&v| relevant[v]).collect();
+        let r =
+            try_eliminate_all(factors, &elim, |v| bn.card(v), InferBudget::unlimited());
+        failpoint::disarm("infer.eliminate");
+        match r.unwrap_err() {
+            InferAbort::Fault(msg) => assert!(msg.contains("infer.eliminate"), "{msg}"),
+            other => panic!("expected fault abort, got {other:?}"),
+        }
     }
 
     #[test]

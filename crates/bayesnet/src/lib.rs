@@ -59,7 +59,7 @@ pub use factor::Factor;
 pub use graph::Dag;
 pub use infer::{
     eliminate_all, eliminate_in_order, elimination_order, probability_of_evidence,
-    Evidence,
+    try_eliminate_all, try_eliminate_in_order, Evidence, InferAbort, InferBudget,
 };
 pub use jointree::JoinTree;
 pub use learn::dataset::Dataset;

@@ -1,0 +1,100 @@
+//! Chaos harness — proves fault isolation under armed failpoints.
+//!
+//! Builds a TB model, runs a 100-query mixed batch through the
+//! [`ResilientEstimator`] degradation ladder, and asserts the
+//! fault-isolation contract:
+//!
+//! 1. exactly one outcome per query, whatever the failpoints do;
+//! 2. the process never aborts (worker panics are caught per query);
+//! 3. the `prm.guard.*` counters account for every degradation.
+//!
+//! Failpoints are armed from the environment, e.g.
+//! `PRMSEL_FAILPOINTS=infer.eliminate=panic cargo run --release -p
+//! prmsel-bench --bin chaos`. With nothing armed the run doubles as a
+//! no-degradation check: every query must answer on the cached-exact
+//! rung.
+//!
+//! Exit code 0 = contract held; panics/asserts otherwise (CI arms each
+//! site in both `err` and `panic` mode).
+
+use prmsel::{PrmEstimator, PrmLearnConfig, ResilientEstimator, Rung};
+use reldb::Query;
+use workloads::tb::tb_database_sized;
+
+fn workload() -> Vec<Query> {
+    let mut queries = Vec::with_capacity(100);
+    for i in 0..100 {
+        let mut b = Query::builder();
+        if i % 3 == 0 {
+            let c = b.var("contact");
+            let p = b.var("patient");
+            b.join(c, "patient", p).eq(p, "age", (i % 4) as i64);
+        } else {
+            let p = b.var("patient");
+            b.eq(p, "age", (i % 4) as i64);
+        }
+        queries.push(b.build());
+    }
+    queries
+}
+
+fn main() {
+    obs::init_from_env();
+    let db = tb_database_sized(40, 80, 600, 13);
+    let config = PrmLearnConfig { budget_bytes: 8192, ..Default::default() };
+    let est = ResilientEstimator::new(PrmEstimator::build(&db, &config).expect("build"))
+        .with_avi_fallback(&db)
+        .expect("avi fallback");
+    let queries = workload();
+
+    let armed = failpoint::armed_sites();
+    println!("armed failpoints: {armed:?}");
+    if !armed.is_empty() {
+        // Intentional panics are part of the run; keep them quiet.
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+
+    let outcomes = est.estimate_batch(&queries);
+    let _ = std::panic::take_hook();
+
+    assert_eq!(
+        outcomes.len(),
+        queries.len(),
+        "estimate_batch must return one outcome per query"
+    );
+    let answered = outcomes.iter().filter(|o| o.result.is_ok()).count();
+    let degraded = outcomes.iter().filter(|o| o.degraded()).count();
+    let queries_c = obs::counter!("prm.guard.queries").get();
+    let fallback = obs::counter!("prm.guard.fallback").get();
+    let budget = obs::counter!("prm.guard.budget").get();
+    let deadline = obs::counter!("prm.guard.deadline").get();
+    let panics = obs::counter!("prm.guard.panic").get();
+    println!("outcomes: {} ({answered} answered, {degraded} degraded)", outcomes.len());
+    println!(
+        "guard counters: queries={queries_c} fallback={fallback} budget={budget} \
+         deadline={deadline} panic={panics}"
+    );
+
+    assert_eq!(queries_c, 100, "every query passes through the ladder");
+    assert_eq!(answered, 100, "a fallback rung answers every query");
+    // Accounting: every fallback-answered query is a counted degradation,
+    // and with no fault injection nothing may degrade.
+    let fell_back = outcomes
+        .iter()
+        .filter(|o| matches!(o.rung, Rung::AviFallback | Rung::UniformGuess))
+        .count() as u64;
+    assert_eq!(fallback, fell_back, "fallback counter accounts for every descent");
+    // Only three of the sites sit on the estimation path; arming e.g.
+    // `persist.load` alone must not perturb estimates at all.
+    let estimation_sites = ["estimate.query", "plan.compile", "infer.eliminate"];
+    if armed.iter().any(|s| estimation_sites.contains(&s.as_str())) {
+        assert_eq!(degraded, 100, "armed estimation failpoints degrade every query");
+    } else {
+        assert_eq!(degraded, 0, "no degradation without estimation-path faults");
+        assert!(
+            outcomes.iter().all(|o| o.rung == Rung::CachedExact),
+            "healthy queries answer on the cached-exact rung"
+        );
+    }
+    println!("chaos contract held");
+}

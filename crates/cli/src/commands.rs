@@ -29,6 +29,13 @@ impl From<reldb::Error> for CliError {
     }
 }
 
+impl From<prmsel::Error> for CliError {
+    fn from(e: prmsel::Error) -> Self {
+        // Lead with the failure class so scripts can branch on it.
+        CliError(format!("[{}] {e}", e.class()))
+    }
+}
+
 type CliResult<T> = std::result::Result<T, CliError>;
 
 /// Entry point: dispatches `args` (without the program name) and returns
@@ -98,7 +105,7 @@ prmsel — selectivity estimation using probabilistic relational models
 
 USAGE:
   prmsel build    --csv-dir DIR --out FILE [--budget BYTES] [--cpd tree|table]
-  prmsel estimate --model FILE 'SELECT COUNT(*) FROM ... WHERE ...'
+  prmsel estimate --model FILE [--strict] 'SELECT COUNT(*) FROM ... WHERE ...'
   prmsel plan     --model FILE 'SELECT COUNT(*) FROM ... WHERE ...'
   prmsel explain  --model FILE [--truth N | --csv-dir DIR]
                   [--trace-json FILE] 'SELECT COUNT(*) FROM ... WHERE ...'
@@ -115,6 +122,13 @@ OPTIONS (all commands):
   PRMSEL_THREADS=N worker threads for learning/estimation (default: all
                    cores; results are identical at any thread count)
   PRMSEL_TRACE_RING=N  flight-recorder ring capacity (default 256)
+  PRMSEL_WIDTH_BUDGET=N  refuse eliminations materializing > N factor cells
+  PRMSEL_DEADLINE_MS=N   per-estimate wall-clock deadline
+  PRMSEL_FAILPOINTS=site=err|panic|delay:MS[,...]  fault injection (testing)
+
+`estimate` runs the degradation ladder (cached exact → uncached exact →
+AVI → uniform guess) and reports any degradation after the estimate;
+`--strict` returns the typed error instead of degrading.
 
 `explain` flight-records the query cold (plan compile) and warm (plan
 replay) and prints both traces as timing trees; `--truth N` (or
@@ -191,12 +205,28 @@ fn open_estimator(args: &[String]) -> CliResult<PrmEstimator> {
 }
 
 fn estimate(args: &[String]) -> CliResult<String> {
-    let est = open_estimator(args)?;
+    // `--strict` is a bare flag; strip it before positional-SQL detection
+    // (which assumes every `--flag` consumes the following value).
+    let strict = args.iter().any(|a| a == "--strict");
+    let args: Vec<String> =
+        args.iter().filter(|a| a.as_str() != "--strict").cloned().collect();
+    let est = open_estimator(&args)?;
     // The SQL is the first non-flag argument (flags consume their values).
-    let sql = sql_arg(args)?;
+    let sql = sql_arg(&args)?;
     let query = parse_query(sql)?;
-    let size = est.estimate(&query)?;
-    Ok(format!("{size:.1}"))
+    let mut ladder = prmsel::ResilientEstimator::new(est);
+    ladder.set_strict(strict);
+    let outcome = ladder.estimate_query(&query);
+    let degraded = outcome.degraded();
+    let size = outcome.result?;
+    let mut out = format!("{size:.1}");
+    if degraded {
+        out.push_str(&format!("\ndegraded: answered by {}", outcome.rung));
+        for (rung, err) in &outcome.degradations {
+            out.push_str(&format!("\n  {rung}: {err}"));
+        }
+    }
+    Ok(out)
 }
 
 fn sql_arg(args: &[String]) -> CliResult<&str> {
@@ -325,6 +355,9 @@ fn stats(args: &[String]) -> CliResult<String> {
     let db = load_csv_dir(&dir)?;
     let config = PrmLearnConfig { budget_bytes: budget, ..Default::default() };
     let est = PrmEstimator::build(&db, &config)?;
+    // Run the workload through the degradation ladder so the
+    // `prm.guard.*` counters land in the registry snapshot.
+    let est = prmsel::ResilientEstimator::new(est).with_avi_fallback(&db)?;
     let queries = example_workload(&db)?;
     obs::info!("stats workload: {} example queries", queries.len());
     let want_traces = args.iter().any(|a| a == "--traces")
@@ -344,6 +377,20 @@ fn stats(args: &[String]) -> CliResult<String> {
     } else {
         snap.to_json()
     };
+    let guard_queries = obs::counter!("prm.guard.queries").get();
+    let guard_fallback = obs::counter!("prm.guard.fallback").get();
+    out.push_str(&format!(
+        "\nguard: {guard_queries} queries, {guard_fallback} fallback \
+         (ratio {:.3}); budget={} deadline={} panic={}",
+        if guard_queries > 0 {
+            guard_fallback as f64 / guard_queries as f64
+        } else {
+            0.0
+        },
+        obs::counter!("prm.guard.budget").get(),
+        obs::counter!("prm.guard.deadline").get(),
+        obs::counter!("prm.guard.panic").get(),
+    ));
     if want_traces {
         let traces = obs::flight::ring().snapshot();
         if args.iter().any(|a| a == "--traces") {
@@ -792,11 +839,68 @@ mod tests {
             "reldb.exec.queries",
             "par.pool.tasks",
             "par.pool.threads",
+            "prm.guard.queries",
+            "prm.guard.fallback_ratio",
         ] {
             assert!(out.contains(&format!("\"{key}\"")), "missing {key} in:\n{out}");
         }
+        assert!(out.contains("guard: "), "{out}");
         let pretty =
             run(&s(&["stats", "--csv-dir", dir.to_str().unwrap(), "--pretty"])).unwrap();
         assert!(pretty.contains("prm.estimate.ns"), "{pretty}");
+    }
+
+    #[test]
+    fn estimate_strict_flag_matches_default_when_healthy() {
+        let dir = dump_db("strict");
+        let model = dir.join("model_strict.prm");
+        run(&s(&[
+            "build",
+            "--csv-dir",
+            dir.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let sql = "SELECT COUNT(*) FROM patient p WHERE p.age = 2";
+        let relaxed: f64 =
+            run(&s(&["estimate", "--model", model.to_str().unwrap(), sql]))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+        let strict: f64 =
+            run(&s(&["estimate", "--model", model.to_str().unwrap(), "--strict", sql]))
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+        // With nothing armed and no budget set, the ladder never leaves
+        // rung 1, so strict and relaxed answers are the same number.
+        assert_eq!(relaxed.to_bits(), strict.to_bits());
+    }
+
+    #[test]
+    fn schema_errors_are_classed_for_scripts() {
+        let dir = dump_db("classed");
+        let model = dir.join("model_classed.prm");
+        run(&s(&[
+            "build",
+            "--csv-dir",
+            dir.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // An unknown attribute is the caller's bug: never degraded,
+        // reported with its error class.
+        let err = run(&s(&[
+            "estimate",
+            "--model",
+            model.to_str().unwrap(),
+            "SELECT COUNT(*) FROM patient p WHERE p.no_such_attr = 2",
+        ]))
+        .unwrap_err();
+        assert!(err.0.starts_with("[schema]"), "{err}");
     }
 }

@@ -11,8 +11,9 @@ use baselines::sample::JoinPath;
 use baselines::{
     AviEstimator, JoinSampleEstimator, MhistEstimator, SampleEstimator, WaveletEstimator,
 };
-use reldb::{Database, Domain, Error, Pred, Query, Result};
+use reldb::{Database, Domain, Pred, Query};
 
+use crate::error::{Error, Result};
 use crate::learn::{learn_prm, PrmLearnConfig};
 use crate::plan::{FactorCache, PlanCache, PlanKey, QueryPlan};
 use crate::prm::Prm;
@@ -163,9 +164,9 @@ fn query_label(query: &Query) -> String {
 
 fn expect_single_table(query: &Query, table: &str) -> Result<()> {
     if !query.is_single_table() || query.vars[0] != table {
-        return Err(Error::BadJoin(format!(
+        return Err(Error::Schema(reldb::Error::BadJoin(format!(
             "estimator was built for single-table queries over `{table}`"
-        )));
+        ))));
     }
     Ok(())
 }
@@ -309,7 +310,18 @@ impl PrmEstimator {
     /// Builds (without evaluating) the query-evaluation network — exposed
     /// for inspection and tests.
     pub fn unroll(&self, query: &Query) -> Result<QueryEvalBn> {
-        QueryEvalBn::build(&self.prm, &self.schema, query)
+        Ok(QueryEvalBn::build(&self.prm, &self.schema, query)?)
+    }
+
+    /// Exact estimate that bypasses the plan cache entirely: the template
+    /// is compiled fresh and the plan discarded. This is the second rung
+    /// of the degradation ladder ([`crate::ResilientEstimator`]) — after a
+    /// panic on the cached path, a fresh compile sidesteps any poisoned
+    /// resident plan while still answering exactly.
+    pub fn estimate_uncached(&self, query: &Query) -> Result<f64> {
+        self.schema.validate_query(query)?;
+        let plan = QueryPlan::compile(&self.prm, &self.schema, &self.factors, query)?;
+        plan.estimate(&self.schema, query)
     }
 
     /// Explains an estimate: the upward closure, the unrolled network's
@@ -362,6 +374,8 @@ impl SelectivityEstimator for PrmEstimator {
 
     fn estimate(&self, query: &Query) -> Result<f64> {
         let start = std::time::Instant::now();
+        failpoint::fail_point!("estimate.query").map_err(Error::from)?;
+        self.schema.validate_query(query)?;
         obs::flight::begin(|| query_label(query));
         let est = match self.engine {
             InferenceEngine::Exact => {
@@ -431,11 +445,12 @@ impl SelectivityEstimator for AviAdapter {
             .preds
             .iter()
             .map(|p| {
-                let domain =
-                    self.domains.get(p.attr()).ok_or_else(|| Error::UnknownAttr {
+                let domain = self.domains.get(p.attr()).ok_or_else(|| {
+                    Error::Schema(reldb::Error::UnknownAttr {
                         table: self.table.clone(),
                         attr: p.attr().to_owned(),
-                    })?;
+                    })
+                })?;
                 Ok((p.attr().to_owned(), codes_for_pred(domain, p)))
             })
             .collect::<Result<_>>()?;
@@ -501,10 +516,10 @@ impl SelectivityEstimator for MhistAdapter {
             self.domains.iter().map(|d| (0..d.card() as u32).collect()).collect();
         for p in &query.preds {
             let dim = self.attrs.iter().position(|a| a == p.attr()).ok_or_else(|| {
-                Error::BadPredicate(format!(
+                Error::Schema(reldb::Error::BadPredicate(format!(
                     "attribute `{}` is not covered by this MHIST",
                     p.attr()
-                ))
+                )))
             })?;
             let codes = codes_for_pred(&self.domains[dim], p);
             allowed[dim].retain(|c| codes.contains(c));
@@ -571,10 +586,10 @@ impl SelectivityEstimator for WaveletAdapter {
             self.domains.iter().map(|d| (0..d.card() as u32).collect()).collect();
         for p in &query.preds {
             let dim = self.attrs.iter().position(|a| a == p.attr()).ok_or_else(|| {
-                Error::BadPredicate(format!(
+                Error::Schema(reldb::Error::BadPredicate(format!(
                     "attribute `{}` is not covered by this wavelet summary",
                     p.attr()
-                ))
+                )))
             })?;
             let codes = codes_for_pred(&self.domains[dim], p);
             allowed[dim].retain(|c| codes.contains(c));
@@ -634,11 +649,12 @@ impl SelectivityEstimator for SampleAdapter {
             .preds
             .iter()
             .map(|p| {
-                let domain =
-                    self.domains.get(p.attr()).ok_or_else(|| Error::UnknownAttr {
+                let domain = self.domains.get(p.attr()).ok_or_else(|| {
+                    Error::Schema(reldb::Error::UnknownAttr {
                         table: self.table.clone(),
                         attr: p.attr().to_owned(),
-                    })?;
+                    })
+                })?;
                 Ok((p.attr().to_owned(), codes_for_pred(domain, p)))
             })
             .collect::<Result<_>>()?;
@@ -683,7 +699,9 @@ impl JoinSampleAdapter {
                 .into_iter()
                 .find(|f| &f.attr == fk)
                 .ok_or_else(|| {
-                    Error::BadJoin(format!("`{current}.{fk}` is not a foreign key"))
+                    Error::Schema(reldb::Error::BadJoin(format!(
+                        "`{current}.{fk}` is not a foreign key"
+                    )))
                 })?
                 .target;
             chain.push(target.clone());
@@ -718,15 +736,15 @@ impl SelectivityEstimator for JoinSampleAdapter {
         if query.vars.len() != self.chain.len()
             || query.joins.len() + 1 != self.chain.len()
         {
-            return Err(Error::BadJoin(
+            return Err(Error::Schema(reldb::Error::BadJoin(
                 "join-sample estimator answers full-chain queries only".into(),
-            ));
+            )));
         }
         for table in &self.chain {
             if !query.vars.contains(table) {
-                return Err(Error::BadJoin(format!(
+                return Err(Error::Schema(reldb::Error::BadJoin(format!(
                     "query does not cover chain table `{table}`"
-                )));
+                ))));
             }
         }
         let start = std::time::Instant::now();
@@ -737,7 +755,10 @@ impl SelectivityEstimator for JoinSampleAdapter {
                 let table = query.vars[p.var()].clone();
                 let key = (table, p.attr().to_owned());
                 let domain = self.domains.get(&key).ok_or_else(|| {
-                    Error::UnknownAttr { table: key.0.clone(), attr: key.1.clone() }
+                    Error::Schema(reldb::Error::UnknownAttr {
+                        table: key.0.clone(),
+                        attr: key.1.clone(),
+                    })
                 })?;
                 Ok((key, codes_for_pred(domain, p)))
             })

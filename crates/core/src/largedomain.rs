@@ -17,10 +17,10 @@ use std::collections::HashMap;
 
 use bayesnet::discretize::{Discretizer, NominalGrouper};
 use reldb::{
-    Cell, Database, DatabaseBuilder, Domain, Error, Pred, Query, Result, TableBuilder,
-    Value,
+    Cell, Database, DatabaseBuilder, Domain, Error, Pred, Query, TableBuilder, Value,
 };
 
+use crate::error::Result;
 use crate::estimator::SelectivityEstimator;
 
 /// Per-column binning metadata.

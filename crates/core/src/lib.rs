@@ -67,8 +67,10 @@
 //! | [`schema`] | — | schema snapshot used by the online phase |
 
 pub(crate) mod ctx;
+pub mod error;
 pub mod estimator;
 pub mod groupby;
+pub mod guard;
 pub mod largedomain;
 pub mod learn;
 pub mod maintain;
@@ -79,8 +81,10 @@ pub mod plan;
 pub mod planner;
 pub mod prm;
 pub mod qebn;
+pub mod resilient;
 pub mod schema;
 
+pub use error::{BudgetKind, Error, ErrorClass, Result};
 pub use estimator::{
     estimate_batch, estimate_batch_with_threshold, AviAdapter, InferenceEngine,
     JoinSampleAdapter, MhistAdapter, PrmEstimator, SampleAdapter, SelectivityEstimator,
@@ -97,6 +101,7 @@ pub use plan::{FactorCache, PlanCache, PlanKey, QueryPlan};
 pub use planner::{best_plan, enumerate_plans, Plan};
 pub use prm::{JiParentRef, ParentRef, Prm};
 pub use qebn::{NodeSource, QueryEvalBn};
+pub use resilient::{Outcome, ResilientEstimator, Rung};
 pub use schema::SchemaInfo;
 
 // Re-export the knobs callers tune.

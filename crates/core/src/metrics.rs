@@ -4,8 +4,9 @@
 //! `|S − Ŝ| / max(S, 1)` (§5), reported in percent and averaged over every
 //! instantiation of a query suite (typically thousands of queries).
 
-use reldb::{exec, Database, Query, Result};
+use reldb::{exec, Database, Query};
 
+use crate::error::Result;
 use crate::estimator::SelectivityEstimator;
 
 /// Adjusted relative error of one estimate.
@@ -134,7 +135,7 @@ pub fn evaluate_suite(
 /// Ground-truth sizes of a suite (for harnesses that reuse them across
 /// estimators instead of re-executing per estimator).
 pub fn ground_truth(db: &Database, queries: &[Query]) -> Result<Vec<u64>> {
-    queries.iter().map(|q| exec::result_size(db, q)).collect()
+    queries.iter().map(|q| Ok(exec::result_size(db, q)?)).collect()
 }
 
 /// [`evaluate_with_truth`] with an explicit worker count (overriding the

@@ -5,180 +5,137 @@
 //! a learned [`Prm`] together with the [`SchemaInfo`] snapshot it needs at
 //! estimation time, [`load_model`] restores both. The format is
 //! hand-rolled (little-endian, length-prefixed) so the core crate carries
-//! no serialization dependency, and it is versioned + magic-tagged so
-//! stale or foreign files fail loudly instead of misestimating quietly.
+//! no serialization dependency.
+//!
+//! ## Format (`PRMSEL02`)
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic b"PRMSEL02" (magic doubles as the format version)
+//!      8     8  payload length (u64 le)
+//!     16     8  FNV-1a 64 checksum of the payload (u64 le)
+//!     24     –  payload (tables, CPDs, schema snapshot)
+//! ```
+//!
+//! A corrupted model must never poison the estimator: the checksum is
+//! verified **before** any structure is parsed, every read is
+//! bounds-checked against the declared payload, and all failures return
+//! [`Error::Corrupt`] carrying the byte offset at which validation
+//! failed — never a panic. Files written by earlier format versions
+//! (`PRMSEL01`) are rejected at the magic.
 
 use std::io::{Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use bayesnet::cpd::{Cpd, TableCpd, TreeCpd, TreeNode};
-use reldb::{Domain, Error, Result, Value};
+use reldb::{Domain, Value};
 
+use crate::error::{Error, Result};
 use crate::prm::{
     AttrModel, JiParentRef, JoinIndicatorModel, ParentRef, Prm, TableModel,
 };
 use crate::schema::{FkInfo, SchemaInfo, TableInfo};
 
-const MAGIC: &[u8; 8] = b"PRMSEL01";
+const MAGIC: &[u8; 8] = b"PRMSEL02";
+/// Bytes before the payload: magic + payload length + checksum.
+const HEADER_LEN: u64 = 24;
+
+/// FNV-1a 64 over `bytes` — tiny, dependency-free, and plenty to catch
+/// truncation and bit flips (this is integrity checking, not crypto).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn corrupt_at(offset: u64, detail: impl Into<String>) -> Error {
+    Error::Corrupt { offset: Some(offset), detail: detail.into() }
+}
 
 /// Serializes a model + schema snapshot.
 pub fn save_model(prm: &Prm, schema: &SchemaInfo, mut out: impl Write) -> Result<()> {
-    let mut w = Writer { out: &mut out };
-    w.bytes(MAGIC)?;
-    w.usize_(prm.tables.len())?;
-    for t in &prm.tables {
-        w.string(&t.table)?;
-        w.u64_(t.n_rows)?;
-        w.usize_(t.attrs.len())?;
-        for a in &t.attrs {
-            w.string(&a.name)?;
-            w.usize_(a.card)?;
-            w.usize_(a.parents.len())?;
-            for p in &a.parents {
-                match *p {
-                    ParentRef::Local { attr } => {
-                        w.u8_(0)?;
-                        w.usize_(attr)?;
-                    }
-                    ParentRef::Foreign { fk, attr } => {
-                        w.u8_(1)?;
-                        w.usize_(fk)?;
-                        w.usize_(attr)?;
-                    }
-                }
-            }
-            w.cpd(&a.cpd)?;
-        }
-        w.usize_(t.join_indicators.len())?;
-        for ji in &t.join_indicators {
-            w.string(&ji.fk_attr)?;
-            w.string(&ji.target)?;
-            w.usize_(ji.parents.len())?;
-            for p in &ji.parents {
-                match *p {
-                    JiParentRef::Child { attr } => {
-                        w.u8_(0)?;
-                        w.usize_(attr)?;
-                    }
-                    JiParentRef::Parent { attr } => {
-                        w.u8_(1)?;
-                        w.usize_(attr)?;
-                    }
-                }
-            }
-            w.usizes(&ji.parent_cards)?;
-            w.f64s(&ji.p_true)?;
-        }
+    let mut payload = Vec::new();
+    {
+        let mut w = Writer { out: &mut payload };
+        w.body(prm, schema)?;
     }
-    // Schema snapshot.
-    w.usize_(schema.tables.len())?;
-    for t in &schema.tables {
-        w.string(&t.name)?;
-        w.u64_(t.n_rows)?;
-        w.usize_(t.attrs.len())?;
-        for (a, d) in t.attrs.iter().zip(&t.domains) {
-            w.string(a)?;
-            w.usize_(d.card())?;
-            for v in d.values() {
-                w.value(v)?;
-            }
-        }
-        w.usize_(t.fks.len())?;
-        for fk in &t.fks {
-            w.string(&fk.attr)?;
-            w.usize_(fk.target)?;
-        }
-    }
-    Ok(())
+    let mut write = |bytes: &[u8]| {
+        out.write_all(bytes).map_err(|e| Error::Internal(format!("write error: {e}")))
+    };
+    write(MAGIC)?;
+    write(&(payload.len() as u64).to_le_bytes())?;
+    write(&fnv1a(&payload).to_le_bytes())?;
+    write(&payload)
 }
 
 /// Deserializes a model + schema snapshot saved by [`save_model`].
+///
+/// Magic, declared payload length, and checksum are all verified before
+/// parsing; any mismatch — or any structural inconsistency found while
+/// parsing — returns [`Error::Corrupt`] with the byte offset of the
+/// damage.
 pub fn load_model(mut input: impl Read) -> Result<(Prm, SchemaInfo)> {
-    let mut r = Reader { input: &mut input };
-    let magic = r.fixed::<8>()?;
-    if &magic != MAGIC {
-        return Err(Error::Corrupt("not a prmsel model file (bad magic/version)".into()));
+    failpoint::fail_point!("persist.load").map_err(Error::from)?;
+    let mut header = [0u8; HEADER_LEN as usize];
+    let got = read_up_to(&mut input, &mut header)?;
+    if got < header.len() {
+        return Err(corrupt_at(got as u64, "truncated header"));
     }
-    let n_tables = r.usize_()?;
-    let mut tables = Vec::with_capacity(n_tables);
-    for _ in 0..n_tables {
-        let table = r.string()?;
-        let n_rows = r.u64_()?;
-        let n_attrs = r.usize_()?;
-        let mut attrs = Vec::with_capacity(n_attrs);
-        for _ in 0..n_attrs {
-            let name = r.string()?;
-            let card = r.usize_()?;
-            let n_parents = r.usize_()?;
-            let mut parents = Vec::with_capacity(n_parents);
-            for _ in 0..n_parents {
-                parents.push(match r.u8_()? {
-                    0 => ParentRef::Local { attr: r.usize_()? },
-                    1 => ParentRef::Foreign { fk: r.usize_()?, attr: r.usize_()? },
-                    x => return Err(corrupt(format!("parent tag {x}"))),
-                });
-            }
-            let cpd = r.cpd()?;
-            attrs.push(AttrModel { name, card, parents, cpd });
-        }
-        let n_jis = r.usize_()?;
-        let mut join_indicators = Vec::with_capacity(n_jis);
-        for _ in 0..n_jis {
-            let fk_attr = r.string()?;
-            let target = r.string()?;
-            let n_parents = r.usize_()?;
-            let mut parents = Vec::with_capacity(n_parents);
-            for _ in 0..n_parents {
-                parents.push(match r.u8_()? {
-                    0 => JiParentRef::Child { attr: r.usize_()? },
-                    1 => JiParentRef::Parent { attr: r.usize_()? },
-                    x => return Err(corrupt(format!("ji parent tag {x}"))),
-                });
-            }
-            let parent_cards = r.usizes()?;
-            let p_true = r.f64s()?;
-            join_indicators.push(JoinIndicatorModel {
-                fk_attr,
-                target,
-                parents,
-                parent_cards,
-                p_true,
-            });
-        }
-        tables.push(TableModel { table, n_rows, attrs, join_indicators });
+    if &header[..8] != MAGIC {
+        return Err(corrupt_at(0, "not a prmsel model file (bad magic/version)"));
     }
-    let n_schema = r.usize_()?;
-    let mut schema_tables = Vec::with_capacity(n_schema);
-    for _ in 0..n_schema {
-        let name = r.string()?;
-        let n_rows = r.u64_()?;
-        let n_attrs = r.usize_()?;
-        let mut attrs = Vec::with_capacity(n_attrs);
-        let mut domains = Vec::with_capacity(n_attrs);
-        for _ in 0..n_attrs {
-            attrs.push(r.string()?);
-            let card = r.usize_()?;
-            let mut values = Vec::with_capacity(card);
-            for _ in 0..card {
-                values.push(r.value()?);
-            }
-            domains.push(Domain::new(values));
-        }
-        let n_fks = r.usize_()?;
-        let mut fks = Vec::with_capacity(n_fks);
-        for _ in 0..n_fks {
-            fks.push(FkInfo { attr: r.string()?, target: r.usize_()? });
-        }
-        schema_tables.push(TableInfo { name, n_rows, attrs, domains, fks });
+    let payload_len = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+    if payload_len > (1 << 40) {
+        return Err(corrupt_at(8, format!("implausible payload length {payload_len}")));
     }
-    Ok((Prm { tables }, SchemaInfo { tables: schema_tables }))
+    let checksum = u64::from_le_bytes(header[16..24].try_into().expect("8-byte slice"));
+    let mut payload = vec![0u8; payload_len as usize];
+    let got = read_up_to(&mut input, &mut payload)?;
+    if (got as u64) < payload_len {
+        return Err(corrupt_at(
+            HEADER_LEN + got as u64,
+            format!("truncated payload: declared {payload_len} bytes, found {got}"),
+        ));
+    }
+    if fnv1a(&payload) != checksum {
+        return Err(corrupt_at(
+            HEADER_LEN,
+            "payload checksum mismatch (bit flip or partial write)",
+        ));
+    }
+    // The checksum screens out accidental damage; the bounds-checked
+    // parse below handles truncation within a declared length. The
+    // catch_unwind is the last line of defense for adversarially crafted
+    // payloads that pass both but violate a constructor invariant — load
+    // must *never* panic.
+    catch_unwind(AssertUnwindSafe(|| {
+        let mut r = Reader { buf: &payload, pos: 0 };
+        r.body()
+    }))
+    .unwrap_or_else(|_| {
+        Err(corrupt_at(HEADER_LEN, "model validation panicked on decoded structure"))
+    })
 }
 
-fn corrupt(what: String) -> Error {
-    Error::Corrupt(format!("corrupt model file: {what}"))
+/// Reads until `buf` is full or the input ends; returns bytes read.
+fn read_up_to(input: &mut impl Read, buf: &mut [u8]) -> Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match input.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(Error::Internal(format!("read error: {e}"))),
+        }
+    }
+    Ok(filled)
 }
 
 // ---------------------------------------------------------------------
-// Primitive writer/reader.
+// Primitive writer.
 // ---------------------------------------------------------------------
 
 struct Writer<'a, W: Write> {
@@ -186,8 +143,76 @@ struct Writer<'a, W: Write> {
 }
 
 impl<W: Write> Writer<'_, W> {
+    fn body(&mut self, prm: &Prm, schema: &SchemaInfo) -> Result<()> {
+        self.usize_(prm.tables.len())?;
+        for t in &prm.tables {
+            self.string(&t.table)?;
+            self.u64_(t.n_rows)?;
+            self.usize_(t.attrs.len())?;
+            for a in &t.attrs {
+                self.string(&a.name)?;
+                self.usize_(a.card)?;
+                self.usize_(a.parents.len())?;
+                for p in &a.parents {
+                    match *p {
+                        ParentRef::Local { attr } => {
+                            self.u8_(0)?;
+                            self.usize_(attr)?;
+                        }
+                        ParentRef::Foreign { fk, attr } => {
+                            self.u8_(1)?;
+                            self.usize_(fk)?;
+                            self.usize_(attr)?;
+                        }
+                    }
+                }
+                self.cpd(&a.cpd)?;
+            }
+            self.usize_(t.join_indicators.len())?;
+            for ji in &t.join_indicators {
+                self.string(&ji.fk_attr)?;
+                self.string(&ji.target)?;
+                self.usize_(ji.parents.len())?;
+                for p in &ji.parents {
+                    match *p {
+                        JiParentRef::Child { attr } => {
+                            self.u8_(0)?;
+                            self.usize_(attr)?;
+                        }
+                        JiParentRef::Parent { attr } => {
+                            self.u8_(1)?;
+                            self.usize_(attr)?;
+                        }
+                    }
+                }
+                self.usizes(&ji.parent_cards)?;
+                self.f64s(&ji.p_true)?;
+            }
+        }
+        // Schema snapshot.
+        self.usize_(schema.tables.len())?;
+        for t in &schema.tables {
+            self.string(&t.name)?;
+            self.u64_(t.n_rows)?;
+            self.usize_(t.attrs.len())?;
+            for (a, d) in t.attrs.iter().zip(&t.domains) {
+                self.string(a)?;
+                self.usize_(d.card())?;
+                for v in d.values() {
+                    self.value(v)?;
+                }
+            }
+            self.usize_(t.fks.len())?;
+            for fk in &t.fks {
+                self.string(&fk.attr)?;
+                self.usize_(fk.target)?;
+            }
+        }
+        Ok(())
+    }
+
     fn bytes(&mut self, b: &[u8]) -> Result<()> {
-        self.out.write_all(b).map_err(|e| Error::Io(format!("write error: {e}")))
+        self.out.write_all(b).map_err(|e| Error::Internal(format!("write error: {e}")))
     }
 
     fn u8_(&mut self, v: u8) -> Result<()> {
@@ -293,46 +318,152 @@ impl<W: Write> Writer<'_, W> {
     }
 }
 
-struct Reader<'a, R: Read> {
-    input: &'a mut R,
+// ---------------------------------------------------------------------
+// Offset-tracking reader over the verified payload.
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
 }
 
-impl<R: Read> Reader<'_, R> {
-    fn fixed<const N: usize>(&mut self) -> Result<[u8; N]> {
-        let mut buf = [0u8; N];
-        self.input
-            .read_exact(&mut buf)
-            .map_err(|e| Error::Io(format!("read error: {e}")))?;
-        Ok(buf)
+impl<'a> Reader<'a> {
+    /// Absolute file offset of the next unread byte (header included) —
+    /// what [`Error::Corrupt`] reports.
+    fn offset(&self) -> u64 {
+        HEADER_LEN + self.pos as u64
+    }
+
+    fn corrupt(&self, detail: impl Into<String>) -> Error {
+        corrupt_at(self.offset(), detail)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if n > self.buf.len() - self.pos {
+            return Err(self.corrupt(format!(
+                "truncated field: needed {n} bytes, {} left",
+                self.buf.len() - self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn body(&mut self) -> Result<(Prm, SchemaInfo)> {
+        let n_tables = self.usize_()?;
+        let mut tables = Vec::with_capacity(n_tables.min(1024));
+        for _ in 0..n_tables {
+            let table = self.string()?;
+            let n_rows = self.u64_()?;
+            let n_attrs = self.usize_()?;
+            let mut attrs = Vec::with_capacity(n_attrs.min(1024));
+            for _ in 0..n_attrs {
+                let name = self.string()?;
+                let card = self.usize_()?;
+                let n_parents = self.usize_()?;
+                let mut parents = Vec::with_capacity(n_parents.min(1024));
+                for _ in 0..n_parents {
+                    let at = self.offset();
+                    parents.push(match self.u8_()? {
+                        0 => ParentRef::Local { attr: self.usize_()? },
+                        1 => ParentRef::Foreign {
+                            fk: self.usize_()?,
+                            attr: self.usize_()?,
+                        },
+                        x => return Err(corrupt_at(at, format!("parent tag {x}"))),
+                    });
+                }
+                let cpd = self.cpd()?;
+                attrs.push(AttrModel { name, card, parents, cpd });
+            }
+            let n_jis = self.usize_()?;
+            let mut join_indicators = Vec::with_capacity(n_jis.min(1024));
+            for _ in 0..n_jis {
+                let fk_attr = self.string()?;
+                let target = self.string()?;
+                let n_parents = self.usize_()?;
+                let mut parents = Vec::with_capacity(n_parents.min(1024));
+                for _ in 0..n_parents {
+                    let at = self.offset();
+                    parents.push(match self.u8_()? {
+                        0 => JiParentRef::Child { attr: self.usize_()? },
+                        1 => JiParentRef::Parent { attr: self.usize_()? },
+                        x => return Err(corrupt_at(at, format!("ji parent tag {x}"))),
+                    });
+                }
+                let parent_cards = self.usizes()?;
+                let p_true = self.f64s()?;
+                join_indicators.push(JoinIndicatorModel {
+                    fk_attr,
+                    target,
+                    parents,
+                    parent_cards,
+                    p_true,
+                });
+            }
+            tables.push(TableModel { table, n_rows, attrs, join_indicators });
+        }
+        let n_schema = self.usize_()?;
+        let mut schema_tables = Vec::with_capacity(n_schema.min(1024));
+        for _ in 0..n_schema {
+            let name = self.string()?;
+            let n_rows = self.u64_()?;
+            let n_attrs = self.usize_()?;
+            let mut attrs = Vec::with_capacity(n_attrs.min(1024));
+            let mut domains = Vec::with_capacity(n_attrs.min(1024));
+            for _ in 0..n_attrs {
+                attrs.push(self.string()?);
+                let card = self.usize_()?;
+                let mut values = Vec::with_capacity(card.min(1024));
+                for _ in 0..card {
+                    values.push(self.value()?);
+                }
+                domains.push(Domain::new(values));
+            }
+            let n_fks = self.usize_()?;
+            let mut fks = Vec::with_capacity(n_fks.min(1024));
+            for _ in 0..n_fks {
+                fks.push(FkInfo { attr: self.string()?, target: self.usize_()? });
+            }
+            schema_tables.push(TableInfo { name, n_rows, attrs, domains, fks });
+        }
+        if self.pos != self.buf.len() {
+            return Err(self.corrupt(format!(
+                "{} trailing bytes after the model",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok((Prm { tables }, SchemaInfo { tables: schema_tables }))
     }
 
     fn u8_(&mut self) -> Result<u8> {
-        Ok(self.fixed::<1>()?[0])
+        Ok(self.take(1)?[0])
     }
 
     fn u64_(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.fixed::<8>()?))
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
     }
 
     fn usize_(&mut self) -> Result<usize> {
+        let at = self.offset();
         let v = self.u64_()?;
         if v > (1 << 40) {
-            return Err(corrupt(format!("implausible length {v}")));
+            return Err(corrupt_at(at, format!("implausible length {v}")));
         }
         Ok(v as usize)
     }
 
     fn f64_(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.fixed::<8>()?))
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
     }
 
     fn string(&mut self) -> Result<String> {
         let len = self.usize_()?;
-        let mut buf = vec![0u8; len];
-        self.input
-            .read_exact(&mut buf)
-            .map_err(|e| Error::Io(format!("read error: {e}")))?;
-        String::from_utf8(buf).map_err(|_| corrupt("non-utf8 string".into()))
+        let at = self.offset();
+        let buf = self.take(len)?;
+        String::from_utf8(buf.to_vec())
+            .map_err(|_| corrupt_at(at, "non-utf8 string".to_owned()))
     }
 
     fn usizes(&mut self) -> Result<Vec<usize>> {
@@ -346,14 +477,16 @@ impl<R: Read> Reader<'_, R> {
     }
 
     fn value(&mut self) -> Result<Value> {
+        let at = self.offset();
         match self.u8_()? {
             0 => Ok(Value::Int(self.u64_()? as i64)),
             1 => Ok(Value::Str(self.string()?)),
-            x => Err(corrupt(format!("value tag {x}"))),
+            x => Err(corrupt_at(at, format!("value tag {x}"))),
         }
     }
 
     fn cpd(&mut self) -> Result<Cpd> {
+        let at = self.offset();
         match self.u8_()? {
             0 => {
                 let child_card = self.usize_()?;
@@ -363,7 +496,7 @@ impl<R: Read> Reader<'_, R> {
                     (0..n).map(|_| self.f64_()).collect::<Result<_>>()?;
                 let expected = parent_cards.iter().product::<usize>().max(1) * child_card;
                 if n != expected {
-                    return Err(corrupt("table cpd size mismatch".into()));
+                    return Err(corrupt_at(at, "table cpd size mismatch".to_owned()));
                 }
                 Ok(TableCpd::new(child_card, parent_cards, probs).into())
             }
@@ -371,8 +504,9 @@ impl<R: Read> Reader<'_, R> {
                 let child_card = self.usize_()?;
                 let parent_cards = self.usizes()?;
                 let n_nodes = self.usize_()?;
-                let mut nodes = Vec::with_capacity(n_nodes);
+                let mut nodes = Vec::with_capacity(n_nodes.min(1024));
                 for _ in 0..n_nodes {
+                    let at = self.offset();
                     nodes.push(match self.u8_()? {
                         0 => TreeNode::Leaf(self.f64s()?),
                         1 => TreeNode::SplitPerValue {
@@ -385,12 +519,12 @@ impl<R: Read> Reader<'_, R> {
                             lo: self.usize_()?,
                             hi: self.usize_()?,
                         },
-                        x => return Err(corrupt(format!("tree node tag {x}"))),
+                        x => return Err(corrupt_at(at, format!("tree node tag {x}"))),
                     });
                 }
                 Ok(TreeCpd::new(child_card, parent_cards, nodes).into())
             }
-            x => Err(corrupt(format!("cpd tag {x}"))),
+            x => Err(corrupt_at(at, format!("cpd tag {x}"))),
         }
     }
 }
@@ -398,6 +532,7 @@ impl<R: Read> Reader<'_, R> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::ErrorClass;
     use crate::estimator::{PrmEstimator, SelectivityEstimator};
     use crate::learn::{learn_prm, PrmLearnConfig};
     use crate::CpdKind;
@@ -442,33 +577,89 @@ mod tests {
 
     #[test]
     fn bad_magic_is_rejected() {
-        let err = load_model(&b"NOTAMODL"[..]);
-        assert!(err.is_err());
+        let err = load_model(&b"NOTAMODL"[..]).unwrap_err();
+        assert_eq!(err.class(), ErrorClass::Corrupt);
     }
 
     #[test]
-    fn truncated_file_is_rejected() {
+    fn old_format_version_is_rejected() {
+        let err = load_model(&b"PRMSEL01somepayloadbytesgohere.."[..]).unwrap_err();
+        match err {
+            Error::Corrupt { offset: Some(0), .. } => {}
+            other => panic!("expected corrupt-at-0, got {other:?}"),
+        }
+    }
+
+    fn serialized_model() -> Vec<u8> {
         let db = tb_database_sized(50, 60, 300, 8);
         let prm = learn_prm(&db, &PrmLearnConfig::default()).unwrap();
         let schema = SchemaInfo::from_db(&db).unwrap();
         let mut buf = Vec::new();
         save_model(&prm, &schema, &mut buf).unwrap();
-        buf.truncate(buf.len() / 2);
-        assert!(load_model(buf.as_slice()).is_err());
+        buf
+    }
+
+    #[test]
+    fn truncated_file_is_rejected_with_offset() {
+        let buf = serialized_model();
+        for keep in [0, 7, 12, 23, 24, buf.len() / 2, buf.len() - 1] {
+            let mut cut = buf.clone();
+            cut.truncate(keep);
+            let err = load_model(cut.as_slice()).unwrap_err();
+            assert_eq!(err.class(), ErrorClass::Corrupt, "keep={keep}: {err}");
+            match err {
+                Error::Corrupt { offset: Some(at), .. } => {
+                    assert!(at <= buf.len() as u64, "keep={keep}: offset {at}")
+                }
+                other => panic!("keep={keep}: expected offset, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_region_of_a_corrupted_model_is_caught() {
+        let buf = serialized_model();
+        // Flip a bit in each structural region: magic, declared length,
+        // checksum, early payload (model structure), mid payload (CPD
+        // parameters), and late payload (schema snapshot).
+        let regions = [
+            ("magic", 3usize),
+            ("payload length", 9),
+            ("checksum", 17),
+            ("early payload", 30),
+            ("mid payload", buf.len() / 2),
+            ("late payload", buf.len() - 2),
+        ];
+        for (what, at) in regions {
+            let mut bad = buf.clone();
+            bad[at] ^= 0x40;
+            match load_model(bad.as_slice()) {
+                Err(e) => assert_eq!(
+                    e.class(),
+                    ErrorClass::Corrupt,
+                    "{what} (byte {at}): wrong class: {e}"
+                ),
+                Ok(_) => panic!("{what} (byte {at}): corrupted file loaded cleanly"),
+            }
+        }
     }
 
     #[test]
     fn string_values_survive() {
-        let db = tb_database_sized(50, 60, 300, 8);
-        let prm = learn_prm(&db, &PrmLearnConfig::default()).unwrap();
-        let schema = SchemaInfo::from_db(&db).unwrap();
-        let mut buf = Vec::new();
-        save_model(&prm, &schema, &mut buf).unwrap();
+        let buf = serialized_model();
         let (_, schema2) = load_model(buf.as_slice()).unwrap();
         // usborn's string domain reloads in order.
         let t = schema2.tables.iter().find(|t| t.name == "patient").unwrap();
         let idx = t.attrs.iter().position(|a| a == "usborn").unwrap();
         assert_eq!(t.domains[idx].values().len(), 2);
         assert_eq!(t.domains[idx].value(0), &Value::from("no"));
+    }
+
+    #[test]
+    fn load_failpoint_injects_internal_error() {
+        failpoint::arm("persist.load", failpoint::Action::Err);
+        let r = load_model(serialized_model().as_slice());
+        failpoint::disarm("persist.load");
+        assert_eq!(r.unwrap_err().class(), ErrorClass::Internal);
     }
 }

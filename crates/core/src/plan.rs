@@ -38,9 +38,10 @@ use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use bayesnet::{eliminate_in_order, elimination_order, Evidence, Factor};
-use reldb::{Query, Result};
+use bayesnet::{elimination_order, try_eliminate_in_order, Evidence, Factor};
+use reldb::Query;
 
+use crate::error::Result;
 use crate::prm::Prm;
 use crate::qebn::{pred_codes, NodeSource, QueryEvalBn};
 use crate::schema::SchemaInfo;
@@ -176,6 +177,7 @@ impl QueryPlan {
         cache: &FactorCache,
         query: &Query,
     ) -> Result<QueryPlan> {
+        failpoint::fail_point!("plan.compile").map_err(crate::error::Error::from)?;
         let qebn = QueryEvalBn::build(prm, schema, query)?;
         let n = qebn.bn.len();
         let mut factors = Vec::with_capacity(n);
@@ -242,7 +244,11 @@ impl QueryPlan {
         }
         drop(reduce);
         let eliminate = obs::flight::phase("eliminate");
-        let p = eliminate_in_order(work, &self.order);
+        // Guarded replay: arithmetic is identical to the unguarded kernel
+        // (bit-identity holds); the budget only adds control-flow checks,
+        // and costs two relaxed loads when no knob is set.
+        let p =
+            try_eliminate_in_order(work, &self.order, crate::guard::estimate_budget())?;
         drop(eliminate);
         let mut size = p;
         for &rows in &self.row_factors {

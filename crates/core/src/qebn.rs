@@ -365,6 +365,41 @@ impl SchemaInfo {
         let a = self.attr_index(table, attr)?;
         Ok(&self.tables[table].domains[a])
     }
+
+    /// Validates `query` against this schema snapshot *before* any
+    /// planning work: unknown tables/attributes, out-of-range tuple
+    /// variables, and non-FK join edges are all typed
+    /// [`crate::Error::Schema`] failures. Predicate *constants* are not
+    /// checked — a constant outside the learned domain is a valid query
+    /// that estimates ~0 selectivity (the paper's frequency semantics).
+    pub fn validate_query(&self, query: &Query) -> crate::error::Result<()> {
+        let mut var_tables = Vec::with_capacity(query.vars.len());
+        for var in &query.vars {
+            var_tables.push(self.table_index(var)?);
+        }
+        for join in &query.joins {
+            for v in [join.child, join.parent] {
+                if v >= query.vars.len() {
+                    return Err(Error::UnknownVar(v).into());
+                }
+            }
+            let fk = self.fk_index(var_tables[join.child], &join.fk_attr)?;
+            if self.fk_target(var_tables[join.child], fk) != var_tables[join.parent] {
+                return Err(Error::BadJoin(format!(
+                    "`{}.{}` does not reference `{}`",
+                    query.vars[join.child], join.fk_attr, query.vars[join.parent]
+                ))
+                .into());
+            }
+        }
+        for pred in &query.preds {
+            if pred.var() >= query.vars.len() {
+                return Err(Error::UnknownVar(pred.var()).into());
+            }
+            self.attr_index(var_tables[pred.var()], pred.attr())?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -89,6 +89,8 @@ pub fn read_table(reader: impl BufRead, schema: &CsvSchema) -> Result<Table> {
         };
     }
     for (line_no, line) in lines.enumerate() {
+        failpoint::fail_point!("csv.row")
+            .map_err(|e| Error::Internal(format!("{e} (row {})", line_no + 2)))?;
         let line = line.map_err(|e| Error::Io(format!("read error: {e}")))?;
         if line.trim().is_empty() {
             continue;

@@ -45,6 +45,12 @@ pub enum Error {
     Parse(String),
     /// A corrupt or incompatible on-disk artifact (model files).
     Corrupt(String),
+    /// A resource budget was exhausted (inference width or deadline
+    /// guards); carries which limit tripped.
+    Exhausted(String),
+    /// An internal invariant was violated, a fault was injected, or a
+    /// worker panic was isolated.
+    Internal(String),
 }
 
 impl fmt::Display for Error {
@@ -81,6 +87,8 @@ impl fmt::Display for Error {
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
             Error::Parse(msg) => write!(f, "parse error: {msg}"),
             Error::Corrupt(msg) => write!(f, "corrupt artifact: {msg}"),
+            Error::Exhausted(msg) => write!(f, "budget exhausted: {msg}"),
+            Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }

@@ -1,0 +1,173 @@
+//! Chaos property tests: no input — malformed SQL, schema-mismatched
+//! queries, junk tuple-variable indices — may panic any
+//! [`SelectivityEstimator`] implementation. Estimation either answers or
+//! returns a typed `Err`; the process survives. Checked at worker counts
+//! 1 and 4, since the parallel batch path re-raises worker panics.
+
+use prmsel::{
+    AviAdapter, MhistAdapter, PrmEstimator, PrmLearnConfig, ResilientEstimator,
+    SampleAdapter, SelectivityEstimator, WaveletAdapter,
+};
+use proptest::prelude::*;
+use reldb::{parse_query, Join, Pred, Query, Value};
+use workloads::tb::tb_database_sized;
+
+/// Serializes tests that force the process-wide worker count.
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    par::set_threads(Some(n));
+    let out = f();
+    par::set_threads(None);
+    out
+}
+
+/// Every estimator implementation in the workspace, built once over the
+/// same small TB database and shared across cases.
+fn all_estimators() -> &'static [Box<dyn SelectivityEstimator + Send + Sync>] {
+    static ESTS: std::sync::OnceLock<Vec<Box<dyn SelectivityEstimator + Send + Sync>>> =
+        std::sync::OnceLock::new();
+    ESTS.get_or_init(|| {
+        let db = tb_database_sized(20, 40, 200, 11);
+        let config = PrmLearnConfig { budget_bytes: 4096, ..Default::default() };
+        let prm = PrmEstimator::build(&db, &config).unwrap();
+        let resilient =
+            ResilientEstimator::new(PrmEstimator::build(&db, &config).unwrap())
+                .with_avi_fallback(&db)
+                .unwrap();
+        vec![
+            Box::new(prm),
+            Box::new(resilient),
+            Box::new(AviAdapter::build(&db, "patient").unwrap()),
+            Box::new(
+                MhistAdapter::build(&db, "patient", &["age", "usborn"], 2048).unwrap(),
+            ),
+            Box::new(
+                WaveletAdapter::build(&db, "patient", &["age", "usborn"], 2048).unwrap(),
+            ),
+            Box::new(SampleAdapter::build(&db, "patient", 2048, 5).unwrap()),
+        ]
+    })
+}
+
+/// A token soup biased toward almost-valid SQL: fragments of real
+/// queries interleaved with junk, unbalanced quotes, and stray operators.
+fn arb_sql() -> impl Strategy<Value = String> {
+    const TOKENS: &[&str] = &[
+        "SELECT",
+        "COUNT(*)",
+        "FROM",
+        "WHERE",
+        "AND",
+        "patient p",
+        "contact c",
+        "p.age = 2",
+        "c.patient = p",
+        "p.age",
+        "=",
+        "IN (1, 2)",
+        "BETWEEN 0 AND",
+        "'unterminated",
+        "💥",
+        ",",
+        ")",
+        "(",
+        "nonsense",
+        "0xFF",
+        ";DROP",
+        "",
+    ];
+    proptest::collection::vec(0usize..TOKENS.len(), 8)
+        .prop_map(|ixs| ixs.iter().map(|&i| TOKENS[i]).collect::<Vec<_>>().join(" "))
+}
+
+/// A structurally arbitrary query: var names from a pool that mixes real
+/// tables with garbage, predicates and joins with junk attributes,
+/// out-of-range variable indices, and out-of-domain constants.
+fn arb_query() -> impl Strategy<Value = Query> {
+    const TABLES: &[&str] = &["patient", "contact", "strain", "bogus", "", "Patient"];
+    const ATTRS: &[&str] = &["age", "contype", "usborn", "patient", "zzz", ""];
+    (
+        proptest::collection::vec(0usize..TABLES.len(), 2),
+        proptest::collection::vec((0usize..5, 0usize..ATTRS.len(), -3i64..12), 3),
+        0usize..5, // join child var (possibly out of range)
+        0usize..5, // join parent var (possibly out of range)
+        0usize..ATTRS.len(),
+        any::<bool>(), // include the join at all
+    )
+        .prop_map(|(vars, preds, jc, jp, jattr, with_join)| {
+            let vars: Vec<String> =
+                vars.into_iter().map(|i| TABLES[i].to_owned()).collect();
+            let joins = if with_join {
+                vec![Join { child: jc, fk_attr: ATTRS[jattr].to_owned(), parent: jp }]
+            } else {
+                vec![]
+            };
+            let preds = preds
+                .into_iter()
+                .map(|(var, attr, v)| Pred::Eq {
+                    var,
+                    attr: ATTRS[attr].to_owned(),
+                    value: Value::Int(v),
+                })
+                .collect();
+            Query { vars, joins, preds }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Malformed SQL parses to a typed error or a query; if it parses,
+    // every estimator answers it with `Ok` or `Err` — never a panic.
+    #[test]
+    fn malformed_sql_never_panics(sql in arb_sql()) {
+        for threads in [1usize, 4] {
+            with_threads(threads, || {
+                if let Ok(query) = parse_query(&sql) {
+                    for est in all_estimators() {
+                        let _ = est.estimate(&query);
+                    }
+                }
+            });
+        }
+    }
+
+    // Schema-mismatched query structures (junk tables, attributes,
+    // variable indices, constants) must be rejected or estimated, never
+    // panic — for every estimator and at both worker counts.
+    #[test]
+    fn mismatched_queries_never_panic(query in arb_query()) {
+        for threads in [1usize, 4] {
+            with_threads(threads, || {
+                for est in all_estimators() {
+                    let _ = est.estimate(&query);
+                }
+            });
+        }
+    }
+
+    // A batch containing a poison query still yields one result per
+    // query through the resilient ladder.
+    #[test]
+    fn batches_with_poison_queries_complete(query in arb_query()) {
+        static LADDER: std::sync::OnceLock<ResilientEstimator> = std::sync::OnceLock::new();
+        let ladder = LADDER.get_or_init(|| {
+            let db = tb_database_sized(20, 40, 200, 11);
+            let config = PrmLearnConfig { budget_bytes: 4096, ..Default::default() };
+            ResilientEstimator::new(PrmEstimator::build(&db, &config).unwrap())
+        });
+        let mut good = reldb::Query::builder();
+        let p = good.var("patient");
+        good.eq(p, "age", 2);
+        let healthy = good.build();
+        let batch = vec![healthy.clone(), query.clone(), healthy];
+        for threads in [1usize, 4] {
+            let outcomes = with_threads(threads, || ladder.estimate_batch(&batch));
+            prop_assert_eq!(outcomes.len(), batch.len());
+            // The healthy neighbors answered on the exact rung.
+            prop_assert!(outcomes[0].result.is_ok());
+            prop_assert!(outcomes[2].result.is_ok());
+        }
+    }
+}

@@ -15,9 +15,11 @@
 //! empty separators, whose messages are scalars — multiplying component
 //! probabilities exactly as independence demands.
 
+use std::sync::Arc;
+
 use crate::factor::Factor;
 use crate::infer::Evidence;
-use crate::network::BayesNet;
+use crate::network::{BayesNet, CpdFactorCache};
 
 /// A compiled junction tree for one Bayesian network.
 #[derive(Debug, Clone)]
@@ -30,8 +32,9 @@ pub struct JoinTree {
     assigned: Vec<Vec<usize>>,
     /// Variable cardinalities.
     cards: Vec<usize>,
-    /// The network's CPD factors (unreduced).
-    factors: Vec<Factor>,
+    /// The network's CPD factors (unreduced), shared with the
+    /// [`CpdFactorCache`] they came from.
+    factors: Vec<Arc<Factor>>,
     /// Cliques in a post-order (children before parents).
     post_order: Vec<usize>,
 }
@@ -46,8 +49,18 @@ pub struct Calibrated<'t> {
 }
 
 impl JoinTree {
-    /// Compiles a junction tree from a complete network.
+    /// Compiles a junction tree from a complete network, materializing
+    /// its CPD factors into a private cache. Callers building several
+    /// trees over the same network (one per evidence set) should share
+    /// one cache via [`JoinTree::build_with_cache`] instead.
     pub fn build(bn: &BayesNet) -> JoinTree {
+        JoinTree::build_with_cache(bn, &CpdFactorCache::for_net(bn))
+    }
+
+    /// Compiles a junction tree from a complete network, taking CPD
+    /// factors from `cache` (materializing any still-empty slot). `cache`
+    /// must be shaped from `bn`.
+    pub fn build_with_cache(bn: &BayesNet, cache: &CpdFactorCache) -> JoinTree {
         let n = bn.len();
         // Moral graph.
         let mut adj = vec![vec![false; n]; n];
@@ -135,7 +148,7 @@ impl JoinTree {
             edges.push((c, p, intersect(&cliques[c], &cliques[p])));
         }
         // CPD factor assignment: each family goes to a clique covering it.
-        let factors = bn.factors();
+        let factors: Vec<Arc<Factor>> = (0..n).map(|v| cache.factor(bn, v)).collect();
         let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); m];
         for (fi, f) in factors.iter().enumerate() {
             let home = cliques
@@ -299,7 +312,7 @@ impl JoinTree {
             .map(|cl| {
                 let mut pot = Factor::scalar(1.0);
                 for &fi in &self.assigned[cl] {
-                    let mut f = self.factors[fi].clone();
+                    let mut f = (*self.factors[fi]).clone();
                     for sv in f.vars().to_vec() {
                         if let Some(mask) = evidence.mask_of(sv) {
                             f = f.reduce(sv, mask);
@@ -516,6 +529,36 @@ mod tests {
         assert!((jt.probability_of_evidence(&ev) - 0.5).abs() < 1e-12);
         let post = bn.posteriors(&Evidence::new());
         assert!((post[0].value_at(&[1]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_factors_are_bit_identical_to_ad_hoc_materialization() {
+        let bn = diamond();
+        // The cache route must reproduce `bn.factors()` exactly: entries
+        // are copied CPD parameters either way, so any drift would mean
+        // the cache materialized a different factor.
+        let cache = crate::network::CpdFactorCache::for_net(&bn);
+        let direct = bn.factors();
+        for (v, d) in direct.iter().enumerate() {
+            let c = cache.factor(&bn, v);
+            assert_eq!(c.vars(), d.vars(), "scope drift at v{v}");
+            let c_bits: Vec<u64> = c.data().iter().map(|x| x.to_bits()).collect();
+            let d_bits: Vec<u64> = d.data().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(c_bits, d_bits, "value drift at v{v}");
+        }
+        assert_eq!(cache.materialized(), bn.len());
+
+        // Calibration through a shared cache is bit-identical to the
+        // private-cache build, and materializes nothing new.
+        let mut ev = Evidence::new();
+        ev.eq(3, 1, 2);
+        let fresh = JoinTree::build(&bn).calibrate(&ev).p_evidence();
+        let shared = JoinTree::build_with_cache(&bn, &cache).calibrate(&ev).p_evidence();
+        assert_eq!(shared.to_bits(), fresh.to_bits());
+        assert_eq!(cache.materialized(), bn.len());
+        // A second shared build still materializes nothing.
+        let again = JoinTree::build_with_cache(&bn, &cache).calibrate(&ev).p_evidence();
+        assert_eq!(again.to_bits(), fresh.to_bits());
     }
 
     #[test]

@@ -64,5 +64,5 @@ pub use infer::{
 pub use jointree::JoinTree;
 pub use learn::dataset::Dataset;
 pub use learn::search::{GreedyLearner, LearnConfig, StepRule};
-pub use network::BayesNet;
+pub use network::{BayesNet, CpdFactorCache};
 pub use sample::likelihood_weighting;

@@ -43,6 +43,18 @@ fn mean_latency(est: &PrmEstimator, queries: &[Query], cold: bool) -> f64 {
 
 fn main() -> reldb::Result<()> {
     let opts = HarnessOpts::from_args();
+    // `--monitor HOST:PORT`: serve /metrics, /traces, /health while the
+    // bench runs, so a scraper can watch latency histograms fill live.
+    let argv: Vec<String> = std::env::args().collect();
+    let _monitor =
+        argv.iter().position(|a| a == "--monitor").and_then(|i| argv.get(i + 1)).map(
+            |addr| {
+                let server = httpd::Server::bind(addr, cli::monitor::router())
+                    .expect("bind --monitor");
+                eprintln!("monitor: serving http://{}", server.addr());
+                server
+            },
+        );
     let cap = if opts.quick { 120 } else { 600 };
 
     // ---- Workload suites over their learned models ------------------

@@ -36,7 +36,7 @@ impl From<prmsel::Error> for CliError {
     }
 }
 
-type CliResult<T> = std::result::Result<T, CliError>;
+pub(crate) type CliResult<T> = std::result::Result<T, CliError>;
 
 /// Entry point: dispatches `args` (without the program name) and returns
 /// the text to print.
@@ -61,6 +61,7 @@ pub fn run(args: &[String]) -> CliResult<String> {
         Some("evaluate") => evaluate(&args[1..]),
         Some("describe") => describe(&args[1..]),
         Some("stats") => stats(&args[1..]),
+        Some("monitor") => crate::monitor::monitor(&args[1..]),
         Some("gen") => gen(&args[1..]),
         Some("--help") | Some("-h") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError(format!("unknown command `{other}`\n{USAGE}"))),
@@ -105,7 +106,8 @@ prmsel — selectivity estimation using probabilistic relational models
 
 USAGE:
   prmsel build    --csv-dir DIR --out FILE [--budget BYTES] [--cpd tree|table]
-  prmsel estimate --model FILE [--strict] 'SELECT COUNT(*) FROM ... WHERE ...'
+  prmsel estimate --model FILE [--strict] [--monitor HOST:PORT]
+                  'SELECT COUNT(*) FROM ... WHERE ...'
   prmsel plan     --model FILE 'SELECT COUNT(*) FROM ... WHERE ...'
   prmsel explain  --model FILE [--truth N | --csv-dir DIR]
                   [--trace-json FILE] 'SELECT COUNT(*) FROM ... WHERE ...'
@@ -113,7 +115,10 @@ USAGE:
   prmsel evaluate --model FILE --csv-dir DIR 'SELECT COUNT(*) ...'
   prmsel describe --model FILE
   prmsel stats    --csv-dir DIR [--budget BYTES] [--pretty] [--traces]
-                  [--trace-json FILE]
+                  [--trace-json FILE] [--templates] [--monitor HOST:PORT]
+  prmsel stats    --from-url HOST:PORT [--pretty]
+  prmsel monitor  [--addr HOST:PORT] [--csv-dir DIR] [--budget BYTES]
+                  [--duration-secs S] [--port-file FILE]
   prmsel gen      --csv-dir DIR [--workload census|tb|fin] [--rows N] [--seed S]
 
 OPTIONS (all commands):
@@ -140,12 +145,22 @@ chrome://tracing / Perfetto.
 registry (JSON by default, a table with --pretty); `--traces` appends a
 per-query flight-trace summary and `--trace-json FILE` exports the ring.
 
+`monitor` serves the HTTP observability plane — GET /metrics (OpenMetrics
+text exposition), /traces + /traces/chrome + /traces/worst (flight-
+recorder ring), /health (degradation-guard verdict, 503 when degraded),
+/buildinfo — while replaying the example workload so every endpoint has
+live data; `--addr 127.0.0.1:0` picks an ephemeral port and `--port-file`
+publishes it. `--monitor HOST:PORT` on `estimate`/`stats` serves the same
+endpoints for the duration of the command. `stats --from-url` scrapes a
+live /metrics, lint-validates the exposition, and renders it; `stats
+--templates` appends per-template q-error and warm-latency quantiles.
+
 `gen` writes a synthetic workload database as <table>.csv + schema.txt,
 ready for `build`/`stats`.
 
 DIR must contain <table>.csv files plus schema.txt (see the manifest docs).";
 
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+pub(crate) fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
@@ -210,6 +225,7 @@ fn estimate(args: &[String]) -> CliResult<String> {
     let strict = args.iter().any(|a| a == "--strict");
     let args: Vec<String> =
         args.iter().filter(|a| a.as_str() != "--strict").cloned().collect();
+    let monitor = crate::monitor::maybe_serve(&args)?;
     let est = open_estimator(&args)?;
     // The SQL is the first non-flag argument (flags consume their values).
     let sql = sql_arg(&args)?;
@@ -225,6 +241,9 @@ fn estimate(args: &[String]) -> CliResult<String> {
         for (rung, err) in &outcome.degradations {
             out.push_str(&format!("\n  {rung}: {err}"));
         }
+    }
+    if let Some(server) = monitor {
+        out.push_str(&format!("\nmonitor: served http://{}", server.addr()));
     }
     Ok(out)
 }
@@ -347,6 +366,12 @@ fn evaluate(args: &[String]) -> CliResult<String> {
 /// search step counts, model bytes, estimate-latency and QEBN-size
 /// histograms, executor row counts, and per-phase span timings.
 fn stats(args: &[String]) -> CliResult<String> {
+    let pretty = args.iter().any(|a| a == "--pretty");
+    if let Some(addr) = flag_value(args, "--from-url") {
+        return crate::monitor::stats_from_url(addr, pretty);
+    }
+    let monitor = crate::monitor::maybe_serve(args)?;
+    let templates = args.iter().any(|a| a == "--templates");
     let dir = PathBuf::from(required(args, "--csv-dir")?);
     let budget: usize = flag_value(args, "--budget")
         .map(|v| v.parse().map_err(|_| CliError(format!("bad --budget `{v}`"))))
@@ -366,17 +391,22 @@ fn stats(args: &[String]) -> CliResult<String> {
         obs::flight::ring().clear();
         obs::flight::set_recording(true);
     }
+    if templates {
+        prmsel::set_template_telemetry(true);
+    }
     let eval = prmsel::evaluate_suite(&db, &est, &queries);
+    if templates {
+        prmsel::set_template_telemetry(false);
+    }
     if want_traces {
         obs::flight::set_recording(false);
     }
     eval?;
     let snap = obs::registry().snapshot();
-    let mut out = if args.iter().any(|a| a == "--pretty") {
-        snap.to_pretty()
-    } else {
-        snap.to_json()
-    };
+    let mut out = if pretty { snap.to_pretty() } else { snap.to_json() };
+    if templates {
+        out.push_str(&crate::monitor::template_table(&snap, &queries));
+    }
     let guard_queries = obs::counter!("prm.guard.queries").get();
     let guard_fallback = obs::counter!("prm.guard.fallback").get();
     out.push_str(&format!(
@@ -427,6 +457,9 @@ fn stats(args: &[String]) -> CliResult<String> {
                 traces.len()
             ));
         }
+    }
+    if let Some(server) = monitor {
+        out.push_str(&format!("\nmonitor: served http://{}", server.addr()));
     }
     Ok(out)
 }
@@ -506,7 +539,7 @@ fn gen(args: &[String]) -> CliResult<String> {
 /// A small deterministic workload derived from the schema: one equality
 /// query per (table, value attribute, value) — capped per attribute — and
 /// one selection-over-join query per foreign key.
-fn example_workload(db: &Database) -> CliResult<Vec<reldb::Query>> {
+pub(crate) fn example_workload(db: &Database) -> CliResult<Vec<reldb::Query>> {
     const MAX_VALUES_PER_ATTR: usize = 4;
     let mut queries = Vec::new();
     for table in db.tables() {

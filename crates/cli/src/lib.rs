@@ -5,6 +5,7 @@
 //! prmsel estimate --model model.prm 'SELECT COUNT(*) FROM …'
 //! prmsel describe --model model.prm
 //! prmsel stats    --csv-dir DIR [--pretty]
+//! prmsel monitor  --addr 127.0.0.1:0 --csv-dir DIR
 //! ```
 //!
 //! Every command accepts `-v`/`-vv`/`--verbose` (debug/trace logging to
@@ -19,5 +20,6 @@
 
 pub mod commands;
 pub mod manifest;
+pub mod monitor;
 
 pub use commands::{run, run_to_exit_code, CliError};

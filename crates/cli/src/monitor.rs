@@ -1,0 +1,279 @@
+//! The HTTP observability plane: `prmsel monitor`, the shared endpoint
+//! router, and the per-template quality report.
+//!
+//! Every estimation process exposes the same four surfaces:
+//!
+//! | endpoint | payload |
+//! |---|---|
+//! | `GET /metrics` | the full registry in OpenMetrics text exposition |
+//! | `GET /traces` (`/traces/chrome`, `/traces/worst`) | the flight-recorder ring as JSON / Chrome `trace_event` / pinned worst cases |
+//! | `GET /health` | degradation-guard verdict: `200` healthy, `503` degraded |
+//! | `GET /buildinfo` | package name, version, build profile, pid |
+//!
+//! The router is plain data over the process-global [`obs`] registry and
+//! flight ring, so the same instance serves `prmsel monitor`, the
+//! `--monitor` flag on `estimate`/`stats`, and the bench binaries. When no
+//! listener is configured nothing here runs at all — the estimation path's
+//! only monitoring cost stays the one relaxed load behind the flight and
+//! template-telemetry gates.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use crate::commands::{example_workload, flag_value, load_csv_dir, CliError, CliResult};
+use prmsel::{PrmEstimator, PrmLearnConfig};
+
+/// Builds the standard observability router (see the module docs for the
+/// endpoint table).
+pub fn router() -> httpd::Router {
+    httpd::Router::new()
+        .get("/metrics", |_| {
+            httpd::Response::text(
+                200,
+                obs::openmetrics::render(&obs::registry().snapshot()),
+            )
+        })
+        .get("/traces", |_| {
+            httpd::Response::json(
+                200,
+                obs::flight::to_json(&obs::flight::ring().snapshot()),
+            )
+        })
+        .get("/traces/chrome", |_| {
+            httpd::Response::json(
+                200,
+                obs::flight::to_chrome_trace(&obs::flight::ring().snapshot()),
+            )
+        })
+        .get("/traces/worst", |_| {
+            // Each pin renders as a 0/1-element trace array: absent pins
+            // stay `[]` rather than inventing a null-trace schema.
+            let (lat, qerr) = obs::flight::ring().worst();
+            let arr = |t: Option<obs::flight::QueryTrace>| match t {
+                Some(t) => obs::flight::to_json(&[t]),
+                None => "[]".to_owned(),
+            };
+            httpd::Response::json(
+                200,
+                format!(
+                    "{{\"worst_latency\":{},\"worst_q_error\":{}}}",
+                    arr(lat),
+                    arr(qerr)
+                ),
+            )
+        })
+        .get("/health", |_| {
+            let (status, body) = health();
+            httpd::Response::json(status, body)
+        })
+        .get("/buildinfo", |_| {
+            httpd::Response::json(
+                200,
+                format!(
+                    "{{\"name\":\"prmsel\",\"version\":\"{}\",\"profile\":\"{}\",\"pid\":{}}}",
+                    env!("CARGO_PKG_VERSION"),
+                    if cfg!(debug_assertions) { "debug" } else { "release" },
+                    std::process::id()
+                ),
+            )
+        })
+}
+
+/// The `/health` verdict: `503` when failpoints are armed or the
+/// degradation ladder is answering more than half the queries below the
+/// exact rungs, `200` otherwise.
+fn health() -> (u16, String) {
+    let queries = obs::counter!("prm.guard.queries").get();
+    let fallback = obs::counter!("prm.guard.fallback").get();
+    let ratio = obs::gauge!("prm.guard.fallback_ratio").get();
+    let armed = failpoint::armed_sites();
+    let degraded = !armed.is_empty() || ratio > 0.5;
+    let sites: Vec<String> =
+        armed.iter().map(|s| format!("\"{}\"", escape_json(s))).collect();
+    let body = format!(
+        "{{\"status\":\"{}\",\"guard_queries\":{queries},\"guard_fallback\":{fallback},\
+         \"fallback_ratio\":{ratio:?},\"failpoints_armed\":[{}],\"flight_recording\":{}}}",
+        if degraded { "degraded" } else { "ok" },
+        sites.join(","),
+        obs::flight::on()
+    );
+    (if degraded { 503 } else { 200 }, body)
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Binds the observability router when `--monitor HOST:PORT` is present;
+/// the returned server lives for the duration of the command (dropping it
+/// shuts it down). Commands append the bound address to their output so
+/// `--monitor 127.0.0.1:0` is usable.
+pub(crate) fn maybe_serve(args: &[String]) -> CliResult<Option<httpd::Server>> {
+    match flag_value(args, "--monitor") {
+        None => Ok(None),
+        Some(addr) => {
+            let server = httpd::Server::bind(addr, router())
+                .map_err(|e| CliError(format!("cannot bind --monitor {addr}: {e}")))?;
+            Ok(Some(server))
+        }
+    }
+}
+
+/// `prmsel monitor` — serve the observability plane while (optionally)
+/// replaying the example workload against a freshly built model, so every
+/// endpoint has live data to show. Flight recording and per-template
+/// telemetry are enabled for the duration.
+pub(crate) fn monitor(args: &[String]) -> CliResult<String> {
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:0");
+    let duration: f64 = flag_value(args, "--duration-secs")
+        .map(|v| v.parse().map_err(|_| CliError(format!("bad --duration-secs `{v}`"))))
+        .transpose()?
+        .unwrap_or(5.0);
+    let budget: usize = flag_value(args, "--budget")
+        .map(|v| v.parse().map_err(|_| CliError(format!("bad --budget `{v}`"))))
+        .transpose()?
+        .unwrap_or(8192);
+
+    let served_before = obs::counter!("httpd.requests").get();
+    let server = httpd::Server::bind(addr, router())
+        .map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
+    let bound = server.addr().to_string();
+    // The port file is written the moment the socket is bound — scripts
+    // using `--addr 127.0.0.1:0` poll it to learn the ephemeral port.
+    if let Some(path) = flag_value(args, "--port-file") {
+        std::fs::write(path, &bound)
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    }
+    obs::flight::set_recording(true);
+    prmsel::set_template_telemetry(true);
+    obs::info!("monitor: serving on {bound} for {duration:.1}s");
+
+    let deadline = Instant::now() + Duration::from_secs_f64(duration.max(0.0));
+    let mut passes = 0usize;
+    let mut n_queries = 0usize;
+    let result = (|| -> CliResult<()> {
+        match flag_value(args, "--csv-dir") {
+            Some(dir) => {
+                let db = load_csv_dir(Path::new(dir))?;
+                let config =
+                    PrmLearnConfig { budget_bytes: budget, ..Default::default() };
+                let est = PrmEstimator::build(&db, &config)?;
+                let est = prmsel::ResilientEstimator::new(est).with_avi_fallback(&db)?;
+                let queries = example_workload(&db)?;
+                n_queries = queries.len();
+                // At least one pass, then keep the telemetry moving until
+                // the deadline so scrapes see fresh samples.
+                loop {
+                    prmsel::evaluate_suite(&db, &est, &queries)?;
+                    passes += 1;
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+            None => {
+                while Instant::now() < deadline {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    std::thread::sleep(left.min(Duration::from_millis(100)));
+                }
+            }
+        }
+        Ok(())
+    })();
+    prmsel::set_template_telemetry(false);
+    obs::flight::set_recording(false);
+    let served = obs::counter!("httpd.requests").get() - served_before;
+    server.shutdown();
+    result?;
+    Ok(format!(
+        "monitor: served {served} request(s) on {bound} \
+         ({passes} workload pass(es), {n_queries} queries)"
+    ))
+}
+
+/// `prmsel stats --from-url` — scrape a live `/metrics`, validate it with
+/// the OpenMetrics lint, and render the parsed snapshot exactly like a
+/// local `stats` run would.
+pub(crate) fn stats_from_url(addr: &str, pretty: bool) -> CliResult<String> {
+    let (status, body) = httpd::get(addr, "/metrics")
+        .map_err(|e| CliError(format!("GET http://{addr}/metrics: {e}")))?;
+    if status != 200 {
+        return Err(CliError(format!("GET http://{addr}/metrics: HTTP {status}")));
+    }
+    let snap = obs::openmetrics::parse(&body)
+        .map_err(|e| CliError(format!("invalid OpenMetrics from {addr}: {e}")))?;
+    let mut out = if pretty { snap.to_pretty() } else { snap.to_json() };
+    out.push_str(&format!(
+        "\nscraped {} series from http://{addr}/metrics ({} bytes, lint-clean)",
+        snap.counters.len() + snap.gauges.len() + snap.histograms.len(),
+        body.len()
+    ));
+    Ok(out)
+}
+
+/// The `stats --templates` report: one row per query template seen by the
+/// estimator, joining the labeled q-error and warm-latency histograms
+/// back to a human-readable example query (paper §6 evaluates estimation
+/// quality per query template; this is that table, live).
+pub(crate) fn template_table(snap: &obs::Snapshot, queries: &[reldb::Query]) -> String {
+    use std::collections::BTreeMap;
+    use std::fmt::Write;
+
+    // Template hash → example query text. Distinct queries can share a
+    // template (same shape, different constants); first one wins.
+    let mut examples: BTreeMap<String, String> = BTreeMap::new();
+    for q in queries {
+        examples
+            .entry(prmsel::template_label(prmsel::PlanKey::stable_hash_of(q)))
+            .or_insert_with(|| prmsel::query_label(q));
+    }
+
+    #[derive(Default)]
+    struct Row<'a> {
+        qerr: Option<&'a obs::HistogramSnapshot>,
+        warm: Option<&'a obs::HistogramSnapshot>,
+    }
+    let mut rows: BTreeMap<String, Row<'_>> = BTreeMap::new();
+    for (name, h) in &snap.histograms {
+        let (family, labels) = obs::openmetrics::split_labels(name);
+        let Some(tpl) =
+            labels.iter().find(|(k, _)| k == "template").map(|(_, v)| v.clone())
+        else {
+            continue;
+        };
+        match family.as_str() {
+            "quality.qerror_milli" => rows.entry(tpl).or_default().qerr = Some(h),
+            "prm.estimate.warm.ns" => rows.entry(tpl).or_default().warm = Some(h),
+            _ => {}
+        }
+    }
+
+    let mut out = String::from(
+        "\nper-template quality:\n  template              n  q-err p50  q-err p99  warm p50 us  query\n",
+    );
+    for (tpl, row) in &rows {
+        let (n, p50, p99) = match row.qerr {
+            Some(h) => (h.count, h.p50() as f64 / 1e3, h.p99() as f64 / 1e3),
+            None => (0, f64::NAN, f64::NAN),
+        };
+        let warm = match row.warm {
+            Some(h) => format!("{:>11.1}", h.p50() as f64 / 1e3),
+            None => format!("{:>11}", "-"),
+        };
+        let example = examples.get(tpl).map(String::as_str).unwrap_or("?");
+        let _ =
+            writeln!(out, "  {tpl} {n:>5}  {p50:>9.2}  {p99:>9.2}  {warm}  {example}");
+    }
+    if rows.is_empty() {
+        out.push_str("  (no per-template samples recorded)\n");
+    }
+    out
+}

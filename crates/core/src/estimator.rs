@@ -149,7 +149,11 @@ fn codes_for_pred(domain: &Domain, pred: &Pred) -> Vec<u32> {
 /// Compact one-line rendering of a query for flight-recorder trace
 /// labels: joined tables plus the predicated attributes, e.g.
 /// `person JOIN house WHERE person.age, house.rooms`.
-fn query_label(query: &Query) -> String {
+/// A human-readable *template* label for a query: tuple variables and
+/// predicate attributes, constants excluded — the display counterpart of
+/// [`crate::PlanKey::stable_hash_of`], used by flight-trace labels and
+/// the per-template stats table.
+pub fn query_label(query: &Query) -> String {
     let mut label = query.vars.join(" JOIN ");
     for (i, p) in query.preds.iter().enumerate() {
         label.push_str(if i == 0 { " WHERE " } else { ", " });
@@ -377,13 +381,31 @@ impl SelectivityEstimator for PrmEstimator {
         failpoint::fail_point!("estimate.query").map_err(Error::from)?;
         self.schema.validate_query(query)?;
         obs::flight::begin(|| query_label(query));
+        // Template attribution is gated like the flight recorder: one
+        // relaxed load when off, hash + thread-local store when on.
+        let template = if crate::metrics::template_telemetry_on() {
+            let h = PlanKey::stable_hash_of(query);
+            crate::metrics::set_current_template(h);
+            h
+        } else {
+            0
+        };
+        let mut warm = false;
         let est = match self.engine {
             InferenceEngine::Exact => {
                 let plan = {
                     let _plan_phase = obs::flight::phase("plan");
-                    self.plans.get_or_compile(PlanKey::of(query), || {
-                        QueryPlan::compile(&self.prm, &self.schema, &self.factors, query)
-                    })?
+                    let (plan, hit) =
+                        self.plans.get_or_compile(PlanKey::of(query), || {
+                            QueryPlan::compile(
+                                &self.prm,
+                                &self.schema,
+                                &self.factors,
+                                query,
+                            )
+                        })?;
+                    warm = hit;
+                    plan
                 };
                 obs::histogram!("prm.qebn.nodes").record(plan.n_nodes() as u64);
                 plan.estimate(&self.schema, query)?
@@ -400,7 +422,18 @@ impl SelectivityEstimator for PrmEstimator {
         };
         obs::flight::finish(est);
         obs::counter!("prm.estimate.calls").inc();
-        obs::histogram!("prm.estimate.ns").record_duration(start.elapsed());
+        let elapsed = start.elapsed();
+        obs::histogram!("prm.estimate.ns").record_duration(elapsed);
+        if template != 0 && warm {
+            // Warm latency only: replays of a cached plan are the
+            // steady-state a per-template SLO is about — folding the
+            // one-off compile in would poison the distribution.
+            let name = obs::openmetrics::labeled(
+                "prm.estimate.warm.ns",
+                &[("template", &crate::metrics::template_label(template))],
+            );
+            obs::registry().histogram(&name).record_duration(elapsed);
+        }
         Ok(est)
     }
 }

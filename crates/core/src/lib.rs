@@ -86,15 +86,18 @@ pub mod schema;
 
 pub use error::{BudgetKind, Error, ErrorClass, Result};
 pub use estimator::{
-    estimate_batch, estimate_batch_with_threshold, AviAdapter, InferenceEngine,
-    JoinSampleAdapter, MhistAdapter, PrmEstimator, SampleAdapter, SelectivityEstimator,
-    WaveletAdapter, DEFAULT_PAR_THRESHOLD_NS,
+    estimate_batch, estimate_batch_with_threshold, query_label, AviAdapter,
+    InferenceEngine, JoinSampleAdapter, MhistAdapter, PrmEstimator, SampleAdapter,
+    SelectivityEstimator, WaveletAdapter, DEFAULT_PAR_THRESHOLD_NS,
 };
 pub use groupby::GroupEstimate;
 pub use largedomain::{discretize_database, DiscretizedDatabase, DiscretizingEstimator};
 pub use learn::{learn_prm, PrmLearnConfig};
 pub use maintain::{model_loglik, refresh_parameters};
-pub use metrics::{adjusted_relative_error, evaluate_suite, record_quality, SuiteEval};
+pub use metrics::{
+    adjusted_relative_error, evaluate_suite, record_quality, set_template_telemetry,
+    template_label, template_telemetry_on, SuiteEval,
+};
 pub use nonkey::JoinSide;
 pub use persist::{load_model, save_model};
 pub use plan::{FactorCache, PlanCache, PlanKey, QueryPlan};

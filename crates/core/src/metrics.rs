@@ -4,6 +4,9 @@
 //! `|S − Ŝ| / max(S, 1)` (§5), reported in percent and averaged over every
 //! instantiation of a query suite (typically thousands of queries).
 
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use reldb::{exec, Database, Query};
 
 use crate::error::Result;
@@ -12,6 +15,51 @@ use crate::estimator::SelectivityEstimator;
 /// Adjusted relative error of one estimate.
 pub fn adjusted_relative_error(truth: u64, estimate: f64) -> f64 {
     (truth as f64 - estimate).abs() / (truth.max(1) as f64)
+}
+
+/// Global switch for per-template telemetry: when on, quality and
+/// warm-latency observations are *also* recorded into histograms labeled
+/// with the query's stable template hash
+/// (`quality.qerror_milli{template="<16 hex>"}`,
+/// `prm.estimate.warm.ns{template="..."}`), which the OpenMetrics
+/// exposition renders as proper labeled series. Off by default — the
+/// labeled series multiply registry cardinality by the number of
+/// templates, which only an operator scraping `/metrics` (or
+/// `prmsel stats --templates`) wants to pay for.
+static TEMPLATE_TELEMETRY: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    /// Stable hash of the template this thread most recently estimated
+    /// (`0` = none). Quality scoring happens right after the estimate on
+    /// the same thread — the same contract `obs::flight::attach_quality`
+    /// relies on.
+    static CURRENT_TEMPLATE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Whether per-template telemetry is on. One relaxed load — the warm
+/// estimate path checks this on every call, same cost discipline as the
+/// flight-recorder gate.
+#[inline]
+pub fn template_telemetry_on() -> bool {
+    TEMPLATE_TELEMETRY.load(Ordering::Relaxed)
+}
+
+/// Turns per-template telemetry on or off (already-created labeled
+/// series remain registered).
+pub fn set_template_telemetry(enabled: bool) {
+    TEMPLATE_TELEMETRY.store(enabled, Ordering::Relaxed);
+}
+
+/// Notes the template this thread is currently estimating, so the
+/// subsequent [`record_quality`] can attribute its q-error. Called by the
+/// estimator only when the telemetry gate is on.
+pub fn set_current_template(hash: u64) {
+    CURRENT_TEMPLATE.with(|c| c.set(hash));
+}
+
+/// The `template="<16 hex>"` label value for a stable template hash.
+pub fn template_label(hash: u64) -> String {
+    format!("{hash:016x}")
 }
 
 /// Records one `(truth, estimate)` pair into the process-global
@@ -31,8 +79,18 @@ pub fn record_quality(truth: u64, estimate: f64) {
     let t = truth.max(1) as f64;
     let e = estimate.max(1.0);
     let q = (t / e).max(e / t);
-    obs::histogram!("quality.qerror_milli")
-        .record((q * 1000.0).round().min(u64::MAX as f64) as u64);
+    let q_milli = (q * 1000.0).round().min(u64::MAX as f64) as u64;
+    obs::histogram!("quality.qerror_milli").record(q_milli);
+    if template_telemetry_on() {
+        let tpl = CURRENT_TEMPLATE.with(|c| c.get());
+        if tpl != 0 {
+            let name = obs::openmetrics::labeled(
+                "quality.qerror_milli",
+                &[("template", &template_label(tpl))],
+            );
+            obs::registry().histogram(&name).record(q_milli);
+        }
+    }
     // Suite evaluators score right after estimating on the same thread,
     // so this lands on the flight trace the estimate just finished.
     obs::flight::attach_quality(truth, q);

@@ -35,7 +35,7 @@
 //! `f64::to_bits`.
 
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use bayesnet::{elimination_order, try_eliminate_in_order, Evidence, Factor};
@@ -134,6 +134,88 @@ impl PlanKey {
                 .collect(),
             preds: query.preds.iter().map(|p| (p.var(), p.attr().to_owned())).collect(),
         }
+    }
+
+    /// A stable 64-bit template hash (FNV-1a over the key's fields).
+    ///
+    /// Unlike `std::hash::Hash`, this value is identical across processes
+    /// and runs, so it can label exported metric series (the
+    /// `template="<16 hex digits>"` label on per-template quality
+    /// histograms) and remain joinable across scrapes and restarts.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_usize(self.vars.len());
+        for v in &self.vars {
+            h.write_str(v);
+        }
+        h.write_usize(self.joins.len());
+        for (child, fk, parent) in &self.joins {
+            h.write_usize(*child);
+            h.write_str(fk);
+            h.write_usize(*parent);
+        }
+        h.write_usize(self.preds.len());
+        for (var, attr) in &self.preds {
+            h.write_usize(*var);
+            h.write_str(attr);
+        }
+        h.finish()
+    }
+
+    /// [`PlanKey::stable_hash`] computed straight from `query` without
+    /// building the key — the allocation-free form for the per-estimate
+    /// telemetry path. Guaranteed equal to `PlanKey::of(query).stable_hash()`.
+    pub fn stable_hash_of(query: &Query) -> u64 {
+        let mut h = Fnv::new();
+        h.write_usize(query.vars.len());
+        for v in &query.vars {
+            h.write_str(v);
+        }
+        h.write_usize(query.joins.len());
+        for j in &query.joins {
+            h.write_usize(j.child);
+            h.write_str(&j.fk_attr);
+            h.write_usize(j.parent);
+        }
+        h.write_usize(query.preds.len());
+        for p in &query.preds {
+            h.write_usize(p.var());
+            h.write_str(p.attr());
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, allocation-free, and stable across platforms —
+/// exactly what an exported label needs (`std::hash` is explicitly not
+/// stable across releases or processes).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write(&(v as u64).to_le_bytes());
+    }
+
+    /// Length-prefixed so adjacent strings cannot collide by shifting
+    /// bytes across the boundary.
+    fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -281,6 +363,29 @@ struct PlanCacheInner {
     /// Monotonic access clock; larger = more recently used.
     tick: u64,
     plans: HashMap<PlanKey, (Arc<QueryPlan>, u64)>,
+    /// Recency index: tick → key, mirrored with the `plans` ticks. Makes
+    /// eviction `pop_first()` (the stalest entry) instead of a full-map
+    /// min scan. Ticks are unique (the clock only moves forward under the
+    /// lock), so a plain map suffices.
+    by_tick: BTreeMap<u64, PlanKey>,
+}
+
+impl PlanCacheInner {
+    /// Moves `key`'s recency from `old_tick` to `new_tick` in the index.
+    fn touch(&mut self, old_tick: u64, new_tick: u64) {
+        let key = self.by_tick.remove(&old_tick).expect("recency index in sync");
+        self.by_tick.insert(new_tick, key);
+    }
+
+    /// Evicts stalest plans until `plans` fits the capacity.
+    fn evict_to_capacity(&mut self) {
+        while self.plans.len() > self.capacity {
+            let (_, oldest) =
+                self.by_tick.pop_first().expect("recency index is non-empty");
+            self.plans.remove(&oldest);
+            obs::counter!("prm.plan.evict").inc();
+        }
+    }
 }
 
 /// Default plan-cache capacity when `PRMSEL_PLAN_CACHE` is unset.
@@ -307,6 +412,7 @@ impl PlanCache {
                 capacity,
                 tick: 0,
                 plans: HashMap::new(),
+                by_tick: BTreeMap::new(),
             }),
         }
     }
@@ -322,25 +428,31 @@ impl PlanCache {
     }
 
     /// The cached plan for `key`, or the result of `compile`, recorded
-    /// under the key. Hits, misses, evictions, and compile latency are
-    /// reported as `prm.plan.hit` / `prm.plan.miss` / `prm.plan.evict` /
+    /// under the key; the `bool` is true on a cache hit (the per-template
+    /// warm-latency histograms only sample replays, not compiles). Hits,
+    /// misses, evictions, and compile latency are reported as
+    /// `prm.plan.hit` / `prm.plan.miss` / `prm.plan.evict` /
     /// `prm.plan.compile.ns`, plus a derived `prm.plan.hit_ratio` gauge;
     /// the outcome also lands on the live flight-recorder trace.
     pub fn get_or_compile(
         &self,
         key: PlanKey,
         compile: impl FnOnce() -> Result<QueryPlan>,
-    ) -> Result<Arc<QueryPlan>> {
+    ) -> Result<(Arc<QueryPlan>, bool)> {
         {
-            let mut inner = self.lock();
+            let mut guard = self.lock();
+            let inner = &mut *guard;
             inner.tick += 1;
             let tick = inner.tick;
             if let Some(entry) = inner.plans.get_mut(&key) {
+                let old_tick = entry.1;
                 entry.1 = tick;
+                let plan = entry.0.clone();
+                inner.touch(old_tick, tick);
                 obs::counter!("prm.plan.hit").inc();
                 refresh_hit_ratio();
                 obs::flight::plan_cache(true);
-                return Ok(entry.0.clone());
+                return Ok((plan, true));
             }
         }
         obs::counter!("prm.plan.miss").inc();
@@ -351,27 +463,28 @@ impl PlanCache {
         let plan = Arc::new(compile()?);
         obs::histogram!("prm.plan.compile.ns").record_duration(start.elapsed());
         drop(compile_phase);
-        let mut inner = self.lock();
+        let mut guard = self.lock();
+        let inner = &mut *guard;
         if inner.capacity == 0 {
-            return Ok(plan);
+            return Ok((plan, false));
         }
         inner.tick += 1;
         let tick = inner.tick;
-        let resident =
-            inner.plans.entry(key).or_insert_with(|| (plan.clone(), tick)).0.clone();
-        // Evict the stalest entries down to capacity. A linear scan is
-        // fine: capacity is small and this only runs on insertion.
-        while inner.plans.len() > inner.capacity {
-            let oldest = inner
-                .plans
-                .iter()
-                .min_by_key(|(_, &(_, t))| t)
-                .map(|(k, _)| k.clone())
-                .expect("cache is non-empty");
-            inner.plans.remove(&oldest);
-            obs::counter!("prm.plan.evict").inc();
-        }
-        Ok(resident)
+        let resident = if let Some(entry) = inner.plans.get_mut(&key) {
+            // Lost a compile race: adopt the resident plan and refresh
+            // its recency.
+            let old_tick = entry.1;
+            entry.1 = tick;
+            let plan = entry.0.clone();
+            inner.touch(old_tick, tick);
+            plan
+        } else {
+            inner.by_tick.insert(tick, key.clone());
+            inner.plans.insert(key, (plan.clone(), tick));
+            plan
+        };
+        inner.evict_to_capacity();
+        Ok((resident, false))
     }
 
     /// Number of resident plans.
@@ -391,7 +504,9 @@ impl PlanCache {
 
     /// Drops every resident plan (used on model replacement).
     pub fn clear(&self) {
-        self.lock().plans.clear();
+        let mut inner = self.lock();
+        inner.plans.clear();
+        inner.by_tick.clear();
     }
 
     /// Changes the capacity, evicting stalest plans if over the new
@@ -399,16 +514,7 @@ impl PlanCache {
     pub fn set_capacity(&self, capacity: usize) {
         let mut inner = self.lock();
         inner.capacity = capacity;
-        while inner.plans.len() > capacity {
-            let oldest = inner
-                .plans
-                .iter()
-                .min_by_key(|(_, &(_, t))| t)
-                .map(|(k, _)| k.clone())
-                .expect("cache is non-empty");
-            inner.plans.remove(&oldest);
-            obs::counter!("prm.plan.evict").inc();
-        }
+        inner.evict_to_capacity();
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, PlanCacheInner> {

@@ -1,0 +1,476 @@
+//! # prmsel-httpd — a minimal HTTP/1.1 plane for observability endpoints
+//!
+//! The estimation service needs exactly one network capability today:
+//! answering `GET` requests for metrics, traces, and health — scrapes by
+//! Prometheus, `curl`, and `prmsel stats --from-url`. This crate provides
+//! that and nothing more, on `std` alone (the workspace builds offline):
+//!
+//! * [`Server`] — a [`std::net::TcpListener`] shared by a small fixed
+//!   pool of accept workers (the same scoped-worker discipline as
+//!   `prmsel-par`, made persistent). Each worker handles one connection
+//!   at a time, so the pool size *is* the concurrent-connection bound;
+//!   the kernel accept backlog absorbs bursts.
+//! * Per-connection **read deadlines** ([`Config::read_timeout`]) and a
+//!   request-size cap, so a stalled or hostile client cannot wedge a
+//!   worker.
+//! * **Graceful shutdown**: [`Server::shutdown`] flips an atomic flag and
+//!   nudges each worker with a loopback connection; workers finish their
+//!   in-flight response and exit, and the call joins them.
+//! * [`Router`] — exact-path `GET` routing to boxed handlers. Anything
+//!   that is not a well-formed `GET` gets `400`/`405`; unknown paths get
+//!   `404`.
+//! * [`get`] — a tiny blocking client for tests, smoke scripts, and
+//!   `prmsel stats --from-url`.
+//!
+//! Requests are served one per connection (`Connection: close`), which
+//! keeps the state machine trivial and is exactly how scrapers behave.
+//!
+//! ## Telemetry
+//!
+//! The server records itself into the process-global [`obs`] registry:
+//! `httpd.requests` (counter), `httpd.request.ns` (histogram), and
+//! `httpd.bad_requests` (counter of parse failures / non-GET methods).
+//!
+//! ## Example
+//!
+//! ```
+//! let router = httpd::Router::new()
+//!     .get("/ping", |_req| httpd::Response::text(200, "pong"));
+//! let server = httpd::Server::bind("127.0.0.1:0", router).unwrap();
+//! let addr = server.addr().to_string();
+//! let (status, body) = httpd::get(&addr, "/ping").unwrap();
+//! assert_eq!((status, body.as_str()), (200, "pong"));
+//! server.shutdown();
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A parsed (enough) incoming request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Decoded path, without the query string (e.g. `/metrics`).
+    pub path: String,
+    /// The raw query string after `?` (empty when absent).
+    pub query: String,
+}
+
+/// An outgoing response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain; version=0.0.4` response (the Prometheus exposition
+    /// content type, also fine for plain text).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// The standard `404`.
+    pub fn not_found() -> Response {
+        Response::text(404, "not found\n")
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+type Handler = dyn Fn(&Request) -> Response + Send + Sync;
+
+/// Exact-path `GET` routing table.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<(String, Box<Handler>)>,
+}
+
+impl Router {
+    /// An empty router (every request answers `404`).
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Adds a handler for `GET path` (exact match on the decoded path).
+    pub fn get(
+        mut self,
+        path: impl Into<String>,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Router {
+        self.routes.push((path.into(), Box::new(handler)));
+        self
+    }
+
+    fn dispatch(&self, req: &Request) -> Response {
+        match self.routes.iter().find(|(p, _)| *p == req.path) {
+            Some((_, h)) => h(req),
+            None => Response::not_found(),
+        }
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Accept workers — also the concurrent-connection bound.
+    pub workers: usize,
+    /// Per-connection read deadline: a client that has not delivered a
+    /// full request header within this window is answered `408` and
+    /// dropped.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline.
+    pub write_timeout: Duration,
+    /// Maximum request-header bytes accepted before answering `413`.
+    pub max_request_bytes: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            workers: 4,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_request_bytes: 8 * 1024,
+        }
+    }
+}
+
+/// A running HTTP server. Dropping it shuts it down (gracefully, joining
+/// the workers).
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// serving `router` on the default [`Config`].
+    pub fn bind(addr: &str, router: Router) -> std::io::Result<Server> {
+        Server::bind_with(addr, router, Config::default())
+    }
+
+    /// [`Server::bind`] with explicit tuning.
+    pub fn bind_with(
+        addr: &str,
+        router: Router,
+        config: Config,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let listener = Arc::new(listener);
+        let router = Arc::new(router);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let config = Arc::new(config);
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let listener = Arc::clone(&listener);
+                let router = Arc::clone(&router);
+                let shutdown = Arc::clone(&shutdown);
+                let config = Arc::clone(&config);
+                std::thread::Builder::new()
+                    .name(format!("httpd-{i}"))
+                    .spawn(move || {
+                        while !shutdown.load(Ordering::Relaxed) {
+                            match listener.accept() {
+                                Ok((stream, _)) => {
+                                    if shutdown.load(Ordering::Relaxed) {
+                                        break;
+                                    }
+                                    handle_connection(stream, &router, &config);
+                                }
+                                // Transient accept errors (EMFILE,
+                                // ECONNABORTED): brief backoff, retry.
+                                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                            }
+                        }
+                    })
+                    .expect("spawn httpd worker")
+            })
+            .collect();
+        Ok(Server { addr, shutdown, workers })
+    }
+
+    /// The bound address (resolves the actual port for `:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, finishes in-flight responses, and joins the
+    /// workers.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        // Wake each worker blocked in accept() with a loopback connection.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Reads one request from `stream`, dispatches it, writes one response.
+fn handle_connection(mut stream: TcpStream, router: &Router, config: &Config) {
+    let start = Instant::now();
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let response = match read_request(&mut stream, config.max_request_bytes) {
+        Ok(req) => {
+            obs::counter!("httpd.requests").inc();
+            router.dispatch(&req)
+        }
+        Err(status) => {
+            obs::counter!("httpd.bad_requests").inc();
+            Response::text(status, format!("{} {}\n", status, reason(status)))
+        }
+    };
+    write_response(&mut stream, &response);
+    obs::histogram!("httpd.request.ns").record_duration(start.elapsed());
+}
+
+/// Reads and parses the request head; returns the failing status code on
+/// any protocol violation (including a read deadline, mapped to `408`).
+fn read_request(stream: &mut TcpStream, max_bytes: usize) -> Result<Request, u16> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        if find_header_end(&buf).is_some() {
+            break;
+        }
+        if buf.len() >= max_bytes {
+            return Err(413);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(400),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(408)
+            }
+            Err(_) => return Err(400),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = (
+        parts.next().unwrap_or(""),
+        parts.next().unwrap_or(""),
+        parts.next().unwrap_or(""),
+    );
+    if !version.starts_with("HTTP/1.") || target.is_empty() {
+        return Err(400);
+    }
+    if method != "GET" {
+        return Err(405);
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Ok(Request { path: path.to_owned(), query: query.to_owned() })
+}
+
+/// Offset just past the `\r\n\r\n` (or bare `\n\n`) terminator, if seen.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(&response.body);
+    let _ = stream.flush();
+}
+
+/// Default client timeout for [`get`].
+pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Blocking `GET http://{addr}{path}`; returns `(status, body)`.
+///
+/// `addr` is a `host:port` pair (a bare `host:port` from
+/// `prmsel monitor`'s output works as-is); `path` must start with `/`.
+pub fn get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    get_with_timeout(addr, path, CLIENT_TIMEOUT)
+}
+
+/// [`get`] with an explicit connect/read/write deadline.
+pub fn get_with_timeout(
+    addr: &str,
+    path: &str,
+    timeout: Duration,
+) -> std::io::Result<(u16, String)> {
+    let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "unresolvable address")
+    })?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+            .as_bytes(),
+    )?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_client_response(&raw).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response")
+    })
+}
+
+fn parse_client_response(raw: &[u8]) -> Option<(u16, String)> {
+    let body_at = find_header_end(raw)?;
+    let head = std::str::from_utf8(&raw[..body_at]).ok()?;
+    let status: u16 = head.lines().next()?.split_whitespace().nth(1)?.parse().ok()?;
+    let body = String::from_utf8_lossy(&raw[body_at..]).into_owned();
+    Some((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_server() -> Server {
+        let router = Router::new()
+            .get("/ping", |_| Response::text(200, "pong"))
+            .get("/echo", |req: &Request| {
+                Response::json(200, format!("{{\"q\":\"{}\"}}", req.query))
+            })
+            .get("/fail", |_| Response::text(503, "degraded"));
+        Server::bind("127.0.0.1:0", router).expect("bind ephemeral")
+    }
+
+    #[test]
+    fn routes_and_serves_gets() {
+        let server = test_server();
+        let addr = server.addr().to_string();
+        assert_eq!(get(&addr, "/ping").unwrap(), (200, "pong".to_owned()));
+        assert_eq!(get(&addr, "/echo?x=1").unwrap(), (200, "{\"q\":\"x=1\"}".to_owned()));
+        assert_eq!(get(&addr, "/fail").unwrap().0, 503);
+        assert_eq!(get(&addr, "/nope").unwrap().0, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_non_get_and_garbage() {
+        let server = test_server();
+        let addr = server.addr();
+        let post = {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"POST /ping HTTP/1.1\r\n\r\n").unwrap();
+            let mut out = Vec::new();
+            s.read_to_end(&mut out).unwrap();
+            String::from_utf8_lossy(&out).into_owned()
+        };
+        assert!(post.starts_with("HTTP/1.1 405"), "{post}");
+        let garbage = {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"definitely not http\r\n\r\n").unwrap();
+            let mut out = Vec::new();
+            s.read_to_end(&mut out).unwrap();
+            String::from_utf8_lossy(&out).into_owned()
+        };
+        assert!(garbage.starts_with("HTTP/1.1 400"), "{garbage}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_client_hits_the_read_deadline() {
+        let router = Router::new().get("/ping", |_| Response::text(200, "pong"));
+        let config =
+            Config { read_timeout: Duration::from_millis(100), ..Config::default() };
+        let server = Server::bind_with("127.0.0.1:0", router, config).expect("bind");
+        let addr = server.addr();
+        // Open a connection and send nothing: the worker must free itself.
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        let mut out = Vec::new();
+        stalled.read_to_end(&mut out).unwrap();
+        assert!(String::from_utf8_lossy(&out).starts_with("HTTP/1.1 408"));
+        // And the server still answers afterwards.
+        assert_eq!(get(&addr.to_string(), "/ping").unwrap().0, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_requests_all_answered() {
+        let server = test_server();
+        let addr = server.addr().to_string();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| {
+                    let addr = addr.clone();
+                    scope.spawn(move || get(&addr, "/ping").unwrap())
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), (200, "pong".to_owned()));
+            }
+        });
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_and_frees_the_port() {
+        let server = test_server();
+        let addr = server.addr();
+        server.shutdown();
+        // The listener is closed: a fresh bind to the same port works.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "{rebind:?}");
+    }
+}

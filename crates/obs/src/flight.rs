@@ -444,6 +444,16 @@ impl TraceRing {
         inner.worst_q_error = None;
     }
 
+    /// The pinned worst traces: `(worst by latency, worst by q-error)`.
+    /// A trace is pinned when it is evicted from the recent window while
+    /// being the worst seen so far on its axis, so a trace still inside
+    /// the window may be worse than either pin — callers wanting the true
+    /// worst should scan [`TraceRing::snapshot`] too.
+    pub fn worst(&self) -> (Option<QueryTrace>, Option<QueryTrace>) {
+        let inner = self.lock();
+        (inner.worst_latency.clone(), inner.worst_q_error.clone())
+    }
+
     /// Changes the recent-window capacity, evicting oldest entries into
     /// the pinned slots if over the new bound. `0` disables retention.
     pub fn set_capacity(&self, capacity: usize) {
@@ -660,6 +670,68 @@ impl QueryTrace {
     pub fn chrome_event_count(&self) -> usize {
         1 + self.phases.len() + self.elim_steps.len()
     }
+}
+
+/// Renders traces as a plain JSON array of summary objects — the
+/// `/traces` HTTP endpoint payload. Per trace: id, label, timing, plan
+/// cache outcome, estimate/truth/q-error, the phase list with durations,
+/// and counts of elimination steps and predicate masks (full step detail
+/// stays in the Chrome export, which has a viewer for it).
+pub fn to_json(traces: &[QueryTrace]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_array();
+    for t in traces {
+        w.begin_object();
+        w.key("id");
+        w.uint(t.id);
+        w.key("label");
+        w.string(&t.label);
+        w.key("start_ns");
+        w.uint(t.start_ns);
+        w.key("total_ns");
+        w.uint(t.total_ns);
+        w.key("plan");
+        match t.plan_hit {
+            Some(true) => w.string("hit"),
+            Some(false) => w.string("miss"),
+            None => w.raw("null"),
+        }
+        w.key("estimate");
+        match t.estimate {
+            Some(e) => w.float(e),
+            None => w.raw("null"),
+        }
+        w.key("truth");
+        match t.truth {
+            Some(v) => w.uint(v),
+            None => w.raw("null"),
+        }
+        w.key("q_error");
+        match t.q_error {
+            Some(q) => w.float(q),
+            None => w.raw("null"),
+        }
+        w.key("phases");
+        w.begin_array();
+        for p in &t.phases {
+            w.begin_object();
+            w.key("name");
+            w.string(p.name);
+            w.key("dur_ns");
+            w.uint(p.dur_ns);
+            w.key("depth");
+            w.uint(p.depth as u64);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("elim_steps");
+        w.uint(t.elim_steps.len() as u64);
+        w.key("pred_masks");
+        w.uint(t.pred_masks.len() as u64);
+        w.end_object();
+    }
+    w.end_array();
+    w.finish()
 }
 
 /// Renders traces as one Chrome `trace_event` JSON document (the object

@@ -41,6 +41,7 @@
 
 pub mod flight;
 pub mod json;
+pub mod openmetrics;
 pub mod registry;
 pub mod trace;
 

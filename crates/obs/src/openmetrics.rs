@@ -1,0 +1,737 @@
+//! OpenMetrics / Prometheus text exposition of a registry [`Snapshot`],
+//! plus the matching parser and lint.
+//!
+//! Three consumers share this module:
+//!
+//! * the `/metrics` endpoint ([`render`]) — what Prometheus scrapes;
+//! * `prmsel stats --from-url` ([`parse`]) — rebuilds a [`Snapshot`] from
+//!   a live process's exposition so the existing renderers work on it;
+//! * tests and CI smoke scripts ([`lint`]) — validate that every scrape
+//!   is well-formed (names, escaping, histogram cumulativity, `# EOF`).
+//!
+//! ## Name mapping
+//!
+//! Registry names are dotted (`prm.plan.hit`); the exposition format
+//! allows `[a-zA-Z_:][a-zA-Z0-9_:]*`, so every invalid character becomes
+//! `_` (`prm_plan_hit`). Counters gain the conventional `_total` suffix;
+//! histograms render as cumulative `_bucket{le="..."}` series (the log₂
+//! bucket upper bounds are inclusive, exactly the `le` contract) plus
+//! `_sum` and `_count`.
+//!
+//! ## Labels
+//!
+//! The registry itself is label-unaware; labeled series are registered
+//! under a canonical `family{key="value"}` name built by [`labeled`]
+//! (escaping `\`, `"`, and newlines per the exposition format). The
+//! renderer splits that form back into family + label set, so e.g. every
+//! `quality.qerror_milli{template="…"}` histogram lands under one
+//! `# TYPE quality_qerror_milli histogram` declaration.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::registry::{HistogramSnapshot, Snapshot};
+
+/// Builds the canonical registry name for a labeled series:
+/// `family{k1="v1",k2="v2"}` with label values escaped per the exposition
+/// format. Registering metrics under this name makes [`render`] emit them
+/// as proper labeled series of the `family` metric.
+///
+/// ```
+/// let name = obs::openmetrics::labeled("quality.qerror_milli", &[("template", "ab12")]);
+/// assert_eq!(name, "quality.qerror_milli{template=\"ab12\"}");
+/// ```
+pub fn labeled(family: &str, labels: &[(&str, &str)]) -> String {
+    let mut out = String::with_capacity(family.len() + 16 * labels.len());
+    out.push_str(family);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label_value(v));
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format (`\` → `\\`, `"` →
+/// `\"`, newline → `\n`).
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Maps a registry name onto a valid exposition metric name: every
+/// character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit is
+/// prefixed with `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let valid = c.is_ascii_alphabetic()
+            || c == '_'
+            || c == ':'
+            || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if valid {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Splits a canonical registry name into `(family, labels)` — the inverse
+/// of [`labeled`]. Names without a `{` have no labels. A malformed label
+/// block is kept verbatim in the family (then sanitized into `_`s rather
+/// than dropped, so no metric silently disappears).
+pub fn split_labels(name: &str) -> (String, Vec<(String, String)>) {
+    let Some(open) = name.find('{') else {
+        return (name.to_owned(), Vec::new());
+    };
+    if !name.ends_with('}') {
+        return (name.to_owned(), Vec::new());
+    }
+    match parse_label_block(&name[open + 1..name.len() - 1]) {
+        Some(labels) => (name[..open].to_owned(), labels),
+        None => (name.to_owned(), Vec::new()),
+    }
+}
+
+/// Parses `k1="v1",k2="v2"` (escaped values) into pairs.
+fn parse_label_block(block: &str) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    let bytes = block.as_bytes();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let eq = block[pos..].find('=')? + pos;
+        let key = block[pos..eq].trim().to_owned();
+        if key.is_empty() || !is_valid_name(&key) {
+            return None;
+        }
+        if bytes.get(eq + 1) != Some(&b'"') {
+            return None;
+        }
+        let mut value = String::new();
+        let mut i = eq + 2;
+        loop {
+            match bytes.get(i)? {
+                b'"' => break,
+                b'\\' => {
+                    match bytes.get(i + 1)? {
+                        b'\\' => value.push('\\'),
+                        b'"' => value.push('"'),
+                        b'n' => value.push('\n'),
+                        _ => return None,
+                    }
+                    i += 2;
+                }
+                _ => {
+                    // Advance one whole UTF-8 character.
+                    let rest = &block[i..];
+                    let c = rest.chars().next()?;
+                    value.push(c);
+                    i += c.len_utf8();
+                }
+            }
+        }
+        labels.push((key, value));
+        pos = i + 1;
+        if bytes.get(pos) == Some(&b',') {
+            pos += 1;
+        } else if pos < bytes.len() {
+            return None;
+        }
+    }
+    Some(labels)
+}
+
+/// Whether `name` is a valid exposition metric/label name.
+fn is_valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic()
+                || c == '_'
+                || c == ':'
+                || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn render_labels(out: &mut String, labels: &[(String, String)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}=\"{}\"", sanitize_name(k), escape_label_value(v));
+    }
+    out.push('}');
+}
+
+fn render_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One series grouped under a family.
+enum Series<'a> {
+    Counter(Vec<(String, String)>, u64),
+    Gauge(Vec<(String, String)>, f64),
+    Histogram(Vec<(String, String)>, &'a HistogramSnapshot),
+}
+
+/// Renders `snap` in the Prometheus/OpenMetrics text exposition format,
+/// terminated by `# EOF`. Series sharing a family (labeled variants of
+/// one metric) are grouped under a single `# TYPE` declaration.
+pub fn render(snap: &Snapshot) -> String {
+    // family -> (kind, series). BTreeMap gives a stable, sorted output.
+    let mut families: BTreeMap<String, (Kind, Vec<Series<'_>>)> = BTreeMap::new();
+    fn add<'a>(
+        families: &mut BTreeMap<String, (Kind, Vec<Series<'a>>)>,
+        name: &str,
+        kind: Kind,
+        series: Series<'a>,
+    ) {
+        let (raw_family, raw_labels) = split_labels(name);
+        let mut family = sanitize_name(&raw_family);
+        if families.get(&family).is_some_and(|(k, _)| *k != kind) {
+            // A post-sanitize family collision across kinds (e.g. `a.b`
+            // counter vs `a_b` gauge): keep exposition validity by
+            // shunting the latecomer into its own kind-suffixed family.
+            family.push('_');
+            family.push_str(kind.as_str());
+        }
+        families
+            .entry(family)
+            .or_insert_with(|| (kind, Vec::new()))
+            .1
+            .push(Series::relabel(series, raw_labels));
+    }
+    for (name, v) in &snap.counters {
+        add(&mut families, name, Kind::Counter, Series::Counter(Vec::new(), *v));
+    }
+    for (name, v) in &snap.gauges {
+        add(&mut families, name, Kind::Gauge, Series::Gauge(Vec::new(), *v));
+    }
+    for (name, h) in &snap.histograms {
+        add(&mut families, name, Kind::Histogram, Series::Histogram(Vec::new(), h));
+    }
+
+    let mut out = String::new();
+    for (family, (kind, series)) in &families {
+        let _ = writeln!(out, "# TYPE {family} {}", kind.as_str());
+        for s in series {
+            match s {
+                Series::Counter(labels, v) => {
+                    let _ = write!(out, "{family}_total");
+                    render_labels(&mut out, labels);
+                    let _ = writeln!(out, " {v}");
+                }
+                Series::Gauge(labels, v) => {
+                    out.push_str(family);
+                    render_labels(&mut out, labels);
+                    let _ = writeln!(out, " {}", render_f64(*v));
+                }
+                Series::Histogram(labels, h) => {
+                    let mut cum = 0u64;
+                    for &(bound, n) in &h.buckets {
+                        cum += n;
+                        let mut with_le = labels.clone();
+                        with_le.push(("le".to_owned(), bound.to_string()));
+                        let _ = write!(out, "{family}_bucket");
+                        render_labels(&mut out, &with_le);
+                        let _ = writeln!(out, " {cum}");
+                    }
+                    let mut with_le = labels.clone();
+                    with_le.push(("le".to_owned(), "+Inf".to_owned()));
+                    let _ = write!(out, "{family}_bucket");
+                    render_labels(&mut out, &with_le);
+                    let _ = writeln!(out, " {}", h.count);
+                    let _ = write!(out, "{family}_sum");
+                    render_labels(&mut out, labels);
+                    let _ = writeln!(out, " {}", h.sum);
+                    let _ = write!(out, "{family}_count");
+                    render_labels(&mut out, labels);
+                    let _ = writeln!(out, " {}", h.count);
+                }
+            }
+        }
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+impl<'a> Series<'a> {
+    fn relabel(self, labels: Vec<(String, String)>) -> Series<'a> {
+        match self {
+            Series::Counter(_, v) => Series::Counter(labels, v),
+            Series::Gauge(_, v) => Series::Gauge(labels, v),
+            Series::Histogram(_, h) => Series::Histogram(labels, h),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Line-level parsing, shared by the lint and the parser.
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Line {
+    Type { family: String, kind: Kind },
+    Comment,
+    Eof,
+    Sample { name: String, labels: Vec<(String, String)>, value: f64 },
+}
+
+fn parse_line(line: &str) -> Result<Option<Line>, String> {
+    let trimmed = line.trim_end_matches('\r');
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    if let Some(rest) = trimmed.strip_prefix('#') {
+        let rest = rest.trim_start();
+        if rest == "EOF" {
+            return Ok(Some(Line::Eof));
+        }
+        if let Some(decl) = rest.strip_prefix("TYPE ") {
+            let mut parts = decl.split_whitespace();
+            let family = parts.next().ok_or("TYPE line missing metric name")?;
+            let kind = match parts.next() {
+                Some("counter") => Kind::Counter,
+                Some("gauge") => Kind::Gauge,
+                Some("histogram") => Kind::Histogram,
+                Some(other) => return Err(format!("unsupported TYPE `{other}`")),
+                None => return Err("TYPE line missing kind".to_owned()),
+            };
+            if !is_valid_name(family) {
+                return Err(format!("invalid metric name `{family}` in TYPE"));
+            }
+            return Ok(Some(Line::Type { family: family.to_owned(), kind }));
+        }
+        // # HELP / # UNIT / free comments are all legal and skipped.
+        return Ok(Some(Line::Comment));
+    }
+    // Sample: name[{labels}] value [timestamp]
+    let name_end = trimmed
+        .find(|c: char| c == '{' || c.is_whitespace())
+        .ok_or_else(|| format!("malformed sample line `{trimmed}`"))?;
+    let name = &trimmed[..name_end];
+    if !is_valid_name(name) {
+        return Err(format!("invalid metric name `{name}`"));
+    }
+    let mut rest = &trimmed[name_end..];
+    let mut labels = Vec::new();
+    if let Some(inner) = rest.strip_prefix('{') {
+        let close = inner
+            .find('}')
+            .ok_or_else(|| format!("unterminated label block in `{trimmed}`"))?;
+        // `}` cannot appear inside a value unescaped per the format, and
+        // [`escape_label_value`] never emits one, so the first `}` ends
+        // the block.
+        labels = parse_label_block(&inner[..close])
+            .ok_or_else(|| format!("malformed label block in `{trimmed}`"))?;
+        rest = &inner[close + 1..];
+    }
+    let mut fields = rest.split_whitespace();
+    let value_text =
+        fields.next().ok_or_else(|| format!("sample `{trimmed}` missing value"))?;
+    let value = match value_text {
+        "NaN" => f64::NAN,
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v.parse::<f64>().map_err(|_| format!("bad sample value `{v}`"))?,
+    };
+    if let Some(ts) = fields.next() {
+        ts.parse::<f64>().map_err(|_| format!("bad timestamp `{ts}`"))?;
+    }
+    if fields.next().is_some() {
+        return Err(format!("trailing tokens on sample `{trimmed}`"));
+    }
+    Ok(Some(Line::Sample { name: name.to_owned(), labels, value }))
+}
+
+/// The family a sample belongs to, given the declared families: strips
+/// the `_total` / `_bucket` / `_sum` / `_count` suffix when the stripped
+/// base is declared with the matching kind.
+fn family_of<'a>(
+    name: &'a str,
+    families: &BTreeMap<String, Kind>,
+) -> Option<(&'a str, Kind)> {
+    for (suffix, kind) in [
+        ("_total", Kind::Counter),
+        ("_bucket", Kind::Histogram),
+        ("_sum", Kind::Histogram),
+        ("_count", Kind::Histogram),
+    ] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if families.get(base) == Some(&kind) {
+                return Some((base, kind));
+            }
+        }
+    }
+    families.get(name).map(|&k| (name, k))
+}
+
+/// Validates an exposition document: every line parses, metric and label
+/// names are legal, every sample's family has a prior `# TYPE`
+/// declaration of the matching kind, histogram `_bucket` series are
+/// cumulative (non-decreasing in `le` order) and end with an `+Inf`
+/// bucket equal to `_count`, and the document ends with `# EOF`.
+pub fn lint(text: &str) -> Result<(), String> {
+    let mut families: BTreeMap<String, Kind> = BTreeMap::new();
+    // (family, labels-without-le) -> (buckets seen, +Inf value, count value)
+    type HistKey = (String, Vec<(String, String)>);
+    type HistState = (Vec<(f64, f64)>, Option<f64>, Option<f64>);
+    let mut hists: BTreeMap<HistKey, HistState> = BTreeMap::new();
+    let mut saw_eof = false;
+    for (no, raw) in text.lines().enumerate() {
+        let lineno = no + 1;
+        if saw_eof && !raw.trim().is_empty() {
+            return Err(format!("line {lineno}: content after # EOF"));
+        }
+        let line = parse_line(raw).map_err(|e| format!("line {lineno}: {e}"))?;
+        match line {
+            None | Some(Line::Comment) => {}
+            Some(Line::Eof) => saw_eof = true,
+            Some(Line::Type { family, kind }) => {
+                if families.insert(family.clone(), kind).is_some() {
+                    return Err(format!("line {lineno}: duplicate TYPE for `{family}`"));
+                }
+            }
+            Some(Line::Sample { name, labels, value }) => {
+                let Some((family, kind)) = family_of(&name, &families) else {
+                    return Err(format!(
+                        "line {lineno}: sample `{name}` has no TYPE declaration"
+                    ));
+                };
+                for (k, _) in &labels {
+                    if !is_valid_name(k) {
+                        return Err(format!("line {lineno}: invalid label name `{k}`"));
+                    }
+                }
+                if kind == Kind::Counter && value < 0.0 {
+                    return Err(format!("line {lineno}: negative counter `{name}`"));
+                }
+                if kind == Kind::Histogram {
+                    let mut base_labels = labels.clone();
+                    let le = base_labels
+                        .iter()
+                        .position(|(k, _)| k == "le")
+                        .map(|i| base_labels.remove(i).1);
+                    let entry = hists
+                        .entry((family.to_owned(), base_labels))
+                        .or_insert_with(|| (Vec::new(), None, None));
+                    if name.ends_with("_bucket") {
+                        let Some(le) = le else {
+                            return Err(format!(
+                                "line {lineno}: `{name}` missing `le` label"
+                            ));
+                        };
+                        let bound = match le.as_str() {
+                            "+Inf" => f64::INFINITY,
+                            v => v.parse::<f64>().map_err(|_| {
+                                format!("line {lineno}: bad le value `{v}`")
+                            })?,
+                        };
+                        if bound.is_infinite() {
+                            entry.1 = Some(value);
+                        } else {
+                            entry.0.push((bound, value));
+                        }
+                    } else if name.ends_with("_count") {
+                        entry.2 = Some(value);
+                    }
+                }
+            }
+        }
+    }
+    if !saw_eof {
+        return Err("missing # EOF terminator".to_owned());
+    }
+    for ((family, labels), (buckets, inf, count)) in &hists {
+        let mut prev_bound = f64::NEG_INFINITY;
+        let mut prev_cum = 0.0;
+        for &(bound, cum) in buckets {
+            if bound <= prev_bound {
+                return Err(format!("histogram `{family}` buckets out of order"));
+            }
+            if cum < prev_cum {
+                return Err(format!(
+                    "histogram `{family}`{labels:?} buckets not cumulative"
+                ));
+            }
+            prev_bound = bound;
+            prev_cum = cum;
+        }
+        let inf = inf.ok_or_else(|| {
+            format!("histogram `{family}`{labels:?} missing +Inf bucket")
+        })?;
+        if inf < prev_cum {
+            return Err(format!("histogram `{family}` +Inf below last bucket"));
+        }
+        if let Some(count) = count {
+            if (inf - count).abs() > 0.0 {
+                return Err(format!("histogram `{family}` +Inf bucket != _count"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses an exposition document back into a [`Snapshot`].
+///
+/// Inverse of [`render`] up to the lossy parts of the exposition format:
+/// names come back in their sanitized (underscore) form, labeled series
+/// come back under the canonical `family{k="v"}` registry name, and
+/// histogram `min`/`max` are reconstructed from the outermost non-empty
+/// buckets (the exact observations are not exported).
+pub fn parse(text: &str) -> Result<Snapshot, String> {
+    lint(text)?;
+    let mut families: BTreeMap<String, Kind> = BTreeMap::new();
+    let mut snap = Snapshot::default();
+    type HistKey = (String, Vec<(String, String)>);
+    // (de-cumulated buckets, sum, count) per series.
+    type HistAccum = (Vec<(f64, f64)>, u64, u64);
+    let mut hists: BTreeMap<HistKey, HistAccum> = BTreeMap::new();
+    for raw in text.lines() {
+        match parse_line(raw).map_err(|e| e.to_string())? {
+            Some(Line::Type { family, kind }) => {
+                families.insert(family, kind);
+            }
+            Some(Line::Sample { name, labels, value }) => {
+                let Some((family, kind)) = family_of(&name, &families) else {
+                    continue;
+                };
+                match kind {
+                    Kind::Counter => {
+                        let key = registry_name(family, &labels);
+                        snap.counters.push((key, value.max(0.0) as u64));
+                    }
+                    Kind::Gauge => {
+                        let key = registry_name(family, &labels);
+                        snap.gauges.push((key, value));
+                    }
+                    Kind::Histogram => {
+                        let mut base = labels.clone();
+                        let le = base
+                            .iter()
+                            .position(|(k, _)| k == "le")
+                            .map(|i| base.remove(i).1);
+                        let entry = hists
+                            .entry((family.to_owned(), base))
+                            .or_insert_with(|| (Vec::new(), 0, 0));
+                        if name.ends_with("_bucket") {
+                            if let Some(le) = le {
+                                if let Ok(bound) = le.parse::<f64>() {
+                                    entry.0.push((bound, value));
+                                }
+                            }
+                        } else if name.ends_with("_sum") {
+                            entry.1 = value.max(0.0) as u64;
+                        } else if name.ends_with("_count") {
+                            entry.2 = value.max(0.0) as u64;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    for ((family, labels), (mut buckets, sum, count)) in hists {
+        buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite bounds"));
+        // De-cumulate back to per-bucket counts.
+        let mut prev = 0.0;
+        let mut out_buckets = Vec::new();
+        for (bound, cum) in buckets {
+            let n = (cum - prev).max(0.0) as u64;
+            prev = cum;
+            if n > 0 {
+                out_buckets.push((bound.min(u64::MAX as f64) as u64, n));
+            }
+        }
+        let min = if count == 0 {
+            0
+        } else {
+            // Lower edge of the first occupied log₂ bucket.
+            match out_buckets.first() {
+                Some(&(0, _)) | None => 0,
+                Some(&(b, _)) => b / 2 + 1,
+            }
+        };
+        let max = out_buckets.last().map(|&(b, _)| b).unwrap_or(0);
+        let key = registry_name(&family, &labels);
+        snap.histograms.push((
+            key,
+            HistogramSnapshot { count, sum, min, max, buckets: out_buckets },
+        ));
+    }
+    snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(snap)
+}
+
+/// The canonical registry name for a parsed series.
+fn registry_name(family: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        family.to_owned()
+    } else {
+        let borrowed: Vec<(&str, &str)> =
+            labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        labeled(family, &borrowed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::bucket_upper_bound;
+
+    fn hist(values: &[u64]) -> HistogramSnapshot {
+        let h = crate::registry::Histogram::default();
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn renders_all_three_kinds_and_lints() {
+        let snap = Snapshot {
+            counters: vec![("prm.plan.hit".into(), 42)],
+            gauges: vec![("prm.plan.hit_ratio".into(), 0.75)],
+            histograms: vec![("prm.estimate.ns".into(), hist(&[100, 2000, 2000]))],
+        };
+        let text = render(&snap);
+        lint(&text).expect("valid exposition");
+        assert!(text.contains("# TYPE prm_plan_hit counter\n"), "{text}");
+        assert!(text.contains("prm_plan_hit_total 42\n"), "{text}");
+        assert!(text.contains("prm_plan_hit_ratio 0.75\n"), "{text}");
+        assert!(text.contains("# TYPE prm_estimate_ns histogram\n"), "{text}");
+        let b100 = bucket_upper_bound(7); // 100 ∈ (63, 127]
+        assert!(text.contains(&format!("prm_estimate_ns_bucket{{le=\"{b100}\"}} 1\n")));
+        let b2000 = bucket_upper_bound(11); // 2000 ∈ (1023, 2047]
+        assert!(text.contains(&format!("prm_estimate_ns_bucket{{le=\"{b2000}\"}} 3\n")));
+        assert!(text.contains("prm_estimate_ns_bucket{le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("prm_estimate_ns_sum 4100\n"), "{text}");
+        assert!(text.contains("prm_estimate_ns_count 3\n"), "{text}");
+        assert!(text.ends_with("# EOF\n"), "{text}");
+    }
+
+    #[test]
+    fn labeled_series_group_under_one_family() {
+        let a = labeled("quality.qerror_milli", &[("template", "aa")]);
+        let b = labeled("quality.qerror_milli", &[("template", "bb")]);
+        let snap = Snapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![(a, hist(&[1000])), (b, hist(&[3000]))],
+        };
+        let text = render(&snap);
+        lint(&text).expect("valid exposition");
+        assert_eq!(text.matches("# TYPE quality_qerror_milli histogram").count(), 1);
+        assert!(
+            text.contains("quality_qerror_milli_bucket{template=\"aa\",le="),
+            "{text}"
+        );
+        assert!(text.contains("quality_qerror_milli_count{template=\"bb\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn round_trips_through_parse() {
+        let snap = Snapshot {
+            counters: vec![
+                ("a_counter".into(), 7),
+                (labeled("b_counter", &[("k", "v")]), 9),
+            ],
+            gauges: vec![("a_gauge".into(), 1.5)],
+            histograms: vec![("a_hist".into(), hist(&[0, 5, 5, 900]))],
+        };
+        let text = render(&snap);
+        let back = parse(&text).expect("parses");
+        assert_eq!(back.counter("a_counter"), Some(7));
+        assert_eq!(back.counter("b_counter{k=\"v\"}"), Some(9));
+        assert_eq!(back.gauge("a_gauge"), Some(1.5));
+        let h = back.histogram("a_hist").expect("histogram survives");
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 910);
+        assert_eq!(h.buckets, snap.histograms[0].1.buckets);
+    }
+
+    #[test]
+    fn lint_rejects_malformed_documents() {
+        assert!(lint("no_type_decl 1\n# EOF\n").is_err());
+        assert!(lint("# TYPE a counter\na_total 1\n").is_err(), "missing EOF");
+        assert!(lint("# TYPE a counter\na_total -3\n# EOF\n").is_err());
+        assert!(lint("# TYPE a counter\na_total 1\n# EOF\nx 2\n").is_err());
+        assert!(lint("# TYPE 9bad counter\n# EOF\n").is_err());
+        // Non-cumulative buckets.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+                   h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n# EOF\n";
+        assert!(lint(bad).is_err());
+        // Missing +Inf.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n# EOF\n";
+        assert!(lint(bad).is_err());
+    }
+
+    #[test]
+    fn name_and_label_escaping() {
+        assert_eq!(sanitize_name("prm.plan-cache.hit"), "prm_plan_cache_hit");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        let name = labeled("f", &[("k", "a\"b\\c\nd")]);
+        let (family, labels) = split_labels(&name);
+        assert_eq!(family, "f");
+        assert_eq!(labels, vec![("k".to_owned(), "a\"b\\c\nd".to_owned())]);
+        let snap =
+            Snapshot { counters: vec![(name, 1)], gauges: vec![], histograms: vec![] };
+        let text = render(&snap);
+        lint(&text).expect("escaped label value lints");
+        assert!(text.contains("f_total{k=\"a\\\"b\\\\c\\nd\"} 1"), "{text}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Black-box edge cases for the OpenMetrics exposition: empty registry,
+//! name/label escaping, zero-observation histograms, saturated counters,
+//! and the render → parse round trip. These build [`obs::Snapshot`]s
+//! directly (the fields are public) so they are independent of the
+//! process-global registry and can run in parallel with anything.
+
+use obs::openmetrics::{labeled, lint, parse, render, split_labels};
+use obs::{HistogramSnapshot, Snapshot};
+
+#[test]
+fn empty_registry_renders_to_a_lintable_eof_only_document() {
+    let doc = render(&Snapshot::default());
+    assert_eq!(doc, "# EOF\n");
+    lint(&doc).expect("empty document must lint");
+    let back = parse(&doc).expect("empty document must parse");
+    assert!(back.counters.is_empty());
+    assert!(back.gauges.is_empty());
+    assert!(back.histograms.is_empty());
+}
+
+#[test]
+fn hostile_names_and_label_values_escape_cleanly() {
+    let mut snap = Snapshot::default();
+    // Dots, dashes, a leading digit, and a label value exercising every
+    // escape (`\`, `"`, newline) plus non-ASCII.
+    snap.counters.push(("9lives.meow-count".to_owned(), 3));
+    snap.gauges.push((labeled("weird.gauge", &[("path", "a\\b \"c\"\nd—é")]), 1.5));
+    let doc = render(&snap);
+    lint(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+    assert!(doc.contains("# TYPE _9lives_meow_count counter"), "{doc}");
+    assert!(doc.contains("_9lives_meow_count_total 3"), "{doc}");
+    // The escapes survive verbatim in the exposition...
+    assert!(doc.contains("path=\"a\\\\b \\\"c\\\"\\nd—é\""), "{doc}");
+    // ...and decode back to the original value.
+    let back = parse(&doc).expect("parse");
+    let (_, labels) = split_labels(&back.gauges[0].0);
+    assert_eq!(labels, vec![("path".to_owned(), "a\\b \"c\"\nd—é".to_owned())]);
+}
+
+#[test]
+fn zero_observation_histogram_is_well_formed() {
+    let mut snap = Snapshot::default();
+    snap.histograms.push((
+        "idle.ns".to_owned(),
+        HistogramSnapshot { count: 0, sum: 0, min: 0, max: 0, buckets: vec![] },
+    ));
+    let doc = render(&snap);
+    lint(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+    // Even with no observations the histogram keeps its mandatory series.
+    assert!(doc.contains("idle_ns_bucket{le=\"+Inf\"} 0"), "{doc}");
+    assert!(doc.contains("idle_ns_sum 0"), "{doc}");
+    assert!(doc.contains("idle_ns_count 0"), "{doc}");
+    let back = parse(&doc).expect("parse");
+    assert_eq!(back.histograms[0].1.count, 0);
+    assert!(back.histograms[0].1.buckets.is_empty());
+}
+
+#[test]
+fn saturated_counter_round_trips_at_u64_max() {
+    let mut snap = Snapshot::default();
+    snap.counters.push(("overflowed".to_owned(), u64::MAX));
+    let doc = render(&snap);
+    lint(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+    assert!(doc.contains(&format!("overflowed_total {}", u64::MAX)), "{doc}");
+    let back = parse(&doc).expect("parse");
+    assert_eq!(back.counter("overflowed"), Some(u64::MAX));
+}
+
+#[test]
+fn live_registry_snapshot_renders_and_round_trips() {
+    // Unique names so parallel tests sharing the process registry cannot
+    // collide; the whole-document lint covers whatever else is in there.
+    obs::counter!("omtest.requests").add(7);
+    obs::gauge!("omtest.ratio").set(0.25);
+    for v in [1u64, 100, 40_000] {
+        obs::histogram!("omtest.latency.ns").record(v);
+    }
+    obs::registry()
+        .histogram(&labeled("omtest.latency.ns", &[("template", "deadbeef")]))
+        .record(512);
+
+    let doc = render(&obs::registry().snapshot());
+    lint(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+    // The labeled and unlabeled series share one TYPE declaration.
+    assert_eq!(doc.matches("# TYPE omtest_latency_ns histogram").count(), 1, "{doc}");
+    assert!(
+        doc.contains("omtest_latency_ns_bucket{template=\"deadbeef\",le=\"+Inf\"} 1"),
+        "{doc}"
+    );
+
+    // Name sanitization is one-way: the parsed snapshot carries the
+    // exposition names (`.` → `_`), values intact.
+    let back = parse(&doc).expect("parse");
+    assert_eq!(back.counter("omtest_requests"), Some(7));
+    assert_eq!(back.gauge("omtest_ratio"), Some(0.25));
+    let h = back.histogram("omtest_latency_ns").expect("histogram survives");
+    assert_eq!(h.count, 3);
+    assert_eq!(h.sum, 40_101);
+}

@@ -3,7 +3,14 @@
 //! A factor is a non-negative function over the joint assignments of a set
 //! of variables, stored densely in row-major order with variables kept in
 //! strictly increasing id order (canonical form, which makes products and
-//! marginalizations simple stride walks).
+//! marginalizations simple stride walks). Each factor also carries its
+//! scope as a [`VarSet`] bitset so membership tests in the elimination
+//! loops are word ops, and the arithmetic loop bodies live in free
+//! `*_into` kernels writing into caller-provided buffers — the compiled
+//! plan replay calls the same kernels against arena memory, which is what
+//! makes the warm path bit-identical to these methods by construction.
+
+use crate::varset::VarSet;
 
 /// A dense factor φ(vars).
 #[derive(Debug, Clone, PartialEq)]
@@ -11,6 +18,7 @@ pub struct Factor {
     vars: Vec<usize>,
     cards: Vec<usize>,
     data: Vec<f64>,
+    scope: VarSet,
 }
 
 impl Factor {
@@ -21,12 +29,18 @@ impl Factor {
         assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be strictly increasing");
         let expect: usize = cards.iter().product::<usize>().max(1);
         assert_eq!(data.len(), expect, "data length must be the product of cards");
-        Factor { vars, cards, data }
+        Factor::assemble(vars, cards, data)
+    }
+
+    /// Internal constructor for scopes already known to be canonical.
+    fn assemble(vars: Vec<usize>, cards: Vec<usize>, data: Vec<f64>) -> Self {
+        let scope = VarSet::from_vars(&vars);
+        Factor { vars, cards, data, scope }
     }
 
     /// The constant factor with value `v` (empty scope).
     pub fn scalar(v: f64) -> Self {
-        Factor { vars: vec![], cards: vec![], data: vec![v] }
+        Factor::assemble(vec![], vec![], vec![v])
     }
 
     /// Uniform factor of 1s over the given scope.
@@ -38,6 +52,17 @@ impl Factor {
     /// Scope of the factor (variable ids, strictly increasing).
     pub fn vars(&self) -> &[usize] {
         &self.vars
+    }
+
+    /// Scope as a bitset.
+    pub fn scope(&self) -> &VarSet {
+        &self.scope
+    }
+
+    /// True if `var` is in the scope (bitset test, no scan).
+    #[inline]
+    pub fn contains_var(&self, var: usize) -> bool {
+        self.scope.contains(var)
     }
 
     /// Cardinalities aligned with [`Factor::vars`].
@@ -95,45 +120,17 @@ impl Factor {
         let stride_b = strides_in(&other.vars, &other.cards, &vars);
         let len: usize = cards.iter().product::<usize>().max(1);
         let mut data = vec![0.0; len];
-        if vars.is_empty() {
-            data[0] = self.data[0] * other.data[0];
-            return Factor { vars, cards, data };
-        }
-        let outer = vars.len() - 1;
-        let inner = cards[outer];
-        let (sa, sb) = (stride_a[outer], stride_b[outer]);
-        let mut assign = vec![0usize; outer];
-        let (mut ia, mut ib) = (0usize, 0usize);
-        for block in data.chunks_exact_mut(inner) {
-            if sa == 1 && sb == 1 {
-                // Both operands contiguous over the innermost variable.
-                let a = &self.data[ia..ia + inner];
-                let b = &other.data[ib..ib + inner];
-                for (slot, (&x, &y)) in block.iter_mut().zip(a.iter().zip(b)) {
-                    *slot = x * y;
-                }
-            } else {
-                let (mut oa, mut ob) = (ia, ib);
-                for slot in block.iter_mut() {
-                    *slot = self.data[oa] * other.data[ob];
-                    oa += sa;
-                    ob += sb;
-                }
-            }
-            // Odometer over the outer variables only.
-            for k in (0..outer).rev() {
-                assign[k] += 1;
-                ia += stride_a[k];
-                ib += stride_b[k];
-                if assign[k] < cards[k] {
-                    break;
-                }
-                assign[k] = 0;
-                ia -= stride_a[k] * cards[k];
-                ib -= stride_b[k] * cards[k];
-            }
-        }
-        Factor { vars, cards, data }
+        let mut assign = vec![0usize; vars.len().saturating_sub(1)];
+        product_into(
+            &self.data,
+            &other.data,
+            &cards,
+            &stride_a,
+            &stride_b,
+            &mut assign,
+            &mut data,
+        );
+        Factor::assemble(vars, cards, data)
     }
 
     /// Fused `φ₁ · φ₂` followed by summing out `var`: computes
@@ -164,29 +161,19 @@ impl Factor {
         let len: usize = cards.iter().product::<usize>().max(1);
         let mut data = vec![0.0; len];
         let mut assign = vec![0usize; vars.len()];
-        let (mut ia, mut ib) = (0usize, 0usize);
-        for slot in data.iter_mut() {
-            let mut acc = 0.0;
-            let (mut oa, mut ob) = (ia, ib);
-            for _ in 0..card_v {
-                acc += self.data[oa] * other.data[ob];
-                oa += sav;
-                ob += sbv;
-            }
-            *slot = acc;
-            for k in (0..vars.len()).rev() {
-                assign[k] += 1;
-                ia += rstride_a[k];
-                ib += rstride_b[k];
-                if assign[k] < cards[k] {
-                    break;
-                }
-                assign[k] = 0;
-                ia -= rstride_a[k] * cards[k];
-                ib -= rstride_b[k] * cards[k];
-            }
-        }
-        Factor { vars, cards, data }
+        product_sum_out_into(
+            &self.data,
+            &other.data,
+            &cards,
+            &rstride_a,
+            &rstride_b,
+            card_v,
+            sav,
+            sbv,
+            &mut assign,
+            &mut data,
+        );
+        Factor::assemble(vars, cards, data)
     }
 
     /// Renames axis `i` to `new_vars[i]` and reorders axes so the scope is
@@ -206,7 +193,7 @@ impl Factor {
         );
         let cards: Vec<usize> = order.iter().map(|&i| self.cards[i]).collect();
         if order.iter().enumerate().all(|(k, &i)| k == i) {
-            return Factor { vars, cards, data: self.data.clone() };
+            return Factor::assemble(vars, cards, self.data.clone());
         }
         // Row-major strides of each source axis, then reordered to follow
         // the output's axis order.
@@ -239,7 +226,7 @@ impl Factor {
                 src -= stride[k] * cards[k];
             }
         }
-        Factor { vars, cards, data }
+        Factor::assemble(vars, cards, data)
     }
 
     /// Marginalizes (sums) out one variable.
@@ -255,17 +242,8 @@ impl Factor {
         let outer: usize = self.cards[..pos].iter().product::<usize>().max(1);
         let len = inner * outer;
         let mut data = vec![0.0; len];
-        for o in 0..outer {
-            let src_base = o * card * inner;
-            let dst_base = o * inner;
-            for c in 0..card {
-                let src = src_base + c * inner;
-                for k in 0..inner {
-                    data[dst_base + k] += self.data[src + k];
-                }
-            }
-        }
-        Factor { vars, cards, data }
+        sum_out_into(&self.data, outer, card, inner, &mut data);
+        Factor::assemble(vars, cards, data)
     }
 
     /// Zeroes out all entries whose value for `var` is not allowed.
@@ -278,17 +256,8 @@ impl Factor {
         let inner: usize = self.cards[pos + 1..].iter().product::<usize>().max(1);
         let card = self.cards[pos];
         let mut data = self.data.clone();
-        let mut base = 0usize;
-        while base < data.len() {
-            for (c, &ok) in allowed.iter().enumerate().take(card) {
-                if !ok {
-                    let start = base + c * inner;
-                    data[start..start + inner].fill(0.0);
-                }
-            }
-            base += card * inner;
-        }
-        Factor { vars: self.vars.clone(), cards: self.cards.clone(), data }
+        reduce_in_place(&mut data, card, inner, allowed);
+        Factor::assemble(self.vars.clone(), self.cards.clone(), data)
     }
 
     /// Pointwise division `φ / ψ` where ψ's scope must be a subset of φ's.
@@ -316,7 +285,7 @@ impl Factor {
                 ib -= stride_b[k] * self.cards[k];
             }
         }
-        Factor { vars: self.vars.clone(), cards: self.cards.clone(), data }
+        Factor::assemble(self.vars.clone(), self.cards.clone(), data)
     }
 
     /// Scales all entries so they sum to one. No-op for an all-zero factor.
@@ -331,7 +300,7 @@ impl Factor {
 }
 
 /// Merged scope of two factors: sorted union of vars with their cards.
-fn union_scope(a: &Factor, b: &Factor) -> (Vec<usize>, Vec<usize>) {
+pub fn union_scope(a: &Factor, b: &Factor) -> (Vec<usize>, Vec<usize>) {
     let mut vars = Vec::with_capacity(a.vars.len() + b.vars.len());
     let mut cards = Vec::with_capacity(a.vars.len() + b.vars.len());
     let (mut i, mut j) = (0, 0);
@@ -356,7 +325,7 @@ fn union_scope(a: &Factor, b: &Factor) -> (Vec<usize>, Vec<usize>) {
 
 /// For each variable in `result_vars`, its row-major stride within a factor
 /// whose scope is `vars`/`cards` (0 if the variable is absent).
-fn strides_in(vars: &[usize], cards: &[usize], result_vars: &[usize]) -> Vec<usize> {
+pub fn strides_in(vars: &[usize], cards: &[usize], result_vars: &[usize]) -> Vec<usize> {
     // Row-major: last variable has stride 1.
     let mut stride = vec![0usize; vars.len()];
     let mut s = 1usize;
@@ -368,6 +337,170 @@ fn strides_in(vars: &[usize], cards: &[usize], result_vars: &[usize]) -> Vec<usi
         .iter()
         .map(|rv| vars.iter().position(|v| v == rv).map_or(0, |p| stride[p]))
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-free kernels.
+//
+// These free functions hold the single implementation of each factor
+// operation's arithmetic loop. The `Factor` methods above allocate fresh
+// buffers and delegate here; the compiled plan replay in `prmsel::plan`
+// calls the same kernels with precomputed strides against arena memory.
+// Because both paths execute the identical loop bodies — same multiply
+// order, same ascending-`var` accumulation — warm replay is bit-identical
+// to the method path by construction.
+// ---------------------------------------------------------------------------
+
+/// `out[i] = a[·] * b[·]` over the result scope described by `cards` with
+/// per-operand strides (0 where a variable is absent from an operand).
+/// `assign` is odometer scratch of length ≥ `cards.len() - 1`; `out` must
+/// have length `Π cards (min 1)`. Every slot is overwritten.
+pub fn product_into(
+    a: &[f64],
+    b: &[f64],
+    cards: &[usize],
+    stride_a: &[usize],
+    stride_b: &[usize],
+    assign: &mut [usize],
+    out: &mut [f64],
+) {
+    if cards.is_empty() {
+        out[0] = a[0] * b[0];
+        return;
+    }
+    let outer = cards.len() - 1;
+    let inner = cards[outer];
+    let (sa, sb) = (stride_a[outer], stride_b[outer]);
+    let assign = &mut assign[..outer];
+    assign.fill(0);
+    let (mut ia, mut ib) = (0usize, 0usize);
+    for block in out.chunks_exact_mut(inner) {
+        if sa == 1 && sb == 1 {
+            // Both operands contiguous over the innermost variable.
+            let av = &a[ia..ia + inner];
+            let bv = &b[ib..ib + inner];
+            for (slot, (&x, &y)) in block.iter_mut().zip(av.iter().zip(bv)) {
+                *slot = x * y;
+            }
+        } else {
+            let (mut oa, mut ob) = (ia, ib);
+            for slot in block.iter_mut() {
+                *slot = a[oa] * b[ob];
+                oa += sa;
+                ob += sb;
+            }
+        }
+        // Odometer over the outer variables only.
+        for k in (0..outer).rev() {
+            assign[k] += 1;
+            ia += stride_a[k];
+            ib += stride_b[k];
+            if assign[k] < cards[k] {
+                break;
+            }
+            assign[k] = 0;
+            ia -= stride_a[k] * cards[k];
+            ib -= stride_b[k] * cards[k];
+        }
+    }
+}
+
+/// Fused product-then-sum-out: `out = Σ_v a · b`, where `cards` /
+/// `stride_a` / `stride_b` describe the *result* scope (the union with
+/// the summed variable removed), and (`card_v`, `sav`, `sbv`) are the
+/// summed variable's cardinality and per-operand strides. Accumulates in
+/// ascending `v` order — the bit-identity invariant. `assign` is scratch
+/// of length ≥ `cards.len()`; every `out` slot is overwritten.
+#[allow(clippy::too_many_arguments)]
+pub fn product_sum_out_into(
+    a: &[f64],
+    b: &[f64],
+    cards: &[usize],
+    stride_a: &[usize],
+    stride_b: &[usize],
+    card_v: usize,
+    sav: usize,
+    sbv: usize,
+    assign: &mut [usize],
+    out: &mut [f64],
+) {
+    let assign = &mut assign[..cards.len()];
+    assign.fill(0);
+    let (mut ia, mut ib) = (0usize, 0usize);
+    for slot in out.iter_mut() {
+        let mut acc = 0.0;
+        let (mut oa, mut ob) = (ia, ib);
+        for _ in 0..card_v {
+            acc += a[oa] * b[ob];
+            oa += sav;
+            ob += sbv;
+        }
+        *slot = acc;
+        for k in (0..cards.len()).rev() {
+            assign[k] += 1;
+            ia += stride_a[k];
+            ib += stride_b[k];
+            if assign[k] < cards[k] {
+                break;
+            }
+            assign[k] = 0;
+            ia -= stride_a[k] * cards[k];
+            ib -= stride_b[k] * cards[k];
+        }
+    }
+}
+
+/// Sums out the axis of cardinality `card` sitting between `outer` outer
+/// cells and `inner` inner cells: `out[o·inner + k] = Σ_c src[...]`, with
+/// the sum accumulated in ascending `c` order. `out` must have length
+/// `outer · inner`; it is zeroed first, so reused arena buffers are fine.
+pub fn sum_out_into(
+    src: &[f64],
+    outer: usize,
+    card: usize,
+    inner: usize,
+    out: &mut [f64],
+) {
+    out.fill(0.0);
+    for o in 0..outer {
+        let src_base = o * card * inner;
+        let dst_base = o * inner;
+        for c in 0..card {
+            let s = src_base + c * inner;
+            for k in 0..inner {
+                out[dst_base + k] += src[s + k];
+            }
+        }
+    }
+}
+
+/// Zeroes the runs of `data` whose code for the reduced axis (cardinality
+/// `card`, run length `inner`) is not allowed. Pure zeroing — no float
+/// arithmetic — so applying masks in any order yields identical bits.
+pub fn reduce_in_place(data: &mut [f64], card: usize, inner: usize, allowed: &[bool]) {
+    let mut base = 0usize;
+    while base < data.len() {
+        for (c, &ok) in allowed.iter().enumerate().take(card) {
+            if !ok {
+                let start = base + c * inner;
+                data[start..start + inner].fill(0.0);
+            }
+        }
+        base += card * inner;
+    }
+}
+
+/// Copying variant of [`reduce_in_place`]: writes `src` into `out` and
+/// zeroes disallowed runs in the same pass destination.
+pub fn reduce_into(
+    src: &[f64],
+    card: usize,
+    inner: usize,
+    allowed: &[bool],
+    out: &mut [f64],
+) {
+    out.copy_from_slice(src);
+    reduce_in_place(out, card, inner, allowed);
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ use std::time::Instant;
 
 use crate::factor::Factor;
 use crate::network::BayesNet;
+use crate::varset::VarSet;
 
 /// Resource limits enforced during variable elimination.
 ///
@@ -253,20 +254,23 @@ pub fn try_eliminate_all(
 /// masks entries but never shrinks a scope, so the order is valid for any
 /// predicate values.)
 ///
-/// Scopes must be sorted ascending (the canonical [`Factor`] form). Each
-/// candidate's weight is the product of the cardinalities of the union of
-/// the scopes containing it, computed by sorted merges rather than the
-/// O(n²) `contains` scans of the naive formulation; elimination is then
-/// simulated on the scopes to keep later weights exact.
+/// Scopes may be given in any order (factor scopes are canonical
+/// ascending anyway). Internally every scope becomes a [`VarSet`] bitset,
+/// so each candidate's weight — the product of the cardinalities of the
+/// union of the scopes containing it — is computed by word-wise ORs and
+/// one ascending bit walk instead of repeated sorted-merge allocations.
+/// Ascending bitset iteration multiplies cardinalities in exactly the
+/// order the former sorted merge produced, so weights, ties, and hence
+/// the returned order are unchanged bit for bit.
 pub fn elimination_order(
     scopes: &[Vec<usize>],
     elim: &[usize],
     card_of: impl Fn(usize) -> usize,
 ) -> Vec<usize> {
-    let mut scopes: Vec<Vec<usize>> = scopes.to_vec();
+    let mut scopes: Vec<VarSet> = scopes.iter().map(|s| VarSet::from_vars(s)).collect();
     let mut remaining: Vec<usize> = elim.to_vec();
     let mut order = Vec::with_capacity(remaining.len());
-    let mut merged: Vec<usize> = Vec::new();
+    let mut merged = VarSet::new();
     while !remaining.is_empty() {
         // Min-weight heuristic: eliminate the variable whose combined
         // factor is smallest (first minimum wins on ties).
@@ -275,10 +279,10 @@ pub fn elimination_order(
             .enumerate()
             .map(|(i, &v)| {
                 merged.clear();
-                for s in scopes.iter().filter(|s| s.binary_search(&v).is_ok()) {
-                    merged = merge_sorted(&merged, s);
+                for s in scopes.iter().filter(|s| s.contains(v)) {
+                    merged.union_with(s);
                 }
-                let weight: f64 = merged.iter().map(|&sv| card_of(sv) as f64).product();
+                let weight: f64 = merged.iter().map(|sv| card_of(sv) as f64).product();
                 (i, weight)
             })
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("weights are finite"))
@@ -287,39 +291,24 @@ pub fn elimination_order(
         order.push(var);
         // Simulate the elimination on scopes: the factors touching `var`
         // fuse into one factor over their union minus `var`.
-        let (touching, rest): (Vec<Vec<usize>>, Vec<Vec<usize>>) =
-            scopes.into_iter().partition(|s| s.binary_search(&var).is_ok());
-        scopes = rest;
-        if touching.is_empty() {
+        let mut fused = VarSet::new();
+        let mut any = false;
+        scopes.retain(|s| {
+            if s.contains(var) {
+                fused.union_with(s);
+                any = true;
+                false
+            } else {
+                true
+            }
+        });
+        if !any {
             continue;
         }
-        let mut fused: Vec<usize> = Vec::new();
-        for s in &touching {
-            fused = merge_sorted(&fused, s);
-        }
-        fused.retain(|&sv| sv != var);
+        fused.remove(var);
         scopes.push(fused);
     }
     order
-}
-
-/// Union of two sorted ascending id lists.
-fn merge_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() || j < b.len() {
-        if j >= b.len() || (i < a.len() && a[i] <= b[j]) {
-            if j < b.len() && a[i] == b[j] {
-                j += 1;
-            }
-            out.push(a[i]);
-            i += 1;
-        } else {
-            out.push(b[j]);
-            j += 1;
-        }
-    }
-    out
 }
 
 /// Replays a fixed elimination order: for each variable, the factors whose
@@ -372,7 +361,7 @@ pub fn try_eliminate_in_order(
         .map_err(|e| InferAbort::Fault(e.to_string()))?;
     for &var in order {
         let (touching, rest): (Vec<_>, Vec<_>) =
-            factors.into_iter().partition(|f| f.vars().binary_search(&var).is_ok());
+            factors.into_iter().partition(|f| f.contains_var(var));
         factors = rest;
         if touching.is_empty() {
             continue;
@@ -443,7 +432,7 @@ fn eliminate_keeping(
     debug_assert!(!order.contains(&keep));
     for &var in order {
         let (touching, rest): (Vec<_>, Vec<_>) =
-            factors.into_iter().partition(|f| f.vars().binary_search(&var).is_ok());
+            factors.into_iter().partition(|f| f.contains_var(var));
         factors = rest;
         if touching.is_empty() {
             continue;

@@ -53,6 +53,7 @@ pub mod jointree;
 pub mod learn;
 pub mod network;
 pub mod sample;
+pub mod varset;
 
 pub use cpd::{Cpd, CpdKind, TableCpd, TreeCpd};
 pub use factor::Factor;
@@ -65,4 +66,5 @@ pub use jointree::JoinTree;
 pub use learn::dataset::Dataset;
 pub use learn::search::{GreedyLearner, LearnConfig, StepRule};
 pub use network::{BayesNet, CpdFactorCache};
-pub use sample::likelihood_weighting;
+pub use sample::{likelihood_weighting, likelihood_weighting_cached};
+pub use varset::VarSet;

@@ -1,0 +1,218 @@
+//! Small-set-of-variable-ids bitset.
+//!
+//! Factor scopes and the elimination-order heuristic used to walk sorted
+//! `Vec<usize>` scopes; every union allocated. [`VarSet`] keeps ids below
+//! [`VarSet::INLINE_BITS`] in a fixed `[u64; 4]` (no heap at all — an
+//! empty `Vec` spill allocates nothing) and spills larger ids into extra
+//! words, so membership, union, and removal are word ops and iteration
+//! yields ids in ascending order — the same order a sorted-merge union
+//! produced, which keeps every downstream float reduction bit-identical.
+
+/// Number of one-u64-word blocks stored inline.
+const INLINE_WORDS: usize = 4;
+
+/// A set of `usize` variable ids backed by a bitset.
+#[derive(Debug, Clone, Default)]
+pub struct VarSet {
+    inline: [u64; INLINE_WORDS],
+    spill: Vec<u64>,
+}
+
+impl VarSet {
+    /// Ids below this bound never touch the heap.
+    pub const INLINE_BITS: usize = INLINE_WORDS * 64;
+
+    /// The empty set.
+    pub fn new() -> Self {
+        VarSet::default()
+    }
+
+    /// Builds a set from a slice of ids (order and duplicates irrelevant).
+    pub fn from_vars(vars: &[usize]) -> Self {
+        let mut s = VarSet::new();
+        for &v in vars {
+            s.insert(v);
+        }
+        s
+    }
+
+    fn word(&self, i: usize) -> u64 {
+        if i < INLINE_WORDS {
+            self.inline[i]
+        } else {
+            self.spill.get(i - INLINE_WORDS).copied().unwrap_or(0)
+        }
+    }
+
+    fn n_words(&self) -> usize {
+        INLINE_WORDS + self.spill.len()
+    }
+
+    /// True if `v` is in the set.
+    #[inline]
+    pub fn contains(&self, v: usize) -> bool {
+        let (w, b) = (v / 64, v % 64);
+        self.word(w) & (1u64 << b) != 0
+    }
+
+    /// Inserts `v` (allocates only if `v >= INLINE_BITS` needs a new spill
+    /// word).
+    pub fn insert(&mut self, v: usize) {
+        let (w, b) = (v / 64, v % 64);
+        if w < INLINE_WORDS {
+            self.inline[w] |= 1u64 << b;
+        } else {
+            let s = w - INLINE_WORDS;
+            if s >= self.spill.len() {
+                self.spill.resize(s + 1, 0);
+            }
+            self.spill[s] |= 1u64 << b;
+        }
+    }
+
+    /// Removes `v` if present.
+    pub fn remove(&mut self, v: usize) {
+        let (w, b) = (v / 64, v % 64);
+        if w < INLINE_WORDS {
+            self.inline[w] &= !(1u64 << b);
+        } else if let Some(word) = self.spill.get_mut(w - INLINE_WORDS) {
+            *word &= !(1u64 << b);
+        }
+    }
+
+    /// `self ∪= other`.
+    pub fn union_with(&mut self, other: &VarSet) {
+        for (dst, src) in self.inline.iter_mut().zip(&other.inline) {
+            *dst |= src;
+        }
+        if other.spill.len() > self.spill.len() {
+            self.spill.resize(other.spill.len(), 0);
+        }
+        for (dst, src) in self.spill.iter_mut().zip(&other.spill) {
+            *dst |= src;
+        }
+    }
+
+    /// Empties the set, keeping any spill capacity (no dealloc).
+    pub fn clear(&mut self) {
+        self.inline.fill(0);
+        self.spill.fill(0);
+    }
+
+    /// True if no id is set.
+    pub fn is_empty(&self) -> bool {
+        self.inline.iter().all(|&w| w == 0) && self.spill.iter().all(|&w| w == 0)
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        let inline: u32 = self.inline.iter().map(|w| w.count_ones()).sum();
+        let spill: u32 = self.spill.iter().map(|w| w.count_ones()).sum();
+        (inline + spill) as usize
+    }
+
+    /// Iterates ids in ascending order.
+    pub fn iter(&self) -> VarSetIter<'_> {
+        VarSetIter { set: self, next_word: 0, base: 0, current: 0 }
+    }
+}
+
+impl PartialEq for VarSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Compare by effective bits: trailing zero spill words are
+        // insignificant, so sets that went through clear()/remove() still
+        // equal freshly built ones.
+        let n = self.n_words().max(other.n_words());
+        (0..n).all(|i| self.word(i) == other.word(i))
+    }
+}
+
+impl Eq for VarSet {}
+
+impl<'a> IntoIterator for &'a VarSet {
+    type Item = usize;
+    type IntoIter = VarSetIter<'a>;
+    fn into_iter(self) -> VarSetIter<'a> {
+        self.iter()
+    }
+}
+
+/// Ascending-id iterator over a [`VarSet`].
+pub struct VarSetIter<'a> {
+    set: &'a VarSet,
+    next_word: usize,
+    base: usize,
+    current: u64,
+}
+
+impl Iterator for VarSetIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.base + bit);
+            }
+            if self.next_word >= self.set.n_words() {
+                return None;
+            }
+            self.current = self.set.word(self.next_word);
+            self.base = self.next_word * 64;
+            self.next_word += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_sorted_ids() {
+        let ids = [0usize, 3, 63, 64, 255];
+        let s = VarSet::from_vars(&ids);
+        assert_eq!(s.iter().collect::<Vec<_>>(), ids);
+        assert_eq!(s.len(), ids.len());
+        for &v in &ids {
+            assert!(s.contains(v));
+        }
+        assert!(!s.contains(1));
+        assert!(!s.contains(256));
+    }
+
+    #[test]
+    fn spill_ids_work_and_compare_ignoring_trailing_zeros() {
+        let mut a = VarSet::from_vars(&[2, 300, 999]);
+        assert!(a.contains(999));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![2, 300, 999]);
+        a.remove(999);
+        a.remove(300);
+        let b = VarSet::from_vars(&[2]);
+        assert_eq!(a, b, "trailing zero spill words must not break equality");
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn union_and_clear() {
+        let mut a = VarSet::from_vars(&[1, 5]);
+        let b = VarSet::from_vars(&[5, 70, 400]);
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 5, 70, 400]);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        a.union_with(&b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iteration_order_is_ascending_across_words() {
+        let ids = [500usize, 64, 0, 63, 129, 256];
+        let s = VarSet::from_vars(&ids);
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(s.iter().collect::<Vec<_>>(), sorted);
+    }
+}

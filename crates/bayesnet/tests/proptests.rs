@@ -199,3 +199,118 @@ proptest! {
         prop_assert_eq!(expected_lo, 40);
     }
 }
+
+/// The sorted-`Vec` union/merge implementation `elimination_order` used
+/// before scopes became [`bayesnet::VarSet`] bitsets — kept verbatim as
+/// the reference the bitset version must reproduce order-for-order
+/// (weights, tie-breaks, and the scope-fusion simulation included).
+fn reference_elimination_order(
+    scopes: &[Vec<usize>],
+    elim: &[usize],
+    card_of: impl Fn(usize) -> usize,
+) -> Vec<usize> {
+    fn union_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            let take_a = j >= b.len() || (i < a.len() && a[i] <= b[j]);
+            if take_a {
+                if j < b.len() && a[i] == b[j] {
+                    j += 1;
+                }
+                out.push(a[i]);
+                i += 1;
+            } else {
+                out.push(b[j]);
+                j += 1;
+            }
+        }
+        out
+    }
+    let mut scopes: Vec<Vec<usize>> = scopes
+        .iter()
+        .map(|s| {
+            let mut s = s.clone();
+            s.sort_unstable();
+            s.dedup();
+            s
+        })
+        .collect();
+    let mut remaining: Vec<usize> = elim.to_vec();
+    let mut order = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let (best_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let mut merged: Vec<usize> = Vec::new();
+                for s in scopes.iter().filter(|s| s.contains(&v)) {
+                    merged = union_sorted(&merged, s);
+                }
+                let weight: f64 = merged.iter().map(|&sv| card_of(sv) as f64).product();
+                (i, weight)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("weights are finite"))
+            .expect("remaining is non-empty");
+        let var = remaining.swap_remove(best_idx);
+        order.push(var);
+        let mut fused: Vec<usize> = Vec::new();
+        let mut any = false;
+        scopes.retain(|s| {
+            if s.contains(&var) {
+                fused = union_sorted(&fused, s);
+                any = true;
+                false
+            } else {
+                true
+            }
+        });
+        if !any {
+            continue;
+        }
+        fused.retain(|&sv| sv != var);
+        scopes.push(fused);
+    }
+    order
+}
+
+/// Random scope sets whose variable ids straddle the `VarSet` inline /
+/// spill boundary (256 bits), so word-wise union, ascending iteration,
+/// and fusion are all exercised in both storage regimes.
+fn arb_scope_family() -> impl Strategy<Value = (Vec<Vec<usize>>, Vec<usize>)> {
+    (
+        proptest::collection::vec(proptest::collection::vec(0usize..400, 1..5), 1..8),
+        any::<bool>(),
+    )
+        .prop_map(|(mut scopes, spill)| {
+            if !spill {
+                // Fold ids into the inline regime (< 256 bits).
+                for s in &mut scopes {
+                    for v in s.iter_mut() {
+                        *v %= 12;
+                    }
+                }
+            }
+            let mut all: Vec<usize> = scopes.iter().flatten().copied().collect();
+            all.sort_unstable();
+            all.dedup();
+            (scopes, all)
+        })
+}
+
+// The bitset `elimination_order` must reproduce the sorted-merge
+// reference exactly: same variables, same order, for scope families in
+// both the inline and spilled `VarSet` regimes.
+proptest! {
+    #[test]
+    fn bitset_elimination_order_matches_sorted_merge_reference(
+        (scopes, elim) in arb_scope_family()
+    ) {
+        // Deterministic pseudo-random cardinalities keyed by var id, so
+        // both implementations see the same weights.
+        let card_of = |v: usize| 2 + (v * 7 + 3) % 5;
+        let got = bayesnet::elimination_order(&scopes, &elim, card_of);
+        let want = reference_elimination_order(&scopes, &elim, card_of);
+        prop_assert_eq!(got, want);
+    }
+}

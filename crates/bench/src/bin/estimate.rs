@@ -27,6 +27,20 @@ use workloads::suites::{join_chain_suite, single_table_range_suite, ChainStep};
 use workloads::tb::{tb_database, tb_database_sized};
 use workloads::QuerySuite;
 
+/// Extracts the census-eq warm mean (ns) from a bench JSON baseline:
+/// section `"warm ns per query class"`, row `"method":"census-eq"`, field
+/// `"y"`. Plain string scanning — the emitter writes this shape and a
+/// JSON parser dependency is not worth one gate.
+fn baseline_warm_ns(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let sec = text.split("\"title\":\"warm ns per query class\"").nth(1)?;
+    let sec = &sec[..sec.find(']').unwrap_or(sec.len())];
+    let row = sec.split("\"method\":\"census-eq\"").nth(1)?;
+    let y = row.split("\"y\":").nth(1)?;
+    let end = y.find(['}', ',']).unwrap_or(y.len());
+    y[..end].trim().parse().ok()
+}
+
 /// Mean per-query seconds for one full pass over the suite.
 fn mean_latency(est: &PrmEstimator, queries: &[Query], cold: bool) -> f64 {
     let mut total = 0.0;
@@ -114,6 +128,7 @@ fn main() -> reldb::Result<()> {
     };
 
     let mut latency_rows = Vec::new();
+    let mut warm_ns_rows = Vec::new();
     let mut speedup_rows = Vec::new();
     let mut throughput_rows = Vec::new();
     for (est, suite) in cases {
@@ -153,6 +168,11 @@ fn main() -> reldb::Result<()> {
             x: n as f64,
             y: warm * 1e6,
         });
+        warm_ns_rows.push(FigRow {
+            method: suite.name.clone(),
+            x: n as f64,
+            y: warm * 1e9,
+        });
         speedup_rows.push(FigRow { method: suite.name.clone(), x: n as f64, y: speedup });
 
         for &t in &threads {
@@ -174,6 +194,12 @@ fn main() -> reldb::Result<()> {
         "us/query",
         &latency_rows,
     );
+    print_series(
+        "Estimate: warm ns per query class",
+        "queries",
+        "ns/query",
+        &warm_ns_rows,
+    );
     print_series("Estimate: warm-over-cold speedup", "queries", "x", &speedup_rows);
     print_series(
         "Estimate: warm batch throughput vs threads",
@@ -181,14 +207,50 @@ fn main() -> reldb::Result<()> {
         "queries/s",
         &throughput_rows,
     );
+    let gate_measured =
+        warm_ns_rows.iter().find(|r| r.method == "census-eq").map(|r| r.y);
     emit_bench_json(
         &opts,
         "estimate",
         &[
             ("per-query latency cold vs warm (us)".to_owned(), latency_rows),
+            ("warm ns per query class".to_owned(), warm_ns_rows),
             ("warm-over-cold speedup (x)".to_owned(), speedup_rows),
             ("warm batch throughput vs threads (queries/s)".to_owned(), throughput_rows),
         ],
     );
+
+    // `--gate <baseline.json>`: fail when the census-eq warm mean
+    // regresses more than 25% against the checked-in baseline. Caveat:
+    // the baseline is recorded in full mode while CI gates with
+    // `--quick` (smaller database and suite). Warm means are signature-
+    // memo-hit dominated either way (decode + hash + LRU lookup), and
+    // the quick run's smaller masks keep it below the full-mode
+    // baseline, so the gate catches structural warm-path regressions —
+    // e.g. hits silently becoming replays — not percent-level drift;
+    // recalibrate the baseline with a full run when the warm path
+    // intentionally changes.
+    if let Some(base_path) =
+        argv.iter().position(|a| a == "--gate").and_then(|i| argv.get(i + 1))
+    {
+        let measured = gate_measured.expect("census-eq suite always runs");
+        match baseline_warm_ns(base_path) {
+            Some(base) => {
+                let ratio = measured / base;
+                eprintln!(
+                    "gate: census-eq warm {measured:.0}ns vs baseline {base:.0}ns \
+                     (ratio {ratio:.2}, limit 1.25)"
+                );
+                if ratio > 1.25 {
+                    eprintln!("gate: warm-path regression exceeds 25%, failing");
+                    std::process::exit(1);
+                }
+            }
+            None => eprintln!(
+                "gate: no census-eq row in 'warm ns per query class' of {base_path}; \
+                 skipping"
+            ),
+        }
+    }
     Ok(())
 }

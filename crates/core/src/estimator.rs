@@ -36,11 +36,12 @@ pub trait SelectivityEstimator: Sync {
 }
 
 /// Default for `PRMSEL_PAR_THRESHOLD`: projected batch cost (ns) below
-/// which `estimate_batch` stays on the caller's thread. Fast suites
-/// (tens of µs per warm query) lose more to per-batch pool spawn and
-/// cross-thread cache contention than they gain from fan-out; ~20 ms of
-/// work is where the pool reliably pays for itself.
-pub const DEFAULT_PAR_THRESHOLD_NS: u64 = 20_000_000;
+/// which `estimate_batch` stays on the caller's thread. Workers are now
+/// persistent parked threads (see `prmsel-par`), so dispatch costs a
+/// queue push + condvar wake (microseconds) instead of per-batch thread
+/// spawns (milliseconds); ~2 ms of projected work is where fan-out
+/// reliably pays for itself even on fast warm suites.
+pub const DEFAULT_PAR_THRESHOLD_NS: u64 = 2_000_000;
 
 fn par_threshold_ns() -> u64 {
     std::env::var("PRMSEL_PAR_THRESHOLD")
@@ -57,10 +58,11 @@ fn par_threshold_ns() -> u64 {
 /// Small batches never reach the pool: the first query is timed as a
 /// cost probe, and when the projected remaining work lands under
 /// `PRMSEL_PAR_THRESHOLD` nanoseconds ([`DEFAULT_PAR_THRESHOLD_NS`]) the
-/// rest runs serially on the caller's thread — per-batch pool spawn on a
-/// fast suite otherwise costs more than it buys (the small-batch
-/// regression where 4-thread throughput landed below 1-thread). The
-/// chosen path is counted in `par.batch.serial` / `par.batch.parallel`.
+/// rest runs serially on the caller's thread — dispatch and cross-thread
+/// cache contention on a fast suite otherwise cost more than they buy
+/// (the small-batch regression where 4-thread throughput landed below
+/// 1-thread). The chosen path is counted in `par.batch.serial` /
+/// `par.batch.parallel`.
 pub fn estimate_batch<E: SelectivityEstimator + ?Sized>(
     estimator: &E,
     queries: &[Query],
@@ -301,6 +303,13 @@ impl PrmEstimator {
         self.plans.contains(&PlanKey::of(query))
     }
 
+    /// Resident entries in the reduced-factor memo of `query`'s plan, or
+    /// `None` when no plan is resident — introspection for tests and
+    /// tools.
+    pub fn reduce_memo_len(&self, query: &Query) -> Option<usize> {
+        self.plans.peek(query).map(|p| p.reduce_memo_len())
+    }
+
     /// The underlying model.
     pub fn prm(&self) -> &Prm {
         &self.prm
@@ -395,15 +404,9 @@ impl SelectivityEstimator for PrmEstimator {
             InferenceEngine::Exact => {
                 let plan = {
                     let _plan_phase = obs::flight::phase("plan");
-                    let (plan, hit) =
-                        self.plans.get_or_compile(PlanKey::of(query), || {
-                            QueryPlan::compile(
-                                &self.prm,
-                                &self.schema,
-                                &self.factors,
-                                query,
-                            )
-                        })?;
+                    let (plan, hit) = self.plans.get_or_compile(query, || {
+                        QueryPlan::compile(&self.prm, &self.schema, &self.factors, query)
+                    })?;
                     warm = hit;
                     plan
                 };

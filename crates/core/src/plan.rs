@@ -12,38 +12,75 @@
 //!   into its canonical dense factor **once**, lazily, behind an
 //!   `Arc`-shared [`std::sync::OnceLock`] slot, so concurrent
 //!   `estimate_batch` workers share the result;
-//! * [`QueryPlan`] — for one query template, the unrolled network
-//!   structure, the evidence-independent factors (with the fixed
-//!   `J = true` join evidence already folded in), and the full
-//!   elimination order;
-//! * [`PlanCache`] — a bounded LRU of compiled plans keyed by
-//!   [`PlanKey`], hung off [`crate::PrmEstimator`].
+//! * [`QueryPlan`] — for one query template, the evidence-independent
+//!   factors (with the fixed `J = true` join evidence already folded in)
+//!   plus a fully **precompiled replay program**: the elimination order is
+//!   simulated symbolically at compile time, so every product /
+//!   fused-product-sum / sum-out step is stored with its strides,
+//!   cardinalities, and arena buffer offsets already resolved;
+//! * **constant folding** — replay ops whose operands never touch a
+//!   predicate mask compute the same bytes for every query of the
+//!   template, so compilation executes them once and stores their outputs
+//!   as plan constants; the per-query replay runs only the
+//!   evidence-dependent suffix of the elimination (for a typical
+//!   single-predicate query over a deep ancestor closure that is one or
+//!   two kernel calls out of a dozen);
+//! * a per-plan **signature memo** — decoded predicate masks key a
+//!   bounded LRU of final `P(E)` scalars, so repeating the same constants
+//!   skips both the reduce pass and the replay entirely
+//!   (`prm.plan.reduce.hit`/`.miss`); budget checks and the
+//!   `infer.eliminate` failpoint still run on hits, so error behavior is
+//!   signature-independent;
+//! * [`PlanCache`] — a bounded LRU of compiled plans hung off
+//!   [`crate::PrmEstimator`], keyed by the allocation-free stable template
+//!   hash with field-wise verification against the live query.
+//!
+//! ## The zero-allocation warm path
+//!
+//! A warm estimate (plan resident, constants seen before) touches the heap
+//! zero times: predicate masks decode into a per-thread bool arena, the
+//! memo lookup hashes those masks in place and reads the stored scalar,
+//! and on a memo miss the replay program executes against a per-thread
+//! `f64` arena whose buffer offsets were assigned at compile time
+//! (monotonically increasing, so one `split_at_mut` per step yields
+//! disjoint input/output slices). `crates/core/tests/zero_alloc.rs` pins
+//! this with a counting allocator.
 //!
 //! ## Determinism
 //!
 //! Plan-cached estimates are **bit-identical** to the uncached
-//! [`QueryEvalBn::build`] + `estimated_size` path (see DESIGN.md §6c):
+//! [`QueryEvalBn::build`] + `estimated_size` path (see DESIGN.md §6c/§6g):
 //! factor entries are copied CPD parameters (no arithmetic, so the
 //! construction route cannot change them); evidence reduction zeroes
 //! entries without touching scopes, so pre-reducing the fixed join
 //! evidence at compile time commutes bitwise with the per-query predicate
 //! reduction; the recorded elimination order is the same deterministic
-//! function of the (reduction-invariant) scopes the fallback path
-//! derives; and the replay kernel preserves the floating-point operation
-//! order of the unfused pipeline. The proptest suite in
+//! function of the (reduction-invariant) scopes the fallback path derives;
+//! and the replay program calls the *same* `bayesnet::factor` kernels with
+//! the same strides the `Factor` methods would compute, preserving the
+//! floating-point operation order exactly. Constant folding only moves
+//! *when* an op runs (compile instead of every estimate) — the op
+//! sequence, operand bytes, and kernel order are unchanged, so folded
+//! outputs are the bytes the replay would have produced. A memoized
+//! scalar is the bit-exact product of a previous run of that same
+//! program over the same masks. The proptest suite in
 //! `crates/core/tests/plan_proptests.rs` asserts the equality with
 //! `f64::to_bits`.
 
-use std::borrow::Cow;
-use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
-use bayesnet::{elimination_order, try_eliminate_in_order, Evidence, Factor};
+use bayesnet::factor::{
+    product_into, product_sum_out_into, reduce_in_place, strides_in, sum_out_into,
+};
+use bayesnet::{elimination_order, Factor, InferAbort};
 use reldb::Query;
 
 use crate::error::Result;
 use crate::prm::Prm;
-use crate::qebn::{pred_codes, NodeSource, QueryEvalBn};
+use crate::qebn::{NodeSource, QueryEvalBn};
 use crate::schema::SchemaInfo;
 
 /// Lazily materialized canonical CPD factors, one slot per CPD of the
@@ -163,8 +200,9 @@ impl PlanKey {
     }
 
     /// [`PlanKey::stable_hash`] computed straight from `query` without
-    /// building the key — the allocation-free form for the per-estimate
-    /// telemetry path. Guaranteed equal to `PlanKey::of(query).stable_hash()`.
+    /// building the key — the allocation-free form the warm lookup and
+    /// telemetry paths use. Guaranteed equal to
+    /// `PlanKey::of(query).stable_hash()`.
     pub fn stable_hash_of(query: &Query) -> u64 {
         let mut h = Fnv::new();
         h.write_usize(query.vars.len());
@@ -183,6 +221,24 @@ impl PlanKey {
             h.write_str(p.attr());
         }
         h.finish()
+    }
+
+    /// Field-wise template equality against a live query — the
+    /// allocation-free counterpart of `self == PlanKey::of(query)`, used
+    /// to verify a stable-hash bucket match on the warm path.
+    fn matches(&self, query: &Query) -> bool {
+        self.vars.len() == query.vars.len()
+            && self.vars.iter().zip(&query.vars).all(|(a, b)| a == b)
+            && self.joins.len() == query.joins.len()
+            && self.joins.iter().zip(&query.joins).all(|((c, fk, p), j)| {
+                *c == j.child && fk == &j.fk_attr && *p == j.parent
+            })
+            && self.preds.len() == query.preds.len()
+            && self
+                .preds
+                .iter()
+                .zip(&query.preds)
+                .all(|((v, a), p)| *v == p.var() && a == p.attr())
     }
 }
 
@@ -219,6 +275,286 @@ impl Fnv {
     }
 }
 
+// ---------------------------------------------------------------------
+// Intrusive slab LRU — the allocation-free recency structure behind both
+// the plan cache and the per-plan reduced-factor memo.
+// ---------------------------------------------------------------------
+
+/// "No slot" sentinel for the intrusive list links.
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct LruSlot<T> {
+    hash: u64,
+    value: T,
+    prev: usize,
+    next: usize,
+}
+
+/// Bounded LRU over a slab of slots with an intrusive doubly-linked
+/// recency list and stable-hash buckets. Lookups and promotions perform
+/// no heap allocation (bucket vectors only grow on insert), which is what
+/// keeps the warm estimate path allocation-free.
+#[derive(Debug)]
+struct LruSlab<T> {
+    capacity: usize,
+    slots: Vec<Option<LruSlot<T>>>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used.
+    tail: usize,
+    /// `stable hash → slot indices` (collisions resolved by `matches`).
+    buckets: HashMap<u64, Vec<usize>>,
+}
+
+impl<T> LruSlab<T> {
+    fn new(capacity: usize) -> Self {
+        LruSlab {
+            capacity,
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            buckets: HashMap::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    fn find(&self, hash: u64, matches: impl Fn(&T) -> bool) -> Option<usize> {
+        self.buckets.get(&hash)?.iter().copied().find(|&i| {
+            matches(&self.slots[i].as_ref().expect("bucket points at live slot").value)
+        })
+    }
+
+    /// Finds a matching entry, promotes it to most-recently-used, and
+    /// returns it. Allocation-free.
+    fn get(&mut self, hash: u64, matches: impl Fn(&T) -> bool) -> Option<&T> {
+        let idx = self.find(hash, matches)?;
+        self.promote(idx);
+        Some(&self.slots[idx].as_ref().expect("live slot").value)
+    }
+
+    /// Peeks without touching recency.
+    fn peek(&self, hash: u64, matches: impl Fn(&T) -> bool) -> Option<&T> {
+        let idx = self.find(hash, matches)?;
+        Some(&self.slots[idx].as_ref().expect("live slot").value)
+    }
+
+    /// Inserts a new entry (the caller has established no match exists),
+    /// evicting least-recently-used entries to stay within capacity.
+    fn insert(&mut self, hash: u64, value: T, on_evict: &mut impl FnMut(&T)) {
+        if self.capacity == 0 {
+            return;
+        }
+        while self.len() >= self.capacity {
+            self.evict_tail(on_evict);
+        }
+        let slot = LruSlot { hash, value, prev: NIL, next: NIL };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(slot);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot));
+                self.slots.len() - 1
+            }
+        };
+        self.push_front(idx);
+        self.buckets.entry(hash).or_default().push(idx);
+    }
+
+    fn set_capacity(&mut self, capacity: usize, on_evict: &mut impl FnMut(&T)) {
+        self.capacity = capacity;
+        while self.len() > capacity {
+            self.evict_tail(on_evict);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.buckets.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn evict_tail(&mut self, on_evict: &mut impl FnMut(&T)) {
+        let t = self.tail;
+        if t == NIL {
+            return;
+        }
+        self.unlink(t);
+        let slot = self.slots[t].take().expect("tail is live");
+        if let Some(bucket) = self.buckets.get_mut(&slot.hash) {
+            if let Some(p) = bucket.iter().position(|&i| i == t) {
+                bucket.swap_remove(p);
+            }
+            if bucket.is_empty() {
+                self.buckets.remove(&slot.hash);
+            }
+        }
+        self.free.push(t);
+        on_evict(&slot.value);
+    }
+
+    fn promote(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = {
+            let s = self.slots[idx].as_ref().expect("live slot");
+            (s.prev, s.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].as_mut().expect("live slot").next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].as_mut().expect("live slot").prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        {
+            let s = self.slots[idx].as_mut().expect("live slot");
+            s.prev = NIL;
+            s.next = self.head;
+        }
+        if self.head != NIL {
+            self.slots[self.head].as_mut().expect("live slot").prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-thread scratch arenas.
+// ---------------------------------------------------------------------
+
+/// Grow-only per-thread workspace for plan replay: predicate masks
+/// (`bools`), reduced-factor and intermediate-factor data (`f64s`), and
+/// odometer scratch for the kernels (`scratch`). Buffers only ever grow,
+/// so once a thread has replayed a template its warm estimates perform no
+/// heap allocation at all.
+#[derive(Debug)]
+struct Arena {
+    f64s: Vec<f64>,
+    bools: Vec<bool>,
+    scratch: Vec<usize>,
+}
+
+impl Arena {
+    fn ensure(&mut self, bools: usize, f64s: usize, scratch: usize) {
+        if self.bools.len() < bools {
+            self.bools.resize(bools, false);
+        }
+        if self.f64s.len() < f64s {
+            self.f64s.resize(f64s, 0.0);
+        }
+        if self.scratch.len() < scratch {
+            self.scratch.resize(scratch, 0);
+        }
+    }
+}
+
+thread_local! {
+    static ARENA: RefCell<Arena> = const {
+        RefCell::new(Arena { f64s: Vec::new(), bools: Vec::new(), scratch: Vec::new() })
+    };
+}
+
+// ---------------------------------------------------------------------
+// The reduced-factor memo.
+// ---------------------------------------------------------------------
+
+/// One memoized constant signature: the decoded predicate masks (the key,
+/// verified byte-for-byte on hash match) and the final `P(E)` the replay
+/// program produced for them. `P(E)` is a pure function of (template,
+/// masks), so storing the scalar lets a hit skip the reduce pass *and*
+/// the elimination replay; the stored value is bit-exact because it *is*
+/// a previous output of the identical program.
+#[derive(Debug)]
+struct MemoEntry {
+    masks: Vec<bool>,
+    p: f64,
+}
+
+/// Per-plan bounded LRU of [`MemoEntry`] keyed by the FNV hash of the
+/// decoded masks. Entries are `Arc`-shared so a hit reads the scalar and
+/// releases the lock without copying or allocating.
+#[derive(Debug)]
+struct ReducedMemo {
+    inner: Mutex<LruSlab<Arc<MemoEntry>>>,
+}
+
+impl ReducedMemo {
+    fn new(capacity: usize) -> Self {
+        ReducedMemo { inner: Mutex::new(LruSlab::new(capacity)) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, LruSlab<Arc<MemoEntry>>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Default signature-memo capacity (entries per plan) when
+/// `PRMSEL_REDUCE_MEMO` is unset. An entry is one mask vector plus one
+/// scalar — roughly a hundred bytes — so the default is sized generously
+/// enough to hold every constant ever issued against most templates
+/// (a template with eq predicates on two attributes of cardinality ~30
+/// has ~900 reachable signatures; LRU degrades to 0% hits on cyclic
+/// workloads that exceed the capacity, so headroom matters more than
+/// the few hundred KB a full memo costs).
+pub const DEFAULT_REDUCE_MEMO_CAPACITY: usize = 4096;
+
+/// Sentinel for "no programmatic override".
+const MEMO_UNSET: usize = usize::MAX;
+
+static REDUCE_MEMO_OVERRIDE: AtomicUsize = AtomicUsize::new(MEMO_UNSET);
+
+/// Overrides the per-plan reduced-factor memo capacity process-wide for
+/// plans compiled *after* the call; `None` reverts to the environment
+/// (`PRMSEL_REDUCE_MEMO`, default [`DEFAULT_REDUCE_MEMO_CAPACITY`]).
+/// Capacity `0` disables memoization (every estimate re-reduces).
+pub fn set_reduce_memo_capacity(capacity: Option<usize>) {
+    REDUCE_MEMO_OVERRIDE
+        .store(capacity.map_or(MEMO_UNSET, |c| c.min(MEMO_UNSET - 1)), Ordering::Relaxed);
+}
+
+fn reduce_memo_capacity() -> usize {
+    match REDUCE_MEMO_OVERRIDE.load(Ordering::Relaxed) {
+        MEMO_UNSET => {
+            static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+            CACHE
+                .get_or_init(|| {
+                    std::env::var("PRMSEL_REDUCE_MEMO")
+                        .ok()
+                        .and_then(|v| v.trim().parse::<usize>().ok())
+                })
+                .unwrap_or(DEFAULT_REDUCE_MEMO_CAPACITY)
+        }
+        v => v,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The compiled plan: replay program + slots.
+// ---------------------------------------------------------------------
+
 /// One predicate slot of a compiled plan, aligned with the template's
 /// predicate list.
 #[derive(Debug, Clone, Copy)]
@@ -229,10 +565,149 @@ struct PredSlot {
     card: usize,
     /// PRM table index whose domain decodes the predicate constants.
     table: usize,
+    /// Domain index of the predicated attribute within that table.
+    attr: usize,
+    /// Which mask slot this predicate lands in.
+    mask: usize,
+    /// First predicate on its node: decodes straight into the slot.
+    /// Later predicates decode into the tmp region and intersect.
+    first: bool,
+}
+
+/// One per-node predicate mask region in the bool arena.
+#[derive(Debug, Clone, Copy)]
+struct MaskSlot {
+    node: usize,
+    card: usize,
+    off: usize,
+}
+
+/// Evidence reduction of one predicate-touched base factor into the `f64`
+/// arena at `off`: copy the base data, then zero disallowed runs per
+/// masked scope variable (in ascending scope order, like the uncached
+/// path — zeroing commutes, so order only matters for auditability).
+#[derive(Debug)]
+struct ReduceStep {
+    factor: usize,
+    off: usize,
+    len: usize,
+    ops: Vec<ReduceOp>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ReduceOp {
+    card: usize,
+    inner: usize,
+    mask: usize,
+}
+
+/// Where a replay operand's data lives at estimate time.
+#[derive(Debug, Clone, Copy)]
+enum Src {
+    /// `factors[i]` — untouched by any predicate mask.
+    Base(usize),
+    /// `reduce_steps[j]`'s output in the arena (memo hits never reach the
+    /// ops that read these, so the region is always freshly reduced).
+    Reduced(usize),
+    /// An intermediate factor produced earlier in the replay.
+    Work { off: usize, len: usize },
+    /// An evidence-independent intermediate folded at compile time; data
+    /// lives in the plan's `consts` buffer at the same offset the replay
+    /// would have written it to.
+    Const { off: usize, len: usize },
+}
+
+/// One kernel invocation of the replay program. All strides, cards, and
+/// arena offsets are precomputed at compile time; output offsets are
+/// strictly increasing so `split_at_mut` yields disjoint operand/output
+/// slices.
+#[derive(Debug)]
+enum OpKind {
+    Product {
+        a: Src,
+        b: Src,
+        cards: Vec<usize>,
+        stride_a: Vec<usize>,
+        stride_b: Vec<usize>,
+        off: usize,
+        len: usize,
+    },
+    ProductSumOut {
+        a: Src,
+        b: Src,
+        cards: Vec<usize>,
+        stride_a: Vec<usize>,
+        stride_b: Vec<usize>,
+        card_v: usize,
+        sav: usize,
+        sbv: usize,
+        off: usize,
+        len: usize,
+    },
+    SumOut {
+        src: Src,
+        outer: usize,
+        card: usize,
+        inner: usize,
+        off: usize,
+        len: usize,
+    },
+}
+
+impl OpKind {
+    /// Arena region this op writes.
+    fn out(&self) -> (usize, usize) {
+        match *self {
+            OpKind::Product { off, len, .. }
+            | OpKind::ProductSumOut { off, len, .. }
+            | OpKind::SumOut { off, len, .. } => (off, len),
+        }
+    }
+
+    /// The op's operand sources (compile-time rewriting only).
+    fn inputs_mut(&mut self) -> Vec<&mut Src> {
+        match self {
+            OpKind::Product { a, b, .. } | OpKind::ProductSumOut { a, b, .. } => {
+                vec![a, b]
+            }
+            OpKind::SumOut { src, .. } => vec![src],
+        }
+    }
+
+    /// True when every operand is evidence-independent, i.e. the op
+    /// computes the same bytes for every query of the template.
+    fn is_const(&self) -> bool {
+        let constant = |s: &Src| matches!(s, Src::Base(_) | Src::Const { .. });
+        match self {
+            OpKind::Product { a, b, .. } | OpKind::ProductSumOut { a, b, .. } => {
+                constant(a) && constant(b)
+            }
+            OpKind::SumOut { src, .. } => constant(src),
+        }
+    }
+}
+
+/// One elimination step: the ops that fold the factors touching `var`,
+/// plus everything the runtime checks and telemetry need (projected
+/// width for the budget guard, result scope for the flight recorder).
+#[derive(Debug)]
+struct Step {
+    var: usize,
+    n_factors: usize,
+    /// Projected cells of the full product (union scope incl. `var`),
+    /// saturating — checked against the width budget before any kernel
+    /// runs, exactly like the interpreted path.
+    cells: u64,
+    /// Scope of the step's result (for `obs::flight::elim_step`).
+    result_vars: Vec<usize>,
+    /// Cells of the step's result.
+    width: u64,
+    ops: Vec<OpKind>,
 }
 
 /// A compiled query template: everything about estimation that does not
-/// depend on the predicate constants.
+/// depend on the predicate constants, plus the replay program that
+/// executes one concrete query against per-thread arenas.
 #[derive(Debug)]
 pub struct QueryPlan {
     /// Evidence-independent factors in node order: cached canonical
@@ -240,19 +715,46 @@ pub struct QueryPlan {
     /// join evidence pre-reduced (zeroing commutes bitwise with the
     /// per-query predicate reduction).
     factors: Vec<Factor>,
-    /// Recorded min-weight elimination order over all nodes.
-    order: Vec<usize>,
-    /// Per-predicate decode/mask instructions.
+    /// Per-predicate decode instructions.
     pred_slots: Vec<PredSlot>,
+    /// Per-node mask regions in the bool arena.
+    mask_slots: Vec<MaskSlot>,
+    /// Start of the tmp mask region (== total mask bytes, the memo key
+    /// length).
+    tmp_off: usize,
+    /// Evidence reduction program (one step per predicate-touched factor).
+    reduce_steps: Vec<ReduceStep>,
+    /// Precompiled elimination replay. Steps keep their budget metadata
+    /// even when constant folding emptied their op list, so width and
+    /// deadline checks fire for every eliminated variable exactly as the
+    /// interpreted path's would.
+    steps: Vec<Step>,
+    /// Outputs of constant-folded ops, indexed by the arena offsets the
+    /// replay would have used (`Src::Const` regions; the rest is unused
+    /// zero padding).
+    consts: Vec<f64>,
+    /// Scalar factors left after the last step, in residual order; their
+    /// product (left fold from 1.0, like `Iterator::product`) is `P(E)`.
+    leftovers: Vec<Src>,
     /// `|T_v|` per closure tuple variable, in closure order; replayed as
     /// the same sequential multiply as the uncached scale step.
     row_factors: Vec<f64>,
+    /// Arena sizes this plan needs.
+    bools_len: usize,
+    f64s_len: usize,
+    scratch_len: usize,
+    /// Reduced-factor memo (capacity snapshot at compile time; `0` when
+    /// the template has no predicates).
+    memo_capacity: usize,
+    memo: ReducedMemo,
 }
 
 impl QueryPlan {
     /// Compiles the plan for `query`'s template: unrolls the QEBN once,
     /// instantiates its factors from the cache, folds in the join
-    /// evidence, and records the elimination order.
+    /// evidence, records the elimination order, and lowers it into the
+    /// replay program by simulating the elimination symbolically over
+    /// factor scopes.
     pub fn compile(
         prm: &Prm,
         schema: &SchemaInfo,
@@ -282,56 +784,409 @@ impl QueryPlan {
         // relevance prune of the uncached path.
         let elim: Vec<usize> = (0..n).collect();
         let order = elimination_order(&scopes, &elim, |v| qebn.bn.card(v));
-        let pred_slots = query
-            .preds
+
+        // Predicate decode layout: one mask slot per distinct node, a tmp
+        // region (for intersecting repeat predicates) after them.
+        let mut mask_slots: Vec<MaskSlot> = Vec::new();
+        let mut pred_slots = Vec::with_capacity(query.preds.len());
+        let mut bool_off = 0usize;
+        for (pred, &node) in query.preds.iter().zip(&qebn.pred_nodes) {
+            let table = qebn.closure_tables[pred.var()];
+            let attr = schema.attr_index(table, pred.attr())?;
+            let card = qebn.bn.card(node);
+            let (mask, first) = match mask_slots.iter().position(|m| m.node == node) {
+                Some(i) => (i, false),
+                None => {
+                    mask_slots.push(MaskSlot { node, card, off: bool_off });
+                    bool_off += card;
+                    (mask_slots.len() - 1, true)
+                }
+            };
+            pred_slots.push(PredSlot { node, card, table, attr, mask, first });
+        }
+        let tmp_off = bool_off;
+        let bools_len = tmp_off + pred_slots.iter().map(|s| s.card).max().unwrap_or(0);
+
+        // Reduction program: factors whose scope meets a masked node copy
+        // into the arena and zero disallowed runs; untouched factors are
+        // read in place forever.
+        let mut reduce_steps: Vec<ReduceStep> = Vec::new();
+        let mut f64_off = 0usize;
+        let mut src_of: Vec<Src> = Vec::with_capacity(n);
+        for (i, f) in factors.iter().enumerate() {
+            let mut ops = Vec::new();
+            for (pos, &sv) in f.vars().iter().enumerate() {
+                if let Some(mask) = mask_slots.iter().position(|m| m.node == sv) {
+                    let card = f.cards()[pos];
+                    let inner: usize =
+                        f.cards()[pos + 1..].iter().product::<usize>().max(1);
+                    ops.push(ReduceOp { card, inner, mask });
+                }
+            }
+            if ops.is_empty() {
+                src_of.push(Src::Base(i));
+            } else {
+                src_of.push(Src::Reduced(reduce_steps.len()));
+                reduce_steps.push(ReduceStep {
+                    factor: i,
+                    off: f64_off,
+                    len: f.len(),
+                    ops,
+                });
+                f64_off += f.len();
+            }
+        }
+
+        // Lower the recorded order into the replay program by simulating
+        // `try_eliminate_in_order` over scopes: same partition, same
+        // left-fold of products with the final one fused into the
+        // marginalization, same residual order — so the runtime performs
+        // the identical arithmetic with zero per-query bookkeeping.
+        struct Sim {
+            vars: Vec<usize>,
+            cards: Vec<usize>,
+            src: Src,
+        }
+        let mut slots: Vec<Sim> = factors
             .iter()
-            .zip(&qebn.pred_nodes)
-            .map(|(pred, &node)| PredSlot {
-                node,
-                card: qebn.bn.card(node),
-                table: qebn.closure_tables[pred.var()],
+            .zip(&src_of)
+            .map(|(f, &src)| Sim {
+                vars: f.vars().to_vec(),
+                cards: f.cards().to_vec(),
+                src,
             })
             .collect();
+        let mut steps: Vec<Step> = Vec::new();
+        let mut scratch_len = 0usize;
+        for &var in &order {
+            let (touching, rest): (Vec<Sim>, Vec<Sim>) =
+                slots.into_iter().partition(|s| s.vars.contains(&var));
+            slots = rest;
+            if touching.is_empty() {
+                continue;
+            }
+            let cells = projected_cells_of(&touching, |s| (&s.vars, &s.cards));
+            let n_factors = touching.len();
+            let mut ops = Vec::new();
+            let mut iter = touching.into_iter();
+            let mut acc = iter.next().expect("at least one factor");
+            let result = if n_factors == 1 {
+                let pos = acc.vars.iter().position(|&v| v == var).expect("var in scope");
+                let outer: usize = acc.cards[..pos].iter().product::<usize>().max(1);
+                let card = acc.cards[pos];
+                let inner: usize = acc.cards[pos + 1..].iter().product::<usize>().max(1);
+                let mut vars = acc.vars;
+                let mut cards = acc.cards;
+                vars.remove(pos);
+                cards.remove(pos);
+                let len = outer * inner;
+                ops.push(OpKind::SumOut {
+                    src: acc.src,
+                    outer,
+                    card,
+                    inner,
+                    off: f64_off,
+                    len,
+                });
+                let src = Src::Work { off: f64_off, len };
+                f64_off += len;
+                Sim { vars, cards, src }
+            } else {
+                for _ in 0..n_factors - 2 {
+                    let b = iter.next().expect("n - 2 more factors");
+                    let (uvars, ucards) =
+                        union_scope_parts(&acc.vars, &acc.cards, &b.vars, &b.cards);
+                    let stride_a = strides_in(&acc.vars, &acc.cards, &uvars);
+                    let stride_b = strides_in(&b.vars, &b.cards, &uvars);
+                    let len: usize = ucards.iter().product::<usize>().max(1);
+                    scratch_len = scratch_len.max(uvars.len());
+                    ops.push(OpKind::Product {
+                        a: acc.src,
+                        b: b.src,
+                        cards: ucards.clone(),
+                        stride_a,
+                        stride_b,
+                        off: f64_off,
+                        len,
+                    });
+                    acc = Sim {
+                        vars: uvars,
+                        cards: ucards,
+                        src: Src::Work { off: f64_off, len },
+                    };
+                    f64_off += len;
+                }
+                let b = iter.next().expect("last factor");
+                let (uvars, ucards) =
+                    union_scope_parts(&acc.vars, &acc.cards, &b.vars, &b.cards);
+                let pos = uvars.iter().position(|&v| v == var).expect("var in union");
+                let stride_a = strides_in(&acc.vars, &acc.cards, &uvars);
+                let stride_b = strides_in(&b.vars, &b.cards, &uvars);
+                let card_v = ucards[pos];
+                let (sav, sbv) = (stride_a[pos], stride_b[pos]);
+                let mut vars = uvars;
+                let mut cards = ucards;
+                let mut rstride_a = stride_a;
+                let mut rstride_b = stride_b;
+                vars.remove(pos);
+                cards.remove(pos);
+                rstride_a.remove(pos);
+                rstride_b.remove(pos);
+                let len: usize = cards.iter().product::<usize>().max(1);
+                scratch_len = scratch_len.max(cards.len());
+                ops.push(OpKind::ProductSumOut {
+                    a: acc.src,
+                    b: b.src,
+                    cards: cards.clone(),
+                    stride_a: rstride_a,
+                    stride_b: rstride_b,
+                    card_v,
+                    sav,
+                    sbv,
+                    off: f64_off,
+                    len,
+                });
+                let src = Src::Work { off: f64_off, len };
+                f64_off += len;
+                Sim { vars, cards, src }
+            };
+            steps.push(Step {
+                var,
+                n_factors,
+                cells,
+                result_vars: result.vars.clone(),
+                width: result.cards.iter().product::<usize>().max(1) as u64,
+                ops,
+            });
+            slots.push(result);
+        }
+        let mut leftovers: Vec<Src> = slots
+            .iter()
+            .map(|s| {
+                debug_assert!(s.vars.is_empty(), "variable left uneliminated");
+                s.src
+            })
+            .collect();
+
+        // Constant folding: ops whose operands are all evidence-
+        // independent (base factors or earlier folded outputs) produce
+        // the same bytes for every query of this template — execute them
+        // once now and replay their outputs as constants. Steps whose
+        // projected width exceeds the current budget are left dynamic so
+        // the width guard at estimate time keeps refusing them instead of
+        // compilation materializing what the budget exists to prevent.
+        let fold_budget = crate::guard::estimate_budget().max_cells;
+        let mut consts = vec![0.0f64; f64_off];
+        let mut fold_scratch = vec![0usize; scratch_len];
+        let mut folded: std::collections::HashSet<usize> =
+            std::collections::HashSet::new();
+        for step in &mut steps {
+            let foldable = fold_budget.is_none_or(|max| step.cells <= max);
+            let mut dynamic_ops = Vec::with_capacity(step.ops.len());
+            for mut op in std::mem::take(&mut step.ops) {
+                for src in op.inputs_mut() {
+                    if let Src::Work { off, len } = *src {
+                        if folded.contains(&off) {
+                            *src = Src::Const { off, len };
+                        }
+                    }
+                }
+                if foldable && op.is_const() {
+                    run_const_op(&factors, &op, &mut consts, &mut fold_scratch);
+                    folded.insert(op.out().0);
+                    obs::counter!("prm.plan.ops.folded").inc();
+                } else {
+                    obs::counter!("prm.plan.ops.dynamic").inc();
+                    dynamic_ops.push(op);
+                }
+            }
+            step.ops = dynamic_ops;
+        }
+        for src in &mut leftovers {
+            if let Src::Work { off, len } = *src {
+                if folded.contains(&off) {
+                    *src = Src::Const { off, len };
+                }
+            }
+        }
+
+        let pred_touched = !reduce_steps.is_empty();
         let row_factors =
             qebn.closure_tables.iter().map(|&t| prm.tables[t].n_rows as f64).collect();
-        Ok(QueryPlan { factors, order, pred_slots, row_factors })
+        let memo_capacity = if pred_touched { reduce_memo_capacity() } else { 0 };
+        Ok(QueryPlan {
+            factors,
+            pred_slots,
+            mask_slots,
+            tmp_off,
+            reduce_steps,
+            steps,
+            consts,
+            leftovers,
+            row_factors,
+            bools_len,
+            f64s_len: f64_off,
+            scratch_len,
+            memo_capacity,
+            memo: ReducedMemo::new(memo_capacity),
+        })
     }
 
     /// Executes the plan for one concrete query of its template: decode
-    /// predicates to masks, reduce the touched factors (untouched ones
-    /// are borrowed, not copied), replay the elimination order, scale by
-    /// the table sizes.
+    /// predicates into arena masks, fetch (or compute and memoize) the
+    /// reduced factor data, replay the precompiled elimination program,
+    /// scale by the table sizes. Warm replays (memo hit) allocate nothing.
     pub fn estimate(&self, schema: &SchemaInfo, query: &Query) -> Result<f64> {
         debug_assert_eq!(query.preds.len(), self.pred_slots.len(), "template mismatch");
+        ARENA.with(|cell| {
+            let mut arena = cell.borrow_mut();
+            self.estimate_in(schema, query, &mut arena)
+        })
+    }
+
+    fn estimate_in(
+        &self,
+        schema: &SchemaInfo,
+        query: &Query,
+        arena: &mut Arena,
+    ) -> Result<f64> {
+        arena.ensure(self.bools_len, self.f64s_len, self.scratch_len);
+
+        // --- decode: predicate constants → per-node masks -------------
         let decode = obs::flight::phase("decode");
-        let mut evidence = Evidence::new();
         for (slot, pred) in self.pred_slots.iter().zip(&query.preds) {
-            let codes = pred_codes(schema, slot.table, pred)?;
+            let ms = &self.mask_slots[slot.mask];
+            let domain = &schema.tables[slot.table].domains[slot.attr];
+            let (mask_region, tmp_region) = arena.bools.split_at_mut(self.tmp_off);
+            let own = if slot.first {
+                let m = &mut mask_region[ms.off..ms.off + ms.card];
+                pred.fill_mask(domain, m);
+                &*m
+            } else {
+                // A repeat predicate on the same node intersects — the
+                // same conjunction `Evidence::isin` applied.
+                let tmp = &mut tmp_region[..slot.card];
+                pred.fill_mask(domain, tmp);
+                for (dst, &t) in
+                    mask_region[ms.off..ms.off + ms.card].iter_mut().zip(&*tmp)
+                {
+                    *dst = *dst && t;
+                }
+                &*tmp
+            };
             if obs::flight::active() {
-                obs::flight::pred_mask(slot.node, codes.len(), slot.card);
+                let allowed = own.iter().filter(|&&b| b).count();
+                obs::flight::pred_mask(slot.node, allowed, slot.card);
             }
-            evidence.isin(slot.node, &codes, slot.card);
         }
         drop(decode);
+
+        // --- reduce: signature-memo lookup, else evidence reduction ---
         let reduce = obs::flight::phase("reduce");
-        let mut work: Vec<Cow<'_, Factor>> = Vec::with_capacity(self.factors.len());
-        for f in &self.factors {
-            let mut cur = Cow::Borrowed(f);
-            for sv in f.vars().to_vec() {
-                if let Some(mask) = evidence.mask_of(sv) {
-                    cur = Cow::Owned(cur.reduce(sv, mask));
+        let mut memo_p: Option<f64> = None;
+        let mut mask_hash = 0u64;
+        if !self.reduce_steps.is_empty() {
+            let all_masks = &arena.bools[..self.tmp_off];
+            let mut h = Fnv::new();
+            for &m in all_masks {
+                h.write(&[m as u8]);
+            }
+            mask_hash = h.finish();
+            if self.memo_capacity > 0 {
+                let mut memo = self.memo.lock();
+                if let Some(e) = memo.get(mask_hash, |e| e.masks.as_slice() == all_masks)
+                {
+                    memo_p = Some(e.p);
                 }
             }
-            work.push(cur);
+            if memo_p.is_some() {
+                obs::counter!("prm.plan.reduce.hit").inc();
+            } else {
+                obs::counter!("prm.plan.reduce.miss").inc();
+                for rs in &self.reduce_steps {
+                    let dst = &mut arena.f64s[rs.off..rs.off + rs.len];
+                    dst.copy_from_slice(self.factors[rs.factor].data());
+                    for op in &rs.ops {
+                        let ms = &self.mask_slots[op.mask];
+                        let mask = &arena.bools[ms.off..ms.off + ms.card];
+                        reduce_in_place(
+                            &mut arena.f64s[rs.off..rs.off + rs.len],
+                            op.card,
+                            op.inner,
+                            mask,
+                        );
+                    }
+                }
+            }
         }
         drop(reduce);
+
+        // --- eliminate: replay the precompiled program ----------------
         let eliminate = obs::flight::phase("eliminate");
-        // Guarded replay: arithmetic is identical to the unguarded kernel
-        // (bit-identity holds); the budget only adds control-flow checks,
-        // and costs two relaxed loads when no knob is set.
-        let p =
-            try_eliminate_in_order(work, &self.order, crate::guard::estimate_budget())?;
+        // Same failpoint, budget checks, counters, and flight records as
+        // the interpreted `try_eliminate_in_order` — the program only
+        // precomputes what that function derived per call. Budget checks
+        // cover every step (even constant-folded or memo-skipped ones) so
+        // a budget tightened after compilation still refuses the same
+        // queries with the same error the interpreted path raises.
+        failpoint::fail_point!("infer.eliminate").map_err(crate::error::Error::from)?;
+        let budget = crate::guard::estimate_budget();
+        for step in &self.steps {
+            if let Some(deadline) = budget.deadline {
+                if std::time::Instant::now() >= deadline {
+                    return Err(InferAbort::Deadline.into());
+                }
+            }
+            if let Some(max) = budget.max_cells {
+                if step.cells > max {
+                    return Err(InferAbort::Width {
+                        var: step.var,
+                        cells: step.cells,
+                        budget: max,
+                    }
+                    .into());
+                }
+            }
+            if memo_p.is_some() || step.ops.is_empty() {
+                continue;
+            }
+            let flight_t0 = obs::flight::active().then(obs::flight::now_ns);
+            let start = std::time::Instant::now();
+            for op in &step.ops {
+                self.run_op(op, arena);
+            }
+            let elapsed = start.elapsed();
+            if let Some(t0) = flight_t0 {
+                obs::flight::elim_step(
+                    step.var,
+                    step.n_factors,
+                    &step.result_vars,
+                    step.width,
+                    t0,
+                    elapsed.as_nanos().min(u64::MAX as u128) as u64,
+                );
+            }
+            obs::counter!("bn.infer.messages").inc();
+            obs::histogram!("bn.factor.kernel.ns").record_duration(elapsed);
+        }
+        let p = match memo_p {
+            Some(p) => p,
+            None => {
+                let mut p = 1.0f64;
+                for src in &self.leftovers {
+                    p *= self.scalar_of(src, arena);
+                }
+                p
+            }
+        };
         drop(eliminate);
+        // Memoize only after the replay succeeded, so budget refusals and
+        // failpoint injections are never cached as answers.
+        if memo_p.is_none() && !self.reduce_steps.is_empty() && self.memo_capacity > 0 {
+            let entry =
+                Arc::new(MemoEntry { masks: arena.bools[..self.tmp_off].to_vec(), p });
+            self.memo.lock().insert(mask_hash, entry, &mut |_| {});
+        }
         let mut size = p;
         for &rows in &self.row_factors {
             size *= rows;
@@ -339,13 +1194,222 @@ impl QueryPlan {
         Ok(size)
     }
 
+    /// Executes one replay op against the arena. Output offsets strictly
+    /// exceed every operand offset (bump-assigned at compile time), so
+    /// `split_at_mut` hands out disjoint slices.
+    fn run_op(&self, op: &OpKind, arena: &mut Arena) {
+        match op {
+            OpKind::Product { a, b, cards, stride_a, stride_b, off, len } => {
+                let (lo, hi) = arena.f64s.split_at_mut(*off);
+                let lo: &[f64] = lo;
+                let out = &mut hi[..*len];
+                let av = self.resolve(a, lo);
+                let bv = self.resolve(b, lo);
+                product_into(av, bv, cards, stride_a, stride_b, &mut arena.scratch, out);
+            }
+            OpKind::ProductSumOut {
+                a,
+                b,
+                cards,
+                stride_a,
+                stride_b,
+                card_v,
+                sav,
+                sbv,
+                off,
+                len,
+            } => {
+                let (lo, hi) = arena.f64s.split_at_mut(*off);
+                let lo: &[f64] = lo;
+                let out = &mut hi[..*len];
+                let av = self.resolve(a, lo);
+                let bv = self.resolve(b, lo);
+                product_sum_out_into(
+                    av,
+                    bv,
+                    cards,
+                    stride_a,
+                    stride_b,
+                    *card_v,
+                    *sav,
+                    *sbv,
+                    &mut arena.scratch,
+                    out,
+                );
+            }
+            OpKind::SumOut { src, outer, card, inner, off, len } => {
+                let (lo, hi) = arena.f64s.split_at_mut(*off);
+                let lo: &[f64] = lo;
+                let out = &mut hi[..*len];
+                let sv = self.resolve(src, lo);
+                sum_out_into(sv, *outer, *card, *inner, out);
+            }
+        }
+    }
+
+    fn resolve<'a>(&'a self, src: &Src, lo: &'a [f64]) -> &'a [f64] {
+        match *src {
+            Src::Base(i) => self.factors[i].data(),
+            Src::Reduced(j) => {
+                let rs = &self.reduce_steps[j];
+                &lo[rs.off..rs.off + rs.len]
+            }
+            Src::Work { off, len } => &lo[off..off + len],
+            Src::Const { off, len } => &self.consts[off..off + len],
+        }
+    }
+
+    fn scalar_of(&self, src: &Src, arena: &Arena) -> f64 {
+        match *src {
+            Src::Base(i) => self.factors[i].data()[0],
+            Src::Reduced(j) => arena.f64s[self.reduce_steps[j].off],
+            Src::Work { off, .. } => arena.f64s[off],
+            Src::Const { off, .. } => self.consts[off],
+        }
+    }
+
     /// Number of nodes in the unrolled network this plan replays.
     pub fn n_nodes(&self) -> usize {
         self.factors.len()
     }
+
+    /// Resident entries in this plan's reduced-factor memo.
+    pub fn reduce_memo_len(&self) -> usize {
+        self.memo.lock().len()
+    }
+
+    /// The memo capacity this plan was compiled with.
+    pub fn reduce_memo_capacity(&self) -> usize {
+        self.memo_capacity
+    }
+}
+
+/// Executes one constant-foldable op at compile time against the plan's
+/// `consts` buffer — the same kernels, strides, and operand bytes the
+/// replay would use, so the folded output is bit-identical to what every
+/// estimate would have recomputed. Operands are `Base` factors or
+/// earlier folded regions (always below the output offset).
+fn run_const_op(
+    factors: &[Factor],
+    op: &OpKind,
+    consts: &mut [f64],
+    scratch: &mut [usize],
+) {
+    fn res<'a>(factors: &'a [Factor], src: &Src, lo: &'a [f64]) -> &'a [f64] {
+        match *src {
+            Src::Base(i) => factors[i].data(),
+            Src::Const { off, len } | Src::Work { off, len } => &lo[off..off + len],
+            Src::Reduced(_) => unreachable!("reduced operands are never folded"),
+        }
+    }
+    match op {
+        OpKind::Product { a, b, cards, stride_a, stride_b, off, len } => {
+            let (lo, hi) = consts.split_at_mut(*off);
+            let lo: &[f64] = lo;
+            let out = &mut hi[..*len];
+            let av = res(factors, a, lo);
+            let bv = res(factors, b, lo);
+            product_into(av, bv, cards, stride_a, stride_b, scratch, out);
+        }
+        OpKind::ProductSumOut {
+            a,
+            b,
+            cards,
+            stride_a,
+            stride_b,
+            card_v,
+            sav,
+            sbv,
+            off,
+            len,
+        } => {
+            let (lo, hi) = consts.split_at_mut(*off);
+            let lo: &[f64] = lo;
+            let out = &mut hi[..*len];
+            let av = res(factors, a, lo);
+            let bv = res(factors, b, lo);
+            product_sum_out_into(
+                av, bv, cards, stride_a, stride_b, *card_v, *sav, *sbv, scratch, out,
+            );
+        }
+        OpKind::SumOut { src, outer, card, inner, off, len } => {
+            let (lo, hi) = consts.split_at_mut(*off);
+            let lo: &[f64] = lo;
+            let out = &mut hi[..*len];
+            let sv = res(factors, src, lo);
+            sum_out_into(sv, *outer, *card, *inner, out);
+        }
+    }
+}
+
+/// Replicates `bayesnet::infer`'s projected width: cells of the product
+/// of all touching scopes (union incl. the eliminated variable),
+/// saturating at `u64::MAX`.
+fn projected_cells_of<S>(
+    touching: &[S],
+    parts: impl Fn(&S) -> (&Vec<usize>, &Vec<usize>),
+) -> u64 {
+    let mut scope: Vec<(usize, u64)> = Vec::new();
+    for s in touching {
+        let (vars, cards) = parts(s);
+        for (&v, &c) in vars.iter().zip(cards) {
+            match scope.binary_search_by_key(&v, |&(sv, _)| sv) {
+                Ok(_) => {}
+                Err(at) => scope.insert(at, (v, c as u64)),
+            }
+        }
+    }
+    scope.iter().fold(1u64, |acc, &(_, c)| acc.saturating_mul(c))
+}
+
+/// Sorted-merge union of two scopes with their cards — the compile-time
+/// mirror of [`bayesnet::factor::union_scope`] over raw slices.
+fn union_scope_parts(
+    avars: &[usize],
+    acards: &[usize],
+    bvars: &[usize],
+    bcards: &[usize],
+) -> (Vec<usize>, Vec<usize>) {
+    let mut vars = Vec::with_capacity(avars.len() + bvars.len());
+    let mut cards = Vec::with_capacity(avars.len() + bvars.len());
+    let (mut i, mut j) = (0, 0);
+    while i < avars.len() || j < bvars.len() {
+        let take_a = j >= bvars.len() || (i < avars.len() && avars[i] <= bvars[j]);
+        if take_a {
+            if j < bvars.len() && avars[i] == bvars[j] {
+                debug_assert_eq!(acards[i], bcards[j], "cardinality mismatch");
+                j += 1;
+            }
+            vars.push(avars[i]);
+            cards.push(acards[i]);
+            i += 1;
+        } else {
+            vars.push(bvars[j]);
+            cards.push(bcards[j]);
+            j += 1;
+        }
+    }
+    (vars, cards)
+}
+
+// ---------------------------------------------------------------------
+// The plan cache.
+// ---------------------------------------------------------------------
+
+/// One resident plan: the verified template key plus the shared plan.
+#[derive(Debug)]
+struct PlanEntry {
+    key: PlanKey,
+    plan: Arc<QueryPlan>,
 }
 
 /// Bounded LRU cache of compiled plans, keyed by query template.
+///
+/// Lookups hash the live query with the allocation-free
+/// [`PlanKey::stable_hash_of`] and verify bucket candidates field-wise
+/// against the query, so a warm hit builds no `PlanKey` and allocates
+/// nothing. Recency is an intrusive list over a slab — promotion is a few
+/// pointer swaps.
 ///
 /// Concurrency: lookups and inserts take a short mutex; compilation runs
 /// *outside* the lock, so workers compiling different templates do not
@@ -354,38 +1418,7 @@ impl QueryPlan {
 /// insert wins, and the loser's copy is used once and dropped.
 #[derive(Debug)]
 pub struct PlanCache {
-    inner: Mutex<PlanCacheInner>,
-}
-
-#[derive(Debug)]
-struct PlanCacheInner {
-    capacity: usize,
-    /// Monotonic access clock; larger = more recently used.
-    tick: u64,
-    plans: HashMap<PlanKey, (Arc<QueryPlan>, u64)>,
-    /// Recency index: tick → key, mirrored with the `plans` ticks. Makes
-    /// eviction `pop_first()` (the stalest entry) instead of a full-map
-    /// min scan. Ticks are unique (the clock only moves forward under the
-    /// lock), so a plain map suffices.
-    by_tick: BTreeMap<u64, PlanKey>,
-}
-
-impl PlanCacheInner {
-    /// Moves `key`'s recency from `old_tick` to `new_tick` in the index.
-    fn touch(&mut self, old_tick: u64, new_tick: u64) {
-        let key = self.by_tick.remove(&old_tick).expect("recency index in sync");
-        self.by_tick.insert(new_tick, key);
-    }
-
-    /// Evicts stalest plans until `plans` fits the capacity.
-    fn evict_to_capacity(&mut self) {
-        while self.plans.len() > self.capacity {
-            let (_, oldest) =
-                self.by_tick.pop_first().expect("recency index is non-empty");
-            self.plans.remove(&oldest);
-            obs::counter!("prm.plan.evict").inc();
-        }
-    }
+    inner: Mutex<LruSlab<PlanEntry>>,
 }
 
 /// Default plan-cache capacity when `PRMSEL_PLAN_CACHE` is unset.
@@ -403,18 +1436,15 @@ fn refresh_hit_ratio() {
     }
 }
 
+fn count_evict(_: &PlanEntry) {
+    obs::counter!("prm.plan.evict").inc();
+}
+
 impl PlanCache {
     /// A cache holding at most `capacity` plans; `0` disables caching
     /// (every call compiles, nothing is stored).
     pub fn new(capacity: usize) -> Self {
-        PlanCache {
-            inner: Mutex::new(PlanCacheInner {
-                capacity,
-                tick: 0,
-                plans: HashMap::new(),
-                by_tick: BTreeMap::new(),
-            }),
-        }
+        PlanCache { inner: Mutex::new(LruSlab::new(capacity)) }
     }
 
     /// Capacity from the `PRMSEL_PLAN_CACHE` environment variable, else
@@ -427,28 +1457,24 @@ impl PlanCache {
         PlanCache::new(capacity)
     }
 
-    /// The cached plan for `key`, or the result of `compile`, recorded
-    /// under the key; the `bool` is true on a cache hit (the per-template
-    /// warm-latency histograms only sample replays, not compiles). Hits,
-    /// misses, evictions, and compile latency are reported as
-    /// `prm.plan.hit` / `prm.plan.miss` / `prm.plan.evict` /
+    /// The cached plan for `query`'s template, or the result of `compile`,
+    /// recorded under the template key; the `bool` is true on a cache hit
+    /// (the per-template warm-latency histograms only sample replays, not
+    /// compiles). Hits, misses, evictions, and compile latency are
+    /// reported as `prm.plan.hit` / `prm.plan.miss` / `prm.plan.evict` /
     /// `prm.plan.compile.ns`, plus a derived `prm.plan.hit_ratio` gauge;
     /// the outcome also lands on the live flight-recorder trace.
     pub fn get_or_compile(
         &self,
-        key: PlanKey,
+        query: &Query,
         compile: impl FnOnce() -> Result<QueryPlan>,
     ) -> Result<(Arc<QueryPlan>, bool)> {
+        let hash = PlanKey::stable_hash_of(query);
         {
-            let mut guard = self.lock();
-            let inner = &mut *guard;
-            inner.tick += 1;
-            let tick = inner.tick;
-            if let Some(entry) = inner.plans.get_mut(&key) {
-                let old_tick = entry.1;
-                entry.1 = tick;
-                let plan = entry.0.clone();
-                inner.touch(old_tick, tick);
+            let mut inner = self.lock();
+            if let Some(entry) = inner.get(hash, |e| e.key.matches(query)) {
+                let plan = entry.plan.clone();
+                drop(inner);
                 obs::counter!("prm.plan.hit").inc();
                 refresh_hit_ratio();
                 obs::flight::plan_cache(true);
@@ -463,33 +1489,26 @@ impl PlanCache {
         let plan = Arc::new(compile()?);
         obs::histogram!("prm.plan.compile.ns").record_duration(start.elapsed());
         drop(compile_phase);
-        let mut guard = self.lock();
-        let inner = &mut *guard;
+        let mut inner = self.lock();
         if inner.capacity == 0 {
             return Ok((plan, false));
         }
-        inner.tick += 1;
-        let tick = inner.tick;
-        let resident = if let Some(entry) = inner.plans.get_mut(&key) {
-            // Lost a compile race: adopt the resident plan and refresh
-            // its recency.
-            let old_tick = entry.1;
-            entry.1 = tick;
-            let plan = entry.0.clone();
-            inner.touch(old_tick, tick);
-            plan
-        } else {
-            inner.by_tick.insert(tick, key.clone());
-            inner.plans.insert(key, (plan.clone(), tick));
-            plan
-        };
-        inner.evict_to_capacity();
-        Ok((resident, false))
+        if let Some(entry) = inner.get(hash, |e| e.key.matches(query)) {
+            // Lost a compile race: adopt the resident plan (already
+            // promoted by the lookup).
+            return Ok((entry.plan.clone(), false));
+        }
+        inner.insert(
+            hash,
+            PlanEntry { key: PlanKey::of(query), plan: plan.clone() },
+            &mut count_evict,
+        );
+        Ok((plan, false))
     }
 
     /// Number of resident plans.
     pub fn len(&self) -> usize {
-        self.lock().plans.len()
+        self.lock().len()
     }
 
     /// True when no plan is resident.
@@ -499,25 +1518,81 @@ impl PlanCache {
 
     /// Whether a plan for `key` is resident (does not touch recency).
     pub fn contains(&self, key: &PlanKey) -> bool {
-        self.lock().plans.contains_key(key)
+        self.lock().peek(key.stable_hash(), |e| e.key == *key).is_some()
     }
 
-    /// Drops every resident plan (used on model replacement).
+    /// The resident plan for `query`'s template, if any (does not touch
+    /// recency or the hit/miss counters) — introspection for tests and
+    /// tools.
+    pub fn peek(&self, query: &Query) -> Option<Arc<QueryPlan>> {
+        let hash = PlanKey::stable_hash_of(query);
+        self.lock().peek(hash, |e| e.key.matches(query)).map(|e| e.plan.clone())
+    }
+
+    /// Drops every resident plan (used on model replacement). Also drops
+    /// each plan's reduced-factor memo with it, so a refreshed model can
+    /// never replay factor data reduced under the old parameters.
     pub fn clear(&self) {
-        let mut inner = self.lock();
-        inner.plans.clear();
-        inner.by_tick.clear();
+        self.lock().clear();
     }
 
     /// Changes the capacity, evicting stalest plans if over the new
     /// bound. Capacity `0` clears the cache and disables it.
     pub fn set_capacity(&self, capacity: usize) {
-        let mut inner = self.lock();
-        inner.capacity = capacity;
-        inner.evict_to_capacity();
+        self.lock().set_capacity(capacity, &mut count_evict);
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, PlanCacheInner> {
-        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    fn lock(&self) -> std::sync::MutexGuard<'_, LruSlab<PlanEntry>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_slab_evicts_least_recently_used() {
+        let mut lru: LruSlab<u32> = LruSlab::new(2);
+        let mut evicted = Vec::new();
+        lru.insert(1, 10, &mut |&v| evicted.push(v));
+        lru.insert(2, 20, &mut |&v| evicted.push(v));
+        assert_eq!(lru.get(1, |&v| v == 10), Some(&10)); // promote 10
+        lru.insert(3, 30, &mut |&v| evicted.push(v));
+        assert_eq!(evicted, vec![20]);
+        assert!(lru.peek(2, |_| true).is_none());
+        assert!(lru.peek(1, |_| true).is_some());
+        assert!(lru.peek(3, |_| true).is_some());
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn lru_slab_handles_hash_collisions_by_predicate() {
+        let mut lru: LruSlab<u32> = LruSlab::new(4);
+        lru.insert(7, 1, &mut |_| {});
+        lru.insert(7, 2, &mut |_| {});
+        assert_eq!(lru.get(7, |&v| v == 2), Some(&2));
+        assert_eq!(lru.get(7, |&v| v == 1), Some(&1));
+        assert_eq!(lru.get(7, |&v| v == 3), None);
+    }
+
+    #[test]
+    fn lru_slab_zero_capacity_stores_nothing() {
+        let mut lru: LruSlab<u32> = LruSlab::new(0);
+        lru.insert(1, 10, &mut |_| {});
+        assert_eq!(lru.len(), 0);
+        assert!(lru.get(1, |_| true).is_none());
+    }
+
+    #[test]
+    fn lru_slab_set_capacity_trims_stalest() {
+        let mut lru: LruSlab<u32> = LruSlab::new(4);
+        for i in 0..4u64 {
+            lru.insert(i, i as u32, &mut |_| {});
+        }
+        let mut evicted = Vec::new();
+        lru.set_capacity(2, &mut |&v| evicted.push(v));
+        assert_eq!(evicted, vec![0, 1]);
+        assert_eq!(lru.len(), 2);
     }
 }

@@ -75,6 +75,10 @@ pub struct QueryEvalBn {
     /// Join-indicator node ids (evidence fixes them to `J = true`),
     /// ascending.
     pub ji_nodes: Vec<usize>,
+    /// Per-node CPD factor cache for the sampling path: likelihood
+    /// weighting materializes each CPD once per unrolled network instead
+    /// of once per sample.
+    cpd_cache: bayesnet::CpdFactorCache,
 }
 
 impl QueryEvalBn {
@@ -96,8 +100,16 @@ impl QueryEvalBn {
     pub fn estimated_size_approx(&self, prm: &Prm, samples: usize, seed: u64) -> f64 {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let p =
-            bayesnet::likelihood_weighting(&self.bn, &self.evidence, samples, &mut rng);
+        // The cached variant draws bit-identical samples (the factor view
+        // of a CPD row is the same `f64` slice) while materializing each
+        // CPD once per network instead of once per sample.
+        let p = bayesnet::likelihood_weighting_cached(
+            &self.bn,
+            &self.evidence,
+            samples,
+            &mut rng,
+            &self.cpd_cache,
+        );
         self.scale(prm, p)
     }
 
@@ -296,6 +308,7 @@ impl<'a> Builder<'a> {
             .filter(|(_, key)| matches!(key, NodeKey::Ji(..)))
             .map(|(id, _)| id)
             .collect();
+        let cpd_cache = bayesnet::CpdFactorCache::new(bn.len());
         Ok(QueryEvalBn {
             bn,
             evidence,
@@ -303,6 +316,7 @@ impl<'a> Builder<'a> {
             node_sources,
             pred_nodes,
             ji_nodes,
+            cpd_cache,
         })
     }
 }
@@ -373,9 +387,11 @@ impl SchemaInfo {
     /// checked — a constant outside the learned domain is a valid query
     /// that estimates ~0 selectivity (the paper's frequency semantics).
     pub fn validate_query(&self, query: &Query) -> crate::error::Result<()> {
-        let mut var_tables = Vec::with_capacity(query.vars.len());
+        // Runs on every estimate ahead of the warm plan lookup, so it
+        // resolves table indices inline (a name `position` scan per use)
+        // instead of collecting them — the happy path allocates nothing.
         for var in &query.vars {
-            var_tables.push(self.table_index(var)?);
+            self.table_index(var)?;
         }
         for join in &query.joins {
             for v in [join.child, join.parent] {
@@ -383,8 +399,10 @@ impl SchemaInfo {
                     return Err(Error::UnknownVar(v).into());
                 }
             }
-            let fk = self.fk_index(var_tables[join.child], &join.fk_attr)?;
-            if self.fk_target(var_tables[join.child], fk) != var_tables[join.parent] {
+            let child_t = self.table_index(&query.vars[join.child])?;
+            let parent_t = self.table_index(&query.vars[join.parent])?;
+            let fk = self.fk_index(child_t, &join.fk_attr)?;
+            if self.fk_target(child_t, fk) != parent_t {
                 return Err(Error::BadJoin(format!(
                     "`{}.{}` does not reference `{}`",
                     query.vars[join.child], join.fk_attr, query.vars[join.parent]
@@ -396,7 +414,8 @@ impl SchemaInfo {
             if pred.var() >= query.vars.len() {
                 return Err(Error::UnknownVar(pred.var()).into());
             }
-            self.attr_index(var_tables[pred.var()], pred.attr())?;
+            let t = self.table_index(&query.vars[pred.var()])?;
+            self.attr_index(t, pred.attr())?;
         }
         Ok(())
     }

@@ -1,0 +1,172 @@
+//! The reduced-factor memo's bounding and invalidation contract: the
+//! per-plan memo is a strict LRU over constant signatures with a
+//! configurable capacity, and model replacement drops it together with
+//! the plan so stale reduced data can never survive a reload.
+//!
+//! Hit/miss counters are process-global and the capacity override is a
+//! process-wide static, so every test here serializes on one lock.
+
+use prmsel::plan::set_reduce_memo_capacity;
+use prmsel::{PrmEstimator, PrmLearnConfig, SelectivityEstimator};
+use reldb::{Cell, Database, DatabaseBuilder, Query, TableBuilder, Value};
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn tiny_db() -> Database {
+    let mut t = TableBuilder::new("person").key("id").col("age").col("income");
+    for (id, age, income) in [
+        (0, 20i64, 1i64),
+        (1, 30, 2),
+        (2, 40, 3),
+        (3, 20, 2),
+        (4, 30, 3),
+        (5, 40, 1),
+        (6, 20, 3),
+        (7, 30, 1),
+    ] {
+        t.push_row(vec![
+            Cell::Key(id),
+            Cell::Val(Value::Int(age)),
+            Cell::Val(Value::Int(income)),
+        ])
+        .unwrap();
+    }
+    DatabaseBuilder::new().add_table(t.finish().unwrap()).finish().unwrap()
+}
+
+fn age_query(v: i64) -> Query {
+    let mut b = Query::builder();
+    let p = b.var("person");
+    b.eq(p, "age", v);
+    b.build()
+}
+
+/// Runs `f` with the memo capacity override set to `cap`, restoring the
+/// environment default afterwards even on panic.
+fn with_memo_capacity<R>(cap: usize, f: impl FnOnce() -> R) -> R {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            set_reduce_memo_capacity(None);
+        }
+    }
+    let _reset = Reset;
+    set_reduce_memo_capacity(Some(cap));
+    f()
+}
+
+#[test]
+fn memo_respects_its_capacity_bound() {
+    let _serial = serialized();
+    with_memo_capacity(2, || {
+        let est =
+            PrmEstimator::build(&tiny_db(), &PrmLearnConfig::default()).expect("build");
+        for v in [20i64, 30, 40] {
+            est.estimate(&age_query(v)).expect("estimate");
+        }
+        assert_eq!(
+            est.reduce_memo_len(&age_query(20)),
+            Some(2),
+            "memo must hold at most its capacity"
+        );
+    });
+}
+
+#[test]
+fn memo_evicts_least_recently_used_signature() {
+    let _serial = serialized();
+    let reg = obs::registry();
+    with_memo_capacity(2, || {
+        let est =
+            PrmEstimator::build(&tiny_db(), &PrmLearnConfig::default()).expect("build");
+        let (a, b, c) = (age_query(20), age_query(30), age_query(40));
+        est.estimate(&a).expect("a"); // miss, memo = {a}
+        est.estimate(&b).expect("b"); // miss, memo = {a, b}
+        est.estimate(&a).expect("a again"); // hit, a becomes MRU
+        let hits_0 = reg.counter("prm.plan.reduce.hit").get();
+        let miss_0 = reg.counter("prm.plan.reduce.miss").get();
+        est.estimate(&c).expect("c"); // miss, evicts LRU = b
+        est.estimate(&a).expect("a survives"); // hit
+        est.estimate(&c).expect("c resident"); // hit
+        est.estimate(&b).expect("b was evicted"); // miss, evicts LRU = a
+        est.estimate(&a).expect("a re-reduces"); // miss
+        assert_eq!(
+            reg.counter("prm.plan.reduce.hit").get() - hits_0,
+            2,
+            "resident signatures must hit"
+        );
+        assert_eq!(
+            reg.counter("prm.plan.reduce.miss").get() - miss_0,
+            3,
+            "evicted signatures must re-reduce"
+        );
+    });
+}
+
+#[test]
+fn zero_capacity_disables_memoization_but_stays_exact() {
+    let _serial = serialized();
+    let reg = obs::registry();
+    with_memo_capacity(0, || {
+        let est =
+            PrmEstimator::build(&tiny_db(), &PrmLearnConfig::default()).expect("build");
+        let q = age_query(30);
+        let first = est.estimate(&q).expect("first");
+        let hits_0 = reg.counter("prm.plan.reduce.hit").get();
+        let miss_0 = reg.counter("prm.plan.reduce.miss").get();
+        let second = est.estimate(&q).expect("second");
+        assert_eq!(first.to_bits(), second.to_bits(), "memo off must not change bits");
+        assert_eq!(reg.counter("prm.plan.reduce.hit").get() - hits_0, 0);
+        assert_eq!(reg.counter("prm.plan.reduce.miss").get() - miss_0, 1);
+        assert_eq!(est.reduce_memo_len(&q), Some(0), "nothing may be stored");
+    });
+}
+
+#[test]
+fn model_reload_drops_memoized_reductions() {
+    let _serial = serialized();
+    let reg = obs::registry();
+    let mut est =
+        PrmEstimator::build(&tiny_db(), &PrmLearnConfig::default()).expect("build");
+    let q = age_query(20);
+    est.estimate(&q).expect("cold");
+    est.estimate(&q).expect("warm");
+    assert_eq!(est.reduce_memo_len(&q), Some(1));
+
+    let fresh =
+        PrmEstimator::build(&tiny_db(), &PrmLearnConfig::default()).expect("rebuild");
+    est.replace_model(fresh.prm().clone(), fresh.schema_info().clone());
+    assert_eq!(
+        est.reduce_memo_len(&q),
+        None,
+        "reload must drop the plan and its memo together"
+    );
+    let miss_0 = reg.counter("prm.plan.reduce.miss").get();
+    est.estimate(&q).expect("recompile");
+    assert_eq!(
+        reg.counter("prm.plan.reduce.miss").get() - miss_0,
+        1,
+        "post-reload estimate must reduce fresh data, not replay stale"
+    );
+    assert_eq!(est.reduce_memo_len(&q), Some(1));
+}
+
+#[test]
+fn templates_without_predicates_bypass_the_memo() {
+    let _serial = serialized();
+    let reg = obs::registry();
+    let est = PrmEstimator::build(&tiny_db(), &PrmLearnConfig::default()).expect("build");
+    let mut b = Query::builder();
+    b.var("person");
+    let q = b.build();
+    let hits_0 = reg.counter("prm.plan.reduce.hit").get();
+    let miss_0 = reg.counter("prm.plan.reduce.miss").get();
+    est.estimate(&q).expect("cold");
+    est.estimate(&q).expect("warm");
+    assert_eq!(reg.counter("prm.plan.reduce.hit").get() - hits_0, 0);
+    assert_eq!(reg.counter("prm.plan.reduce.miss").get() - miss_0, 0);
+    assert_eq!(est.reduce_memo_len(&q), Some(0), "no reductions to memoize");
+}

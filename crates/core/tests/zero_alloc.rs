@@ -1,0 +1,190 @@
+//! The warm-path allocation gate: once a template's plan is compiled and
+//! its constants have been seen once, repeating the estimate must touch
+//! the heap **zero** times. A counting global allocator makes the claim
+//! falsifiable — any stray `Vec`, `Box`, `String`, or map rehash on the
+//! warm path fails this test with an exact allocation count.
+//!
+//! The first two estimates prime everything that legitimately allocates
+//! once: the compiled plan, the reduced-factor memo entry for the
+//! constants, the per-thread arenas at their high-water size, and the
+//! first-use registration of every metric the path records.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use prmsel::{PrmEstimator, PrmLearnConfig, SelectivityEstimator};
+use reldb::{Cell as DbCell, Database, DatabaseBuilder, Query, TableBuilder, Value};
+
+/// Forwards to the system allocator, counting allocations per thread.
+/// Deallocations are not counted: freeing scratch the cold path made is
+/// fine, *acquiring* memory on the warm path is the regression.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        BYTES.with(|c| c.set(c.get() + layout.size() as u64));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        BYTES.with(|c| c.set(c.get() + new_size as u64));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        BYTES.with(|c| c.set(c.get() + layout.size() as u64));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// The reduce hit/miss counters are process-global, so tests asserting
+/// exact deltas must not interleave with other tests' estimates.
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn tiny_db() -> Database {
+    let mut p = TableBuilder::new("parent").key("id").col("x");
+    for (id, x) in [(0, 0i64), (1, 1), (2, 0), (3, 1), (4, 2), (5, 2)] {
+        p.push_row(vec![DbCell::Key(id), DbCell::Val(Value::Int(x))]).unwrap();
+    }
+    let mut c = TableBuilder::new("child").key("id").fk("parent", "parent").col("y");
+    for (id, pa, y) in [
+        (0, 0, 0i64),
+        (1, 0, 1),
+        (2, 1, 0),
+        (3, 2, 1),
+        (4, 3, 0),
+        (5, 3, 1),
+        (6, 4, 2),
+        (7, 5, 2),
+        (8, 1, 0),
+        (9, 2, 1),
+    ] {
+        c.push_row(vec![DbCell::Key(id), DbCell::Key(pa), DbCell::Val(Value::Int(y))])
+            .unwrap();
+    }
+    DatabaseBuilder::new()
+        .add_table(p.finish().unwrap())
+        .add_table(c.finish().unwrap())
+        .finish()
+        .unwrap()
+}
+
+/// Primes plan + memo + arenas with two estimates, then measures the
+/// third. Returns `(allocations, bytes)` of the measured warm estimate.
+fn warm_cost(est: &PrmEstimator, query: &Query) -> (u64, u64) {
+    let first = est.estimate(query).expect("cold estimate");
+    let second = est.estimate(query).expect("priming warm estimate");
+    assert_eq!(first.to_bits(), second.to_bits(), "warm must be bit-identical");
+    let (a0, b0) = (ALLOCS.with(Cell::get), BYTES.with(Cell::get));
+    let third = est.estimate(query).expect("measured warm estimate");
+    let (a1, b1) = (ALLOCS.with(Cell::get), BYTES.with(Cell::get));
+    assert_eq!(first.to_bits(), third.to_bits(), "warm must be bit-identical");
+    (a1 - a0, b1 - b0)
+}
+
+#[test]
+fn warm_single_table_estimate_allocates_nothing() {
+    let _serial = serialized();
+    let est = PrmEstimator::build(&tiny_db(), &PrmLearnConfig::default()).expect("build");
+    let mut b = Query::builder();
+    let c = b.var("child");
+    b.eq(c, "y", 1);
+    let (allocs, bytes) = warm_cost(&est, &b.build());
+    assert_eq!(
+        (allocs, bytes),
+        (0, 0),
+        "warm single-table estimate must not touch the heap"
+    );
+}
+
+#[test]
+fn warm_join_estimate_allocates_nothing() {
+    let _serial = serialized();
+    let est = PrmEstimator::build(&tiny_db(), &PrmLearnConfig::default()).expect("build");
+    let mut b = Query::builder();
+    let c = b.var("child");
+    let p = b.var("parent");
+    b.join(c, "parent", p).eq(p, "x", 1).range(c, "y", Some(0), Some(1));
+    let (allocs, bytes) = warm_cost(&est, &b.build());
+    assert_eq!((allocs, bytes), (0, 0), "warm join estimate must not touch the heap");
+}
+
+#[test]
+fn warm_repeat_constants_hit_the_reduce_memo() {
+    let _serial = serialized();
+    let reg = obs::registry();
+    let est = PrmEstimator::build(&tiny_db(), &PrmLearnConfig::default()).expect("build");
+    let mut b = Query::builder();
+    let c = b.var("child");
+    b.eq(c, "y", 0);
+    let q = b.build();
+    est.estimate(&q).expect("cold"); // compile + memo miss
+    let hits_before = reg.counter("prm.plan.reduce.hit").get();
+    let miss_before = reg.counter("prm.plan.reduce.miss").get();
+    est.estimate(&q).expect("warm");
+    est.estimate(&q).expect("warm");
+    assert_eq!(
+        reg.counter("prm.plan.reduce.hit").get() - hits_before,
+        2,
+        "repeat constants must hit the memo"
+    );
+    assert_eq!(
+        reg.counter("prm.plan.reduce.miss").get() - miss_before,
+        0,
+        "repeat constants must not re-reduce"
+    );
+    assert_eq!(est.reduce_memo_len(&q), Some(1), "one constant signature memoized");
+}
+
+#[test]
+fn distinct_constants_miss_then_hit_independently() {
+    let _serial = serialized();
+    let reg = obs::registry();
+    let est = PrmEstimator::build(&tiny_db(), &PrmLearnConfig::default()).expect("build");
+    let queries: Vec<Query> = (0..3i64)
+        .map(|v| {
+            let mut b = Query::builder();
+            let c = b.var("child");
+            b.eq(c, "y", v);
+            b.build()
+        })
+        .collect();
+    est.estimate(&queries[0]).expect("compile"); // one compile + first miss
+    let miss_before = reg.counter("prm.plan.reduce.miss").get();
+    let hits_before = reg.counter("prm.plan.reduce.hit").get();
+    for q in &queries[1..] {
+        est.estimate(q).expect("new constants");
+    }
+    for q in &queries {
+        est.estimate(q).expect("repeat constants");
+    }
+    assert_eq!(
+        reg.counter("prm.plan.reduce.miss").get() - miss_before,
+        2,
+        "each new constant signature reduces once"
+    );
+    assert_eq!(
+        reg.counter("prm.plan.reduce.hit").get() - hits_before,
+        3,
+        "each repeat replays from the memo"
+    );
+    assert_eq!(est.reduce_memo_len(&queries[0]), Some(3), "three signatures resident");
+}

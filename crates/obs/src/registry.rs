@@ -146,9 +146,12 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
-    /// Reads the current state.
+    /// Reads the current state. Buckets are read before `count`, and
+    /// `count` is clamped to at least their sum: `record` bumps the
+    /// bucket first, so a concurrent recorder could otherwise leave a
+    /// snapshot whose cumulative buckets exceed its total — which an
+    /// OpenMetrics lint rightly rejects.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let count = self.count();
         let buckets: Vec<(u64, u64)> = self
             .buckets
             .iter()
@@ -158,6 +161,7 @@ impl Histogram {
                 (n > 0).then(|| (bucket_upper_bound(i), n))
             })
             .collect();
+        let count = self.count().max(buckets.iter().map(|&(_, n)| n).sum());
         HistogramSnapshot {
             count,
             sum: self.sum(),

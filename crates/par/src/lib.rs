@@ -1,9 +1,9 @@
-//! # prmsel-par — scoped data-parallelism for the workspace
+//! # prmsel-par — persistent-pool data-parallelism for the workspace
 //!
-//! A dependency-free fork/join layer over [`std::thread::scope`]. The
-//! workspace builds offline with stand-in crates, so rayon is not an
-//! option; this crate provides the small subset the estimation stack
-//! actually needs:
+//! A dependency-free fork/join layer over a process-wide pool of parked
+//! worker threads. The workspace builds offline with stand-in crates, so
+//! rayon is not an option; this crate provides the small subset the
+//! estimation stack actually needs:
 //!
 //! * [`map`] — apply a function to every element of a slice, in parallel,
 //!   returning results **in input order**;
@@ -13,14 +13,27 @@
 //!   accumulators merged by the caller);
 //! * [`chunks_with`] — same, with an explicit worker count.
 //!
+//! ## The pool
+//!
+//! Workers are spawned once, on first use, and then park on a condvar
+//! waiting for jobs — a parallel region costs one enqueue + wakeup
+//! (~µs) instead of `t` thread spawns (~100 µs), which is what made
+//! small `estimate_batch` calls scale flat. The caller always executes
+//! chunk 0 itself and then *helps* drain the queue while waiting for its
+//! remaining chunks, so nested parallel regions make progress even when
+//! every pool worker is busy (no deadlock by construction) and a region
+//! never blocks on a parked thread being available. Worker panics are
+//! caught, carried back, and re-raised on the calling thread.
+//!
 //! ## Degree of parallelism
 //!
 //! [`threads`] resolves the worker count: a process-wide programmatic
 //! override ([`set_threads`], used by benches and determinism tests)
 //! wins over the `PRMSEL_THREADS` environment variable, which wins over
 //! [`std::thread::available_parallelism`]. With one worker every entry
-//! point runs inline on the caller's thread — no spawn, same code path,
-//! so `PRMSEL_THREADS=1` behaves exactly like the pre-parallel code.
+//! point runs inline on the caller's thread — no dispatch, same code
+//! path, so `PRMSEL_THREADS=1` behaves exactly like the pre-parallel
+//! code.
 //!
 //! ## Determinism
 //!
@@ -35,12 +48,18 @@
 //!
 //! Every parallel region records into the process-global [`obs`]
 //! registry: `par.pool.tasks` (counter, tasks dispatched),
-//! `par.pool.threads` (gauge, workers used by the most recent region)
-//! and `par.task.ns` (histogram, per-task wall clock).
+//! `par.pool.threads` (gauge, workers used by the most recent region),
+//! `par.task.ns` (histogram, per-task wall clock) and
+//! `par.pool.dispatch.ns` (histogram, enqueue→dequeue latency per job —
+//! the cost the persistent pool exists to keep small).
 
+use std::any::Any;
+use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
 
 /// `0` = no override; anything else is the forced worker count.
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -70,11 +89,155 @@ pub fn threads() -> usize {
         })
 }
 
+// ---------------------------------------------------------------------------
+// The persistent worker pool.
+// ---------------------------------------------------------------------------
+
+/// A unit of work queued to the pool. The closure owns its own panic
+/// handling and completion signalling; `enqueued` feeds the
+/// `par.pool.dispatch.ns` histogram when the job is dequeued.
+struct Job {
+    run: Box<dyn FnOnce() + Send + 'static>,
+    enqueued: Instant,
+}
+
+/// State shared between the callers and the parked workers.
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+}
+
+impl PoolShared {
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner).pop_front()
+    }
+}
+
+/// The process-wide pool, spawned on first parallel region. One worker
+/// fewer than the hardware thread count (the caller always runs a chunk
+/// itself), and at least one so single-core machines still drain queues.
+fn pool() -> &'static Arc<PoolShared> {
+    static POOL: OnceLock<Arc<PoolShared>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+        });
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        for i in 0..hw.saturating_sub(1).max(1) {
+            let s = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("prmsel-par-{i}"))
+                .spawn(move || worker_loop(&s))
+                .expect("spawn pool worker");
+        }
+        shared
+    })
+}
+
+/// Park on the condvar; run jobs as they arrive. Workers live for the
+/// whole process — job closures catch their own panics, so the loop
+/// never unwinds.
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = shared.work_ready.wait(q).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        run_job(job);
+    }
+}
+
+fn run_job(job: Job) {
+    obs::histogram!("par.pool.dispatch.ns").record_duration(job.enqueued.elapsed());
+    (job.run)();
+}
+
+/// Completion latch for one parallel region: counts outstanding pool
+/// jobs and carries the first worker panic back to the caller.
+struct Latch {
+    remaining: AtomicUsize,
+    mutex: Mutex<()>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Latch {
+            remaining: AtomicUsize::new(n),
+            mutex: Mutex::new(()),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn arrive(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.mutex.lock().unwrap_or_else(PoisonError::into_inner);
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    fn record_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+        let mut slot = self.panic.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Blocks until every job arrived — but *helps* by running queued
+    /// jobs (from any region) instead of sleeping while work is
+    /// available. This is what makes nested parallel regions
+    /// deadlock-free: a caller whose jobs are stuck behind busy workers
+    /// simply executes them itself.
+    fn wait_helping(&self, shared: &PoolShared) {
+        while !self.is_done() {
+            match shared.try_pop() {
+                Some(job) => run_job(job),
+                None => {
+                    let g = self.mutex.lock().unwrap_or_else(PoisonError::into_inner);
+                    if self.is_done() {
+                        return;
+                    }
+                    // Timeout keeps the help loop live if a job is queued
+                    // between the try_pop miss and the wait.
+                    let _ = self
+                        .done_cv
+                        .wait_timeout(g, Duration::from_millis(1))
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+}
+
+/// A `*mut` that may cross threads; used for disjoint-index result slots
+/// whose writes are ordered by the latch.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
 /// Splits `0..n` into `threads` contiguous chunks (sizes differing by at
-/// most one), runs `f` on each chunk across that many scoped workers, and
-/// returns the per-chunk results in chunk order. With one worker (or one
-/// element) `f` runs inline on the caller's thread. `n == 0` returns an
-/// empty vector without calling `f`.
+/// most one), runs `f` on each chunk — chunk 0 on the calling thread,
+/// the rest on the persistent pool — and returns the per-chunk results
+/// in chunk order. With one worker (or one element) `f` runs inline on
+/// the caller's thread. `n == 0` returns an empty vector without calling
+/// `f`.
 pub fn chunks_with<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -95,24 +258,80 @@ where
     // Balanced partition: the first `n % t` chunks get one extra element.
     let base = n / t;
     let extra = n % t;
-    let f = &f;
-    std::thread::scope(|scope| {
-        let mut lo = 0usize;
-        let handles: Vec<_> = (0..t)
-            .map(|i| {
-                let hi = lo + base + usize::from(i < extra);
-                let range = lo..hi;
-                lo = hi;
-                scope.spawn(move || {
-                    let start = Instant::now();
-                    let out = f(range);
-                    obs::histogram!("par.task.ns").record_duration(start.elapsed());
-                    out
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("par worker panicked")).collect()
-    })
+    let mut ranges = Vec::with_capacity(t);
+    let mut lo = 0usize;
+    for i in 0..t {
+        let hi = lo + base + usize::from(i < extra);
+        ranges.push(lo..hi);
+        lo = hi;
+    }
+
+    let shared = pool();
+    let latch = Latch::new(t - 1);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(t);
+    results.resize_with(t, || None);
+    let out0;
+    {
+        let f = &f;
+        let latch_ref = &latch;
+        let slots = SendPtr(results.as_mut_ptr());
+        {
+            let mut q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            for (i, range) in ranges.iter().cloned().enumerate().skip(1) {
+                let job = move || {
+                    // Capture the `SendPtr` wrapper, not its raw field.
+                    let slots = slots;
+                    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        let start = Instant::now();
+                        let out = f(range);
+                        obs::histogram!("par.task.ns").record_duration(start.elapsed());
+                        out
+                    }));
+                    match outcome {
+                        // SAFETY: each job writes only its own slot `i`,
+                        // the caller reads the slots only after the latch
+                        // reports every job arrived (AcqRel/Acquire on
+                        // `remaining` orders the writes), and the
+                        // wait-guard below keeps the vector alive until
+                        // then.
+                        Ok(v) => unsafe { *slots.0.add(i) = Some(v) },
+                        Err(payload) => latch_ref.record_panic(payload),
+                    }
+                    latch_ref.arrive();
+                };
+                let run: Box<dyn FnOnce() + Send + '_> = Box::new(job);
+                // SAFETY: extends the closure's borrows (of `f`, the
+                // latch, and the result slots) to 'static so it can sit
+                // in the process-wide queue. The wait-guard below does
+                // not return — even on panic — until every job has run,
+                // so no borrow outlives its referent.
+                let run: Box<dyn FnOnce() + Send + 'static> =
+                    unsafe { std::mem::transmute(run) };
+                q.push_back(Job { run, enqueued: Instant::now() });
+            }
+            shared.work_ready.notify_all();
+        }
+        // Run chunk 0 inline; the guard waits out the pool jobs even if
+        // `f` panics here, so queued borrows never dangle.
+        struct WaitGuard<'a>(&'a Latch, &'a PoolShared);
+        impl Drop for WaitGuard<'_> {
+            fn drop(&mut self) {
+                self.0.wait_helping(self.1);
+            }
+        }
+        let guard = WaitGuard(&latch, shared);
+        let start = Instant::now();
+        out0 = f(ranges[0].clone());
+        obs::histogram!("par.task.ns").record_duration(start.elapsed());
+        drop(guard);
+    }
+    results[0] = Some(out0);
+    if let Some(payload) =
+        latch.panic.lock().unwrap_or_else(PoisonError::into_inner).take()
+    {
+        std::panic::resume_unwind(payload);
+    }
+    results.into_iter().map(|r| r.expect("par worker panicked")).collect()
 }
 
 /// [`chunks_with`] at the ambient worker count ([`threads`]).
@@ -217,5 +436,45 @@ mod tests {
             assert_eq!(obs::counter!("par.pool.tasks").get(), before + 2);
             assert_eq!(obs::registry().snapshot().gauge("par.pool.threads"), Some(2.0));
         });
+    }
+
+    #[test]
+    fn nested_regions_do_not_deadlock() {
+        // An inner parallel region inside a pool job must complete even when
+        // every worker is busy — callers help drain the queue while waiting.
+        let out = chunks_with(4, 8, |outer| {
+            let inner = chunks_with(4, 8, |r| r.len());
+            outer.len() + inner.iter().sum::<usize>()
+        });
+        assert_eq!(out.iter().sum::<usize>(), 8 + 4 * 8);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            chunks_with(4, 8, |r| {
+                if r.start > 0 {
+                    panic!("boom in worker");
+                }
+                r.len()
+            })
+        });
+        let payload = caught.expect_err("worker panic must reach the caller");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "boom in worker");
+    }
+
+    #[test]
+    fn dispatch_latency_is_recorded_for_pool_jobs() {
+        let before = obs::registry()
+            .snapshot()
+            .histogram("par.pool.dispatch.ns")
+            .map_or(0, |h| h.count);
+        let _ = chunks_with(2, 8, |r| r.len());
+        let after = obs::registry()
+            .snapshot()
+            .histogram("par.pool.dispatch.ns")
+            .map_or(0, |h| h.count);
+        assert!(after > before, "pool dispatch should record enqueue→dequeue latency");
     }
 }

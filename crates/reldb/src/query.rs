@@ -78,6 +78,40 @@ impl Pred {
             Pred::Range { lo, hi, .. } => domain.codes_in_range(*lo, *hi),
         })
     }
+
+    /// Writes the predicate's allowed-code mask into `mask` (one slot per
+    /// domain code) without allocating: `mask[c]` is true iff code `c`
+    /// satisfies the predicate. Exactly the set [`Pred::matching_codes`]
+    /// returns, in mask form — the warm estimate path decodes constants
+    /// through this instead of building a code vector per query.
+    pub fn fill_mask(&self, domain: &crate::table::Domain, mask: &mut [bool]) {
+        debug_assert_eq!(mask.len(), domain.card(), "mask length must be domain card");
+        mask.fill(false);
+        match self {
+            Pred::Eq { value, .. } => {
+                if let Some(c) = domain.code(value) {
+                    mask[c as usize] = true;
+                }
+            }
+            Pred::In { values, .. } => {
+                for v in values {
+                    if let Some(c) = domain.code(v) {
+                        mask[c as usize] = true;
+                    }
+                }
+            }
+            Pred::Range { lo, hi, .. } => {
+                for (c, v) in domain.values().iter().enumerate() {
+                    let hit = v.as_int().is_some_and(|i| {
+                        lo.is_none_or(|l| i >= l) && hi.is_none_or(|h| i <= h)
+                    });
+                    if hit {
+                        mask[c] = true;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A keyjoin clause: `vars[child].fk_attr = vars[parent].primary_key`.
@@ -301,5 +335,32 @@ mod tests {
             values: vec!["a".into(), "a".into(), "zz".into()],
         };
         assert_eq!(isin.matching_codes(&d, "parent").unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn fill_mask_agrees_with_matching_codes() {
+        let d = db();
+        let preds = [
+            Pred::Eq { var: 0, attr: "x".into(), value: "a".into() },
+            Pred::Eq { var: 0, attr: "x".into(), value: "zz".into() },
+            Pred::In {
+                var: 0,
+                attr: "x".into(),
+                values: vec!["a".into(), "a".into(), "zz".into()],
+            },
+            Pred::Range { var: 0, attr: "x".into(), lo: None, hi: None },
+        ];
+        let domain = d.table("parent").unwrap().domain("x").unwrap();
+        let mut mask = vec![true; domain.card()];
+        for p in &preds {
+            p.fill_mask(domain, &mut mask);
+            let from_mask: Vec<u32> = mask
+                .iter()
+                .enumerate()
+                .filter(|(_, &ok)| ok)
+                .map(|(c, _)| c as u32)
+                .collect();
+            assert_eq!(from_mask, p.matching_codes(&d, "parent").unwrap(), "{p:?}");
+        }
     }
 }

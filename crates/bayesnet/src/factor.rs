@@ -503,6 +503,329 @@ pub fn reduce_into(
     reduce_in_place(out, card, inner, allowed);
 }
 
+// ---------------------------------------------------------------------------
+// Slice-aware masked kernels.
+//
+// The masked variants below compute the same result as reduce-then-dense —
+// zero the disallowed runs of each operand, then run the dense kernel — but
+// never touch a disallowed index: each masked axis walks an explicit
+// ascending allowed-code list instead of 0..card. Per-cell cost therefore
+// tracks the number of *allowed* codes (1 for an equality predicate), not
+// the domain size.
+//
+// Bit-identity with the dense pipeline holds because factor entries are
+// non-negative finite probabilities: a disallowed (zeroed) code contributes
+// exactly `0.0 × x = +0.0` to a product cell and `acc + 0.0` (bit-
+// preserving on a non-negative accumulator) to a sum — so skipping it
+// changes nothing, and `fill(0.0)` writes the same `+0.0` the dense kernel
+// would have computed for every fully-disallowed cell.
+// ---------------------------------------------------------------------------
+
+/// Sentinel in a `masks` slot: the axis is unmasked (iterate all codes).
+pub const DENSE: usize = usize::MAX;
+
+/// Allowed-code list for the mask region starting at `off` in the shared
+/// `codes` buffer: layout is `[len, code_0, code_1, …]`, codes ascending.
+#[inline]
+fn code_list(codes: &[usize], off: usize) -> &[usize] {
+    &codes[off + 1..off + 1 + codes[off]]
+}
+
+/// Row-major output strides of the result scope, written into `ostride`.
+#[inline]
+fn out_strides(cards: &[usize], ostride: &mut [usize]) {
+    let mut s = 1usize;
+    for k in (0..cards.len()).rev() {
+        ostride[k] = s;
+        s *= cards[k];
+    }
+}
+
+/// Resets the odometer to the first allowed cell: zeroes `pos` and returns
+/// `Some((ia, ib, io))` initial operand/output offsets, or `None` when some
+/// mask allows no code at all (the output stays all-zero).
+#[inline]
+fn first_allowed(
+    cards: &[usize],
+    stride_a: &[usize],
+    stride_b: &[usize],
+    ostride: &[usize],
+    masks: &[usize],
+    codes: &[usize],
+    pos: &mut [usize],
+) -> Option<(usize, usize, usize)> {
+    let (mut ia, mut ib, mut io) = (0usize, 0usize, 0usize);
+    for k in 0..cards.len() {
+        pos[k] = 0;
+        if masks[k] != DENSE {
+            let list = code_list(codes, masks[k]);
+            let &first = list.first()?;
+            ia += first * stride_a[k];
+            ib += first * stride_b[k];
+            io += first * ostride[k];
+        }
+    }
+    Some((ia, ib, io))
+}
+
+/// Advances the allowed-cell odometer by one position. Returns `false` when
+/// the walk is complete. `pos[k]` indexes the allowed-code list for masked
+/// axes and the raw code for dense axes; offsets move by
+/// `(next_code - current_code) · stride`, so disallowed runs are skipped in
+/// one step.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn advance_allowed(
+    cards: &[usize],
+    stride_a: &[usize],
+    stride_b: &[usize],
+    ostride: &[usize],
+    masks: &[usize],
+    codes: &[usize],
+    pos: &mut [usize],
+    ia: &mut usize,
+    ib: &mut usize,
+    io: &mut usize,
+) -> bool {
+    for k in (0..cards.len()).rev() {
+        if masks[k] == DENSE {
+            pos[k] += 1;
+            *ia += stride_a[k];
+            *ib += stride_b[k];
+            *io += ostride[k];
+            if pos[k] < cards[k] {
+                return true;
+            }
+            pos[k] = 0;
+            *ia -= stride_a[k] * cards[k];
+            *ib -= stride_b[k] * cards[k];
+            *io -= ostride[k] * cards[k];
+        } else {
+            let list = code_list(codes, masks[k]);
+            let cur = list[pos[k]];
+            pos[k] += 1;
+            if pos[k] < list.len() {
+                let d = list[pos[k]] - cur;
+                *ia += d * stride_a[k];
+                *ib += d * stride_b[k];
+                *io += d * ostride[k];
+                return true;
+            }
+            pos[k] = 0;
+            let d = cur - list[0];
+            *ia -= d * stride_a[k];
+            *ib -= d * stride_b[k];
+            *io -= d * ostride[k];
+        }
+    }
+    false
+}
+
+/// Masked [`product_into`]: `out[·] = a[·] * b[·]` at every cell allowed by
+/// all masks; every other cell is zero. `masks[k]` is either [`DENSE`] or
+/// the offset of axis `k`'s allowed-code region in `codes`. `assign` is
+/// scratch of length ≥ `2 · cards.len()`. Bit-identical to reducing both
+/// operands and calling [`product_into`] (entries must be non-negative and
+/// finite).
+#[allow(clippy::too_many_arguments)]
+pub fn product_masked_into(
+    a: &[f64],
+    b: &[f64],
+    cards: &[usize],
+    stride_a: &[usize],
+    stride_b: &[usize],
+    masks: &[usize],
+    codes: &[usize],
+    assign: &mut [usize],
+    out: &mut [f64],
+) {
+    out.fill(0.0);
+    if cards.is_empty() {
+        out[0] = a[0] * b[0];
+        return;
+    }
+    let n = cards.len();
+    let (pos, ostride) = assign[..2 * n].split_at_mut(n);
+    out_strides(cards, ostride);
+    let Some((mut ia, mut ib, mut io)) =
+        first_allowed(cards, stride_a, stride_b, ostride, masks, codes, pos)
+    else {
+        return;
+    };
+    loop {
+        out[io] = a[ia] * b[ib];
+        if !advance_allowed(
+            cards, stride_a, stride_b, ostride, masks, codes, pos, &mut ia, &mut ib,
+            &mut io,
+        ) {
+            return;
+        }
+    }
+}
+
+/// Masked [`product_sum_out_into`]: accumulates `Σ_v a · b` over the summed
+/// variable's *allowed* codes only (all of `0..card_v` when `v_mask` is
+/// [`DENSE`]), at every result cell allowed by `masks`; every other cell is
+/// zero. Accumulation stays in ascending `v` order, so skipping a
+/// disallowed code removes exactly one `acc + 0.0` — bit-identity is
+/// preserved for non-negative finite entries. `assign` is scratch of length
+/// ≥ `2 · cards.len()`.
+#[allow(clippy::too_many_arguments)]
+pub fn product_sum_out_masked_into(
+    a: &[f64],
+    b: &[f64],
+    cards: &[usize],
+    stride_a: &[usize],
+    stride_b: &[usize],
+    masks: &[usize],
+    codes: &[usize],
+    card_v: usize,
+    sav: usize,
+    sbv: usize,
+    v_mask: usize,
+    assign: &mut [usize],
+    out: &mut [f64],
+) {
+    out.fill(0.0);
+    let sum_v = |ia: usize, ib: usize| -> f64 {
+        let mut acc = 0.0;
+        if v_mask == DENSE {
+            let (mut oa, mut ob) = (ia, ib);
+            for _ in 0..card_v {
+                acc += a[oa] * b[ob];
+                oa += sav;
+                ob += sbv;
+            }
+        } else {
+            for &c in code_list(codes, v_mask) {
+                acc += a[ia + c * sav] * b[ib + c * sbv];
+            }
+        }
+        acc
+    };
+    if cards.is_empty() {
+        out[0] = sum_v(0, 0);
+        return;
+    }
+    let n = cards.len();
+    let (pos, ostride) = assign[..2 * n].split_at_mut(n);
+    out_strides(cards, ostride);
+    let Some((mut ia, mut ib, mut io)) =
+        first_allowed(cards, stride_a, stride_b, ostride, masks, codes, pos)
+    else {
+        return;
+    };
+    loop {
+        out[io] = sum_v(ia, ib);
+        if !advance_allowed(
+            cards, stride_a, stride_b, ostride, masks, codes, pos, &mut ia, &mut ib,
+            &mut io,
+        ) {
+            return;
+        }
+    }
+}
+
+/// Masked [`sum_out_into`] over a general strided source: for every result
+/// cell allowed by `masks`, `out[·] = Σ_v src[·]` over the summed axis's
+/// allowed codes (`stride` maps each result axis into `src`; `sv` is the
+/// summed axis's stride). Every other cell is zero. `assign` is scratch of
+/// length ≥ `2 · cards.len()`.
+#[allow(clippy::too_many_arguments)]
+pub fn sum_out_masked_into(
+    src: &[f64],
+    cards: &[usize],
+    stride: &[usize],
+    masks: &[usize],
+    codes: &[usize],
+    card_v: usize,
+    sv: usize,
+    v_mask: usize,
+    assign: &mut [usize],
+    out: &mut [f64],
+) {
+    out.fill(0.0);
+    let sum_v = |is: usize| -> f64 {
+        let mut acc = 0.0;
+        if v_mask == DENSE {
+            let mut o = is;
+            for _ in 0..card_v {
+                acc += src[o];
+                o += sv;
+            }
+        } else {
+            for &c in code_list(codes, v_mask) {
+                acc += src[is + c * sv];
+            }
+        }
+        acc
+    };
+    if cards.is_empty() {
+        out[0] = sum_v(0);
+        return;
+    }
+    let n = cards.len();
+    let (pos, ostride) = assign[..2 * n].split_at_mut(n);
+    out_strides(cards, ostride);
+    let (mut ia, mut io) = {
+        let (mut ia, mut io) = (0usize, 0usize);
+        let mut ok = true;
+        for k in 0..n {
+            pos[k] = 0;
+            if masks[k] != DENSE {
+                let list = code_list(codes, masks[k]);
+                match list.first() {
+                    Some(&first) => {
+                        ia += first * stride[k];
+                        io += first * ostride[k];
+                    }
+                    None => ok = false,
+                }
+            }
+        }
+        if !ok {
+            return;
+        }
+        (ia, io)
+    };
+    loop {
+        out[io] = sum_v(ia);
+        let mut advanced = false;
+        for k in (0..n).rev() {
+            if masks[k] == DENSE {
+                pos[k] += 1;
+                ia += stride[k];
+                io += ostride[k];
+                if pos[k] < cards[k] {
+                    advanced = true;
+                    break;
+                }
+                pos[k] = 0;
+                ia -= stride[k] * cards[k];
+                io -= ostride[k] * cards[k];
+            } else {
+                let list = code_list(codes, masks[k]);
+                let cur = list[pos[k]];
+                pos[k] += 1;
+                if pos[k] < list.len() {
+                    let d = list[pos[k]] - cur;
+                    ia += d * stride[k];
+                    io += d * ostride[k];
+                    advanced = true;
+                    break;
+                }
+                pos[k] = 0;
+                let d = cur - list[0];
+                ia -= d * stride[k];
+                io -= d * ostride[k];
+            }
+        }
+        if !advanced {
+            return;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -651,6 +974,211 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Shared codes buffer + per-axis mask offsets from per-axis allowed
+    /// bool masks (`None` = dense axis), mirroring what the plan compiler
+    /// emits at runtime.
+    fn encode_masks(allowed: &[Option<Vec<bool>>]) -> (Vec<usize>, Vec<usize>) {
+        let mut codes = Vec::new();
+        let mut masks = Vec::new();
+        for m in allowed {
+            match m {
+                None => masks.push(DENSE),
+                Some(bools) => {
+                    masks.push(codes.len());
+                    let list: Vec<usize> = bools
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(c, &b)| b.then_some(c))
+                        .collect();
+                    codes.push(list.len());
+                    codes.extend(list);
+                }
+            }
+        }
+        (codes, masks)
+    }
+
+    /// Applies every mask that intersects a factor's scope via the dense
+    /// `reduce` path — the reference pipeline the masked kernels must match
+    /// bit-for-bit.
+    fn reduce_all(f: &Factor, vars: &[usize], allowed: &[Option<Vec<bool>>]) -> Factor {
+        let mut r = f.clone();
+        for (v, m) in vars.iter().zip(allowed) {
+            if let Some(bools) = m {
+                r = r.reduce(*v, bools);
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn product_masked_is_bit_identical_to_reduce_then_product() {
+        let a = pseudo_factor(vec![0, 2, 3], vec![3, 4, 2], 5);
+        let b = pseudo_factor(vec![1, 2], vec![2, 4], 99);
+        let (vars, cards) = union_scope(&a, &b);
+        let sa = strides_in(a.vars(), a.cards(), &vars);
+        let sb = strides_in(b.vars(), b.cards(), &vars);
+        let cases: Vec<Vec<Option<Vec<bool>>>> = vec![
+            // single-code mask on a shared axis, rest dense
+            vec![None, None, Some(vec![false, true, false, false]), None],
+            // masks on three axes incl. an all-allowed one
+            vec![
+                Some(vec![true, false, true]),
+                Some(vec![true, true]),
+                None,
+                Some(vec![false, true]),
+            ],
+            // all dense (every mask slot DENSE)
+            vec![None, None, None, None],
+        ];
+        for allowed in cases {
+            let (codes, masks) = encode_masks(&allowed);
+            let mut out = vec![f64::NAN; a.product(&b).len()];
+            let mut assign = vec![0usize; 2 * vars.len()];
+            product_masked_into(
+                a.data(),
+                b.data(),
+                &cards,
+                &sa,
+                &sb,
+                &masks,
+                &codes,
+                &mut assign,
+                &mut out,
+            );
+            let dense =
+                reduce_all(&a, &vars, &allowed).product(&reduce_all(&b, &vars, &allowed));
+            for (x, y) in out.iter().zip(dense.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn product_sum_out_masked_is_bit_identical_to_reduce_then_dense() {
+        let a = pseudo_factor(vec![0, 2, 3], vec![3, 4, 2], 13);
+        let b = pseudo_factor(vec![1, 2], vec![2, 4], 41);
+        let (uvars, ucards) = union_scope(&a, &b);
+        let usa = strides_in(a.vars(), a.cards(), &uvars);
+        let usb = strides_in(b.vars(), b.cards(), &uvars);
+        for var in [0usize, 1, 2, 3] {
+            let pos = uvars.iter().position(|&v| v == var).unwrap();
+            let (card_v, sav, sbv) = (ucards[pos], usa[pos], usb[pos]);
+            let mut vars = uvars.clone();
+            let mut cards = ucards.clone();
+            let (mut sa, mut sb) = (usa.clone(), usb.clone());
+            vars.remove(pos);
+            cards.remove(pos);
+            sa.remove(pos);
+            sb.remove(pos);
+            // Mask the summed var to one code and one result axis to two.
+            let v_allowed: Vec<bool> = (0..card_v).map(|c| c == card_v - 1).collect();
+            let r_allowed: Vec<Option<Vec<bool>>> = vars
+                .iter()
+                .zip(&cards)
+                .map(|(&rv, &rc)| {
+                    (rv == 3).then(|| (0..rc).map(|c| c % 2 == 0).collect())
+                })
+                .collect();
+            let mut full = r_allowed.clone();
+            full.insert(pos, Some(v_allowed.clone()));
+            let (codes, mut masks) = encode_masks(&full);
+            let v_mask = masks.remove(pos);
+            let len: usize = cards.iter().product::<usize>().max(1);
+            let mut out = vec![f64::NAN; len];
+            let mut assign = vec![0usize; 2 * cards.len().max(1)];
+            product_sum_out_masked_into(
+                a.data(),
+                b.data(),
+                &cards,
+                &sa,
+                &sb,
+                &masks,
+                &codes,
+                card_v,
+                sav,
+                sbv,
+                v_mask,
+                &mut assign,
+                &mut out,
+            );
+            let dense = reduce_all(&a, &uvars, &full)
+                .product_sum_out(&reduce_all(&b, &uvars, &full), var);
+            for (x, y) in out.iter().zip(dense.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "var={var}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_out_masked_is_bit_identical_to_reduce_then_sum_out() {
+        let f = pseudo_factor(vec![0, 1, 2], vec![3, 4, 2], 77);
+        for var in [0usize, 1, 2] {
+            let pos = f.vars().iter().position(|&v| v == var).unwrap();
+            let fstride = strides_in(f.vars(), f.cards(), f.vars());
+            let (card_v, sv) = (f.cards()[pos], fstride[pos]);
+            let mut cards = f.cards().to_vec();
+            let mut stride = fstride.clone();
+            cards.remove(pos);
+            stride.remove(pos);
+            let rvars: Vec<usize> =
+                f.vars().iter().copied().filter(|&v| v != var).collect();
+            let v_allowed: Vec<bool> = (0..card_v).map(|c| c % 2 == 1).collect();
+            let r_allowed: Vec<Option<Vec<bool>>> = rvars
+                .iter()
+                .zip(&cards)
+                .map(|(&rv, &rc)| (rv == 0).then(|| (0..rc).map(|c| c < 2).collect()))
+                .collect();
+            let mut full = r_allowed.clone();
+            full.insert(pos, Some(v_allowed.clone()));
+            let (codes, mut masks) = encode_masks(&full);
+            let v_mask = masks.remove(pos);
+            let len: usize = cards.iter().product::<usize>().max(1);
+            let mut out = vec![f64::NAN; len];
+            let mut assign = vec![0usize; 2 * cards.len().max(1)];
+            sum_out_masked_into(
+                f.data(),
+                &cards,
+                &stride,
+                &masks,
+                &codes,
+                card_v,
+                sv,
+                v_mask,
+                &mut assign,
+                &mut out,
+            );
+            let dense = reduce_all(&f, f.vars(), &full).sum_out(var);
+            for (x, y) in out.iter().zip(dense.data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "var={var}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_kernels_with_empty_allowed_list_zero_the_output() {
+        let a = pseudo_factor(vec![0], vec![3], 3);
+        let b = pseudo_factor(vec![1], vec![2], 9);
+        let (codes, masks) = encode_masks(&[Some(vec![false, false, false]), None]);
+        let (vars, cards) = union_scope(&a, &b);
+        let sa = strides_in(a.vars(), a.cards(), &vars);
+        let sb = strides_in(b.vars(), b.cards(), &vars);
+        let mut out = vec![f64::NAN; 6];
+        let mut assign = vec![0usize; 4];
+        product_masked_into(
+            a.data(),
+            b.data(),
+            &cards,
+            &sa,
+            &sb,
+            &masks,
+            &codes,
+            &mut assign,
+            &mut out,
+        );
+        assert!(out.iter().all(|x| x.to_bits() == 0.0f64.to_bits()));
     }
 
     #[test]

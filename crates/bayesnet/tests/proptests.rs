@@ -5,6 +5,10 @@
 
 use bayesnet::cpd::TableCpd;
 use bayesnet::discretize::Discretizer;
+use bayesnet::factor::{
+    product_masked_into, product_sum_out_masked_into, strides_in, sum_out_masked_into,
+    union_scope, DENSE,
+};
 use bayesnet::learn::treecpd::{grow_tree, TreeGrowOptions};
 use bayesnet::{probability_of_evidence, BayesNet, Evidence, Factor, JoinTree};
 use proptest::prelude::*;
@@ -197,6 +201,186 @@ proptest! {
             expected_lo = hi + 1;
         }
         prop_assert_eq!(expected_lo, 40);
+    }
+}
+
+/// A per-variable evidence mask: `None` is an unmasked ([`DENSE`]) axis;
+/// `Some(allowed)` is a bool mask over the variable's codes. The strategy
+/// covers the cases the masked kernels special-case: fully dense, an
+/// explicit all-allowed mask, a single allowed code (equality
+/// predicates), and arbitrary masks including empty ones.
+fn arb_mask(card: usize) -> impl Strategy<Value = Option<Vec<bool>>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(vec![true; card])),
+        (0..card).prop_map(move |c| {
+            let mut m = vec![false; card];
+            m[c] = true;
+            Some(m)
+        }),
+        proptest::collection::vec(any::<bool>(), card).prop_map(Some),
+    ]
+}
+
+/// Encodes bool masks into the shared allowed-code buffer the masked
+/// kernels walk: for each axis in `scope`, either [`DENSE`] or the offset
+/// of a `[len, code_0, code_1, …]` region in the returned `codes` buffer
+/// — the same encoding `prmsel::plan` writes into its replay arena.
+fn encode_masks(
+    masks_by_var: &[Option<Vec<bool>>],
+    scope: &[usize],
+) -> (Vec<usize>, Vec<usize>) {
+    let mut codes = Vec::new();
+    let mut offs = Vec::with_capacity(scope.len());
+    for &v in scope {
+        match &masks_by_var[v] {
+            None => offs.push(DENSE),
+            Some(m) => {
+                offs.push(codes.len());
+                codes.push(0);
+                let start = codes.len();
+                codes.extend(m.iter().enumerate().filter(|(_, &ok)| ok).map(|(c, _)| c));
+                let n = codes.len() - start;
+                codes[start - 1] = n;
+            }
+        }
+    }
+    (codes, offs)
+}
+
+/// Reduce-then-dense reference: `f` with every masked variable in its
+/// scope reduced through the ordinary [`Factor::reduce`] path.
+fn reduce_all(f: &Factor, masks_by_var: &[Option<Vec<bool>>]) -> Factor {
+    let mut r = f.clone();
+    for &v in f.vars() {
+        if let Some(m) = &masks_by_var[v] {
+            r = r.reduce(v, m);
+        }
+    }
+    r
+}
+
+/// Random operands `a` over vars `{0,1,2}` and `b` over `{1,2,3}` with
+/// shared cards, one mask per variable, and a summed-variable choice.
+#[allow(clippy::type_complexity)]
+fn arb_masked_case(
+) -> impl Strategy<Value = (Vec<usize>, Factor, Factor, Vec<Option<Vec<bool>>>, usize)> {
+    proptest::collection::vec(2usize..4, 4).prop_flat_map(|cards| {
+        let len_a: usize = cards[..3].iter().product();
+        let len_b: usize = cards[1..].iter().product();
+        let (c0, c1, c2, c3) = (cards[0], cards[1], cards[2], cards[3]);
+        (
+            Just(cards),
+            proptest::collection::vec(0.0f64..10.0, len_a),
+            proptest::collection::vec(0.0f64..10.0, len_b),
+            arb_mask(c0),
+            arb_mask(c1),
+            arb_mask(c2),
+            arb_mask(c3),
+            0usize..4,
+        )
+            .prop_map(|(cards, da, db, m0, m1, m2, m3, v)| {
+                let a = Factor::new(vec![0, 1, 2], cards[..3].to_vec(), da);
+                let b = Factor::new(vec![1, 2, 3], cards[1..].to_vec(), db);
+                (cards, a, b, vec![m0, m1, m2, m3], v)
+            })
+    })
+}
+
+// The masked kernels must be `f64::to_bits`-identical to reducing the
+// operands and running the dense pipeline — the equivalence
+// `prmsel::plan` relies on when it lowers evidence-dependent ops into
+// masked replay steps (skipped runs contribute exactly +0.0).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn product_masked_matches_reduce_then_dense(
+        (_, a, b, masks, _) in arb_masked_case()
+    ) {
+        let want = reduce_all(&a, &masks).product(&reduce_all(&b, &masks));
+        let (uvars, ucards) = union_scope(&a, &b);
+        let sa = strides_in(a.vars(), a.cards(), &uvars);
+        let sb = strides_in(b.vars(), b.cards(), &uvars);
+        let (codes, offs) = encode_masks(&masks, &uvars);
+        let mut assign = vec![0usize; 2 * ucards.len()];
+        let mut out = vec![f64::NAN; ucards.iter().product::<usize>().max(1)];
+        product_masked_into(
+            a.data(), b.data(), &ucards, &sa, &sb, &offs, &codes, &mut assign, &mut out,
+        );
+        prop_assert_eq!(want.data().len(), out.len());
+        for (w, g) in want.data().iter().zip(&out) {
+            prop_assert_eq!(w.to_bits(), g.to_bits());
+        }
+    }
+
+    #[test]
+    fn product_sum_out_masked_matches_reduce_then_dense(
+        (cards, a, b, masks, v) in arb_masked_case()
+    ) {
+        let want = reduce_all(&a, &masks).product(&reduce_all(&b, &masks)).sum_out(v);
+        let (uvars, _) = union_scope(&a, &b);
+        let rvars: Vec<usize> = uvars.iter().copied().filter(|&u| u != v).collect();
+        let rcards: Vec<usize> = want.cards().to_vec();
+        let sa = strides_in(a.vars(), a.cards(), &rvars);
+        let sb = strides_in(b.vars(), b.cards(), &rvars);
+        let (codes, offs) = encode_masks(&masks, &rvars);
+        let (vcodes, voffs) = encode_masks(&masks, &[v]);
+        // Splice v's region (if any) onto the end of the shared buffer.
+        let mut codes = codes;
+        let v_mask = if voffs[0] == DENSE {
+            DENSE
+        } else {
+            let at = codes.len();
+            codes.extend_from_slice(&vcodes);
+            at
+        };
+        let card_v = cards[v];
+        let sav = strides_in(a.vars(), a.cards(), &[v])[0];
+        let sbv = strides_in(b.vars(), b.cards(), &[v])[0];
+        let mut assign = vec![0usize; 2 * rcards.len().max(1)];
+        let mut out = vec![f64::NAN; rcards.iter().product::<usize>().max(1)];
+        product_sum_out_masked_into(
+            a.data(), b.data(), &rcards, &sa, &sb, &offs, &codes, card_v, sav, sbv,
+            v_mask, &mut assign, &mut out,
+        );
+        prop_assert_eq!(want.data().len(), out.len());
+        for (w, g) in want.data().iter().zip(&out) {
+            prop_assert_eq!(w.to_bits(), g.to_bits());
+        }
+    }
+
+    #[test]
+    fn sum_out_masked_matches_reduce_then_dense(
+        (_, a, _, masks, v0) in arb_masked_case()
+    ) {
+        let v = a.vars()[v0 % a.vars().len()];
+        let want = reduce_all(&a, &masks).sum_out(v);
+        let rvars: Vec<usize> = a.vars().iter().copied().filter(|&u| u != v).collect();
+        let rcards: Vec<usize> = want.cards().to_vec();
+        let stride = strides_in(a.vars(), a.cards(), &rvars);
+        let sv = strides_in(a.vars(), a.cards(), &[v])[0];
+        let card_v = a.cards()[a.vars().iter().position(|&x| x == v).unwrap()];
+        let (codes, offs) = encode_masks(&masks, &rvars);
+        let (vcodes, voffs) = encode_masks(&masks, &[v]);
+        let mut codes = codes;
+        let v_mask = if voffs[0] == DENSE {
+            DENSE
+        } else {
+            let at = codes.len();
+            codes.extend_from_slice(&vcodes);
+            at
+        };
+        let mut assign = vec![0usize; 2 * rcards.len().max(1)];
+        let mut out = vec![f64::NAN; rcards.iter().product::<usize>().max(1)];
+        sum_out_masked_into(
+            a.data(), &rcards, &stride, &offs, &codes, card_v, sv, v_mask, &mut assign,
+            &mut out,
+        );
+        prop_assert_eq!(want.data().len(), out.len());
+        for (w, g) in want.data().iter().zip(&out) {
+            prop_assert_eq!(w.to_bits(), g.to_bits());
+        }
     }
 }
 

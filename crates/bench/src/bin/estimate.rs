@@ -27,15 +27,15 @@ use workloads::suites::{join_chain_suite, single_table_range_suite, ChainStep};
 use workloads::tb::{tb_database, tb_database_sized};
 use workloads::QuerySuite;
 
-/// Extracts the census-eq warm mean (ns) from a bench JSON baseline:
-/// section `"warm ns per query class"`, row `"method":"census-eq"`, field
-/// `"y"`. Plain string scanning — the emitter writes this shape and a
-/// JSON parser dependency is not worth one gate.
-fn baseline_warm_ns(path: &str) -> Option<f64> {
+/// Extracts one `"y"` value from a bench JSON baseline: the row with
+/// `"method":"<method>"` inside the section titled `title`. Plain string
+/// scanning — the emitter writes this shape and a JSON parser dependency
+/// is not worth one gate.
+fn baseline_ns(path: &str, title: &str, method: &str) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
-    let sec = text.split("\"title\":\"warm ns per query class\"").nth(1)?;
+    let sec = text.split(&format!("\"title\":\"{title}\"")).nth(1)?;
     let sec = &sec[..sec.find(']').unwrap_or(sec.len())];
-    let row = sec.split("\"method\":\"census-eq\"").nth(1)?;
+    let row = sec.split(&format!("\"method\":\"{method}\"")).nth(1)?;
     let y = row.split("\"y\":").nth(1)?;
     let end = y.find(['}', ',']).unwrap_or(y.len());
     y[..end].trim().parse().ok()
@@ -129,6 +129,9 @@ fn main() -> reldb::Result<()> {
 
     let mut latency_rows = Vec::new();
     let mut warm_ns_rows = Vec::new();
+    let mut miss_ns_rows = Vec::new();
+    let mut first_ns_rows = Vec::new();
+    let mut pre_ns_rows = Vec::new();
     let mut speedup_rows = Vec::new();
     let mut throughput_rows = Vec::new();
     for (est, suite) in cases {
@@ -152,11 +155,48 @@ fn main() -> reldb::Result<()> {
         mean_latency(est, &suite.queries, false); // prime every template
         let warm = mean_latency(est, &suite.queries, false);
         let speedup = cold / warm;
+
+        // Memo-miss replay: plans stay resident, but the evidence-
+        // signature memo is dropped before every query, so each estimate
+        // re-encodes its predicate masks and replays the masked suffix.
+        let miss = {
+            let mut total = 0.0;
+            for q in &suite.queries {
+                est.clear_reduce_memos();
+                let (r, secs) = time_it(|| est.estimate(q).expect("estimate"));
+                assert!(r.is_finite());
+                total += secs;
+            }
+            total / n as f64
+        };
+
+        // Precompiled first touch: plans are compiled ahead of time from
+        // the suite's own template manifest, then each query's *first*
+        // estimate is measured against an otherwise-untouched cache.
+        let keys = est.plan_keys();
+        let pre_first = {
+            let mut total = 0.0;
+            for q in &suite.queries {
+                est.clear_plan_cache();
+                est.precompile(&keys);
+                let (r, secs) = time_it(|| est.estimate(q).expect("estimate"));
+                assert!(r.is_finite());
+                total += secs;
+            }
+            total / n as f64
+        };
+        // Restore a fully warm cache for the throughput passes below.
+        mean_latency(est, &suite.queries, false);
+
         eprintln!(
-            "{}: {n} queries, cold {:.1}us, warm {:.1}us, speedup {speedup:.1}x",
+            "{}: {n} queries, cold {:.1}us, warm {:.1}us, miss {:.1}us, \
+             precompiled-first {:.1}us ({:.1}x warm), speedup {speedup:.1}x",
             suite.name,
             cold * 1e6,
             warm * 1e6,
+            miss * 1e6,
+            pre_first * 1e6,
+            pre_first / warm,
         );
         latency_rows.push(FigRow {
             method: format!("{}/cold", suite.name),
@@ -172,6 +212,21 @@ fn main() -> reldb::Result<()> {
             method: suite.name.clone(),
             x: n as f64,
             y: warm * 1e9,
+        });
+        miss_ns_rows.push(FigRow {
+            method: suite.name.clone(),
+            x: n as f64,
+            y: miss * 1e9,
+        });
+        first_ns_rows.push(FigRow {
+            method: suite.name.clone(),
+            x: n as f64,
+            y: cold * 1e9,
+        });
+        pre_ns_rows.push(FigRow {
+            method: suite.name.clone(),
+            x: n as f64,
+            y: pre_first * 1e9,
         });
         speedup_rows.push(FigRow { method: suite.name.clone(), x: n as f64, y: speedup });
 
@@ -200,6 +255,24 @@ fn main() -> reldb::Result<()> {
         "ns/query",
         &warm_ns_rows,
     );
+    print_series(
+        "Estimate: miss ns per query class",
+        "queries",
+        "ns/query",
+        &miss_ns_rows,
+    );
+    print_series(
+        "Estimate: first-touch ns per query class",
+        "queries",
+        "ns/query",
+        &first_ns_rows,
+    );
+    print_series(
+        "Estimate: precompiled first-touch ns per query class",
+        "queries",
+        "ns/query",
+        &pre_ns_rows,
+    );
     print_series("Estimate: warm-over-cold speedup", "queries", "x", &speedup_rows);
     print_series(
         "Estimate: warm batch throughput vs threads",
@@ -207,49 +280,65 @@ fn main() -> reldb::Result<()> {
         "queries/s",
         &throughput_rows,
     );
-    let gate_measured =
-        warm_ns_rows.iter().find(|r| r.method == "census-eq").map(|r| r.y);
+    let gate_of =
+        |rows: &[FigRow]| rows.iter().find(|r| r.method == "census-eq").map(|r| r.y);
+    let gates = [
+        ("warm ns per query class", gate_of(&warm_ns_rows)),
+        ("miss ns per query class", gate_of(&miss_ns_rows)),
+        ("first-touch ns per query class", gate_of(&first_ns_rows)),
+    ];
     emit_bench_json(
         &opts,
         "estimate",
         &[
             ("per-query latency cold vs warm (us)".to_owned(), latency_rows),
             ("warm ns per query class".to_owned(), warm_ns_rows),
+            ("miss ns per query class".to_owned(), miss_ns_rows),
+            ("first-touch ns per query class".to_owned(), first_ns_rows),
+            ("precompiled first-touch ns per query class".to_owned(), pre_ns_rows),
             ("warm-over-cold speedup (x)".to_owned(), speedup_rows),
             ("warm batch throughput vs threads (queries/s)".to_owned(), throughput_rows),
         ],
     );
 
-    // `--gate <baseline.json>`: fail when the census-eq warm mean
-    // regresses more than 25% against the checked-in baseline. Caveat:
-    // the baseline is recorded in full mode while CI gates with
-    // `--quick` (smaller database and suite). Warm means are signature-
-    // memo-hit dominated either way (decode + hash + LRU lookup), and
-    // the quick run's smaller masks keep it below the full-mode
-    // baseline, so the gate catches structural warm-path regressions —
-    // e.g. hits silently becoming replays — not percent-level drift;
-    // recalibrate the baseline with a full run when the warm path
-    // intentionally changes.
+    // `--gate <baseline.json>`: fail when the census-eq warm, memo-miss,
+    // or first-touch mean regresses more than 25% against the checked-in
+    // baseline. Caveat: the baseline is recorded in full mode while CI
+    // gates with `--quick` (smaller database and suite). All three means
+    // are structurally dominated the same way in both modes — warm by
+    // decode + memo lookup, miss by the masked replay, first-touch by
+    // plan compilation — and the quick run's smaller domains keep each
+    // below its full-mode baseline, so the gate catches structural
+    // regressions (hits becoming replays, masked kernels going dense,
+    // compile blow-ups), not percent-level drift; recalibrate the
+    // baseline with a full run when those paths intentionally change.
+    // Series missing from an older baseline are skipped.
     if let Some(base_path) =
         argv.iter().position(|a| a == "--gate").and_then(|i| argv.get(i + 1))
     {
-        let measured = gate_measured.expect("census-eq suite always runs");
-        match baseline_warm_ns(base_path) {
-            Some(base) => {
-                let ratio = measured / base;
-                eprintln!(
-                    "gate: census-eq warm {measured:.0}ns vs baseline {base:.0}ns \
-                     (ratio {ratio:.2}, limit 1.25)"
-                );
-                if ratio > 1.25 {
-                    eprintln!("gate: warm-path regression exceeds 25%, failing");
-                    std::process::exit(1);
+        let mut failed = false;
+        for (title, measured) in gates {
+            let measured = measured.expect("census-eq suite always runs");
+            match baseline_ns(base_path, title, "census-eq") {
+                Some(base) => {
+                    let ratio = measured / base;
+                    eprintln!(
+                        "gate: census-eq {title}: {measured:.0}ns vs baseline \
+                         {base:.0}ns (ratio {ratio:.2}, limit 1.25)"
+                    );
+                    if ratio > 1.25 {
+                        eprintln!("gate: `{title}` regression exceeds 25%");
+                        failed = true;
+                    }
                 }
+                None => eprintln!(
+                    "gate: no census-eq row in '{title}' of {base_path}; skipping"
+                ),
             }
-            None => eprintln!(
-                "gate: no census-eq row in 'warm ns per query class' of {base_path}; \
-                 skipping"
-            ),
+        }
+        if failed {
+            eprintln!("gate: latency regression exceeds 25%, failing");
+            std::process::exit(1);
         }
     }
     Ok(())

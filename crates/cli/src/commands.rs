@@ -4,8 +4,8 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use prmsel::{
-    learn_prm, load_model, save_model, CpdKind, PrmEstimator, PrmLearnConfig, SchemaInfo,
-    SelectivityEstimator,
+    learn_prm, load_manifest, load_model, save_manifest, save_model, CpdKind,
+    PrmEstimator, PrmLearnConfig, SchemaInfo, SelectivityEstimator,
 };
 use reldb::{load_table, parse_query, Database, DatabaseBuilder};
 
@@ -107,9 +107,10 @@ prmsel — selectivity estimation using probabilistic relational models
 USAGE:
   prmsel build    --csv-dir DIR --out FILE [--budget BYTES] [--cpd tree|table]
   prmsel estimate --model FILE [--strict] [--monitor HOST:PORT]
+                  [--manifest FILE] [--save-manifest FILE]
                   'SELECT COUNT(*) FROM ... WHERE ...'
   prmsel plan     --model FILE 'SELECT COUNT(*) FROM ... WHERE ...'
-  prmsel explain  --model FILE [--truth N | --csv-dir DIR]
+  prmsel explain  --model FILE [--truth N | --csv-dir DIR] [--manifest FILE]
                   [--trace-json FILE] 'SELECT COUNT(*) FROM ... WHERE ...'
   prmsel inspect  --csv-dir DIR
   prmsel evaluate --model FILE --csv-dir DIR 'SELECT COUNT(*) ...'
@@ -127,6 +128,7 @@ OPTIONS (all commands):
   PRMSEL_THREADS=N worker threads for learning/estimation (default: all
                    cores; results are identical at any thread count)
   PRMSEL_TRACE_RING=N  flight-recorder ring capacity (default 256)
+  PRMSEL_PRECOMPILE=FILE  template manifest precompiled at model load
   PRMSEL_WIDTH_BUDGET=N  refuse eliminations materializing > N factor cells
   PRMSEL_DEADLINE_MS=N   per-estimate wall-clock deadline
   PRMSEL_FAILPOINTS=site=err|panic|delay:MS[,...]  fault injection (testing)
@@ -134,12 +136,17 @@ OPTIONS (all commands):
 `estimate` runs the degradation ladder (cached exact → uncached exact →
 AVI → uniform guess) and reports any degradation after the estimate;
 `--strict` returns the typed error instead of degrading.
+`--save-manifest FILE` exports the resident query templates as a
+precompile manifest; `--manifest FILE` (also `PRMSEL_PRECOMPILE=FILE`)
+compiles those templates ahead of the first query so first touches are
+plan-cache hits.
 
 `explain` flight-records the query cold (plan compile) and warm (plan
-replay) and prints both traces as timing trees; `--truth N` (or
-`--csv-dir DIR` for an exact count) attaches the q-error, and
-`--trace-json FILE` writes the traces as Chrome trace_event JSON for
-chrome://tracing / Perfetto.
+replay) and prints both traces as timing trees; with `--manifest FILE`
+the first trace is the precompiled first touch (plan-cache hit, no
+compile phase) instead. `--truth N` (or `--csv-dir DIR` for an exact
+count) attaches the q-error, and `--trace-json FILE` writes the traces
+as Chrome trace_event JSON for chrome://tracing / Perfetto.
 
 `stats` builds a model, runs an example workload, and dumps the metrics
 registry (JSON by default, a table with --pretty); `--traces` appends a
@@ -216,7 +223,15 @@ fn open_estimator(args: &[String]) -> CliResult<PrmEstimator> {
     let file = std::fs::File::open(&path)
         .map_err(|e| CliError(format!("cannot open {}: {e}", path.display())))?;
     let (prm, schema) = load_model(std::io::BufReader::new(file))?;
-    Ok(PrmEstimator::from_parts(prm, schema, "PRM"))
+    let est = PrmEstimator::from_parts(prm, schema, "PRM");
+    if let Some(manifest) = flag_value(args, "--manifest") {
+        let file = std::fs::File::open(manifest)
+            .map_err(|e| CliError(format!("cannot open {manifest}: {e}")))?;
+        let keys = load_manifest(std::io::BufReader::new(file))?;
+        let n = est.precompile(&keys);
+        obs::info!("precompiled {n} of {} manifest template(s)", keys.len());
+    }
+    Ok(est)
 }
 
 fn estimate(args: &[String]) -> CliResult<String> {
@@ -241,6 +256,16 @@ fn estimate(args: &[String]) -> CliResult<String> {
         for (rung, err) in &outcome.degradations {
             out.push_str(&format!("\n  {rung}: {err}"));
         }
+    }
+    if let Some(path) = flag_value(&args, "--save-manifest") {
+        let keys = ladder.inner().plan_keys();
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
+        save_manifest(&keys, std::io::BufWriter::new(file))?;
+        out.push_str(&format!(
+            "\nwrote template manifest ({} template(s)) to {path}",
+            keys.len()
+        ));
     }
     if let Some(server) = monitor {
         out.push_str(&format!("\nmonitor: served http://{}", server.addr()));
@@ -282,7 +307,13 @@ fn explain(args: &[String]) -> CliResult<String> {
     let query = parse_query(sql_arg(args)?)?;
     let mut out = est.explain(&query)?;
 
-    est.clear_plan_cache();
+    // With a precompiled template manifest (`--manifest`) the first trace
+    // shows the production first touch: a plan-cache hit with no compile
+    // phase. Without one, start cold so the compile cost is on display.
+    let precompiled = flag_value(args, "--manifest").is_some();
+    if !precompiled {
+        est.clear_plan_cache();
+    }
     obs::flight::set_recording(true);
     let cold_result = est.estimate(&query);
     let cold = obs::flight::ring().find(obs::flight::last_finished_id());
@@ -318,7 +349,11 @@ fn explain(args: &[String]) -> CliResult<String> {
 
     let mut traces = Vec::new();
     if let Some(t) = cold {
-        out.push_str("\nflight trace (cold, plan compiled):\n");
+        if precompiled {
+            out.push_str("\nflight trace (first touch, precompiled plan replayed):\n");
+        } else {
+            out.push_str("\nflight trace (cold, plan compiled):\n");
+        }
         out.push_str(&t.to_explain_tree());
         traces.push(t);
     }
@@ -724,6 +759,66 @@ mod tests {
     }
 
     #[test]
+    fn manifest_precompile_round_trip() {
+        let dir = dump_db("manifest");
+        let model = dir.join("model_manifest.prm");
+        run(&s(&[
+            "build",
+            "--csv-dir",
+            dir.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let manifest = dir.join("templates.man");
+        let sql = "SELECT COUNT(*) FROM contact c WHERE c.contype = 2";
+        // Export the resident templates after one estimate.
+        let out = run(&s(&[
+            "estimate",
+            "--model",
+            model.to_str().unwrap(),
+            "--save-manifest",
+            manifest.to_str().unwrap(),
+            sql,
+        ]))
+        .unwrap();
+        assert!(out.contains("wrote template manifest (1 template(s))"), "{out}");
+        let baseline: f64 = out.lines().next().unwrap().trim().parse().unwrap();
+        // A fresh process loading the manifest answers identically.
+        let out = run(&s(&[
+            "estimate",
+            "--model",
+            model.to_str().unwrap(),
+            "--manifest",
+            manifest.to_str().unwrap(),
+            sql,
+        ]))
+        .unwrap();
+        let precompiled: f64 = out.lines().next().unwrap().trim().parse().unwrap();
+        assert_eq!(baseline.to_bits(), precompiled.to_bits());
+        // With the manifest, the first touch is a plan-cache hit: no
+        // MISS annotation and no compile phase anywhere in the traces.
+        with_recording_lock(|| {
+            let out = run(&s(&[
+                "explain",
+                "--model",
+                model.to_str().unwrap(),
+                "--manifest",
+                manifest.to_str().unwrap(),
+                sql,
+            ]))
+            .unwrap();
+            assert!(
+                out.contains("flight trace (first touch, precompiled plan replayed)"),
+                "{out}"
+            );
+            assert!(out.contains("plan cache: HIT (replay only)"), "{out}");
+            assert!(!out.contains("plan cache: MISS"), "{out}");
+            assert!(!out.contains("phase compile"), "{out}");
+        });
+    }
+
+    #[test]
     fn explain_attaches_truth_and_writes_chrome_json() {
         let dir = dump_db("explain_truth");
         let model = dir.join("model_truth.prm");
@@ -865,6 +960,8 @@ mod tests {
             "prm.model.bytes",
             "prm.estimate.ns",
             "prm.plan.miss",
+            "prm.plan.reduce.hit_ratio",
+            "prm.plan.precompiled",
             "prm.plan.compile.ns",
             "prm.factor.materialize",
             "prm.qebn.nodes",

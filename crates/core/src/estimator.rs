@@ -15,7 +15,7 @@ use reldb::{Database, Domain, Pred, Query};
 
 use crate::error::{Error, Result};
 use crate::learn::{learn_prm, PrmLearnConfig};
-use crate::plan::{FactorCache, PlanCache, PlanKey, QueryPlan};
+use crate::plan::{FactorCache, FoldCache, PlanCache, PlanKey, QueryPlan};
 use crate::prm::Prm;
 use crate::qebn::QueryEvalBn;
 use crate::schema::SchemaInfo;
@@ -211,6 +211,7 @@ pub struct PrmEstimator {
     engine: InferenceEngine,
     factors: FactorCache,
     plans: PlanCache,
+    folds: FoldCache,
 }
 
 impl PrmEstimator {
@@ -230,6 +231,7 @@ impl PrmEstimator {
             schema: SchemaInfo::from_db(db)?,
             engine: InferenceEngine::Exact,
             plans: PlanCache::with_default_capacity(),
+            folds: FoldCache::new(),
         };
         obs::gauge!("prm.model.bytes").set(est.prm.size_bytes() as f64);
         obs::info!(
@@ -250,20 +252,24 @@ impl PrmEstimator {
             schema: SchemaInfo::from_db(db)?,
             engine: InferenceEngine::Exact,
             plans: PlanCache::with_default_capacity(),
+            folds: FoldCache::new(),
         })
     }
 
     /// Assembles an estimator from persisted artifacts (see
     /// [`crate::persist`]) — no database access needed at estimation time.
     pub fn from_parts(prm: Prm, schema: SchemaInfo, name: impl Into<String>) -> Self {
-        PrmEstimator {
+        let est = PrmEstimator {
             name: name.into(),
             factors: FactorCache::new(&prm),
             prm,
             schema,
             engine: InferenceEngine::Exact,
             plans: PlanCache::with_default_capacity(),
-        }
+            folds: FoldCache::new(),
+        };
+        est.precompile_from_env();
+        est
     }
 
     /// Selects the inference engine used for `P(E)`.
@@ -279,7 +285,9 @@ impl PrmEstimator {
         self.prm = prm;
         self.schema = schema;
         self.plans.clear();
+        self.folds = FoldCache::new();
         obs::gauge!("prm.model.bytes").set(self.prm.size_bytes() as f64);
+        self.precompile_from_env();
     }
 
     /// Caps the number of resident compiled plans (`0` disables plan
@@ -291,6 +299,56 @@ impl PrmEstimator {
     /// Drops every compiled plan (cold-cache starting point for benches).
     pub fn clear_plan_cache(&self) {
         self.plans.clear();
+    }
+
+    /// Drops every resident plan's evidence-signature memo while keeping
+    /// the plans themselves — the memo-*miss* starting point for benches:
+    /// the next estimate replays the masked suffix but skips compilation.
+    pub fn clear_reduce_memos(&self) {
+        self.plans.clear_reduce_memos();
+    }
+
+    /// The templates currently resident in the plan cache, most recently
+    /// used first — the natural contents of a precompile manifest (see
+    /// [`crate::save_manifest`]).
+    pub fn plan_keys(&self) -> Vec<PlanKey> {
+        self.plans.keys()
+    }
+
+    /// Compiles plans for `keys` ahead of queries (fanned out across the
+    /// worker pool), so first touches of those templates hit the plan
+    /// cache and pay only the evidence-dependent replay suffix. Keys that
+    /// are already resident or fail to compile are skipped. Returns the
+    /// number of plans inserted.
+    pub fn precompile(&self, keys: &[PlanKey]) -> usize {
+        let _span = obs::span("prm.plan.precompile");
+        self.plans.precompile(&self.prm, &self.schema, &self.factors, &self.folds, keys)
+    }
+
+    /// Precompiles from the manifest named by `PRMSEL_PRECOMPILE`, if
+    /// set. Failures (missing/corrupt manifest) are logged, never fatal:
+    /// precompilation is an optimization, and the estimator answers
+    /// correctly without it.
+    fn precompile_from_env(&self) {
+        // Register the counter even when idle so operators can tell
+        // "precompile off" (0) apart from "not exported".
+        obs::counter!("prm.plan.precompiled").add(0);
+        let Ok(path) = std::env::var("PRMSEL_PRECOMPILE") else { return };
+        if path.is_empty() {
+            return;
+        }
+        let keys = match std::fs::File::open(&path)
+            .map_err(|e| crate::Error::Internal(format!("open {path}: {e}")))
+            .and_then(|f| crate::persist::load_manifest(std::io::BufReader::new(f)))
+        {
+            Ok(keys) => keys,
+            Err(e) => {
+                obs::warn!("PRMSEL_PRECOMPILE={path}: {e}; skipping precompilation");
+                return;
+            }
+        };
+        let n = self.precompile(&keys);
+        obs::info!("precompiled {n} of {} manifest templates from {path}", keys.len());
     }
 
     /// Number of resident compiled plans.
@@ -405,7 +463,13 @@ impl SelectivityEstimator for PrmEstimator {
                 let plan = {
                     let _plan_phase = obs::flight::phase("plan");
                     let (plan, hit) = self.plans.get_or_compile(query, || {
-                        QueryPlan::compile(&self.prm, &self.schema, &self.factors, query)
+                        QueryPlan::compile_with(
+                            &self.prm,
+                            &self.schema,
+                            &self.factors,
+                            query,
+                            Some(&self.folds),
+                        )
                     })?;
                     warm = hit;
                     plan

@@ -99,8 +99,8 @@ pub use metrics::{
     template_label, template_telemetry_on, SuiteEval,
 };
 pub use nonkey::JoinSide;
-pub use persist::{load_model, save_model};
-pub use plan::{FactorCache, PlanCache, PlanKey, QueryPlan};
+pub use persist::{load_manifest, load_model, save_manifest, save_model};
+pub use plan::{FactorCache, FoldCache, PlanCache, PlanKey, QueryPlan};
 pub use planner::{best_plan, enumerate_plans, Plan};
 pub use prm::{JiParentRef, ParentRef, Prm};
 pub use qebn::{NodeSource, QueryEvalBn};

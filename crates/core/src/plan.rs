@@ -73,10 +73,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use bayesnet::factor::{
-    product_into, product_sum_out_into, reduce_in_place, strides_in, sum_out_into,
+    product_into, product_masked_into, product_sum_out_into, product_sum_out_masked_into,
+    strides_in, sum_out_into, sum_out_masked_into, DENSE,
 };
 use bayesnet::{elimination_order, Factor, InferAbort};
-use reldb::Query;
+use reldb::{Join, Pred, Query};
 
 use crate::error::Result;
 use crate::prm::Prm;
@@ -152,11 +153,11 @@ impl FactorCache {
 /// one compiled plan.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlanKey {
-    vars: Vec<String>,
+    pub(crate) vars: Vec<String>,
     /// `(child var, fk attr, parent var)` per keyjoin.
-    joins: Vec<(usize, String, usize)>,
+    pub(crate) joins: Vec<(usize, String, usize)>,
     /// `(var, attr)` per predicate, in predicate order.
-    preds: Vec<(usize, String)>,
+    pub(crate) preds: Vec<(usize, String)>,
 }
 
 impl PlanKey {
@@ -221,6 +222,37 @@ impl PlanKey {
             h.write_str(p.attr());
         }
         h.finish()
+    }
+
+    /// A synthetic query carrying this template's structure with no
+    /// constants: every predicate becomes an empty `In` (an all-false
+    /// mask). Compilation only reads each predicate's `(var, attr)` slot,
+    /// so `PlanKey::of(key.to_template_query()) == key` and the resulting
+    /// plan is the one every live query of the template shares — this is
+    /// what lets [`PlanCache::precompile`] build plans from a persisted
+    /// manifest without any query text.
+    pub fn to_template_query(&self) -> Query {
+        Query {
+            vars: self.vars.clone(),
+            joins: self
+                .joins
+                .iter()
+                .map(|(child, fk, parent)| Join {
+                    child: *child,
+                    fk_attr: fk.clone(),
+                    parent: *parent,
+                })
+                .collect(),
+            preds: self
+                .preds
+                .iter()
+                .map(|(var, attr)| Pred::In {
+                    var: *var,
+                    attr: attr.clone(),
+                    values: Vec::new(),
+                })
+                .collect(),
+        }
     }
 
     /// Field-wise template equality against a live query — the
@@ -383,6 +415,18 @@ impl<T> LruSlab<T> {
         self.tail = NIL;
     }
 
+    /// Live values in recency order, most recently used first.
+    fn values_mru(&self) -> Vec<&T> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut i = self.head;
+        while i != NIL {
+            let s = self.slots[i].as_ref().expect("list points at live slot");
+            out.push(&s.value);
+            i = s.next;
+        }
+        out
+    }
+
     fn evict_tail(&mut self, on_evict: &mut impl FnMut(&T)) {
         let t = self.tail;
         if t == NIL {
@@ -455,10 +499,14 @@ struct Arena {
     f64s: Vec<f64>,
     bools: Vec<bool>,
     scratch: Vec<usize>,
+    /// Allowed-code lists for the masked kernels, one `[len, code…]`
+    /// region per mask slot at its compile-assigned `codes_off` —
+    /// re-encoded from the decoded bool masks on every memo miss.
+    codes: Vec<usize>,
 }
 
 impl Arena {
-    fn ensure(&mut self, bools: usize, f64s: usize, scratch: usize) {
+    fn ensure(&mut self, bools: usize, f64s: usize, scratch: usize, codes: usize) {
         if self.bools.len() < bools {
             self.bools.resize(bools, false);
         }
@@ -468,12 +516,20 @@ impl Arena {
         if self.scratch.len() < scratch {
             self.scratch.resize(scratch, 0);
         }
+        if self.codes.len() < codes {
+            self.codes.resize(codes, 0);
+        }
     }
 }
 
 thread_local! {
     static ARENA: RefCell<Arena> = const {
-        RefCell::new(Arena { f64s: Vec::new(), bools: Vec::new(), scratch: Vec::new() })
+        RefCell::new(Arena {
+            f64s: Vec::new(),
+            bools: Vec::new(),
+            scratch: Vec::new(),
+            codes: Vec::new(),
+        })
     };
 }
 
@@ -574,41 +630,27 @@ struct PredSlot {
     first: bool,
 }
 
-/// One per-node predicate mask region in the bool arena.
+/// One per-node predicate mask region in the bool arena, plus the
+/// matching allowed-code region in the codes arena (`[len, code…]`,
+/// capacity `card + 1`) the masked kernels walk.
 #[derive(Debug, Clone, Copy)]
 struct MaskSlot {
     node: usize,
     card: usize,
     off: usize,
-}
-
-/// Evidence reduction of one predicate-touched base factor into the `f64`
-/// arena at `off`: copy the base data, then zero disallowed runs per
-/// masked scope variable (in ascending scope order, like the uncached
-/// path — zeroing commutes, so order only matters for auditability).
-#[derive(Debug)]
-struct ReduceStep {
-    factor: usize,
-    off: usize,
-    len: usize,
-    ops: Vec<ReduceOp>,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct ReduceOp {
-    card: usize,
-    inner: usize,
-    mask: usize,
+    codes_off: usize,
 }
 
 /// Where a replay operand's data lives at estimate time.
+///
+/// Predicate-touched base factors are read **in place**: the masked
+/// kernels only ever visit allowed indices, where the reduced data equals
+/// the base data (reduction merely zeroes disallowed runs), so no reduced
+/// copy is ever materialized.
 #[derive(Debug, Clone, Copy)]
 enum Src {
-    /// `factors[i]` — untouched by any predicate mask.
+    /// `factors[i]`, read directly.
     Base(usize),
-    /// `reduce_steps[j]`'s output in the arena (memo hits never reach the
-    /// ops that read these, so the region is always freshly reduced).
-    Reduced(usize),
     /// An intermediate factor produced earlier in the replay.
     Work { off: usize, len: usize },
     /// An evidence-independent intermediate folded at compile time; data
@@ -652,6 +694,48 @@ enum OpKind {
         off: usize,
         len: usize,
     },
+    /// Masked product over evidence-touched operands: iterates only the
+    /// allowed index runs of every masked result axis. `masks[k]` is a
+    /// codes-arena offset or [`DENSE`].
+    ProductMasked {
+        a: Src,
+        b: Src,
+        cards: Vec<usize>,
+        stride_a: Vec<usize>,
+        stride_b: Vec<usize>,
+        masks: Vec<usize>,
+        off: usize,
+        len: usize,
+    },
+    /// Masked fused product-sum-out; `v_mask` restricts the summed
+    /// variable's codes (codes-arena offset or [`DENSE`]).
+    ProductSumOutMasked {
+        a: Src,
+        b: Src,
+        cards: Vec<usize>,
+        stride_a: Vec<usize>,
+        stride_b: Vec<usize>,
+        masks: Vec<usize>,
+        card_v: usize,
+        sav: usize,
+        sbv: usize,
+        v_mask: usize,
+        off: usize,
+        len: usize,
+    },
+    /// Masked single-operand sum-out; `stride` maps each result axis into
+    /// the source, `sv`/`card_v`/`v_mask` describe the summed axis.
+    SumOutMasked {
+        src: Src,
+        cards: Vec<usize>,
+        stride: Vec<usize>,
+        masks: Vec<usize>,
+        card_v: usize,
+        sv: usize,
+        v_mask: usize,
+        off: usize,
+        len: usize,
+    },
 }
 
 impl OpKind {
@@ -660,22 +744,28 @@ impl OpKind {
         match *self {
             OpKind::Product { off, len, .. }
             | OpKind::ProductSumOut { off, len, .. }
-            | OpKind::SumOut { off, len, .. } => (off, len),
+            | OpKind::SumOut { off, len, .. }
+            | OpKind::ProductMasked { off, len, .. }
+            | OpKind::ProductSumOutMasked { off, len, .. }
+            | OpKind::SumOutMasked { off, len, .. } => (off, len),
         }
     }
 
     /// The op's operand sources (compile-time rewriting only).
     fn inputs_mut(&mut self) -> Vec<&mut Src> {
         match self {
-            OpKind::Product { a, b, .. } | OpKind::ProductSumOut { a, b, .. } => {
-                vec![a, b]
-            }
-            OpKind::SumOut { src, .. } => vec![src],
+            OpKind::Product { a, b, .. }
+            | OpKind::ProductSumOut { a, b, .. }
+            | OpKind::ProductMasked { a, b, .. }
+            | OpKind::ProductSumOutMasked { a, b, .. } => vec![a, b],
+            OpKind::SumOut { src, .. } | OpKind::SumOutMasked { src, .. } => vec![src],
         }
     }
 
     /// True when every operand is evidence-independent, i.e. the op
-    /// computes the same bytes for every query of the template.
+    /// computes the same bytes for every query of the template. Masked
+    /// ops read per-query allowed-code lists, so they are never const
+    /// regardless of their operand sources.
     fn is_const(&self) -> bool {
         let constant = |s: &Src| matches!(s, Src::Base(_) | Src::Const { .. });
         match self {
@@ -683,6 +773,9 @@ impl OpKind {
                 constant(a) && constant(b)
             }
             OpKind::SumOut { src, .. } => constant(src),
+            OpKind::ProductMasked { .. }
+            | OpKind::ProductSumOutMasked { .. }
+            | OpKind::SumOutMasked { .. } => false,
         }
     }
 }
@@ -722,8 +815,6 @@ pub struct QueryPlan {
     /// Start of the tmp mask region (== total mask bytes, the memo key
     /// length).
     tmp_off: usize,
-    /// Evidence reduction program (one step per predicate-touched factor).
-    reduce_steps: Vec<ReduceStep>,
     /// Precompiled elimination replay. Steps keep their budget metadata
     /// even when constant folding emptied their op list, so width and
     /// deadline checks fire for every eliminated variable exactly as the
@@ -731,8 +822,9 @@ pub struct QueryPlan {
     steps: Vec<Step>,
     /// Outputs of constant-folded ops, indexed by the arena offsets the
     /// replay would have used (`Src::Const` regions; the rest is unused
-    /// zero padding).
-    consts: Vec<f64>,
+    /// zero padding). `Arc`-shared so plans whose folded prefix computes
+    /// the same bytes (see [`FoldCache`]) hold one buffer.
+    consts: Arc<Vec<f64>>,
     /// Scalar factors left after the last step, in residual order; their
     /// product (left fold from 1.0, like `Iterator::product`) is `P(E)`.
     leftovers: Vec<Src>,
@@ -743,6 +835,7 @@ pub struct QueryPlan {
     bools_len: usize,
     f64s_len: usize,
     scratch_len: usize,
+    codes_len: usize,
     /// Reduced-factor memo (capacity snapshot at compile time; `0` when
     /// the template has no predicates).
     memo_capacity: usize,
@@ -760,6 +853,20 @@ impl QueryPlan {
         schema: &SchemaInfo,
         cache: &FactorCache,
         query: &Query,
+    ) -> Result<QueryPlan> {
+        QueryPlan::compile_with(prm, schema, cache, query, None)
+    }
+
+    /// [`QueryPlan::compile`] with an optional [`FoldCache`]: when given,
+    /// the folded-constant buffer is interned content-keyed, so plans of
+    /// one model whose evidence-independent prefix computes the same
+    /// bytes share a single allocation.
+    pub fn compile_with(
+        prm: &Prm,
+        schema: &SchemaInfo,
+        cache: &FactorCache,
+        query: &Query,
+        folds: Option<&FoldCache>,
     ) -> Result<QueryPlan> {
         failpoint::fail_point!("plan.compile").map_err(crate::error::Error::from)?;
         let qebn = QueryEvalBn::build(prm, schema, query)?;
@@ -786,10 +893,13 @@ impl QueryPlan {
         let order = elimination_order(&scopes, &elim, |v| qebn.bn.card(v));
 
         // Predicate decode layout: one mask slot per distinct node, a tmp
-        // region (for intersecting repeat predicates) after them.
+        // region (for intersecting repeat predicates) after them; each
+        // slot also owns a `[len, code…]` region in the codes arena for
+        // the masked kernels.
         let mut mask_slots: Vec<MaskSlot> = Vec::new();
         let mut pred_slots = Vec::with_capacity(query.preds.len());
         let mut bool_off = 0usize;
+        let mut codes_len = 0usize;
         for (pred, &node) in query.preds.iter().zip(&qebn.pred_nodes) {
             let table = qebn.closure_tables[pred.var()];
             let attr = schema.attr_index(table, pred.attr())?;
@@ -797,8 +907,14 @@ impl QueryPlan {
             let (mask, first) = match mask_slots.iter().position(|m| m.node == node) {
                 Some(i) => (i, false),
                 None => {
-                    mask_slots.push(MaskSlot { node, card, off: bool_off });
+                    mask_slots.push(MaskSlot {
+                        node,
+                        card,
+                        off: bool_off,
+                        codes_off: codes_len,
+                    });
                     bool_off += card;
+                    codes_len += card + 1;
                     (mask_slots.len() - 1, true)
                 }
             };
@@ -807,53 +923,66 @@ impl QueryPlan {
         let tmp_off = bool_off;
         let bools_len = tmp_off + pred_slots.iter().map(|s| s.card).max().unwrap_or(0);
 
-        // Reduction program: factors whose scope meets a masked node copy
-        // into the arena and zero disallowed runs; untouched factors are
-        // read in place forever.
-        let mut reduce_steps: Vec<ReduceStep> = Vec::new();
-        let mut f64_off = 0usize;
-        let mut src_of: Vec<Src> = Vec::with_capacity(n);
-        for (i, f) in factors.iter().enumerate() {
-            let mut ops = Vec::new();
-            for (pos, &sv) in f.vars().iter().enumerate() {
-                if let Some(mask) = mask_slots.iter().position(|m| m.node == sv) {
-                    let card = f.cards()[pos];
-                    let inner: usize =
-                        f.cards()[pos + 1..].iter().product::<usize>().max(1);
-                    ops.push(ReduceOp { card, inner, mask });
-                }
-            }
-            if ops.is_empty() {
-                src_of.push(Src::Base(i));
-            } else {
-                src_of.push(Src::Reduced(reduce_steps.len()));
-                reduce_steps.push(ReduceStep {
-                    factor: i,
-                    off: f64_off,
-                    len: f.len(),
-                    ops,
-                });
-                f64_off += f.len();
-            }
-        }
-
         // Lower the recorded order into the replay program by simulating
         // `try_eliminate_in_order` over scopes: same partition, same
         // left-fold of products with the final one fused into the
         // marginalization, same residual order — so the runtime performs
         // the identical arithmetic with zero per-query bookkeeping.
+        //
+        // Each simulated slot tracks which of its scope variables are
+        // *pinned* by a predicate mask. An op with any pinned operand
+        // variable lowers to a masked kernel that walks only the allowed
+        // codes of those axes, reading the *base* factor data directly:
+        // at every allowed index the reduced data equals the base data,
+        // and every skipped index would have contributed exactly +0.0, so
+        // no reduced copy is ever materialized (DESIGN.md §6h). Summing a
+        // pinned variable out un-pins it — the masked op wrote true
+        // (reduced-equivalent) dense data, so downstream ops are ordinary
+        // dense ops again.
         struct Sim {
             vars: Vec<usize>,
             cards: Vec<usize>,
             src: Src,
+            /// `(scope var, mask slot)` per still-masked variable, sorted.
+            pinned: Vec<(usize, usize)>,
         }
+        fn merge_pinned(
+            a: &[(usize, usize)],
+            b: &[(usize, usize)],
+        ) -> Vec<(usize, usize)> {
+            let mut out = a.to_vec();
+            for &p in b {
+                if let Err(at) = out.binary_search(&p) {
+                    out.insert(at, p);
+                }
+            }
+            out
+        }
+        let mask_of = |pinned: &[(usize, usize)], var: usize| -> usize {
+            pinned
+                .iter()
+                .find(|&&(v, _)| v == var)
+                .map_or(DENSE, |&(_, m)| mask_slots[m].codes_off)
+        };
+        let masks_for =
+            |pinned: &[(usize, usize)], result_vars: &[usize]| -> Vec<usize> {
+                result_vars.iter().map(|&v| mask_of(pinned, v)).collect()
+            };
+        let mut f64_off = 0usize;
         let mut slots: Vec<Sim> = factors
             .iter()
-            .zip(&src_of)
-            .map(|(f, &src)| Sim {
+            .enumerate()
+            .map(|(i, f)| Sim {
                 vars: f.vars().to_vec(),
                 cards: f.cards().to_vec(),
-                src,
+                src: Src::Base(i),
+                pinned: f
+                    .vars()
+                    .iter()
+                    .filter_map(|&sv| {
+                        mask_slots.iter().position(|m| m.node == sv).map(|m| (sv, m))
+                    })
+                    .collect(),
             })
             .collect();
         let mut steps: Vec<Step> = Vec::new();
@@ -872,25 +1001,62 @@ impl QueryPlan {
             let mut acc = iter.next().expect("at least one factor");
             let result = if n_factors == 1 {
                 let pos = acc.vars.iter().position(|&v| v == var).expect("var in scope");
-                let outer: usize = acc.cards[..pos].iter().product::<usize>().max(1);
                 let card = acc.cards[pos];
-                let inner: usize = acc.cards[pos + 1..].iter().product::<usize>().max(1);
                 let mut vars = acc.vars;
                 let mut cards = acc.cards;
                 vars.remove(pos);
-                cards.remove(pos);
-                let len = outer * inner;
-                ops.push(OpKind::SumOut {
-                    src: acc.src,
-                    outer,
-                    card,
-                    inner,
-                    off: f64_off,
-                    len,
-                });
+                let len: usize = {
+                    let mut c = cards.clone();
+                    c.remove(pos);
+                    c.iter().product::<usize>().max(1)
+                };
+                if acc.pinned.is_empty() {
+                    let outer: usize = cards[..pos].iter().product::<usize>().max(1);
+                    let inner: usize = cards[pos + 1..].iter().product::<usize>().max(1);
+                    cards.remove(pos);
+                    ops.push(OpKind::SumOut {
+                        src: acc.src,
+                        outer,
+                        card,
+                        inner,
+                        off: f64_off,
+                        len,
+                    });
+                } else {
+                    let mut stride = {
+                        let full: Vec<usize> = {
+                            let mut s = vec![0usize; cards.len()];
+                            let mut acc_s = 1usize;
+                            for i in (0..cards.len()).rev() {
+                                s[i] = acc_s;
+                                acc_s *= cards[i];
+                            }
+                            s
+                        };
+                        full
+                    };
+                    let sv = stride.remove(pos);
+                    let v_mask = mask_of(&acc.pinned, var);
+                    cards.remove(pos);
+                    let masks = masks_for(&acc.pinned, &vars);
+                    scratch_len = scratch_len.max(2 * cards.len());
+                    ops.push(OpKind::SumOutMasked {
+                        src: acc.src,
+                        cards: cards.clone(),
+                        stride,
+                        masks,
+                        card_v: card,
+                        sv,
+                        v_mask,
+                        off: f64_off,
+                        len,
+                    });
+                }
                 let src = Src::Work { off: f64_off, len };
                 f64_off += len;
-                Sim { vars, cards, src }
+                let pinned: Vec<(usize, usize)> =
+                    acc.pinned.into_iter().filter(|&(v, _)| v != var).collect();
+                Sim { vars, cards, src, pinned }
             } else {
                 for _ in 0..n_factors - 2 {
                     let b = iter.next().expect("n - 2 more factors");
@@ -899,20 +1065,37 @@ impl QueryPlan {
                     let stride_a = strides_in(&acc.vars, &acc.cards, &uvars);
                     let stride_b = strides_in(&b.vars, &b.cards, &uvars);
                     let len: usize = ucards.iter().product::<usize>().max(1);
-                    scratch_len = scratch_len.max(uvars.len());
-                    ops.push(OpKind::Product {
-                        a: acc.src,
-                        b: b.src,
-                        cards: ucards.clone(),
-                        stride_a,
-                        stride_b,
-                        off: f64_off,
-                        len,
-                    });
+                    let pinned = merge_pinned(&acc.pinned, &b.pinned);
+                    if pinned.is_empty() {
+                        scratch_len = scratch_len.max(uvars.len());
+                        ops.push(OpKind::Product {
+                            a: acc.src,
+                            b: b.src,
+                            cards: ucards.clone(),
+                            stride_a,
+                            stride_b,
+                            off: f64_off,
+                            len,
+                        });
+                    } else {
+                        let masks = masks_for(&pinned, &uvars);
+                        scratch_len = scratch_len.max(2 * uvars.len());
+                        ops.push(OpKind::ProductMasked {
+                            a: acc.src,
+                            b: b.src,
+                            cards: ucards.clone(),
+                            stride_a,
+                            stride_b,
+                            masks,
+                            off: f64_off,
+                            len,
+                        });
+                    }
                     acc = Sim {
                         vars: uvars,
                         cards: ucards,
                         src: Src::Work { off: f64_off, len },
+                        pinned,
                     };
                     f64_off += len;
                 }
@@ -933,22 +1116,45 @@ impl QueryPlan {
                 rstride_a.remove(pos);
                 rstride_b.remove(pos);
                 let len: usize = cards.iter().product::<usize>().max(1);
-                scratch_len = scratch_len.max(cards.len());
-                ops.push(OpKind::ProductSumOut {
-                    a: acc.src,
-                    b: b.src,
-                    cards: cards.clone(),
-                    stride_a: rstride_a,
-                    stride_b: rstride_b,
-                    card_v,
-                    sav,
-                    sbv,
-                    off: f64_off,
-                    len,
-                });
+                let pinned = merge_pinned(&acc.pinned, &b.pinned);
+                if pinned.is_empty() {
+                    scratch_len = scratch_len.max(cards.len());
+                    ops.push(OpKind::ProductSumOut {
+                        a: acc.src,
+                        b: b.src,
+                        cards: cards.clone(),
+                        stride_a: rstride_a,
+                        stride_b: rstride_b,
+                        card_v,
+                        sav,
+                        sbv,
+                        off: f64_off,
+                        len,
+                    });
+                } else {
+                    let v_mask = mask_of(&pinned, var);
+                    let masks = masks_for(&pinned, &vars);
+                    scratch_len = scratch_len.max(2 * cards.len());
+                    ops.push(OpKind::ProductSumOutMasked {
+                        a: acc.src,
+                        b: b.src,
+                        cards: cards.clone(),
+                        stride_a: rstride_a,
+                        stride_b: rstride_b,
+                        masks,
+                        card_v,
+                        sav,
+                        sbv,
+                        v_mask,
+                        off: f64_off,
+                        len,
+                    });
+                }
                 let src = Src::Work { off: f64_off, len };
                 f64_off += len;
-                Sim { vars, cards, src }
+                let pinned: Vec<(usize, usize)> =
+                    pinned.into_iter().filter(|&(v, _)| v != var).collect();
+                Sim { vars, cards, src, pinned }
             };
             steps.push(Step {
                 var,
@@ -1010,16 +1216,19 @@ impl QueryPlan {
             }
         }
 
-        let pred_touched = !reduce_steps.is_empty();
+        let pred_touched = !mask_slots.is_empty();
         let row_factors =
             qebn.closure_tables.iter().map(|&t| prm.tables[t].n_rows as f64).collect();
         let memo_capacity = if pred_touched { reduce_memo_capacity() } else { 0 };
+        let consts = match folds {
+            Some(fc) => fc.intern(consts),
+            None => Arc::new(consts),
+        };
         Ok(QueryPlan {
             factors,
             pred_slots,
             mask_slots,
             tmp_off,
-            reduce_steps,
             steps,
             consts,
             leftovers,
@@ -1027,6 +1236,7 @@ impl QueryPlan {
             bools_len,
             f64s_len: f64_off,
             scratch_len,
+            codes_len,
             memo_capacity,
             memo: ReducedMemo::new(memo_capacity),
         })
@@ -1050,7 +1260,7 @@ impl QueryPlan {
         query: &Query,
         arena: &mut Arena,
     ) -> Result<f64> {
-        arena.ensure(self.bools_len, self.f64s_len, self.scratch_len);
+        arena.ensure(self.bools_len, self.f64s_len, self.scratch_len, self.codes_len);
 
         // --- decode: predicate constants → per-node masks -------------
         let decode = obs::flight::phase("decode");
@@ -1081,11 +1291,15 @@ impl QueryPlan {
         }
         drop(decode);
 
-        // --- reduce: signature-memo lookup, else evidence reduction ---
+        // --- reduce: signature-memo lookup, else allowed-code encode ---
+        // No factor data is copied or zeroed: a miss only re-encodes each
+        // decoded bool mask into its ascending allowed-code list, which
+        // the masked replay kernels walk directly over the *base* factor
+        // data (O(Σ card) total, allocation-free).
         let reduce = obs::flight::phase("reduce");
         let mut memo_p: Option<f64> = None;
         let mut mask_hash = 0u64;
-        if !self.reduce_steps.is_empty() {
+        if !self.mask_slots.is_empty() {
             let all_masks = &arena.bools[..self.tmp_off];
             let mut h = Fnv::new();
             for &m in all_masks {
@@ -1103,21 +1317,21 @@ impl QueryPlan {
                 obs::counter!("prm.plan.reduce.hit").inc();
             } else {
                 obs::counter!("prm.plan.reduce.miss").inc();
-                for rs in &self.reduce_steps {
-                    let dst = &mut arena.f64s[rs.off..rs.off + rs.len];
-                    dst.copy_from_slice(self.factors[rs.factor].data());
-                    for op in &rs.ops {
-                        let ms = &self.mask_slots[op.mask];
-                        let mask = &arena.bools[ms.off..ms.off + ms.card];
-                        reduce_in_place(
-                            &mut arena.f64s[rs.off..rs.off + rs.len],
-                            op.card,
-                            op.inner,
-                            mask,
-                        );
+                for ms in &self.mask_slots {
+                    let mask = &arena.bools[ms.off..ms.off + ms.card];
+                    let region =
+                        &mut arena.codes[ms.codes_off..ms.codes_off + ms.card + 1];
+                    let mut n = 0usize;
+                    for (c, &ok) in mask.iter().enumerate() {
+                        if ok {
+                            n += 1;
+                            region[n] = c;
+                        }
                     }
+                    region[0] = n;
                 }
             }
+            refresh_reduce_hit_ratio();
         }
         drop(reduce);
 
@@ -1182,7 +1396,7 @@ impl QueryPlan {
         drop(eliminate);
         // Memoize only after the replay succeeded, so budget refusals and
         // failpoint injections are never cached as answers.
-        if memo_p.is_none() && !self.reduce_steps.is_empty() && self.memo_capacity > 0 {
+        if memo_p.is_none() && !self.mask_slots.is_empty() && self.memo_capacity > 0 {
             let entry =
                 Arc::new(MemoEntry { masks: arena.bools[..self.tmp_off].to_vec(), p });
             self.memo.lock().insert(mask_hash, entry, &mut |_| {});
@@ -1244,16 +1458,102 @@ impl QueryPlan {
                 let sv = self.resolve(src, lo);
                 sum_out_into(sv, *outer, *card, *inner, out);
             }
+            OpKind::ProductMasked {
+                a,
+                b,
+                cards,
+                stride_a,
+                stride_b,
+                masks,
+                off,
+                len,
+            } => {
+                let (lo, hi) = arena.f64s.split_at_mut(*off);
+                let lo: &[f64] = lo;
+                let out = &mut hi[..*len];
+                let av = self.resolve(a, lo);
+                let bv = self.resolve(b, lo);
+                product_masked_into(
+                    av,
+                    bv,
+                    cards,
+                    stride_a,
+                    stride_b,
+                    masks,
+                    &arena.codes,
+                    &mut arena.scratch,
+                    out,
+                );
+            }
+            OpKind::ProductSumOutMasked {
+                a,
+                b,
+                cards,
+                stride_a,
+                stride_b,
+                masks,
+                card_v,
+                sav,
+                sbv,
+                v_mask,
+                off,
+                len,
+            } => {
+                let (lo, hi) = arena.f64s.split_at_mut(*off);
+                let lo: &[f64] = lo;
+                let out = &mut hi[..*len];
+                let av = self.resolve(a, lo);
+                let bv = self.resolve(b, lo);
+                product_sum_out_masked_into(
+                    av,
+                    bv,
+                    cards,
+                    stride_a,
+                    stride_b,
+                    masks,
+                    &arena.codes,
+                    *card_v,
+                    *sav,
+                    *sbv,
+                    *v_mask,
+                    &mut arena.scratch,
+                    out,
+                );
+            }
+            OpKind::SumOutMasked {
+                src,
+                cards,
+                stride,
+                masks,
+                card_v,
+                sv,
+                v_mask,
+                off,
+                len,
+            } => {
+                let (lo, hi) = arena.f64s.split_at_mut(*off);
+                let lo: &[f64] = lo;
+                let out = &mut hi[..*len];
+                let data = self.resolve(src, lo);
+                sum_out_masked_into(
+                    data,
+                    cards,
+                    stride,
+                    masks,
+                    &arena.codes,
+                    *card_v,
+                    *sv,
+                    *v_mask,
+                    &mut arena.scratch,
+                    out,
+                );
+            }
         }
     }
 
     fn resolve<'a>(&'a self, src: &Src, lo: &'a [f64]) -> &'a [f64] {
         match *src {
             Src::Base(i) => self.factors[i].data(),
-            Src::Reduced(j) => {
-                let rs = &self.reduce_steps[j];
-                &lo[rs.off..rs.off + rs.len]
-            }
             Src::Work { off, len } => &lo[off..off + len],
             Src::Const { off, len } => &self.consts[off..off + len],
         }
@@ -1262,7 +1562,6 @@ impl QueryPlan {
     fn scalar_of(&self, src: &Src, arena: &Arena) -> f64 {
         match *src {
             Src::Base(i) => self.factors[i].data()[0],
-            Src::Reduced(j) => arena.f64s[self.reduce_steps[j].off],
             Src::Work { off, .. } => arena.f64s[off],
             Src::Const { off, .. } => self.consts[off],
         }
@@ -1282,6 +1581,13 @@ impl QueryPlan {
     pub fn reduce_memo_capacity(&self) -> usize {
         self.memo_capacity
     }
+
+    /// Drops every memoized signature, forcing the next estimate of each
+    /// constant set down the replay (memo-miss) path — used by benches to
+    /// measure miss latency and by tests.
+    pub fn clear_reduce_memo(&self) {
+        self.memo.lock().clear();
+    }
 }
 
 /// Executes one constant-foldable op at compile time against the plan's
@@ -1299,7 +1605,6 @@ fn run_const_op(
         match *src {
             Src::Base(i) => factors[i].data(),
             Src::Const { off, len } | Src::Work { off, len } => &lo[off..off + len],
-            Src::Reduced(_) => unreachable!("reduced operands are never folded"),
         }
     }
     match op {
@@ -1338,6 +1643,11 @@ fn run_const_op(
             let out = &mut hi[..*len];
             let sv = res(factors, src, lo);
             sum_out_into(sv, *outer, *card, *inner, out);
+        }
+        OpKind::ProductMasked { .. }
+        | OpKind::ProductSumOutMasked { .. }
+        | OpKind::SumOutMasked { .. } => {
+            unreachable!("masked ops are evidence-dependent and never folded")
         }
     }
 }
@@ -1393,6 +1703,70 @@ fn union_scope_parts(
 }
 
 // ---------------------------------------------------------------------
+// The fold cache.
+// ---------------------------------------------------------------------
+
+/// Content-keyed cache of folded-constant buffers, shared between the
+/// plans of one model. Templates that fold the same evidence-independent
+/// prefix (common when precompiling many templates over one closure)
+/// produce byte-identical `consts` buffers; interning them here makes
+/// every such plan share a single `Arc` allocation. Keys are FNV hashes
+/// of the buffer bits, verified byte-for-byte on a bucket match, so a
+/// hash collision can never splice the wrong constants into a plan.
+#[derive(Debug, Default)]
+pub struct FoldCache {
+    inner: Mutex<HashMap<u64, Vec<Arc<Vec<f64>>>>>,
+}
+
+impl FoldCache {
+    /// An empty fold cache.
+    pub fn new() -> Self {
+        FoldCache::default()
+    }
+
+    /// The shared buffer equal to `consts`, inserting it if new.
+    fn intern(&self, consts: Vec<f64>) -> Arc<Vec<f64>> {
+        let mut h = Fnv::new();
+        for &x in &consts {
+            h.write(&x.to_bits().to_le_bytes());
+        }
+        let hash = h.finish();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let bucket = inner.entry(hash).or_default();
+        if let Some(existing) = bucket.iter().find(|e| {
+            e.len() == consts.len()
+                && e.iter().zip(&consts).all(|(a, b)| a.to_bits() == b.to_bits())
+        }) {
+            return existing.clone();
+        }
+        let arc = Arc::new(consts);
+        bucket.push(arc.clone());
+        arc
+    }
+
+    /// Number of distinct interned buffers.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// True when nothing is interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every interned buffer (plans already holding one keep their
+    /// `Arc`; used on model replacement).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).clear();
+    }
+}
+
+// ---------------------------------------------------------------------
 // The plan cache.
 // ---------------------------------------------------------------------
 
@@ -1436,6 +1810,18 @@ fn refresh_hit_ratio() {
     }
 }
 
+/// Recomputes the `prm.plan.reduce.hit_ratio` gauge — signature-memo hits
+/// / (hits + misses) — from the process-global counters, mirroring
+/// [`refresh_hit_ratio`]. Called on every memo lookup.
+fn refresh_reduce_hit_ratio() {
+    let hits = obs::counter!("prm.plan.reduce.hit").get();
+    let misses = obs::counter!("prm.plan.reduce.miss").get();
+    let total = hits + misses;
+    if total > 0 {
+        obs::gauge!("prm.plan.reduce.hit_ratio").set(hits as f64 / total as f64);
+    }
+}
+
 fn count_evict(_: &PlanEntry) {
     obs::counter!("prm.plan.evict").inc();
 }
@@ -1444,6 +1830,9 @@ impl PlanCache {
     /// A cache holding at most `capacity` plans; `0` disables caching
     /// (every call compiles, nothing is stored).
     pub fn new(capacity: usize) -> Self {
+        // Register the precompile counter up front so snapshots show an
+        // explicit 0 when no manifest was loaded.
+        obs::counter!("prm.plan.precompiled").add(0);
         PlanCache { inner: Mutex::new(LruSlab::new(capacity)) }
     }
 
@@ -1527,6 +1916,76 @@ impl PlanCache {
     pub fn peek(&self, query: &Query) -> Option<Arc<QueryPlan>> {
         let hash = PlanKey::stable_hash_of(query);
         self.lock().peek(hash, |e| e.key.matches(query)).map(|e| e.plan.clone())
+    }
+
+    /// Template keys of every resident plan, most recently used first —
+    /// the export order of the precompile manifest, so a bounded manifest
+    /// keeps the hottest templates.
+    pub fn keys(&self) -> Vec<PlanKey> {
+        self.lock().values_mru().into_iter().map(|e| e.key.clone()).collect()
+    }
+
+    /// Ahead-of-time compilation: compiles a plan for every manifest key
+    /// not already resident and inserts it, fanning the compiles out
+    /// across the worker pool. Returns how many plans were inserted
+    /// (`prm.plan.precompiled` counts the same). Keys that fail to
+    /// compile — e.g. a manifest recorded against a different schema —
+    /// are skipped; precompilation is an optimization, never a gate, so
+    /// the first live query of such a template just compiles on demand
+    /// as before. Keys should be most-recent-first (as [`PlanCache::keys`]
+    /// returns them): when the cache cannot hold the whole manifest, the
+    /// most recent templates survive.
+    pub fn precompile(
+        &self,
+        prm: &Prm,
+        schema: &SchemaInfo,
+        cache: &FactorCache,
+        folds: &FoldCache,
+        keys: &[PlanKey],
+    ) -> usize {
+        if self.lock().capacity == 0 {
+            return 0;
+        }
+        let todo: Vec<PlanKey> =
+            keys.iter().filter(|k| !self.contains(k)).cloned().collect();
+        if todo.is_empty() {
+            return 0;
+        }
+        let compiled = par::map(&todo, |key| {
+            let query = key.to_template_query();
+            QueryPlan::compile_with(prm, schema, cache, &query, Some(folds)).ok()
+        });
+        let mut inserted = 0usize;
+        let mut inner = self.lock();
+        // Insert in reverse so the manifest's first (most recent) key ends
+        // up most recently used.
+        for (key, plan) in todo.into_iter().zip(compiled).rev() {
+            let Some(plan) = plan else { continue };
+            if inner.capacity == 0 {
+                break;
+            }
+            if inner.peek(key.stable_hash(), |e| e.key == key).is_none() {
+                inner.insert(
+                    key.stable_hash(),
+                    PlanEntry { key, plan: Arc::new(plan) },
+                    &mut count_evict,
+                );
+                obs::counter!("prm.plan.precompiled").inc();
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
+    /// Clears the signature memo of every resident plan (the plans stay
+    /// resident) — forces the next estimate of each template down the
+    /// replay path, for miss-latency measurement.
+    pub fn clear_reduce_memos(&self) {
+        let plans: Vec<Arc<QueryPlan>> =
+            self.lock().values_mru().into_iter().map(|e| e.plan.clone()).collect();
+        for p in plans {
+            p.clear_reduce_memo();
+        }
     }
 
     /// Drops every resident plan (used on model replacement). Also drops

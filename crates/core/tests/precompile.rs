@@ -1,0 +1,138 @@
+//! Ahead-of-time plan precompilation: a manifest of recent `PlanKey`s
+//! round-trips through `save_manifest`/`load_manifest`, `precompile`
+//! makes first touches plan-cache hits, and precompiled answers are
+//! bit-identical to organically compiled ones.
+//!
+//! `PRMSEL_PRECOMPILE` is process-global, so env-touching tests
+//! serialize on one lock.
+
+use prmsel::{
+    load_manifest, save_manifest, PrmEstimator, PrmLearnConfig, SelectivityEstimator,
+};
+use reldb::{Cell, Database, DatabaseBuilder, Query, TableBuilder, Value};
+
+fn serialized() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn tiny_db() -> Database {
+    let mut acct = TableBuilder::new("account").key("id").col("tier");
+    let mut tx = TableBuilder::new("tx").key("id").fk("account", "account").col("kind");
+    for i in 0..8i64 {
+        acct.push_row(vec![Cell::Key(i), Cell::Val(Value::Int(i % 2))]).unwrap();
+    }
+    for i in 0..64i64 {
+        tx.push_row(vec![Cell::Key(i), Cell::Key(i % 8), Cell::Val(Value::Int(i % 3))])
+            .unwrap();
+    }
+    DatabaseBuilder::new()
+        .add_table(acct.finish().unwrap())
+        .add_table(tx.finish().unwrap())
+        .finish()
+        .unwrap()
+}
+
+fn join_query(kind: i64) -> Query {
+    let mut b = Query::builder();
+    let t = b.var("tx");
+    let a = b.var("account");
+    b.join(t, "account", a).eq(a, "tier", 1).eq(t, "kind", kind);
+    b.build()
+}
+
+fn select_query(tier: i64) -> Query {
+    let mut b = Query::builder();
+    let a = b.var("account");
+    b.eq(a, "tier", tier);
+    b.build()
+}
+
+#[test]
+fn precompiled_first_touch_hits_the_plan_cache_and_matches_bits() {
+    let _serial = serialized();
+    let db = tiny_db();
+    let warm = PrmEstimator::build(&db, &PrmLearnConfig::default()).expect("build");
+    let expect_join = warm.estimate(&join_query(0)).expect("join");
+    let expect_sel = warm.estimate(&select_query(1)).expect("select");
+    assert_eq!(warm.plan_keys().len(), 2, "two templates resident");
+
+    // Manifest round-trip through bytes, exactly as the CLI would do it.
+    let mut buf = Vec::new();
+    save_manifest(&warm.plan_keys(), &mut buf).expect("save manifest");
+    let keys = load_manifest(buf.as_slice()).expect("load manifest");
+    assert_eq!(keys.len(), 2);
+
+    let reg = obs::registry();
+    let pre_0 = reg.counter("prm.plan.precompiled").get();
+    let cold =
+        PrmEstimator::from_parts(warm.prm().clone(), warm.schema_info().clone(), "PRM");
+    assert_eq!(cold.plan_cache_len(), 0);
+    assert_eq!(cold.precompile(&keys), 2, "both templates compile");
+    assert_eq!(reg.counter("prm.plan.precompiled").get() - pre_0, 2);
+    assert!(cold.has_cached_plan(&join_query(5)), "any constant, same template");
+    assert!(cold.has_cached_plan(&select_query(0)));
+
+    let hit_0 = reg.counter("prm.plan.hit").get();
+    let got_join = cold.estimate(&join_query(0)).expect("join");
+    let got_sel = cold.estimate(&select_query(1)).expect("select");
+    assert_eq!(reg.counter("prm.plan.hit").get() - hit_0, 2, "first touches hit");
+    assert_eq!(got_join.to_bits(), expect_join.to_bits());
+    assert_eq!(got_sel.to_bits(), expect_sel.to_bits());
+
+    // Re-precompiling resident templates is a no-op.
+    assert_eq!(cold.precompile(&keys), 0);
+}
+
+#[test]
+fn memo_cleared_replay_stays_bit_identical() {
+    let _serial = serialized();
+    let est = PrmEstimator::build(&tiny_db(), &PrmLearnConfig::default()).expect("build");
+    let q = join_query(1);
+    let first = est.estimate(&q).expect("cold");
+    let warm = est.estimate(&q).expect("warm");
+    est.clear_reduce_memos();
+    assert_eq!(est.reduce_memo_len(&q), Some(0), "memo dropped, plan kept");
+    let reg = obs::registry();
+    let miss_0 = reg.counter("prm.plan.reduce.miss").get();
+    let replay = est.estimate(&q).expect("miss replay");
+    assert_eq!(reg.counter("prm.plan.reduce.miss").get() - miss_0, 1);
+    assert_eq!(first.to_bits(), warm.to_bits());
+    assert_eq!(first.to_bits(), replay.to_bits(), "masked replay must match");
+}
+
+#[test]
+fn env_manifest_precompiles_on_load_and_survives_garbage() {
+    let _serial = serialized();
+    let db = tiny_db();
+    let warm = PrmEstimator::build(&db, &PrmLearnConfig::default()).expect("build");
+    warm.estimate(&join_query(0)).expect("prime");
+
+    let dir =
+        std::env::temp_dir().join(format!("prmsel-precompile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("manifest.bin");
+    let mut f = std::fs::File::create(&path).expect("create");
+    save_manifest(&warm.plan_keys(), &mut f).expect("save");
+    drop(f);
+
+    struct Unset;
+    impl Drop for Unset {
+        fn drop(&mut self) {
+            std::env::remove_var("PRMSEL_PRECOMPILE");
+        }
+    }
+    let _unset = Unset;
+    std::env::set_var("PRMSEL_PRECOMPILE", &path);
+    let est =
+        PrmEstimator::from_parts(warm.prm().clone(), warm.schema_info().clone(), "PRM");
+    assert!(est.has_cached_plan(&join_query(2)), "env manifest precompiled");
+
+    // A corrupt manifest must degrade to a cold cache, not an error.
+    std::fs::write(&path, b"not a manifest").expect("overwrite");
+    let est =
+        PrmEstimator::from_parts(warm.prm().clone(), warm.schema_info().clone(), "PRM");
+    assert_eq!(est.plan_cache_len(), 0, "corrupt manifest is skipped");
+    est.estimate(&join_query(0)).expect("still estimates");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -127,6 +127,66 @@ fn warm_join_estimate_allocates_nothing() {
     assert_eq!((allocs, bytes), (0, 0), "warm join estimate must not touch the heap");
 }
 
+/// Runs `f` with the signature-memo capacity forced to 0 (plans compiled
+/// inside take the memo-*miss* replay path on every estimate and never
+/// insert), restoring the environment default afterwards even on panic.
+fn with_memo_disabled<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            prmsel::plan::set_reduce_memo_capacity(None);
+        }
+    }
+    let _reset = Reset;
+    prmsel::plan::set_reduce_memo_capacity(Some(0));
+    f()
+}
+
+/// Like [`warm_cost`], but with memoization disabled: every estimate —
+/// including the measured third — re-encodes the predicate masks into
+/// allowed-code lists and replays the masked elimination suffix. That
+/// memo-miss replay must be as allocation-free as a hit.
+fn miss_cost(query: &Query) -> (u64, u64) {
+    with_memo_disabled(|| {
+        let est =
+            PrmEstimator::build(&tiny_db(), &PrmLearnConfig::default()).expect("build");
+        let first = est.estimate(query).expect("cold estimate");
+        let second = est.estimate(query).expect("priming miss estimate");
+        assert_eq!(first.to_bits(), second.to_bits(), "replay must be bit-identical");
+        assert_eq!(est.reduce_memo_len(query), Some(0), "memo must stay empty");
+        let (a0, b0) = (ALLOCS.with(Cell::get), BYTES.with(Cell::get));
+        let third = est.estimate(query).expect("measured miss estimate");
+        let (a1, b1) = (ALLOCS.with(Cell::get), BYTES.with(Cell::get));
+        assert_eq!(first.to_bits(), third.to_bits(), "replay must be bit-identical");
+        (a1 - a0, b1 - b0)
+    })
+}
+
+#[test]
+fn memo_miss_single_table_estimate_allocates_nothing() {
+    let _serial = serialized();
+    let mut b = Query::builder();
+    let c = b.var("child");
+    b.eq(c, "y", 1);
+    let (allocs, bytes) = miss_cost(&b.build());
+    assert_eq!(
+        (allocs, bytes),
+        (0, 0),
+        "memo-miss single-table replay must not touch the heap"
+    );
+}
+
+#[test]
+fn memo_miss_join_estimate_allocates_nothing() {
+    let _serial = serialized();
+    let mut b = Query::builder();
+    let c = b.var("child");
+    let p = b.var("parent");
+    b.join(c, "parent", p).eq(p, "x", 1).range(c, "y", Some(0), Some(1));
+    let (allocs, bytes) = miss_cost(&b.build());
+    assert_eq!((allocs, bytes), (0, 0), "memo-miss join replay must not touch the heap");
+}
+
 #[test]
 fn warm_repeat_constants_hit_the_reduce_memo() {
     let _serial = serialized();

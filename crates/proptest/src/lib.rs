@@ -68,6 +68,15 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Builds a dependent strategy from each generated value — the
+    /// two-stage draw behind "generate cards, then data of that shape".
+    fn prop_flat_map<T: Strategy, F: Fn(Self::Value) -> T>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 /// The [`Strategy::prop_map`] combinator.
@@ -83,6 +92,72 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
     }
+}
+
+/// The [`Strategy::prop_flat_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// One arm of a [`OneOf`]: a boxed draw function.
+pub type OneOfArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Backing type of [`prop_oneof!`]: draws one of its arms uniformly.
+pub struct OneOf<V> {
+    arms: Vec<OneOfArm<V>>,
+}
+
+/// Builds a [`OneOf`] from boxed draw functions (used by [`prop_oneof!`]).
+pub fn one_of<V>(arms: Vec<OneOfArm<V>>) -> OneOf<V> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    OneOf { arms }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range(0..self.arms.len());
+        (self.arms[i])(rng)
+    }
+}
+
+/// Uniform choice between strategies of one value type (upstream's
+/// weighted form is not supported — weight every arm equally instead).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::one_of(vec![
+            $({
+                let s = $strat;
+                Box::new(move |rng: &mut $crate::TestRng| {
+                    $crate::Strategy::generate(&s, rng)
+                }) as Box<dyn Fn(&mut $crate::TestRng) -> _>
+            },)+
+        ])
+    };
 }
 
 macro_rules! int_range_strategy {
@@ -221,8 +296,8 @@ pub mod collection {
 
 pub mod prelude {
     pub use crate::collection;
-    pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
 }
 
 /// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
@@ -304,6 +379,23 @@ mod tests {
         #[test]
         fn prop_map_applies(n in (1usize..5).prop_map(|n| n * 10)) {
             prop_assert!(n % 10 == 0 && (10..50).contains(&n));
+        }
+
+        #[test]
+        fn flat_map_shapes_the_second_draw(
+            v in (1usize..5).prop_flat_map(|len| collection::vec(0u32..9, len))
+        ) {
+            prop_assert!((1..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_draws_every_arm(x in prop_oneof![Just(1u32), Just(2u32), 10u32..20]) {
+            prop_assert!(x == 1 || x == 2 || (10u32..20).contains(&x));
+        }
+
+        #[test]
+        fn just_clones_its_value(v in Just(vec![7u8, 8])) {
+            prop_assert_eq!(v, vec![7u8, 8]);
         }
     }
 }

@@ -16,9 +16,17 @@
 //! The recording-ON slowdown is also reported (informational — that
 //! path allocates and is expected to cost a few percent).
 //!
+//! The same binary gates the timeseries sampler: with a 100 ms sampler
+//! thread snapshotting the registry in the background, the warm path
+//! (which crosses zero sampler hooks — the sampler only *reads* the
+//! atomics the path already writes) must stay within 2% of its
+//! sampler-off latency. Both sides are measured best-of-N to keep
+//! scheduler noise out of a 2% gate.
+//!
 //! Run: `cargo run --release -p prmsel-bench --bin trace_overhead [-- --quick]`
 
 use std::hint::black_box;
+use std::time::Duration;
 
 use obs::flight;
 use prmsel::{PrmEstimator, PrmLearnConfig, SelectivityEstimator};
@@ -28,6 +36,22 @@ use workloads::census::census_database;
 
 /// Maximum tolerated recorder-off overhead on the warm path.
 const MAX_OFF_OVERHEAD: f64 = 0.02;
+
+/// Maximum tolerated warm-path slowdown with the timeseries sampler
+/// running at a 100 ms cadence.
+const MAX_SAMPLER_OVERHEAD: f64 = 0.02;
+
+/// Best-of-N warm latency: the minimum over `reps` independent sweeps.
+/// The minimum estimates the noise-free cost — exactly what a 2%
+/// comparison gate needs.
+fn best_warm_latency_ns(
+    est: &PrmEstimator,
+    queries: &[Query],
+    passes: usize,
+    reps: usize,
+) -> f64 {
+    (0..reps).map(|_| warm_latency_ns(est, queries, passes)).fold(f64::INFINITY, f64::min)
+}
 
 /// Mean warm per-query latency in ns over `passes` full sweeps.
 fn warm_latency_ns(est: &PrmEstimator, queries: &[Query], passes: usize) -> f64 {
@@ -67,12 +91,15 @@ fn main() -> reldb::Result<()> {
     let suite = workloads::single_table_eq_suite(&db, "census", &["age", "income"])?;
     let queries = cap_suite(suite.queries, 64, 17);
 
-    // Prime the plan cache, then measure the steady state.
+    // Prime the plan cache, then measure the steady state. Best-of-3:
+    // the projection below divides by this, so a scheduler hiccup that
+    // inflates it would loosen the gate, and one that inflates the hook
+    // microbench would fail it spuriously.
     for q in &queries {
         est.estimate(q)?;
     }
     warm_latency_ns(&est, &queries, 2); // warm-up sweep, discarded
-    let off_ns = warm_latency_ns(&est, &queries, passes);
+    let off_ns = best_warm_latency_ns(&est, &queries, passes, 3);
 
     // Count the hook sites one warm estimate crosses.
     flight::set_recording(true);
@@ -85,13 +112,37 @@ fn main() -> reldb::Result<()> {
     let hooks_per_query =
         (3 + trace.phases.len() + trace.elim_steps.len() + trace.pred_masks.len()) as f64;
 
-    let hook_ns = disabled_hook_ns(2_000_000);
+    let hook_ns =
+        (0..3).map(|_| disabled_hook_ns(2_000_000)).fold(f64::INFINITY, f64::min);
     let projected_overhead = hooks_per_query * hook_ns / off_ns;
 
     // Informational: the recording-ON slowdown on the same suite.
     flight::set_recording(true);
     let on_ns = warm_latency_ns(&est, &queries, passes);
     flight::set_recording(false);
+
+    // Sampler gate: paired sweeps with and without the 100 ms sampler
+    // thread ticking in the background, compared as the *median* of the
+    // per-pair ratios. Pairing cancels machine drift between the two
+    // arms and the median sheds scheduler spikes, which a plain A/B
+    // difference at a 2% threshold cannot survive — least of all on a
+    // single-core runner where every background thread steals real time.
+    let reps = if opts.quick { 5 } else { 9 };
+    let passes = passes.max(100);
+    let mut ratios = Vec::with_capacity(reps);
+    let mut base_ns = f64::INFINITY;
+    let mut sampled_ns = f64::INFINITY;
+    for _ in 0..reps {
+        let base = warm_latency_ns(&est, &queries, passes);
+        let sampler = obs::timeseries::Sampler::start_with(Duration::from_millis(100));
+        let sampled = warm_latency_ns(&est, &queries, passes);
+        sampler.stop();
+        ratios.push(sampled / base);
+        base_ns = base_ns.min(base);
+        sampled_ns = sampled_ns.min(sampled);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let sampler_overhead = (ratios[reps / 2] - 1.0).max(0.0);
 
     println!("warm estimate (recording off):   {:>10.0} ns/query", off_ns);
     println!("warm estimate (recording on):    {:>10.0} ns/query", on_ns);
@@ -105,6 +156,15 @@ fn main() -> reldb::Result<()> {
     println!(
         "recording-on slowdown:           {:>11.1}% (informational)",
         (on_ns / off_ns - 1.0) * 100.0
+    );
+    println!(
+        "sampler-on warm latency:         {:>10.0} ns/query (base {:.0})",
+        sampled_ns, base_ns
+    );
+    println!(
+        "sampler-on overhead:             {:>11.3}% (limit {:.1}%)",
+        sampler_overhead * 100.0,
+        MAX_SAMPLER_OVERHEAD * 100.0
     );
 
     emit_bench_json(
@@ -122,6 +182,13 @@ fn main() -> reldb::Result<()> {
                     x: 0.0,
                     y: projected_overhead * 100.0,
                 },
+                FigRow { method: "sampler_base_ns".into(), x: 0.0, y: base_ns },
+                FigRow { method: "sampler_on_ns".into(), x: 0.0, y: sampled_ns },
+                FigRow {
+                    method: "sampler_overhead_pct".into(),
+                    x: 0.0,
+                    y: sampler_overhead * 100.0,
+                },
             ],
         )],
     );
@@ -132,6 +199,12 @@ fn main() -> reldb::Result<()> {
         projected_overhead * 100.0,
         MAX_OFF_OVERHEAD * 100.0
     );
-    println!("OK: recorder-off overhead within budget");
+    assert!(
+        sampler_overhead < MAX_SAMPLER_OVERHEAD,
+        "sampler-on overhead {:.3}% exceeds the {:.1}% budget",
+        sampler_overhead * 100.0,
+        MAX_SAMPLER_OVERHEAD * 100.0
+    );
+    println!("OK: recorder-off and sampler-on overheads within budget");
     Ok(())
 }

@@ -62,6 +62,7 @@ pub fn run(args: &[String]) -> CliResult<String> {
         Some("describe") => describe(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("monitor") => crate::monitor::monitor(&args[1..]),
+        Some("top") => crate::top::top(&args[1..]),
         Some("gen") => gen(&args[1..]),
         Some("--help") | Some("-h") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError(format!("unknown command `{other}`\n{USAGE}"))),
@@ -116,10 +117,13 @@ USAGE:
   prmsel evaluate --model FILE --csv-dir DIR 'SELECT COUNT(*) ...'
   prmsel describe --model FILE
   prmsel stats    --csv-dir DIR [--budget BYTES] [--pretty] [--traces]
-                  [--trace-json FILE] [--templates] [--monitor HOST:PORT]
+                  [--trace-json FILE] [--templates] [--window N]
+                  [--monitor HOST:PORT]
   prmsel stats    --from-url HOST:PORT [--pretty]
+                  [--watch SECS [--watch-count N]]
   prmsel monitor  [--addr HOST:PORT] [--csv-dir DIR] [--budget BYTES]
                   [--duration-secs S] [--port-file FILE]
+  prmsel top      --addr HOST:PORT [--interval-secs S] [--once]
   prmsel gen      --csv-dir DIR [--workload census|tb|fin] [--rows N] [--seed S]
 
 OPTIONS (all commands):
@@ -132,6 +136,13 @@ OPTIONS (all commands):
   PRMSEL_WIDTH_BUDGET=N  refuse eliminations materializing > N factor cells
   PRMSEL_DEADLINE_MS=N   per-estimate wall-clock deadline
   PRMSEL_FAILPOINTS=site=err|panic|delay:MS[,...]  fault injection (testing)
+  PRMSEL_TS_INTERVAL_MS=N  timeseries sampler cadence (default 1000)
+  PRMSEL_TS_WINDOW=N       timeseries ring capacity in samples (default 300)
+  PRMSEL_SLO_QERROR=Q      pin the watchdog q-error threshold (default:
+                           auto-seeded from the first healthy window)
+  PRMSEL_SLO_WARM_NS=N     warm-latency SLO for the burn-rate check
+  PRMSEL_SLO_FALLBACK=R    fallback-ratio SLO (default 0.5)
+  PRMSEL_ALERT_RING=N      watchdog alert-history capacity (default 256)
 
 `estimate` runs the degradation ladder (cached exact → uncached exact →
 AVI → uniform guess) and reports any degradation after the estimate;
@@ -154,13 +165,22 @@ per-query flight-trace summary and `--trace-json FILE` exports the ring.
 
 `monitor` serves the HTTP observability plane — GET /metrics (OpenMetrics
 text exposition), /traces + /traces/chrome + /traces/worst (flight-
-recorder ring), /health (degradation-guard verdict, 503 when degraded),
-/buildinfo — while replaying the example workload so every endpoint has
-live data; `--addr 127.0.0.1:0` picks an ephemeral port and `--port-file`
-publishes it. `--monitor HOST:PORT` on `estimate`/`stats` serves the same
+recorder ring), /timeseries (windowed rates + quantiles from the sampler
+ring), /alerts (drift-watchdog state), /health (degradation-guard
+verdict, 503 when degraded or a critical alert fires), /buildinfo —
+while replaying the example workload so every endpoint has live data;
+`--addr 127.0.0.1:0` picks an ephemeral port and `--port-file` publishes
+it. `--monitor HOST:PORT` on `estimate`/`stats` serves the same
 endpoints for the duration of the command. `stats --from-url` scrapes a
-live /metrics, lint-validates the exposition, and renders it; `stats
---templates` appends per-template q-error and warm-latency quantiles.
+live /metrics, lint-validates the exposition, and renders it; `--watch
+SECS` repeats the scrape and prints per-interval deltas instead of
+cumulative totals; `stats --templates` appends per-template q-error and
+warm-latency quantiles; `stats --window N` runs the sampler during the
+workload and appends N windows of live rates.
+
+`top` is a live dashboard over a running monitor: qps, warm-latency, and
+q-error sparklines from /timeseries, cache hit ratios from /metrics, and
+firing watchdog alerts from /alerts; `--once` prints a single frame.
 
 `gen` writes a synthetic workload database as <table>.csv + schema.txt,
 ready for `build`/`stats`.
@@ -171,7 +191,7 @@ pub(crate) fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> 
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
-fn required<'a>(args: &'a [String], flag: &str) -> CliResult<&'a str> {
+pub(crate) fn required<'a>(args: &'a [String], flag: &str) -> CliResult<&'a str> {
     flag_value(args, flag).ok_or_else(|| CliError(format!("missing `{flag}`\n{USAGE}")))
 }
 
@@ -403,6 +423,16 @@ fn evaluate(args: &[String]) -> CliResult<String> {
 fn stats(args: &[String]) -> CliResult<String> {
     let pretty = args.iter().any(|a| a == "--pretty");
     if let Some(addr) = flag_value(args, "--from-url") {
+        if let Some(secs) = flag_value(args, "--watch") {
+            let secs: f64 =
+                secs.parse().map_err(|_| CliError(format!("bad --watch `{secs}`")))?;
+            let count: Option<u64> = flag_value(args, "--watch-count")
+                .map(|v| {
+                    v.parse().map_err(|_| CliError(format!("bad --watch-count `{v}`")))
+                })
+                .transpose()?;
+            return crate::monitor::stats_watch(addr, secs, count);
+        }
         return crate::monitor::stats_from_url(addr, pretty);
     }
     let monitor = crate::monitor::maybe_serve(args)?;
@@ -429,7 +459,27 @@ fn stats(args: &[String]) -> CliResult<String> {
     if templates {
         prmsel::set_template_telemetry(true);
     }
-    let eval = prmsel::evaluate_suite(&db, &est, &queries);
+    // `--window N`: run the sampler at a fast cadence and keep replaying
+    // the workload until N windows have closed, so the windowed table
+    // below reports live rates instead of cumulative totals.
+    let window: Option<usize> = flag_value(args, "--window")
+        .map(|v| v.parse().map_err(|_| CliError(format!("bad --window `{v}`"))))
+        .transpose()?;
+    let eval = match window {
+        None => prmsel::evaluate_suite(&db, &est, &queries),
+        Some(n) => {
+            obs::timeseries::series().clear();
+            let sampler = obs::timeseries::Sampler::start_with(
+                std::time::Duration::from_millis(100),
+            );
+            let mut last = prmsel::evaluate_suite(&db, &est, &queries);
+            while last.is_ok() && obs::timeseries::series().len() < n + 1 {
+                last = prmsel::evaluate_suite(&db, &est, &queries);
+            }
+            sampler.stop();
+            last
+        }
+    };
     if templates {
         prmsel::set_template_telemetry(false);
     }
@@ -439,6 +489,11 @@ fn stats(args: &[String]) -> CliResult<String> {
     eval?;
     let snap = obs::registry().snapshot();
     let mut out = if pretty { snap.to_pretty() } else { snap.to_json() };
+    if let Some(n) = window {
+        out.push_str(&crate::monitor::windowed_table(
+            &obs::timeseries::series().windows(n),
+        ));
+    }
     if templates {
         out.push_str(&crate::monitor::template_table(&snap, &queries));
     }

@@ -21,5 +21,6 @@
 pub mod commands;
 pub mod manifest;
 pub mod monitor;
+pub mod top;
 
 pub use commands::{run, run_to_exit_code, CliError};

@@ -1,13 +1,15 @@
 //! The HTTP observability plane: `prmsel monitor`, the shared endpoint
 //! router, and the per-template quality report.
 //!
-//! Every estimation process exposes the same four surfaces:
+//! Every estimation process exposes the same surfaces:
 //!
 //! | endpoint | payload |
 //! |---|---|
 //! | `GET /metrics` | the full registry in OpenMetrics text exposition |
 //! | `GET /traces` (`/traces/chrome`, `/traces/worst`) | the flight-recorder ring as JSON / Chrome `trace_event` / pinned worst cases |
-//! | `GET /health` | degradation-guard verdict: `200` healthy, `503` degraded |
+//! | `GET /timeseries` | windowed rates + latency/q-error quantiles from the sampler ring |
+//! | `GET /alerts` | drift-watchdog state: active + historical alerts, thresholds |
+//! | `GET /health` | degradation-guard verdict: `200` healthy, `503` degraded or critical alert firing |
 //! | `GET /buildinfo` | package name, version, build profile, pid |
 //!
 //! The router is plain data over the process-global [`obs`] registry and
@@ -62,6 +64,12 @@ pub fn router() -> httpd::Router {
                 ),
             )
         })
+        .get("/timeseries", |_| {
+            // The ring caps at PRMSEL_TS_WINDOW samples anyway; render
+            // at most the last 120 windows to bound the payload.
+            httpd::Response::json(200, obs::timeseries::to_json(120))
+        })
+        .get("/alerts", |_| httpd::Response::json(200, obs::watchdog::to_json()))
         .get("/health", |_| {
             let (status, body) = health();
             httpd::Response::json(status, body)
@@ -79,22 +87,28 @@ pub fn router() -> httpd::Router {
         })
 }
 
-/// The `/health` verdict: `503` when failpoints are armed or the
+/// The `/health` verdict: `503` when failpoints are armed, the
 /// degradation ladder is answering more than half the queries below the
-/// exact rungs, `200` otherwise.
+/// exact rungs, or the drift watchdog has a critical alert firing; `200`
+/// otherwise. The body lists any firing critical alerts.
 fn health() -> (u16, String) {
     let queries = obs::counter!("prm.guard.queries").get();
     let fallback = obs::counter!("prm.guard.fallback").get();
     let ratio = obs::gauge!("prm.guard.fallback_ratio").get();
     let armed = failpoint::armed_sites();
-    let degraded = !armed.is_empty() || ratio > 0.5;
+    let critical = obs::watchdog::firing_critical();
+    let degraded = !armed.is_empty() || ratio > 0.5 || !critical.is_empty();
     let sites: Vec<String> =
         armed.iter().map(|s| format!("\"{}\"", escape_json(s))).collect();
+    let alerts: Vec<String> =
+        critical.iter().map(|a| format!("\"{}\"", escape_json(&a.describe()))).collect();
     let body = format!(
         "{{\"status\":\"{}\",\"guard_queries\":{queries},\"guard_fallback\":{fallback},\
-         \"fallback_ratio\":{ratio:?},\"failpoints_armed\":[{}],\"flight_recording\":{}}}",
+         \"fallback_ratio\":{ratio:?},\"failpoints_armed\":[{}],\
+         \"critical_alerts\":[{}],\"flight_recording\":{}}}",
         if degraded { "degraded" } else { "ok" },
         sites.join(","),
+        alerts.join(","),
         obs::flight::on()
     );
     (if degraded { 503 } else { 200 }, body)
@@ -153,6 +167,9 @@ pub(crate) fn monitor(args: &[String]) -> CliResult<String> {
     }
     obs::flight::set_recording(true);
     prmsel::set_template_telemetry(true);
+    // The sampler feeds /timeseries and the drift watchdog behind
+    // /alerts; it lives exactly as long as the server does.
+    let sampler = obs::timeseries::Sampler::start();
     obs::info!("monitor: serving on {bound} for {duration:.1}s");
 
     let deadline = Instant::now() + Duration::from_secs_f64(duration.max(0.0));
@@ -188,6 +205,7 @@ pub(crate) fn monitor(args: &[String]) -> CliResult<String> {
         }
         Ok(())
     })();
+    sampler.stop();
     prmsel::set_template_telemetry(false);
     obs::flight::set_recording(false);
     let served = obs::counter!("httpd.requests").get() - served_before;
@@ -203,6 +221,18 @@ pub(crate) fn monitor(args: &[String]) -> CliResult<String> {
 /// the OpenMetrics lint, and render the parsed snapshot exactly like a
 /// local `stats` run would.
 pub(crate) fn stats_from_url(addr: &str, pretty: bool) -> CliResult<String> {
+    let (snap, bytes) = scrape(addr)?;
+    let mut out = if pretty { snap.to_pretty() } else { snap.to_json() };
+    out.push_str(&format!(
+        "\nscraped {} series from http://{addr}/metrics ({} bytes, lint-clean)",
+        snap.counters.len() + snap.gauges.len() + snap.histograms.len(),
+        bytes
+    ));
+    Ok(out)
+}
+
+/// One validated `/metrics` scrape, as `(parsed snapshot, body bytes)`.
+fn scrape(addr: &str) -> CliResult<(obs::Snapshot, usize)> {
     let (status, body) = httpd::get(addr, "/metrics")
         .map_err(|e| CliError(format!("GET http://{addr}/metrics: {e}")))?;
     if status != 200 {
@@ -210,13 +240,105 @@ pub(crate) fn stats_from_url(addr: &str, pretty: bool) -> CliResult<String> {
     }
     let snap = obs::openmetrics::parse(&body)
         .map_err(|e| CliError(format!("invalid OpenMetrics from {addr}: {e}")))?;
-    let mut out = if pretty { snap.to_pretty() } else { snap.to_json() };
-    out.push_str(&format!(
-        "\nscraped {} series from http://{addr}/metrics ({} bytes, lint-clean)",
-        snap.counters.len() + snap.gauges.len() + snap.histograms.len(),
-        body.len()
-    ));
-    Ok(out)
+    Ok((snap, body.len()))
+}
+
+/// `prmsel stats --from-url --watch <secs>` — scrape `/metrics`
+/// repeatedly and print per-interval *deltas* (qps, windowed latency and
+/// q-error quantiles, hit ratios) instead of cumulative totals. Each
+/// scrape becomes a [`obs::timeseries::Sample`], so the delta math is the
+/// same cumulative-bucket subtraction `/timeseries` uses. Runs until
+/// interrupted, or for `--watch-count` intervals when given.
+pub(crate) fn stats_watch(
+    addr: &str,
+    secs: f64,
+    count: Option<u64>,
+) -> CliResult<String> {
+    use std::fmt::Write;
+    if secs.is_nan() || secs <= 0.0 {
+        return Err(CliError(format!("bad --watch interval `{secs}`")));
+    }
+    let interval = Duration::from_secs_f64(secs);
+    let mut out = format!(
+        "watching http://{addr}/metrics every {secs:.1}s \
+         (windowed deltas; ctrl-c to stop)\n      qps   queries  lat p50us  \
+         lat p99us  q-err p50  q-err p99  plan-hit  fallback\n"
+    );
+    // Finite runs (--watch-count) accumulate and return the table; an
+    // open-ended watch streams each line as its window closes.
+    let live = count.is_none();
+    if live {
+        print!("{out}");
+    }
+    let mut prev: Option<obs::timeseries::Sample> = None;
+    let mut printed = 0u64;
+    loop {
+        let (snap, _) = scrape(addr)?;
+        let cur = obs::timeseries::Sample { at_ms: obs::timeseries::now_ms(), snap };
+        if let Some(p) = &prev {
+            let w = obs::timeseries::WindowStats::between(p, &cur);
+            let ratio = |r: Option<f64>| match r {
+                Some(r) => format!("{r:>8.3}"),
+                None => format!("{:>8}", "-"),
+            };
+            let line = format!(
+                "{:>9.1} {:>9} {:>10.1} {:>10.1} {:>10.2} {:>10.2}  {} {}",
+                w.qps,
+                w.queries,
+                w.latency.p50() as f64 / 1e3,
+                w.latency.p99() as f64 / 1e3,
+                w.qerror.p50() as f64 / 1e3,
+                w.qerror.p99() as f64 / 1e3,
+                ratio(w.plan_hit_ratio),
+                ratio(w.fallback_ratio),
+            );
+            if live {
+                println!("{line}");
+            } else {
+                let _ = writeln!(out, "{line}");
+            }
+            printed += 1;
+            if count.is_some_and(|c| printed >= c) {
+                let _ = write!(out, "watched {printed} window(s)");
+                return Ok(out);
+            }
+        }
+        prev = Some(cur);
+        std::thread::sleep(interval);
+    }
+}
+
+/// The `stats --window N` report: one row per closed sampler window,
+/// rates and windowed quantiles derived by snapshot subtraction.
+pub(crate) fn windowed_table(windows: &[obs::timeseries::WindowStats]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from(
+        "\nwindowed stats:\n    t0_ms    t1_ms       qps  queries  \
+         lat p50us  lat p99us  q-err p99  plan-hit  fallback\n",
+    );
+    let ratio = |r: Option<f64>| match r {
+        Some(r) => format!("{r:>8.3}"),
+        None => format!("{:>8}", "-"),
+    };
+    for w in windows {
+        let _ = writeln!(
+            out,
+            "  {:>7} {:>8} {:>9.1} {:>8} {:>10.1} {:>10.1} {:>10.2}  {} {}",
+            w.t0_ms,
+            w.t1_ms,
+            w.qps,
+            w.queries,
+            w.latency.p50() as f64 / 1e3,
+            w.latency.p99() as f64 / 1e3,
+            w.qerror.p99() as f64 / 1e3,
+            ratio(w.plan_hit_ratio),
+            ratio(w.fallback_ratio),
+        );
+    }
+    if windows.is_empty() {
+        out.push_str("  (no windows closed)\n");
+    }
+    out
 }
 
 /// The `stats --templates` report: one row per query template seen by the

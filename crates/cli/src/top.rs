@@ -1,0 +1,233 @@
+//! `prmsel top` — a live terminal dashboard over the HTTP observability
+//! plane.
+//!
+//! Polls `/metrics` and `/timeseries` (plus `/alerts` and `/health`) on
+//! an interval via the std-only [`httpd::get`] client, and redraws one
+//! screen of plain ANSI: qps and warm-latency sparklines over the
+//! sampler's windows, plan/memo hit ratios, per-template q-error, and
+//! any firing watchdog alerts. No terminal library, no raw mode — the
+//! redraw is a cursor-home + clear escape, so it degrades to appended
+//! frames on a dumb terminal, and `--once` renders a single frame with
+//! no escapes at all (what the CI smoke job asserts on).
+
+use std::time::Duration;
+
+use crate::commands::{flag_value, required, CliError, CliResult};
+use obs::json::Json;
+
+/// Entry point for `prmsel top`.
+pub(crate) fn top(args: &[String]) -> CliResult<String> {
+    let addr = required(args, "--addr")?;
+    let interval: f64 = flag_value(args, "--interval-secs")
+        .map(|v| v.parse().map_err(|_| CliError(format!("bad --interval-secs `{v}`"))))
+        .transpose()?
+        .unwrap_or(1.0);
+    if args.iter().any(|a| a == "--once") {
+        return frame(addr);
+    }
+    loop {
+        let body = frame(addr)?;
+        // Home + clear-to-end keeps the redraw flicker-free without
+        // tracking line counts.
+        print!("\x1b[H\x1b[2J{body}\n(ctrl-c to quit)\n");
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(Duration::from_secs_f64(interval.max(0.1)));
+    }
+}
+
+/// Fetches one round of endpoints and renders one dashboard frame.
+fn frame(addr: &str) -> CliResult<String> {
+    let fetch = |path: &str| -> CliResult<String> {
+        let (status, body) = httpd::get(addr, path)
+            .map_err(|e| CliError(format!("GET http://{addr}{path}: {e}")))?;
+        // /health deliberately serves its body with a 503 when degraded;
+        // everything else must be a 200.
+        if status != 200 && path != "/health" {
+            return Err(CliError(format!("GET http://{addr}{path}: HTTP {status}")));
+        }
+        Ok(body)
+    };
+    let metrics = fetch("/metrics")?;
+    let snap = obs::openmetrics::parse(&metrics)
+        .map_err(|e| CliError(format!("invalid OpenMetrics from {addr}: {e}")))?;
+    let ts = obs::json::parse(&fetch("/timeseries")?)
+        .ok_or_else(|| CliError(format!("invalid /timeseries JSON from {addr}")))?;
+    let alerts = obs::json::parse(&fetch("/alerts")?)
+        .ok_or_else(|| CliError(format!("invalid /alerts JSON from {addr}")))?;
+    let health = fetch("/health")?;
+    Ok(render(addr, &snap, &ts, &alerts, &health))
+}
+
+/// A unicode sparkline of `values` scaled to their own max.
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    if values.is_empty() || max <= 0.0 {
+        return "▁".repeat(values.len().max(1));
+    }
+    values.iter().map(|&v| BARS[((v / max * 7.0).round() as usize).min(7)]).collect()
+}
+
+/// Pulls `key` out of every window object as an f64 series. `path` digs
+/// one level deeper (e.g. windows[].latency_ns.p99).
+fn window_series(ts: &Json, key: &str, path: Option<&str>) -> Vec<f64> {
+    let Some(windows) = ts.get("windows").and_then(Json::as_array) else {
+        return Vec::new();
+    };
+    windows
+        .iter()
+        .filter_map(|w| {
+            let v = w.get(key)?;
+            match path {
+                Some(p) => v.get(p)?.as_f64(),
+                None => v.as_f64(),
+            }
+        })
+        .collect()
+}
+
+fn counter_of(snap: &obs::Snapshot, name: &str) -> u64 {
+    snap.counter(name).unwrap_or(0)
+}
+
+fn render(
+    addr: &str,
+    snap: &obs::Snapshot,
+    ts: &Json,
+    alerts: &Json,
+    health: &str,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+
+    let healthy = !health.contains("\"status\":\"degraded\"");
+    let sampling = matches!(ts.get("sampling"), Some(Json::Bool(true)));
+    let _ = writeln!(
+        out,
+        "prmsel top — http://{addr}  health: {}  sampler: {}",
+        if healthy { "ok" } else { "DEGRADED" },
+        if sampling { "on" } else { "off" },
+    );
+
+    // --- rate + latency sparklines over the sampler windows ----------
+    let qps = window_series(ts, "qps", None);
+    let p50 = window_series(ts, "latency_ns", Some("p50"));
+    let p99 = window_series(ts, "latency_ns", Some("p99"));
+    let qerr99 = window_series(ts, "qerror_milli", Some("p99"));
+    let last = |s: &[f64]| s.last().copied().unwrap_or(0.0);
+    let _ = writeln!(out, "\n  qps        {:>10.1}  {}", last(&qps), sparkline(&qps));
+    let _ = writeln!(out, "  lat p50 us {:>10.1}  {}", last(&p50) / 1e3, sparkline(&p50));
+    let _ = writeln!(out, "  lat p99 us {:>10.1}  {}", last(&p99) / 1e3, sparkline(&p99));
+    let _ = writeln!(
+        out,
+        "  q-err p99  {:>10.2}  {}",
+        last(&qerr99) / 1e3,
+        sparkline(&qerr99)
+    );
+
+    // --- cumulative cache ratios from /metrics ------------------------
+    let ratio = |hit: u64, miss: u64| -> String {
+        let total = hit + miss;
+        if total == 0 {
+            "    -".to_owned()
+        } else {
+            format!("{:>5.3}", hit as f64 / total as f64)
+        }
+    };
+    let _ = writeln!(
+        out,
+        "\n  plan cache hit {}   P(E) memo hit {}   guard fallback {}/{}",
+        ratio(counter_of(snap, "prm.plan.hit"), counter_of(snap, "prm.plan.miss")),
+        ratio(
+            counter_of(snap, "prm.plan.reduce.hit"),
+            counter_of(snap, "prm.plan.reduce.miss")
+        ),
+        counter_of(snap, "prm.guard.fallback"),
+        counter_of(snap, "prm.guard.queries"),
+    );
+
+    // --- per-template q-error over the newest window ------------------
+    let templates = ts.get("templates").and_then(Json::as_array).unwrap_or(&[]);
+    if !templates.is_empty() {
+        let _ = writeln!(out, "\n  template          window n  q-err p50  q-err p99");
+        for t in templates {
+            let tpl = t.get("template").and_then(Json::as_str).unwrap_or("?");
+            let h = t.get("qerror_milli");
+            let field = |k: &str| {
+                h.and_then(|h| h.get(k)).and_then(Json::as_f64).unwrap_or(f64::NAN)
+            };
+            let _ = writeln!(
+                out,
+                "  {tpl} {:>8} {:>10.2} {:>10.2}",
+                field("n"),
+                field("p50") / 1e3,
+                field("p99") / 1e3,
+            );
+        }
+    }
+
+    // --- firing alerts ------------------------------------------------
+    let active = alerts.get("active").and_then(Json::as_array).unwrap_or(&[]);
+    if active.is_empty() {
+        let _ = writeln!(out, "\n  alerts: none");
+    } else {
+        let _ = writeln!(out, "\n  alerts ({} active):", active.len());
+        for a in active {
+            let s = |k: &str| a.get(k).and_then(Json::as_str).unwrap_or("?");
+            let f = |k: &str| a.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+            let _ = writeln!(
+                out,
+                "    [{}] {} = {:.3} (threshold {:.3})",
+                s("severity"),
+                s("metric"),
+                f("value"),
+                f("threshold"),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_max_and_handles_empty() {
+        assert_eq!(sparkline(&[]), "▁");
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        let s: Vec<char> = sparkline(&[1.0, 8.0]).chars().collect();
+        assert_eq!(s[1], '█');
+        assert!(s[0] < s[1]);
+    }
+
+    #[test]
+    fn top_renders_a_frame_against_a_live_server() {
+        // Serve the real router with a little registry data behind it.
+        obs::counter!("prm.plan.hit").add(0); // ensure series exist
+        let server = httpd::Server::bind("127.0.0.1:0", crate::monitor::router())
+            .expect("bind ephemeral");
+        let addr = server.addr().to_string();
+        obs::timeseries::sample_now();
+        obs::timeseries::sample_now();
+        let frame = frame(&addr).expect("frame renders");
+        assert!(frame.contains("prmsel top"), "{frame}");
+        assert!(frame.contains("qps"), "{frame}");
+        assert!(frame.contains("alerts"), "{frame}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn top_once_flag_returns_single_frame() {
+        let server = httpd::Server::bind("127.0.0.1:0", crate::monitor::router())
+            .expect("bind ephemeral");
+        let addr = server.addr().to_string();
+        let args: Vec<String> =
+            ["--addr", &addr, "--once"].iter().map(|s| s.to_string()).collect();
+        let out = top(&args).expect("top --once");
+        assert!(out.contains("prmsel top"));
+        assert!(!out.contains('\x1b'), "single frame carries no escapes");
+        server.shutdown();
+    }
+}

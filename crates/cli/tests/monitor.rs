@@ -184,3 +184,71 @@ fn stats_templates_reports_per_template_quality() {
         assert!(has_row, "{out}");
     });
 }
+
+/// The drift-watchdog acceptance gate: a healthy window establishes
+/// normal q-error, then a failpoint forces every exact rung to fail so
+/// the ladder answers from the uniform floor — the resulting q-error
+/// spike must raise a `critical` watchdog alert and flip `/health` to
+/// 503 (with the alert in the body) within two windows of the fault.
+#[test]
+fn qerror_spike_fires_critical_alert_and_degrades_health() {
+    with_telemetry_lock(|| {
+        obs::timeseries::series().clear();
+        obs::watchdog::reset_for_tests();
+        obs::watchdog::set_slo_qerror(Some(5.0));
+
+        let db = workloads::census::census_database(2_000, 11);
+        let est = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+        // No AVI rung: once the exact rungs fail, the ladder lands on
+        // the uniform floor, the worst (and always-available) answer.
+        let est = prmsel::ResilientEstimator::new(est);
+        let suite =
+            workloads::single_table_eq_suite(&db, "census", &["age", "income"]).unwrap();
+
+        let server =
+            httpd::Server::bind("127.0.0.1:0", prmsel_cli::monitor::router()).unwrap();
+        let addr = server.addr().to_string();
+
+        // Window 1: healthy. Exact estimates keep q-error ≈ 1.
+        obs::timeseries::sample_now();
+        prmsel::evaluate_suite(&db, &est, &suite.queries).unwrap();
+        obs::timeseries::sample_now();
+        assert!(
+            obs::watchdog::firing_critical().is_empty(),
+            "healthy window must not fire: {:?}",
+            obs::watchdog::firing_critical()
+        );
+        let (status, body) = httpd::get(&addr, "/health").unwrap();
+        assert_eq!(status, 200, "{body}");
+
+        // Fault: every elimination fails, so both exact rungs degrade
+        // and every query is answered by the uniform guess.
+        failpoint::arm("infer.eliminate", failpoint::Action::Err);
+        prmsel::evaluate_suite(&db, &est, &suite.queries).unwrap();
+        failpoint::disarm("infer.eliminate");
+        // Window 2 closes on the next sample: the spike must be caught
+        // here — within two windows of the fault.
+        obs::timeseries::sample_now();
+
+        let crit = obs::watchdog::firing_critical();
+        assert!(
+            crit.iter().any(|a| a.metric == "quality.qerror.p99"),
+            "expected a critical q-error alert, got {crit:?}"
+        );
+        let (status, body) = httpd::get(&addr, "/health").unwrap();
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
+        assert!(body.contains("quality.qerror.p99"), "{body}");
+        let (status, alerts) = httpd::get(&addr, "/alerts").unwrap();
+        assert_eq!(status, 200);
+        assert!(alerts.contains("\"firing_critical\":true"), "{alerts}");
+        assert!(alerts.contains("quality.qerror.p99"), "{alerts}");
+        let (status, ts) = httpd::get(&addr, "/timeseries").unwrap();
+        assert_eq!(status, 200);
+        assert!(ts.contains("\"windows\":["), "{ts}");
+
+        server.shutdown();
+        obs::timeseries::series().clear();
+        obs::watchdog::reset_for_tests();
+    });
+}

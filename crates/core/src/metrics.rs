@@ -89,6 +89,8 @@ pub fn record_quality(truth: u64, estimate: f64) {
                 &[("template", &template_label(tpl))],
             );
             obs::registry().histogram(&name).record(q_milli);
+            // Drift watchdog EWMA (no-op unless the sampler runs).
+            obs::watchdog::observe_qerror(&template_label(tpl), q);
         }
     }
     // Suite evaluators score right after estimating on the same thread,

@@ -275,6 +275,7 @@ fn guarded(f: impl FnOnce() -> Result<f64>) -> Result<f64> {
         Ok(r) => r,
         Err(payload) => {
             obs::counter!("prm.guard.panic").inc();
+            obs::watchdog::observe_panic();
             let _p = obs::flight::phase("guard.panic");
             Err(Error::from_panic(payload))
         }

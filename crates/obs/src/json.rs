@@ -1,9 +1,15 @@
-//! A minimal streaming JSON writer (no external deps).
+//! A minimal streaming JSON writer and value parser (no external deps).
 //!
-//! Emits compact, valid JSON with correct string escaping and
+//! The writer emits compact, valid JSON with correct string escaping and
 //! comma/colon placement handled by a small state stack. Floats are
 //! rendered with `{:?}` (shortest round-trip form); non-finite floats
 //! become `null` per RFC 8259.
+//!
+//! The parser ([`parse`]) builds a [`Json`] value tree — enough for the
+//! consumers inside this workspace (`prmsel top` reading `/timeseries`
+//! and `/alerts`, tests validating exporter output). It accepts any
+//! document the writer can produce plus standard JSON from elsewhere;
+//! it is not a validator of exotic extensions (no comments, no NaN).
 
 /// Streaming writer building one JSON document.
 #[derive(Debug, Default)]
@@ -128,6 +134,218 @@ impl JsonWriter {
     }
 }
 
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (floats and integers share `f64`, like JavaScript).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order (duplicate keys are kept; [`Json::get`]
+    /// returns the first).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// First value under `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64` (negative / fractional → `None`).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (the whole input must be consumed, modulo
+/// trailing whitespace). Returns `None` on any syntax error.
+pub fn parse(s: &str) -> Option<Json> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    (pos == bytes.len()).then_some(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn eat(b: &[u8], pos: &mut usize, c: u8) -> Option<()> {
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn eat_keyword(b: &[u8], pos: &mut usize, kw: &[u8]) -> Option<()> {
+    if b.get(*pos..*pos + kw.len()) == Some(kw) {
+        *pos += kw.len();
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<Json> {
+    skip_ws(b, pos);
+    match *b.get(*pos)? {
+        b'{' => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Some(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    _ => return None,
+                };
+                eat(b, pos, b':')?;
+                pairs.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Some(Json::Obj(pairs));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Some(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Some(Json::Arr(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'"' => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match *b.get(*pos)? {
+                    b'"' => {
+                        *pos += 1;
+                        return Some(Json::Str(out));
+                    }
+                    b'\\' => {
+                        *pos += 1;
+                        match *b.get(*pos)? {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = std::str::from_utf8(b.get(*pos + 1..*pos + 5)?)
+                                    .ok()?;
+                                let cp = u32::from_str_radix(hex, 16).ok()?;
+                                out.push(char::from_u32(cp)?);
+                                *pos += 4;
+                            }
+                            _ => return None,
+                        }
+                        *pos += 1;
+                    }
+                    _ => {
+                        let start = *pos;
+                        while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+                            *pos += 1;
+                        }
+                        out.push_str(std::str::from_utf8(&b[start..*pos]).ok()?);
+                    }
+                }
+            }
+        }
+        b't' => eat_keyword(b, pos, b"true").map(|()| Json::Bool(true)),
+        b'f' => eat_keyword(b, pos, b"false").map(|()| Json::Bool(false)),
+        b'n' => eat_keyword(b, pos, b"null").map(|()| Json::Null),
+        _ => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&b[start..*pos]).ok()?.parse().ok().map(Json::Num)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +390,56 @@ mod tests {
         w.float(0.25);
         w.end_array();
         assert_eq!(w.finish(), "[null,null,0.25]");
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("n");
+        w.uint(42);
+        w.key("f");
+        w.float(-1.5);
+        w.key("s");
+        w.string("a\"b\\c\nd");
+        w.key("arr");
+        w.begin_array();
+        w.uint(1);
+        w.float(2.25);
+        w.end_array();
+        w.key("none");
+        w.float(f64::NAN);
+        w.end_object();
+        let v = parse(&w.finish()).expect("writer output must parse");
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(-1.5));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b\\c\nd"));
+        let arr = v.get("arr").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[1].as_f64(), Some(2.25));
+        assert_eq!(v.get("none"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parser_handles_keywords_and_rejects_garbage() {
+        assert_eq!(parse("true"), Some(Json::Bool(true)));
+        assert_eq!(parse(" false "), Some(Json::Bool(false)));
+        assert_eq!(parse("null"), Some(Json::Null));
+        assert_eq!(parse("[]"), Some(Json::Arr(vec![])));
+        assert_eq!(parse("{}"), Some(Json::Obj(vec![])));
+        assert_eq!(parse("tru"), None);
+        assert_eq!(parse("nulls"), None);
+        assert_eq!(parse("{\"a\":}"), None);
+        assert_eq!(parse("[1,]"), None);
+        assert_eq!(parse("{\"a\":1} extra"), None);
+        assert_eq!(parse("\"unterminated"), None);
+    }
+
+    #[test]
+    fn parser_handles_unicode_escapes_and_duplicate_keys() {
+        let v = parse("{\"k\":\"\\u0041\\t\",\"k\":2}").unwrap();
+        // First key wins through `get`; both are retained in the pairs.
+        assert_eq!(v.get("k").unwrap().as_str(), Some("A\t"));
+        assert_eq!(v.as_object().unwrap().len(), 2);
     }
 }

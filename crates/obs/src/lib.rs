@@ -22,6 +22,14 @@
 //!   estimate + q-error) retained in a bounded ring, exported as an
 //!   `EXPLAIN`-style tree or Chrome `trace_event` JSON. Disabled hooks
 //!   cost one relaxed atomic load and never allocate.
+//! * **Time series** ([`timeseries`]) — a background sampler thread that
+//!   keeps a bounded ring of periodic registry snapshots and derives
+//!   per-window rates (qps, windowed hit ratios) and exact windowed
+//!   latency/q-error quantiles by cumulative-bucket subtraction.
+//! * **Watchdog** ([`watchdog`]) — a drift/SLO evaluator over those
+//!   windows (q-error baseline, warm-latency burn, fallback trend,
+//!   guard panics) emitting typed [`watchdog::Alert`]s into a bounded
+//!   ring; critical alerts flip the `/health` endpoint to 503.
 //!
 //! Exporters: [`Registry::snapshot`] → [`Snapshot`], rendered with
 //! [`Snapshot::to_json`] (machine-readable, stable field order) or
@@ -43,7 +51,9 @@ pub mod flight;
 pub mod json;
 pub mod openmetrics;
 pub mod registry;
+pub mod timeseries;
 pub mod trace;
+pub mod watchdog;
 
 pub use registry::{
     registry, reset_for_tests, Counter, Gauge, Histogram, HistogramSnapshot, Registry,

@@ -230,6 +230,46 @@ impl HistogramSnapshot {
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
+
+    /// The observations recorded between `earlier` and `self` — exact,
+    /// because the log₂ buckets are cumulative counters, so subtracting
+    /// per-bucket counts of two snapshots of the *same* histogram yields
+    /// the per-bucket counts of the interval.
+    ///
+    /// Every per-bucket difference is **clamped to 0**: a registry reset
+    /// or `replace_model` between the two snapshots can leave `earlier`
+    /// with larger counts than `self` (the same race class as the
+    /// "+Inf below last bucket" scrape fix), and a window must never
+    /// report negative activity. `count` is re-derived from the clamped
+    /// buckets so quantiles stay consistent; `sum` saturates for the same
+    /// reason. `min`/`max` are all-time extremes, not interval ones — the
+    /// delta keeps `self`'s values as the best available bound.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets: Vec<(u64, u64)> = Vec::with_capacity(self.buckets.len());
+        let mut i = 0;
+        for &(bound, n) in &self.buckets {
+            // Advance through `earlier` (both are sorted by bound).
+            let mut prev = 0;
+            while i < earlier.buckets.len() && earlier.buckets[i].0 <= bound {
+                if earlier.buckets[i].0 == bound {
+                    prev = earlier.buckets[i].1;
+                }
+                i += 1;
+            }
+            let d = n.saturating_sub(prev);
+            if d > 0 {
+                buckets.push((bound, d));
+            }
+        }
+        let count = buckets.iter().map(|&(_, n)| n).sum();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: if count == 0 { 0 } else { self.min },
+            max: if count == 0 { 0 } else { self.max },
+            buckets,
+        }
+    }
 }
 
 enum Metric {
@@ -600,192 +640,73 @@ mod tests {
         r.histogram("test.json.hist").record(300);
         let json = registry().snapshot().to_json();
 
-        let v = parse_json(&json).expect("snapshot JSON must parse");
-        let obj = v.as_object().unwrap();
-        let counters = obj["counters"].as_object().unwrap();
-        assert_eq!(counters["test.json.counter"], Json::Num(42.0));
-        let gauges = obj["gauges"].as_object().unwrap();
-        assert_eq!(gauges["test.json.gauge"], Json::Num(1.25));
-        let hists = obj["histograms"].as_object().unwrap();
-        let hist = hists["test.json.hist"].as_object().unwrap();
-        assert_eq!(hist["sum"], Json::Num(300.0));
-        let buckets = match &hist["buckets"] {
-            Json::Arr(a) => a,
-            other => panic!("buckets should be an array, got {other:?}"),
-        };
+        let v = crate::json::parse(&json).expect("snapshot JSON must parse");
+        let counters = v.get("counters").unwrap();
+        assert_eq!(counters.get("test.json.counter").unwrap().as_u64(), Some(42));
+        let gauges = v.get("gauges").unwrap();
+        assert_eq!(gauges.get("test.json.gauge").unwrap().as_f64(), Some(1.25));
+        let hist = v.get("histograms").unwrap().get("test.json.hist").unwrap();
+        assert_eq!(hist.get("sum").unwrap().as_u64(), Some(300));
+        let buckets = hist.get("buckets").unwrap().as_array().unwrap();
         assert!(!buckets.is_empty());
     }
 
-    /// A tiny recursive-descent JSON parser used only to validate the
-    /// exporter's output in tests.
-    #[derive(Debug, Clone, PartialEq)]
-    enum Json {
-        Null,
-        Bool(bool),
-        Num(f64),
-        Str(String),
-        Arr(Vec<Json>),
-        Obj(Vec<(String, Json)>),
-    }
-
-    impl Json {
-        fn as_object(&self) -> Option<JsonObj<'_>> {
-            match self {
-                Json::Obj(pairs) => Some(JsonObj(pairs)),
-                _ => None,
-            }
+    #[test]
+    fn histogram_delta_is_exact_between_snapshots() {
+        let h = Histogram::default();
+        for v in [1u64, 10, 100] {
+            h.record(v);
         }
-    }
-
-    struct JsonObj<'a>(&'a [(String, Json)]);
-
-    impl std::ops::Index<&str> for JsonObj<'_> {
-        type Output = Json;
-        fn index(&self, key: &str) -> &Json {
-            &self
-                .0
-                .iter()
-                .find(|(k, _)| k == key)
-                .unwrap_or_else(|| panic!("missing key {key:?}"))
-                .1
+        let earlier = h.snapshot();
+        for v in [10u64, 1000, 1000] {
+            h.record(v);
         }
+        let later = h.snapshot();
+        let d = later.delta(&earlier);
+        assert_eq!(d.count, 3);
+        assert_eq!(d.sum, 2010);
+        // The interval holds one obs in the 10-bucket, two in the
+        // 1000-bucket; quantiles reconstruct from exactly those.
+        assert_eq!(d.quantile(0.3), bucket_upper_bound(bucket_of(10)));
+        assert_eq!(d.p99(), bucket_upper_bound(bucket_of(1000)));
+        // Self-delta is empty.
+        let zero = later.delta(&later);
+        assert_eq!(zero.count, 0);
+        assert_eq!(zero.sum, 0);
+        assert!(zero.buckets.is_empty());
+        assert_eq!(zero.quantile(0.5), 0);
     }
 
-    fn parse_json(s: &str) -> Option<Json> {
-        let bytes = s.as_bytes();
-        let mut pos = 0;
-        let v = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        (pos == bytes.len()).then_some(v)
-    }
-
-    fn skip_ws(b: &[u8], pos: &mut usize) {
-        while *pos < b.len() && b[*pos].is_ascii_whitespace() {
-            *pos += 1;
+    #[test]
+    fn histogram_delta_clamps_negative_buckets_after_a_reset_race() {
+        // Regression: a registry reset (replace_model, reset_for_tests)
+        // between two sampler ticks makes the *earlier* snapshot larger
+        // than the later one. Every bucket difference must clamp to 0 —
+        // a negative window count would render as a u64 wraparound and
+        // poison every rate/quantile derived from it.
+        let h = Histogram::default();
+        for v in [5u64, 5, 5, 700, 700] {
+            h.record(v);
         }
-    }
-
-    fn eat(b: &[u8], pos: &mut usize, c: u8) -> Option<()> {
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&c) {
-            *pos += 1;
-            Some(())
-        } else {
-            None
-        }
-    }
-
-    fn parse_value(b: &[u8], pos: &mut usize) -> Option<Json> {
-        skip_ws(b, pos);
-        match *b.get(*pos)? {
-            b'{' => {
-                *pos += 1;
-                let mut pairs = Vec::new();
-                skip_ws(b, pos);
-                if b.get(*pos) == Some(&b'}') {
-                    *pos += 1;
-                    return Some(Json::Obj(pairs));
-                }
-                loop {
-                    skip_ws(b, pos);
-                    let key = match parse_value(b, pos)? {
-                        Json::Str(s) => s,
-                        _ => return None,
-                    };
-                    eat(b, pos, b':')?;
-                    pairs.push((key, parse_value(b, pos)?));
-                    skip_ws(b, pos);
-                    match b.get(*pos)? {
-                        b',' => *pos += 1,
-                        b'}' => {
-                            *pos += 1;
-                            return Some(Json::Obj(pairs));
-                        }
-                        _ => return None,
-                    }
-                }
-            }
-            b'[' => {
-                *pos += 1;
-                let mut items = Vec::new();
-                skip_ws(b, pos);
-                if b.get(*pos) == Some(&b']') {
-                    *pos += 1;
-                    return Some(Json::Arr(items));
-                }
-                loop {
-                    items.push(parse_value(b, pos)?);
-                    skip_ws(b, pos);
-                    match b.get(*pos)? {
-                        b',' => *pos += 1,
-                        b']' => {
-                            *pos += 1;
-                            return Some(Json::Arr(items));
-                        }
-                        _ => return None,
-                    }
-                }
-            }
-            b'"' => {
-                *pos += 1;
-                let mut out = String::new();
-                loop {
-                    match *b.get(*pos)? {
-                        b'"' => {
-                            *pos += 1;
-                            return Some(Json::Str(out));
-                        }
-                        b'\\' => {
-                            *pos += 1;
-                            match *b.get(*pos)? {
-                                b'"' => out.push('"'),
-                                b'\\' => out.push('\\'),
-                                b'n' => out.push('\n'),
-                                b'r' => out.push('\r'),
-                                b't' => out.push('\t'),
-                                b'u' => {
-                                    let hex =
-                                        std::str::from_utf8(b.get(*pos + 1..*pos + 5)?)
-                                            .ok()?;
-                                    let cp = u32::from_str_radix(hex, 16).ok()?;
-                                    out.push(char::from_u32(cp)?);
-                                    *pos += 4;
-                                }
-                                _ => return None,
-                            }
-                            *pos += 1;
-                        }
-                        _ => {
-                            let start = *pos;
-                            while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
-                                *pos += 1;
-                            }
-                            out.push_str(std::str::from_utf8(&b[start..*pos]).ok()?);
-                        }
-                    }
-                }
-            }
-            b't' => {
-                *pos = pos.checked_add(4)?;
-                Some(Json::Bool(true))
-            }
-            b'f' => {
-                *pos = pos.checked_add(5)?;
-                Some(Json::Bool(false))
-            }
-            b'n' => {
-                *pos = pos.checked_add(4)?;
-                Some(Json::Null)
-            }
-            _ => {
-                let start = *pos;
-                while *pos < b.len()
-                    && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-                {
-                    *pos += 1;
-                }
-                std::str::from_utf8(&b[start..*pos]).ok()?.parse().ok().map(Json::Num)
-            }
-        }
+        let earlier = h.snapshot();
+        // Simulate the reset: a fresh histogram with fewer observations,
+        // including a bucket the earlier snapshot never saw.
+        let h2 = Histogram::default();
+        h2.record(5);
+        h2.record(1_000_000);
+        let later = h2.snapshot();
+        let d = later.delta(&earlier);
+        // 5-bucket: 1 - 3 clamps to 0; 700-bucket: 0 - 2 clamps to 0;
+        // the new 1M bucket survives as 1 - 0 = 1.
+        assert_eq!(d.count, 1);
+        assert_eq!(d.buckets, vec![(bucket_upper_bound(bucket_of(1_000_000)), 1)]);
+        // Fully-reset case: nothing recorded after the reset — every
+        // field (including the saturating sum) pins to zero.
+        let empty = Histogram::default().snapshot().delta(&earlier);
+        assert_eq!(empty.count, 0);
+        assert!(empty.buckets.is_empty());
+        assert_eq!(empty.sum, 0, "sum saturates instead of wrapping");
+        assert_eq!(empty.min, 0);
+        assert_eq!(empty.max, 0);
     }
 }

@@ -1,0 +1,161 @@
+//! Concurrency suite for the windowed time-series plane: a 4-thread
+//! `estimate_batch` mutates the registry while the background sampler
+//! ticks and four scraper threads hammer a live `/timeseries` endpoint.
+//! Every emitted window must be monotone in time with non-negative
+//! rates, and `/metrics` must stay lint-valid throughout — the same
+//! torn-read discipline the PR 6 scrape gate enforces, extended to the
+//! sampler's snapshot ring.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use obs::json::Json;
+use obs::timeseries::{sample_now, series, Sampler};
+use prmsel::{estimate_batch, PrmEstimator, PrmLearnConfig};
+use workloads::census::census_database;
+
+/// The sampler ring and watchdog are process-global; every test in this
+/// file serializes here and leaves clean state behind.
+fn with_series_lock(f: impl FnOnce()) {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    series().clear();
+    obs::watchdog::reset_for_tests();
+    f();
+    series().clear();
+    obs::watchdog::reset_for_tests();
+}
+
+/// The `/timeseries` + `/metrics` router the CLI serves, rebuilt inline
+/// (obs cannot depend on the cli crate, even for tests, without a
+/// non-dev cycle).
+fn router() -> httpd::Router {
+    httpd::Router::new()
+        .get("/timeseries", |_| httpd::Response::json(200, obs::timeseries::to_json(120)))
+        .get("/metrics", |_| {
+            httpd::Response::text(
+                200,
+                obs::openmetrics::render(&obs::registry().snapshot()),
+            )
+        })
+}
+
+/// Asserts the `/timeseries` document's invariants: windows ordered and
+/// contiguous in time, every rate and ratio non-negative.
+fn check_timeseries_doc(body: &str) {
+    let doc = obs::json::parse(body).expect("timeseries JSON parses");
+    let windows = doc.get("windows").and_then(Json::as_array).expect("windows array");
+    let mut prev_end: Option<u64> = None;
+    for w in windows {
+        let t0 = w.get("t0_ms").and_then(Json::as_u64).expect("t0_ms");
+        let t1 = w.get("t1_ms").and_then(Json::as_u64).expect("t1_ms");
+        assert!(t0 <= t1, "window runs backwards: {t0}..{t1}");
+        if let Some(end) = prev_end {
+            assert!(t0 >= end, "windows overlap: {t0} < {end}");
+        }
+        prev_end = Some(t1);
+        let qps = w.get("qps").and_then(Json::as_f64).expect("qps");
+        assert!(qps >= 0.0, "negative qps {qps}");
+        for key in ["plan_hit_ratio", "memo_hit_ratio", "fallback_ratio"] {
+            if let Some(r) = w.get(key).and_then(Json::as_f64) {
+                assert!((0.0..=1.0).contains(&r), "{key} out of range: {r}");
+            }
+        }
+        for hist in ["latency_ns", "qerror_milli"] {
+            let h = w.get(hist).expect(hist);
+            let n = h.get("n").and_then(Json::as_u64).expect("n");
+            let p50 = h.get("p50").and_then(Json::as_u64).expect("p50");
+            let p99 = h.get("p99").and_then(Json::as_u64).expect("p99");
+            if n > 0 {
+                assert!(p50 <= p99, "{hist}: p50 {p50} > p99 {p99}");
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_sampler_scrapers_and_estimation_hold_invariants() {
+    with_series_lock(|| {
+        let db = census_database(3_000, 7);
+        let est = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+        let suite =
+            workloads::single_table_eq_suite(&db, "census", &["age", "income"]).unwrap();
+
+        let server = httpd::Server::bind("127.0.0.1:0", router()).unwrap();
+        let addr = server.addr().to_string();
+        let sampler = Sampler::start_with(Duration::from_millis(25));
+        assert!(obs::timeseries::on());
+
+        par::set_threads(Some(4));
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let estimator = scope.spawn(|| {
+                let deadline = Instant::now() + Duration::from_millis(800);
+                while Instant::now() < deadline {
+                    estimate_batch(&est, &suite.queries).unwrap();
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+            let scrapers: Vec<_> = (0..4)
+                .map(|_| {
+                    let addr = addr.clone();
+                    let stop = &stop;
+                    scope.spawn(move || {
+                        let mut scrapes = 0u32;
+                        while !stop.load(Ordering::Relaxed) || scrapes < 3 {
+                            let (status, body) =
+                                httpd::get(&addr, "/timeseries").unwrap();
+                            assert_eq!(status, 200);
+                            check_timeseries_doc(&body);
+                            let (status, metrics) =
+                                httpd::get(&addr, "/metrics").unwrap();
+                            assert_eq!(status, 200);
+                            obs::openmetrics::lint(&metrics)
+                                .unwrap_or_else(|e| panic!("lint: {e}"));
+                            scrapes += 1;
+                        }
+                        scrapes
+                    })
+                })
+                .collect();
+            estimator.join().unwrap();
+            for s in scrapers {
+                assert!(s.join().unwrap() >= 3);
+            }
+        });
+        par::set_threads(None);
+        sampler.stop();
+        assert!(!obs::timeseries::on());
+
+        // The sampler really ran: the ring has multiple samples and at
+        // least one closed window saw the batch's queries.
+        assert!(series().len() >= 3, "only {} samples", series().len());
+        let windows = series().windows(usize::MAX);
+        assert!(
+            windows.iter().any(|w| w.queries > 0),
+            "no window captured any of the batch's estimates"
+        );
+        assert!(windows.iter().all(|w| w.t0_ms <= w.t1_ms));
+        server.shutdown();
+    });
+}
+
+#[test]
+fn manual_samples_derive_windows_without_a_sampler_thread() {
+    with_series_lock(|| {
+        let db = census_database(1_000, 3);
+        let est = PrmEstimator::build(&db, &PrmLearnConfig::default()).unwrap();
+        let suite = workloads::single_table_eq_suite(&db, "census", &["age"]).unwrap();
+
+        sample_now();
+        estimate_batch(&est, &suite.queries).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        sample_now();
+        let windows = series().windows(usize::MAX);
+        assert!(!windows.is_empty());
+        let w = windows.last().unwrap();
+        assert!(w.queries >= suite.queries.len() as u64, "{}", w.queries);
+        assert!(w.qps > 0.0);
+        assert!(w.latency.count >= w.queries, "estimates recorded latency");
+    });
+}

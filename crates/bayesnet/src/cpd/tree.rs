@@ -180,6 +180,74 @@ impl TreeCpd {
             .collect();
         TreeCpd::new(self.child_card, self.parent_cards.clone(), nodes)
     }
+
+    /// [`refit`](Self::refit) from an already-aggregated joint count table
+    /// `(parents…, child)` (child fastest-varying) instead of raw columns —
+    /// the incremental-maintenance path, where sufficient statistics are
+    /// kept live and rows are never rescanned. Because the per-leaf counts
+    /// are accumulated as the same integers a row scan would produce, the
+    /// result is bit-identical to `refit` on equivalent data.
+    pub fn refit_from_counts(&self, counts: &reldb::CountTable) -> TreeCpd {
+        assert_eq!(
+            counts.cards.len(),
+            self.parent_cards.len() + 1,
+            "count table dims must be (parents…, child)"
+        );
+        assert_eq!(*counts.cards.last().unwrap(), self.child_card, "child card");
+        assert_eq!(&counts.cards[..self.parent_cards.len()], &self.parent_cards[..]);
+        let mut leaf_counts: Vec<Vec<u64>> =
+            vec![vec![0u64; self.child_card]; self.nodes.len()];
+        let n_configs: usize = self.parent_cards.iter().product();
+        let mut config = vec![0u32; self.parent_cards.len()];
+        for parent_idx in 0..n_configs {
+            // Decode the parent configuration row-major (last slot
+            // fastest-varying), matching the count-table layout.
+            let mut rest = parent_idx;
+            for slot in (0..self.parent_cards.len()).rev() {
+                config[slot] = (rest % self.parent_cards[slot]) as u32;
+                rest /= self.parent_cards[slot];
+            }
+            let base = parent_idx * self.child_card;
+            let cell = &counts.counts[base..base + self.child_card];
+            if cell.iter().all(|&c| c == 0) {
+                continue;
+            }
+            // Walk the fixed split structure to this configuration's leaf.
+            let mut at = 0usize;
+            loop {
+                match &self.nodes[at] {
+                    TreeNode::Leaf(_) => break,
+                    TreeNode::SplitPerValue { slot, branches } => {
+                        at = branches[config[*slot] as usize];
+                    }
+                    TreeNode::SplitThreshold { slot, cut, lo, hi } => {
+                        at = if config[*slot] <= *cut { *lo } else { *hi };
+                    }
+                }
+            }
+            for (child, &c) in cell.iter().enumerate() {
+                leaf_counts[at][child] += c;
+            }
+        }
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| match n {
+                TreeNode::Leaf(_) => {
+                    let total: u64 = leaf_counts[i].iter().sum();
+                    let dist = if total == 0 {
+                        vec![1.0 / self.child_card as f64; self.child_card]
+                    } else {
+                        leaf_counts[i].iter().map(|&c| c as f64 / total as f64).collect()
+                    };
+                    TreeNode::Leaf(dist)
+                }
+                other => other.clone(),
+            })
+            .collect();
+        TreeCpd::new(self.child_card, self.parent_cards.clone(), nodes)
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +332,36 @@ mod tests {
         let t = sample_tree();
         let refit = t.refit(&[], &[&[], &[]]);
         assert_eq!(refit.dist(&[2, 0]), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn refit_from_counts_matches_refit_bitwise() {
+        let t = sample_tree();
+        let p0: Vec<u32> = vec![2, 2, 2, 2, 0, 0, 1, 1, 0, 2];
+        let p1: Vec<u32> = vec![0, 1, 0, 1, 0, 0, 1, 1, 1, 0];
+        let child: Vec<u32> = vec![1, 1, 1, 1, 0, 1, 0, 0, 1, 0];
+        // Aggregate the rows into a (P0, P1, child) joint count table,
+        // child fastest-varying.
+        let cards = vec![3usize, 2, 2];
+        let mut counts = vec![0u64; cards.iter().product()];
+        for i in 0..child.len() {
+            let idx = ((p0[i] as usize * 2) + p1[i] as usize) * 2 + child[i] as usize;
+            counts[idx] += 1;
+        }
+        let table = reldb::CountTable { cards, counts };
+        let from_rows = t.refit(&child, &[&p0, &p1]);
+        let from_counts = t.refit_from_counts(&table);
+        for cfg in [[0u32, 0], [0, 1], [1, 0], [1, 1], [2, 0], [2, 1]] {
+            let a = from_rows.dist(&cfg);
+            let b = from_counts.dist(&cfg);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "cfg {cfg:?}");
+            }
+        }
+        // Empty counts fall back to uniform, like an empty row scan.
+        let empty = reldb::CountTable { cards: vec![3, 2, 2], counts: vec![0; 12] };
+        assert_eq!(t.refit_from_counts(&empty).dist(&[2, 0]), &[0.5, 0.5]);
     }
 
     #[test]

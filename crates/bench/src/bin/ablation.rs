@@ -29,7 +29,7 @@ fn eval(
 ) -> (usize, f64, f64) {
     let est = PrmEstimator::build(db, cfg).expect("build");
     let e = prmsel::metrics::evaluate_with_truth(&est, queries, truths).expect("eval");
-    let ll = prmsel::model_loglik(est.prm(), db).expect("score");
+    let ll = prmsel::model_loglik(&est.epoch().prm, db).expect("score");
     (est.size_bytes(), e.mean_error_pct(), ll)
 }
 

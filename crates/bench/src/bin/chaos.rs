@@ -14,10 +14,22 @@
 //! no-degradation check: every query must answer on the cached-exact
 //! rung.
 //!
+//! A second section drives one full maintenance cycle (batch apply →
+//! delta refit → epoch swap) through the [`Maintainer`] and asserts the
+//! repair loop's isolation contract: an armed `maintain.*` site rejects
+//! the cycle — the old epoch keeps serving and a critical
+//! `prm.maintain.failed` alert fires — while a clean run publishes
+//! exactly one new epoch.
+//!
 //! Exit code 0 = contract held; panics/asserts otherwise (CI arms each
 //! site in both `err` and `panic` mode).
 
-use prmsel::{PrmEstimator, PrmLearnConfig, ResilientEstimator, Rung};
+use std::sync::Arc;
+
+use prmsel::{
+    DeltaState, MaintainOptions, Maintainer, PrmEstimator, PrmLearnConfig,
+    ResilientEstimator, Rung, SelectivityEstimator, UpdateBatch,
+};
 use reldb::Query;
 use workloads::tb::tb_database_sized;
 
@@ -55,7 +67,6 @@ fn main() {
     }
 
     let outcomes = est.estimate_batch(&queries);
-    let _ = std::panic::take_hook();
 
     assert_eq!(
         outcomes.len(),
@@ -96,5 +107,64 @@ fn main() {
             "healthy queries answer on the cached-exact rung"
         );
     }
+
+    // --- maintenance-cycle fault isolation ----------------------------
+    // One full cycle (apply → refit → swap) against a fresh estimator.
+    // The batch is a self-diff (zero row changes): it still walks every
+    // failpoint on the maintenance path, and a clean cycle is a fixed
+    // point, so the assertions below are seed-independent.
+    let maint_est =
+        Arc::new(PrmEstimator::build(&db, &config).expect("build maintenance model"));
+    let probe = workload().remove(0);
+    // The probe goes through the *raw* estimator (no degradation ladder),
+    // so it can only answer while no estimation-path site is armed.
+    let est_armed = armed.iter().any(|s| estimation_sites.contains(&s.as_str()));
+    let before = if est_armed {
+        None
+    } else {
+        Some(maint_est.estimate(&probe).expect("probe estimate").to_bits())
+    };
+    let seq0 = maint_est.epoch_seq();
+    let state = DeltaState::build(&maint_est.epoch().prm, &db).expect("delta state");
+    let maintainer =
+        Maintainer::spawn(maint_est.clone(), state, MaintainOptions::default());
+    let batch = UpdateBatch::diff(&db, &db).expect("self diff");
+    assert!(maintainer.submit(batch), "maintainer accepts the batch");
+    maintainer.flush();
+    maintainer.shutdown();
+    let _ = std::panic::take_hook();
+
+    let rejected = obs::counter!("prm.maintain.rejected").get();
+    let failed_alert = obs::watchdog::firing_critical()
+        .iter()
+        .any(|a| a.metric == "prm.maintain.failed");
+    println!(
+        "maintenance cycle: epoch {seq0} -> {} (rejected={rejected})",
+        maint_est.epoch_seq()
+    );
+    let maintain_sites = ["maintain.apply", "maintain.refit", "maintain.swap"];
+    if armed.iter().any(|s| maintain_sites.contains(&s.as_str())) {
+        assert_eq!(maint_est.epoch_seq(), seq0, "rejected cycle must not publish");
+        if let Some(before) = before {
+            assert_eq!(
+                maint_est.estimate(&probe).expect("old epoch answers").to_bits(),
+                before,
+                "old epoch keeps serving bit-identical answers"
+            );
+        }
+        assert!(rejected >= 1, "rejected cycles are counted");
+        assert!(failed_alert, "rejected cycle raises a critical alert");
+    } else if armed.is_empty() {
+        assert_eq!(maint_est.epoch_seq(), seq0 + 1, "clean cycle publishes one epoch");
+        assert_eq!(rejected, 0, "clean cycle rejects nothing");
+        assert!(!failed_alert, "clean cycle leaves no critical alert");
+    }
+    // Other armed sites (e.g. plan.compile=panic reaches the swap's plan
+    // precompilation) may or may not reject the cycle; the contract there
+    // is only that the process survives and the estimator still answers.
+    if !est_armed {
+        assert!(maint_est.estimate(&probe).expect("estimator answers").is_finite());
+    }
+
     println!("chaos contract held");
 }

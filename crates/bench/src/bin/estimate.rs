@@ -141,7 +141,7 @@ fn main() -> reldb::Result<()> {
         est.clear_plan_cache();
         for q in &suite.queries {
             let cached = est.estimate(q)?;
-            let uncached = est.unroll(q)?.estimated_size(est.prm());
+            let uncached = est.unroll(q)?.estimated_size(&est.epoch().prm);
             assert_eq!(
                 cached.to_bits(),
                 uncached.to_bits(),

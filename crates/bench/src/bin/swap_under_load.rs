@@ -1,0 +1,219 @@
+//! Hot-swap-under-traffic harness — proves zero-downtime maintenance.
+//!
+//! Spawns four reader threads hammering a shared [`PrmEstimator`] with a
+//! mixed TB workload, measures a warm-path latency baseline, then drives
+//! ten consecutive epoch swaps through the [`Maintainer`] while the
+//! traffic keeps running. Gates:
+//!
+//! 1. **zero errors** — no estimate fails or goes non-finite at any
+//!    point, including mid-swap;
+//! 2. **ten swaps publish** — the epoch sequence advances by exactly one
+//!    per maintenance cycle;
+//! 3. **bounded tail** — warm p99 during the swap storm stays under 2×
+//!    the no-swap baseline p99 (with a 5µs floor so a sub-microsecond
+//!    baseline cannot make the gate vacuous);
+//! 4. **fault isolation** — with `maintain.swap` armed to panic, the
+//!    cycle is rejected, the old epoch keeps serving bit-identical
+//!    answers, and a critical `prm.maintain.failed` alert fires; the
+//!    next healthy cycle swaps and resolves it.
+//!
+//! Exit code 0 = all gates held; asserts otherwise. `--quick` shrinks
+//! the dataset and measurement windows for the CI smoke job; `--out DIR`
+//! writes `BENCH_swap_under_load.json` with the measured percentiles.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use prmsel::{
+    DeltaState, MaintainOptions, Maintainer, PrmEstimator, PrmLearnConfig,
+    SelectivityEstimator,
+};
+use prmsel_bench::{emit_bench_json, FigRow, HarnessOpts};
+use reldb::Query;
+use workloads::tb::tb_database_sized;
+
+/// Traffic phases, stored in one shared atomic so reader threads can tag
+/// every sample with the regime it ran under.
+const PHASE_BASELINE: usize = 0;
+const PHASE_SWAP: usize = 1;
+const PHASE_STOP: usize = 2;
+
+const READERS: usize = 4;
+const SWAPS: usize = 10;
+
+fn workload() -> Vec<Query> {
+    let mut queries = Vec::with_capacity(24);
+    for i in 0..24 {
+        let mut b = Query::builder();
+        if i % 3 == 0 {
+            let c = b.var("contact");
+            let p = b.var("patient");
+            b.join(c, "patient", p).eq(p, "age", (i % 4) as i64);
+        } else {
+            let p = b.var("patient");
+            b.eq(p, "age", (i % 4) as i64);
+        }
+        queries.push(b.build());
+    }
+    queries
+}
+
+fn p99_us(samples: &mut [u64]) -> f64 {
+    assert!(!samples.is_empty(), "phase produced no samples");
+    samples.sort_unstable();
+    let idx = (samples.len() * 99 / 100).min(samples.len() - 1);
+    samples[idx] as f64 / 1e3
+}
+
+fn main() {
+    obs::init_from_env();
+    let opts = HarnessOpts::from_args();
+    let (patients, contacts, baseline_ms, gap_ms) =
+        if opts.quick { (80, 600, 150u64, 15u64) } else { (160, 2400, 600, 40) };
+
+    let db = tb_database_sized(40, patients, contacts, 13);
+    let config = PrmLearnConfig { budget_bytes: 8192, ..Default::default() };
+    let est = Arc::new(PrmEstimator::build(&db, &config).expect("build"));
+    let queries = Arc::new(workload());
+
+    // Warm the plan cache so the baseline measures the steady state the
+    // swap must preserve, not first-compile cost.
+    for q in queries.iter() {
+        est.estimate(q).expect("warmup estimate");
+    }
+    let baseline_answers: Vec<u64> =
+        queries.iter().map(|q| est.estimate(q).unwrap().to_bits()).collect();
+    let seq0 = est.epoch_seq();
+
+    let phase = Arc::new(AtomicUsize::new(PHASE_BASELINE));
+    let errors = Arc::new(AtomicU64::new(0));
+    let mut readers = Vec::new();
+    for r in 0..READERS {
+        let est = est.clone();
+        let queries = queries.clone();
+        let phase = phase.clone();
+        let errors = errors.clone();
+        readers.push(thread::spawn(move || {
+            // One latency vector per phase, tagged at sample time.
+            let mut samples: Vec<Vec<u64>> = vec![Vec::new(), Vec::new()];
+            let mut i = r; // stagger starting offsets across readers
+            loop {
+                let ph = phase.load(Ordering::Acquire);
+                if ph == PHASE_STOP {
+                    break;
+                }
+                let q = &queries[i % queries.len()];
+                i += 1;
+                let t0 = Instant::now();
+                let ok = matches!(est.estimate(q), Ok(v) if v.is_finite() && v >= 0.0);
+                let ns = t0.elapsed().as_nanos() as u64;
+                if !ok {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                }
+                samples[ph].push(ns);
+            }
+            samples
+        }));
+    }
+
+    // --- phase 0: no-swap baseline -----------------------------------
+    thread::sleep(Duration::from_millis(baseline_ms));
+
+    // --- phase 1: ten consecutive hot swaps under traffic ------------
+    let state = DeltaState::build(&est.epoch().prm, &db).expect("delta state");
+    let maintainer = Maintainer::spawn(est.clone(), state, MaintainOptions::default());
+    phase.store(PHASE_SWAP, Ordering::Release);
+    for _ in 0..SWAPS {
+        assert!(maintainer.refit_now(), "maintainer accepted refit");
+        maintainer.flush();
+        // Let traffic observe the freshly-published epoch between swaps.
+        thread::sleep(Duration::from_millis(gap_ms));
+    }
+    phase.store(PHASE_STOP, Ordering::Release);
+
+    let mut baseline = Vec::new();
+    let mut during = Vec::new();
+    for h in readers {
+        let mut s = h.join().expect("reader thread");
+        during.append(&mut s.pop().unwrap());
+        baseline.append(&mut s.pop().unwrap());
+    }
+
+    // --- gates --------------------------------------------------------
+    let errs = errors.load(Ordering::Relaxed);
+    assert_eq!(errs, 0, "every in-flight estimate must answer across swaps");
+    assert_eq!(est.epoch_seq(), seq0 + SWAPS as u64, "each cycle publishes one epoch");
+    let base_p99 = p99_us(&mut baseline);
+    let swap_p99 = p99_us(&mut during);
+    // 5µs floor: on a machine where the warm path is sub-microsecond the
+    // 2× bound would gate on scheduler noise, not on swap cost.
+    let bound = 2.0 * base_p99.max(5.0);
+    println!(
+        "traffic: {} baseline + {} during-swap samples across {READERS} readers",
+        baseline.len(),
+        during.len()
+    );
+    println!(
+        "warm p99: baseline {base_p99:.1}us, during {SWAPS} swaps {swap_p99:.1}us \
+         (bound {bound:.1}us)"
+    );
+    assert!(
+        swap_p99 < bound,
+        "swap storm must not double the warm tail: {swap_p99:.1}us >= {bound:.1}us"
+    );
+    // No data changed, so the refit is a fixed point: the new epochs
+    // answer bit-identically to the pre-swap model.
+    for (q, &want) in queries.iter().zip(&baseline_answers) {
+        assert_eq!(est.estimate(q).unwrap().to_bits(), want, "refit is a fixed point");
+    }
+
+    // --- fault isolation: a panicking swap leaves the old epoch up ----
+    let seq_before = est.epoch_seq();
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    failpoint::arm("maintain.swap", failpoint::Action::Panic);
+    assert!(maintainer.refit_now());
+    maintainer.flush();
+    failpoint::disarm("maintain.swap");
+    std::panic::set_hook(hook);
+    assert_eq!(est.epoch_seq(), seq_before, "rejected cycle must not publish");
+    for (q, &want) in queries.iter().zip(&baseline_answers) {
+        assert_eq!(est.estimate(q).unwrap().to_bits(), want, "old epoch keeps serving");
+    }
+    assert!(
+        obs::watchdog::firing_critical()
+            .iter()
+            .any(|a| a.metric == "prm.maintain.failed"),
+        "rejected cycle raises a critical alert"
+    );
+    assert!(maintainer.refit_now(), "maintainer survives the rejected cycle");
+    maintainer.flush();
+    assert_eq!(est.epoch_seq(), seq_before + 1, "healthy cycle swaps again");
+    assert!(
+        !obs::watchdog::firing_critical()
+            .iter()
+            .any(|a| a.metric == "prm.maintain.failed"),
+        "healthy cycle resolves the alert"
+    );
+    maintainer.shutdown();
+
+    let rejected = obs::counter!("prm.maintain.rejected").get();
+    let swaps = obs::counter!("prm.maintain.swaps").get();
+    println!("maintain counters: swaps={swaps} rejected={rejected}");
+    assert_eq!(rejected, 1, "exactly the armed cycle was rejected");
+
+    emit_bench_json(
+        &opts,
+        "swap_under_load",
+        &[(
+            "warm p99 (us) before/during hot swaps".to_owned(),
+            vec![
+                FigRow { method: "baseline".into(), x: 0.0, y: base_p99 },
+                FigRow { method: "during-swaps".into(), x: SWAPS as f64, y: swap_p99 },
+            ],
+        )],
+    );
+    println!("swap-under-load contract held");
+}

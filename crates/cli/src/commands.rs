@@ -60,6 +60,7 @@ pub fn run(args: &[String]) -> CliResult<String> {
         Some("inspect") => inspect(&args[1..]),
         Some("evaluate") => evaluate(&args[1..]),
         Some("describe") => describe(&args[1..]),
+        Some("maintain") => maintain(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("monitor") => crate::monitor::monitor(&args[1..]),
         Some("top") => crate::top::top(&args[1..]),
@@ -116,6 +117,9 @@ USAGE:
   prmsel inspect  --csv-dir DIR
   prmsel evaluate --model FILE --csv-dir DIR 'SELECT COUNT(*) ...'
   prmsel describe --model FILE
+  prmsel maintain --model FILE --csv-dir DIR --apply DIR
+                  [--watch [--watch-count N] [--interval-secs S]]
+                  [--out FILE]
   prmsel stats    --csv-dir DIR [--budget BYTES] [--pretty] [--traces]
                   [--trace-json FILE] [--templates] [--window N]
                   [--monitor HOST:PORT]
@@ -143,6 +147,10 @@ OPTIONS (all commands):
   PRMSEL_SLO_WARM_NS=N     warm-latency SLO for the burn-rate check
   PRMSEL_SLO_FALLBACK=R    fallback-ratio SLO (default 0.5)
   PRMSEL_ALERT_RING=N      watchdog alert-history capacity (default 256)
+  PRMSEL_DRIFT_RELEARN=D   per-row log-likelihood drift (nats) beyond which
+                           the maintenance loop flags structural relearning
+                           (default 0.5)
+  PRMSEL_PLAN_CACHE=N      resident compiled-plan capacity (default 64)
 
 `estimate` runs the degradation ladder (cached exact → uncached exact →
 AVI → uniform guess) and reports any degradation after the estimate;
@@ -181,6 +189,14 @@ workload and appends N windows of live rates.
 `top` is a live dashboard over a running monitor: qps, warm-latency, and
 q-error sparklines from /timeseries, cache hit ratios from /metrics, and
 firing watchdog alerts from /alerts; `--once` prints a single frame.
+
+`maintain` is the zero-downtime update path: it loads the model, seeds
+incremental sufficient statistics from the base `--csv-dir` data, diffs
+`--apply DIR` (same schema, updated rows) against it, and folds the
+changes in as an O(batch) delta refit + epoch hot swap — printing the
+new epoch, rows applied, and drift verdict. `--watch` keeps polling the
+apply directory and re-applying whatever changed (`--watch-count N`
+stops after N polls); `--out FILE` saves the refreshed model.
 
 `gen` writes a synthetic workload database as <table>.csv + schema.txt,
 ready for `build`/`stats`.
@@ -511,6 +527,18 @@ fn stats(args: &[String]) -> CliResult<String> {
         obs::counter!("prm.guard.deadline").get(),
         obs::counter!("prm.guard.panic").get(),
     ));
+    out.push_str(&format!(
+        "\nmaintain: epoch {} (staleness {} ms); {} batches, {} rows, \
+         {} refits, {} swaps, {} relearn, {} rejected",
+        prmsel::model_epoch(),
+        prmsel::model_staleness_ms(),
+        obs::counter!("prm.maintain.batches").get(),
+        obs::counter!("prm.maintain.rows").get(),
+        obs::counter!("prm.maintain.refits").get(),
+        obs::counter!("prm.maintain.swaps").get(),
+        obs::counter!("prm.maintain.relearn").get(),
+        obs::counter!("prm.maintain.rejected").get(),
+    ));
     if want_traces {
         let traces = obs::flight::ring().snapshot();
         if args.iter().any(|a| a == "--traces") {
@@ -660,14 +688,108 @@ pub(crate) fn example_workload(db: &Database) -> CliResult<Vec<reldb::Query>> {
     Ok(queries)
 }
 
+/// `prmsel maintain`: incremental maintenance against CSV snapshots.
+/// The base `--csv-dir` seeds the sufficient statistics; each pass
+/// diffs the `--apply` directory against the last-applied snapshot and
+/// folds the delta in through the background repair loop, hot-swapping
+/// a refreshed epoch under the (in-process) serving estimator.
+fn maintain(args: &[String]) -> CliResult<String> {
+    use std::sync::Arc;
+
+    let base_dir = PathBuf::from(required(args, "--csv-dir")?);
+    let apply_dir = PathBuf::from(required(args, "--apply")?);
+    let watch = args.iter().any(|a| a == "--watch");
+    let watch_count: usize = flag_value(args, "--watch-count")
+        .map(|v| v.parse().map_err(|_| CliError(format!("bad --watch-count `{v}`"))))
+        .transpose()?
+        .unwrap_or(usize::MAX);
+    let interval = std::time::Duration::from_secs(
+        flag_value(args, "--interval-secs")
+            .map(|v| {
+                v.parse().map_err(|_| CliError(format!("bad --interval-secs `{v}`")))
+            })
+            .transpose()?
+            .unwrap_or(2),
+    );
+
+    let est = Arc::new(open_estimator(args)?);
+    let mut current = load_csv_dir(&base_dir)?;
+    let epoch = est.epoch();
+    let state = prmsel::DeltaState::build(&epoch.prm, &current)?;
+    drop(epoch);
+    let maintainer =
+        prmsel::Maintainer::spawn(est.clone(), state, prmsel::MaintainOptions::default());
+
+    let mut out = String::new();
+    let mut batches = 0u64;
+    let mut rows = 0u64;
+    let passes = if watch { watch_count } else { 1 };
+    for pass in 0..passes {
+        if pass > 0 {
+            std::thread::sleep(interval);
+        }
+        let next = load_csv_dir(&apply_dir)?;
+        let batch = prmsel::UpdateBatch::diff(&current, &next)?;
+        if batch.is_empty() {
+            if !watch {
+                out.push_str("no changes to apply\n");
+            }
+            continue;
+        }
+        batches += 1;
+        rows += batch.rows();
+        let delta_rows = batch.rows();
+        if !maintainer.submit(batch) {
+            return Err(CliError("maintenance loop stopped unexpectedly".into()));
+        }
+        maintainer.flush();
+        current = next;
+        out.push_str(&format!(
+            "applied {delta_rows} row change(s); epoch {} (staleness {} ms)\n",
+            prmsel::model_epoch(),
+            prmsel::model_staleness_ms(),
+        ));
+    }
+    maintainer.shutdown();
+
+    let rejected = obs::counter!("prm.maintain.rejected").get();
+    let drift_alert = obs::watchdog::active()
+        .iter()
+        .any(|a| a.metric == "prm.maintain.drift" || a.metric == "prm.maintain.failed");
+    out.push_str(&format!(
+        "maintain: {batches} batch(es), {rows} row change(s), {} refit(s), \
+         {} swap(s), {} relearn flag(s), {rejected} rejected; \
+         drift threshold {} nats/row{}",
+        obs::counter!("prm.maintain.refits").get(),
+        obs::counter!("prm.maintain.swaps").get(),
+        obs::counter!("prm.maintain.relearn").get(),
+        prmsel::drift_relearn_threshold(),
+        if drift_alert { " [ALERT raised — see /alerts]" } else { "" },
+    ));
+    if rejected > 0 {
+        return Err(CliError(format!(
+            "{rejected} maintenance cycle(s) rejected; the old epoch kept serving\n{out}"
+        )));
+    }
+    if let Some(path) = flag_value(args, "--out") {
+        let epoch = est.epoch();
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError(format!("cannot create {path}: {e}")))?;
+        save_model(&epoch.prm, &epoch.schema, std::io::BufWriter::new(file))?;
+        out.push_str(&format!("\nsaved refreshed model to {path}"));
+    }
+    Ok(out)
+}
+
 fn describe(args: &[String]) -> CliResult<String> {
     let est = open_estimator(args)?;
+    let epoch = est.epoch();
     Ok(format!(
         "model: {} bytes, {} foreign parents, {} join-indicator parents\n{}",
         est.size_bytes(),
-        est.prm().foreign_parent_count(),
-        est.prm().ji_parent_count(),
-        est.prm().describe()
+        epoch.prm.foreign_parent_count(),
+        epoch.prm.ji_parent_count(),
+        epoch.prm.describe()
     ))
 }
 
@@ -726,6 +848,85 @@ mod tests {
 
         let desc = run(&s(&["describe", "--model", model.to_str().unwrap()])).unwrap();
         assert!(desc.contains("table contact"), "{desc}");
+    }
+
+    #[test]
+    fn maintain_applies_csv_deltas_and_swaps() {
+        let base = dump_db("maintain_base");
+        let model = base.join("model_m.prm");
+        run(&s(&[
+            "build",
+            "--csv-dir",
+            base.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // Same schema and domains, different rows: the incremental path.
+        let apply = std::env::temp_dir().join("prmsel_cli_test_maintain_apply");
+        write_csv_dir(&tb_database_sized(60, 80, 500, 11), &apply).unwrap();
+        let refreshed = base.join("model_m2.prm");
+        let out = run(&s(&[
+            "maintain",
+            "--model",
+            model.to_str().unwrap(),
+            "--csv-dir",
+            base.to_str().unwrap(),
+            "--apply",
+            apply.to_str().unwrap(),
+            "--out",
+            refreshed.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("applied"), "{out}");
+        assert!(out.contains("1 batch(es)"), "{out}");
+        assert!(out.contains("swap"), "{out}");
+        assert!(out.contains("saved refreshed model"), "{out}");
+
+        // The refreshed model matches a from-scratch refresh of the
+        // applied data.
+        let db = load_csv_dir(&apply).unwrap();
+        let file = std::fs::File::open(&model).unwrap();
+        let (prm, _) = load_model(std::io::BufReader::new(file)).unwrap();
+        let scratch = prmsel::refresh_parameters(&prm, &db).unwrap();
+        let file = std::fs::File::open(&refreshed).unwrap();
+        let (refit, _) = load_model(std::io::BufReader::new(file)).unwrap();
+        assert_eq!(refit.size_bytes(), scratch.size_bytes());
+        let sql = "SELECT COUNT(*) FROM patient p WHERE p.age IN (1, 2)";
+        let q = parse_query(sql).unwrap();
+        let a =
+            PrmEstimator::from_prm(refit, &db, "refit").unwrap().estimate(&q).unwrap();
+        let b = PrmEstimator::from_prm(scratch, &db, "scratch")
+            .unwrap()
+            .estimate(&q)
+            .unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn maintain_reports_no_changes_for_identical_snapshots() {
+        let base = dump_db("maintain_noop");
+        let model = base.join("model_n.prm");
+        run(&s(&[
+            "build",
+            "--csv-dir",
+            base.to_str().unwrap(),
+            "--out",
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&s(&[
+            "maintain",
+            "--model",
+            model.to_str().unwrap(),
+            "--csv-dir",
+            base.to_str().unwrap(),
+            "--apply",
+            base.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("no changes to apply"), "{out}");
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! | `GET /traces` (`/traces/chrome`, `/traces/worst`) | the flight-recorder ring as JSON / Chrome `trace_event` / pinned worst cases |
 //! | `GET /timeseries` | windowed rates + latency/q-error quantiles from the sampler ring |
 //! | `GET /alerts` | drift-watchdog state: active + historical alerts, thresholds |
-//! | `GET /health` | degradation-guard verdict: `200` healthy, `503` degraded or critical alert firing |
-//! | `GET /buildinfo` | package name, version, build profile, pid |
+//! | `GET /health` | degradation-guard verdict: `200` healthy, `503` degraded or critical alert firing; includes model epoch + staleness |
+//! | `GET /buildinfo` | package name, version, build profile, pid, model epoch + staleness |
 //!
 //! The router is plain data over the process-global [`obs`] registry and
 //! flight ring, so the same instance serves `prmsel monitor`, the
@@ -78,10 +78,13 @@ pub fn router() -> httpd::Router {
             httpd::Response::json(
                 200,
                 format!(
-                    "{{\"name\":\"prmsel\",\"version\":\"{}\",\"profile\":\"{}\",\"pid\":{}}}",
+                    "{{\"name\":\"prmsel\",\"version\":\"{}\",\"profile\":\"{}\",\"pid\":{},\
+                     \"model_epoch\":{},\"model_staleness_ms\":{}}}",
                     env!("CARGO_PKG_VERSION"),
                     if cfg!(debug_assertions) { "debug" } else { "release" },
-                    std::process::id()
+                    std::process::id(),
+                    prmsel::model_epoch(),
+                    prmsel::model_staleness_ms()
                 ),
             )
         })
@@ -105,11 +108,14 @@ fn health() -> (u16, String) {
     let body = format!(
         "{{\"status\":\"{}\",\"guard_queries\":{queries},\"guard_fallback\":{fallback},\
          \"fallback_ratio\":{ratio:?},\"failpoints_armed\":[{}],\
-         \"critical_alerts\":[{}],\"flight_recording\":{}}}",
+         \"critical_alerts\":[{}],\"flight_recording\":{},\
+         \"model_epoch\":{},\"model_staleness_ms\":{}}}",
         if degraded { "degraded" } else { "ok" },
         sites.join(","),
         alerts.join(","),
-        obs::flight::on()
+        obs::flight::on(),
+        prmsel::model_epoch(),
+        prmsel::model_staleness_ms()
     );
     (if degraded { 503 } else { 200 }, body)
 }

@@ -147,6 +147,21 @@ fn render(
         counter_of(snap, "prm.guard.queries"),
     );
 
+    // --- model freshness + maintenance loop ---------------------------
+    let _ = writeln!(
+        out,
+        "  model epoch {:>4}  staleness {:>7.0} ms   maintain {}b/{}r \
+         {}refit {}swap {}relearn {}rej",
+        snap.gauge("prm.model.epoch").unwrap_or(0.0),
+        snap.gauge("prm.model.staleness_ms").unwrap_or(0.0),
+        counter_of(snap, "prm.maintain.batches"),
+        counter_of(snap, "prm.maintain.rows"),
+        counter_of(snap, "prm.maintain.refits"),
+        counter_of(snap, "prm.maintain.swaps"),
+        counter_of(snap, "prm.maintain.relearn"),
+        counter_of(snap, "prm.maintain.rejected"),
+    );
+
     // --- per-template q-error over the newest window ------------------
     let templates = ts.get("templates").and_then(Json::as_array).unwrap_or(&[]);
     if !templates.is_empty() {

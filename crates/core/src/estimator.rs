@@ -6,6 +6,7 @@
 //! compares error at equal `size_bytes()`.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use baselines::sample::JoinPath;
 use baselines::{
@@ -19,6 +20,7 @@ use crate::plan::{FactorCache, FoldCache, PlanCache, PlanKey, QueryPlan};
 use crate::prm::Prm;
 use crate::qebn::QueryEvalBn;
 use crate::schema::SchemaInfo;
+use crate::swap::EpochCell;
 
 /// A selectivity estimator: maps a query to an estimated result size.
 ///
@@ -197,129 +199,52 @@ pub enum InferenceEngine {
     },
 }
 
-/// The paper's estimator: a PRM queried through query-evaluation BNs.
-///
-/// The exact-inference path is compile-once, estimate-many: CPD factors
-/// are materialized once per model ([`FactorCache`]) and query templates
-/// are compiled once into replayable plans ([`PlanCache`]) — see
-/// [`crate::plan`]. Cached and uncached estimates are bit-identical.
+/// One immutable serving generation of the PRM estimator: the model, the
+/// schema snapshot it answers against, and every cache derived from them
+/// (CPD factors, compiled plans, fold constants). Epochs are published
+/// atomically through an [`EpochCell`] — an in-flight estimate pins the
+/// epoch it started on and finishes there, so a concurrent
+/// [`PrmEstimator::replace_model`] can never mix old parameters with new
+/// plans (or vice versa) mid-query.
 #[derive(Debug)]
-pub struct PrmEstimator {
-    name: String,
-    prm: Prm,
-    schema: SchemaInfo,
-    engine: InferenceEngine,
-    factors: FactorCache,
-    plans: PlanCache,
-    folds: FoldCache,
+pub struct ModelEpoch {
+    /// The model answering queries in this epoch.
+    pub prm: Prm,
+    /// The schema snapshot captured when the model was (re)built.
+    pub schema: SchemaInfo,
+    pub(crate) factors: FactorCache,
+    pub(crate) plans: PlanCache,
+    pub(crate) folds: FoldCache,
+    seq: u64,
+    created_ms: u64,
 }
 
-impl PrmEstimator {
-    /// Learns a PRM from the database and wraps it for estimation.
-    pub fn build(db: &Database, config: &PrmLearnConfig) -> Result<Self> {
-        let _span = obs::span("prm.build");
-        let name = if config.allow_foreign_parents || config.max_ji_parents > 0 {
-            "PRM"
-        } else {
-            "BN+UJ"
-        };
-        let prm = learn_prm(db, config)?;
-        let est = PrmEstimator {
-            name: name.to_owned(),
-            factors: FactorCache::new(&prm),
-            prm,
-            schema: SchemaInfo::from_db(db)?,
-            engine: InferenceEngine::Exact,
-            plans: PlanCache::with_default_capacity(),
-            folds: FoldCache::new(),
-        };
-        obs::gauge!("prm.model.bytes").set(est.prm.size_bytes() as f64);
-        obs::info!(
-            "built {} model: {} bytes over {} tables",
-            est.name,
-            est.prm.size_bytes(),
-            est.prm.tables.len()
-        );
-        Ok(est)
-    }
-
-    /// Wraps an already-learned PRM.
-    pub fn from_prm(prm: Prm, db: &Database, name: impl Into<String>) -> Result<Self> {
-        Ok(PrmEstimator {
-            name: name.into(),
-            factors: FactorCache::new(&prm),
-            prm,
-            schema: SchemaInfo::from_db(db)?,
-            engine: InferenceEngine::Exact,
-            plans: PlanCache::with_default_capacity(),
-            folds: FoldCache::new(),
-        })
-    }
-
-    /// Assembles an estimator from persisted artifacts (see
-    /// [`crate::persist`]) — no database access needed at estimation time.
-    pub fn from_parts(prm: Prm, schema: SchemaInfo, name: impl Into<String>) -> Self {
-        let est = PrmEstimator {
-            name: name.into(),
+impl ModelEpoch {
+    fn new(prm: Prm, schema: SchemaInfo, seq: u64) -> Self {
+        ModelEpoch {
             factors: FactorCache::new(&prm),
             prm,
             schema,
-            engine: InferenceEngine::Exact,
             plans: PlanCache::with_default_capacity(),
             folds: FoldCache::new(),
-        };
-        est.precompile_from_env();
-        est
+            seq,
+            created_ms: obs::timeseries::now_ms(),
+        }
     }
 
-    /// Selects the inference engine used for `P(E)`.
-    pub fn set_engine(&mut self, engine: InferenceEngine) {
-        self.engine = engine;
+    /// The epoch sequence number (1 for the epoch built with the
+    /// estimator, +1 per hot swap).
+    pub fn seq(&self) -> u64 {
+        self.seq
     }
 
-    /// Replaces the model (and schema snapshot) in place, invalidating
-    /// the factor and plan caches — the reload path for maintenance
-    /// (paper §6): a refreshed model must never answer from stale plans.
-    pub fn replace_model(&mut self, prm: Prm, schema: SchemaInfo) {
-        self.factors = FactorCache::new(&prm);
-        self.prm = prm;
-        self.schema = schema;
-        self.plans.clear();
-        self.folds = FoldCache::new();
-        obs::gauge!("prm.model.bytes").set(self.prm.size_bytes() as f64);
-        self.precompile_from_env();
+    /// Wall-clock milliseconds when this epoch was assembled.
+    pub fn created_ms(&self) -> u64 {
+        self.created_ms
     }
 
-    /// Caps the number of resident compiled plans (`0` disables plan
-    /// caching; every estimate then compiles and discards its plan).
-    pub fn set_plan_cache_capacity(&self, capacity: usize) {
-        self.plans.set_capacity(capacity);
-    }
-
-    /// Drops every compiled plan (cold-cache starting point for benches).
-    pub fn clear_plan_cache(&self) {
-        self.plans.clear();
-    }
-
-    /// Drops every resident plan's evidence-signature memo while keeping
-    /// the plans themselves — the memo-*miss* starting point for benches:
-    /// the next estimate replays the masked suffix but skips compilation.
-    pub fn clear_reduce_memos(&self) {
-        self.plans.clear_reduce_memos();
-    }
-
-    /// The templates currently resident in the plan cache, most recently
-    /// used first — the natural contents of a precompile manifest (see
-    /// [`crate::save_manifest`]).
-    pub fn plan_keys(&self) -> Vec<PlanKey> {
-        self.plans.keys()
-    }
-
-    /// Compiles plans for `keys` ahead of queries (fanned out across the
-    /// worker pool), so first touches of those templates hit the plan
-    /// cache and pay only the evidence-dependent replay suffix. Keys that
-    /// are already resident or fail to compile are skipped. Returns the
-    /// number of plans inserted.
+    /// Compiles plans for `keys` into this epoch's plan cache (fanned out
+    /// across the worker pool). Returns the number of plans inserted.
     pub fn precompile(&self, keys: &[PlanKey]) -> usize {
         let _span = obs::span("prm.plan.precompile");
         self.plans.precompile(&self.prm, &self.schema, &self.factors, &self.folds, keys)
@@ -350,38 +275,170 @@ impl PrmEstimator {
         let n = self.precompile(&keys);
         obs::info!("precompiled {n} of {} manifest templates from {path}", keys.len());
     }
+}
+
+/// The paper's estimator: a PRM queried through query-evaluation BNs.
+///
+/// The exact-inference path is compile-once, estimate-many: CPD factors
+/// are materialized once per model ([`FactorCache`]) and query templates
+/// are compiled once into replayable plans ([`PlanCache`]) — see
+/// [`crate::plan`]. Cached and uncached estimates are bit-identical.
+///
+/// Model state lives in an immutable [`ModelEpoch`] behind an
+/// [`EpochCell`], so [`replace_model`](PrmEstimator::replace_model)
+/// works through `&self` and hot-swaps the model under live traffic: the
+/// new epoch is fully built (factors materialized, hot templates
+/// recompiled) *before* it is published, and in-flight estimates finish
+/// on the epoch they started with.
+#[derive(Debug)]
+pub struct PrmEstimator {
+    name: String,
+    engine: InferenceEngine,
+    epochs: EpochCell<ModelEpoch>,
+}
+
+impl PrmEstimator {
+    fn from_epoch(name: String, epoch: ModelEpoch) -> Self {
+        obs::gauge!("prm.model.bytes").set(epoch.prm.size_bytes() as f64);
+        crate::maintain::note_model_refreshed(epoch.seq);
+        PrmEstimator {
+            name,
+            engine: InferenceEngine::Exact,
+            epochs: EpochCell::new(epoch),
+        }
+    }
+
+    /// Learns a PRM from the database and wraps it for estimation.
+    pub fn build(db: &Database, config: &PrmLearnConfig) -> Result<Self> {
+        let _span = obs::span("prm.build");
+        let name = if config.allow_foreign_parents || config.max_ji_parents > 0 {
+            "PRM"
+        } else {
+            "BN+UJ"
+        };
+        let prm = learn_prm(db, config)?;
+        let schema = SchemaInfo::from_db(db)?;
+        obs::info!(
+            "built {} model: {} bytes over {} tables",
+            name,
+            prm.size_bytes(),
+            prm.tables.len()
+        );
+        Ok(Self::from_epoch(name.to_owned(), ModelEpoch::new(prm, schema, 1)))
+    }
+
+    /// Wraps an already-learned PRM.
+    pub fn from_prm(prm: Prm, db: &Database, name: impl Into<String>) -> Result<Self> {
+        let schema = SchemaInfo::from_db(db)?;
+        Ok(Self::from_epoch(name.into(), ModelEpoch::new(prm, schema, 1)))
+    }
+
+    /// Assembles an estimator from persisted artifacts (see
+    /// [`crate::persist`]) — no database access needed at estimation time.
+    pub fn from_parts(prm: Prm, schema: SchemaInfo, name: impl Into<String>) -> Self {
+        let epoch = ModelEpoch::new(prm, schema, 1);
+        epoch.precompile_from_env();
+        Self::from_epoch(name.into(), epoch)
+    }
+
+    /// Selects the inference engine used for `P(E)`.
+    pub fn set_engine(&mut self, engine: InferenceEngine) {
+        self.engine = engine;
+    }
+
+    /// The current serving epoch. The returned `Arc` pins model, schema,
+    /// and caches together: hold it across related calls when a
+    /// consistent view matters (a later `epoch()` may observe a swap).
+    pub fn epoch(&self) -> Arc<ModelEpoch> {
+        self.epochs.load()
+    }
+
+    /// The current epoch sequence number (starts at 1, +1 per swap).
+    pub fn epoch_seq(&self) -> u64 {
+        self.epochs.seq()
+    }
+
+    /// Publishes a refreshed model (and schema snapshot) as a new epoch —
+    /// the hot-reload path for maintenance (paper §6). All expensive work
+    /// happens *before* the swap, off the request path: the new epoch's
+    /// factors are materialized, the old epoch's resident templates are
+    /// recompiled against the new model, and any `PRMSEL_PRECOMPILE`
+    /// manifest is replayed. Traffic keeps answering from the old epoch
+    /// until the single atomic publish; a refreshed model never answers
+    /// from stale plans because plans live inside their epoch.
+    pub fn replace_model(&self, prm: Prm, schema: SchemaInfo) {
+        let _span = obs::span("prm.swap");
+        let old = self.epochs.load();
+        let next = ModelEpoch::new(prm, schema, old.seq + 1);
+        next.plans.set_capacity(old.plans.capacity());
+        // Warm the new epoch with the old epoch's hot templates so the
+        // first post-swap estimate of each stays on the replay path.
+        next.precompile(&old.plans.keys());
+        next.precompile_from_env();
+        obs::gauge!("prm.model.bytes").set(next.prm.size_bytes() as f64);
+        let seq = next.seq;
+        self.epochs.swap(Arc::new(next));
+        obs::counter!("prm.maintain.swaps").inc();
+        crate::maintain::note_model_refreshed(seq);
+    }
+
+    /// Caps the number of resident compiled plans (`0` disables plan
+    /// caching; every estimate then compiles and discards its plan). The
+    /// bound carries forward across [`replace_model`](Self::replace_model).
+    pub fn set_plan_cache_capacity(&self, capacity: usize) {
+        self.epochs.load().plans.set_capacity(capacity);
+    }
+
+    /// Drops every compiled plan (cold-cache starting point for benches).
+    pub fn clear_plan_cache(&self) {
+        self.epochs.load().plans.clear();
+    }
+
+    /// Drops every resident plan's evidence-signature memo while keeping
+    /// the plans themselves — the memo-*miss* starting point for benches:
+    /// the next estimate replays the masked suffix but skips compilation.
+    pub fn clear_reduce_memos(&self) {
+        self.epochs.load().plans.clear_reduce_memos();
+    }
+
+    /// The templates currently resident in the plan cache, most recently
+    /// used first — the natural contents of a precompile manifest (see
+    /// [`crate::save_manifest`]).
+    pub fn plan_keys(&self) -> Vec<PlanKey> {
+        self.epochs.load().plans.keys()
+    }
+
+    /// Compiles plans for `keys` ahead of queries (fanned out across the
+    /// worker pool), so first touches of those templates hit the plan
+    /// cache and pay only the evidence-dependent replay suffix. Keys that
+    /// are already resident or fail to compile are skipped. Returns the
+    /// number of plans inserted.
+    pub fn precompile(&self, keys: &[PlanKey]) -> usize {
+        self.epochs.load().precompile(keys)
+    }
 
     /// Number of resident compiled plans.
     pub fn plan_cache_len(&self) -> usize {
-        self.plans.len()
+        self.epochs.load().plans.len()
     }
 
     /// Whether `query`'s template already has a resident plan.
     pub fn has_cached_plan(&self, query: &Query) -> bool {
-        self.plans.contains(&PlanKey::of(query))
+        self.epochs.load().plans.contains(&PlanKey::of(query))
     }
 
     /// Resident entries in the reduced-factor memo of `query`'s plan, or
     /// `None` when no plan is resident — introspection for tests and
     /// tools.
     pub fn reduce_memo_len(&self, query: &Query) -> Option<usize> {
-        self.plans.peek(query).map(|p| p.reduce_memo_len())
-    }
-
-    /// The underlying model.
-    pub fn prm(&self) -> &Prm {
-        &self.prm
-    }
-
-    /// The schema snapshot captured at build time.
-    pub fn schema_info(&self) -> &SchemaInfo {
-        &self.schema
+        self.epochs.load().plans.peek(query).map(|p| p.reduce_memo_len())
     }
 
     /// Builds (without evaluating) the query-evaluation network — exposed
     /// for inspection and tests.
     pub fn unroll(&self, query: &Query) -> Result<QueryEvalBn> {
-        Ok(QueryEvalBn::build(&self.prm, &self.schema, query)?)
+        let ep = self.epochs.load();
+        Ok(QueryEvalBn::build(&ep.prm, &ep.schema, query)?)
     }
 
     /// Exact estimate that bypasses the plan cache entirely: the template
@@ -390,9 +447,10 @@ impl PrmEstimator {
     /// panic on the cached path, a fresh compile sidesteps any poisoned
     /// resident plan while still answering exactly.
     pub fn estimate_uncached(&self, query: &Query) -> Result<f64> {
-        self.schema.validate_query(query)?;
-        let plan = QueryPlan::compile(&self.prm, &self.schema, &self.factors, query)?;
-        plan.estimate(&self.schema, query)
+        let ep = self.epochs.load();
+        ep.schema.validate_query(query)?;
+        let plan = QueryPlan::compile(&ep.prm, &ep.schema, &ep.factors, query)?;
+        plan.estimate(&ep.schema, query)
     }
 
     /// Explains an estimate: the upward closure, the unrolled network's
@@ -400,7 +458,8 @@ impl PrmEstimator {
     /// a DBA would want when an optimizer picks a surprising plan.
     pub fn explain(&self, query: &Query) -> Result<String> {
         use std::fmt::Write;
-        let qebn = self.unroll(query)?;
+        let ep = self.epochs.load();
+        let qebn = QueryEvalBn::build(&ep.prm, &ep.schema, query)?;
         let p = bayesnet::probability_of_evidence(&qebn.bn, &qebn.evidence);
         let mut out = String::new();
         let _ = writeln!(
@@ -414,7 +473,7 @@ impl PrmEstimator {
             let _ = writeln!(
                 out,
                 "  v{v}: {} (|T| = {}){introduced}",
-                self.prm.tables[t].table, self.prm.tables[t].n_rows
+                ep.prm.tables[t].table, ep.prm.tables[t].n_rows
             );
         }
         let _ = writeln!(
@@ -424,11 +483,8 @@ impl PrmEstimator {
             qebn.bn.size_bytes()
         );
         let _ = writeln!(out, "P(selects AND joins) = {p:.3e}");
-        let product: f64 = qebn
-            .closure_tables
-            .iter()
-            .map(|&t| self.prm.tables[t].n_rows as f64)
-            .product();
+        let product: f64 =
+            qebn.closure_tables.iter().map(|&t| ep.prm.tables[t].n_rows as f64).product();
         let _ = writeln!(out, "estimate = {product:.0} x {p:.3e} = {:.1}", product * p);
         Ok(out)
     }
@@ -440,13 +496,17 @@ impl SelectivityEstimator for PrmEstimator {
     }
 
     fn size_bytes(&self) -> usize {
-        self.prm.size_bytes()
+        self.epochs.load().prm.size_bytes()
     }
 
     fn estimate(&self, query: &Query) -> Result<f64> {
         let start = std::time::Instant::now();
         failpoint::fail_point!("estimate.query").map_err(Error::from)?;
-        self.schema.validate_query(query)?;
+        // Pin the serving epoch once: the whole estimate — validation,
+        // plan lookup/compile, replay — runs against one consistent
+        // (model, schema, caches) generation even if a swap lands now.
+        let ep = self.epochs.load();
+        ep.schema.validate_query(query)?;
         obs::flight::begin(|| query_label(query));
         // Template attribution is gated like the flight recorder: one
         // relaxed load when off, hash + thread-local store when on.
@@ -462,29 +522,29 @@ impl SelectivityEstimator for PrmEstimator {
             InferenceEngine::Exact => {
                 let plan = {
                     let _plan_phase = obs::flight::phase("plan");
-                    let (plan, hit) = self.plans.get_or_compile(query, || {
+                    let (plan, hit) = ep.plans.get_or_compile(query, || {
                         QueryPlan::compile_with(
-                            &self.prm,
-                            &self.schema,
-                            &self.factors,
+                            &ep.prm,
+                            &ep.schema,
+                            &ep.factors,
                             query,
-                            Some(&self.folds),
+                            Some(&ep.folds),
                         )
                     })?;
                     warm = hit;
                     plan
                 };
                 obs::histogram!("prm.qebn.nodes").record(plan.n_nodes() as u64);
-                plan.estimate(&self.schema, query)?
+                plan.estimate(&ep.schema, query)?
             }
             InferenceEngine::LikelihoodWeighting { samples, seed } => {
                 let qebn = {
                     let _unroll_phase = obs::flight::phase("unroll");
-                    QueryEvalBn::build(&self.prm, &self.schema, query)?
+                    QueryEvalBn::build(&ep.prm, &ep.schema, query)?
                 };
                 obs::histogram!("prm.qebn.nodes").record(qebn.bn.len() as u64);
                 let _sample_phase = obs::flight::phase("sample");
-                qebn.estimated_size_approx(&self.prm, samples, seed)
+                qebn.estimated_size_approx(&ep.prm, samples, seed)
             }
         };
         obs::flight::finish(est);

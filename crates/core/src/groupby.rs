@@ -31,8 +31,9 @@ impl PrmEstimator {
         attr: &str,
     ) -> Result<Vec<GroupEstimate>> {
         let table_name = query.vars.get(var).ok_or(Error::UnknownVar(var))?;
-        let table = self
-            .schema_info()
+        let epoch = self.epoch();
+        let table = epoch
+            .schema
             .tables
             .iter()
             .find(|t| &t.name == table_name)

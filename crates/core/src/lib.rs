@@ -67,6 +67,7 @@
 //! | [`schema`] | — | schema snapshot used by the online phase |
 
 pub(crate) mod ctx;
+pub mod delta;
 pub mod error;
 pub mod estimator;
 pub mod groupby;
@@ -83,17 +84,22 @@ pub mod prm;
 pub mod qebn;
 pub mod resilient;
 pub mod schema;
+pub mod swap;
 
+pub use delta::{DeltaRow, DeltaState, TableDelta, UpdateBatch};
 pub use error::{BudgetKind, Error, ErrorClass, Result};
 pub use estimator::{
     estimate_batch, estimate_batch_with_threshold, query_label, AviAdapter,
-    InferenceEngine, JoinSampleAdapter, MhistAdapter, PrmEstimator, SampleAdapter,
-    SelectivityEstimator, WaveletAdapter, DEFAULT_PAR_THRESHOLD_NS,
+    InferenceEngine, JoinSampleAdapter, MhistAdapter, ModelEpoch, PrmEstimator,
+    SampleAdapter, SelectivityEstimator, WaveletAdapter, DEFAULT_PAR_THRESHOLD_NS,
 };
 pub use groupby::GroupEstimate;
 pub use largedomain::{discretize_database, DiscretizedDatabase, DiscretizingEstimator};
 pub use learn::{learn_prm, PrmLearnConfig};
-pub use maintain::{model_loglik, refresh_parameters};
+pub use maintain::{
+    drift_relearn_threshold, model_epoch, model_loglik, model_staleness_ms,
+    refresh_parameters, MaintainOptions, Maintainer, RelearnFn, DEFAULT_DRIFT_RELEARN,
+};
 pub use metrics::{
     adjusted_relative_error, evaluate_suite, record_quality, set_template_telemetry,
     template_label, template_telemetry_on, SuiteEval,
@@ -106,6 +112,7 @@ pub use prm::{JiParentRef, ParentRef, Prm};
 pub use qebn::{NodeSource, QueryEvalBn};
 pub use resilient::{Outcome, ResilientEstimator, Rung};
 pub use schema::SchemaInfo;
+pub use swap::EpochCell;
 
 // Re-export the knobs callers tune.
 pub use bayesnet::learn::treecpd::TreeGrowOptions;

@@ -14,17 +14,34 @@
 //!   the pair populations). Tracking this score across updates is the
 //!   paper's trigger for structural relearning: a model whose score decays
 //!   badly no longer matches the data's dependence structure.
+//! * [`Maintainer`] — the background repair loop: consumes
+//!   [`UpdateBatch`]es, folds them into a [`DeltaState`] (O(batch), not
+//!   O(database)), refits, validates, and hot-swaps a new
+//!   [`crate::ModelEpoch`] into a shared [`crate::PrmEstimator`] — all off
+//!   the request path. Drift beyond [`drift_relearn_threshold`] escalates
+//!   to a structural relearn (or a watchdog alert when no relearn source
+//!   is wired). A failed or panicking cycle leaves the old epoch serving.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::Duration;
 
 use bayesnet::cpd::TableCpd;
 use bayesnet::Cpd;
 use reldb::{Database, Error, Result};
 
 use crate::ctx::Ctx;
+use crate::delta::{DeltaState, UpdateBatch};
+use crate::error::{Error as CoreError, Result as CoreResult};
+use crate::estimator::PrmEstimator;
 use crate::learn::PrmLearnConfig;
 use crate::prm::{JiParentRef, ParentRef, Prm};
+use crate::schema::SchemaInfo;
 
 /// Floor applied to model probabilities when scoring (see [`model_loglik`]).
-const P_FLOOR: f64 = 1e-12;
+pub(crate) const P_FLOOR: f64 = 1e-12;
 
 /// Re-estimates all parameters of `prm` from `db`, keeping structure.
 ///
@@ -59,6 +76,13 @@ pub fn refresh_parameters(prm: &Prm, db: &Database) -> Result<Prm> {
     Ok(out)
 }
 
+/// Row chunk size for the parallel scoring pass. Chunk boundaries are
+/// *fixed* (independent of `PRMSEL_THREADS`), and per-chunk partial sums
+/// are folded sequentially in chunk order, so the result is bit-identical
+/// at every thread count — the watchdog compares scores across runs, and
+/// a thread-count-dependent rounding wobble would read as phantom drift.
+const LOGLIK_CHUNK: usize = 8192;
+
 /// Log-likelihood of the database under the PRM's *current parameters*
 /// (not the MLE refit): attribute families contribute
 /// `Σ_rows ln P(x | pa)`, join indicators contribute the Bernoulli
@@ -67,6 +91,10 @@ pub fn refresh_parameters(prm: &Prm, db: &Database) -> Result<Prm> {
 /// Probabilities are floored at `1e-12` so that a drifted row landing on
 /// an MLE-zero cell produces a large finite penalty instead of `-∞` —
 /// this keeps the score usable as the paper's relearning trigger.
+///
+/// The per-row attribute scan fans out across the worker pool in fixed
+/// [`LOGLIK_CHUNK`]-row chunks; see there for why the answer does not
+/// depend on the thread count.
 pub fn model_loglik(prm: &Prm, db: &Database) -> Result<f64> {
     let ctx = ctx_for(prm, db)?;
     let mut ll = 0.0;
@@ -76,13 +104,22 @@ pub fn model_loglik(prm: &Prm, db: &Database) -> Result<f64> {
             let parent_data: Vec<(&[u32], usize)> =
                 attr.parents.iter().map(|&p| parent_column(&ctx, t, p)).collect();
             let child_col = &table.cols[a];
-            let mut config = vec![0u32; parent_data.len()];
-            for (row, &child) in child_col.iter().enumerate() {
-                for (slot, (col, _)) in config.iter_mut().zip(&parent_data) {
-                    *slot = col[row];
+            let starts: Vec<usize> = (0..child_col.len()).step_by(LOGLIK_CHUNK).collect();
+            let partials = par::map(&starts, |&start| {
+                let end = (start + LOGLIK_CHUNK).min(child_col.len());
+                let mut config = vec![0u32; parent_data.len()];
+                let mut part = 0.0f64;
+                for row in start..end {
+                    for (slot, (col, _)) in config.iter_mut().zip(&parent_data) {
+                        *slot = col[row];
+                    }
+                    let p = attr.cpd.dist(&config)[child_col[row] as usize].max(P_FLOOR);
+                    part += p.ln();
                 }
-                let p = attr.cpd.dist(&config)[child as usize].max(P_FLOOR);
-                ll += p.ln();
+                part
+            });
+            for part in partials {
+                ll += part;
             }
         }
         for (f, ji) in table_model.join_indicators.iter().enumerate() {
@@ -94,7 +131,7 @@ pub fn model_loglik(prm: &Prm, db: &Database) -> Result<f64> {
 }
 
 /// Builds a learning context matching the PRM's schema assumptions.
-fn ctx_for(prm: &Prm, db: &Database) -> Result<Ctx> {
+pub(crate) fn ctx_for(prm: &Prm, db: &Database) -> Result<Ctx> {
     let needs_foreign = prm.foreign_parent_count() > 0;
     let config =
         PrmLearnConfig { allow_foreign_parents: needs_foreign, ..Default::default() };
@@ -123,7 +160,7 @@ fn ctx_for(prm: &Prm, db: &Database) -> Result<Ctx> {
     Ok(ctx)
 }
 
-fn parent_column(ctx: &Ctx, t: usize, p: ParentRef) -> (&[u32], usize) {
+pub(crate) fn parent_column(ctx: &Ctx, t: usize, p: ParentRef) -> (&[u32], usize) {
     let table = &ctx.tables[t];
     match p {
         ParentRef::Local { attr } => (&table.cols[attr], table.cards[attr]),
@@ -134,7 +171,7 @@ fn parent_column(ctx: &Ctx, t: usize, p: ParentRef) -> (&[u32], usize) {
     }
 }
 
-fn family_counts(
+pub(crate) fn family_counts(
     parent_data: &[(&[u32], usize)],
     child_col: &[u32],
     child_card: usize,
@@ -219,9 +256,15 @@ fn ji_statistics_against(
     (Vec::new(), ll)
 }
 
-type JiCounts = (Vec<u64>, Vec<u64>, Vec<u64>, Vec<usize>, Vec<usize>, Vec<usize>);
+pub(crate) type JiCounts =
+    (Vec<u64>, Vec<u64>, Vec<u64>, Vec<usize>, Vec<usize>, Vec<usize>);
 
-fn ji_counts(ctx: &Ctx, t: usize, f: usize, parents: &[JiParentRef]) -> JiCounts {
+pub(crate) fn ji_counts(
+    ctx: &Ctx,
+    t: usize,
+    f: usize,
+    parents: &[JiParentRef],
+) -> JiCounts {
     let table = &ctx.tables[t];
     let fk = &table.fks[f];
     let target = &ctx.tables[fk.target];
@@ -287,7 +330,7 @@ fn ji_counts(ctx: &Ctx, t: usize, f: usize, parents: &[JiParentRef]) -> JiCounts
     (n_true, child_counts, parent_counts, cards, child_dims, parent_dims)
 }
 
-fn marginal_counts(data: &[(&[u32], usize)], n_rows: usize) -> Vec<u64> {
+pub(crate) fn marginal_counts(data: &[(&[u32], usize)], n_rows: usize) -> Vec<u64> {
     let size: usize = data.iter().map(|&(_, c)| c).product::<usize>().max(1);
     let mut counts = vec![0u64; size];
     if data.is_empty() {
@@ -304,19 +347,302 @@ fn marginal_counts(data: &[(&[u32], usize)], n_rows: usize) -> Vec<u64> {
     counts
 }
 
-fn decode(mut idx: usize, cards: &[usize], config: &mut [u32]) {
+pub(crate) fn decode(mut idx: usize, cards: &[usize], config: &mut [u32]) {
     for k in (0..cards.len()).rev() {
         config[k] = (idx % cards[k]) as u32;
         idx /= cards[k];
     }
 }
 
-fn linearize(config: &[u32], dims: &[usize], cards: &[usize]) -> usize {
+pub(crate) fn linearize(config: &[u32], dims: &[usize], cards: &[usize]) -> usize {
     let mut idx = 0usize;
     for &d in dims {
         idx = idx * cards[d] + config[d] as usize;
     }
     idx
+}
+
+// ---------------------------------------------------------------------
+// Process-wide serving-model freshness.
+// ---------------------------------------------------------------------
+
+static MODEL_EPOCH: AtomicU64 = AtomicU64::new(0);
+static LAST_REFRESH_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Records a model (re)build. Called by the estimator on construction
+/// and on every hot swap; when several estimators live in one process
+/// the freshest write wins (same convention as the gauges).
+pub(crate) fn note_model_refreshed(seq: u64) {
+    MODEL_EPOCH.store(seq, Ordering::Relaxed);
+    LAST_REFRESH_MS.store(obs::timeseries::now_ms(), Ordering::Relaxed);
+    obs::gauge!("prm.model.epoch").set(seq as f64);
+    obs::gauge!("prm.model.staleness_ms").set(0.0);
+}
+
+/// The serving-model epoch sequence (0 before any model is built) —
+/// what `/buildinfo`, `/health`, and `prmsel top` report.
+pub fn model_epoch() -> u64 {
+    MODEL_EPOCH.load(Ordering::Relaxed)
+}
+
+/// Milliseconds since the serving model was last built or hot-swapped
+/// (0 before any model is built).
+pub fn model_staleness_ms() -> u64 {
+    let last = LAST_REFRESH_MS.load(Ordering::Relaxed);
+    if last == 0 {
+        return 0;
+    }
+    obs::timeseries::now_ms().saturating_sub(last)
+}
+
+/// Default for `PRMSEL_DRIFT_RELEARN`: per-row log-likelihood decay (in
+/// nats) beyond which parameter refits are judged insufficient and the
+/// repair loop escalates to a structural relearn.
+pub const DEFAULT_DRIFT_RELEARN: f64 = 0.5;
+
+/// The relearn threshold from `PRMSEL_DRIFT_RELEARN`, else
+/// [`DEFAULT_DRIFT_RELEARN`].
+pub fn drift_relearn_threshold() -> f64 {
+    std::env::var("PRMSEL_DRIFT_RELEARN")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .unwrap_or(DEFAULT_DRIFT_RELEARN)
+}
+
+// ---------------------------------------------------------------------
+// The background repair loop.
+// ---------------------------------------------------------------------
+
+/// Tuning for a [`Maintainer`].
+#[derive(Debug, Clone)]
+pub struct MaintainOptions {
+    /// Per-row drift (nats) beyond which the loop escalates to a
+    /// structural relearn; `None` reads `PRMSEL_DRIFT_RELEARN` at spawn.
+    pub drift_relearn: Option<f64>,
+    /// Idle period between staleness-gauge refreshes when no work
+    /// arrives.
+    pub tick: Duration,
+}
+
+impl Default for MaintainOptions {
+    fn default() -> Self {
+        MaintainOptions { drift_relearn: None, tick: Duration::from_millis(250) }
+    }
+}
+
+/// A caller-supplied structural-relearn source: returns a freshly
+/// learned model, its schema snapshot, and a [`DeltaState`] rebuilt
+/// against the new structure — or `None` when relearning is unavailable
+/// (the loop then raises a `prm.maintain.drift` watchdog warning and
+/// keeps refitting parameters).
+pub type RelearnFn = Box<dyn FnMut() -> Option<(Prm, SchemaInfo, DeltaState)> + Send>;
+
+enum Cmd {
+    Batch(UpdateBatch),
+    Refit,
+    Sync(mpsc::Sender<()>),
+    Stop,
+}
+
+/// The zero-downtime maintenance loop (paper §6, made operational).
+///
+/// A `Maintainer` owns a background thread holding the mutable
+/// [`DeltaState`]; the serving [`PrmEstimator`] is only ever touched
+/// through its atomic [`replace_model`](PrmEstimator::replace_model)
+/// hot swap, so traffic never blocks on maintenance. Each cycle runs in
+/// two isolated phases:
+///
+/// 1. **apply** — fold the batch into the sufficient statistics
+///    (`maintain.apply` failpoint). This phase mutates the accumulators,
+///    so a panic here marks the state corrupt (subsequent cycles are
+///    rejected until a rebuild) — but the serving model is untouched.
+/// 2. **refit + swap** — rebuild CPDs from the accumulators, score
+///    drift, and publish a new epoch (`maintain.refit` /
+///    `maintain.swap` failpoints). This phase only reads the state, so
+///    any failure or panic leaves *both* the accumulators and the old
+///    serving epoch intact.
+///
+/// Every rejected cycle raises a critical `prm.maintain.failed`
+/// watchdog alert (resolved by the next success); drift past the
+/// relearn threshold triggers the [`RelearnFn`] when one is wired, a
+/// `prm.maintain.drift` warning otherwise.
+pub struct Maintainer {
+    tx: mpsc::Sender<Cmd>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Maintainer {
+    /// Spawns the repair loop over `est`, seeding it with `state` (built
+    /// by [`DeltaState::build`] against the same model generation).
+    pub fn spawn(
+        est: Arc<PrmEstimator>,
+        state: DeltaState,
+        opts: MaintainOptions,
+    ) -> Maintainer {
+        Self::spawn_with_relearn(est, state, opts, None)
+    }
+
+    /// [`Maintainer::spawn`] with a structural-relearn source consulted
+    /// when drift exceeds the threshold.
+    pub fn spawn_with_relearn(
+        est: Arc<PrmEstimator>,
+        mut state: DeltaState,
+        opts: MaintainOptions,
+        mut relearn: Option<RelearnFn>,
+    ) -> Maintainer {
+        // Register the family up front so a snapshot distinguishes "no
+        // maintenance yet" (explicit zeros) from "not exported".
+        obs::counter!("prm.maintain.batches").add(0);
+        obs::counter!("prm.maintain.rows").add(0);
+        obs::counter!("prm.maintain.refits").add(0);
+        obs::counter!("prm.maintain.swaps").add(0);
+        obs::counter!("prm.maintain.relearn").add(0);
+        obs::counter!("prm.maintain.rejected").add(0);
+        let threshold = opts.drift_relearn.unwrap_or_else(drift_relearn_threshold);
+        let tick = opts.tick;
+        let (tx, rx) = mpsc::channel();
+        let handle = std::thread::Builder::new()
+            .name("prmsel-maintain".into())
+            .spawn(move || loop {
+                match rx.recv_timeout(tick) {
+                    Ok(Cmd::Stop) | Err(RecvTimeoutError::Disconnected) => break,
+                    Err(RecvTimeoutError::Timeout) => {
+                        obs::gauge!("prm.model.staleness_ms")
+                            .set(model_staleness_ms() as f64);
+                    }
+                    Ok(Cmd::Sync(ack)) => {
+                        let _ = ack.send(());
+                    }
+                    Ok(Cmd::Batch(batch)) => {
+                        run_cycle(&est, &mut state, Some(batch), threshold, &mut relearn);
+                    }
+                    Ok(Cmd::Refit) => {
+                        run_cycle(&est, &mut state, None, threshold, &mut relearn);
+                    }
+                }
+            })
+            .expect("spawn prmsel-maintain thread");
+        Maintainer { tx, handle: Some(handle) }
+    }
+
+    /// Queues an update batch for the next cycle. Returns `false` if the
+    /// loop has stopped.
+    pub fn submit(&self, batch: UpdateBatch) -> bool {
+        self.tx.send(Cmd::Batch(batch)).is_ok()
+    }
+
+    /// Queues a refit-and-swap cycle with no new data (e.g. after the
+    /// watchdog flags quality decay). Returns `false` if the loop has
+    /// stopped.
+    pub fn refit_now(&self) -> bool {
+        self.tx.send(Cmd::Refit).is_ok()
+    }
+
+    /// Blocks until every previously queued command has been processed.
+    pub fn flush(&self) {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        if self.tx.send(Cmd::Sync(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+    }
+
+    /// Stops the loop and joins the thread (also done on drop).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let _ = self.tx.send(Cmd::Stop);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Maintainer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One maintenance cycle. See [`Maintainer`] for the phase contract.
+fn run_cycle(
+    est: &PrmEstimator,
+    state: &mut DeltaState,
+    batch: Option<UpdateBatch>,
+    threshold: f64,
+    relearn: &mut Option<RelearnFn>,
+) {
+    if let Some(batch) = batch {
+        let applied = catch_unwind(AssertUnwindSafe(|| -> CoreResult<u64> {
+            failpoint::fail_point!("maintain.apply").map_err(CoreError::from)?;
+            state.apply(&batch)
+        }));
+        match applied {
+            Ok(Ok(rows)) => {
+                obs::counter!("prm.maintain.batches").inc();
+                obs::counter!("prm.maintain.rows").add(rows);
+            }
+            Ok(Err(e)) => return reject(&format!("apply: {e}")),
+            Err(payload) => {
+                // The panic may have torn the accumulators mid-update;
+                // only a rebuild makes them trustworthy again.
+                state.mark_corrupt();
+                return reject(&format!("{}", CoreError::from_panic(payload)));
+            }
+        }
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| -> CoreResult<f64> {
+        failpoint::fail_point!("maintain.refit").map_err(CoreError::from)?;
+        let ep = est.epoch();
+        let fresh = state.refit(&ep.prm)?;
+        let drift = state.drift(&fresh)?;
+        failpoint::fail_point!("maintain.swap").map_err(CoreError::from)?;
+        est.replace_model(fresh, ep.schema.clone());
+        Ok(drift)
+    }));
+    let drift = match outcome {
+        Ok(Ok(drift)) => drift,
+        Ok(Err(e)) => return reject(&format!("refit: {e}")),
+        Err(payload) => return reject(&format!("{}", CoreError::from_panic(payload))),
+    };
+    obs::counter!("prm.maintain.refits").inc();
+    obs::watchdog::resolve("prm.maintain.failed");
+    if drift <= threshold {
+        obs::watchdog::resolve("prm.maintain.drift");
+        return;
+    }
+    obs::counter!("prm.maintain.relearn").inc();
+    if let Some(cb) = relearn.as_mut() {
+        if let Some((prm, schema, fresh_state)) = cb() {
+            est.replace_model(prm, schema);
+            *state = fresh_state;
+            obs::watchdog::resolve("prm.maintain.drift");
+            obs::info!(
+                "structural relearn swapped in (drift {drift:.3} > {threshold:.3})"
+            );
+            return;
+        }
+    }
+    obs::watchdog::raise(
+        obs::watchdog::Severity::Warning,
+        "prm.maintain.drift",
+        drift,
+        threshold,
+    );
+}
+
+/// Books a rejected cycle: the old epoch keeps serving, the operator
+/// hears about it.
+fn reject(detail: &str) {
+    obs::counter!("prm.maintain.rejected").inc();
+    obs::warn!("maintenance cycle rejected (old epoch keeps serving): {detail}");
+    obs::watchdog::raise(
+        obs::watchdog::Severity::Critical,
+        "prm.maintain.failed",
+        1.0,
+        0.0,
+    );
 }
 
 #[cfg(test)]

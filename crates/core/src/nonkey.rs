@@ -58,8 +58,9 @@ impl PrmEstimator {
     fn join_attr_domain(&self, side: &JoinSide) -> Result<Vec<Value>> {
         let table_name =
             side.query.vars.get(side.var).ok_or(Error::UnknownVar(side.var))?;
-        let table = self
-            .schema_info()
+        let epoch = self.epoch();
+        let table = epoch
+            .schema
             .tables
             .iter()
             .find(|t| &t.name == table_name)

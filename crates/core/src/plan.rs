@@ -2001,6 +2001,11 @@ impl PlanCache {
         self.lock().set_capacity(capacity, &mut count_evict);
     }
 
+    /// The current capacity bound (maximum resident plans).
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, LruSlab<PlanEntry>> {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }

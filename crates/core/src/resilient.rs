@@ -244,7 +244,8 @@ impl ResilientEstimator {
     /// the textbook System-R style guess, computable from the schema
     /// snapshot alone.
     fn uniform_guess(&self, query: &Query) -> Result<f64> {
-        let schema = self.prm.schema_info();
+        let epoch = self.prm.epoch();
+        let schema = &epoch.schema;
         schema.validate_query(query)?;
         let tables: Vec<usize> = query
             .vars

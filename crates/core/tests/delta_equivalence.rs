@@ -1,0 +1,296 @@
+//! Correctness contract of the incremental-maintenance path (paper §6):
+//!
+//! * **Delta refit ≡ scratch refresh** — for any sequence of row
+//!   mutations, folding the diff into a [`DeltaState`] and refitting
+//!   must produce the same parameters as [`refresh_parameters`] run
+//!   against the mutated database from scratch (counts are integers, so
+//!   the two paths perform identical floating-point work).
+//! * **Score is thread-count invariant** — `model_loglik` fans out in
+//!   fixed-size chunks; `PRMSEL_THREADS=1` and `=4` must agree bitwise,
+//!   or the drift watchdog would see phantom decay after a deployment
+//!   changes core counts.
+//! * **The repair loop is fault-isolated** — a failing or panicking
+//!   maintenance cycle leaves the old epoch serving and raises a
+//!   critical alert; the next healthy cycle swaps and resolves it.
+
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use prmsel::{
+    model_loglik, refresh_parameters, DeltaState, MaintainOptions, Maintainer,
+    PrmEstimator, SelectivityEstimator, UpdateBatch,
+};
+use proptest::prelude::*;
+use reldb::{Cell, Database, DatabaseBuilder, Query, TableBuilder, Value};
+
+/// Serializes tests that touch process-global state (failpoints,
+/// watchdog alerts, worker counts).
+fn with_global_lock<R>(f: impl FnOnce() -> R) -> R {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let _guard = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    failpoint::clear();
+    let out = f();
+    failpoint::clear();
+    out
+}
+
+const N_PARENT: usize = 24;
+
+/// Two tables, fixed schema and domains: parent(x ∈ 0..3) with
+/// `N_PARENT` rows, child(y ∈ 0..2, fk → parent). The first rows
+/// enumerate every domain value so old and new databases always share
+/// dictionaries (domain drift is a schema change, rejected elsewhere).
+fn two_table_db(parent_x: &[u32], child_rows: &[(u32, i64)]) -> Database {
+    assert_eq!(parent_x.len(), N_PARENT);
+    let mut p = TableBuilder::new("parent").key("id").col("x");
+    for (i, &x) in parent_x.iter().enumerate() {
+        let x = if i < 3 { i as u32 % 3 } else { x % 3 };
+        p.push_row(vec![Cell::Key(i as i64), Cell::Val(Value::Int(x as i64))]).unwrap();
+    }
+    let mut c = TableBuilder::new("child").key("id").fk("parent", "parent").col("y");
+    for (i, &(y, target)) in child_rows.iter().enumerate() {
+        let y = if i < 2 { i as u32 % 2 } else { y % 2 };
+        c.push_row(vec![
+            Cell::Key(i as i64),
+            Cell::Key(target.rem_euclid(N_PARENT as i64)),
+            Cell::Val(Value::Int(y as i64)),
+        ])
+        .unwrap();
+    }
+    DatabaseBuilder::new()
+        .add_table(p.finish().unwrap())
+        .add_table(c.finish().unwrap())
+        .finish()
+        .unwrap()
+}
+
+fn base_parent_x() -> Vec<u32> {
+    (0..N_PARENT as u32).map(|i| i % 3).collect()
+}
+
+fn base_child_rows() -> Vec<(u32, i64)> {
+    (0..150i64).map(|i| ((((i * 7) % 24) % 2) as u32, (i * 7) % 24)).collect()
+}
+
+/// The model under maintenance, learned once: every proptest case
+/// reuses it (learning is the expensive part; the property is about the
+/// delta path, not the learner).
+fn learned() -> &'static (Database, prmsel::Prm) {
+    static MODEL: OnceLock<(Database, prmsel::Prm)> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let db = two_table_db(&base_parent_x(), &base_child_rows());
+        let prm = prmsel::learn_prm(&db, &prmsel::PrmLearnConfig::default()).unwrap();
+        (db, prm)
+    })
+}
+
+fn decode(mut idx: usize, cards: &[usize]) -> Vec<u32> {
+    let mut config = vec![0u32; cards.len()];
+    for k in (0..cards.len()).rev() {
+        config[k] = (idx % cards[k]) as u32;
+        idx /= cards[k];
+    }
+    config
+}
+
+/// Asserts the incremental refit matches the scratch refresh: row
+/// counts exactly, every CPD cell and join-indicator probability within
+/// 1e-12 (they are bit-identical in practice — both paths divide the
+/// same integer counts — but the contract we document is 1e-12).
+fn assert_models_match(incr: &prmsel::Prm, scratch: &prmsel::Prm) {
+    for (ti, (a, b)) in incr.tables.iter().zip(&scratch.tables).enumerate() {
+        assert_eq!(a.n_rows, b.n_rows, "table {ti} row count");
+        for (ai, (xa, xb)) in a.attrs.iter().zip(&b.attrs).enumerate() {
+            let cards = xa.cpd.parent_cards().to_vec();
+            let n_configs: usize = cards.iter().product::<usize>().max(1);
+            for idx in 0..n_configs {
+                let config = decode(idx, &cards);
+                for (pa, pb) in xa.cpd.dist(&config).iter().zip(xb.cpd.dist(&config)) {
+                    assert!(
+                        (pa - pb).abs() <= 1e-12,
+                        "table {ti} attr {ai} config {config:?}: {pa} vs {pb}"
+                    );
+                }
+            }
+        }
+        for (ji_a, ji_b) in a.join_indicators.iter().zip(&b.join_indicators) {
+            assert_eq!(ji_a.p_true.len(), ji_b.p_true.len());
+            for (pa, pb) in ji_a.p_true.iter().zip(&ji_b.p_true) {
+                assert!((pa - pb).abs() <= 1e-12, "join indicator: {pa} vs {pb}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // For arbitrary mutations — parent attribute rewrites (which fan
+    // out to child join statistics), child inserts, deletes, and value
+    // changes — the O(batch) delta refit equals the O(database) scratch
+    // refresh.
+    #[test]
+    fn delta_refit_matches_scratch_refresh(
+        new_parent in proptest::collection::vec(0u32..3, N_PARENT),
+        new_children in proptest::collection::vec((0u32..2, 0i64..N_PARENT as i64), 80..220),
+    ) {
+        let (old_db, prm) = learned();
+        let new_db = two_table_db(&new_parent, &new_children);
+
+        let mut state = DeltaState::build(prm, old_db).unwrap();
+        let batch = UpdateBatch::diff(old_db, &new_db).unwrap();
+        state.apply(&batch).unwrap();
+
+        let incr = state.refit(prm).unwrap();
+        let scratch = refresh_parameters(prm, &new_db).unwrap();
+        assert_models_match(&incr, &scratch);
+    }
+}
+
+#[test]
+fn model_loglik_is_bit_identical_across_thread_counts() {
+    with_global_lock(|| {
+        // Enough rows to span several 8192-row scoring chunks.
+        let children: Vec<(u32, i64)> = (0..20_000i64)
+            .map(|i| ((((i * 13) % 24) % 2) as u32, (i * 13) % 24))
+            .collect();
+        let db = two_table_db(&base_parent_x(), &children);
+        let prm = prmsel::learn_prm(&db, &prmsel::PrmLearnConfig::default()).unwrap();
+        let mut scores = Vec::new();
+        for threads in [1usize, 4] {
+            par::set_threads(Some(threads));
+            scores.push(model_loglik(&prm, &db).unwrap());
+            par::set_threads(None);
+        }
+        assert_eq!(
+            scores[0].to_bits(),
+            scores[1].to_bits(),
+            "1-thread {} vs 4-thread {}",
+            scores[0],
+            scores[1]
+        );
+    });
+}
+
+fn probe_query() -> Query {
+    let mut b = Query::builder();
+    let c = b.var("child");
+    let p = b.var("parent");
+    b.join(c, "parent", p).eq(c, "y", 1).eq(p, "x", 0);
+    b.build()
+}
+
+#[test]
+fn maintainer_applies_batches_and_hot_swaps() {
+    with_global_lock(|| {
+        let (old_db, prm) = learned();
+        let est = Arc::new(PrmEstimator::from_prm(prm.clone(), old_db, "PRM").unwrap());
+        let state = DeltaState::build(prm, old_db).unwrap();
+        let seq0 = est.epoch_seq();
+
+        // Children of even parents flip their y value: parameters drift,
+        // structure does not.
+        let children: Vec<(u32, i64)> = (0..150i64)
+            .map(|i| {
+                let t = (i * 7) % 24;
+                (if t % 2 == 0 { 1 - ((t % 2) as u32) } else { (t % 2) as u32 }, t)
+            })
+            .collect();
+        let new_db = two_table_db(&base_parent_x(), &children);
+        let batch = UpdateBatch::diff(old_db, &new_db).unwrap();
+
+        let maintainer = Maintainer::spawn(
+            est.clone(),
+            state,
+            MaintainOptions { drift_relearn: Some(f64::INFINITY), ..Default::default() },
+        );
+        assert!(maintainer.submit(batch));
+        maintainer.flush();
+        assert_eq!(est.epoch_seq(), seq0 + 1, "one batch, one swap");
+
+        // The swapped epoch answers like a from-scratch refresh.
+        let scratch = refresh_parameters(prm, &new_db).unwrap();
+        let fresh = PrmEstimator::from_prm(scratch, &new_db, "fresh").unwrap();
+        let q = probe_query();
+        assert_eq!(
+            est.estimate(&q).unwrap().to_bits(),
+            fresh.estimate(&q).unwrap().to_bits()
+        );
+        maintainer.shutdown();
+    });
+}
+
+#[test]
+fn failed_swap_leaves_old_epoch_serving_and_raises_alert() {
+    with_global_lock(|| {
+        let (old_db, prm) = learned();
+        let est = Arc::new(PrmEstimator::from_prm(prm.clone(), old_db, "PRM").unwrap());
+        let state = DeltaState::build(prm, old_db).unwrap();
+        let q = probe_query();
+        let baseline = est.estimate(&q).unwrap();
+        let seq0 = est.epoch_seq();
+
+        let maintainer = Maintainer::spawn(
+            est.clone(),
+            state,
+            MaintainOptions { drift_relearn: Some(f64::INFINITY), ..Default::default() },
+        );
+
+        // A panic at the swap site must not take the serving path down:
+        // the epoch stays, estimates keep answering, the operator hears
+        // about it through a critical alert.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        failpoint::arm("maintain.swap", failpoint::Action::Panic);
+        assert!(maintainer.refit_now());
+        maintainer.flush();
+        failpoint::disarm("maintain.swap");
+        std::panic::set_hook(hook);
+
+        assert_eq!(est.epoch_seq(), seq0, "failed cycle must not publish");
+        assert_eq!(est.estimate(&q).unwrap().to_bits(), baseline.to_bits());
+        assert!(
+            obs::watchdog::firing_critical()
+                .iter()
+                .any(|a| a.metric == "prm.maintain.failed"),
+            "rejected cycle raises a critical alert"
+        );
+
+        // The next healthy cycle swaps and clears the alert.
+        assert!(maintainer.refit_now());
+        maintainer.flush();
+        assert_eq!(est.epoch_seq(), seq0 + 1);
+        assert!(
+            !obs::watchdog::firing_critical()
+                .iter()
+                .any(|a| a.metric == "prm.maintain.failed"),
+            "healthy cycle resolves the alert"
+        );
+        maintainer.shutdown();
+    });
+}
+
+#[test]
+fn corrupted_apply_rejects_followup_cycles_until_rebuilt() {
+    with_global_lock(|| {
+        let (old_db, prm) = learned();
+        let est = Arc::new(PrmEstimator::from_prm(prm.clone(), old_db, "PRM").unwrap());
+        let mut state = DeltaState::build(prm, old_db).unwrap();
+        state.mark_corrupt();
+        let seq0 = est.epoch_seq();
+        let maintainer =
+            Maintainer::spawn(est.clone(), state, MaintainOptions::default());
+        assert!(maintainer.refit_now());
+        maintainer.flush();
+        assert_eq!(est.epoch_seq(), seq0, "corrupt state must never publish");
+        maintainer.shutdown();
+
+        // A rebuilt state recovers the loop.
+        let rebuilt = DeltaState::build(prm, old_db).unwrap();
+        let maintainer =
+            Maintainer::spawn(est.clone(), rebuilt, MaintainOptions::default());
+        assert!(maintainer.refit_now());
+        maintainer.flush();
+        assert_eq!(est.epoch_seq(), seq0 + 1);
+        maintainer.shutdown();
+    });
+}

@@ -65,8 +65,11 @@ fn precompiled_first_touch_hits_the_plan_cache_and_matches_bits() {
 
     let reg = obs::registry();
     let pre_0 = reg.counter("prm.plan.precompiled").get();
-    let cold =
-        PrmEstimator::from_parts(warm.prm().clone(), warm.schema_info().clone(), "PRM");
+    let cold = PrmEstimator::from_parts(
+        warm.epoch().prm.clone(),
+        warm.epoch().schema.clone(),
+        "PRM",
+    );
     assert_eq!(cold.plan_cache_len(), 0);
     assert_eq!(cold.precompile(&keys), 2, "both templates compile");
     assert_eq!(reg.counter("prm.plan.precompiled").get() - pre_0, 2);
@@ -124,14 +127,20 @@ fn env_manifest_precompiles_on_load_and_survives_garbage() {
     }
     let _unset = Unset;
     std::env::set_var("PRMSEL_PRECOMPILE", &path);
-    let est =
-        PrmEstimator::from_parts(warm.prm().clone(), warm.schema_info().clone(), "PRM");
+    let est = PrmEstimator::from_parts(
+        warm.epoch().prm.clone(),
+        warm.epoch().schema.clone(),
+        "PRM",
+    );
     assert!(est.has_cached_plan(&join_query(2)), "env manifest precompiled");
 
     // A corrupt manifest must degrade to a cold cache, not an error.
     std::fs::write(&path, b"not a manifest").expect("overwrite");
-    let est =
-        PrmEstimator::from_parts(warm.prm().clone(), warm.schema_info().clone(), "PRM");
+    let est = PrmEstimator::from_parts(
+        warm.epoch().prm.clone(),
+        warm.epoch().schema.clone(),
+        "PRM",
+    );
     assert_eq!(est.plan_cache_len(), 0, "corrupt manifest is skipped");
     est.estimate(&join_query(0)).expect("still estimates");
     let _ = std::fs::remove_dir_all(&dir);

@@ -129,8 +129,7 @@ fn zero_capacity_disables_memoization_but_stays_exact() {
 fn model_reload_drops_memoized_reductions() {
     let _serial = serialized();
     let reg = obs::registry();
-    let mut est =
-        PrmEstimator::build(&tiny_db(), &PrmLearnConfig::default()).expect("build");
+    let est = PrmEstimator::build(&tiny_db(), &PrmLearnConfig::default()).expect("build");
     let q = age_query(20);
     est.estimate(&q).expect("cold");
     est.estimate(&q).expect("warm");
@@ -138,11 +137,11 @@ fn model_reload_drops_memoized_reductions() {
 
     let fresh =
         PrmEstimator::build(&tiny_db(), &PrmLearnConfig::default()).expect("rebuild");
-    est.replace_model(fresh.prm().clone(), fresh.schema_info().clone());
+    est.replace_model(fresh.epoch().prm.clone(), fresh.epoch().schema.clone());
     assert_eq!(
         est.reduce_memo_len(&q),
-        None,
-        "reload must drop the plan and its memo together"
+        Some(0),
+        "reload recompiles the hot template on the new epoch with an empty memo"
     );
     let miss_0 = reg.counter("prm.plan.reduce.miss").get();
     est.estimate(&q).expect("recompile");

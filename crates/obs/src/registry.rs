@@ -386,20 +386,32 @@ pub struct Snapshot {
     pub histograms: Vec<(String, HistogramSnapshot)>,
 }
 
+/// Name equality modulo OpenMetrics mangling: the exposition renders the
+/// registry's `prm.plan.hit` as `prm_plan_hit`, and the scrape parser
+/// cannot un-mangle, so snapshot lookups treat `.` and `_` as the same
+/// character — a snapshot answers the same dotted name whether it came
+/// from the local registry or a remote `/metrics` scrape.
+fn name_eq(a: &str, b: &str) -> bool {
+    a.len() == b.len()
+        && a.bytes()
+            .zip(b.bytes())
+            .all(|(x, y)| x == y || (x == b'.' || x == b'_') && (y == b'.' || y == b'_'))
+}
+
 impl Snapshot {
     /// Value of a counter, if registered.
     pub fn counter(&self, name: &str) -> Option<u64> {
-        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+        self.counters.iter().find(|(n, _)| name_eq(n, name)).map(|&(_, v)| v)
     }
 
     /// Value of a gauge, if registered.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+        self.gauges.iter().find(|(n, _)| name_eq(n, name)).map(|&(_, v)| v)
     }
 
     /// State of a histogram, if registered.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
-        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+        self.histograms.iter().find(|(n, _)| name_eq(n, name)).map(|(_, h)| h)
     }
 
     /// Machine-readable JSON rendering (stable key order).

@@ -139,7 +139,7 @@ fn env_f64(var: &'static str, cache: &'static OnceLock<Option<f64>>) -> Option<f
     })
 }
 
-fn resolve(
+fn resolve_env(
     over: &AtomicU64,
     var: &'static str,
     cache: &'static OnceLock<Option<f64>>,
@@ -154,20 +154,20 @@ fn resolve(
 /// `None` means auto-seed from the first healthy window.
 pub fn slo_qerror() -> Option<f64> {
     static CACHE: OnceLock<Option<f64>> = OnceLock::new();
-    resolve(&SLO_QERROR, "PRMSEL_SLO_QERROR", &CACHE)
+    resolve_env(&SLO_QERROR, "PRMSEL_SLO_QERROR", &CACHE)
 }
 
 /// Warm-latency SLO in nanoseconds: override, else `PRMSEL_SLO_WARM_NS`.
 /// `None` disables the latency check.
 pub fn slo_warm_ns() -> Option<f64> {
     static CACHE: OnceLock<Option<f64>> = OnceLock::new();
-    resolve(&SLO_WARM_NS, "PRMSEL_SLO_WARM_NS", &CACHE)
+    resolve_env(&SLO_WARM_NS, "PRMSEL_SLO_WARM_NS", &CACHE)
 }
 
 /// Fallback-ratio SLO: override, else `PRMSEL_SLO_FALLBACK`, else 0.5.
 pub fn slo_fallback() -> f64 {
     static CACHE: OnceLock<Option<f64>> = OnceLock::new();
-    resolve(&SLO_FALLBACK, "PRMSEL_SLO_FALLBACK", &CACHE).unwrap_or(0.5)
+    resolve_env(&SLO_FALLBACK, "PRMSEL_SLO_FALLBACK", &CACHE).unwrap_or(0.5)
 }
 
 fn set_override(slot: &AtomicU64, v: Option<f64>) {
@@ -299,6 +299,48 @@ pub fn observe_panic() {
 /// Current per-template q-error EWMAs, `(template, ewma)`.
 pub fn template_ewma() -> Vec<(String, f64)> {
     state().ewma.clone()
+}
+
+/// Raises (or refreshes) an alert for `metric` immediately, outside the
+/// windowed evaluation — the control-plane entry point (e.g. a failed
+/// maintenance cycle). Custom metrics are never in the sampler's judged
+/// set, so the alert stays active until [`resolve`] is called; raising
+/// the same metric again replaces the previous alert instead of piling
+/// up duplicates. Unlike the per-query observe hooks this is not gated
+/// on the sampler: maintenance failures are rare control-plane events
+/// that must be visible even when no sampler runs.
+pub fn raise(severity: Severity, metric: &str, value: f64, threshold: f64) {
+    let now = crate::timeseries::now_ms();
+    let alert = Alert {
+        severity,
+        metric: metric.to_owned(),
+        t0_ms: now,
+        t1_ms: now,
+        value,
+        threshold,
+        template: None,
+    };
+    let mut st = state();
+    st.active.retain(|a| a.metric != metric);
+    if st.history.len() == st.history_cap {
+        st.history.pop_front();
+    }
+    st.history.push_back(alert.clone());
+    st.active.push(alert);
+    crate::counter!("obs.watchdog.alerts").inc();
+    if st.active.iter().any(|a| a.severity == Severity::Critical) {
+        crate::gauge!("obs.watchdog.critical").set(1.0);
+    }
+}
+
+/// Clears any active alert for `metric` — the explicit all-clear for
+/// alerts raised via [`raise`], which the windowed evaluation never
+/// judges and therefore carries forward indefinitely.
+pub fn resolve(metric: &str) {
+    let mut st = state();
+    st.active.retain(|a| a.metric != metric);
+    let critical = st.active.iter().any(|a| a.severity == Severity::Critical);
+    crate::gauge!("obs.watchdog.critical").set(if critical { 1.0 } else { 0.0 });
 }
 
 /// Evaluates one just-closed window, recomputing the active alert set.

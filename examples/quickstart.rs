@@ -48,8 +48,8 @@ fn main() -> reldb::Result<()> {
         &PrmLearnConfig { budget_bytes: 4096, ..Default::default() },
     )?;
     println!("learned PRM: {} bytes", est.size_bytes());
-    println!("  foreign parents: {}", est.prm().foreign_parent_count());
-    println!("  join-indicator parents: {}", est.prm().ji_parent_count());
+    println!("  foreign parents: {}", est.epoch().prm.foreign_parent_count());
+    println!("  join-indicator parents: {}", est.epoch().prm.ji_parent_count());
     println!();
 
     // Online phase: estimate some select-join queries.

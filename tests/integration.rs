@@ -99,7 +99,7 @@ fn prm_names_reflect_configuration() {
     let bn_uj = PrmEstimator::build(&db, &PrmLearnConfig::bn_uj(8192)).unwrap();
     assert_eq!(prm.name(), "PRM");
     assert_eq!(bn_uj.name(), "BN+UJ");
-    assert_eq!(bn_uj.prm().foreign_parent_count(), 0);
+    assert_eq!(bn_uj.epoch().prm.foreign_parent_count(), 0);
 }
 
 #[test]

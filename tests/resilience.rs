@@ -233,7 +233,8 @@ fn uniform_floor_matches_the_textbook_guess() {
         b.eq(p, "age", 1);
         let outcome = est.estimate_query(&b.build());
         assert_eq!(outcome.rung, Rung::UniformGuess);
-        let schema = est.inner().schema_info();
+        let epoch = est.inner().epoch();
+        let schema = &epoch.schema;
         let t = schema.tables.iter().find(|t| t.name == "patient").unwrap();
         let age_card =
             t.domains[t.attrs.iter().position(|a| a == "age").unwrap()].card() as f64;
